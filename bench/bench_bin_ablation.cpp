@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A1 — ablation of the bin-based index design (§3.1(1), §3.3): bin
+/// count sweep and bin-buffer capacity sweep on the dedup-only
+/// pipeline. Reports throughput, hit-stage breakdown and flush-write
+/// volume: more bins = finer parallelism but emptier buffers; larger
+/// buffers = more temporal-locality hits and fewer (bigger) flushes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace padre;
+using namespace padre::bench;
+
+int main() {
+  banner("A1", "ablation: bin count and bin-buffer capacity "
+               "(dedup-only, dedup 2.0)");
+
+  std::printf("bin-count sweep (buffer capacity 8):\n");
+  std::printf("%10s %12s %14s %14s %14s\n", "bins", "IOPS (K)",
+              "buffer hits", "tree hits", "gpu hits");
+  for (unsigned BinBits : {4u, 6u, 8u, 10u, 12u}) {
+    RunSpec Spec;
+    Spec.CompressEnabled = false;
+    Spec.Mode = PipelineMode::GpuDedup;
+    Spec.BinBits = BinBits;
+    const PipelineReport Report = runSpec(Platform::paper(), Spec);
+    std::printf("%10u %12.1f %14llu %14llu %14llu\n", 1u << BinBits,
+                Report.ThroughputIops / 1e3,
+                static_cast<unsigned long long>(Report.DupFromBuffer),
+                static_cast<unsigned long long>(Report.DupFromTree),
+                static_cast<unsigned long long>(Report.DupFromGpu));
+  }
+
+  std::printf("\nbin-buffer capacity sweep (256 bins):\n");
+  std::printf("%10s %12s %14s %14s %14s\n", "capacity", "IOPS (K)",
+              "buffer hits", "tree hits", "gpu hits");
+  for (std::size_t Capacity : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    RunSpec Spec;
+    Spec.CompressEnabled = false;
+    Spec.Mode = PipelineMode::GpuDedup;
+    Spec.BufferCapacityPerBin = Capacity;
+    const PipelineReport Report = runSpec(Platform::paper(), Spec);
+    std::printf("%10zu %12.1f %14llu %14llu %14llu\n", Capacity,
+                Report.ThroughputIops / 1e3,
+                static_cast<unsigned long long>(Report.DupFromBuffer),
+                static_cast<unsigned long long>(Report.DupFromTree),
+                static_cast<unsigned long long>(Report.DupFromGpu));
+  }
+
+  // Design decision 1's counterfactual: one shared hash map behind a
+  // lock instead of bin partitioning. Index work (probe + insert
+  // share) serializes through the lock, so the dedup stage's
+  // throughput is min(parallel-work bound, lock bound) — computed here
+  // from the same calibrated per-op costs the pipeline charges.
+  std::printf("\nlock-free bins vs a single locked map (modelled, dedup "
+              "2.0):\n");
+  std::printf("%10s %18s %18s %10s\n", "threads", "bin-based (K)",
+              "locked map (K)", "speedup");
+  const CostModel Model;
+  // Per-chunk costs in the dedup-only pipeline (see EXPERIMENTS.md §3).
+  const double ProbeUs = 0.5 * Model.Cpu.IndexProbeBufferUs +
+                         0.5 * Model.Cpu.IndexProbeUs; // dup/unique mix
+  const double MaintainUs = 0.5 * Model.Cpu.IndexMaintainUs;
+  const double LockOverheadUs = 0.3; // acquire/release + line bounce
+  const double ParallelWorkUs = Model.Cpu.RequestOverheadUs +
+                                Model.cpuHashUs(4096) +
+                                Model.Cpu.ChunkingPerByteNs * 4.096;
+  for (unsigned Threads : {4u, 8u, 16u, 32u, 64u}) {
+    const double BinBased =
+        (ParallelWorkUs + ProbeUs + MaintainUs) /
+        static_cast<double>(Threads); // everything scales
+    const double LockSerial = ProbeUs + MaintainUs + LockOverheadUs;
+    const double LockedMap = std::max(
+        (ParallelWorkUs + ProbeUs + MaintainUs + LockOverheadUs) /
+            static_cast<double>(Threads),
+        LockSerial); // the lock is a capacity-one resource
+    std::printf("%10u %18.1f %18.1f %9.2fx\n", Threads, 1e3 / BinBased,
+                1e3 / LockedMap, LockedMap / BinBased);
+  }
+
+  std::printf("\nexpected shape: buffer hits grow with capacity (temporal "
+              "locality, §3.3);\n"
+              "throughput is stable across bin counts (lock-free "
+              "partitioning works at any granularity);\n"
+              "the locked-map counterfactual saturates at the lock's "
+              "serial capacity while bin\npartitioning keeps scaling — "
+              "the gap opens as cores grow (§3.1(1)).\n");
+  return 0;
+}

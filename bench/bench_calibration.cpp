@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E5 — §4(3)/§3.3: the dummy-I/O calibration step. "Because hardware
+/// specifications may be different on different platforms, we cannot
+/// guarantee that this integration is always right. Therefore … the
+/// performance of these integration methods is compared using dummy
+/// I/O to determine the best fit." This bench runs the calibrator on
+/// each platform profile and prints the per-mode probes and verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Calibrator.h"
+
+#include <cstdio>
+
+using namespace padre;
+using namespace padre::bench;
+
+int main() {
+  banner("E5", "dummy-I/O calibration across platform profiles "
+               "(paper §4(3))");
+
+  for (const Platform &Plat : Platform::allProfiles()) {
+    CalibratorConfig Config;
+    Config.Base.Dedup.Index.BinBits = 8;
+    Config.Base.Dedup.Index.BufferCapacityPerBin = 8;
+    const CalibrationResult Result = calibrate(Plat, Config);
+    std::printf("\nplatform: %s\n", Plat.Name.c_str());
+    std::printf("%s", Result.summary().c_str());
+  }
+
+  std::printf("\n");
+  CalibratorConfig Config;
+  Config.Base.Dedup.Index.BinBits = 8;
+  Config.Base.Dedup.Index.BufferCapacityPerBin = 8;
+  paperRow("choice on the paper's platform", "gpu-compress",
+           pipelineModeName(calibrate(Platform::paper(), Config).BestMode));
+  paperRow("choice without a GPU", "cpu-only",
+           pipelineModeName(calibrate(Platform::noGpu(), Config).BestMode));
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A6 — chunking-strategy ablation (extension): fixed-size vs
+/// content-defined chunking on shift-prone data. Primary storage
+/// writes arrive block-aligned (the paper's fixed 4 KiB is right
+/// there), but file/backup ingest shifts data; CDC resynchronizes
+/// chunk boundaries after insertions at a CPU cost.
+///
+/// Workload: a stream written twice, the second copy with bytes
+/// inserted at the front — fixed chunking dedups nothing across the
+/// shift, CDC re-finds almost everything.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace padre;
+using namespace padre::bench;
+
+namespace {
+
+struct CdcOutcome {
+  double DedupRatio = 0.0;
+  double Iops = 0.0;
+  std::uint64_t Chunks = 0;
+};
+
+CdcOutcome run(ChunkingMode Mode, std::size_t ShiftBytes) {
+  PipelineConfig Config;
+  Config.Mode = PipelineMode::GpuCompress;
+  Config.Chunking = Mode;
+  Config.Dedup.Index.BinBits = 8;
+
+  WorkloadConfig Load;
+  Load.TotalBytes = 8ull << 20;
+  Load.DedupRatio = 1.0; // all dedup must come from the shifted replay
+  Load.CompressRatio = 2.0;
+  Load.Seed = 77;
+  const ByteVector Original = VdbenchStream(Load).generateAll();
+  ByteVector Shifted(ShiftBytes, 0xEE);
+  Shifted.insert(Shifted.end(), Original.begin(), Original.end());
+
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  Pipeline.write(ByteSpan(Original.data(), Original.size()));
+  Pipeline.write(ByteSpan(Shifted.data(), Shifted.size()));
+  Pipeline.finish();
+  const PipelineReport Report = Pipeline.report();
+  CdcOutcome Outcome;
+  Outcome.DedupRatio = Report.DedupRatio;
+  Outcome.Iops = Report.ThroughputIops;
+  Outcome.Chunks = Report.LogicalChunks;
+  return Outcome;
+}
+
+const char *modeName(ChunkingMode Mode) {
+  switch (Mode) {
+  case ChunkingMode::Fixed:
+    return "fixed-4KiB";
+  case ChunkingMode::Rabin:
+    return "rabin-cdc";
+  default:
+    return "fastcdc";
+  }
+}
+
+} // namespace
+
+int main() {
+  banner("A6", "fixed vs content-defined chunking on shifted data "
+               "(extension)");
+
+  std::printf("stream written twice, second copy shifted by N bytes:\n");
+  std::printf("%12s %12s %12s %12s %12s\n", "chunking", "shift", "dedup",
+              "IOPS (K)", "chunks");
+  for (ChunkingMode Mode :
+       {ChunkingMode::Fixed, ChunkingMode::Rabin, ChunkingMode::FastCdc}) {
+    for (std::size_t Shift : {0u, 1u, 100u, 4096u}) {
+      const CdcOutcome Outcome = run(Mode, Shift);
+      std::printf("%12s %11zuB %11.2fx %12.1f %12llu\n", modeName(Mode),
+                  Shift, Outcome.DedupRatio, Outcome.Iops / 1e3,
+                  static_cast<unsigned long long>(Outcome.Chunks));
+    }
+  }
+
+  std::printf("\nexpected shape: at shift 0 every strategy dedups the "
+              "replay (~2x); any\nnonzero shift collapses fixed-size "
+              "dedup to ~1x while CDC holds near 2x,\npaying ~CDC scan "
+              "cost in IOPS. Note shift=4096 realigns fixed chunking\n"
+              "(a block-multiple shift), which is exactly why block "
+              "storage can use it.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// X2 — delta compression potential (extension): how much a
+/// similarity-detection + delta-encoding stage adds on top of
+/// dedup + LZ for an *evolving dataset* (the workload where exact
+/// dedup fails: each version of a chunk differs by a few edits, so the
+/// SHA-1s differ, but 95%+ of the bytes are shared).
+///
+/// Three schemes over the same stream of chunk versions:
+///   dedup          exact-duplicate elimination only
+///   dedup+lz       the paper's pipeline
+///   dedup+lz+delta similarity lookup first; delta against the base
+///                  when it beats LZ
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "compress/LzCodec.h"
+#include "delta/DeltaCodec.h"
+#include "delta/SimilarityIndex.h"
+#include "hash/Fingerprint.h"
+#include "util/Random.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace padre;
+using namespace padre::bench;
+
+namespace {
+
+constexpr std::size_t ChunkSize = 4096;
+
+struct SchemeTotals {
+  std::uint64_t Logical = 0;
+  std::uint64_t DedupOnly = 0;
+  std::uint64_t DedupLz = 0;
+  std::uint64_t DedupLzDelta = 0;
+  std::uint64_t DeltaHits = 0;
+  std::uint64_t Uniques = 0;
+};
+
+/// Simulates `Versions` generations of a `Chunks`-chunk dataset where
+/// each generation edits `EditFraction` of the chunks in place.
+SchemeTotals run(unsigned Chunks, unsigned Versions, double EditFraction,
+                 std::uint64_t Seed) {
+  SchemeTotals Totals;
+  const LzCodec Lz(LzCodec::MatcherKind::SingleProbe);
+  Random Rng(Seed);
+
+  // Current content of every chunk slot.
+  std::vector<ByteVector> Dataset(Chunks);
+  for (ByteVector &Chunk : Dataset) {
+    Chunk.resize(ChunkSize);
+    Rng.fillBytes(Chunk.data(), Chunk.size());
+  }
+
+  std::unordered_set<std::string> Seen; // exact-dup filter (hex digests)
+  SimilarityIndex Similarity(4096);
+  std::unordered_map<std::uint64_t, ByteVector> BaseStore;
+  std::uint64_t NextLocation = 0;
+
+  for (unsigned Version = 0; Version < Versions; ++Version) {
+    // Edit a fraction of the dataset in place (a few splices each).
+    if (Version != 0) {
+      for (ByteVector &Chunk : Dataset) {
+        if (!Rng.nextBool(EditFraction))
+          continue;
+        for (int Edit = 0; Edit < 4; ++Edit) {
+          const std::size_t At = Rng.nextBelow(Chunk.size() - 32);
+          Rng.fillBytes(Chunk.data() + At, 1 + Rng.nextBelow(24));
+        }
+      }
+    }
+    // Ingest the full generation.
+    for (const ByteVector &Chunk : Dataset) {
+      Totals.Logical += Chunk.size();
+      const Fingerprint Fp =
+          Fingerprint::ofData(ByteSpan(Chunk.data(), Chunk.size()));
+      if (!Seen.insert(Fp.hex()).second)
+        continue; // exact duplicate: free under every scheme
+      ++Totals.Uniques;
+      Totals.DedupOnly += Chunk.size();
+
+      const CompressResult LzResult =
+          Lz.compress(ByteSpan(Chunk.data(), Chunk.size()));
+      const std::size_t LzBytes =
+          std::min(LzResult.Payload.size(), Chunk.size());
+      Totals.DedupLz += LzBytes;
+
+      // Delta path: similarity lookup, then keep whichever of
+      // delta/LZ is smaller.
+      std::size_t Best = LzBytes;
+      const SuperFeatureSet Fs =
+          computeSuperFeatures(ByteSpan(Chunk.data(), Chunk.size()));
+      if (const auto Base = Similarity.findBase(Fs)) {
+        const ByteVector &BaseChunk = BaseStore[*Base];
+        const DeltaResult Delta =
+            deltaEncode(ByteSpan(BaseChunk.data(), BaseChunk.size()),
+                        ByteSpan(Chunk.data(), Chunk.size()));
+        if (Delta.Payload.size() < Best) {
+          Best = Delta.Payload.size();
+          ++Totals.DeltaHits;
+        }
+      }
+      Totals.DedupLzDelta += Best;
+
+      const std::uint64_t Location = NextLocation++;
+      BaseStore[Location] = Chunk;
+      Similarity.insert(Fs, Location);
+    }
+  }
+  return Totals;
+}
+
+} // namespace
+
+int main() {
+  banner("X2", "delta compression on evolving datasets (extension)");
+
+  std::printf("%10s %10s %12s %12s %14s %10s\n", "versions", "edits",
+              "dedup x", "dedup+lz x", "dedup+lz+dlt x", "dlt hits");
+  for (double EditFraction : {0.1, 0.3, 0.6}) {
+    const SchemeTotals Totals = run(/*Chunks=*/256, /*Versions=*/6,
+                                    EditFraction, 42);
+    std::printf("%10u %9.0f%% %11.2fx %11.2fx %13.2fx %9.0f%%\n", 6u,
+                EditFraction * 100.0,
+                static_cast<double>(Totals.Logical) / Totals.DedupOnly,
+                static_cast<double>(Totals.Logical) / Totals.DedupLz,
+                static_cast<double>(Totals.Logical) /
+                    Totals.DedupLzDelta,
+                100.0 * static_cast<double>(Totals.DeltaHits) /
+                    static_cast<double>(Totals.Uniques));
+  }
+
+  std::printf("\nexpected shape: the chunk content here is random (LZ "
+              "gains ~nothing), and\nedited versions defeat exact dedup "
+              "— only the delta stage recovers the\ncross-version "
+              "redundancy, with gains shrinking as the edit rate "
+              "grows.\n");
+  paperRow("delta stage status", "future work (not in paper)",
+           "substrate implemented; pipeline integration documented "
+           "in DESIGN.md");
+  return 0;
+}

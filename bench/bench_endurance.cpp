@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A4 — the §1 motivation: inline vs background data reduction on SSD
+/// write endurance, measured with *real flows*. Background reduction
+/// "generates more write I/O than systems without the data reduction
+/// operations", which is why the paper applies reduction on the
+/// critical (inline) path. Three schemes over the same stream:
+///
+///   no reduction  raw writes through the volume (writeBlocksRaw)
+///   background    raw writes, then core/BackgroundReducer.h sweeps the
+///                 volume during "idle time" (reads every block back
+///                 and rewrites it reduced)
+///   inline        the paper's pipeline on the write path
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/BackgroundReducer.h"
+#include "core/Volume.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace padre;
+using namespace padre::bench;
+
+namespace {
+
+struct SchemeOutcome {
+  std::uint64_t HostMiB = 0;
+  double NandMiB = 0.0;
+  double Ratio = 0.0;
+  double PhysicalMiB = 0.0;
+};
+
+SchemeOutcome runScheme(int Scheme, const ByteVector &Data) {
+  PipelineConfig Config;
+  Config.Mode = PipelineMode::CpuOnly;
+  Config.Dedup.Index.BinBits = 8;
+  auto Pipeline =
+      std::make_unique<ReductionPipeline>(Platform::paper(), Config);
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = Data.size() / Config.ChunkSize;
+  Volume Vol(*Pipeline, VolConfig);
+
+  switch (Scheme) {
+  case 0: // no reduction
+    Vol.writeBlocksRaw(0, ByteSpan(Data.data(), Data.size()));
+    break;
+  case 1: // background: raw first, reduce when idle
+    Vol.writeBlocksRaw(0, ByteSpan(Data.data(), Data.size()));
+    backgroundReduce(Vol);
+    break;
+  default: // inline
+    Vol.writeBlocks(0, ByteSpan(Data.data(), Data.size()));
+    Vol.flush();
+    break;
+  }
+
+  SchemeOutcome Outcome;
+  Outcome.HostMiB = Pipeline->ssd().hostBytesWritten() >> 20;
+  Outcome.NandMiB =
+      static_cast<double>(Pipeline->ssd().nandBytesWritten()) / (1 << 20);
+  Outcome.Ratio = Pipeline->ssd().enduranceRatio();
+  Outcome.PhysicalMiB =
+      static_cast<double>(Pipeline->store().storedBytes()) / (1 << 20);
+  return Outcome;
+}
+
+} // namespace
+
+int main() {
+  banner("A4", "inline vs background reduction: SSD endurance "
+               "(paper §1 motivation, real flows)");
+
+  WorkloadConfig Load;
+  Load.TotalBytes = 16ull << 20;
+  Load.DedupRatio = 2.0;
+  Load.CompressRatio = 2.0;
+  Load.Seed = 99;
+  const ByteVector Data = VdbenchStream(Load).generateAll();
+
+  static const char *Names[] = {"no reduction", "background reduction",
+                                "inline reduction (ours)"};
+  SchemeOutcome Outcomes[3];
+  std::printf("%-26s %12s %14s %12s %14s\n", "scheme", "host MiB",
+              "NAND MiB", "NAND/host", "resident MiB");
+  for (int Scheme = 0; Scheme < 3; ++Scheme) {
+    Outcomes[Scheme] = runScheme(Scheme, Data);
+    std::printf("%-26s %12llu %14.1f %12.2f %14.2f\n", Names[Scheme],
+                static_cast<unsigned long long>(Outcomes[Scheme].HostMiB),
+                Outcomes[Scheme].NandMiB, Outcomes[Scheme].Ratio,
+                Outcomes[Scheme].PhysicalMiB);
+  }
+
+  std::printf("\n");
+  paperRow("background reduction endurance", "worse than no reduction",
+           Outcomes[1].NandMiB > Outcomes[0].NandMiB
+               ? "worse (as predicted)"
+               : "NOT worse");
+  char Measured[96];
+  std::snprintf(Measured, sizeof(Measured),
+                "%.0f%% of raw NAND writes; space %.2f -> %.2f MiB",
+                Outcomes[2].NandMiB / Outcomes[0].NandMiB * 100.0,
+                Outcomes[0].PhysicalMiB, Outcomes[2].PhysicalMiB);
+  paperRow("inline reduction", "endurance AND capacity win", Measured);
+  std::printf("\nnote: the background scheme ends at the same resident "
+              "size as inline\n(%.2f vs %.2f MiB) but paid %.1f MiB of "
+              "NAND to get there — §1's point.\n",
+              Outcomes[1].PhysicalMiB, Outcomes[2].PhysicalMiB,
+              Outcomes[1].NandMiB);
+  return 0;
+}

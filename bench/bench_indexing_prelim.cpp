@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E1 — the §3.1(3) preliminary experiment: CPU vs GPU indexing
+/// execution time over equal-size tables. The paper reports the CPU
+/// 4.16x–5.45x faster, with the GPU's time floored by kernel-launch
+/// latency. This bench sweeps the probe-batch size and prints the
+/// modelled execution times and their ratio.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "index/CpuBinStore.h"
+#include "index/GpuBinTable.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace padre;
+using namespace padre::bench;
+
+namespace {
+
+struct IndexingTimes {
+  double CpuMicros = 0.0;
+  double GpuMicros = 0.0;
+  double GpuLaunchShare = 0.0; ///< fraction of GPU time that is launch
+};
+
+IndexingTimes measure(std::size_t BatchSize, std::size_t TableEntries) {
+  const Platform Plat = Platform::paper();
+  const BinLayout Layout(8);
+
+  ResourceLedger Ledger;
+  GpuDevice Device(Plat.Model, Ledger);
+  GpuBinTable GpuTable(Device, Layout, 256, 1);
+  CpuBinStore CpuTable(Layout, 0, 1);
+
+  // Equal entry counts on both sides — the paper's fairness rule.
+  std::vector<Fingerprint> Fps;
+  Fps.reserve(TableEntries);
+  for (std::size_t I = 0; I < TableEntries; ++I) {
+    std::uint8_t Data[8];
+    storeLe64(Data, I);
+    const Fingerprint Fp = Fingerprint::ofData(ByteSpan(Data, 8));
+    Fps.push_back(Fp);
+    std::uint8_t Suffix[Fingerprint::Size];
+    Layout.extractSuffix(Fp, Suffix);
+    ByteVector Suffixes(Suffix, Suffix + Layout.suffixBytes());
+    CpuTable.mergeRun(Layout.binOf(Fp),
+                      ByteSpan(Suffixes.data(), Suffixes.size()), {I});
+    GpuTable.applyFlush(Layout.binOf(Fp),
+                        ByteSpan(Suffixes.data(), Suffixes.size()), {I});
+  }
+
+  IndexingTimes Times;
+
+  // CPU: a hot probe loop.
+  for (std::size_t I = 0; I < BatchSize; ++I) {
+    std::uint8_t Suffix[Fingerprint::Size];
+    const Fingerprint &Fp = Fps[I % Fps.size()];
+    Layout.extractSuffix(Fp, Suffix);
+    (void)CpuTable.lookup(Layout.binOf(Fp), Suffix);
+    Times.CpuMicros += Plat.Model.Cpu.IndexProbeHotUs;
+  }
+
+  // GPU: one kernel per batch — DMA digests in, probe, results out.
+  Ledger.reset();
+  Device.transferToDevice(BatchSize * Fingerprint::Size);
+  Device.launchKernel(
+      KernelFamily::Indexing,
+      static_cast<double>(BatchSize) * Plat.Model.Gpu.ProbePerEntryUs, [&] {
+        for (std::size_t I = 0; I < BatchSize; ++I)
+          (void)GpuTable.probe(Fps[I % Fps.size()]);
+      });
+  Device.transferFromDevice(BatchSize * sizeof(std::uint32_t));
+  Times.GpuMicros = (Ledger.busySeconds(Resource::Gpu) +
+                     Ledger.busySeconds(Resource::Pcie)) *
+                    1e6;
+  Times.GpuLaunchShare = Plat.Model.Gpu.LaunchUs / Times.GpuMicros;
+  return Times;
+}
+
+} // namespace
+
+int main() {
+  banner("E1", "preliminary: CPU vs GPU indexing execution time "
+               "(paper §3.1(3))");
+  std::printf("%10s %14s %14s %10s %14s\n", "batch", "cpu (us)", "gpu (us)",
+              "gpu/cpu", "launch share");
+
+  double MinRatio = 1e9, MaxRatio = 0.0;
+  for (std::size_t BatchSize : {128u, 192u, 256u, 384u, 512u, 768u, 1024u}) {
+    const IndexingTimes Times = measure(BatchSize, 4096);
+    const double Ratio = Times.GpuMicros / Times.CpuMicros;
+    MinRatio = std::min(MinRatio, Ratio);
+    MaxRatio = std::max(MaxRatio, Ratio);
+    std::printf("%10zu %14.1f %14.1f %9.2fx %13.0f%%\n", BatchSize,
+                Times.CpuMicros, Times.GpuMicros, Ratio,
+                Times.GpuLaunchShare * 100.0);
+  }
+
+  std::printf("\n");
+  char Measured[64];
+  std::snprintf(Measured, sizeof(Measured), "%.2fx – %.2fx", MinRatio,
+                MaxRatio);
+  paperRow("CPU faster than GPU by", "4.16x – 5.45x", Measured);
+  paperRow("GPU time floored by kernel launch", "yes (\"fixed\")",
+           MinRatio > 1.0 ? "yes" : "no");
+  return 0;
+}

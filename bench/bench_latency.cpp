@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// L1 — inline service latency (extension; the paper reports only
+/// throughput, but an *inline* reduction pipeline sits on the write
+/// path, so its latency is what clients feel). Two views:
+///
+///   1. latency percentiles per integration mode at equal workload —
+///      GPU offloads buy throughput at a latency cost (kernel batching
+///      and round trips);
+///   2. the GPU compression batch-depth sweep — deeper batches amortize
+///      launches (throughput up) while every chunk waits for its whole
+///      kernel (latency up): the knob a deployment must tune.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace padre;
+using namespace padre::bench;
+
+int main() {
+  banner("L1", "inline service latency vs throughput (extension)");
+
+  std::printf("per-mode latency (dedup 2.0 / comp 2.0):\n");
+  std::printf("%-14s %12s %10s %10s %10s\n", "mode", "IOPS (K)",
+              "p50 (us)", "p95 (us)", "p99 (us)");
+  for (unsigned I = 0; I < PipelineModeCount; ++I) {
+    RunSpec Spec;
+    Spec.Mode = static_cast<PipelineMode>(I);
+    const PipelineReport Report = runSpec(Platform::paper(), Spec);
+    std::printf("%-14s %12.1f %10.0f %10.0f %10.0f\n",
+                pipelineModeName(Spec.Mode), Report.ThroughputIops / 1e3,
+                Report.LatencyP50Us, Report.LatencyP95Us,
+                Report.LatencyP99Us);
+  }
+
+  std::printf("\nGPU compression batch-depth sweep (gpu-compress, "
+              "comp 2.0):\n");
+  std::printf("%10s %12s %10s %10s\n", "batch", "IOPS (K)", "p50 (us)",
+              "p99 (us)");
+  for (unsigned Batch : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    Platform Plat = Platform::paper();
+    Plat.Model.Gpu.CompressBatchChunks = Batch;
+    RunSpec Spec;
+    Spec.Mode = PipelineMode::GpuCompress;
+    Spec.DedupEnabled = false;
+    Spec.BatchChunks = 512; // pipeline hands the engine 512 at a time
+    const PipelineReport Report = runSpec(Plat, Spec);
+    std::printf("%10u %12.1f %10.0f %10.0f\n", Batch,
+                Report.ThroughputIops / 1e3, Report.LatencyP50Us,
+                Report.LatencyP99Us);
+  }
+
+  std::printf("\nexpected shape: cpu-only has the lowest tail latency; "
+              "gpu modes trade\nlatency for throughput; latency grows "
+              "with kernel batch depth while\nthroughput saturates once "
+              "launches are amortized.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-kernels for the functional substrates: SHA-1
+/// fingerprinting, both LZ matchers, GPU lane compression + refinement,
+/// bin-index probes and the chunkers. These measure *host* wall time of
+/// the functional code (not modelled time) — useful for keeping the
+/// simulation itself fast and for profiling regressions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "chunk/FastCdcChunker.h"
+#include "chunk/FixedChunker.h"
+#include "chunk/RabinChunker.h"
+#include "compress/GpuLaneCompressor.h"
+#include "compress/LzCodec.h"
+#include "hash/Sha1.h"
+#include "index/DedupIndex.h"
+#include "util/Random.h"
+#include "workload/VdbenchStream.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace padre;
+
+namespace {
+
+ByteVector makeData(std::size_t Size, double CompressRatio) {
+  WorkloadConfig Config;
+  Config.TotalBytes = std::max<std::size_t>(Size, 4096);
+  Config.DedupRatio = 1.0;
+  Config.CompressRatio = CompressRatio;
+  ByteVector Data = VdbenchStream(Config).generateAll();
+  Data.resize(Size);
+  return Data;
+}
+
+void BM_Sha1(benchmark::State &State) {
+  const ByteVector Data = makeData(static_cast<std::size_t>(State.range(0)),
+                                   1.0);
+  for (auto _ : State) {
+    auto Digest = Sha1::digest(ByteSpan(Data.data(), Data.size()));
+    benchmark::DoNotOptimize(Digest);
+  }
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          Data.size());
+}
+BENCHMARK(BM_Sha1)->Arg(4096)->Arg(65536);
+
+void BM_LzCompress(benchmark::State &State) {
+  const auto Kind = State.range(0) == 0 ? LzCodec::MatcherKind::HashChain
+                                        : LzCodec::MatcherKind::SingleProbe;
+  const LzCodec Codec(Kind);
+  const ByteVector Data = makeData(4096, 2.0);
+  for (auto _ : State) {
+    auto Result = Codec.compress(ByteSpan(Data.data(), Data.size()));
+    benchmark::DoNotOptimize(Result);
+  }
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          Data.size());
+}
+BENCHMARK(BM_LzCompress)->Arg(0)->Arg(1);
+
+void BM_LzDecompress(benchmark::State &State) {
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  const ByteVector Data = makeData(4096, 2.0);
+  const CompressResult Compressed =
+      Codec.compress(ByteSpan(Data.data(), Data.size()));
+  for (auto _ : State) {
+    ByteVector Out;
+    const bool Ok = LzCodec::decompress(
+        ByteSpan(Compressed.Payload.data(), Compressed.Payload.size()),
+        Data.size(), Out);
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          Data.size());
+}
+BENCHMARK(BM_LzDecompress);
+
+void BM_GpuLaneKernel(benchmark::State &State) {
+  GpuLaneConfig Config;
+  Config.Lanes = static_cast<unsigned>(State.range(0));
+  const GpuLaneCompressor Compressor(Config);
+  const ByteVector Data = makeData(4096, 2.0);
+  for (auto _ : State) {
+    auto Outputs = Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+    auto Refined = GpuLaneCompressor::refine(
+        Outputs, ByteSpan(Data.data(), Data.size()));
+    benchmark::DoNotOptimize(Refined);
+  }
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          Data.size());
+}
+BENCHMARK(BM_GpuLaneKernel)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_IndexBatch(benchmark::State &State) {
+  DedupIndexConfig Config;
+  Config.BinBits = 8;
+  DedupIndex Index(Config);
+  ThreadPool Pool(static_cast<unsigned>(State.range(0)));
+
+  std::vector<Fingerprint> Fps;
+  std::vector<std::uint64_t> Locations;
+  for (std::uint64_t I = 0; I < 4096; ++I) {
+    std::uint8_t Data[8];
+    storeLe64(Data, I);
+    Fps.push_back(Fingerprint::ofData(ByteSpan(Data, 8)));
+    Locations.push_back(I);
+  }
+  std::vector<LookupResult> Results(Fps.size());
+  std::vector<FlushEvent> Flushes;
+  for (auto _ : State) {
+    Index.processBatch(Fps, Locations, {}, Pool, Results, Flushes);
+    benchmark::DoNotOptimize(Results);
+    Flushes.clear();
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          static_cast<std::int64_t>(Fps.size()));
+}
+BENCHMARK(BM_IndexBatch)->Arg(1)->Arg(4);
+
+void BM_Chunker(benchmark::State &State) {
+  const ByteVector Data = makeData(1 << 20, 2.0);
+  FixedChunker Fixed(4096);
+  RabinChunker Rabin;
+  FastCdcChunker FastCdc;
+  const Chunker *Chunkers[] = {&Fixed, &Rabin, &FastCdc};
+  const Chunker *Chunker = Chunkers[State.range(0)];
+  for (auto _ : State) {
+    std::vector<ChunkView> Chunks;
+    Chunker->split(ByteSpan(Data.data(), Data.size()), 0, Chunks);
+    benchmark::DoNotOptimize(Chunks);
+  }
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          Data.size());
+  State.SetLabel(Chunker->name());
+}
+BENCHMARK(BM_Chunker)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

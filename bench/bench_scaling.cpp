@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// S1 — CPU-core scaling of the integration choice (extension of
+/// §4(3)): "because hardware specifications may be different on
+/// different platforms, we cannot guarantee that this integration is
+/// always right." The paper ran on 8 hardware threads; this bench
+/// replays the whole integration comparison as the CPU grows, showing
+/// the GPU's advantage eroding until the dummy-I/O calibrator flips
+/// its verdict back to the CPU — the forward-looking reason the
+/// calibration step exists at all.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Calibrator.h"
+
+#include <cstdio>
+
+using namespace padre;
+using namespace padre::bench;
+
+int main() {
+  banner("S1", "integration choice vs CPU core count (extension of "
+               "§4(3))");
+
+  std::printf("%10s %12s %12s %12s %12s %16s\n", "threads", "cpu-only",
+              "gpu-dedup", "gpu-comp", "gpu-both", "calibrator picks");
+  for (unsigned Threads : {4u, 8u, 16u, 32u, 64u}) {
+    Platform Plat = Platform::paper();
+    Plat.Model.Cpu.Threads = Threads;
+
+    double Iops[PipelineModeCount];
+    for (unsigned Mode = 0; Mode < PipelineModeCount; ++Mode) {
+      RunSpec Spec;
+      Spec.Mode = static_cast<PipelineMode>(Mode);
+      Iops[Mode] = runSpec(Plat, Spec).ThroughputIops;
+    }
+    CalibratorConfig CalConfig;
+    CalConfig.Base.Dedup.Index.BinBits = 8;
+    const CalibrationResult Verdict = calibrate(Plat, CalConfig);
+    std::printf("%10u %11.1fK %11.1fK %11.1fK %11.1fK %16s\n", Threads,
+                Iops[0] / 1e3, Iops[1] / 1e3, Iops[2] / 1e3,
+                Iops[3] / 1e3, pipelineModeName(Verdict.BestMode));
+  }
+
+  std::printf("\nexpected shape: at the paper's 8 threads the GPU "
+              "carries compression\n(+~90%%); as cores grow the CPU "
+              "pool absorbs compression itself and the\nGPU's fixed "
+              "kernel economics stop paying — the calibrator flips to\n"
+              "cpu-only, which is precisely why it probes instead of "
+              "hard-coding.\n");
+  return 0;
+}

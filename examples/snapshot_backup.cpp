@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Snapshot-based backup workflow on a deduplicated volume: the
+/// operational pattern primary storage arrays sell — frequent
+/// near-free snapshots, divergence-priced retention, scrub-verified
+/// integrity, and point-in-time restore.
+///
+/// Day 0: provision a volume and load a dataset.
+/// Days 1..3: take a snapshot, then mutate part of the working set.
+/// Then: restore a file from an old snapshot, scrub, retire the oldest
+/// snapshots, and show how space tracks divergence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/TraceRunner.h"
+#include "core/Volume.h"
+#include "persist/VolumeImage.h"
+#include "workload/Trace.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace padre;
+
+namespace {
+
+constexpr std::size_t BlockSize = 4096;
+constexpr std::uint64_t VolumeBlocks = 2048;
+
+/// Writes `Blocks` blocks of day-specific content at `Lba`.
+void writeRegion(Volume &Vol, std::uint64_t Lba, std::uint64_t Blocks,
+                 std::uint64_t DayTag) {
+  ByteVector Data(Blocks * BlockSize);
+  for (std::uint64_t I = 0; I < Blocks; ++I)
+    fillTraceBlock(DayTag * 100000 + Lba + I,
+                   MutableByteSpan(Data.data() + I * BlockSize, BlockSize));
+  if (!Vol.writeBlocks(Lba, ByteSpan(Data.data(), Data.size()))) {
+    std::fprintf(stderr, "error: write rejected\n");
+    std::exit(1);
+  }
+}
+
+void printSpace(const Volume &Vol, const char *When) {
+  const VolumeStats Stats = Vol.stats();
+  std::printf("  %-28s mapped=%4llu  live chunks=%4llu  physical=%s  "
+              "snapshots=%llu\n",
+              When, static_cast<unsigned long long>(Stats.MappedBlocks),
+              static_cast<unsigned long long>(Stats.LiveChunks),
+              formatSize(Stats.PhysicalBytes).c_str(),
+              static_cast<unsigned long long>(Stats.Snapshots));
+}
+
+} // namespace
+
+int main() {
+  PipelineConfig Config;
+  Config.Mode = PipelineMode::GpuCompress; // the paper's winner
+  Config.Dedup.Index.BinBits = 10;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = VolumeBlocks;
+  Volume Vol(Pipeline, VolConfig);
+
+  // Day 0: initial dataset (1024 blocks = 4 MiB working set).
+  writeRegion(Vol, 0, 1024, /*DayTag=*/0);
+  printSpace(Vol, "day 0 (initial load)");
+
+  // Days 1..3: snapshot, then mutate an eighth of the working set.
+  std::vector<Volume::SnapshotId> Backups;
+  for (std::uint64_t Day = 1; Day <= 3; ++Day) {
+    Backups.push_back(Vol.createSnapshot());
+    writeRegion(Vol, (Day - 1) * 128, 128, Day);
+    Vol.collectGarbage();
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "day %llu (after changes)",
+                  static_cast<unsigned long long>(Day));
+    printSpace(Vol, Label);
+  }
+
+  // Point-in-time restore: block 0 as of the day-1 backup (before the
+  // day-1 changes overwrote it) back onto a spare region.
+  const auto OldBlock = Vol.readSnapshotBlocks(Backups[0], 0, 1);
+  if (!OldBlock) {
+    std::fprintf(stderr, "error: snapshot read failed\n");
+    return 1;
+  }
+  ByteVector Day0Expected(BlockSize);
+  fillTraceBlock(0 * 100000 + 0, MutableByteSpan(Day0Expected.data(),
+                                               BlockSize));
+  if (*OldBlock != Day0Expected) {
+    std::fprintf(stderr, "error: snapshot content mismatch\n");
+    return 1;
+  }
+  Vol.writeBlocks(1500, ByteSpan(OldBlock->data(), OldBlock->size()));
+  std::printf("\nrestored block 0 from the day-1 backup to LBA 1500 "
+              "(verified)\n");
+
+  // Integrity: scrub every chunk the volume tracks.
+  const Volume::ScrubReport Scrub = Vol.scrub();
+  std::printf("scrub: %llu chunks scanned, %llu corrupt\n",
+              static_cast<unsigned long long>(Scrub.ChunksScanned),
+              static_cast<unsigned long long>(Scrub.CorruptChunks));
+  if (Scrub.CorruptChunks != 0)
+    return 1;
+
+  // Retention: retire the two oldest backups; space returns as the
+  // exclusively-referenced day-0 chunks die.
+  Vol.deleteSnapshot(Backups[0]);
+  Vol.deleteSnapshot(Backups[1]);
+  const std::size_t Freed = Vol.collectGarbage();
+  char Label[48];
+  std::snprintf(Label, sizeof(Label), "after retiring 2 backups (%zu "
+                "chunks freed)", Freed);
+  printSpace(Vol, Label);
+
+  std::printf("\ntakeaway: snapshots on a deduplicated volume cost only "
+              "the divergence\nsince the snapshot — retention policy is "
+              "a space/history dial, not a full-copy tax.\n");
+  return 0;
+}

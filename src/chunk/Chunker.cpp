@@ -1,0 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-line virtual anchor for the Chunker hierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "chunk/Chunker.h"
+
+using namespace padre;
+
+Chunker::~Chunker() = default;

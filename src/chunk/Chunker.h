@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chunking stage: breaking a data stream into the chunks that are
+/// the unit of deduplication and compression (§2 "Chunking is the
+/// process of breaking a data stream into chunks"). The paper's primary
+/// storage target uses fixed-size chunks (4 KiB write granularity);
+/// content-defined chunkers are provided as extensions for file-backed
+/// streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_CHUNK_CHUNKER_H
+#define PADRE_CHUNK_CHUNKER_H
+
+#include "util/Bytes.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace padre {
+
+/// A chunk within a stream: a byte view plus its stream offset. Views
+/// alias the caller's stream buffer and are valid only while it lives.
+struct ChunkView {
+  ByteSpan Data;
+  std::uint64_t StreamOffset = 0;
+};
+
+/// Abstract chunking strategy.
+class Chunker {
+public:
+  virtual ~Chunker();
+
+  /// Splits \p Stream into chunks appended to \p Out. \p BaseOffset is
+  /// the stream offset of `Stream[0]` (recorded in each ChunkView). The
+  /// concatenation of the produced views always equals \p Stream.
+  virtual void split(ByteSpan Stream, std::uint64_t BaseOffset,
+                     std::vector<ChunkView> &Out) const = 0;
+
+  /// Strategy name for reports ("fixed", "rabin", "fastcdc").
+  virtual const char *name() const = 0;
+
+  /// The nominal (target/average) chunk size in bytes.
+  virtual std::size_t nominalChunkSize() const = 0;
+};
+
+} // namespace padre
+
+#endif // PADRE_CHUNK_CHUNKER_H

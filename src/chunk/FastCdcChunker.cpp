@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FastCDC-style chunker implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "chunk/FastCdcChunker.h"
+
+#include "util/Random.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace padre;
+
+static std::uint64_t maskWithBits(unsigned Bits) {
+  assert(Bits >= 1 && Bits < 64 && "Mask bits out of range");
+  // Spread mask bits across the upper word (gear hashes mix new bytes
+  // into the low bits first; the high bits carry the most history).
+  std::uint64_t Mask = 0;
+  for (unsigned I = 0; I < Bits; ++I)
+    Mask |= 1ULL << (63 - I * 2);
+  return Mask;
+}
+
+FastCdcChunker::FastCdcChunker(const FastCdcConfig &Config) : Config(Config) {
+  assert(Config.MinSize > 0 && Config.MinSize <= Config.AvgSize &&
+         Config.AvgSize <= Config.MaxSize && "Invalid CDC size bounds");
+
+  const unsigned AvgBits =
+      std::bit_width(static_cast<std::uint64_t>(Config.AvgSize)) - 1;
+  const unsigned Norm = Config.NormalizationBits;
+  StrictMask = maskWithBits(AvgBits + Norm);
+  LooseMask = maskWithBits(AvgBits > Norm ? AvgBits - Norm : 1);
+
+  Random Rng(Config.Seed);
+  for (std::uint64_t &Entry : GearTable)
+    Entry = Rng.nextU64();
+}
+
+std::size_t FastCdcChunker::findBoundary(ByteSpan Stream,
+                                         std::size_t Begin) const {
+  const std::size_t Remaining = Stream.size() - Begin;
+  if (Remaining <= Config.MinSize)
+    return Stream.size();
+  const std::size_t Limit = std::min(Remaining, Config.MaxSize);
+  const std::size_t Normal = std::min(Remaining, Config.AvgSize);
+
+  std::uint64_t Hash = 0;
+  std::size_t I = Config.MinSize;
+  // Phase 1: strict mask up to the target size (suppresses early cuts).
+  for (; I < Normal; ++I) {
+    Hash = (Hash << 1) + GearTable[Stream[Begin + I]];
+    if ((Hash & StrictMask) == 0)
+      return Begin + I + 1;
+  }
+  // Phase 2: loose mask up to MaxSize (encourages a cut before clamp).
+  for (; I < Limit; ++I) {
+    Hash = (Hash << 1) + GearTable[Stream[Begin + I]];
+    if ((Hash & LooseMask) == 0)
+      return Begin + I + 1;
+  }
+  return Begin + Limit;
+}
+
+void FastCdcChunker::split(ByteSpan Stream, std::uint64_t BaseOffset,
+                           std::vector<ChunkView> &Out) const {
+  std::size_t Begin = 0;
+  while (Begin < Stream.size()) {
+    const std::size_t End = findBoundary(Stream, Begin);
+    assert(End > Begin && End <= Stream.size() &&
+           "Chunker must make progress within the stream");
+    Out.push_back(ChunkView{Stream.subspan(Begin, End - Begin),
+                            BaseOffset + Begin});
+    Begin = End;
+  }
+}

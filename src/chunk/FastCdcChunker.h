@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FastCDC-style gear-hash content-defined chunking (extension).
+/// Uses a one-table "gear" rolling hash and normalized chunking: a
+/// stricter mask before the target size and a looser mask after it,
+/// which concentrates the chunk-size distribution around the target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_CHUNK_FASTCDCCHUNKER_H
+#define PADRE_CHUNK_FASTCDCCHUNKER_H
+
+#include "chunk/Chunker.h"
+
+#include <array>
+
+namespace padre {
+
+/// Configuration for FastCDC. Sizes must satisfy
+/// `0 < MinSize <= AvgSize <= MaxSize`.
+struct FastCdcConfig {
+  std::size_t MinSize = 2048;
+  std::size_t AvgSize = 8192;
+  std::size_t MaxSize = 65536;
+  std::uint64_t Seed = 0x6A09E667F3BCC908ULL;
+  /// Normalization level: how many extra mask bits are required before
+  /// the target size (and relaxed after it).
+  unsigned NormalizationBits = 2;
+};
+
+/// Gear-hash normalized content-defined chunker.
+class FastCdcChunker : public Chunker {
+public:
+  explicit FastCdcChunker(const FastCdcConfig &Config = FastCdcConfig());
+
+  void split(ByteSpan Stream, std::uint64_t BaseOffset,
+             std::vector<ChunkView> &Out) const override;
+  const char *name() const override { return "fastcdc"; }
+  std::size_t nominalChunkSize() const override { return Config.AvgSize; }
+
+private:
+  std::size_t findBoundary(ByteSpan Stream, std::size_t Begin) const;
+
+  FastCdcConfig Config;
+  std::uint64_t StrictMask; ///< used before AvgSize
+  std::uint64_t LooseMask;  ///< used after AvgSize
+  std::array<std::uint64_t, 256> GearTable;
+};
+
+} // namespace padre
+
+#endif // PADRE_CHUNK_FASTCDCCHUNKER_H

@@ -1,0 +1,25 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size chunker implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "chunk/FixedChunker.h"
+
+#include <cassert>
+
+using namespace padre;
+
+FixedChunker::FixedChunker(std::size_t ChunkSize) : ChunkSize(ChunkSize) {
+  assert(ChunkSize > 0 && "Chunk size must be nonzero");
+}
+
+void FixedChunker::split(ByteSpan Stream, std::uint64_t BaseOffset,
+                         std::vector<ChunkView> &Out) const {
+  for (std::size_t Offset = 0; Offset < Stream.size(); Offset += ChunkSize) {
+    const std::size_t Length = std::min(ChunkSize, Stream.size() - Offset);
+    Out.push_back(
+        ChunkView{Stream.subspan(Offset, Length), BaseOffset + Offset});
+  }
+}

@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size chunking — the paper's configuration: primary storage
+/// writes arrive in block-sized units, so chunk boundaries are simply
+/// block boundaries (4 KiB for the compression path, §3.2; the §2 memory
+/// sizing example uses 8 KiB).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_CHUNK_FIXEDCHUNKER_H
+#define PADRE_CHUNK_FIXEDCHUNKER_H
+
+#include "chunk/Chunker.h"
+
+namespace padre {
+
+/// Splits a stream into consecutive chunks of exactly `ChunkSize` bytes
+/// (the final chunk may be shorter).
+class FixedChunker : public Chunker {
+public:
+  /// \p ChunkSize must be nonzero.
+  explicit FixedChunker(std::size_t ChunkSize);
+
+  void split(ByteSpan Stream, std::uint64_t BaseOffset,
+             std::vector<ChunkView> &Out) const override;
+  const char *name() const override { return "fixed"; }
+  std::size_t nominalChunkSize() const override { return ChunkSize; }
+
+private:
+  std::size_t ChunkSize;
+};
+
+} // namespace padre
+
+#endif // PADRE_CHUNK_FIXEDCHUNKER_H

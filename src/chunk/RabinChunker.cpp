@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rabin-style rolling-hash content-defined chunker. A multiplicative
+/// rolling hash over a fixed window stands in for the classical
+/// irreducible-polynomial Rabin fingerprint; both yield uniformly
+/// distributed window hashes, which is the only property CDC needs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "chunk/RabinChunker.h"
+
+#include "util/Random.h"
+
+#include <cassert>
+
+using namespace padre;
+
+// Odd multiplier for the rolling hash (any odd constant with good bit
+// dispersion works; this is the golden-ratio constant).
+static constexpr std::uint64_t HashBase = 0x9E3779B97F4A7C15ULL;
+
+static std::uint64_t roundUpPow2(std::uint64_t Value) {
+  std::uint64_t Result = 1;
+  while (Result < Value)
+    Result <<= 1;
+  return Result;
+}
+
+RabinChunker::RabinChunker(const RabinConfig &Config) : Config(Config) {
+  assert(Config.MinSize > 0 && Config.MinSize <= Config.AvgSize &&
+         Config.AvgSize <= Config.MaxSize && "Invalid CDC size bounds");
+  assert(Config.WindowSize >= 4 && Config.WindowSize <= Config.MinSize &&
+         "Window must fit inside the minimum chunk");
+
+  // A boundary is only tested after MinSize bytes, so aim the geometric
+  // gap at (Avg - Min) to make the mean land near Avg.
+  const std::uint64_t Target =
+      std::max<std::uint64_t>(1, Config.AvgSize - Config.MinSize);
+  BoundaryMask = roundUpPow2(Target) - 1;
+
+  Random Rng(Config.Seed);
+  for (std::uint64_t &Entry : PushTable)
+    Entry = Rng.nextU64();
+
+  // PopTable[b] = PushTable[b] * HashBase^(WindowSize-1): the term byte b
+  // contributes once it is the oldest byte in the window.
+  std::uint64_t Power = 1;
+  for (std::size_t I = 1; I < Config.WindowSize; ++I)
+    Power *= HashBase;
+  for (unsigned B = 0; B < 256; ++B)
+    PopTable[B] = PushTable[B] * Power;
+}
+
+std::size_t RabinChunker::findBoundary(ByteSpan Stream,
+                                       std::size_t Begin) const {
+  const std::size_t Remaining = Stream.size() - Begin;
+  if (Remaining <= Config.MinSize)
+    return Stream.size();
+  const std::size_t Limit = std::min(Remaining, Config.MaxSize);
+
+  // Prime the window over the WindowSize bytes that end at MinSize.
+  std::uint64_t Hash = 0;
+  const std::size_t WarmupBegin = Config.MinSize - Config.WindowSize;
+  for (std::size_t I = WarmupBegin; I < Config.MinSize; ++I)
+    Hash = Hash * HashBase + PushTable[Stream[Begin + I]];
+
+  for (std::size_t I = Config.MinSize; I < Limit; ++I) {
+    if ((Hash & BoundaryMask) == BoundaryMask)
+      return Begin + I;
+    // Slide: drop the oldest byte, append the next one.
+    Hash -= PopTable[Stream[Begin + I - Config.WindowSize]];
+    Hash = Hash * HashBase + PushTable[Stream[Begin + I]];
+  }
+  return Begin + Limit;
+}
+
+void RabinChunker::split(ByteSpan Stream, std::uint64_t BaseOffset,
+                         std::vector<ChunkView> &Out) const {
+  std::size_t Begin = 0;
+  while (Begin < Stream.size()) {
+    const std::size_t End = findBoundary(Stream, Begin);
+    assert(End > Begin && "Chunker must make progress");
+    Out.push_back(ChunkView{Stream.subspan(Begin, End - Begin),
+                            BaseOffset + Begin});
+    Begin = End;
+  }
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-defined chunking with a Rabin rolling fingerprint
+/// (extension; the paper uses fixed-size chunks). Boundaries are placed
+/// where the rolling hash over a sliding window matches a target value
+/// under a mask, with min/max chunk size clamps — shift-resistant
+/// boundaries for file-backed streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_CHUNK_RABINCHUNKER_H
+#define PADRE_CHUNK_RABINCHUNKER_H
+
+#include "chunk/Chunker.h"
+
+#include <array>
+
+namespace padre {
+
+/// Configuration for Rabin CDC. Sizes must satisfy
+/// `0 < MinSize <= AvgSize <= MaxSize`; AvgSize must be a power of two
+/// (it determines the boundary mask).
+struct RabinConfig {
+  std::size_t MinSize = 2048;
+  std::size_t AvgSize = 4096;
+  std::size_t MaxSize = 16384;
+  std::size_t WindowSize = 48;
+  std::uint64_t Seed = 0x9B97F4A7C15ULL;
+};
+
+/// Rabin rolling-hash content-defined chunker.
+class RabinChunker : public Chunker {
+public:
+  explicit RabinChunker(const RabinConfig &Config = RabinConfig());
+
+  void split(ByteSpan Stream, std::uint64_t BaseOffset,
+             std::vector<ChunkView> &Out) const override;
+  const char *name() const override { return "rabin"; }
+  std::size_t nominalChunkSize() const override { return Config.AvgSize; }
+
+private:
+  /// Finds the end of the next chunk starting at `Stream[Begin]`.
+  std::size_t findBoundary(ByteSpan Stream, std::size_t Begin) const;
+
+  RabinConfig Config;
+  std::uint64_t BoundaryMask;
+  // Rolling-hash tables: PushTable mixes an incoming byte, PopTable
+  // removes the byte leaving the window (precomputed byte^degree term).
+  std::array<std::uint64_t, 256> PushTable;
+  std::array<std::uint64_t, 256> PopTable;
+};
+
+} // namespace padre
+
+#endif // PADRE_CHUNK_RABINCHUNKER_H

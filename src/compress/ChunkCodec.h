@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Method-dispatching chunk encode/decode helpers shared by the
+/// compression engine and the chunk store: one place that knows how
+/// every BlockMethod's payload maps back to chunk bytes, and how the
+/// optional Huffman entropy stage wraps an LZ token stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_COMPRESS_CHUNKCODEC_H
+#define PADRE_COMPRESS_CHUNKCODEC_H
+
+#include "compress/Block.h"
+
+#include <optional>
+
+namespace padre {
+
+/// Decodes \p View (any method) into exactly `View.OriginalSize` chunk
+/// bytes appended to \p Out. Returns false on malformed payloads.
+bool decodeChunkPayload(const BlockView &View, ByteVector &Out);
+
+/// Applies the entropy stage to an LZ token stream: returns the LzHuff
+/// payload (`[u32 token bytes][huffman bits]`) when it is smaller than
+/// the plain tokens, nullopt otherwise.
+std::optional<ByteVector> entropyEncodeTokens(ByteSpan Tokens);
+
+} // namespace padre
+
+#endif // PADRE_COMPRESS_CHUNKCODEC_H

@@ -1,0 +1,251 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical Huffman implementation: heap-built code lengths with
+/// Kraft-sum length limiting, canonical code assignment, LSB-first
+/// bit-reversed emission (the Deflate convention) and a
+/// first-code-per-length decoder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/Huffman.h"
+
+#include "compress/BitStream.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <queue>
+#include <vector>
+
+using namespace padre;
+
+namespace {
+
+/// Computes length-limited Huffman code lengths for the 256 byte
+/// symbols from \p Frequencies (zero frequency -> length 0).
+std::array<std::uint8_t, 256>
+buildCodeLengths(const std::array<std::uint32_t, 256> &Frequencies) {
+  std::array<std::uint8_t, 256> Lengths{};
+
+  struct Node {
+    std::uint64_t Weight;
+    int Left = -1, Right = -1;
+    int Symbol = -1;
+  };
+  std::vector<Node> Nodes;
+  auto Compare = [&Nodes](int A, int B) {
+    // Tie-break on node index for determinism.
+    if (Nodes[A].Weight != Nodes[B].Weight)
+      return Nodes[A].Weight > Nodes[B].Weight;
+    return A > B;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(Compare)> Heap(
+      Compare);
+
+  for (int Symbol = 0; Symbol < 256; ++Symbol) {
+    if (Frequencies[Symbol] == 0)
+      continue;
+    Nodes.push_back(Node{Frequencies[Symbol], -1, -1, Symbol});
+    Heap.push(static_cast<int>(Nodes.size()) - 1);
+  }
+  if (Nodes.empty())
+    return Lengths;
+  if (Nodes.size() == 1) {
+    Lengths[Nodes[0].Symbol] = 1;
+    return Lengths;
+  }
+
+  while (Heap.size() > 1) {
+    const int A = Heap.top();
+    Heap.pop();
+    const int B = Heap.top();
+    Heap.pop();
+    Nodes.push_back(Node{Nodes[A].Weight + Nodes[B].Weight, A, B, -1});
+    Heap.push(static_cast<int>(Nodes.size()) - 1);
+  }
+
+  // Depth-first depth assignment (iterative; the tree can be deep for
+  // skewed inputs before limiting).
+  std::vector<std::pair<int, unsigned>> Stack = {{Heap.top(), 0}};
+  while (!Stack.empty()) {
+    const auto [Index, Depth] = Stack.back();
+    Stack.pop_back();
+    const Node &N = Nodes[Index];
+    if (N.Symbol >= 0) {
+      Lengths[N.Symbol] = static_cast<std::uint8_t>(std::max(1u, Depth));
+      continue;
+    }
+    Stack.push_back({N.Left, Depth + 1});
+    Stack.push_back({N.Right, Depth + 1});
+  }
+
+  // Length-limit to HuffmanMaxCodeBits: clamp, then restore the Kraft
+  // inequality sum(2^(Max-l)) <= 2^Max by demoting the shallowest
+  // over-budget symbols.
+  const std::uint32_t Budget = 1u << HuffmanMaxCodeBits;
+  auto KraftSum = [&Lengths] {
+    std::uint64_t Sum = 0;
+    for (std::uint8_t Length : Lengths)
+      if (Length != 0)
+        Sum += 1ull << (HuffmanMaxCodeBits - Length);
+    return Sum;
+  };
+  for (std::uint8_t &Length : Lengths)
+    if (Length > HuffmanMaxCodeBits)
+      Length = HuffmanMaxCodeBits;
+  std::uint64_t Sum = KraftSum();
+  while (Sum > Budget) {
+    // Demote (lengthen) the symbol with the largest length below the
+    // cap — the cheapest Kraft repair.
+    int Victim = -1;
+    for (int Symbol = 0; Symbol < 256; ++Symbol) {
+      const std::uint8_t Length = Lengths[Symbol];
+      if (Length == 0 || Length >= HuffmanMaxCodeBits)
+        continue;
+      if (Victim < 0 || Length > Lengths[Victim])
+        Victim = Symbol;
+    }
+    assert(Victim >= 0 && "Kraft repair ran out of symbols");
+    Sum -= 1ull << (HuffmanMaxCodeBits - Lengths[Victim] - 1);
+    ++Lengths[Victim];
+  }
+  return Lengths;
+}
+
+/// Canonical code tables shared by encoder and decoder.
+struct CanonicalCodes {
+  /// Per symbol: canonical code value (MSB-first) and length.
+  std::array<std::uint16_t, 256> Codes{};
+  std::array<std::uint8_t, 256> Lengths{};
+  /// Per length: first canonical code and symbol-table offset.
+  std::array<std::uint16_t, HuffmanMaxCodeBits + 1> FirstCode{};
+  std::array<std::uint16_t, HuffmanMaxCodeBits + 1> Offset{};
+  std::array<std::uint16_t, HuffmanMaxCodeBits + 1> Count{};
+  /// Symbols sorted by (length, symbol).
+  std::vector<std::uint8_t> SortedSymbols;
+
+  /// Builds the tables; returns false if the lengths violate Kraft.
+  bool build(const std::array<std::uint8_t, 256> &CodeLengths) {
+    Lengths = CodeLengths;
+    Count.fill(0);
+    for (std::uint8_t Length : Lengths) {
+      if (Length > HuffmanMaxCodeBits)
+        return false;
+      if (Length != 0)
+        ++Count[Length];
+    }
+    // Kraft check, first-code and symbol-table-offset assignment.
+    std::uint32_t Code = 0;
+    std::uint16_t RunningOffset = 0;
+    for (unsigned Length = 1; Length <= HuffmanMaxCodeBits; ++Length) {
+      Code = (Code + Count[Length - 1]) << 1;
+      if (static_cast<std::uint64_t>(Code) + Count[Length] >
+          (1ull << Length))
+        return false;
+      FirstCode[Length] = static_cast<std::uint16_t>(Code);
+      Offset[Length] = RunningOffset;
+      RunningOffset = static_cast<std::uint16_t>(RunningOffset +
+                                                 Count[Length]);
+    }
+
+    SortedSymbols.clear();
+    for (unsigned Length = 1; Length <= HuffmanMaxCodeBits; ++Length)
+      for (int Symbol = 0; Symbol < 256; ++Symbol)
+        if (Lengths[Symbol] == Length)
+          SortedSymbols.push_back(static_cast<std::uint8_t>(Symbol));
+
+    // Per-symbol codes.
+    std::array<std::uint16_t, HuffmanMaxCodeBits + 1> Next = FirstCode;
+    for (std::uint8_t Symbol : SortedSymbols)
+      Codes[Symbol] = Next[Lengths[Symbol]]++;
+    return true;
+  }
+};
+
+/// Reverses the low \p Count bits of \p Value.
+std::uint32_t reverseBits(std::uint32_t Value, unsigned Count) {
+  std::uint32_t Result = 0;
+  for (unsigned I = 0; I < Count; ++I) {
+    Result = (Result << 1) | (Value & 1);
+    Value >>= 1;
+  }
+  return Result;
+}
+
+} // namespace
+
+std::optional<ByteVector> padre::huffmanEncode(ByteSpan Data) {
+  if (Data.size() < HuffmanHeaderSize)
+    return std::nullopt; // header alone would dominate
+
+  std::array<std::uint32_t, 256> Frequencies{};
+  for (std::uint8_t Byte : Data)
+    ++Frequencies[Byte];
+
+  const std::array<std::uint8_t, 256> Lengths =
+      buildCodeLengths(Frequencies);
+  CanonicalCodes Tables;
+  if (!Tables.build(Lengths))
+    return std::nullopt;
+
+  ByteVector Out(HuffmanHeaderSize, 0);
+  for (int Symbol = 0; Symbol < 256; ++Symbol)
+    Out[Symbol / 2] |= static_cast<std::uint8_t>(
+        (Lengths[Symbol] & 0xF) << ((Symbol % 2) * 4));
+
+  BitWriter Writer(Out);
+  for (std::uint8_t Byte : Data) {
+    const unsigned Length = Tables.Lengths[Byte];
+    assert(Length != 0 && "Symbol present in data but absent in code");
+    Writer.write(reverseBits(Tables.Codes[Byte], Length), Length);
+    if (Out.size() >= Data.size())
+      return std::nullopt; // already not shrinking; bail early
+  }
+  Writer.finish();
+  if (Out.size() >= Data.size())
+    return std::nullopt;
+  return Out;
+}
+
+bool padre::huffmanDecode(ByteSpan Payload, std::size_t OriginalSize,
+                          ByteVector &Out) {
+  if (Payload.size() < HuffmanHeaderSize)
+    return false;
+  std::array<std::uint8_t, 256> Lengths{};
+  for (int Symbol = 0; Symbol < 256; ++Symbol)
+    Lengths[Symbol] =
+        (Payload[Symbol / 2] >> ((Symbol % 2) * 4)) & 0xF;
+
+  CanonicalCodes Tables;
+  if (!Tables.build(Lengths))
+    return false;
+  if (Tables.SortedSymbols.empty())
+    return OriginalSize == 0;
+
+  const std::size_t OutStart = Out.size();
+  Out.reserve(OutStart + OriginalSize);
+  BitReader Reader(Payload.subspan(HuffmanHeaderSize));
+  for (std::size_t Produced = 0; Produced < OriginalSize; ++Produced) {
+    std::uint32_t Code = 0;
+    unsigned Length = 0;
+    std::uint8_t Symbol = 0;
+    for (;;) {
+      std::uint32_t Bit;
+      if (!Reader.readBit(Bit) || ++Length > HuffmanMaxCodeBits) {
+        Out.resize(OutStart);
+        return false;
+      }
+      Code = (Code << 1) | Bit;
+      const std::uint32_t Index = Code - Tables.FirstCode[Length];
+      if (Code >= Tables.FirstCode[Length] &&
+          Index < Tables.Count[Length]) {
+        Symbol = Tables.SortedSymbols[Tables.Offset[Length] + Index];
+        break;
+      }
+    }
+    Out.push_back(Symbol);
+  }
+  return true;
+}

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical Huffman entropy coding — an optional second stage after
+/// the LZ token pass (extension; LZ+entropy is the classic Deflate
+/// recipe and a natural "future work" step for the paper's pipeline,
+/// trading extra CPU cycles for ratio).
+///
+/// Format: a 128-byte header of 256 nibble-packed code lengths
+/// (canonical codes, max length 15; length 0 = symbol absent) followed
+/// by the LSB-first bitstream. Streams that would not shrink are
+/// reported as nullopt so callers fall back to the plain payload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_COMPRESS_HUFFMAN_H
+#define PADRE_COMPRESS_HUFFMAN_H
+
+#include "util/Bytes.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace padre {
+
+/// Maximum canonical code length (fits a nibble).
+inline constexpr unsigned HuffmanMaxCodeBits = 15;
+/// Size of the code-length header.
+inline constexpr std::size_t HuffmanHeaderSize = 128;
+
+/// Entropy-encodes \p Data. Returns nullopt when encoding would not
+/// shrink the payload (including the header) — callers then keep the
+/// input as-is.
+std::optional<ByteVector> huffmanEncode(ByteSpan Data);
+
+/// Decodes a `huffmanEncode` payload back into exactly \p OriginalSize
+/// bytes appended to \p Out. Returns false (appending nothing) on any
+/// malformed input.
+bool huffmanDecode(ByteSpan Payload, std::size_t OriginalSize,
+                   ByteVector &Out);
+
+} // namespace padre
+
+#endif // PADRE_COMPRESS_HUFFMAN_H

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Calibrator implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibrator.h"
+
+#include "workload/VdbenchStream.h"
+
+#include <cstdio>
+
+using namespace padre;
+
+std::string CalibrationResult::summary() const {
+  std::string Out;
+  char Line[96];
+  for (unsigned I = 0; I < PipelineModeCount; ++I) {
+    const auto Mode = static_cast<PipelineMode>(I);
+    if (ThroughputIops[I] <= 0.0)
+      std::snprintf(Line, sizeof(Line), "  %-12s n/a\n",
+                    pipelineModeName(Mode));
+    else
+      std::snprintf(Line, sizeof(Line), "  %-12s %8.1fK IOPS%s\n",
+                    pipelineModeName(Mode), ThroughputIops[I] / 1e3,
+                    Mode == BestMode ? "  <-- selected" : "");
+    Out += Line;
+  }
+  return Out;
+}
+
+CalibrationResult padre::calibrate(const Platform &Platform,
+                                   const CalibratorConfig &Config) {
+  CalibrationResult Result;
+  double Best = -1.0;
+
+  WorkloadConfig Workload;
+  Workload.BlockSize = Config.Base.ChunkSize;
+  Workload.TotalBytes = Config.DummyBytes;
+  Workload.DedupRatio = Config.DedupRatio;
+  Workload.CompressRatio = Config.CompressRatio;
+  Workload.Seed = Config.Seed;
+  const VdbenchStream Stream(Workload);
+  const ByteVector Data = Stream.generateAll();
+
+  for (unsigned I = 0; I < PipelineModeCount; ++I) {
+    const auto Mode = static_cast<PipelineMode>(I);
+    const bool WantsGpu =
+        modeOffloadsDedup(Mode) || modeOffloadsCompression(Mode);
+    if (WantsGpu && !Platform.Model.Gpu.Present)
+      continue; // infeasible on this platform
+
+    PipelineConfig PipeConfig = Config.Base;
+    PipeConfig.Mode = Mode;
+    ReductionPipeline Pipeline(Platform, PipeConfig);
+    Pipeline.write(ByteSpan(Data.data(), Data.size()));
+    Pipeline.finish();
+    const PipelineReport Report = Pipeline.report();
+    Result.ThroughputIops[I] = Report.ThroughputIops;
+    if (Report.ThroughputIops > Best) {
+      Best = Report.ThroughputIops;
+      Result.BestMode = Mode;
+    }
+  }
+  return Result;
+}

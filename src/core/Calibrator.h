@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dummy-I/O integration calibrator (§4(3)): "because hardware
+/// specifications may be different on different platforms, we cannot
+/// guarantee that this integration is always right. Therefore, before
+/// assigning processors to each data reduction operation, the
+/// performance of these integration methods is compared using dummy
+/// I/O to determine the best fit for throughput."
+///
+/// Each feasible integration mode is probed with a short synthetic
+/// stream on a fresh pipeline; the mode with the highest modelled
+/// compute throughput wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_CORE_CALIBRATOR_H
+#define PADRE_CORE_CALIBRATOR_H
+
+#include "core/ReductionPipeline.h"
+
+#include <array>
+#include <string>
+
+namespace padre {
+
+/// Outcome of a calibration probe.
+struct CalibrationResult {
+  PipelineMode BestMode = PipelineMode::CpuOnly;
+  /// Modelled IOPS per mode; 0 for modes infeasible on the platform.
+  std::array<double, PipelineModeCount> ThroughputIops{};
+
+  /// One line per mode plus the verdict.
+  std::string summary() const;
+};
+
+/// Calibration probe parameters.
+struct CalibratorConfig {
+  /// Dummy-stream size; small on purpose — this runs at mount time.
+  std::uint64_t DummyBytes = 8ull << 20;
+  double DedupRatio = 2.0;
+  double CompressRatio = 2.0;
+  std::uint64_t Seed = 7;
+  /// Pipeline knobs shared by every probed mode.
+  PipelineConfig Base;
+};
+
+/// Probes every feasible integration mode on \p Platform and picks the
+/// fastest.
+CalibrationResult calibrate(const Platform &Platform,
+                            const CalibratorConfig &Config =
+                                CalibratorConfig());
+
+} // namespace padre
+
+#endif // PADRE_CORE_CALIBRATOR_H

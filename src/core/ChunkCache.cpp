@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chunk cache implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ChunkCache.h"
+
+#include <cassert>
+
+using namespace padre;
+
+ChunkCache::ChunkCache(std::size_t CapacityBytes)
+    : CapacityBytes(CapacityBytes) {
+  assert(CapacityBytes > 0 && "Zero-capacity cache");
+}
+
+std::optional<ByteVector> ChunkCache::get(std::uint64_t Location) {
+  const auto It = Map.find(Location);
+  if (It == Map.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  // Promote to most-recently-used.
+  Lru.splice(Lru.begin(), Lru, It->second);
+  return It->second->Chunk;
+}
+
+void ChunkCache::put(std::uint64_t Location, ByteVector Chunk) {
+  if (Chunk.size() > CapacityBytes)
+    return; // would evict everything for one entry
+  const auto It = Map.find(Location);
+  if (It != Map.end()) {
+    CachedBytes -= It->second->Chunk.size();
+    CachedBytes += Chunk.size();
+    It->second->Chunk = std::move(Chunk);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    evictToFit(0);
+    return;
+  }
+  evictToFit(Chunk.size());
+  CachedBytes += Chunk.size();
+  Lru.push_front(Entry{Location, std::move(Chunk)});
+  Map[Location] = Lru.begin();
+}
+
+void ChunkCache::invalidate(std::uint64_t Location) {
+  const auto It = Map.find(Location);
+  if (It == Map.end())
+    return;
+  CachedBytes -= It->second->Chunk.size();
+  Lru.erase(It->second);
+  Map.erase(It);
+}
+
+void ChunkCache::clear() {
+  Lru.clear();
+  Map.clear();
+  CachedBytes = 0;
+}
+
+void ChunkCache::evictToFit(std::size_t NeededBytes) {
+  while (CachedBytes + NeededBytes > CapacityBytes && !Lru.empty()) {
+    const Entry &Victim = Lru.back();
+    CachedBytes -= Victim.Chunk.size();
+    Map.erase(Victim.Location);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}

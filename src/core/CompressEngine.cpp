@@ -1,0 +1,182 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compression engine implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CompressEngine.h"
+
+#include "compress/Block.h"
+#include "compress/ChunkCodec.h"
+
+#include <cassert>
+
+using namespace padre;
+
+CompressEngine::CompressEngine(const CostModel &Model,
+                               ResourceLedger &Ledger, ThreadPool &Pool,
+                               GpuDevice *Device,
+                               const CompressEngineConfig &Config)
+    : Model(Model), Ledger(Ledger), Pool(Pool), Device(Device),
+      Config(Config), CpuCodec(Config.CpuMatcher, Config.CpuOptions),
+      LaneCompressor(Config.Lanes) {
+  assert(isValidCostModel(Model) && "Invalid cost model");
+  if (Config.Backend == CompressBackend::GpuLane)
+    assert(Device && Device->present() &&
+           "GPU compression requested without a GPU");
+}
+
+void CompressEngine::compressBatch(std::span<const ChunkView> Chunks,
+                                   std::vector<CompressedChunk> &Out) {
+  Out.assign(Chunks.size(), CompressedChunk());
+  if (Chunks.empty())
+    return;
+  if (Config.Backend == CompressBackend::Cpu)
+    compressBatchCpu(Chunks, Out);
+  else
+    compressBatchGpu(Chunks, Out);
+}
+
+void CompressEngine::compressBatchCpu(std::span<const ChunkView> Chunks,
+                                      std::vector<CompressedChunk> &Out) {
+  // One codec call per chunk, chunk-parallel across the pool (§3.2(1)).
+  Pool.parallelForSlices(
+      0, Chunks.size(),
+      [&](std::size_t Begin, std::size_t End, unsigned) {
+        double Micros = 0.0;
+        std::uint64_t Raw = 0;
+        for (std::size_t I = Begin; I < End; ++I) {
+          const ByteSpan Data = Chunks[I].Data;
+          CompressResult Result = CpuCodec.compress(Data);
+          const double CompressUs = Model.cpuCompressUs(
+              Result.Stats.LiteralBytes, Result.Stats.MatchBytes);
+          Micros += CompressUs;
+          CompressedChunk &Chunk = Out[I];
+          Chunk.LatencyUs = CompressUs;
+          Chunk.Stats = Result.Stats;
+          if (Result.Payload.size() >= Data.size()) {
+            Chunk.StoredRaw = true;
+            ++Raw;
+            Chunk.Block = encodeBlock(
+                BlockMethod::Raw, static_cast<std::uint32_t>(Data.size()),
+                Data);
+            continue;
+          }
+          // Optional entropy stage over the token stream.
+          if (Config.EntropyStage) {
+            const double HuffUs = Model.Cpu.HuffmanPerByteNs * 1e-3 *
+                                  static_cast<double>(Result.Payload.size());
+            Micros += HuffUs;
+            Chunk.LatencyUs += HuffUs;
+            if (auto Entropy = entropyEncodeTokens(ByteSpan(
+                    Result.Payload.data(), Result.Payload.size()))) {
+              Chunk.Block = encodeBlock(
+                  BlockMethod::LzHuff,
+                  static_cast<std::uint32_t>(Data.size()),
+                  ByteSpan(Entropy->data(), Entropy->size()));
+              continue;
+            }
+          }
+          Chunk.Block = encodeBlock(
+              Config.CpuMatcher == LzCodec::MatcherKind::HashChain
+                  ? BlockMethod::Lz77
+                  : BlockMethod::QuickLz,
+              static_cast<std::uint32_t>(Data.size()),
+              ByteSpan(Result.Payload.data(), Result.Payload.size()));
+        }
+        Ledger.chargeMicros(Resource::CpuPool, Micros);
+        RawFallbacks.fetch_add(Raw, std::memory_order_relaxed);
+      });
+}
+
+void CompressEngine::compressBatchGpu(std::span<const ChunkView> Chunks,
+                                      std::vector<CompressedChunk> &Out) {
+  assert(Device && "GPU backend without device");
+  const std::size_t SubBatch = Model.Gpu.CompressBatchChunks;
+  std::vector<LaneOutputs> DeviceResults(Chunks.size());
+
+  for (std::size_t Begin = 0; Begin < Chunks.size(); Begin += SubBatch) {
+    const std::size_t End = std::min(Chunks.size(), Begin + SubBatch);
+
+    // Host -> device: the chunk payloads.
+    std::size_t InBytes = 0;
+    for (std::size_t I = Begin; I < End; ++I)
+      InBytes += Chunks[I].Data.size();
+    Device->transferToDevice(InBytes);
+
+    // Run the lane kernels functionally first; their per-lane outcomes
+    // determine the kernel's modelled execution time under the SIMT
+    // lockstep rule: every chunk costs lanes x its slowest lane
+    // (§3.1(2) — branching lanes do not finish early).
+    double ExecMicros = 0.0;
+    for (std::size_t I = Begin; I < End; ++I) {
+      DeviceResults[I] = LaneCompressor.runLanes(Chunks[I].Data);
+      double SlowestLane = 0.0;
+      for (const CompressResult &Lane : DeviceResults[I].LaneResults)
+        SlowestLane = std::max(
+            SlowestLane, Model.gpuLaneUs(Lane.Stats.LiteralBytes,
+                                         Lane.Stats.MatchBytes));
+      ExecMicros += SlowestLane *
+                    static_cast<double>(DeviceResults[I].LaneResults.size());
+    }
+
+    // The lane-parallel kernel over the whole sub-batch ("we design a
+    // compression algorithm that computes the chunk compression
+    // results at a time", §3.2(2)).
+    Device->launchKernel(KernelFamily::Compression, ExecMicros, nullptr);
+
+    // Device -> host: the unrefined per-lane token streams.
+    std::size_t OutBytes = 0;
+    for (std::size_t I = Begin; I < End; ++I)
+      OutBytes += DeviceResults[I].totalPayloadBytes();
+    Device->transferFromDevice(OutBytes);
+
+    // Every chunk in the sub-batch waits for the whole kernel round
+    // trip before its CPU refinement can start.
+    const double Penalty =
+        Device->mixedMode() ? Model.Gpu.MixedKernelPenalty : 1.0;
+    const double RoundTripUs = Model.pcieTransferUs(InBytes) +
+                               (Model.Gpu.LaunchUs + ExecMicros) * Penalty +
+                               Model.pcieTransferUs(OutBytes);
+
+    // CPU post-processing across the pool (§3.2(2)-(3): "the GPU
+    // performs compression and the CPU is used for refinement").
+    Pool.parallelForSlices(
+        Begin, End,
+        [&](std::size_t SliceBegin, std::size_t SliceEnd, unsigned) {
+          double Micros = 0.0;
+          std::uint64_t Raw = 0;
+          for (std::size_t I = SliceBegin; I < SliceEnd; ++I) {
+            RefinedChunk Refined = GpuLaneCompressor::refine(
+                DeviceResults[I], Chunks[I].Data);
+            const double PostUs = Model.cpuPostprocessUs(
+                Refined.Block.size() - BlockHeaderSize, Refined.StoredRaw);
+            Micros += PostUs;
+            Out[I].LatencyUs = RoundTripUs + PostUs;
+            if (Refined.StoredRaw)
+              ++Raw;
+            // Optional entropy stage: part of post-processing here.
+            if (Config.EntropyStage && !Refined.StoredRaw) {
+              const ByteSpan Tokens(Refined.Block.data() + BlockHeaderSize,
+                                    Refined.Block.size() - BlockHeaderSize);
+              const double HuffUs =
+                  Model.Cpu.HuffmanPerByteNs * 1e-3 *
+                  static_cast<double>(Tokens.size());
+              Micros += HuffUs;
+              Out[I].LatencyUs += HuffUs;
+              if (auto Entropy = entropyEncodeTokens(Tokens))
+                Refined.Block = encodeBlock(
+                    BlockMethod::LzHuff,
+                    static_cast<std::uint32_t>(Chunks[I].Data.size()),
+                    ByteSpan(Entropy->data(), Entropy->size()));
+            }
+            Out[I].Block = std::move(Refined.Block);
+            Out[I].Stats = Refined.Stats;
+            Out[I].StoredRaw = Refined.StoredRaw;
+          }
+          Ledger.chargeMicros(Resource::CpuPool, Micros);
+          RawFallbacks.fetch_add(Raw, std::memory_order_relaxed);
+        });
+  }
+}

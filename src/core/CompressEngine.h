@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel compression engine (§3.2). Two backends:
+///
+///   * Cpu — "the compute is parallelized by the CPU by assigning a
+///     computing thread that runs the previously studied compression
+///     algorithm to each chunk": one QuickLZ-class codec call per chunk
+///     across the pool.
+///   * GpuLane — the paper's design: chunks are batched to the device,
+///     each chunk is compressed by multiple lanes with overlapping
+///     history windows, and "the GPU's compression results are not
+///     refined in GPU due to performance issues. Therefore, the CPU
+///     must refine the results" — the CPU post-processing stage runs on
+///     the pool after each kernel.
+///
+/// Both backends fall back to store-raw when compression does not pay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_CORE_COMPRESSENGINE_H
+#define PADRE_CORE_COMPRESSENGINE_H
+
+#include "chunk/Chunker.h"
+#include "compress/GpuLaneCompressor.h"
+#include "compress/LzCodec.h"
+#include "gpu/GpuDevice.h"
+#include "sim/CostModel.h"
+#include "sim/ResourceLedger.h"
+#include "util/ThreadPool.h"
+
+#include <atomic>
+#include <span>
+#include <vector>
+
+namespace padre {
+
+/// Which hardware runs the LZ scan.
+enum class CompressBackend { Cpu, GpuLane };
+
+/// One compressed chunk ready for destage.
+struct CompressedChunk {
+  ByteVector Block; ///< encoded block (compress/Block.h)
+  CompressStats Stats;
+  bool StoredRaw = false;
+  /// Modelled service latency of this chunk's compression stage in
+  /// microseconds. The GPU backend batches chunks per kernel, so every
+  /// chunk waits for its whole sub-batch round trip — deeper batching
+  /// buys throughput at the price of latency.
+  double LatencyUs = 0.0;
+};
+
+/// Engine configuration.
+struct CompressEngineConfig {
+  CompressBackend Backend = CompressBackend::Cpu;
+  /// CPU matcher; SingleProbe is the QuickLZ-class default.
+  LzCodec::MatcherKind CpuMatcher = LzCodec::MatcherKind::SingleProbe;
+  LzOptions CpuOptions;
+  GpuLaneConfig Lanes;
+  /// Optional Huffman entropy stage over the LZ token stream
+  /// (extension): extra CPU cycles for extra ratio. Applied on the CPU
+  /// in both backends (for GpuLane it is part of post-processing).
+  bool EntropyStage = false;
+};
+
+/// The compression stage. One batch at a time; parallelism inside.
+class CompressEngine {
+public:
+  /// \p Device may be null when the backend is Cpu.
+  CompressEngine(const CostModel &Model, ResourceLedger &Ledger,
+                 ThreadPool &Pool, GpuDevice *Device,
+                 const CompressEngineConfig &Config);
+
+  /// Compresses every chunk in the batch into \p Out (resized).
+  void compressBatch(std::span<const ChunkView> Chunks,
+                     std::vector<CompressedChunk> &Out);
+
+  /// Cumulative store-raw fallbacks.
+  std::uint64_t rawFallbacks() const { return RawFallbacks.load(); }
+
+  const CompressEngineConfig &config() const { return Config; }
+
+private:
+  void compressBatchCpu(std::span<const ChunkView> Chunks,
+                        std::vector<CompressedChunk> &Out);
+  void compressBatchGpu(std::span<const ChunkView> Chunks,
+                        std::vector<CompressedChunk> &Out);
+
+  CostModel Model;
+  ResourceLedger &Ledger;
+  ThreadPool &Pool;
+  GpuDevice *Device;
+  CompressEngineConfig Config;
+  LzCodec CpuCodec;
+  GpuLaneCompressor LaneCompressor;
+  std::atomic<std::uint64_t> RawFallbacks{0};
+};
+
+} // namespace padre
+
+#endif // PADRE_CORE_COMPRESSENGINE_H

@@ -1,0 +1,264 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dedup engine implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DedupEngine.h"
+
+#include <cassert>
+
+using namespace padre;
+
+DedupEngine::DedupEngine(const CostModel &Model, ResourceLedger &Ledger,
+                         ThreadPool &Pool, SsdModel &Ssd, GpuDevice *Device,
+                         const DedupEngineConfig &Config)
+    : Model(Model), Ledger(Ledger), Pool(Pool), Ssd(Ssd), Device(Device),
+      Config(Config), Index(Config.Index),
+      Offload(Config.GpuOffload ? Config.OffloadInitial : 0.0) {
+  assert(isValidCostModel(Model) && "Invalid cost model");
+  if (Config.GpuOffload) {
+    assert(Device && Device->present() &&
+           "GPU offload requested without a GPU");
+    GpuTable = std::make_unique<GpuBinTable>(*Device, Index.layout(),
+                                             Config.GpuSlotsPerBin,
+                                             Config.Index.Seed ^ 0x6B75);
+  }
+}
+
+void DedupEngine::processBatch(std::span<const ChunkView> Chunks,
+                               std::span<const std::uint64_t> NewLocations,
+                               std::vector<DedupItem> &Items) {
+  const std::size_t Count = Chunks.size();
+  assert(NewLocations.size() == Count && "Batch arrays disagree");
+  Items.assign(Count, DedupItem());
+  if (Count == 0)
+    return;
+
+  // Select the GPU co-processing subset by error-diffusion so any
+  // fraction spreads evenly through the batch.
+  std::vector<std::uint32_t> Selected;
+  std::vector<std::uint8_t> IsSelected(Count, 0);
+  if (GpuTable && Offload > 0.0) {
+    double Error = 0.0;
+    for (std::size_t I = 0; I < Count; ++I) {
+      Error += Offload;
+      if (Error >= 1.0) {
+        Error -= 1.0;
+        Selected.push_back(static_cast<std::uint32_t>(I));
+        IsSelected[I] = 1;
+      }
+    }
+  }
+
+  std::vector<Fingerprint> Fingerprints(Count);
+  std::vector<std::uint8_t> KnownDuplicate(Count, 0);
+  std::vector<std::uint64_t> ResolvedLocations(Count, 0);
+  std::vector<double> LatencyUs(Count, 0.0);
+
+  // GPU phase first: it produces fingerprints for the selected chunks
+  // and resolves some duplicates before the CPU path runs (Fig. 1:
+  // "GPU indexing is performed if the GPU is available, and CPU
+  // indexing is performed if duplicate hashes are not found").
+  if (!Selected.empty())
+    offloadToGpu(Chunks, Selected, Fingerprints, KnownDuplicate,
+                 ResolvedLocations, LatencyUs);
+
+  // CPU hashing for everything the GPU did not take — chunk-parallel.
+  Pool.parallelForSlices(
+      0, Count,
+      [&](std::size_t Begin, std::size_t End, unsigned) {
+        double Micros = 0.0;
+        for (std::size_t I = Begin; I < End; ++I) {
+          if (IsSelected[I])
+            continue;
+          Fingerprints[I] = Fingerprint::ofData(Chunks[I].Data);
+          const double HashUs = Model.cpuHashUs(Chunks[I].Data.size());
+          LatencyUs[I] += HashUs;
+          Micros += HashUs;
+        }
+        Ledger.chargeMicros(Resource::CpuPool, Micros);
+      });
+
+  // CPU bin-parallel indexing.
+  std::vector<LookupResult> Results(Count);
+  std::vector<FlushEvent> Flushes;
+  Index.processBatch(Fingerprints, NewLocations, KnownDuplicate, Pool,
+                     Results, Flushes);
+
+  // Charge the CPU index costs from the functional outcome: buffer
+  // hits are cheap (temporal locality, §3.3), everything else pays a
+  // full buffer-miss + tree-probe path; uniques add maintenance.
+  std::size_t BufferHits = 0;
+  std::size_t FullProbes = 0;
+  std::size_t Uniques = 0;
+  for (std::size_t I = 0; I < Count; ++I) {
+    if (KnownDuplicate[I])
+      continue;
+    if (Results[I].Outcome == LookupOutcome::DupBuffer)
+      ++BufferHits;
+    else
+      ++FullProbes;
+    if (Results[I].Outcome == LookupOutcome::Unique)
+      ++Uniques;
+  }
+  const double IndexMicros =
+      static_cast<double>(BufferHits) * Model.Cpu.IndexProbeBufferUs +
+      static_cast<double>(FullProbes) * Model.Cpu.IndexProbeUs +
+      static_cast<double>(Uniques) * Model.Cpu.IndexMaintainUs;
+  Ledger.chargeMicros(Resource::CpuPool, IndexMicros);
+  if (Config.SerialIndexing)
+    Ledger.chargeMicros(Resource::IndexLock, IndexMicros);
+
+  handleFlushes(Flushes);
+
+  for (std::size_t I = 0; I < Count; ++I) {
+    Items[I].Fp = Fingerprints[I];
+    Items[I].Outcome = Results[I].Outcome;
+    Items[I].Location = Results[I].Outcome == LookupOutcome::DupGpu
+                            ? ResolvedLocations[I]
+                            : Results[I].Location;
+    if (!KnownDuplicate[I])
+      LatencyUs[I] +=
+          Results[I].Outcome == LookupOutcome::DupBuffer
+              ? Model.Cpu.IndexProbeBufferUs
+              : Model.Cpu.IndexProbeUs;
+    if (Results[I].Outcome == LookupOutcome::Unique)
+      LatencyUs[I] += Model.Cpu.IndexMaintainUs;
+    Items[I].LatencyUs = LatencyUs[I];
+  }
+
+  if (GpuTable)
+    adaptOffload();
+}
+
+void DedupEngine::offloadToGpu(
+    std::span<const ChunkView> Chunks,
+    const std::vector<std::uint32_t> &Selected,
+    std::vector<Fingerprint> &Fingerprints,
+    std::vector<std::uint8_t> &KnownDuplicate,
+    std::vector<std::uint64_t> &ResolvedLocations,
+    std::vector<double> &LatencyUs) {
+  assert(Device && GpuTable && "GPU offload without device state");
+  const std::size_t SubBatch = Model.Gpu.DedupBatchChunks;
+
+  for (std::size_t Begin = 0; Begin < Selected.size(); Begin += SubBatch) {
+    const std::size_t End = std::min(Selected.size(), Begin + SubBatch);
+
+    // One DMA per sub-batch: the chunk payloads go to the device.
+    std::size_t Bytes = 0;
+    double ExecMicros = 0.0;
+    for (std::size_t I = Begin; I < End; ++I) {
+      const std::size_t Size = Chunks[Selected[I]].Data.size();
+      Bytes += Size;
+      ExecMicros += Model.gpuHashUs(Size) + Model.Gpu.ProbePerEntryUs;
+    }
+    Device->transferToDevice(Bytes);
+
+    // The kernel: SHA-1 per chunk, then a linear-scan probe of the
+    // GPU-resident bin. Results are (slot, hit) pairs; location
+    // metadata is resolved host-side afterwards.
+    Device->launchKernel(KernelFamily::Indexing, ExecMicros, [&] {
+      for (std::size_t I = Begin; I < End; ++I) {
+        const std::uint32_t Item = Selected[I];
+        Fingerprints[Item] = Fingerprint::ofData(Chunks[Item].Data);
+        const std::uint32_t Bin =
+            Index.layout().binOf(Fingerprints[Item]);
+        if (!GpuTable->coversBin(Bin))
+          continue;
+        const GpuProbeResult Probe = GpuTable->probe(Fingerprints[Item]);
+        if (Probe.Hit) {
+          KnownDuplicate[Item] = 1;
+          ResolvedLocations[Item] =
+              GpuTable->resolveLocation(Probe.SlotIndex);
+        }
+      }
+    });
+
+    // Digest + (slot, hit) pair back to the host.
+    const std::size_t ResultBytes =
+        (End - Begin) * (Fingerprint::Size + sizeof(std::uint32_t));
+    Device->transferFromDevice(ResultBytes);
+
+    // Every chunk in the sub-batch waits for the whole round trip:
+    // DMA in, launch, lockstep execution, DMA out.
+    const double Penalty =
+        Device->mixedMode() ? Model.Gpu.MixedKernelPenalty : 1.0;
+    const double RoundTripUs = Model.pcieTransferUs(Bytes) +
+                               (Model.Gpu.LaunchUs + ExecMicros) * Penalty +
+                               Model.pcieTransferUs(ResultBytes);
+    for (std::size_t I = Begin; I < End; ++I)
+      LatencyUs[Selected[I]] += RoundTripUs;
+  }
+}
+
+void DedupEngine::handleFlushes(std::vector<FlushEvent> &Flushes) {
+  for (FlushEvent &Event : Flushes) {
+    // "When the buffer is full, the hash is immediately flushed from
+    // the buffer to the storage. This creates the appropriate
+    // sequential writes for the SSD." (§3.3)
+    const std::size_t LogBytes =
+        Event.Locations.size() * Index.layout().cpuEntryBytes();
+    Ssd.writeSequential(LogBytes);
+
+    // "And then, GPU bin in GPU memory are updated accordingly."
+    if (GpuTable && GpuTable->coversBin(Event.Bin)) {
+      Device->transferToDevice(Event.Suffixes.size());
+      GpuTable->applyFlush(Event.Bin,
+                           ByteSpan(Event.Suffixes.data(),
+                                    Event.Suffixes.size()),
+                           Event.Locations);
+    }
+  }
+  Flushes.clear();
+}
+
+void DedupEngine::adaptOffload() {
+  // "We decide to use GPU only when CPU utilization is full and there
+  // is still some work to do for indexing" (§3.1(3)) — in ledger
+  // terms: push offload up while the normalized CPU busy-time grows
+  // faster than the GPU's, back off otherwise.
+  const double CpuBusy = Ledger.busySeconds(Resource::CpuPool) /
+                         static_cast<double>(Model.Cpu.Threads);
+  const double GpuBusy = Ledger.busySeconds(Resource::Gpu);
+  const double CpuDelta = CpuBusy - LastCpuBusy;
+  const double GpuDelta = GpuBusy - LastGpuBusy;
+  LastCpuBusy = CpuBusy;
+  LastGpuBusy = GpuBusy;
+
+  // Proportional step toward balance: the relative CPU/GPU imbalance
+  // scales the adjustment, so the fraction converges tightly instead
+  // of oscillating around the equilibrium.
+  const double Total = CpuDelta + GpuDelta;
+  if (Total > 0.0) {
+    const double Imbalance = (CpuDelta - GpuDelta) / Total;
+    const double Step =
+        std::min(Config.OffloadStep * 4.0, std::abs(Imbalance) * 0.5);
+    Offload *= Imbalance > 0.0 ? 1.0 + Step : 1.0 - Step;
+  }
+  Offload = std::min(Config.OffloadCeiling,
+                     std::max(Config.OffloadFloor, Offload));
+}
+
+void DedupEngine::finish() {
+  std::vector<FlushEvent> Flushes;
+  Index.flushAll(Flushes);
+  handleFlushes(Flushes);
+}
+
+void DedupEngine::restoreEntry(const Fingerprint &Fp,
+                               std::uint64_t Location) {
+  Ledger.chargeMicros(Resource::CpuPool, Model.Cpu.IndexMaintainUs);
+  std::vector<FlushEvent> Flushes;
+  (void)Index.upsert(Fp, Location, Flushes);
+  handleFlushes(Flushes);
+}
+
+bool DedupEngine::dropEntry(const Fingerprint &Fp) {
+  Ledger.chargeMicros(Resource::CpuPool, Model.Cpu.IndexMaintainUs);
+  bool Removed = Index.remove(Fp);
+  if (GpuTable)
+    Removed |= GpuTable->invalidate(Fp);
+  return Removed;
+}

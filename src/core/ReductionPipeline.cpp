@@ -1,0 +1,403 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reduction pipeline implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ReductionPipeline.h"
+
+#include "compress/Block.h"
+
+#include <cassert>
+
+using namespace padre;
+
+ReductionPipeline::ReductionPipeline(const Platform &Platform,
+                                     const PipelineConfig &Config)
+    : Plat(Platform), Config(Config), Pool(Platform.Model.Cpu.Threads),
+      Ssd(Platform.Model, Ledger) {
+  assert(isValidCostModel(Platform.Model) && "Invalid cost model");
+
+  switch (Config.Chunking) {
+  case ChunkingMode::Fixed:
+    StreamChunker = std::make_unique<FixedChunker>(Config.ChunkSize);
+    break;
+  case ChunkingMode::Rabin: {
+    RabinConfig Cdc;
+    Cdc.AvgSize = Config.ChunkSize;
+    Cdc.MinSize = Config.ChunkSize / 2;
+    Cdc.MaxSize = std::min<std::size_t>(Config.ChunkSize * 4, 65536);
+    StreamChunker = std::make_unique<RabinChunker>(Cdc);
+    break;
+  }
+  case ChunkingMode::FastCdc: {
+    FastCdcConfig Cdc;
+    Cdc.AvgSize = Config.ChunkSize;
+    Cdc.MinSize = Config.ChunkSize / 2;
+    Cdc.MaxSize = std::min<std::size_t>(Config.ChunkSize * 4, 65536);
+    StreamChunker = std::make_unique<FastCdcChunker>(Cdc);
+    break;
+  }
+  }
+
+  const bool WantsGpu = modeOffloadsDedup(Config.Mode) ||
+                        modeOffloadsCompression(Config.Mode);
+  assert((!WantsGpu || Platform.Model.Gpu.Present) &&
+         "GPU mode selected on a GPU-less platform");
+  if (Platform.Model.Gpu.Present && WantsGpu) {
+    Device = std::make_unique<GpuDevice>(Platform.Model, Ledger);
+    Device->setMixedMode(Config.Mode == PipelineMode::GpuBoth);
+  }
+
+  DedupEngineConfig DedupConfig = Config.Dedup;
+  DedupConfig.GpuOffload = modeOffloadsDedup(Config.Mode);
+  if (Config.DedupEnabled)
+    Dedup = std::make_unique<DedupEngine>(Platform.Model, Ledger, Pool,
+                                          Ssd, Device.get(), DedupConfig);
+
+  CompressEngineConfig CompressConfig = Config.Compress;
+  CompressConfig.Backend = modeOffloadsCompression(Config.Mode)
+                               ? CompressBackend::GpuLane
+                               : CompressBackend::Cpu;
+  if (Config.CompressEnabled)
+    Compress = std::make_unique<CompressEngine>(
+        Platform.Model, Ledger, Pool, Device.get(), CompressConfig);
+
+  if (Config.ReadCacheBytes != 0)
+    Cache = std::make_unique<ChunkCache>(Config.ReadCacheBytes);
+}
+
+void ReductionPipeline::write(ByteSpan Stream,
+                              std::vector<ChunkWriteInfo> *InfoOut) {
+  std::vector<ChunkView> Chunks;
+  StreamChunker->split(Stream, LogicalBytes, Chunks);
+  for (std::size_t Begin = 0; Begin < Chunks.size();
+       Begin += Config.BatchChunks) {
+    const std::size_t End =
+        std::min(Chunks.size(), Begin + Config.BatchChunks);
+    processBatch(std::span<const ChunkView>(Chunks.data() + Begin,
+                                            End - Begin),
+                 InfoOut, /*Raw=*/false);
+  }
+}
+
+void ReductionPipeline::writeRaw(ByteSpan Stream,
+                                 std::vector<ChunkWriteInfo> *InfoOut) {
+  std::vector<ChunkView> Chunks;
+  StreamChunker->split(Stream, LogicalBytes, Chunks);
+  for (std::size_t Begin = 0; Begin < Chunks.size();
+       Begin += Config.BatchChunks) {
+    const std::size_t End =
+        std::min(Chunks.size(), Begin + Config.BatchChunks);
+    processBatch(std::span<const ChunkView>(Chunks.data() + Begin,
+                                            End - Begin),
+                 InfoOut, /*Raw=*/true);
+  }
+}
+
+void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
+                                     std::vector<ChunkWriteInfo> *InfoOut,
+                                     bool Raw) {
+  const std::size_t Count = Chunks.size();
+
+  // Request-path fixed costs and endurance intent.
+  double OverheadMicros = 0.0;
+  std::uint64_t BatchBytes = 0;
+  // CDC scans every byte through a rolling hash; fixed chunking is a
+  // pointer computation (the 40x factor is the gear-hash cost).
+  const double ChunkingPerByteNs =
+      Config.Chunking == ChunkingMode::Fixed
+          ? Plat.Model.Cpu.ChunkingPerByteNs
+          : Plat.Model.Cpu.ChunkingPerByteNs * 40.0;
+  for (const ChunkView &Chunk : Chunks) {
+    OverheadMicros += Plat.Model.Cpu.RequestOverheadUs +
+                      ChunkingPerByteNs * 1e-3 *
+                          static_cast<double>(Chunk.Data.size());
+    BatchBytes += Chunk.Data.size();
+  }
+  Ledger.chargeMicros(Resource::CpuPool, OverheadMicros);
+  if (!InternalWrites)
+    Ssd.noteHostWrite(BatchBytes);
+
+  // Stage 1: deduplication (Fig. 1 upper half).
+  std::vector<std::uint64_t> NewLocations(Count);
+  for (std::size_t I = 0; I < Count; ++I)
+    NewLocations[I] = NextLocation + I;
+
+  std::vector<DedupItem> Items;
+  if (Dedup && !Raw) {
+    Dedup->processBatch(Chunks, NewLocations, Items);
+  } else {
+    // Dedup disabled (compression-only benchmarks) or a raw pass-
+    // through write: every chunk is treated as unique. Raw writes
+    // still fingerprint (the background reducer needs the digests).
+    Items.resize(Count);
+    for (std::size_t I = 0; I < Count; ++I) {
+      Items[I].Outcome = LookupOutcome::Unique;
+      Items[I].Location = NewLocations[I];
+      if (Raw) {
+        Items[I].Fp = Fingerprint::ofData(Chunks[I].Data);
+        Ledger.chargeMicros(Resource::CpuPool,
+                            Plat.Model.cpuHashUs(Chunks[I].Data.size()));
+        Items[I].LatencyUs =
+            Plat.Model.cpuHashUs(Chunks[I].Data.size());
+      }
+    }
+  }
+  NextLocation += Count;
+
+  // Verify-on-dedup: byte-compare every digest match before sharing
+  // the chunk; a mismatch (collision or latent corruption) is demoted
+  // to unique. A duplicate of a chunk from *this* batch compares
+  // against the in-flight source (it has not been destaged yet, so
+  // only a memcmp is charged); older chunks are read back from the
+  // store.
+  if (Config.VerifyDuplicates) {
+    const std::uint64_t BatchBase = NextLocation - Count;
+    for (std::size_t I = 0; I < Count; ++I) {
+      if (Items[I].Outcome == LookupOutcome::Unique)
+        continue;
+      bool Matches;
+      if (Items[I].Location >= BatchBase) {
+        const std::size_t Source =
+            static_cast<std::size_t>(Items[I].Location - BatchBase);
+        assert(Source < I && "Duplicate precedes its source");
+        Ledger.chargeMicros(Resource::CpuPool,
+                            Plat.Model.Cpu.VerifyPerByteNs * 1e-3 *
+                                static_cast<double>(Chunks[I].Data.size()));
+        Matches = Chunks[Source].Data.size() == Chunks[I].Data.size() &&
+                  std::equal(Chunks[Source].Data.begin(),
+                             Chunks[Source].Data.end(),
+                             Chunks[I].Data.begin());
+      } else {
+        Ssd.readRandom4K(1);
+        Ledger.chargeMicros(
+            Resource::CpuPool,
+            (Plat.Model.Cpu.DecompressPerByteNs +
+             Plat.Model.Cpu.VerifyPerByteNs) *
+                1e-3 * static_cast<double>(Chunks[I].Data.size()));
+        const auto Stored = Store.readChunk(Items[I].Location);
+        Matches = Stored && Stored->size() == Chunks[I].Data.size() &&
+                  std::equal(Stored->begin(), Stored->end(),
+                             Chunks[I].Data.begin());
+      }
+      if (Matches)
+        continue;
+      ++VerifyMismatches;
+      Items[I].Outcome = LookupOutcome::Unique;
+      Items[I].Location = NewLocations[I];
+    }
+  }
+
+  // Partition into unique chunks (to compress + destage) and
+  // duplicates (recipe-only).
+  std::vector<ChunkView> UniqueViews;
+  std::vector<std::size_t> UniqueIndices;
+  for (std::size_t I = 0; I < Count; ++I) {
+    Recipe.ChunkLocations.push_back(Items[I].Location);
+    Recipe.ChunkSizes.push_back(
+        static_cast<std::uint32_t>(Chunks[I].Data.size()));
+    if (InfoOut)
+      InfoOut->push_back(ChunkWriteInfo{
+          Items[I].Location, Items[I].Fp, Items[I].Outcome,
+          static_cast<std::uint32_t>(Chunks[I].Data.size())});
+    ++LogicalChunks;
+    LogicalBytes += Chunks[I].Data.size();
+    switch (Items[I].Outcome) {
+    case LookupOutcome::Unique:
+      ++UniqueChunks;
+      UniqueBytes += Chunks[I].Data.size();
+      UniqueViews.push_back(Chunks[I]);
+      UniqueIndices.push_back(I);
+      break;
+    case LookupOutcome::DupBuffer:
+      ++DupChunks;
+      ++DupFromBuffer;
+      break;
+    case LookupOutcome::DupTree:
+      ++DupChunks;
+      ++DupFromTree;
+      break;
+    case LookupOutcome::DupGpu:
+      ++DupChunks;
+      ++DupFromGpu;
+      break;
+    }
+  }
+
+  // Stage 2: compression of unique chunks (Fig. 1 lower half).
+  std::vector<CompressedChunk> Compressed;
+  if (Compress && !Raw) {
+    Compress->compressBatch(
+        std::span<const ChunkView>(UniqueViews.data(), UniqueViews.size()),
+        Compressed);
+  } else {
+    Compressed.resize(UniqueViews.size());
+    for (std::size_t I = 0; I < UniqueViews.size(); ++I) {
+      const ByteSpan Data = UniqueViews[I].Data;
+      Compressed[I].StoredRaw = true;
+      Compressed[I].Block = encodeBlock(
+          BlockMethod::Raw, static_cast<std::uint32_t>(Data.size()), Data);
+    }
+  }
+
+  // Stage 3: destage — one coalesced sequential write per batch.
+  std::uint64_t DestageBytes = 0;
+  for (std::size_t I = 0; I < UniqueViews.size(); ++I) {
+    const std::uint64_t Location = Items[UniqueIndices[I]].Location;
+    DestageBytes += Compressed[I].Block.size();
+    StoredBytes += Compressed[I].Block.size();
+    Store.put(Location, std::move(Compressed[I].Block));
+  }
+  Ssd.writeSequential(DestageBytes);
+
+  // Per-chunk modelled service latency: request path + dedup stage +
+  // (uniques) compression stage + an equal share of the coalesced
+  // destage write.
+  const double DestageShareUs =
+      UniqueViews.empty()
+          ? 0.0
+          : Plat.Model.ssdSeqWriteUs(DestageBytes) /
+                static_cast<double>(UniqueViews.size());
+  std::vector<double> CompressLatency(Count, 0.0);
+  for (std::size_t I = 0; I < UniqueViews.size(); ++I)
+    CompressLatency[UniqueIndices[I]] =
+        Compressed[I].LatencyUs + DestageShareUs;
+  for (std::size_t I = 0; I < Count; ++I) {
+    const double RequestUs =
+        Plat.Model.Cpu.RequestOverheadUs +
+        Plat.Model.Cpu.ChunkingPerByteNs * 1e-3 *
+            static_cast<double>(Chunks[I].Data.size());
+    LatencyHist.add(RequestUs + Items[I].LatencyUs + CompressLatency[I]);
+  }
+}
+
+void ReductionPipeline::finish() {
+  if (Dedup)
+    Dedup->finish();
+}
+
+std::optional<ByteVector> ReductionPipeline::readBack() {
+  // Charge the read path: one random SSD read per referenced chunk and
+  // CPU decompression per logical byte.
+  Ssd.readRandom4K(Recipe.ChunkLocations.size());
+  Ledger.chargeMicros(Resource::CpuPool,
+                      Plat.Model.Cpu.DecompressPerByteNs * 1e-3 *
+                          static_cast<double>(Recipe.logicalBytes()));
+  return Store.readStream(Recipe);
+}
+
+std::optional<ByteVector>
+ReductionPipeline::readChunk(std::uint64_t Location, bool BypassCache) {
+  if (Cache && !BypassCache) {
+    if (auto Hit = Cache->get(Location)) {
+      Ledger.chargeMicros(Resource::CpuPool,
+                          Plat.Model.Cpu.CacheCopyPerByteNs * 1e-3 *
+                              static_cast<double>(Hit->size()));
+      return Hit;
+    }
+  }
+  Ssd.readRandom4K(1);
+  const auto Chunk = Store.readChunk(Location);
+  if (Chunk) {
+    Ledger.chargeMicros(Resource::CpuPool,
+                        Plat.Model.Cpu.DecompressPerByteNs * 1e-3 *
+                            static_cast<double>(Chunk->size()));
+    if (Cache && !BypassCache)
+      Cache->put(Location, *Chunk);
+  }
+  return Chunk;
+}
+
+bool ReductionPipeline::dropIndexEntry(const Fingerprint &Fp) {
+  if (!Dedup)
+    return false;
+  return Dedup->dropEntry(Fp);
+}
+
+std::uint64_t ReductionPipeline::eraseChunk(std::uint64_t Location) {
+  if (Cache)
+    Cache->invalidate(Location);
+  return Store.erase(Location);
+}
+
+bool ReductionPipeline::restoreChunk(std::uint64_t Location,
+                                     ByteVector Block,
+                                     const Fingerprint &Fp) {
+  if (Store.contains(Location))
+    return false;
+  StoredBytes += Block.size();
+  Store.put(Location, std::move(Block));
+  NextLocation = std::max(NextLocation, Location + 1);
+  if (Dedup)
+    Dedup->restoreEntry(Fp, Location);
+  return true;
+}
+
+bool ReductionPipeline::verifyAgainst(ByteSpan Original) {
+  const auto Stream = readBack();
+  if (!Stream || Stream->size() != Original.size())
+    return false;
+  return std::equal(Stream->begin(), Stream->end(), Original.begin());
+}
+
+void ReductionPipeline::resetMeasurement() {
+  Ledger.reset();
+  LogicalBytes = LogicalChunks = 0;
+  UniqueChunks = UniqueBytes = 0;
+  DupChunks = DupFromBuffer = DupFromTree = DupFromGpu = 0;
+  VerifyMismatches = 0;
+  StoredBytes = 0;
+  RawFallbackBase = Compress ? Compress->rawFallbacks() : 0;
+  LatencyHist = Histogram(20000.0, 2000);
+}
+
+PipelineReport ReductionPipeline::report() const {
+  PipelineReport Report;
+  Report.LogicalBytes = LogicalBytes;
+  Report.LogicalChunks = LogicalChunks;
+  Report.UniqueChunks = UniqueChunks;
+  Report.DupChunks = DupChunks;
+  Report.DupFromBuffer = DupFromBuffer;
+  Report.DupFromTree = DupFromTree;
+  Report.DupFromGpu = DupFromGpu;
+  Report.VerifyMismatches = VerifyMismatches;
+  Report.DedupRatio =
+      UniqueBytes == 0 ? 1.0
+                       : static_cast<double>(LogicalBytes) /
+                             static_cast<double>(UniqueBytes);
+  Report.StoredBytes = StoredBytes;
+  Report.RawFallbacks =
+      Compress ? Compress->rawFallbacks() - RawFallbackBase : 0;
+  Report.CompressRatio =
+      StoredBytes == 0 ? 1.0
+                       : static_cast<double>(UniqueBytes) /
+                             static_cast<double>(StoredBytes);
+  Report.ReductionRatio =
+      StoredBytes == 0 ? 1.0
+                       : static_cast<double>(LogicalBytes) /
+                             static_cast<double>(StoredBytes);
+
+  const unsigned Threads = Plat.Model.Cpu.Threads;
+  Report.MakespanSec = Ledger.makespanSeconds(Threads, ComputeResources);
+  if (Report.MakespanSec > 0.0) {
+    Report.ThroughputIops =
+        static_cast<double>(LogicalChunks) / Report.MakespanSec;
+    Report.ThroughputMBps = static_cast<double>(LogicalBytes) /
+                            Report.MakespanSec / 1e6;
+  }
+  Report.Bottleneck = Ledger.bottleneck(Threads, ComputeResources);
+  Report.CpuBusySec = Ledger.busySeconds(Resource::CpuPool);
+  Report.GpuBusySec = Ledger.busySeconds(Resource::Gpu);
+  Report.PcieBusySec = Ledger.busySeconds(Resource::Pcie);
+  Report.SsdBusySec = Ledger.busySeconds(Resource::Ssd);
+  Report.KernelLaunches = Ledger.kernelLaunches();
+  Report.OffloadFraction = Dedup ? Dedup->offloadFraction() : 0.0;
+  Report.LatencyP50Us = LatencyHist.percentile(50.0);
+  Report.LatencyP95Us = LatencyHist.percentile(95.0);
+  Report.LatencyP99Us = LatencyHist.percentile(99.0);
+  Report.SsdHostBytes = Ssd.hostBytesWritten();
+  Report.SsdNandBytes = Ssd.nandBytesWritten();
+  return Report;
+}

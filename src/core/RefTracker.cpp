@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chunk reference tracker implementation (logic moved verbatim from
+/// the original single-volume version of core/Volume.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RefTracker.h"
+
+#include <cassert>
+
+using namespace padre;
+
+void ChunkRefTracker::reference(const ChunkWriteInfo &Info) {
+  ChunkRef &Ref = Refs[Info.Location];
+  if (Ref.Refs == 0) {
+    Ref.Fp = Info.Fp;
+    if (Info.Outcome != LookupOutcome::Unique) {
+      // A dedup hit on a fully-dereferenced chunk: still resident (GC
+      // has not run), so it is revived rather than re-stored.
+      ++Revived;
+    }
+  }
+  assert(Ref.Fp == Info.Fp && "Location reused with a new digest");
+  ++Ref.Refs;
+}
+
+void ChunkRefTracker::dereference(std::uint64_t Location) {
+  const auto It = Refs.find(Location);
+  assert(It != Refs.end() && It->second.Refs > 0 &&
+         "Dereferencing an untracked chunk");
+  if (--It->second.Refs == 0)
+    DeadList.push_back(Location);
+}
+
+std::size_t ChunkRefTracker::collectGarbage(ReductionPipeline &Pipeline) {
+  std::size_t CollectedNow = 0;
+  for (std::uint64_t Location : DeadList) {
+    const auto It = Refs.find(Location);
+    // A location can appear twice (died, revived, died again); the
+    // first pass already collected it.
+    if (It == Refs.end())
+      continue;
+    if (It->second.Refs != 0)
+      continue; // revived since it died
+    Pipeline.dropIndexEntry(It->second.Fp);
+    Pipeline.eraseChunk(Location);
+    Refs.erase(It);
+    ++CollectedNow;
+  }
+  DeadList.clear();
+  Collected += CollectedNow;
+  return CollectedNow;
+}
+
+std::uint32_t ChunkRefTracker::refCount(std::uint64_t Location) const {
+  const auto It = Refs.find(Location);
+  return It == Refs.end() ? 0 : It->second.Refs;
+}
+
+std::optional<Fingerprint>
+ChunkRefTracker::fingerprintOf(std::uint64_t Location) const {
+  const auto It = Refs.find(Location);
+  if (It == Refs.end())
+    return std::nullopt;
+  return It->second.Fp;
+}
+
+std::uint64_t ChunkRefTracker::liveChunks() const {
+  std::uint64_t Dead = 0;
+  for (const auto &[Location, Ref] : Refs)
+    Dead += Ref.Refs == 0;
+  return Refs.size() - Dead;
+}
+
+std::uint64_t ChunkRefTracker::deadChunks() const {
+  std::uint64_t Dead = 0;
+  for (const auto &[Location, Ref] : Refs)
+    Dead += Ref.Refs == 0;
+  return Dead;
+}
+
+std::vector<ChunkRefTracker::Record> ChunkRefTracker::records() const {
+  std::vector<Record> Records;
+  Records.reserve(Refs.size());
+  for (const auto &[Location, Ref] : Refs)
+    Records.push_back(Record{Location, Ref.Refs, Ref.Fp});
+  return Records;
+}
+
+void ChunkRefTracker::restore(const std::vector<Record> &Records) {
+  Refs.clear();
+  DeadList.clear();
+  Revived = Collected = 0;
+  for (const Record &R : Records) {
+    Refs[R.Location] = ChunkRef{R.Refs, R.Fp};
+    if (R.Refs == 0)
+      DeadList.push_back(R.Location);
+  }
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Report rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace padre;
+
+const char *padre::pipelineModeName(PipelineMode Mode) {
+  switch (Mode) {
+  case PipelineMode::CpuOnly:
+    return "cpu-only";
+  case PipelineMode::GpuDedup:
+    return "gpu-dedup";
+  case PipelineMode::GpuCompress:
+    return "gpu-compress";
+  case PipelineMode::GpuBoth:
+    return "gpu-both";
+  }
+  assert(false && "Unknown pipeline mode");
+  return "?";
+}
+
+std::string PipelineReport::toString() const {
+  char Buffer[1024];
+  std::snprintf(
+      Buffer, sizeof(Buffer),
+      "chunks=%llu (%.1f MiB)  unique=%llu dup=%llu "
+      "(buf=%llu tree=%llu gpu=%llu)\n"
+      "dedup=%.2fx compress=%.2fx reduction=%.2fx stored=%.1f MiB "
+      "rawFallbacks=%llu\n"
+      "throughput=%.1fK IOPS (%.1f MB/s)  makespan=%.4fs "
+      "bottleneck=%s offload=%.2f\n"
+      "latency (modelled): p50=%.0fus p95=%.0fus p99=%.0fus\n"
+      "busy: cpu=%.4fs gpu=%.4fs pcie=%.4fs ssd=%.4fs launches=%llu\n"
+      "ssd endurance: host=%.1f MiB nand=%.1f MiB",
+      static_cast<unsigned long long>(LogicalChunks),
+      static_cast<double>(LogicalBytes) / (1 << 20),
+      static_cast<unsigned long long>(UniqueChunks),
+      static_cast<unsigned long long>(DupChunks),
+      static_cast<unsigned long long>(DupFromBuffer),
+      static_cast<unsigned long long>(DupFromTree),
+      static_cast<unsigned long long>(DupFromGpu), DedupRatio,
+      CompressRatio, ReductionRatio,
+      static_cast<double>(StoredBytes) / (1 << 20),
+      static_cast<unsigned long long>(RawFallbacks),
+      ThroughputIops / 1e3, ThroughputMBps, MakespanSec,
+      resourceName(Bottleneck), OffloadFraction, LatencyP50Us,
+      LatencyP95Us, LatencyP99Us, CpuBusySec, GpuBusySec,
+      PcieBusySec, SsdBusySec,
+      static_cast<unsigned long long>(KernelLaunches),
+      static_cast<double>(SsdHostBytes) / (1 << 20),
+      static_cast<double>(SsdNandBytes) / (1 << 20));
+  return Buffer;
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline modes and the measurement report types shared by the
+/// engines, benchmarks and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_CORE_REPORT_H
+#define PADRE_CORE_REPORT_H
+
+#include "sim/ResourceLedger.h"
+
+#include <cstdint>
+#include <string>
+
+namespace padre {
+
+/// The four integration options of §4(3) / Fig. 2.
+enum class PipelineMode : unsigned {
+  CpuOnly = 0,     ///< both operations on the CPU
+  GpuDedup = 1,    ///< GPU co-processes indexing; compression on CPU
+  GpuCompress = 2, ///< compression on GPU (CPU refines); dedup on CPU
+  GpuBoth = 3,     ///< both operations use the GPU (mixed kernels)
+};
+
+inline constexpr unsigned PipelineModeCount = 4;
+
+/// Returns "cpu-only", "gpu-dedup", "gpu-compress" or "gpu-both".
+const char *pipelineModeName(PipelineMode Mode);
+
+/// True if \p Mode offloads dedup indexing to the GPU.
+inline bool modeOffloadsDedup(PipelineMode Mode) {
+  return Mode == PipelineMode::GpuDedup || Mode == PipelineMode::GpuBoth;
+}
+
+/// True if \p Mode runs compression kernels on the GPU.
+inline bool modeOffloadsCompression(PipelineMode Mode) {
+  return Mode == PipelineMode::GpuCompress || Mode == PipelineMode::GpuBoth;
+}
+
+/// Everything a pipeline run measures. Throughput figures use the
+/// modelled makespan over the *compute* resources (CPU/GPU/PCIe) — the
+/// paper reports data-reduction throughput and quotes the SSD
+/// separately as a baseline.
+struct PipelineReport {
+  // Workload.
+  std::uint64_t LogicalBytes = 0;
+  std::uint64_t LogicalChunks = 0;
+
+  // Dedup outcome.
+  std::uint64_t UniqueChunks = 0;
+  std::uint64_t DupChunks = 0;
+  std::uint64_t DupFromBuffer = 0;
+  std::uint64_t DupFromTree = 0;
+  std::uint64_t DupFromGpu = 0;
+  /// Verify-on-dedup only: digest matches whose bytes differed
+  /// (collision or latent corruption) — stored fresh instead.
+  std::uint64_t VerifyMismatches = 0;
+  double DedupRatio = 1.0; ///< logical bytes / unique bytes
+
+  // Compression outcome (unique chunks only).
+  std::uint64_t StoredBytes = 0; ///< encoded bytes destaged
+  std::uint64_t RawFallbacks = 0;
+  double CompressRatio = 1.0;  ///< unique bytes / stored bytes
+  double ReductionRatio = 1.0; ///< logical bytes / stored bytes
+
+  // Modelled performance.
+  double MakespanSec = 0.0; ///< compute-resource bottleneck time
+  double ThroughputIops = 0.0;
+  double ThroughputMBps = 0.0;
+  Resource Bottleneck = Resource::CpuPool;
+  double CpuBusySec = 0.0;
+  double GpuBusySec = 0.0;
+  double PcieBusySec = 0.0;
+  double SsdBusySec = 0.0;
+  std::uint64_t KernelLaunches = 0;
+  double OffloadFraction = 0.0; ///< final dedup offload fraction
+
+  // Modelled per-chunk service latency in microseconds. Throughput and
+  // latency are distinct under batching: deeper GPU batches raise
+  // throughput *and* latency.
+  double LatencyP50Us = 0.0;
+  double LatencyP95Us = 0.0;
+  double LatencyP99Us = 0.0;
+
+  // SSD endurance.
+  std::uint64_t SsdHostBytes = 0;
+  std::uint64_t SsdNandBytes = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string toString() const;
+};
+
+} // namespace padre
+
+#endif // PADRE_CORE_REPORT_H

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage pool implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/StoragePool.h"
+
+using namespace padre;
+
+StoragePool::StoragePool(const Platform &Plat, const PipelineConfig &Config)
+    : Pipeline(Plat, Config), Tracker(std::make_shared<ChunkRefTracker>()) {}
+
+Volume &StoragePool::createVolume(std::uint64_t Blocks) {
+  VolumeConfig Config;
+  Config.BlockCount = Blocks;
+  Volumes.push_back(std::make_unique<Volume>(Pipeline, Config, Tracker));
+  return *Volumes.back();
+}
+
+std::size_t StoragePool::collectGarbage() {
+  return Tracker->collectGarbage(Pipeline);
+}
+
+PoolStats StoragePool::stats() const {
+  PoolStats Stats;
+  Stats.Volumes = Volumes.size();
+  for (const auto &Vol : Volumes) {
+    const VolumeStats VolStats = Vol->stats();
+    Stats.MappedBlocks += VolStats.MappedBlocks;
+    Stats.LogicalBytes += VolStats.LogicalBytes;
+  }
+  Stats.PhysicalBytes = Pipeline.store().storedBytes();
+  Stats.LiveChunks = Tracker->liveChunks();
+  Stats.DeadChunks = Tracker->deadChunks();
+  return Stats;
+}

@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace replay implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/TraceRunner.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace padre;
+
+TraceRunStats padre::replayTrace(Volume &Vol, const TraceLog &Log) {
+  TraceRunStats Stats;
+  const std::size_t BlockSize = Vol.blockSize();
+
+  // Shadow state: the content tag each block should hold.
+  constexpr std::uint64_t Unwritten = ~0ull;
+  std::vector<std::uint64_t> Shadow(Vol.blockCount(), Unwritten);
+
+  ByteVector WriteBuffer;
+  ByteVector Expected(BlockSize);
+  for (const TraceRecord &Record : Log.Records) {
+    if (Record.Lba + Record.Blocks > Vol.blockCount() ||
+        Record.Lba + Record.Blocks < Record.Lba) {
+      ++Stats.OutOfRange;
+      continue;
+    }
+    switch (Record.Op) {
+    case TraceOp::Write: {
+      WriteBuffer.resize(static_cast<std::size_t>(Record.Blocks) *
+                         BlockSize);
+      for (std::uint32_t I = 0; I < Record.Blocks; ++I) {
+        fillTraceBlock(Record.ContentTag,
+                       MutableByteSpan(WriteBuffer.data() + I * BlockSize,
+                                       BlockSize));
+        Shadow[Record.Lba + I] = Record.ContentTag;
+      }
+      [[maybe_unused]] const bool Ok = Vol.writeBlocks(
+          Record.Lba, ByteSpan(WriteBuffer.data(), WriteBuffer.size()));
+      assert(Ok && "In-range write must succeed");
+      ++Stats.Writes;
+      Stats.BlocksWritten += Record.Blocks;
+      break;
+    }
+    case TraceOp::Read: {
+      const auto Data = Vol.readBlocks(Record.Lba, Record.Blocks);
+      ++Stats.Reads;
+      Stats.BlocksRead += Record.Blocks;
+      if (!Data) {
+        ++Stats.ReadFailures;
+        break;
+      }
+      for (std::uint32_t I = 0; I < Record.Blocks; ++I) {
+        const std::uint64_t Tag = Shadow[Record.Lba + I];
+        if (Tag == Unwritten) {
+          // Unmapped blocks must read as zeros.
+          bool AllZero = true;
+          for (std::size_t B = 0; B < BlockSize && AllZero; ++B)
+            AllZero = (*Data)[I * BlockSize + B] == 0;
+          if (!AllZero)
+            ++Stats.VerifyFailures;
+          continue;
+        }
+        fillTraceBlock(Tag, MutableByteSpan(Expected.data(), BlockSize));
+        if (std::memcmp(Data->data() + I * BlockSize, Expected.data(),
+                        BlockSize) != 0)
+          ++Stats.VerifyFailures;
+      }
+      break;
+    }
+    case TraceOp::Trim: {
+      [[maybe_unused]] const bool Ok =
+          Vol.trim(Record.Lba, Record.Blocks);
+      assert(Ok && "In-range trim must succeed");
+      for (std::uint32_t I = 0; I < Record.Blocks; ++I)
+        Shadow[Record.Lba + I] = Unwritten;
+      ++Stats.Trims;
+      break;
+    }
+    }
+  }
+  return Stats;
+}

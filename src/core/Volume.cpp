@@ -1,0 +1,225 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LBA volume implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Volume.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padre;
+
+Volume::Volume(ReductionPipeline &Pipeline, const VolumeConfig &Config,
+               std::shared_ptr<ChunkRefTracker> Tracker)
+    : Pipeline(Pipeline), Config(Config),
+      BlockSize(Pipeline.config().ChunkSize),
+      SharedTracker(Tracker != nullptr),
+      Tracker(Tracker ? std::move(Tracker)
+                      : std::make_shared<ChunkRefTracker>()),
+      Mapping(Config.BlockCount, Unmapped) {
+  assert(Config.BlockCount > 0 && "Empty volume");
+  assert(Pipeline.config().Chunking == ChunkingMode::Fixed &&
+         "LBA volumes require fixed-size chunking");
+}
+
+bool Volume::writeBlocks(std::uint64_t Lba, ByteSpan Data) {
+  return writeBlocksImpl(Lba, Data, /*Raw=*/false);
+}
+
+bool Volume::writeBlocksRaw(std::uint64_t Lba, ByteSpan Data) {
+  return writeBlocksImpl(Lba, Data, /*Raw=*/true);
+}
+
+bool Volume::writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw) {
+  assert(Data.size() % BlockSize == 0 &&
+         "Writes must be whole blocks (primary-storage granularity)");
+  const std::uint64_t Blocks = Data.size() / BlockSize;
+  if (Lba + Blocks > Config.BlockCount || Lba + Blocks < Lba)
+    return false;
+
+  std::vector<ChunkWriteInfo> Infos;
+  Infos.reserve(Blocks);
+  if (Raw)
+    Pipeline.writeRaw(Data, &Infos);
+  else
+    Pipeline.write(Data, &Infos);
+  assert(Infos.size() == Blocks && "Pipeline chunking disagrees");
+
+  for (std::uint64_t I = 0; I < Blocks; ++I) {
+    // Reference the (new or shared) chunk before dropping the old one
+    // so an overwrite-with-identical-content never hits zero refs.
+    Tracker->reference(Infos[I]);
+    std::uint64_t &Slot = Mapping[Lba + I];
+    const std::uint64_t Old = Slot;
+    Slot = Infos[I].Location;
+    if (Old != Unmapped)
+      Tracker->dereference(Old);
+  }
+  return true;
+}
+
+std::optional<ByteVector> Volume::readBlocks(std::uint64_t Lba,
+                                             std::uint64_t Count) {
+  if (Lba + Count > Config.BlockCount || Lba + Count < Lba)
+    return std::nullopt;
+  ByteVector Out;
+  Out.reserve(Count * BlockSize);
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    const std::uint64_t Location = Mapping[Lba + I];
+    if (Location == Unmapped) {
+      Out.insert(Out.end(), BlockSize, 0);
+      continue;
+    }
+    const auto Chunk = Pipeline.readChunk(Location);
+    if (!Chunk || Chunk->size() != BlockSize)
+      return std::nullopt;
+    Out.insert(Out.end(), Chunk->begin(), Chunk->end());
+  }
+  return Out;
+}
+
+bool Volume::trim(std::uint64_t Lba, std::uint64_t Count) {
+  if (Lba + Count > Config.BlockCount || Lba + Count < Lba)
+    return false;
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    std::uint64_t &Slot = Mapping[Lba + I];
+    if (Slot == Unmapped)
+      continue;
+    Tracker->dereference(Slot);
+    Slot = Unmapped;
+  }
+  return true;
+}
+
+std::size_t Volume::collectGarbage() {
+  return Tracker->collectGarbage(Pipeline);
+}
+
+Volume::SnapshotId Volume::createSnapshot() {
+  // Reference every mapped chunk on the snapshot's behalf. The
+  // fingerprint is already tracked; re-referencing by location only.
+  for (std::uint64_t Location : Mapping) {
+    if (Location == Unmapped)
+      continue;
+    const auto Fp = Tracker->fingerprintOf(Location);
+    assert(Fp.has_value() && "Mapped chunk without a ref record");
+    ChunkWriteInfo Info;
+    Info.Location = Location;
+    Info.Fp = *Fp;
+    Info.Outcome = LookupOutcome::DupTree; // an existing chunk
+    Tracker->reference(Info);
+  }
+  const SnapshotId Id = NextSnapshotId++;
+  Snapshots.emplace_back(Id, Mapping);
+  return Id;
+}
+
+bool Volume::deleteSnapshot(SnapshotId Id) {
+  for (auto It = Snapshots.begin(); It != Snapshots.end(); ++It) {
+    if (It->first != Id)
+      continue;
+    for (std::uint64_t Location : It->second)
+      if (Location != Unmapped)
+        Tracker->dereference(Location);
+    Snapshots.erase(It);
+    return true;
+  }
+  return false;
+}
+
+std::optional<ByteVector> Volume::readSnapshotBlocks(SnapshotId Id,
+                                                     std::uint64_t Lba,
+                                                     std::uint64_t Count) {
+  const std::vector<std::uint64_t> *SnapMapping = nullptr;
+  for (const auto &[SnapId, Map] : Snapshots)
+    if (SnapId == Id)
+      SnapMapping = &Map;
+  if (!SnapMapping || Lba + Count > Config.BlockCount || Lba + Count < Lba)
+    return std::nullopt;
+  ByteVector Out;
+  Out.reserve(Count * BlockSize);
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    const std::uint64_t Location = (*SnapMapping)[Lba + I];
+    if (Location == Unmapped) {
+      Out.insert(Out.end(), BlockSize, 0);
+      continue;
+    }
+    const auto Chunk = Pipeline.readChunk(Location);
+    if (!Chunk || Chunk->size() != BlockSize)
+      return std::nullopt;
+    Out.insert(Out.end(), Chunk->begin(), Chunk->end());
+  }
+  return Out;
+}
+
+std::vector<Volume::SnapshotId> Volume::snapshotIds() const {
+  std::vector<SnapshotId> Ids;
+  Ids.reserve(Snapshots.size());
+  for (const auto &[Id, Map] : Snapshots)
+    Ids.push_back(Id);
+  return Ids;
+}
+
+Volume::ScrubReport Volume::scrub() {
+  ScrubReport Report;
+  for (const ChunkRecord &Record : Tracker->records()) {
+    ++Report.ChunksScanned;
+    const auto Chunk =
+        Pipeline.readChunk(Record.Location, /*BypassCache=*/true);
+    bool Bad = !Chunk.has_value();
+    if (!Bad) {
+      // Re-fingerprint the decoded content: the block CRC catches
+      // payload corruption; this catches a block swapped for another
+      // valid one (misdirected write).
+      const Fingerprint Actual =
+          Fingerprint::ofData(ByteSpan(Chunk->data(), Chunk->size()));
+      Bad = !(Actual == Record.Fp);
+    }
+    if (Bad) {
+      ++Report.CorruptChunks;
+      Report.BadLocations.push_back(Record.Location);
+    }
+  }
+  std::sort(Report.BadLocations.begin(), Report.BadLocations.end());
+  return Report;
+}
+
+VolumeStats Volume::stats() const {
+  VolumeStats Stats;
+  for (std::uint64_t Location : Mapping)
+    Stats.MappedBlocks += Location != Unmapped;
+  Stats.LiveChunks = Tracker->liveChunks();
+  Stats.DeadChunks = Tracker->deadChunks();
+  Stats.LogicalBytes = Stats.MappedBlocks * BlockSize;
+  Stats.PhysicalBytes = Pipeline.store().storedBytes();
+  Stats.RevivedChunks = Tracker->revivedChunks();
+  Stats.CollectedChunks = Tracker->collectedChunks();
+  Stats.Snapshots = Snapshots.size();
+  return Stats;
+}
+
+std::uint32_t Volume::refCount(std::uint64_t Location) const {
+  return Tracker->refCount(Location);
+}
+
+bool Volume::restoreState(std::vector<std::uint64_t> NewMapping,
+                          const std::vector<ChunkRecord> &Records,
+                          SnapshotTable NewSnapshots) {
+  if (SharedTracker)
+    return false; // would clobber the other domain members' references
+  if (NewMapping.size() != Config.BlockCount)
+    return false;
+  for (const auto &[Id, Map] : NewSnapshots)
+    if (Map.size() != Config.BlockCount)
+      return false;
+  Mapping = std::move(NewMapping);
+  Snapshots = std::move(NewSnapshots);
+  NextSnapshotId = 1;
+  for (const auto &[Id, Map] : Snapshots)
+    NextSnapshotId = std::max(NextSnapshotId, Id + 1);
+  Tracker->restore(Records);
+  return true;
+}

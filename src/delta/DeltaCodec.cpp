@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta codec implementation: a single-probe 8-gram index over the
+/// base with bidirectional match extension, and a bounds-checked
+/// decoder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "delta/DeltaCodec.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+using namespace padre;
+
+namespace {
+
+constexpr unsigned HashBits = 14;
+constexpr std::size_t HashSize = 1u << HashBits;
+constexpr std::uint32_t NoPosition = 0xFFFFFFFFu;
+
+std::uint32_t hashGram8(const std::uint8_t *Data) {
+  std::uint64_t Gram;
+  std::memcpy(&Gram, Data, 8);
+  return static_cast<std::uint32_t>((Gram * 0x9E3779B97F4A7C15ULL) >>
+                                    (64 - HashBits));
+}
+
+/// Emits an INSERT run (splitting at 128 bytes).
+void emitInsert(ByteVector &Payload, const std::uint8_t *Data,
+                std::size_t Length, DeltaResult &Result) {
+  std::size_t Offset = 0;
+  while (Offset < Length) {
+    const std::size_t Run = std::min<std::size_t>(Length - Offset, 128);
+    Payload.push_back(static_cast<std::uint8_t>(Run - 1));
+    Payload.insert(Payload.end(), Data + Offset, Data + Offset + Run);
+    Result.InsertBytes += static_cast<std::uint32_t>(Run);
+    Offset += Run;
+  }
+}
+
+/// Emits a COPY (splitting so no piece is below DeltaMinCopy).
+void emitCopy(ByteVector &Payload, std::size_t BaseOffset,
+              std::size_t Length, DeltaResult &Result) {
+  while (Length > 0) {
+    std::size_t Take = std::min(Length, DeltaMaxCopy);
+    const std::size_t Rest = Length - Take;
+    if (Rest > 0 && Rest < DeltaMinCopy)
+      Take -= DeltaMinCopy - Rest;
+    assert(Take >= DeltaMinCopy && "Copy piece too short");
+    Payload.push_back(
+        static_cast<std::uint8_t>(0x80 | (Take - DeltaMinCopy)));
+    Payload.push_back(static_cast<std::uint8_t>(BaseOffset));
+    Payload.push_back(static_cast<std::uint8_t>(BaseOffset >> 8));
+    Result.CopyBytes += static_cast<std::uint32_t>(Take);
+    ++Result.Copies;
+    BaseOffset += Take;
+    Length -= Take;
+  }
+}
+
+} // namespace
+
+DeltaResult padre::deltaEncode(ByteSpan Base, ByteSpan Target) {
+  assert(Base.size() <= DeltaMaxInput && Target.size() <= DeltaMaxInput &&
+         "Input exceeds delta format limit");
+  DeltaResult Result;
+  Result.Payload.reserve(Target.size() / 4 + 16);
+
+  // Single-probe index over the base's 8-grams.
+  std::vector<std::uint32_t> Index(HashSize, NoPosition);
+  if (Base.size() >= 8)
+    for (std::size_t I = 0; I + 8 <= Base.size(); ++I)
+      Index[hashGram8(Base.data() + I)] = static_cast<std::uint32_t>(I);
+
+  std::size_t Position = 0;
+  std::size_t PendingInsert = 0; // run start at Position - PendingInsert
+  while (Position < Target.size()) {
+    std::size_t MatchBase = 0, MatchLength = 0;
+    if (Position + 8 <= Target.size() && Base.size() >= 8) {
+      const std::uint32_t Candidate =
+          Index[hashGram8(Target.data() + Position)];
+      if (Candidate != NoPosition) {
+        // Extend forward.
+        std::size_t Length = 0;
+        const std::size_t Limit =
+            std::min(Base.size() - Candidate, Target.size() - Position);
+        while (Length < Limit &&
+               Base[Candidate + Length] == Target[Position + Length])
+          ++Length;
+        // Extend backward into the pending insert run.
+        std::size_t Back = 0;
+        while (Back < PendingInsert && Back < Candidate &&
+               Base[Candidate - Back - 1] ==
+                   Target[Position - Back - 1])
+          ++Back;
+        if (Length + Back >= DeltaMinCopy) {
+          MatchBase = Candidate - Back;
+          MatchLength = Length + Back;
+          Position -= Back;
+          PendingInsert -= Back;
+        }
+      }
+    }
+    if (MatchLength == 0) {
+      ++PendingInsert;
+      ++Position;
+      continue;
+    }
+    if (PendingInsert != 0) {
+      emitInsert(Result.Payload, Target.data() + Position - PendingInsert,
+                 PendingInsert, Result);
+      PendingInsert = 0;
+    }
+    emitCopy(Result.Payload, MatchBase, MatchLength, Result);
+    Position += MatchLength;
+  }
+  if (PendingInsert != 0)
+    emitInsert(Result.Payload, Target.data() + Position - PendingInsert,
+               PendingInsert, Result);
+  assert(Result.CopyBytes + Result.InsertBytes == Target.size() &&
+         "Delta must cover the target exactly");
+  return Result;
+}
+
+bool padre::deltaDecode(ByteSpan Base, ByteSpan Payload,
+                        std::size_t TargetSize, ByteVector &Out) {
+  const std::size_t OutStart = Out.size();
+  Out.reserve(OutStart + TargetSize);
+  std::size_t In = 0;
+  std::size_t Produced = 0;
+  while (In < Payload.size()) {
+    const std::uint8_t Control = Payload[In++];
+    if ((Control & 0x80) == 0) {
+      const std::size_t Run = static_cast<std::size_t>(Control) + 1;
+      if (In + Run > Payload.size() || Produced + Run > TargetSize) {
+        Out.resize(OutStart);
+        return false;
+      }
+      Out.insert(Out.end(), Payload.begin() + In, Payload.begin() + In + Run);
+      In += Run;
+      Produced += Run;
+      continue;
+    }
+    const std::size_t Length = (Control & 0x7F) + DeltaMinCopy;
+    if (In + 2 > Payload.size()) {
+      Out.resize(OutStart);
+      return false;
+    }
+    const std::size_t Offset = loadLe16(Payload.data() + In);
+    In += 2;
+    if (Offset + Length > Base.size() || Produced + Length > TargetSize) {
+      Out.resize(OutStart);
+      return false;
+    }
+    Out.insert(Out.end(), Base.begin() + Offset,
+               Base.begin() + Offset + Length);
+    Produced += Length;
+  }
+  if (Produced != TargetSize) {
+    Out.resize(OutStart);
+    return false;
+  }
+  return true;
+}

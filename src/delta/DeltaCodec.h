@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta encoding of a target chunk against a similar base chunk
+/// (extension): the third data-reduction axis after dedup (identical
+/// chunks) and LZ (intra-chunk redundancy) — cross-chunk *similarity*.
+///
+/// Payload format (little-endian):
+///   control byte C:
+///     C bit7 = 0: INSERT run of (C + 1) literal bytes (1..128)
+///     C bit7 = 1: COPY of ((C & 0x7F) + MinCopy) bytes (8..135) from
+///                 the base, followed by a 16-bit base offset
+/// Base and target are chunk-sized (≤ 64 KiB), so 16-bit offsets
+/// suffice. An incompressible delta simply exceeds the target size and
+/// the caller falls back to ordinary LZ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_DELTA_DELTACODEC_H
+#define PADRE_DELTA_DELTACODEC_H
+
+#include "util/Bytes.h"
+
+#include <cstdint>
+
+namespace padre {
+
+/// Functional outcome of a delta encode (cost-model food, like
+/// CompressStats).
+struct DeltaResult {
+  ByteVector Payload;
+  std::uint32_t CopyBytes = 0;   ///< target bytes covered by copies
+  std::uint32_t InsertBytes = 0; ///< target bytes inserted literally
+  std::uint32_t Copies = 0;
+};
+
+/// Format limits.
+inline constexpr std::size_t DeltaMinCopy = 8;
+inline constexpr std::size_t DeltaMaxCopy = 135;
+inline constexpr std::size_t DeltaMaxInput = 65536;
+
+/// Delta-encodes \p Target against \p Base (both ≤ DeltaMaxInput).
+DeltaResult deltaEncode(ByteSpan Base, ByteSpan Target);
+
+/// Reconstructs exactly \p TargetSize bytes from \p Payload and
+/// \p Base, appended to \p Out. Returns false (appending nothing) on
+/// any malformed token.
+bool deltaDecode(ByteSpan Base, ByteSpan Payload, std::size_t TargetSize,
+                 ByteVector &Out);
+
+} // namespace padre
+
+#endif // PADRE_DELTA_DELTACODEC_H

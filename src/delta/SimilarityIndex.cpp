@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Similarity index implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "delta/SimilarityIndex.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padre;
+
+SimilarityIndex::SimilarityIndex(std::size_t MaxEntriesPerTable,
+                                 std::uint64_t Seed)
+    : MaxEntriesPerTable(MaxEntriesPerTable), Rng(Seed) {}
+
+std::optional<std::uint64_t>
+SimilarityIndex::findBase(const SuperFeatureSet &Fs) const {
+  for (unsigned I = 0; I < SuperFeatureCount; ++I) {
+    const auto It = Tables[I].Map.find(Fs[I]);
+    if (It != Tables[I].Map.end())
+      return It->second;
+  }
+  return std::nullopt;
+}
+
+void SimilarityIndex::insert(const SuperFeatureSet &Fs,
+                             std::uint64_t Location) {
+  for (unsigned I = 0; I < SuperFeatureCount; ++I) {
+    Table &T = Tables[I];
+    const auto [It, Inserted] = T.Map.try_emplace(Fs[I], Location);
+    if (!Inserted) {
+      It->second = Location; // newer base wins
+      continue;
+    }
+    T.Keys.push_back(Fs[I]);
+    if (MaxEntriesPerTable != 0 && T.Map.size() > MaxEntriesPerTable) {
+      // Random replacement: evict one key (swap-pop keeps Keys dense).
+      const std::size_t Victim = Rng.nextBelow(T.Keys.size());
+      const std::uint64_t Key = T.Keys[Victim];
+      if (Key != Fs[I]) {
+        T.Map.erase(Key);
+        T.Keys[Victim] = T.Keys.back();
+        T.Keys.pop_back();
+      } else {
+        // Never evict the entry just inserted; pick its neighbour.
+        const std::size_t Other =
+            Victim == 0 ? T.Keys.size() - 1 : Victim - 1;
+        T.Map.erase(T.Keys[Other]);
+        T.Keys[Other] = T.Keys.back();
+        T.Keys.pop_back();
+      }
+    }
+  }
+}
+
+std::size_t SimilarityIndex::removeLocation(std::uint64_t Location) {
+  std::size_t Removed = 0;
+  for (Table &T : Tables) {
+    for (std::size_t I = T.Keys.size(); I > 0; --I) {
+      const std::uint64_t Key = T.Keys[I - 1];
+      const auto It = T.Map.find(Key);
+      assert(It != T.Map.end() && "Keys/Map out of sync");
+      if (It->second != Location)
+        continue;
+      T.Map.erase(It);
+      T.Keys[I - 1] = T.Keys.back();
+      T.Keys.pop_back();
+      ++Removed;
+    }
+  }
+  return Removed;
+}
+
+std::size_t SimilarityIndex::size() const {
+  std::size_t Total = 0;
+  for (const Table &T : Tables)
+    Total += T.Map.size();
+  return Total;
+}

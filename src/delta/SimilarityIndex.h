@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The similarity index: maps super-features to candidate base-chunk
+/// locations. A lookup that matches any super-feature yields a delta
+/// base candidate. Memory is bounded per super-feature table with
+/// random replacement — the same capacity discipline as the paper's
+/// dedup index (§3.1(1)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_DELTA_SIMILARITYINDEX_H
+#define PADRE_DELTA_SIMILARITYINDEX_H
+
+#include "delta/SuperFeatures.h"
+#include "util/Random.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace padre {
+
+/// Bounded super-feature -> location index.
+class SimilarityIndex {
+public:
+  /// \p MaxEntriesPerTable bounds each super-feature table (0 =
+  /// unbounded); \p Seed drives random replacement.
+  explicit SimilarityIndex(std::size_t MaxEntriesPerTable = 0,
+                           std::uint64_t Seed = 0xDE17A);
+
+  /// Returns the location of a similar chunk, if any table has a
+  /// matching super-feature (tables are consulted in order).
+  std::optional<std::uint64_t> findBase(const SuperFeatureSet &Fs) const;
+
+  /// Registers \p Location under every super-feature (overwriting any
+  /// colliding entry — newer bases win, matching delta locality).
+  void insert(const SuperFeatureSet &Fs, std::uint64_t Location);
+
+  /// Removes entries pointing at \p Location (GC support). Returns
+  /// the number of table entries dropped.
+  std::size_t removeLocation(std::uint64_t Location);
+
+  /// Total entries across the tables.
+  std::size_t size() const;
+
+private:
+  struct Table {
+    std::unordered_map<std::uint64_t, std::uint64_t> Map;
+    std::vector<std::uint64_t> Keys; ///< for random eviction
+  };
+
+  std::size_t MaxEntriesPerTable;
+  Random Rng;
+  Table Tables[SuperFeatureCount];
+};
+
+} // namespace padre
+
+#endif // PADRE_DELTA_SIMILARITYINDEX_H

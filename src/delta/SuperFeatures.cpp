@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Super-feature computation: a gear rolling hash over a 32-byte
+/// window; each feature is the minimum of (Hash * Mi + Ai) over all
+/// window positions (an affine permutation per feature); each
+/// super-feature is FNV over its feature group.
+///
+//===----------------------------------------------------------------------===//
+
+#include "delta/SuperFeatures.h"
+
+#include "hash/Fnv.h"
+#include "util/Random.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace padre;
+
+namespace {
+
+constexpr std::size_t WindowSize = 32;
+
+/// Gear table shared by all feature computations (deterministic).
+struct GearTable {
+  std::uint64_t Entries[256];
+  GearTable() {
+    Random Rng(0x5EA7F00DBEEFULL);
+    for (std::uint64_t &Entry : Entries)
+      Entry = Rng.nextU64();
+  }
+};
+
+/// Affine permutation constants per feature (odd multipliers).
+struct Permutations {
+  std::uint64_t Mul[FeatureCount];
+  std::uint64_t Add[FeatureCount];
+  Permutations() {
+    Random Rng(0xFEA7FEA7ULL);
+    for (unsigned I = 0; I < FeatureCount; ++I) {
+      Mul[I] = Rng.nextU64() | 1; // odd => bijective mod 2^64
+      Add[I] = Rng.nextU64();
+    }
+  }
+};
+
+} // namespace
+
+SuperFeatureSet padre::computeSuperFeatures(ByteSpan Data) {
+  static const GearTable Gear;
+  static const Permutations Perm;
+
+  std::uint64_t Features[FeatureCount];
+  std::fill(Features, Features + FeatureCount,
+            std::numeric_limits<std::uint64_t>::max());
+
+  // Gear hash: shift-and-add per byte; the window is implicit (the
+  // shift ages old bytes out after 64 shifts; sampling every position
+  // past WindowSize keeps the classic semantics).
+  std::uint64_t Hash = 0;
+  for (std::size_t I = 0; I < Data.size(); ++I) {
+    Hash = (Hash << 1) + Gear.Entries[Data[I]];
+    if (I + 1 < WindowSize)
+      continue;
+    for (unsigned F = 0; F < FeatureCount; ++F) {
+      const std::uint64_t Permuted = Hash * Perm.Mul[F] + Perm.Add[F];
+      Features[F] = std::min(Features[F], Permuted);
+    }
+  }
+  // Degenerate tiny inputs: fold the bytes so the features are stable
+  // and content-dependent.
+  if (Data.size() < WindowSize)
+    for (unsigned F = 0; F < FeatureCount; ++F)
+      Features[F] = fnv1a64(Data, Perm.Add[F] | 1);
+
+  SuperFeatureSet Supers;
+  for (unsigned S = 0; S < SuperFeatureCount; ++S) {
+    std::uint64_t Acc = FnvOffsetBasis;
+    for (unsigned F = 0; F < FeaturesPerSuper; ++F)
+      Acc = fnv1a64(Features[S * FeaturesPerSuper + F]) ^ (Acc * FnvPrime);
+    Supers[S] = Acc;
+  }
+  return Supers;
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Similarity features for resemblance detection (extension; the
+/// delta-compression direction of Xia et al.'s DARE/Ddelta line cited
+/// in the paper's related work). A chunk's *features* are min-hashes
+/// of its rolling-window fingerprints under independent permutations;
+/// by the min-hash property, two chunks share a feature with
+/// probability equal to their content resemblance. Features are
+/// grouped into *super-features*: two chunks that agree on any
+/// super-feature are similar with high confidence and become a delta
+/// base/target pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_DELTA_SUPERFEATURES_H
+#define PADRE_DELTA_SUPERFEATURES_H
+
+#include "util/Bytes.h"
+
+#include <array>
+#include <cstdint>
+
+namespace padre {
+
+/// Feature geometry: 12 min-hash features grouped into 3
+/// super-features of 4 (the classic configuration).
+inline constexpr unsigned FeatureCount = 12;
+inline constexpr unsigned SuperFeatureCount = 3;
+inline constexpr unsigned FeaturesPerSuper =
+    FeatureCount / SuperFeatureCount;
+
+/// A chunk's super-features.
+using SuperFeatureSet = std::array<std::uint64_t, SuperFeatureCount>;
+
+/// Computes \p Data's super-features. Deterministic; chunks shorter
+/// than the rolling window get degenerate (but stable) features.
+SuperFeatureSet computeSuperFeatures(ByteSpan Data);
+
+/// True if two sets share at least one super-feature — the similarity
+/// predicate.
+inline bool similar(const SuperFeatureSet &A, const SuperFeatureSet &B) {
+  for (unsigned I = 0; I < SuperFeatureCount; ++I)
+    if (A[I] == B[I])
+      return true;
+  return false;
+}
+
+} // namespace padre
+
+#endif // PADRE_DELTA_SUPERFEATURES_H

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GPU device model implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpu/GpuDevice.h"
+
+#include <cassert>
+
+using namespace padre;
+
+const char *padre::kernelFamilyName(KernelFamily Family) {
+  switch (Family) {
+  case KernelFamily::Indexing:
+    return "indexing";
+  case KernelFamily::Hashing:
+    return "hashing";
+  case KernelFamily::Compression:
+    return "compression";
+  }
+  assert(false && "Unknown kernel family");
+  return "?";
+}
+
+GpuDevice::GpuDevice(const CostModel &Model, ResourceLedger &Ledger)
+    : Model(Model), Ledger(Ledger) {
+  assert(isValidCostModel(Model) && "Invalid cost model");
+  for (auto &Count : LaunchCounts)
+    Count.store(0);
+}
+
+std::uint64_t GpuDevice::memoryCapacityBytes() const {
+  return static_cast<std::uint64_t>(Model.Gpu.DeviceMemoryMiB * 1024.0 *
+                                    1024.0);
+}
+
+bool GpuDevice::allocateMemory(std::uint64_t Bytes) {
+  assert(present() && "No GPU on this platform");
+  const std::uint64_t Capacity = memoryCapacityBytes();
+  std::uint64_t Current = MemoryUsed.load();
+  for (;;) {
+    if (Current + Bytes > Capacity)
+      return false;
+    if (MemoryUsed.compare_exchange_weak(Current, Current + Bytes))
+      return true;
+  }
+}
+
+void GpuDevice::releaseMemory(std::uint64_t Bytes) {
+  [[maybe_unused]] const std::uint64_t Previous =
+      MemoryUsed.fetch_sub(Bytes);
+  assert(Previous >= Bytes && "Releasing more device memory than reserved");
+}
+
+void GpuDevice::transferToDevice(std::size_t Bytes) {
+  assert(present() && "No GPU on this platform");
+  Ledger.chargeMicros(Resource::Pcie, Model.pcieTransferUs(Bytes));
+  Ledger.countHostToDevice(Bytes);
+}
+
+void GpuDevice::transferFromDevice(std::size_t Bytes) {
+  assert(present() && "No GPU on this platform");
+  Ledger.chargeMicros(Resource::Pcie, Model.pcieTransferUs(Bytes));
+  Ledger.countDeviceToHost(Bytes);
+}
+
+void GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
+                             const std::function<void()> &Body) {
+  assert(present() && "No GPU on this platform");
+  assert(ExecMicros >= 0.0 && "Negative kernel execution time");
+  const double Penalty =
+      MixedMode.load() ? Model.Gpu.MixedKernelPenalty : 1.0;
+  Ledger.chargeMicros(Resource::Gpu,
+                      (Model.Gpu.LaunchUs + ExecMicros) * Penalty);
+  Ledger.countKernelLaunch();
+  LaunchCounts[static_cast<unsigned>(Family)].fetch_add(1);
+  if (Body)
+    Body();
+}
+
+std::uint64_t GpuDevice::launches(KernelFamily Family) const {
+  return LaunchCounts[static_cast<unsigned>(Family)].load();
+}

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GPU device model — the substitution for the paper's Radeon
+/// HD 7970 (see DESIGN.md §1). Kernels execute *functionally* on the
+/// calling host thread so results are bit-exact, while the architectural
+/// costs the paper's design reasons about are charged to the resource
+/// ledger explicitly:
+///
+///   * fixed kernel-launch latency ("the inevitable time at which the
+///     GPU kernel starts", §3.1(3)),
+///   * host<->device transfers over the PCIe link (§3.1(2) first
+///     architectural consideration),
+///   * kernel execution time from the calibrated per-byte/per-entry
+///     rates in sim/CostModel.h,
+///   * a mixed-kernel occupancy penalty when both reduction operations
+///     share the device (integration mode GpuBoth, §4(3)),
+///   * a bounded device-memory arena (the GPU bin table must fit, which
+///     is why it uses random replacement, §3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_GPU_GPUDEVICE_H
+#define PADRE_GPU_GPUDEVICE_H
+
+#include "sim/CostModel.h"
+#include "sim/ResourceLedger.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace padre {
+
+/// Kernel families tracked by the device (for reports and for the
+/// mixed-kernel penalty).
+enum class KernelFamily : unsigned {
+  Indexing = 0,    ///< bin-table probe kernels (dedup offload)
+  Hashing = 1,     ///< SHA-1 fingerprint kernels (dedup offload)
+  Compression = 2, ///< lane-parallel LZ kernels
+};
+
+inline constexpr unsigned KernelFamilyCount = 3;
+
+/// Returns "indexing", "hashing" or "compression".
+const char *kernelFamilyName(KernelFamily Family);
+
+/// The modelled discrete GPU. Thread-safe: engines launch kernels from
+/// multiple pool threads concurrently.
+class GpuDevice {
+public:
+  /// \p Model supplies the calibrated GPU/PCIe constants; \p Ledger
+  /// receives all charges. Both must outlive the device.
+  GpuDevice(const CostModel &Model, ResourceLedger &Ledger);
+
+  /// False if the platform has no GPU; all other calls are then invalid.
+  bool present() const { return Model.Gpu.Present; }
+
+  /// Device-memory capacity in bytes.
+  std::uint64_t memoryCapacityBytes() const;
+
+  /// Reserves \p Bytes of device memory. Returns false (and reserves
+  /// nothing) if the arena would overflow.
+  bool allocateMemory(std::uint64_t Bytes);
+
+  /// Releases \p Bytes previously reserved.
+  void releaseMemory(std::uint64_t Bytes);
+
+  std::uint64_t memoryUsedBytes() const { return MemoryUsed.load(); }
+
+  /// Charges a host-to-device DMA of \p Bytes to the PCIe link.
+  void transferToDevice(std::size_t Bytes);
+
+  /// Charges a device-to-host DMA of \p Bytes to the PCIe link.
+  void transferFromDevice(std::size_t Bytes);
+
+  /// Launches a kernel: runs \p Body functionally on the calling thread
+  /// and charges launch latency plus \p ExecMicros of execution to the
+  /// GPU resource (both scaled by the mixed-kernel penalty when mixed
+  /// mode is enabled).
+  void launchKernel(KernelFamily Family, double ExecMicros,
+                    const std::function<void()> &Body);
+
+  /// Enables/disables the mixed-kernel occupancy penalty. Set by the
+  /// pipeline when both reduction operations offload to the GPU.
+  void setMixedMode(bool Mixed) { MixedMode.store(Mixed); }
+  bool mixedMode() const { return MixedMode.load(); }
+
+  /// Number of kernels launched for \p Family since construction.
+  std::uint64_t launches(KernelFamily Family) const;
+
+  /// The cost model the device was built with.
+  const CostModel &costModel() const { return Model; }
+
+private:
+  CostModel Model;
+  ResourceLedger &Ledger;
+  std::atomic<std::uint64_t> MemoryUsed{0};
+  std::atomic<bool> MixedMode{false};
+  std::atomic<std::uint64_t> LaunchCounts[KernelFamilyCount];
+};
+
+} // namespace padre
+
+#endif // PADRE_GPU_GPUDEVICE_H

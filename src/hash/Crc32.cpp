@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table-driven CRC-32C. The table is computed on first use from the
+/// reflected Castagnoli polynomial (no static constructors; the lazy
+/// local static is initialized on first call).
+///
+//===----------------------------------------------------------------------===//
+
+#include "hash/Crc32.h"
+
+#include <array>
+
+using namespace padre;
+
+namespace {
+
+std::array<std::uint32_t, 256> buildTable() {
+  constexpr std::uint32_t ReflectedPoly = 0x82F63B78u; // 0x1EDC6F41 reflected
+  std::array<std::uint32_t, 256> Table{};
+  for (std::uint32_t I = 0; I < 256; ++I) {
+    std::uint32_t Crc = I;
+    for (unsigned Bit = 0; Bit < 8; ++Bit)
+      Crc = (Crc & 1) ? (Crc >> 1) ^ ReflectedPoly : Crc >> 1;
+    Table[I] = Crc;
+  }
+  return Table;
+}
+
+} // namespace
+
+std::uint32_t padre::crc32c(ByteSpan Data, std::uint32_t Seed) {
+  static const std::array<std::uint32_t, 256> Table = buildTable();
+  std::uint32_t Crc = ~Seed;
+  for (std::uint8_t Byte : Data)
+    Crc = Table[(Crc ^ Byte) & 0xFF] ^ (Crc >> 8);
+  return ~Crc;
+}

@@ -1,0 +1,24 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected). Used as the
+/// integrity check on compressed block payloads and SSD destage records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_HASH_CRC32_H
+#define PADRE_HASH_CRC32_H
+
+#include "util/Bytes.h"
+
+#include <cstdint>
+
+namespace padre {
+
+/// CRC-32C of \p Data, continuing from \p Seed (pass the previous result
+/// to process data in pieces; the default seed starts a fresh CRC).
+std::uint32_t crc32c(ByteSpan Data, std::uint32_t Seed = 0);
+
+} // namespace padre
+
+#endif // PADRE_HASH_CRC32_H

@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the fingerprint bin/prefix arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hash/Fingerprint.h"
+
+#include <cassert>
+
+using namespace padre;
+
+std::uint32_t Fingerprint::binId(unsigned BinBits) const {
+  assert(BinBits >= 1 && BinBits <= 32 && "Bin bits out of range");
+  std::uint64_t Lead = 0;
+  for (unsigned I = 0; I < 5; ++I)
+    Lead = (Lead << 8) | Bytes[I];
+  // Lead holds the first 40 bits of the digest; take the top BinBits.
+  return static_cast<std::uint32_t>(Lead >> (40 - BinBits));
+}
+
+std::uint64_t Fingerprint::key64(unsigned Offset) const {
+  std::uint64_t Key = 0;
+  for (unsigned I = 0; I < 8; ++I) {
+    Key <<= 8;
+    const unsigned Index = Offset + I;
+    if (Index < Size)
+      Key |= Bytes[Index];
+  }
+  return Key;
+}
+
+std::string Fingerprint::hex() const {
+  return toHex(ByteSpan(Bytes.data(), Bytes.size()));
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a 64-bit hashing. Used for cheap non-cryptographic needs: hash
+/// chains in the LZ matchers and bucket selection in tests. Not used as
+/// a chunk identity (that is SHA-1, see hash/Sha1.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_HASH_FNV_H
+#define PADRE_HASH_FNV_H
+
+#include "util/Bytes.h"
+
+#include <cstdint>
+
+namespace padre {
+
+inline constexpr std::uint64_t FnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t FnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over \p Data, optionally continuing from \p Seed.
+inline std::uint64_t fnv1a64(ByteSpan Data,
+                             std::uint64_t Seed = FnvOffsetBasis) {
+  std::uint64_t Hash = Seed;
+  for (std::uint8_t Byte : Data) {
+    Hash ^= Byte;
+    Hash *= FnvPrime;
+  }
+  return Hash;
+}
+
+/// FNV-1a over a single 64-bit value (mixes all 8 bytes).
+inline std::uint64_t fnv1a64(std::uint64_t Value) {
+  std::uint64_t Hash = FnvOffsetBasis;
+  for (unsigned I = 0; I < 8; ++I) {
+    Hash ^= (Value >> (8 * I)) & 0xFF;
+    Hash *= FnvPrime;
+  }
+  return Hash;
+}
+
+} // namespace padre
+
+#endif // PADRE_HASH_FNV_H

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-1 per FIPS 180-1 (straightforward 80-round implementation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "hash/Sha1.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace padre;
+
+static std::uint32_t rotl32(std::uint32_t X, int K) {
+  return (X << K) | (X >> (32 - K));
+}
+
+void Sha1::reset() {
+  State[0] = 0x67452301u;
+  State[1] = 0xEFCDAB89u;
+  State[2] = 0x98BADCFEu;
+  State[3] = 0x10325476u;
+  State[4] = 0xC3D2E1F0u;
+  TotalBits = 0;
+  BufferedBytes = 0;
+}
+
+void Sha1::update(ByteSpan Data) {
+  TotalBits += static_cast<std::uint64_t>(Data.size()) * 8;
+  const std::uint8_t *Ptr = Data.data();
+  std::size_t Remaining = Data.size();
+
+  if (BufferedBytes != 0) {
+    const std::size_t Take = std::min(Remaining, 64 - BufferedBytes);
+    std::memcpy(Buffer + BufferedBytes, Ptr, Take);
+    BufferedBytes += Take;
+    Ptr += Take;
+    Remaining -= Take;
+    if (BufferedBytes == 64) {
+      processBlock(Buffer);
+      BufferedBytes = 0;
+    }
+  }
+  while (Remaining >= 64) {
+    processBlock(Ptr);
+    Ptr += 64;
+    Remaining -= 64;
+  }
+  if (Remaining != 0) {
+    std::memcpy(Buffer, Ptr, Remaining);
+    BufferedBytes = Remaining;
+  }
+}
+
+Sha1::Digest Sha1::final() {
+  // Append the 0x80 terminator, zero padding, and the 64-bit big-endian
+  // message length so the total is a multiple of 64 bytes.
+  const std::uint64_t MessageBits = TotalBits;
+  std::uint8_t Pad[72] = {0x80};
+  const std::size_t PadLength =
+      (BufferedBytes < 56) ? (56 - BufferedBytes) : (120 - BufferedBytes);
+  update(ByteSpan(Pad, PadLength));
+  std::uint8_t Length[8];
+  for (unsigned I = 0; I < 8; ++I)
+    Length[I] = static_cast<std::uint8_t>(MessageBits >> (56 - 8 * I));
+  // `update` also advanced TotalBits for the padding; that is harmless
+  // because MessageBits was captured first.
+  update(ByteSpan(Length, 8));
+  assert(BufferedBytes == 0 && "Padding must align to a full block");
+
+  Digest Result;
+  for (unsigned I = 0; I < 5; ++I)
+    for (unsigned J = 0; J < 4; ++J)
+      Result[I * 4 + J] = static_cast<std::uint8_t>(State[I] >> (24 - 8 * J));
+  return Result;
+}
+
+Sha1::Digest Sha1::digest(ByteSpan Data) {
+  Sha1 Context;
+  Context.update(Data);
+  return Context.final();
+}
+
+void Sha1::processBlock(const std::uint8_t *Block) {
+  std::uint32_t W[80];
+  for (unsigned I = 0; I < 16; ++I)
+    W[I] = (static_cast<std::uint32_t>(Block[I * 4]) << 24) |
+           (static_cast<std::uint32_t>(Block[I * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(Block[I * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(Block[I * 4 + 3]);
+  for (unsigned I = 16; I < 80; ++I)
+    W[I] = rotl32(W[I - 3] ^ W[I - 8] ^ W[I - 14] ^ W[I - 16], 1);
+
+  std::uint32_t A = State[0], B = State[1], C = State[2], D = State[3],
+                E = State[4];
+  for (unsigned I = 0; I < 80; ++I) {
+    std::uint32_t F, K;
+    if (I < 20) {
+      F = (B & C) | (~B & D);
+      K = 0x5A827999u;
+    } else if (I < 40) {
+      F = B ^ C ^ D;
+      K = 0x6ED9EBA1u;
+    } else if (I < 60) {
+      F = (B & C) | (B & D) | (C & D);
+      K = 0x8F1BBCDCu;
+    } else {
+      F = B ^ C ^ D;
+      K = 0xCA62C1D6u;
+    }
+    const std::uint32_t Temp = rotl32(A, 5) + F + E + K + W[I];
+    E = D;
+    D = C;
+    C = rotl32(B, 30);
+    B = A;
+    A = Temp;
+  }
+  State[0] += A;
+  State[1] += B;
+  State[2] += C;
+  State[3] += D;
+  State[4] += E;
+}

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-1 implemented from the FIPS 180-1 specification. The paper uses
+/// SHA-1 (20-byte digests) as the chunk identifier for deduplication
+/// (§2: "the hash size (SHA1, 20 bytes)"); collisions are treated as
+/// identity, the standard assumption in deduplication systems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_HASH_SHA1_H
+#define PADRE_HASH_SHA1_H
+
+#include "util/Bytes.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace padre {
+
+/// Streaming SHA-1 context. Supports incremental `update` calls followed
+/// by a single `final`; `Sha1::digest` is the one-shot convenience form.
+class Sha1 {
+public:
+  static constexpr std::size_t DigestSize = 20;
+  using Digest = std::array<std::uint8_t, DigestSize>;
+
+  Sha1() { reset(); }
+
+  /// Reinitializes the context to the standard initial state.
+  void reset();
+
+  /// Absorbs \p Data into the running hash.
+  void update(ByteSpan Data);
+
+  /// Finishes the hash and returns the 20-byte digest. The context must
+  /// be `reset` before further use.
+  Digest final();
+
+  /// One-shot convenience: digest of \p Data.
+  static Digest digest(ByteSpan Data);
+
+private:
+  void processBlock(const std::uint8_t *Block);
+
+  std::uint32_t State[5];
+  std::uint64_t TotalBits;
+  std::uint8_t Buffer[64];
+  std::size_t BufferedBytes;
+};
+
+} // namespace padre
+
+#endif // PADRE_HASH_SHA1_H

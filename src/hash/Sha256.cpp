@@ -1,0 +1,134 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-256 per FIPS 180-2 (64-round implementation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "hash/Sha256.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace padre;
+
+static std::uint32_t rotr32(std::uint32_t X, int K) {
+  return (X >> K) | (X << (32 - K));
+}
+
+static const std::uint32_t RoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+void Sha256::reset() {
+  static const std::uint32_t Initial[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                           0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                           0x1f83d9ab, 0x5be0cd19};
+  std::memcpy(State, Initial, sizeof(State));
+  TotalBits = 0;
+  BufferedBytes = 0;
+}
+
+void Sha256::update(ByteSpan Data) {
+  TotalBits += static_cast<std::uint64_t>(Data.size()) * 8;
+  const std::uint8_t *Ptr = Data.data();
+  std::size_t Remaining = Data.size();
+
+  if (BufferedBytes != 0) {
+    const std::size_t Take = std::min(Remaining, 64 - BufferedBytes);
+    std::memcpy(Buffer + BufferedBytes, Ptr, Take);
+    BufferedBytes += Take;
+    Ptr += Take;
+    Remaining -= Take;
+    if (BufferedBytes == 64) {
+      processBlock(Buffer);
+      BufferedBytes = 0;
+    }
+  }
+  while (Remaining >= 64) {
+    processBlock(Ptr);
+    Ptr += 64;
+    Remaining -= 64;
+  }
+  if (Remaining != 0) {
+    std::memcpy(Buffer, Ptr, Remaining);
+    BufferedBytes = Remaining;
+  }
+}
+
+Sha256::Digest Sha256::final() {
+  const std::uint64_t MessageBits = TotalBits;
+  std::uint8_t Pad[72] = {0x80};
+  const std::size_t PadLength =
+      (BufferedBytes < 56) ? (56 - BufferedBytes) : (120 - BufferedBytes);
+  update(ByteSpan(Pad, PadLength));
+  std::uint8_t Length[8];
+  for (unsigned I = 0; I < 8; ++I)
+    Length[I] = static_cast<std::uint8_t>(MessageBits >> (56 - 8 * I));
+  update(ByteSpan(Length, 8));
+  assert(BufferedBytes == 0 && "Padding must align to a full block");
+
+  Digest Result;
+  for (unsigned I = 0; I < 8; ++I)
+    for (unsigned J = 0; J < 4; ++J)
+      Result[I * 4 + J] = static_cast<std::uint8_t>(State[I] >> (24 - 8 * J));
+  return Result;
+}
+
+Sha256::Digest Sha256::digest(ByteSpan Data) {
+  Sha256 Context;
+  Context.update(Data);
+  return Context.final();
+}
+
+void Sha256::processBlock(const std::uint8_t *Block) {
+  std::uint32_t W[64];
+  for (unsigned I = 0; I < 16; ++I)
+    W[I] = (static_cast<std::uint32_t>(Block[I * 4]) << 24) |
+           (static_cast<std::uint32_t>(Block[I * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(Block[I * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(Block[I * 4 + 3]);
+  for (unsigned I = 16; I < 64; ++I) {
+    const std::uint32_t S0 = rotr32(W[I - 15], 7) ^ rotr32(W[I - 15], 18) ^
+                             (W[I - 15] >> 3);
+    const std::uint32_t S1 = rotr32(W[I - 2], 17) ^ rotr32(W[I - 2], 19) ^
+                             (W[I - 2] >> 10);
+    W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+  }
+
+  std::uint32_t A = State[0], B = State[1], C = State[2], D = State[3];
+  std::uint32_t E = State[4], F = State[5], G = State[6], H = State[7];
+  for (unsigned I = 0; I < 64; ++I) {
+    const std::uint32_t S1 = rotr32(E, 6) ^ rotr32(E, 11) ^ rotr32(E, 25);
+    const std::uint32_t Ch = (E & F) ^ (~E & G);
+    const std::uint32_t Temp1 = H + S1 + Ch + RoundConstants[I] + W[I];
+    const std::uint32_t S0 = rotr32(A, 2) ^ rotr32(A, 13) ^ rotr32(A, 22);
+    const std::uint32_t Maj = (A & B) ^ (A & C) ^ (B & C);
+    const std::uint32_t Temp2 = S0 + Maj;
+    H = G;
+    G = F;
+    F = E;
+    E = D + Temp1;
+    D = C;
+    C = B;
+    B = A;
+    A = Temp1 + Temp2;
+  }
+  State[0] += A;
+  State[1] += B;
+  State[2] += C;
+  State[3] += D;
+  State[4] += E;
+  State[5] += F;
+  State[6] += G;
+  State[7] += H;
+}

@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-256 (FIPS 180-2). Provided as an alternative, collision-stronger
+/// fingerprint for deployments that cannot accept SHA-1; the dedup index
+/// is digest-width agnostic (see index/BinLayout.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_HASH_SHA256_H
+#define PADRE_HASH_SHA256_H
+
+#include "util/Bytes.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace padre {
+
+/// Streaming SHA-256 context mirroring the Sha1 interface.
+class Sha256 {
+public:
+  static constexpr std::size_t DigestSize = 32;
+  using Digest = std::array<std::uint8_t, DigestSize>;
+
+  Sha256() { reset(); }
+
+  /// Reinitializes the context to the standard initial state.
+  void reset();
+
+  /// Absorbs \p Data into the running hash.
+  void update(ByteSpan Data);
+
+  /// Finishes the hash and returns the 32-byte digest.
+  Digest final();
+
+  /// One-shot convenience: digest of \p Data.
+  static Digest digest(ByteSpan Data);
+
+private:
+  void processBlock(const std::uint8_t *Block);
+
+  std::uint32_t State[8];
+  std::uint64_t TotalBits;
+  std::uint8_t Buffer[64];
+  std::size_t BufferedBytes;
+};
+
+} // namespace padre
+
+#endif // PADRE_HASH_SHA256_H

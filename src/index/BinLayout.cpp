@@ -1,0 +1,22 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bin layout implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "index/BinLayout.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace padre;
+
+BinLayout::BinLayout(unsigned BinBits) : BinBits(BinBits) {
+  assert(BinBits >= 1 && BinBits <= 32 && "Bin bits out of range");
+}
+
+void BinLayout::extractSuffix(const Fingerprint &Fp,
+                              std::uint8_t *Out) const {
+  std::memcpy(Out, Fp.bytes().data() + prefixBytes(), suffixBytes());
+}

@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GPU bin table implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "index/GpuBinTable.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace padre;
+
+GpuBinTable::GpuBinTable(GpuDevice &Device, const BinLayout &Layout,
+                         std::size_t SlotsPerBin, std::uint64_t Seed)
+    : Device(Device), Layout(Layout), SuffixBytes(Layout.suffixBytes()),
+      SlotsPerBin(SlotsPerBin), Rng(Seed) {
+  assert(Device.present() && "GPU bin table requires a GPU");
+  assert(SlotsPerBin > 0 && SlotsPerBin <= 0xFFFF &&
+         "Slots per bin out of range");
+
+  // Cover as many bins as the device-memory budget allows. Per slot the
+  // device holds the suffix plus a validity byte.
+  const std::uint64_t BytesPerBin =
+      static_cast<std::uint64_t>(SlotsPerBin) * (SuffixBytes + 1);
+  const std::uint64_t Budget =
+      Device.memoryCapacityBytes() - Device.memoryUsedBytes();
+  std::uint64_t Bins = BytesPerBin == 0 ? 0 : Budget / BytesPerBin;
+  Bins = std::min<std::uint64_t>(Bins, Layout.binCount());
+  CoveredBins = static_cast<std::uint32_t>(Bins);
+
+  DeviceBytes = CoveredBins * BytesPerBin;
+  [[maybe_unused]] const bool Ok = Device.allocateMemory(DeviceBytes);
+  assert(Ok && "Device arena accounting disagrees with budget math");
+
+  const std::size_t TotalSlots =
+      static_cast<std::size_t>(CoveredBins) * SlotsPerBin;
+  DeviceSuffixes.resize(TotalSlots * SuffixBytes);
+  SlotValid.assign(TotalSlots, 0);
+  BinFill.assign(CoveredBins, 0);
+  HostLocations.assign(TotalSlots, 0);
+}
+
+GpuBinTable::~GpuBinTable() { Device.releaseMemory(DeviceBytes); }
+
+double GpuBinTable::coverageFraction() const {
+  return static_cast<double>(CoveredBins) /
+         static_cast<double>(Layout.binCount());
+}
+
+GpuProbeResult GpuBinTable::probe(const Fingerprint &Fp) const {
+  const std::uint32_t Bin = Layout.binOf(Fp);
+  assert(coversBin(Bin) && "Probe of a non-resident bin");
+  std::uint8_t Suffix[Fingerprint::Size];
+  Layout.extractSuffix(Fp, Suffix);
+
+  // Linear scan — the lockstep-friendly access pattern (§3.1(2)).
+  const std::size_t Base = slotBase(Bin);
+  const std::size_t Fill = BinFill[Bin];
+  for (std::size_t I = 0; I < Fill; ++I) {
+    const std::size_t Slot = Base + I;
+    if (SlotValid[Slot] &&
+        std::memcmp(DeviceSuffixes.data() + Slot * SuffixBytes, Suffix,
+                    SuffixBytes) == 0)
+      return GpuProbeResult{true, static_cast<std::uint32_t>(Slot)};
+  }
+  return GpuProbeResult{};
+}
+
+std::uint64_t GpuBinTable::resolveLocation(std::uint32_t SlotIndex) const {
+  assert(SlotIndex < HostLocations.size() && SlotValid[SlotIndex] &&
+         "Resolving an invalid slot");
+  return HostLocations[SlotIndex];
+}
+
+void GpuBinTable::applyFlush(std::uint32_t Bin, ByteSpan Suffixes,
+                             const std::vector<std::uint64_t> &Locations) {
+  assert(Suffixes.size() == Locations.size() * SuffixBytes &&
+         "Run arrays disagree");
+  if (!coversBin(Bin))
+    return;
+  const std::size_t Base = slotBase(Bin);
+  for (std::size_t I = 0; I < Locations.size(); ++I) {
+    std::size_t Slot;
+    if (BinFill[Bin] < SlotsPerBin) {
+      Slot = Base + BinFill[Bin];
+      ++BinFill[Bin];
+    } else {
+      // Random replacement (§3.3): the device bin is full.
+      Slot = Base + Rng.nextBelow(SlotsPerBin);
+    }
+    std::memcpy(DeviceSuffixes.data() + Slot * SuffixBytes,
+                Suffixes.data() + I * SuffixBytes, SuffixBytes);
+    SlotValid[Slot] = 1;
+    HostLocations[Slot] = Locations[I];
+  }
+}
+
+bool GpuBinTable::invalidate(const Fingerprint &Fp) {
+  const std::uint32_t Bin = Layout.binOf(Fp);
+  if (!coversBin(Bin))
+    return false;
+  const GpuProbeResult Probe = probe(Fp);
+  if (!Probe.Hit)
+    return false;
+  SlotValid[Probe.SlotIndex] = 0;
+  return true;
+}
+
+std::size_t GpuBinTable::occupiedSlots() const {
+  std::size_t Total = 0;
+  for (std::uint8_t Valid : SlotValid)
+    Total += Valid;
+  return Total;
+}

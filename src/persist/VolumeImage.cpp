@@ -1,0 +1,255 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Volume image serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "persist/VolumeImage.h"
+
+#include "hash/Crc32.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace padre;
+
+namespace {
+
+constexpr std::uint64_t ImageMagic = 0x314D494552444150ull; // "PADREIM1"
+constexpr std::uint32_t ImageVersion = 2;
+constexpr std::size_t SuperblockSize = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t ChunkRecordHeader = 8 + 4 + 4 + Fingerprint::Size;
+constexpr std::size_t MappingRecordSize = 16;
+
+void appendLe32(ByteVector &Out, std::uint32_t Value) {
+  std::uint8_t Buffer[4];
+  storeLe32(Buffer, Value);
+  appendBytes(Out, ByteSpan(Buffer, 4));
+}
+
+void appendLe64(ByteVector &Out, std::uint64_t Value) {
+  std::uint8_t Buffer[8];
+  storeLe64(Buffer, Value);
+  appendBytes(Out, ByteSpan(Buffer, 8));
+}
+
+/// Bounds-checked sequential reader over the loaded image.
+class ImageReader {
+public:
+  explicit ImageReader(ByteSpan Data) : Data(Data) {}
+
+  bool readLe32(std::uint32_t &Value) {
+    if (Position + 4 > Data.size())
+      return false;
+    Value = loadLe32(Data.data() + Position);
+    Position += 4;
+    return true;
+  }
+  bool readLe64(std::uint64_t &Value) {
+    if (Position + 8 > Data.size())
+      return false;
+    Value = loadLe64(Data.data() + Position);
+    Position += 8;
+    return true;
+  }
+  bool readBytes(std::uint8_t *Out, std::size_t Count) {
+    if (Position + Count > Data.size())
+      return false;
+    std::copy(Data.begin() + Position, Data.begin() + Position + Count,
+              Out);
+    Position += Count;
+    return true;
+  }
+  bool readSpan(std::size_t Count, ByteSpan &Out) {
+    if (Position + Count > Data.size())
+      return false;
+    Out = Data.subspan(Position, Count);
+    Position += Count;
+    return true;
+  }
+  std::size_t position() const { return Position; }
+  bool atEnd() const { return Position == Data.size(); }
+
+private:
+  ByteSpan Data;
+  std::size_t Position = 0;
+};
+
+} // namespace
+
+ImageResult padre::saveVolumeImage(const std::string &Path,
+                                   const Volume &Vol,
+                                   const ReductionPipeline &Pipeline) {
+  // Build the image in memory (images are store-sized, i.e. small in
+  // this reproduction), then write once.
+  const std::vector<Volume::ChunkRecord> Records = Vol.chunkRecords();
+  const std::vector<std::uint64_t> &Mapping = Vol.mapping();
+  std::uint64_t MappedCount = 0;
+  for (std::uint64_t Location : Mapping)
+    MappedCount += Location != Volume::Unmapped;
+
+  ByteVector Image;
+  Image.reserve(SuperblockSize + Pipeline.store().storedBytes() +
+                Records.size() * ChunkRecordHeader +
+                MappedCount * MappingRecordSize + 4);
+  appendLe64(Image, ImageMagic);
+  appendLe32(Image, ImageVersion);
+  appendLe32(Image, static_cast<std::uint32_t>(Vol.blockSize()));
+  appendLe64(Image, Vol.blockCount());
+  appendLe64(Image, Records.size());
+  appendLe64(Image, MappedCount);
+
+  for (const Volume::ChunkRecord &Record : Records) {
+    const auto Block = Pipeline.store().encodedBlock(Record.Location);
+    if (!Block)
+      return ImageResult::failure("chunk " +
+                                  std::to_string(Record.Location) +
+                                  " missing from the store");
+    appendLe64(Image, Record.Location);
+    appendLe32(Image, static_cast<std::uint32_t>(Block->size()));
+    appendLe32(Image, Record.Refs);
+    appendBytes(Image, ByteSpan(Record.Fp.bytes().data(),
+                                Fingerprint::Size));
+    appendBytes(Image, *Block);
+  }
+
+  for (std::uint64_t Lba = 0; Lba < Mapping.size(); ++Lba) {
+    if (Mapping[Lba] == Volume::Unmapped)
+      continue;
+    appendLe64(Image, Lba);
+    appendLe64(Image, Mapping[Lba]);
+  }
+
+  // Snapshot tables (format v2): id + sparse mapping each.
+  const Volume::SnapshotTable Snapshots = Vol.snapshotTable();
+  appendLe64(Image, Snapshots.size());
+  for (const auto &[Id, SnapMapping] : Snapshots) {
+    appendLe64(Image, Id);
+    std::uint64_t SnapMapped = 0;
+    for (std::uint64_t Location : SnapMapping)
+      SnapMapped += Location != Volume::Unmapped;
+    appendLe64(Image, SnapMapped);
+    for (std::uint64_t Lba = 0; Lba < SnapMapping.size(); ++Lba) {
+      if (SnapMapping[Lba] == Volume::Unmapped)
+        continue;
+      appendLe64(Image, Lba);
+      appendLe64(Image, SnapMapping[Lba]);
+    }
+  }
+
+  appendLe32(Image, crc32c(ByteSpan(Image.data(), Image.size())));
+
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return ImageResult::failure("cannot open " + Path + " for writing");
+  const std::size_t Written =
+      std::fwrite(Image.data(), 1, Image.size(), File);
+  const bool CloseOk = std::fclose(File) == 0;
+  if (Written != Image.size() || !CloseOk)
+    return ImageResult::failure("short write to " + Path);
+  return ImageResult::success();
+}
+
+ImageResult padre::loadVolumeImage(const std::string &Path,
+                                   ReductionPipeline &Pipeline,
+                                   Volume &Vol) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return ImageResult::failure("cannot open " + Path);
+  std::fseek(File, 0, SEEK_END);
+  const long Size = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  if (Size < static_cast<long>(SuperblockSize + 4)) {
+    std::fclose(File);
+    return ImageResult::failure("image too small");
+  }
+  ByteVector Image(static_cast<std::size_t>(Size));
+  const std::size_t Read = std::fread(Image.data(), 1, Image.size(), File);
+  std::fclose(File);
+  if (Read != Image.size())
+    return ImageResult::failure("short read from " + Path);
+
+  // Whole-file integrity first.
+  const std::uint32_t StoredCrc = loadLe32(Image.data() + Image.size() - 4);
+  if (crc32c(ByteSpan(Image.data(), Image.size() - 4)) != StoredCrc)
+    return ImageResult::failure("image CRC mismatch (corrupt file)");
+
+  ImageReader Reader(ByteSpan(Image.data(), Image.size() - 4));
+  std::uint64_t Magic, BlockCount, ChunkCount, MappedCount;
+  std::uint32_t Version, ChunkSize;
+  if (!Reader.readLe64(Magic) || !Reader.readLe32(Version) ||
+      !Reader.readLe32(ChunkSize) || !Reader.readLe64(BlockCount) ||
+      !Reader.readLe64(ChunkCount) || !Reader.readLe64(MappedCount))
+    return ImageResult::failure("truncated superblock");
+  if (Magic != ImageMagic)
+    return ImageResult::failure("not a padre volume image");
+  if (Version != ImageVersion)
+    return ImageResult::failure("unsupported image version " +
+                                std::to_string(Version));
+  if (ChunkSize != Pipeline.config().ChunkSize)
+    return ImageResult::failure("chunk size mismatch");
+  if (BlockCount != Vol.blockCount())
+    return ImageResult::failure("volume geometry mismatch");
+
+  std::vector<Volume::ChunkRecord> Records;
+  Records.reserve(ChunkCount);
+  for (std::uint64_t I = 0; I < ChunkCount; ++I) {
+    Volume::ChunkRecord Record;
+    std::uint32_t EncodedSize;
+    std::array<std::uint8_t, Fingerprint::Size> Digest;
+    if (!Reader.readLe64(Record.Location) ||
+        !Reader.readLe32(EncodedSize) || !Reader.readLe32(Record.Refs) ||
+        !Reader.readBytes(Digest.data(), Digest.size()))
+      return ImageResult::failure("truncated chunk record");
+    Record.Fp = Fingerprint(Digest);
+    ByteSpan Block;
+    if (!Reader.readSpan(EncodedSize, Block))
+      return ImageResult::failure("truncated chunk payload");
+    if (!decodeBlock(Block))
+      return ImageResult::failure("corrupt chunk block at location " +
+                                  std::to_string(Record.Location));
+    if (!Pipeline.restoreChunk(Record.Location,
+                               ByteVector(Block.begin(), Block.end()),
+                               Record.Fp))
+      return ImageResult::failure("duplicate chunk location " +
+                                  std::to_string(Record.Location));
+    Records.push_back(Record);
+  }
+
+  std::vector<std::uint64_t> Mapping(BlockCount, Volume::Unmapped);
+  for (std::uint64_t I = 0; I < MappedCount; ++I) {
+    std::uint64_t Lba, Location;
+    if (!Reader.readLe64(Lba) || !Reader.readLe64(Location))
+      return ImageResult::failure("truncated mapping record");
+    if (Lba >= BlockCount)
+      return ImageResult::failure("mapping LBA out of range");
+    Mapping[Lba] = Location;
+  }
+  Volume::SnapshotTable Snapshots;
+  std::uint64_t SnapshotCount;
+  if (!Reader.readLe64(SnapshotCount))
+    return ImageResult::failure("truncated snapshot count");
+  for (std::uint64_t S = 0; S < SnapshotCount; ++S) {
+    std::uint64_t Id, SnapMapped;
+    if (!Reader.readLe64(Id) || !Reader.readLe64(SnapMapped))
+      return ImageResult::failure("truncated snapshot header");
+    std::vector<std::uint64_t> SnapMapping(BlockCount, Volume::Unmapped);
+    for (std::uint64_t I = 0; I < SnapMapped; ++I) {
+      std::uint64_t Lba, Location;
+      if (!Reader.readLe64(Lba) || !Reader.readLe64(Location))
+        return ImageResult::failure("truncated snapshot record");
+      if (Lba >= BlockCount)
+        return ImageResult::failure("snapshot LBA out of range");
+      SnapMapping[Lba] = Location;
+    }
+    Snapshots.emplace_back(Id, std::move(SnapMapping));
+  }
+  if (!Reader.atEnd())
+    return ImageResult::failure("trailing bytes after snapshot tables");
+
+  if (!Vol.restoreState(std::move(Mapping), Records,
+                        std::move(Snapshots)))
+    return ImageResult::failure("volume state restore rejected");
+  return ImageResult::success();
+}

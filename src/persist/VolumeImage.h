@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Volume image persistence: serializes a volume (LBA mapping +
+/// reference table) together with its pipeline's chunk store into a
+/// single self-validating file, and restores both — rebuilding the
+/// dedup index from the persisted fingerprints so dedup continues
+/// across remounts.
+///
+/// Image format (little-endian):
+///   superblock: u64 magic "PADREIM1", u32 version, u32 chunk size,
+///               u64 block count, u64 chunk count, u64 mapped count
+///   chunk records: u64 location, u32 encoded size, u32 refs,
+///                  20-byte fingerprint, encoded block bytes
+///   mapping records: u64 lba, u64 location   (mapped LBAs only)
+///   trailer: u32 CRC-32C over everything before it
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_PERSIST_VOLUMEIMAGE_H
+#define PADRE_PERSIST_VOLUMEIMAGE_H
+
+#include "core/Volume.h"
+
+#include <string>
+
+namespace padre {
+
+/// Outcome of an image operation; `Ok` is true on success and
+/// `Message` carries a human-readable reason otherwise.
+struct ImageResult {
+  bool Ok = false;
+  std::string Message;
+
+  static ImageResult success() { return ImageResult{true, ""}; }
+  static ImageResult failure(std::string Why) {
+    return ImageResult{false, std::move(Why)};
+  }
+};
+
+/// Writes \p Vol (and its pipeline's chunk store) to \p Path.
+ImageResult saveVolumeImage(const std::string &Path, const Volume &Vol,
+                            const ReductionPipeline &Pipeline);
+
+/// Restores an image into a *freshly constructed* \p Pipeline /
+/// \p Vol pair with matching chunk size and block count. Rebuilds the
+/// dedup index from the persisted fingerprints. On failure nothing is
+/// guaranteed about the pair's state; rebuild before retrying.
+ImageResult loadVolumeImage(const std::string &Path,
+                            ReductionPipeline &Pipeline, Volume &Vol);
+
+} // namespace padre
+
+#endif // PADRE_PERSIST_VOLUMEIMAGE_H

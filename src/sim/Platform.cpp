@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Platform profile definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Platform.h"
+
+using namespace padre;
+
+Platform Platform::paper() {
+  Platform Result;
+  Result.Name = "paper(i7-3770K+HD7970+SSD830)";
+  Result.Model = CostModel();
+  return Result;
+}
+
+Platform Platform::noGpu() {
+  Platform Result = paper();
+  Result.Name = "no-gpu";
+  Result.Model.Gpu.Present = false;
+  return Result;
+}
+
+Platform Platform::weakGpu() {
+  Platform Result = paper();
+  Result.Name = "weak-gpu";
+  GpuCosts &Gpu = Result.Model.Gpu;
+  Gpu.LaunchUs *= 2.0;
+  Gpu.HashPerByteNs *= 3.0;
+  Gpu.ProbePerEntryUs *= 3.0;
+  Gpu.LaneSetupNs *= 3.0;
+  Gpu.LzLiteralPerByteNs *= 3.0;
+  Gpu.LzMatchPerByteNs *= 3.0;
+  Gpu.DeviceMemoryMiB /= 2.0;
+  Result.Model.Pcie.GigabytesPerSec /= 4.0; // x4 link
+  return Result;
+}
+
+Platform Platform::fastGpu() {
+  Platform Result = paper();
+  Result.Name = "fast-gpu";
+  GpuCosts &Gpu = Result.Model.Gpu;
+  Gpu.LaunchUs /= 2.0;
+  Gpu.HashPerByteNs /= 2.0;
+  Gpu.ProbePerEntryUs /= 2.0;
+  Gpu.LaneSetupNs /= 2.0;
+  Gpu.LzLiteralPerByteNs /= 2.0;
+  Gpu.LzMatchPerByteNs /= 2.0;
+  Gpu.DeviceMemoryMiB *= 4.0;
+  Result.Model.Pcie.GigabytesPerSec *= 2.0; // PCIe 3.0 x16
+  return Result;
+}
+
+std::vector<Platform> Platform::allProfiles() {
+  return {paper(), noGpu(), weakGpu(), fastGpu()};
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named platform profiles. §4(3) of the paper: "because hardware
+/// specifications may be different on different platforms, we cannot
+/// guarantee that this integration is always right" — the Calibrator
+/// (core/Calibrator.h) probes each integration mode with dummy I/O and
+/// picks the best one per platform. These profiles are the platforms the
+/// calibration experiment (E5) sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_SIM_PLATFORM_H
+#define PADRE_SIM_PLATFORM_H
+
+#include "sim/CostModel.h"
+
+#include <string>
+#include <vector>
+
+namespace padre {
+
+/// A named hardware platform with its calibrated cost model.
+struct Platform {
+  std::string Name;
+  CostModel Model;
+
+  /// The paper's testbed: i7-3770K + Radeon HD 7970 + SSD 830.
+  static Platform paper();
+  /// Same CPU/SSD, no GPU installed (Calibrator must pick CpuOnly).
+  static Platform noGpu();
+  /// A low-end GPU: 3x slower kernels, 2x launch latency, half the
+  /// device memory, PCIe x4 (Calibrator may keep compression on CPU).
+  static Platform weakGpu();
+  /// A next-generation GPU: 2x faster kernels, half the launch latency,
+  /// 4x device memory, PCIe 3.0 x16.
+  static Platform fastGpu();
+
+  /// All profiles above, in a stable order (used by bench E5).
+  static std::vector<Platform> allProfiles();
+};
+
+} // namespace padre
+
+#endif // PADRE_SIM_PLATFORM_H

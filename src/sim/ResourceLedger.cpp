@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the resource ledger.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/ResourceLedger.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace padre;
+
+const char *padre::resourceName(Resource R) {
+  switch (R) {
+  case Resource::CpuPool:
+    return "cpu";
+  case Resource::Gpu:
+    return "gpu";
+  case Resource::Pcie:
+    return "pcie";
+  case Resource::Ssd:
+    return "ssd";
+  case Resource::IndexLock:
+    return "lock";
+  }
+  assert(false && "Unknown resource");
+  return "?";
+}
+
+void ResourceLedger::reset() {
+  for (auto &Busy : BusyNanos)
+    Busy.store(0, std::memory_order_relaxed);
+  KernelLaunches.store(0, std::memory_order_relaxed);
+  BytesToDevice.store(0, std::memory_order_relaxed);
+  BytesFromDevice.store(0, std::memory_order_relaxed);
+}
+
+void ResourceLedger::chargeMicros(Resource R, double Micros) {
+  assert(std::isfinite(Micros) && Micros >= 0.0 && "Invalid charge");
+  const auto Nanos = static_cast<std::uint64_t>(Micros * 1e3 + 0.5);
+  BusyNanos[static_cast<unsigned>(R)].fetch_add(Nanos,
+                                                std::memory_order_relaxed);
+}
+
+double ResourceLedger::busySeconds(Resource R) const {
+  return static_cast<double>(
+             BusyNanos[static_cast<unsigned>(R)].load(
+                 std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double ResourceLedger::makespanSeconds(unsigned CpuThreads,
+                                       unsigned Mask) const {
+  assert(CpuThreads > 0 && "CPU pool needs at least one thread");
+  double Max = 0.0;
+  for (unsigned I = 0; I < ResourceCount; ++I) {
+    if ((Mask & (1u << I)) == 0)
+      continue;
+    const auto R = static_cast<Resource>(I);
+    const double Capacity =
+        R == Resource::CpuPool ? static_cast<double>(CpuThreads) : 1.0;
+    Max = std::fmax(Max, busySeconds(R) / Capacity);
+  }
+  return Max;
+}
+
+Resource ResourceLedger::bottleneck(unsigned CpuThreads,
+                                    unsigned Mask) const {
+  Resource Best = Resource::CpuPool;
+  double Max = -1.0;
+  for (unsigned I = 0; I < ResourceCount; ++I) {
+    if ((Mask & (1u << I)) == 0)
+      continue;
+    const auto R = static_cast<Resource>(I);
+    const double Capacity =
+        R == Resource::CpuPool ? static_cast<double>(CpuThreads) : 1.0;
+    const double Normalized = busySeconds(R) / Capacity;
+    if (Normalized > Max) {
+      Max = Normalized;
+      Best = R;
+    }
+  }
+  return Best;
+}
+
+std::string ResourceLedger::summary(unsigned CpuThreads) const {
+  char Buffer[256];
+  std::snprintf(
+      Buffer, sizeof(Buffer),
+      "cpu=%.4fs(/%u) gpu=%.4fs pcie=%.4fs ssd=%.4fs launches=%llu "
+      "h2d=%llu d2h=%llu",
+      busySeconds(Resource::CpuPool), CpuThreads,
+      busySeconds(Resource::Gpu), busySeconds(Resource::Pcie),
+      busySeconds(Resource::Ssd),
+      static_cast<unsigned long long>(kernelLaunches()),
+      static_cast<unsigned long long>(bytesToDevice()),
+      static_cast<unsigned long long>(bytesFromDevice()));
+  return Buffer;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSD model implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ssd/SsdModel.h"
+
+#include <cassert>
+
+using namespace padre;
+
+SsdModel::SsdModel(const CostModel &Model, ResourceLedger &Ledger)
+    : Model(Model), Ledger(Ledger) {
+  assert(isValidCostModel(Model) && "Invalid cost model");
+}
+
+void SsdModel::noteHostWrite(std::uint64_t Bytes) {
+  HostBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void SsdModel::writeSequential(std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  Ledger.chargeMicros(Resource::Ssd, Model.ssdSeqWriteUs(Bytes));
+  NandBytes.fetch_add(
+      static_cast<std::uint64_t>(static_cast<double>(Bytes) *
+                                 Model.Ssd.SequentialWaf),
+      std::memory_order_relaxed);
+}
+
+void SsdModel::writeRandom4K(std::uint64_t Count) {
+  if (Count == 0)
+    return;
+  Ledger.chargeMicros(Resource::Ssd,
+                      Model.Ssd.RandWrite4KUs * static_cast<double>(Count));
+  NandBytes.fetch_add(
+      static_cast<std::uint64_t>(static_cast<double>(Count) * 4096.0 *
+                                 Model.Ssd.RandomWaf),
+      std::memory_order_relaxed);
+}
+
+void SsdModel::readSequential(std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  Ledger.chargeMicros(Resource::Ssd, Model.ssdSeqReadUs(Bytes));
+}
+
+void SsdModel::readRandom4K(std::uint64_t Count) {
+  if (Count == 0)
+    return;
+  Ledger.chargeMicros(Resource::Ssd,
+                      Model.Ssd.RandRead4KUs * static_cast<double>(Count));
+}
+
+double SsdModel::enduranceRatio() const {
+  const std::uint64_t Host = hostBytesWritten();
+  if (Host == 0)
+    return 0.0;
+  return static_cast<double>(nandBytesWritten()) / static_cast<double>(Host);
+}
+
+double SsdModel::baselineWriteIops4K() const {
+  return 1e6 / Model.Ssd.RandWrite4KUs;
+}

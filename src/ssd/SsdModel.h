@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SSD model — the substitution for the paper's Samsung SSD 830
+/// (see DESIGN.md §1). The paper uses the SSD in two roles, both of
+/// which are properties of this model rather than of a physical device:
+///
+///   1. a throughput baseline: "we compare our schemes with the
+///      throughput of Samsung SSD 830" (§4) — `baselineWriteIops4K()`;
+///   2. the motivation for *inline* reduction: background reduction
+///      "generates more write I/O than systems without the data
+///      reduction operations … due to write endurance problems" (§1) —
+///      the NAND-byte endurance counters.
+///
+/// Service time is charged to the shared resource ledger; endurance is
+/// tracked as host bytes (what the workload asked to write) vs NAND
+/// bytes (what physically hit flash, including a simple FTL
+/// write-amplification factor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_SSD_SSDMODEL_H
+#define PADRE_SSD_SSDMODEL_H
+
+#include "sim/CostModel.h"
+#include "sim/ResourceLedger.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace padre {
+
+/// Modelled SSD with service-time and endurance accounting.
+/// Thread-safe.
+class SsdModel {
+public:
+  /// \p Model supplies the SSD constants; \p Ledger receives service
+  /// time. Both must outlive the model.
+  SsdModel(const CostModel &Model, ResourceLedger &Ledger);
+
+  /// Records that the host submitted \p Bytes of logical writes to the
+  /// storage system (before any reduction). Endurance accounting only;
+  /// no service time is charged.
+  void noteHostWrite(std::uint64_t Bytes);
+
+  /// Sequentially writes \p Bytes (destage streams, bin-buffer
+  /// flushes). Charges service time and NAND bytes.
+  void writeSequential(std::uint64_t Bytes);
+
+  /// Writes \p Count random 4 KiB pages. Charges service time and NAND
+  /// bytes (with the random-write FTL amplification).
+  void writeRandom4K(std::uint64_t Count);
+
+  /// Sequentially reads \p Bytes.
+  void readSequential(std::uint64_t Bytes);
+
+  /// Reads \p Count random 4 KiB pages.
+  void readRandom4K(std::uint64_t Count);
+
+  /// Logical bytes the host submitted (`noteHostWrite` total).
+  std::uint64_t hostBytesWritten() const { return HostBytes.load(); }
+
+  /// Physical bytes written to NAND (after FTL amplification).
+  std::uint64_t nandBytesWritten() const { return NandBytes.load(); }
+
+  /// NAND bytes per host byte — the endurance figure of merit. Inline
+  /// reduction drives this below 1; background reduction above 1.
+  double enduranceRatio() const;
+
+  /// The 4 KiB random-write IOPS of the bare device (the paper's ≈80 K
+  /// IOPS comparison baseline).
+  double baselineWriteIops4K() const;
+
+  /// The sequential write bandwidth of the bare device in MB/s.
+  double baselineSeqWriteMBps() const { return Model.Ssd.SeqWriteMBps; }
+
+private:
+  CostModel Model;
+  ResourceLedger &Ledger;
+  std::atomic<std::uint64_t> HostBytes{0};
+  std::atomic<std::uint64_t> NandBytes{0};
+};
+
+} // namespace padre
+
+#endif // PADRE_SSD_SSDMODEL_H

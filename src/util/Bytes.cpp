@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the byte-level helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "util/Bytes.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace padre;
+
+std::uint16_t padre::loadLe16(const std::uint8_t *Data) {
+  return static_cast<std::uint16_t>(Data[0] | (Data[1] << 8));
+}
+
+std::uint32_t padre::loadLe32(const std::uint8_t *Data) {
+  return static_cast<std::uint32_t>(Data[0]) |
+         (static_cast<std::uint32_t>(Data[1]) << 8) |
+         (static_cast<std::uint32_t>(Data[2]) << 16) |
+         (static_cast<std::uint32_t>(Data[3]) << 24);
+}
+
+std::uint64_t padre::loadLe64(const std::uint8_t *Data) {
+  return static_cast<std::uint64_t>(loadLe32(Data)) |
+         (static_cast<std::uint64_t>(loadLe32(Data + 4)) << 32);
+}
+
+void padre::storeLe16(std::uint8_t *Data, std::uint16_t Value) {
+  Data[0] = static_cast<std::uint8_t>(Value);
+  Data[1] = static_cast<std::uint8_t>(Value >> 8);
+}
+
+void padre::storeLe32(std::uint8_t *Data, std::uint32_t Value) {
+  for (unsigned I = 0; I < 4; ++I)
+    Data[I] = static_cast<std::uint8_t>(Value >> (8 * I));
+}
+
+void padre::storeLe64(std::uint8_t *Data, std::uint64_t Value) {
+  for (unsigned I = 0; I < 8; ++I)
+    Data[I] = static_cast<std::uint8_t>(Value >> (8 * I));
+}
+
+std::string padre::toHex(ByteSpan Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Result;
+  Result.reserve(Bytes.size() * 2);
+  for (std::uint8_t Byte : Bytes) {
+    Result.push_back(Digits[Byte >> 4]);
+    Result.push_back(Digits[Byte & 0xF]);
+  }
+  return Result;
+}
+
+std::string padre::formatSize(std::uint64_t Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit + 1 < 5) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  char Buffer[64];
+  if (Unit == 0)
+    std::snprintf(Buffer, sizeof(Buffer), "%llu B",
+                  static_cast<unsigned long long>(Bytes));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f %s", Value, Units[Unit]);
+  return Buffer;
+}
+
+std::string padre::formatThroughput(double Bytes, double Seconds) {
+  if (Seconds <= 0.0)
+    return "inf";
+  const double MbPerSec = Bytes / Seconds / 1e6;
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.1f MB/s", MbPerSec);
+  return Buffer;
+}
+
+void padre::appendBytes(ByteVector &Out, ByteSpan Suffix) {
+  Out.insert(Out.end(), Suffix.begin(), Suffix.end());
+}

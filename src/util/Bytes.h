@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level helpers shared across padre: byte span aliases,
+/// little-endian load/store, hex formatting, and human-readable size /
+/// throughput formatting used by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_UTIL_BYTES_H
+#define PADRE_UTIL_BYTES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace padre {
+
+/// Immutable view over raw bytes.
+using ByteSpan = std::span<const std::uint8_t>;
+/// Mutable view over raw bytes.
+using MutableByteSpan = std::span<std::uint8_t>;
+/// Owning byte buffer.
+using ByteVector = std::vector<std::uint8_t>;
+
+/// Reads a little-endian 16/32/64-bit value from \p Data.
+std::uint16_t loadLe16(const std::uint8_t *Data);
+std::uint32_t loadLe32(const std::uint8_t *Data);
+std::uint64_t loadLe64(const std::uint8_t *Data);
+
+/// Writes a little-endian 16/32/64-bit value to \p Data.
+void storeLe16(std::uint8_t *Data, std::uint16_t Value);
+void storeLe32(std::uint8_t *Data, std::uint32_t Value);
+void storeLe64(std::uint8_t *Data, std::uint64_t Value);
+
+/// Lowercase hex rendering of \p Bytes ("deadbeef…").
+std::string toHex(ByteSpan Bytes);
+
+/// "4.00 KiB", "1.50 GiB", … (binary units, two decimals).
+std::string formatSize(std::uint64_t Bytes);
+
+/// "123.4 MB/s" from bytes and seconds; "inf" guarded.
+std::string formatThroughput(double Bytes, double Seconds);
+
+/// Appends \p Suffix bytes to \p Out.
+void appendBytes(ByteVector &Out, ByteSpan Suffix);
+
+} // namespace padre
+
+#endif // PADRE_UTIL_BYTES_H

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation (xoshiro256** seeded by
+/// splitmix64). Every stochastic component in padre (workload generator,
+/// random replacement/eviction policies) draws from this generator so
+/// experiments are reproducible from a single seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_UTIL_RANDOM_H
+#define PADRE_UTIL_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace padre {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference
+/// algorithm), seeded via splitmix64 so that any 64-bit seed yields a
+/// well-mixed state.
+class Random {
+public:
+  explicit Random(std::uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed.
+  void reseed(std::uint64_t Seed) {
+    for (std::uint64_t &Word : State)
+      Word = splitMix64(Seed);
+  }
+
+  /// Next uniformly distributed 64-bit value.
+  std::uint64_t nextU64() {
+    const std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Next uniformly distributed 32-bit value.
+  std::uint32_t nextU32() { return static_cast<std::uint32_t>(nextU64() >> 32); }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Plain modulo mapping; the bias is below Bound * 2^-64, negligible
+    // for simulation purposes.
+    return nextU64() % Bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Fills [Data, Data + Size) with pseudo-random bytes.
+  void fillBytes(void *Data, std::size_t Size) {
+    auto *Out = static_cast<unsigned char *>(Data);
+    while (Size >= 8) {
+      const std::uint64_t Word = nextU64();
+      for (unsigned I = 0; I < 8; ++I)
+        Out[I] = static_cast<unsigned char>(Word >> (8 * I));
+      Out += 8;
+      Size -= 8;
+    }
+    if (Size != 0) {
+      const std::uint64_t Word = nextU64();
+      for (std::size_t I = 0; I < Size; ++I)
+        Out[I] = static_cast<unsigned char>(Word >> (8 * I));
+    }
+  }
+
+  /// The splitmix64 step; advances \p State and returns the next output.
+  static std::uint64_t splitMix64(std::uint64_t &State) {
+    std::uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t State[4];
+};
+
+} // namespace padre
+
+#endif // PADRE_UTIL_RANDOM_H

@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch. Used for functional-mode wall timings in
+/// examples and tests; the evaluation harness reports modelled time from
+/// sim/ResourceLedger.h instead (see DESIGN.md §1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_UTIL_STOPWATCH_H
+#define PADRE_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace padre {
+
+/// Measures elapsed wall time from construction or the last restart.
+class StopWatch {
+public:
+  StopWatch() : Start(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void restart() { Start = Clock::now(); }
+
+  /// Seconds elapsed since the epoch.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Microseconds elapsed since the epoch.
+  double micros() const { return seconds() * 1e6; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace padre
+
+#endif // PADRE_UTIL_STOPWATCH_H

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the fixed-size worker pool.
+///
+//===----------------------------------------------------------------------===//
+
+#include "util/ThreadPool.h"
+
+#include <cassert>
+
+using namespace padre;
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  if (WorkerCount == 0) {
+    WorkerCount = std::thread::hardware_concurrency();
+    if (WorkerCount == 0)
+      WorkerCount = 1;
+  }
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I < WorkerCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+  assert(Queue.empty() && "Pool destroyed with queued work");
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "Cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "Submit after shutdown");
+    Queue.push_back(std::move(Task));
+    ++InFlight;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t Begin, std::size_t End,
+                             const std::function<void(std::size_t)> &Body) {
+  parallelForSlices(Begin, End,
+                    [&Body](std::size_t SliceBegin, std::size_t SliceEnd,
+                            unsigned) {
+                      for (std::size_t I = SliceBegin; I < SliceEnd; ++I)
+                        Body(I);
+                    });
+}
+
+void ThreadPool::parallelForSlices(
+    std::size_t Begin, std::size_t End,
+    const std::function<void(std::size_t, std::size_t, unsigned)> &Body) {
+  if (Begin >= End)
+    return;
+  const std::size_t Total = End - Begin;
+  const std::size_t SliceCount =
+      std::min<std::size_t>(Workers.size(), Total);
+  const std::size_t PerSlice = (Total + SliceCount - 1) / SliceCount;
+
+  // Slice 0 runs on the calling thread so a single-threaded pool still
+  // makes forward progress while the caller waits.
+  for (std::size_t Slice = 1; Slice < SliceCount; ++Slice) {
+    const std::size_t SliceBegin = Begin + Slice * PerSlice;
+    const std::size_t SliceEnd = std::min(End, SliceBegin + PerSlice);
+    if (SliceBegin >= SliceEnd)
+      continue;
+    submit([&Body, SliceBegin, SliceEnd, Slice] {
+      Body(SliceBegin, SliceEnd, static_cast<unsigned>(Slice));
+    });
+  }
+  Body(Begin, std::min(End, Begin + PerSlice), 0);
+  waitIdle();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(
+          Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) {
+        assert(ShuttingDown && "Spurious wake with empty queue");
+        return;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --InFlight;
+      if (InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,133 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace format and synthesis implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Trace.h"
+
+#include "util/Random.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace padre;
+
+TraceLog TraceLog::synthesize(const TraceSynthesisConfig &Config) {
+  assert(Config.VolumeBlocks > 0 && Config.MaxRunBlocks > 0 &&
+         "Empty trace geometry");
+  assert(Config.WriteFraction + Config.ReadFraction <= 1.0 &&
+         "Operation mix exceeds 1");
+  TraceLog Log;
+  Log.Records.reserve(Config.Operations);
+  Random Rng(Config.Seed);
+
+  const std::uint64_t HotBlocks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(Config.VolumeBlocks) *
+             Config.HotFraction));
+
+  for (std::uint64_t I = 0; I < Config.Operations; ++I) {
+    TraceRecord Record;
+    const double OpDraw = Rng.nextDouble();
+    if (OpDraw < Config.WriteFraction)
+      Record.Op = TraceOp::Write;
+    else if (OpDraw < Config.WriteFraction + Config.ReadFraction)
+      Record.Op = TraceOp::Read;
+    else
+      Record.Op = TraceOp::Trim;
+
+    // Hotspot locality: most operations hit the hot region.
+    const std::uint64_t Region = Rng.nextBool(Config.HotProbability)
+                                     ? HotBlocks
+                                     : Config.VolumeBlocks;
+    Record.Lba = Rng.nextBelow(Region);
+    const std::uint64_t MaxRun =
+        std::min<std::uint64_t>(Config.MaxRunBlocks,
+                                Config.VolumeBlocks - Record.Lba);
+    Record.Blocks = static_cast<std::uint32_t>(1 + Rng.nextBelow(MaxRun));
+    if (Record.Op == TraceOp::Write)
+      Record.ContentTag = Rng.nextBelow(Config.ContentTags);
+    Log.Records.push_back(Record);
+  }
+  return Log;
+}
+
+std::optional<TraceLog> TraceLog::parse(const std::string &Text) {
+  TraceLog Log;
+  std::istringstream Stream(Text);
+  std::string Line;
+  while (std::getline(Stream, Line)) {
+    // Strip comments and skip blank lines.
+    const std::size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Fields(Line);
+    std::string Kind;
+    if (!(Fields >> Kind))
+      continue; // blank
+    TraceRecord Record;
+    if (Kind == "W") {
+      Record.Op = TraceOp::Write;
+      if (!(Fields >> Record.Lba >> Record.Blocks >> Record.ContentTag))
+        return std::nullopt;
+    } else if (Kind == "R" || Kind == "T") {
+      Record.Op = Kind == "R" ? TraceOp::Read : TraceOp::Trim;
+      if (!(Fields >> Record.Lba >> Record.Blocks))
+        return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    std::string Extra;
+    if (Fields >> Extra)
+      return std::nullopt; // trailing junk
+    if (Record.Blocks == 0)
+      return std::nullopt;
+    Log.Records.push_back(Record);
+  }
+  return Log;
+}
+
+std::string TraceLog::serialize() const {
+  std::string Out;
+  char Line[96];
+  for (const TraceRecord &Record : Records) {
+    switch (Record.Op) {
+    case TraceOp::Write:
+      std::snprintf(Line, sizeof(Line), "W %llu %u %llu\n",
+                    static_cast<unsigned long long>(Record.Lba),
+                    Record.Blocks,
+                    static_cast<unsigned long long>(Record.ContentTag));
+      break;
+    case TraceOp::Read:
+      std::snprintf(Line, sizeof(Line), "R %llu %u\n",
+                    static_cast<unsigned long long>(Record.Lba),
+                    Record.Blocks);
+      break;
+    case TraceOp::Trim:
+      std::snprintf(Line, sizeof(Line), "T %llu %u\n",
+                    static_cast<unsigned long long>(Record.Lba),
+                    Record.Blocks);
+      break;
+    }
+    Out += Line;
+  }
+  return Out;
+}
+
+void padre::fillTraceBlock(std::uint64_t Tag, MutableByteSpan Out) {
+  std::uint64_t State = Tag ^ 0xC0FFEE0DDF00DULL;
+  Random Rng(Random::splitMix64(State));
+  std::uint8_t Filler[64];
+  Rng.fillBytes(Filler, sizeof(Filler));
+  for (std::size_t Offset = 0; Offset < Out.size(); Offset += 64) {
+    const std::size_t Take = std::min<std::size_t>(64, Out.size() - Offset);
+    // Alternate filler and noise cells: ~2:1 compressible.
+    if ((Offset / 64) % 2 == 0)
+      std::copy(Filler, Filler + Take, Out.data() + Offset);
+    else
+      Rng.fillBytes(Out.data() + Offset, Take);
+  }
+}

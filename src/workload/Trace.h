@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block I/O traces: a minimal trace format (parse/serialize), a
+/// synthetic generator with hotspot locality, and deterministic
+/// per-tag block content. Traces drive the LBA volume through
+/// `replayTrace` (core/TraceRunner.h) — the workflow storage papers
+/// use to evaluate against production-like access patterns when real
+/// traces are unavailable (DESIGN.md §1).
+///
+/// Text format, one record per line ('#' starts a comment):
+///   W <lba> <blocks> <tag>   write <blocks> blocks of content <tag>
+///   R <lba> <blocks>         read
+///   T <lba> <blocks>         trim/discard
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_WORKLOAD_TRACE_H
+#define PADRE_WORKLOAD_TRACE_H
+
+#include "util/Bytes.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace padre {
+
+/// A trace operation kind.
+enum class TraceOp : std::uint8_t { Write, Read, Trim };
+
+/// One trace record. Writes carry a content tag: equal tags produce
+/// byte-identical blocks (the dedup-able content model).
+struct TraceRecord {
+  TraceOp Op = TraceOp::Write;
+  std::uint64_t Lba = 0;
+  std::uint32_t Blocks = 1;
+  std::uint64_t ContentTag = 0; ///< writes only
+};
+
+/// Synthetic trace knobs.
+struct TraceSynthesisConfig {
+  std::uint64_t Operations = 1000;
+  std::uint64_t VolumeBlocks = 4096;
+  std::uint32_t MaxRunBlocks = 8;
+  /// Operation mix; the remainder after writes+reads is trims.
+  double WriteFraction = 0.6;
+  double ReadFraction = 0.3;
+  /// Hotspot locality: `HotProbability` of ops land in the first
+  /// `HotFraction` of the LBA space (the classic 80/20 skew).
+  double HotFraction = 0.2;
+  double HotProbability = 0.8;
+  /// Content tags are drawn from [0, ContentTags): a small pool makes
+  /// the trace dedup-friendly.
+  std::uint64_t ContentTags = 64;
+  std::uint64_t Seed = 1;
+};
+
+/// An ordered list of trace records.
+class TraceLog {
+public:
+  std::vector<TraceRecord> Records;
+
+  /// Generates a synthetic trace per \p Config.
+  static TraceLog synthesize(const TraceSynthesisConfig &Config);
+
+  /// Parses the text format. Returns nullopt on any malformed line.
+  static std::optional<TraceLog> parse(const std::string &Text);
+
+  /// Renders the text format (parse round-trips it).
+  std::string serialize() const;
+};
+
+/// Fills \p Out with block content for \p Tag: deterministic,
+/// byte-identical across calls, roughly 2:1 compressible.
+void fillTraceBlock(std::uint64_t Tag, MutableByteSpan Out);
+
+} // namespace padre
+
+#endif // PADRE_WORKLOAD_TRACE_H

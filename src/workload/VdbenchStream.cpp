@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vdbench-style stream generator implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/VdbenchStream.h"
+
+#include "util/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padre;
+
+// Cells are the compressibility granule: a block is a sequence of
+// 64-byte cells, each either random or block-local filler.
+static constexpr std::size_t CellSize = 64;
+// Empirical compressed fraction of an all-filler block under the LZ
+// token format (match tokens every <=131 bytes): used to solve the
+// random-cell fraction from the target ratio.
+static constexpr double FillerResidue = 0.03;
+
+VdbenchStream::VdbenchStream(const WorkloadConfig &Config) : Config(Config) {
+  assert(Config.BlockSize >= CellSize && Config.BlockSize % CellSize == 0 &&
+         "Block size must be a multiple of the 64-byte cell");
+  assert(Config.DedupRatio >= 1.0 && "Dedup ratio below 1 is meaningless");
+  assert(Config.CompressRatio >= 1.0 &&
+         "Compression ratio below 1 is meaningless");
+  assert(Config.ContentAlphabet >= 2 && Config.ContentAlphabet <= 256 &&
+         "Content alphabet out of range");
+
+  // Solve the random-cell fraction f from
+  //   1/C = f + FillerResidue * (1 - f).
+  const double InverseRatio = 1.0 / Config.CompressRatio;
+  RandomCellFraction = std::clamp(
+      (InverseRatio - FillerResidue) / (1.0 - FillerResidue), 0.0, 1.0);
+
+  const std::uint64_t Blocks =
+      std::max<std::uint64_t>(1, Config.TotalBytes / Config.BlockSize);
+  SourceUnique.resize(Blocks);
+
+  // Plan the duplicate structure: each block is a duplicate with
+  // probability (1 - 1/D), replaying a uniformly chosen unique block
+  // from the recent window.
+  const double DuplicateProbability = 1.0 - 1.0 / Config.DedupRatio;
+  Random Rng(Config.Seed);
+  Duplicate.assign(Blocks, 0);
+  std::vector<std::uint64_t> RecentUniques;
+  for (std::uint64_t I = 0; I < Blocks; ++I) {
+    const bool MakeDuplicate =
+        !RecentUniques.empty() && Rng.nextBool(DuplicateProbability);
+    if (!MakeDuplicate) {
+      SourceUnique[I] = UniqueCount++;
+      RecentUniques.push_back(SourceUnique[I]);
+      if (Config.DedupWindowBlocks != 0 &&
+          RecentUniques.size() > Config.DedupWindowBlocks)
+        RecentUniques.erase(RecentUniques.begin());
+      continue;
+    }
+    Duplicate[I] = 1;
+    SourceUnique[I] =
+        RecentUniques[Rng.nextBelow(RecentUniques.size())];
+  }
+}
+
+double VdbenchStream::achievedDedupRatio() const {
+  if (UniqueCount == 0)
+    return 1.0;
+  return static_cast<double>(blockCount()) /
+         static_cast<double>(UniqueCount);
+}
+
+bool VdbenchStream::isDuplicate(std::uint64_t Index) const {
+  assert(Index < blockCount() && "Block index out of range");
+  return Duplicate[Index] != 0;
+}
+
+void VdbenchStream::fillUnique(std::uint64_t UniqueId,
+                               MutableByteSpan Out) const {
+  assert(Out.size() == Config.BlockSize && "Output span size mismatch");
+  // Independent deterministic streams per unique block.
+  std::uint64_t Mix = Config.Seed ^ (UniqueId * 0x9E3779B97F4A7C15ULL);
+  Random Rng(Random::splitMix64(Mix));
+
+  // Block-local filler pattern: an 8-byte word repeated through the
+  // cell. Distinct uniques get distinct fillers so cross-block
+  // "compressibility" cannot masquerade as deduplication.
+  std::uint8_t Filler[CellSize];
+  {
+    const std::uint64_t Word = Rng.nextU64();
+    for (std::size_t I = 0; I < CellSize; ++I)
+      Filler[I] = static_cast<std::uint8_t>(Word >> (8 * (I % 8)));
+  }
+
+  const std::size_t Cells = Config.BlockSize / CellSize;
+  for (std::size_t Cell = 0; Cell < Cells; ++Cell) {
+    std::uint8_t *CellOut = Out.data() + Cell * CellSize;
+    if (!Rng.nextBool(RandomCellFraction)) {
+      std::copy(Filler, Filler + CellSize, CellOut);
+      continue;
+    }
+    if (Config.ContentAlphabet >= 256) {
+      Rng.fillBytes(CellOut, CellSize);
+      continue;
+    }
+    for (std::size_t I = 0; I < CellSize; ++I)
+      CellOut[I] =
+          static_cast<std::uint8_t>(Rng.nextBelow(Config.ContentAlphabet));
+  }
+}
+
+void VdbenchStream::fillBlock(std::uint64_t Index,
+                              MutableByteSpan Out) const {
+  assert(Index < blockCount() && "Block index out of range");
+  fillUnique(SourceUnique[Index], Out);
+}
+
+ByteVector VdbenchStream::generateAll() const {
+  ByteVector Stream(totalBytes());
+  for (std::uint64_t I = 0; I < blockCount(); ++I)
+    fillBlock(I, MutableByteSpan(Stream.data() + I * Config.BlockSize,
+                                 Config.BlockSize));
+  return Stream;
+}

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the dummy-I/O calibrator (E5, §4(3)): mode feasibility per
+/// platform, selection sanity, and the paper's headline choice (GPU for
+/// compression on the paper platform).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibrator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace padre;
+
+namespace {
+
+CalibratorConfig quickConfig() {
+  CalibratorConfig Config;
+  Config.DummyBytes = 2 << 20; // keep unit tests fast
+  Config.Base.Dedup.Index.BinBits = 8;
+  Config.Base.Dedup.Index.BufferCapacityPerBin = 8;
+  return Config;
+}
+
+} // namespace
+
+TEST(Calibrator, PaperPlatformPicksGpuCompression) {
+  const CalibrationResult Result =
+      calibrate(Platform::paper(), quickConfig());
+  // §4(3): "Allocating the GPU for compression is the best choice
+  // among the integration methods."
+  EXPECT_EQ(Result.BestMode, PipelineMode::GpuCompress);
+  for (unsigned I = 0; I < PipelineModeCount; ++I)
+    EXPECT_GT(Result.ThroughputIops[I], 0.0) << "mode " << I;
+}
+
+TEST(Calibrator, NoGpuPlatformPicksCpuOnlyAndSkipsGpuModes) {
+  const CalibrationResult Result =
+      calibrate(Platform::noGpu(), quickConfig());
+  EXPECT_EQ(Result.BestMode, PipelineMode::CpuOnly);
+  EXPECT_GT(
+      Result.ThroughputIops[static_cast<unsigned>(PipelineMode::CpuOnly)],
+      0.0);
+  for (PipelineMode Mode :
+       {PipelineMode::GpuDedup, PipelineMode::GpuCompress,
+        PipelineMode::GpuBoth})
+    EXPECT_EQ(Result.ThroughputIops[static_cast<unsigned>(Mode)], 0.0);
+}
+
+TEST(Calibrator, BestModeHasMaxThroughput) {
+  const CalibrationResult Result =
+      calibrate(Platform::paper(), quickConfig());
+  const double Best =
+      Result.ThroughputIops[static_cast<unsigned>(Result.BestMode)];
+  for (double Iops : Result.ThroughputIops)
+    EXPECT_LE(Iops, Best + 1e-9);
+}
+
+TEST(Calibrator, FastGpuPlatformStillFavorsGpu) {
+  const CalibrationResult Result =
+      calibrate(Platform::fastGpu(), quickConfig());
+  EXPECT_NE(Result.BestMode, PipelineMode::CpuOnly);
+}
+
+TEST(Calibrator, WeakGpuReducesGpuAdvantage) {
+  const CalibrationResult Paper =
+      calibrate(Platform::paper(), quickConfig());
+  const CalibrationResult Weak =
+      calibrate(Platform::weakGpu(), quickConfig());
+  const auto GpuComp = static_cast<unsigned>(PipelineMode::GpuCompress);
+  const auto CpuOnly = static_cast<unsigned>(PipelineMode::CpuOnly);
+  const double PaperGain =
+      Paper.ThroughputIops[GpuComp] / Paper.ThroughputIops[CpuOnly];
+  const double WeakGain =
+      Weak.ThroughputIops[GpuComp] / Weak.ThroughputIops[CpuOnly];
+  EXPECT_LT(WeakGain, PaperGain);
+}
+
+TEST(Calibrator, SummaryListsEveryModeAndSelection) {
+  const CalibrationResult Result =
+      calibrate(Platform::noGpu(), quickConfig());
+  const std::string Text = Result.summary();
+  EXPECT_NE(Text.find("cpu-only"), std::string::npos);
+  EXPECT_NE(Text.find("gpu-compress"), std::string::npos);
+  EXPECT_NE(Text.find("selected"), std::string::npos);
+  EXPECT_NE(Text.find("n/a"), std::string::npos);
+}
+
+TEST(Calibrator, DeterministicAcrossRuns) {
+  const CalibrationResult A = calibrate(Platform::paper(), quickConfig());
+  const CalibrationResult B = calibrate(Platform::paper(), quickConfig());
+  EXPECT_EQ(A.BestMode, B.BestMode);
+  for (unsigned I = 0; I < PipelineModeCount; ++I)
+    EXPECT_DOUBLE_EQ(A.ThroughputIops[I], B.ThroughputIops[I]);
+}

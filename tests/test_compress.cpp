@@ -1,0 +1,394 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for the compress module: block format
+/// integrity, LZ round-trips over adversarial and random inputs for
+/// both matchers, token-format edge cases, and malformed-payload
+/// rejection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/Block.h"
+#include "compress/LzCodec.h"
+#include "util/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace padre;
+
+namespace {
+
+ByteVector randomData(std::size_t Size, std::uint64_t Seed) {
+  ByteVector Data(Size);
+  Random Rng(Seed);
+  Rng.fillBytes(Data.data(), Data.size());
+  return Data;
+}
+
+ByteVector repetitiveData(std::size_t Size, std::uint64_t Seed) {
+  // 75% repeated 64-byte pattern, 25% random cells.
+  ByteVector Data(Size);
+  Random Rng(Seed);
+  std::uint8_t Pattern[64];
+  Rng.fillBytes(Pattern, sizeof(Pattern));
+  for (std::size_t I = 0; I < Size; I += 64) {
+    const std::size_t Take = std::min<std::size_t>(64, Size - I);
+    if (Rng.nextBool(0.25))
+      Rng.fillBytes(Data.data() + I, Take);
+    else
+      std::copy(Pattern, Pattern + Take, Data.data() + I);
+  }
+  return Data;
+}
+
+ByteSpan bytesFour() {
+  static const std::uint8_t Bytes[4] = {1, 2, 3, 4};
+  return ByteSpan(Bytes, 4);
+}
+
+void expectRoundTrip(const LzCodec &Codec, const ByteVector &Data) {
+  const CompressResult Result =
+      Codec.compress(ByteSpan(Data.data(), Data.size()));
+  EXPECT_EQ(Result.Stats.LiteralBytes + Result.Stats.MatchBytes,
+            Data.size());
+  ByteVector Out;
+  ASSERT_TRUE(LzCodec::decompress(
+      ByteSpan(Result.Payload.data(), Result.Payload.size()), Data.size(),
+      Out));
+  EXPECT_EQ(Out, Data);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Block format
+//===----------------------------------------------------------------------===//
+
+TEST(Block, EncodeDecodeRoundTrip) {
+  const ByteVector Payload = randomData(100, 1);
+  const ByteVector Encoded = encodeBlock(
+      BlockMethod::Lz77, 4096, ByteSpan(Payload.data(), Payload.size()));
+  EXPECT_EQ(Encoded.size(), BlockHeaderSize + Payload.size());
+  const auto View = decodeBlock(ByteSpan(Encoded.data(), Encoded.size()));
+  ASSERT_TRUE(View.has_value());
+  EXPECT_EQ(View->Method, BlockMethod::Lz77);
+  EXPECT_EQ(View->OriginalSize, 4096u);
+  EXPECT_TRUE(std::equal(View->Payload.begin(), View->Payload.end(),
+                         Payload.begin()));
+}
+
+TEST(Block, RejectsBadMagic) {
+  ByteVector Encoded = encodeBlock(BlockMethod::Raw, 4, bytesFour());
+  Encoded[0] ^= 0xFF;
+  EXPECT_FALSE(decodeBlock(ByteSpan(Encoded.data(), Encoded.size())));
+}
+
+TEST(Block, RejectsCorruptPayload) {
+  const ByteVector Payload = randomData(64, 2);
+  ByteVector Encoded = encodeBlock(BlockMethod::QuickLz, 4096,
+                                   ByteSpan(Payload.data(), Payload.size()));
+  Encoded[BlockHeaderSize + 10] ^= 0x01;
+  EXPECT_FALSE(decodeBlock(ByteSpan(Encoded.data(), Encoded.size())));
+}
+
+TEST(Block, RejectsTruncation) {
+  const ByteVector Payload = randomData(64, 3);
+  ByteVector Encoded = encodeBlock(BlockMethod::GpuLane, 4096,
+                                   ByteSpan(Payload.data(), Payload.size()));
+  Encoded.pop_back();
+  EXPECT_FALSE(decodeBlock(ByteSpan(Encoded.data(), Encoded.size())));
+  EXPECT_FALSE(decodeBlock(ByteSpan(Encoded.data(), 8)));
+}
+
+TEST(Block, RejectsUnknownMethodAndFlags) {
+  ByteVector Encoded = encodeBlock(BlockMethod::Raw, 4, bytesFour());
+  Encoded[2] = 99;
+  EXPECT_FALSE(decodeBlock(ByteSpan(Encoded.data(), Encoded.size())));
+  Encoded[2] = 0;
+  Encoded[3] = 1; // reserved flags
+  EXPECT_FALSE(decodeBlock(ByteSpan(Encoded.data(), Encoded.size())));
+}
+
+TEST(Block, RawSizeMustMatch) {
+  const ByteVector Payload = randomData(10, 4);
+  const ByteVector Encoded = encodeBlock(
+      BlockMethod::Raw, 11, ByteSpan(Payload.data(), Payload.size()));
+  EXPECT_FALSE(decodeBlock(ByteSpan(Encoded.data(), Encoded.size())));
+}
+
+TEST(Block, MethodNames) {
+  EXPECT_STREQ(blockMethodName(BlockMethod::Raw), "raw");
+  EXPECT_STREQ(blockMethodName(BlockMethod::Lz77), "lz77");
+  EXPECT_STREQ(blockMethodName(BlockMethod::QuickLz), "quicklz");
+  EXPECT_STREQ(blockMethodName(BlockMethod::GpuLane), "gpulane");
+}
+
+//===----------------------------------------------------------------------===//
+// LzCodec round-trip properties (parameterized over matcher x input)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class LzRoundTrip
+    : public ::testing::TestWithParam<std::tuple<LzCodec::MatcherKind, int>> {
+protected:
+  LzCodec makeCodec() const { return LzCodec(std::get<0>(GetParam())); }
+  ByteVector makeInput() const {
+    const int Shape = std::get<1>(GetParam());
+    switch (Shape) {
+    case 0:
+      return ByteVector(); // empty
+    case 1:
+      return ByteVector(1, 0x42); // single byte
+    case 2:
+      return ByteVector(4096, 0x00); // constant
+    case 3:
+      return randomData(4096, 42); // incompressible
+    case 4:
+      return repetitiveData(4096, 43); // mixed
+    case 5: {
+      // Short period (overlapping matches).
+      ByteVector Data(4096);
+      for (std::size_t I = 0; I < Data.size(); ++I)
+        Data[I] = static_cast<std::uint8_t>(I % 3);
+      return Data;
+    }
+    case 6:
+      return repetitiveData(65536, 44); // max format size
+    case 7: {
+      // Text-like.
+      std::string Text;
+      while (Text.size() < 4096)
+        Text += "the quick brown fox jumps over the lazy dog. ";
+      Text.resize(4096);
+      return ByteVector(Text.begin(), Text.end());
+    }
+    default:
+      return randomData(100, 45);
+    }
+  }
+};
+
+} // namespace
+
+TEST_P(LzRoundTrip, DecompressInvertsCompress) {
+  const LzCodec Codec = makeCodec();
+  expectRoundTrip(Codec, makeInput());
+}
+
+namespace {
+
+std::string
+lzRoundTripName(const ::testing::TestParamInfo<LzRoundTrip::ParamType> &Info) {
+  static const char *Shapes[] = {"empty",  "single",  "constant", "random",
+                                 "mixed",  "period3", "max64k",   "text"};
+  return std::string(std::get<0>(Info.param) == LzCodec::MatcherKind::HashChain
+                         ? "chain_"
+                         : "probe_") +
+         Shapes[std::get<1>(Info.param)];
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    MatcherAndShape, LzRoundTrip,
+    ::testing::Combine(::testing::Values(LzCodec::MatcherKind::HashChain,
+                                         LzCodec::MatcherKind::SingleProbe),
+                       ::testing::Range(0, 8)),
+    lzRoundTripName);
+
+//===----------------------------------------------------------------------===//
+// Compression quality and stats
+//===----------------------------------------------------------------------===//
+
+TEST(LzCodec, ConstantDataCompressesHard) {
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  const ByteVector Data(4096, 0xAA);
+  const CompressResult Result =
+      Codec.compress(ByteSpan(Data.data(), Data.size()));
+  EXPECT_LT(Result.Payload.size(), Data.size() / 10);
+  EXPECT_GT(Result.Stats.MatchBytes, 3800u);
+}
+
+TEST(LzCodec, RandomDataDoesNotExplode) {
+  const LzCodec Codec(LzCodec::MatcherKind::SingleProbe);
+  const ByteVector Data = randomData(4096, 46);
+  const CompressResult Result =
+      Codec.compress(ByteSpan(Data.data(), Data.size()));
+  // At worst ~1 control byte per 128 literals plus rare fake matches.
+  EXPECT_LT(Result.Payload.size(), Data.size() + Data.size() / 16);
+}
+
+TEST(LzCodec, ChainBeatsOrMatchesProbeOnMixedData) {
+  const ByteVector Data = repetitiveData(16384, 47);
+  const LzCodec Chain(LzCodec::MatcherKind::HashChain);
+  const LzCodec Probe(LzCodec::MatcherKind::SingleProbe);
+  const auto ChainSize =
+      Chain.compress(ByteSpan(Data.data(), Data.size())).Payload.size();
+  const auto ProbeSize =
+      Probe.compress(ByteSpan(Data.data(), Data.size())).Payload.size();
+  EXPECT_LE(ChainSize, ProbeSize);
+}
+
+TEST(LzCodec, StatsPartitionInput) {
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  const ByteVector Data = repetitiveData(8192, 48);
+  const CompressResult Result =
+      Codec.compress(ByteSpan(Data.data(), Data.size()));
+  EXPECT_EQ(Result.Stats.LiteralBytes + Result.Stats.MatchBytes, 8192u);
+  EXPECT_GT(Result.Stats.Matches, 0u);
+  EXPECT_GT(Result.Stats.LiteralRuns, 0u);
+}
+
+TEST(LzCodec, Names) {
+  EXPECT_STREQ(LzCodec(LzCodec::MatcherKind::HashChain).name(),
+               "lz77-chain");
+  EXPECT_STREQ(LzCodec(LzCodec::MatcherKind::SingleProbe).name(),
+               "lz-probe");
+}
+
+//===----------------------------------------------------------------------===//
+// compressRange (the lane primitive)
+//===----------------------------------------------------------------------===//
+
+TEST(LzCodec, RangeWithHistoryConcatenatesValidly) {
+  const ByteVector Data = repetitiveData(4096, 49);
+  const LzCodec Codec(LzCodec::MatcherKind::SingleProbe);
+  ByteVector Combined;
+  for (std::size_t Lane = 0; Lane < 4; ++Lane) {
+    const CompressResult Result =
+        Codec.compressRange(ByteSpan(Data.data(), Data.size()), Lane * 1024,
+                            (Lane + 1) * 1024, 256);
+    Combined.insert(Combined.end(), Result.Payload.begin(),
+                    Result.Payload.end());
+  }
+  ByteVector Out;
+  ASSERT_TRUE(LzCodec::decompress(
+      ByteSpan(Combined.data(), Combined.size()), Data.size(), Out));
+  EXPECT_EQ(Out, Data);
+}
+
+TEST(LzCodec, ZeroHistoryLaneIsSelfContained) {
+  const ByteVector Data = repetitiveData(4096, 50);
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  const CompressResult Result = Codec.compressRange(
+      ByteSpan(Data.data(), Data.size()), 1024, 2048, 0);
+  // A zero-history lane can be decoded standalone.
+  ByteVector Out;
+  ASSERT_TRUE(LzCodec::decompress(
+      ByteSpan(Result.Payload.data(), Result.Payload.size()), 1024, Out));
+  EXPECT_TRUE(std::equal(Out.begin(), Out.end(), Data.begin() + 1024));
+}
+
+//===----------------------------------------------------------------------===//
+// Decoder robustness
+//===----------------------------------------------------------------------===//
+
+TEST(LzDecoder, RejectsTruncatedLiteralRun) {
+  const ByteVector Payload = {0x05, 'a', 'b'}; // promises 6 literals
+  ByteVector Out;
+  EXPECT_FALSE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 6, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(LzDecoder, RejectsMatchBeforeStart) {
+  // Match token with distance 5 at output position 0.
+  const ByteVector Payload = {0x80, 0x05, 0x00};
+  ByteVector Out;
+  EXPECT_FALSE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 4, Out));
+}
+
+TEST(LzDecoder, RejectsZeroDistance) {
+  const ByteVector Payload = {0x00, 'x', 0x80, 0x00, 0x00};
+  ByteVector Out;
+  EXPECT_FALSE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 5, Out));
+}
+
+TEST(LzDecoder, RejectsOverlongOutput) {
+  const ByteVector Payload = {0x01, 'a', 'b'}; // 2 literals
+  ByteVector Out;
+  EXPECT_FALSE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 1, Out));
+}
+
+TEST(LzDecoder, RejectsShortOutput) {
+  const ByteVector Payload = {0x00, 'a'}; // 1 literal, claims 2
+  ByteVector Out;
+  EXPECT_FALSE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 2, Out));
+}
+
+TEST(LzDecoder, RejectsTruncatedMatchToken) {
+  const ByteVector Payload = {0x00, 'a', 0x80, 0x01}; // match missing a byte
+  ByteVector Out;
+  EXPECT_FALSE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 5, Out));
+}
+
+TEST(LzDecoder, FailureLeavesOutputUntouched) {
+  ByteVector Out = {9, 9, 9};
+  const ByteVector Payload = {0x80, 0x05, 0x00};
+  EXPECT_FALSE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 4, Out));
+  EXPECT_EQ(Out, (ByteVector{9, 9, 9}));
+}
+
+TEST(LzDecoder, OverlappingMatchReplicatesPattern) {
+  // "abc" then match(distance=3, length=9) -> "abcabcabcabc".
+  const ByteVector Payload = {0x02, 'a', 'b', 'c',
+                              static_cast<std::uint8_t>(0x80 | (9 - 4)),
+                              0x03, 0x00};
+  ByteVector Out;
+  ASSERT_TRUE(LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), 12, Out));
+  EXPECT_EQ(std::string(Out.begin(), Out.end()), "abcabcabcabc");
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized property sweep: every seed round-trips on both matchers.
+//===----------------------------------------------------------------------===//
+
+class LzFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzFuzz, RandomMixturesRoundTrip) {
+  const std::uint64_t Seed = static_cast<std::uint64_t>(GetParam());
+  Random Rng(Seed * 7919 + 13);
+  // Random mixture of runs, repeats and noise with random total size.
+  ByteVector Data;
+  const std::size_t Target = 256 + Rng.nextBelow(8000);
+  while (Data.size() < Target) {
+    switch (Rng.nextBelow(3)) {
+    case 0: { // run of one byte
+      Data.insert(Data.end(), 1 + Rng.nextBelow(300),
+                  static_cast<std::uint8_t>(Rng.nextU32()));
+      break;
+    }
+    case 1: { // copy of an earlier region
+      if (Data.empty())
+        break;
+      const std::size_t From = Rng.nextBelow(Data.size());
+      const std::size_t Len =
+          std::min<std::size_t>(1 + Rng.nextBelow(200), Data.size() - From);
+      for (std::size_t I = 0; I < Len; ++I)
+        Data.push_back(Data[From + I]);
+      break;
+    }
+    default: { // noise
+      const std::size_t Len = 1 + Rng.nextBelow(100);
+      for (std::size_t I = 0; I < Len; ++I)
+        Data.push_back(static_cast<std::uint8_t>(Rng.nextU32()));
+    }
+    }
+  }
+  Data.resize(std::min<std::size_t>(Data.size(), LzCodec::MaxInputSize));
+
+  expectRoundTrip(LzCodec(LzCodec::MatcherKind::HashChain), Data);
+  expectRoundTrip(LzCodec(LzCodec::MatcherKind::SingleProbe), Data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzFuzz, ::testing::Range(0, 25));

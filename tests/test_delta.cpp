@@ -1,0 +1,282 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the delta-compression substrate: super-feature
+/// resemblance properties, similarity-index behaviour (bounding,
+/// replacement, GC), delta codec round trips over synthetic edits, and
+/// the end-to-end claim: similar chunks delta-encode far smaller than
+/// they LZ-compress.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/LzCodec.h"
+#include "delta/DeltaCodec.h"
+#include "delta/SimilarityIndex.h"
+#include "delta/SuperFeatures.h"
+#include "util/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace padre;
+
+namespace {
+
+ByteVector randomData(std::size_t Size, std::uint64_t Seed) {
+  ByteVector Data(Size);
+  Random Rng(Seed);
+  Rng.fillBytes(Data.data(), Data.size());
+  return Data;
+}
+
+/// Applies \p Edits random splice edits (replace a short span with
+/// fresh bytes) to a copy of \p Base.
+ByteVector withEdits(const ByteVector &Base, unsigned Edits,
+                     std::uint64_t Seed) {
+  ByteVector Out = Base;
+  Random Rng(Seed);
+  for (unsigned I = 0; I < Edits && !Out.empty(); ++I) {
+    const std::size_t At = Rng.nextBelow(Out.size());
+    const std::size_t Len =
+        std::min<std::size_t>(1 + Rng.nextBelow(32), Out.size() - At);
+    Rng.fillBytes(Out.data() + At, Len);
+  }
+  return Out;
+}
+
+void expectDeltaRoundTrip(const ByteVector &Base, const ByteVector &Target) {
+  const DeltaResult Result =
+      deltaEncode(ByteSpan(Base.data(), Base.size()),
+                  ByteSpan(Target.data(), Target.size()));
+  EXPECT_EQ(Result.CopyBytes + Result.InsertBytes, Target.size());
+  ByteVector Out;
+  ASSERT_TRUE(deltaDecode(ByteSpan(Base.data(), Base.size()),
+                          ByteSpan(Result.Payload.data(),
+                                   Result.Payload.size()),
+                          Target.size(), Out));
+  EXPECT_EQ(Out, Target);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Super-features
+//===----------------------------------------------------------------------===//
+
+TEST(SuperFeatures, IdenticalChunksShareAllFeatures) {
+  const ByteVector Data = randomData(4096, 1);
+  const SuperFeatureSet A =
+      computeSuperFeatures(ByteSpan(Data.data(), Data.size()));
+  const SuperFeatureSet B =
+      computeSuperFeatures(ByteSpan(Data.data(), Data.size()));
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(similar(A, B));
+}
+
+TEST(SuperFeatures, SimilarChunksMatchDissimilarDoNot) {
+  int SimilarHits = 0, DissimilarHits = 0;
+  for (std::uint64_t Seed = 0; Seed < 20; ++Seed) {
+    const ByteVector Base = randomData(4096, 100 + Seed);
+    const ByteVector NearCopy = withEdits(Base, 3, 200 + Seed);
+    const ByteVector Unrelated = randomData(4096, 300 + Seed);
+    const auto FsBase =
+        computeSuperFeatures(ByteSpan(Base.data(), Base.size()));
+    SimilarHits += similar(
+        FsBase, computeSuperFeatures(ByteSpan(NearCopy.data(),
+                                              NearCopy.size())));
+    DissimilarHits += similar(
+        FsBase, computeSuperFeatures(ByteSpan(Unrelated.data(),
+                                              Unrelated.size())));
+  }
+  EXPECT_GE(SimilarHits, 16);  // lightly edited chunks are detected
+  EXPECT_EQ(DissimilarHits, 0); // random chunks never collide
+}
+
+TEST(SuperFeatures, HeavilyEditedChunksStopMatching) {
+  const ByteVector Base = randomData(4096, 2);
+  const ByteVector Heavy = withEdits(Base, 200, 3); // ~most bytes touched
+  EXPECT_FALSE(similar(
+      computeSuperFeatures(ByteSpan(Base.data(), Base.size())),
+      computeSuperFeatures(ByteSpan(Heavy.data(), Heavy.size()))));
+}
+
+TEST(SuperFeatures, TinyInputsAreStable) {
+  const ByteVector A = {1, 2, 3};
+  const ByteVector B = {1, 2, 3};
+  const ByteVector C = {4, 5, 6};
+  EXPECT_EQ(computeSuperFeatures(ByteSpan(A.data(), A.size())),
+            computeSuperFeatures(ByteSpan(B.data(), B.size())));
+  EXPECT_NE(computeSuperFeatures(ByteSpan(A.data(), A.size())),
+            computeSuperFeatures(ByteSpan(C.data(), C.size())));
+}
+
+//===----------------------------------------------------------------------===//
+// SimilarityIndex
+//===----------------------------------------------------------------------===//
+
+TEST(SimilarityIndex, FindAfterInsert) {
+  SimilarityIndex Index;
+  const ByteVector Data = randomData(4096, 4);
+  const SuperFeatureSet Fs =
+      computeSuperFeatures(ByteSpan(Data.data(), Data.size()));
+  EXPECT_FALSE(Index.findBase(Fs).has_value());
+  Index.insert(Fs, 42);
+  const auto Found = Index.findBase(Fs);
+  ASSERT_TRUE(Found.has_value());
+  EXPECT_EQ(*Found, 42u);
+}
+
+TEST(SimilarityIndex, SimilarChunkFindsItsBase) {
+  SimilarityIndex Index;
+  const ByteVector Base = randomData(4096, 5);
+  Index.insert(computeSuperFeatures(ByteSpan(Base.data(), Base.size())),
+               7);
+  const ByteVector Near = withEdits(Base, 2, 6);
+  const auto Found = Index.findBase(
+      computeSuperFeatures(ByteSpan(Near.data(), Near.size())));
+  ASSERT_TRUE(Found.has_value());
+  EXPECT_EQ(*Found, 7u);
+}
+
+TEST(SimilarityIndex, CapacityBoundIsEnforced) {
+  SimilarityIndex Index(/*MaxEntriesPerTable=*/16);
+  for (std::uint64_t I = 0; I < 200; ++I) {
+    const ByteVector Data = randomData(1024, 1000 + I);
+    Index.insert(computeSuperFeatures(ByteSpan(Data.data(), Data.size())),
+                 I);
+  }
+  EXPECT_LE(Index.size(), 16u * SuperFeatureCount);
+}
+
+TEST(SimilarityIndex, RemoveLocationDropsAllItsEntries) {
+  SimilarityIndex Index;
+  const ByteVector Data = randomData(4096, 8);
+  const SuperFeatureSet Fs =
+      computeSuperFeatures(ByteSpan(Data.data(), Data.size()));
+  Index.insert(Fs, 11);
+  EXPECT_EQ(Index.removeLocation(11), SuperFeatureCount);
+  EXPECT_FALSE(Index.findBase(Fs).has_value());
+  EXPECT_EQ(Index.size(), 0u);
+}
+
+TEST(SimilarityIndex, NewerBaseWinsOnCollision) {
+  SimilarityIndex Index;
+  const ByteVector Data = randomData(4096, 9);
+  const SuperFeatureSet Fs =
+      computeSuperFeatures(ByteSpan(Data.data(), Data.size()));
+  Index.insert(Fs, 1);
+  Index.insert(Fs, 2);
+  EXPECT_EQ(*Index.findBase(Fs), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Delta codec
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaCodec, IdenticalChunkIsNearlyFree) {
+  const ByteVector Base = randomData(4096, 10);
+  const DeltaResult Result = deltaEncode(
+      ByteSpan(Base.data(), Base.size()), ByteSpan(Base.data(), Base.size()));
+  // All copies, ~3 bytes per 128-135 covered.
+  EXPECT_EQ(Result.InsertBytes, 0u);
+  EXPECT_LT(Result.Payload.size(), 128u);
+  expectDeltaRoundTrip(Base, Base);
+}
+
+TEST(DeltaCodec, LightEditsRoundTripSmall) {
+  const ByteVector Base = randomData(4096, 11);
+  const ByteVector Target = withEdits(Base, 4, 12);
+  const DeltaResult Result =
+      deltaEncode(ByteSpan(Base.data(), Base.size()),
+                  ByteSpan(Target.data(), Target.size()));
+  EXPECT_LT(Result.Payload.size(), Target.size() / 4);
+  expectDeltaRoundTrip(Base, Target);
+}
+
+TEST(DeltaCodec, UnrelatedTargetDegradesToInserts) {
+  const ByteVector Base = randomData(4096, 13);
+  const ByteVector Target = randomData(4096, 14);
+  const DeltaResult Result =
+      deltaEncode(ByteSpan(Base.data(), Base.size()),
+                  ByteSpan(Target.data(), Target.size()));
+  EXPECT_GT(Result.InsertBytes, 3500u);
+  expectDeltaRoundTrip(Base, Target);
+}
+
+TEST(DeltaCodec, EmptyAndTinyInputs) {
+  const ByteVector Base = randomData(4096, 15);
+  expectDeltaRoundTrip(Base, ByteVector());
+  expectDeltaRoundTrip(Base, ByteVector{1, 2, 3});
+  expectDeltaRoundTrip(ByteVector(), randomData(100, 16));
+}
+
+TEST(DeltaCodec, InsertionShiftsAreHandled) {
+  // Insert 5 bytes mid-chunk: everything after shifts; backward/
+  // forward extension must still find the displaced copies.
+  const ByteVector Base = randomData(4096, 17);
+  ByteVector Target(Base.begin(), Base.begin() + 2000);
+  for (int I = 0; I < 5; ++I)
+    Target.push_back(static_cast<std::uint8_t>(I));
+  Target.insert(Target.end(), Base.begin() + 2000, Base.end());
+  const DeltaResult Result =
+      deltaEncode(ByteSpan(Base.data(), Base.size()),
+                  ByteSpan(Target.data(), Target.size()));
+  EXPECT_LT(Result.Payload.size(), 200u);
+  expectDeltaRoundTrip(Base, Target);
+}
+
+TEST(DeltaCodec, DecoderRejectsMalformedPayloads) {
+  const ByteVector Base = randomData(1024, 18);
+  ByteVector Out;
+  // Truncated insert.
+  const ByteVector BadInsert = {0x05, 'a'};
+  EXPECT_FALSE(deltaDecode(ByteSpan(Base.data(), Base.size()),
+                           ByteSpan(BadInsert.data(), BadInsert.size()), 6,
+                           Out));
+  // Copy past the base end.
+  const ByteVector BadCopy = {0x80, 0xFF, 0xFF};
+  EXPECT_FALSE(deltaDecode(ByteSpan(Base.data(), Base.size()),
+                           ByteSpan(BadCopy.data(), BadCopy.size()), 8,
+                           Out));
+  // Wrong target size.
+  const ByteVector Short = {0x00, 'x'};
+  EXPECT_FALSE(deltaDecode(ByteSpan(Base.data(), Base.size()),
+                           ByteSpan(Short.data(), Short.size()), 2, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(DeltaCodec, FuzzRoundTrips) {
+  for (std::uint64_t Seed = 0; Seed < 20; ++Seed) {
+    Random Rng(Seed * 7907 + 3);
+    const ByteVector Base = randomData(512 + Rng.nextBelow(8000), Seed);
+    const ByteVector Target =
+        withEdits(Base, static_cast<unsigned>(Rng.nextBelow(50)),
+                  Seed + 999);
+    expectDeltaRoundTrip(Base, Target);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The end-to-end claim: delta beats LZ on similar chunks.
+//===----------------------------------------------------------------------===//
+
+TEST(Delta, BeatsLzOnLightlyEditedChunks) {
+  const LzCodec Lz(LzCodec::MatcherKind::HashChain);
+  double DeltaTotal = 0.0, LzTotal = 0.0;
+  for (std::uint64_t Seed = 0; Seed < 10; ++Seed) {
+    const ByteVector Base = randomData(4096, 500 + Seed);
+    const ByteVector Target = withEdits(Base, 5, 600 + Seed);
+    DeltaTotal += static_cast<double>(
+        deltaEncode(ByteSpan(Base.data(), Base.size()),
+                    ByteSpan(Target.data(), Target.size()))
+            .Payload.size());
+    LzTotal += static_cast<double>(
+        std::min(Lz.compress(ByteSpan(Target.data(), Target.size()))
+                     .Payload.size(),
+                 Target.size()));
+  }
+  // Random-content chunks do not LZ-compress at all, but a light edit
+  // leaves ~95% of the bytes copyable from the base.
+  EXPECT_LT(DeltaTotal, LzTotal * 0.25);
+}

@@ -1,0 +1,397 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the dedup and compression engines: functional correctness
+/// of both backends, ledger charging, GPU offload mechanics, flush
+/// side-effects, and the adaptive offload controller.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CompressEngine.h"
+
+#include <cstring>
+#include "core/DedupEngine.h"
+#include "util/Random.h"
+#include "workload/VdbenchStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace padre;
+
+namespace {
+
+struct EngineFixture : ::testing::Test {
+  CostModel Model;
+  ResourceLedger Ledger;
+  ThreadPool Pool{4};
+  SsdModel Ssd{Model, Ledger};
+
+  DedupEngineConfig dedupConfig(bool Gpu) {
+    DedupEngineConfig Config;
+    Config.Index.BinBits = 8;
+    Config.Index.BufferCapacityPerBin = 8;
+    Config.GpuOffload = Gpu;
+    return Config;
+  }
+
+  /// Builds chunk views over a generated stream.
+  static std::vector<ChunkView> viewsOf(const ByteVector &Data,
+                                        std::size_t ChunkSize = 4096) {
+    std::vector<ChunkView> Views;
+    for (std::size_t Offset = 0; Offset < Data.size();
+         Offset += ChunkSize)
+      Views.push_back(ChunkView{
+          ByteSpan(Data.data() + Offset,
+                   std::min(ChunkSize, Data.size() - Offset)),
+          Offset});
+    return Views;
+  }
+
+  static std::vector<std::uint64_t> locationsFor(std::size_t Count,
+                                                 std::uint64_t Base = 0) {
+    std::vector<std::uint64_t> Locations(Count);
+    for (std::size_t I = 0; I < Count; ++I)
+      Locations[I] = Base + I;
+    return Locations;
+  }
+};
+
+ByteVector streamWithDuplicates(std::size_t Blocks, double DedupRatio,
+                                std::uint64_t Seed) {
+  WorkloadConfig Config;
+  Config.TotalBytes = Blocks * 4096;
+  Config.DedupRatio = DedupRatio;
+  Config.CompressRatio = 2.0;
+  Config.Seed = Seed;
+  return VdbenchStream(Config).generateAll();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DedupEngine — CPU only
+//===----------------------------------------------------------------------===//
+
+TEST_F(EngineFixture, DedupDetectsDuplicatesAcrossBatches) {
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, nullptr,
+                     dedupConfig(false));
+  const ByteVector Data = streamWithDuplicates(64, 1.0, 1);
+  const auto Views = viewsOf(Data);
+
+  std::vector<DedupItem> First, Second;
+  Engine.processBatch(Views, locationsFor(Views.size()), First);
+  for (const DedupItem &Item : First)
+    EXPECT_EQ(Item.Outcome, LookupOutcome::Unique);
+
+  Engine.processBatch(Views, locationsFor(Views.size(), 1000), Second);
+  for (std::size_t I = 0; I < Second.size(); ++I) {
+    EXPECT_NE(Second[I].Outcome, LookupOutcome::Unique);
+    EXPECT_EQ(Second[I].Location, First[I].Location)
+        << "duplicate must resolve to the original location";
+  }
+}
+
+TEST_F(EngineFixture, DedupChargesCpuHashAndIndexCosts) {
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, nullptr,
+                     dedupConfig(false));
+  const ByteVector Data = streamWithDuplicates(32, 1.0, 2);
+  const auto Views = viewsOf(Data);
+  std::vector<DedupItem> Items;
+  Engine.processBatch(Views, locationsFor(Views.size()), Items);
+
+  const double Expected =
+      32 * (Model.cpuHashUs(4096) + Model.Cpu.IndexProbeUs +
+            Model.Cpu.IndexMaintainUs);
+  EXPECT_NEAR(Ledger.busySeconds(Resource::CpuPool), Expected * 1e-6,
+              Expected * 1e-6 * 0.01);
+  EXPECT_EQ(Ledger.busySeconds(Resource::Gpu), 0.0);
+}
+
+TEST_F(EngineFixture, SerialIndexingChargesTheLock) {
+  DedupEngineConfig Config = dedupConfig(false);
+  Config.SerialIndexing = true;
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, nullptr, Config);
+  const ByteVector Data = streamWithDuplicates(32, 1.0, 21);
+  const auto Views = viewsOf(Data);
+  std::vector<DedupItem> Items;
+  Engine.processBatch(Views, locationsFor(Views.size()), Items);
+  // Index work (probe + maintenance) appears on the lock resource.
+  const double Expected =
+      32 * (Model.Cpu.IndexProbeUs + Model.Cpu.IndexMaintainUs);
+  EXPECT_NEAR(Ledger.busySeconds(Resource::IndexLock), Expected * 1e-6,
+              Expected * 1e-8);
+  // The parallel path (no flag) leaves the lock untouched.
+  Ledger.reset();
+  DedupEngine Parallel(Model, Ledger, Pool, Ssd, nullptr,
+                       dedupConfig(false));
+  Parallel.processBatch(Views, locationsFor(Views.size()), Items);
+  EXPECT_EQ(Ledger.busySeconds(Resource::IndexLock), 0.0);
+}
+
+TEST_F(EngineFixture, DedupFinishFlushesBuffersToSsd) {
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, nullptr,
+                     dedupConfig(false));
+  const ByteVector Data = streamWithDuplicates(32, 1.0, 3);
+  const auto Views = viewsOf(Data);
+  std::vector<DedupItem> Items;
+  Engine.processBatch(Views, locationsFor(Views.size()), Items);
+  const double SsdBefore = Ledger.busySeconds(Resource::Ssd);
+  Engine.finish();
+  EXPECT_GT(Ledger.busySeconds(Resource::Ssd), SsdBefore);
+}
+
+TEST_F(EngineFixture, DedupItemsCarryFingerprints) {
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, nullptr,
+                     dedupConfig(false));
+  const ByteVector Data = streamWithDuplicates(8, 1.0, 4);
+  const auto Views = viewsOf(Data);
+  std::vector<DedupItem> Items;
+  Engine.processBatch(Views, locationsFor(Views.size()), Items);
+  for (std::size_t I = 0; I < Views.size(); ++I)
+    EXPECT_EQ(Items[I].Fp, Fingerprint::ofData(Views[I].Data));
+}
+
+//===----------------------------------------------------------------------===//
+// DedupEngine — GPU offload
+//===----------------------------------------------------------------------===//
+
+TEST_F(EngineFixture, GpuOffloadKeepsResultsCorrect) {
+  GpuDevice Device(Model, Ledger);
+  DedupEngineConfig Config = dedupConfig(true);
+  Config.OffloadInitial = 0.5;
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, &Device, Config);
+
+  const ByteVector Data = streamWithDuplicates(512, 2.0, 5);
+  const auto Views = viewsOf(Data);
+
+  // Two passes; second pass must find every chunk as a duplicate.
+  std::vector<DedupItem> Items;
+  std::size_t Processed = 0;
+  for (std::size_t Begin = 0; Begin < Views.size(); Begin += 128) {
+    const std::size_t End = std::min(Views.size(), Begin + 128);
+    Engine.processBatch(
+        std::span<const ChunkView>(Views.data() + Begin, End - Begin),
+        locationsFor(End - Begin, Processed), Items);
+    Processed += End - Begin;
+  }
+  Engine.finish(); // populate the GPU table fully
+
+  std::vector<DedupItem> Second;
+  Engine.processBatch(
+      std::span<const ChunkView>(Views.data(), 128),
+      locationsFor(128, 100000), Second);
+  for (const DedupItem &Item : Second)
+    EXPECT_NE(Item.Outcome, LookupOutcome::Unique);
+  EXPECT_GT(Ledger.busySeconds(Resource::Gpu), 0.0);
+  EXPECT_GT(Device.launches(KernelFamily::Indexing), 0u);
+}
+
+TEST_F(EngineFixture, GpuHitsResolveToOriginalLocations) {
+  GpuDevice Device(Model, Ledger);
+  DedupEngineConfig Config = dedupConfig(true);
+  Config.OffloadInitial = 1.0;
+  Config.OffloadFloor = 1.0; // force everything through the GPU
+  Config.Index.BufferCapacityPerBin = 1; // flush immediately
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, &Device, Config);
+
+  const ByteVector Data = streamWithDuplicates(64, 1.0, 6);
+  const auto Views = viewsOf(Data);
+  std::vector<DedupItem> First, Second;
+  Engine.processBatch(Views, locationsFor(Views.size()), First);
+  Engine.processBatch(Views, locationsFor(Views.size(), 5000), Second);
+
+  std::size_t GpuResolved = 0;
+  for (std::size_t I = 0; I < Second.size(); ++I) {
+    EXPECT_NE(Second[I].Outcome, LookupOutcome::Unique);
+    EXPECT_EQ(Second[I].Location, First[I].Location);
+    GpuResolved += Second[I].Outcome == LookupOutcome::DupGpu;
+  }
+  // With full offload and immediate flush, the GPU resolves most
+  // duplicates before the CPU path.
+  EXPECT_GT(GpuResolved, Second.size() / 2);
+}
+
+TEST_F(EngineFixture, AdaptiveOffloadStaysWithinBounds) {
+  GpuDevice Device(Model, Ledger);
+  DedupEngineConfig Config = dedupConfig(true);
+  DedupEngine Engine(Model, Ledger, Pool, Ssd, &Device, Config);
+  const ByteVector Data = streamWithDuplicates(2048, 2.0, 7);
+  const auto Views = viewsOf(Data);
+  std::vector<DedupItem> Items;
+  std::size_t Processed = 0;
+  for (std::size_t Begin = 0; Begin < Views.size(); Begin += 256) {
+    const std::size_t End = std::min(Views.size(), Begin + 256);
+    Engine.processBatch(
+        std::span<const ChunkView>(Views.data() + Begin, End - Begin),
+        locationsFor(End - Begin, Processed), Items);
+    Processed += End - Begin;
+    EXPECT_GE(Engine.offloadFraction(), Config.OffloadFloor);
+    EXPECT_LE(Engine.offloadFraction(), Config.OffloadCeiling);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CompressEngine — both backends
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class BackendTest : public EngineFixture,
+                    public ::testing::WithParamInterface<CompressBackend> {
+protected:
+  std::unique_ptr<GpuDevice> Device;
+
+  CompressEngine makeEngine() {
+    CompressEngineConfig Config;
+    Config.Backend = GetParam();
+    if (GetParam() == CompressBackend::GpuLane)
+      Device = std::make_unique<GpuDevice>(Model, Ledger);
+    return CompressEngine(Model, Ledger, Pool, Device.get(), Config);
+  }
+};
+
+} // namespace
+
+TEST_P(BackendTest, CompressedBlocksDecodeToOriginal) {
+  CompressEngine Engine = makeEngine();
+  const ByteVector Data = streamWithDuplicates(64, 1.0, 8);
+  const auto Views = viewsOf(Data);
+  std::vector<CompressedChunk> Out;
+  Engine.compressBatch(Views, Out);
+  ASSERT_EQ(Out.size(), Views.size());
+  for (std::size_t I = 0; I < Out.size(); ++I) {
+    const auto View =
+        decodeBlock(ByteSpan(Out[I].Block.data(), Out[I].Block.size()));
+    ASSERT_TRUE(View.has_value()) << I;
+    ByteVector Decoded;
+    if (View->Method == BlockMethod::Raw)
+      Decoded.assign(View->Payload.begin(), View->Payload.end());
+    else
+      ASSERT_TRUE(LzCodec::decompress(View->Payload, View->OriginalSize,
+                                      Decoded));
+    EXPECT_TRUE(std::equal(Decoded.begin(), Decoded.end(),
+                           Views[I].Data.begin()));
+  }
+}
+
+TEST_P(BackendTest, CompressionSavesSpaceOnCompressibleData) {
+  CompressEngine Engine = makeEngine();
+  const ByteVector Data = streamWithDuplicates(64, 1.0, 9);
+  const auto Views = viewsOf(Data);
+  std::vector<CompressedChunk> Out;
+  Engine.compressBatch(Views, Out);
+  std::uint64_t Stored = 0;
+  for (const CompressedChunk &Chunk : Out)
+    Stored += Chunk.Block.size();
+  // The workload targets ratio 2; allow a generous band.
+  EXPECT_LT(Stored, Data.size() * 3 / 4);
+}
+
+TEST_P(BackendTest, EmptyBatchIsFine) {
+  CompressEngine Engine = makeEngine();
+  std::vector<CompressedChunk> Out;
+  Engine.compressBatch({}, Out);
+  EXPECT_TRUE(Out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest,
+                         ::testing::Values(CompressBackend::Cpu,
+                                           CompressBackend::GpuLane),
+                         [](const auto &Info) {
+                           return Info.param == CompressBackend::Cpu
+                                      ? "cpu"
+                                      : "gpulane";
+                         });
+
+TEST_F(EngineFixture, CpuBackendChargesCpuOnly) {
+  CompressEngineConfig Config;
+  CompressEngine Engine(Model, Ledger, Pool, nullptr, Config);
+  const ByteVector Data = streamWithDuplicates(32, 1.0, 10);
+  std::vector<CompressedChunk> Out;
+  Engine.compressBatch(viewsOf(Data), Out);
+  EXPECT_GT(Ledger.busySeconds(Resource::CpuPool), 0.0);
+  EXPECT_EQ(Ledger.busySeconds(Resource::Gpu), 0.0);
+  EXPECT_EQ(Ledger.busySeconds(Resource::Pcie), 0.0);
+}
+
+TEST_F(EngineFixture, GpuBackendChargesGpuPcieAndCpuRefinement) {
+  GpuDevice Device(Model, Ledger);
+  CompressEngineConfig Config;
+  Config.Backend = CompressBackend::GpuLane;
+  CompressEngine Engine(Model, Ledger, Pool, &Device, Config);
+  const ByteVector Data = streamWithDuplicates(64, 1.0, 11);
+  std::vector<CompressedChunk> Out;
+  Engine.compressBatch(viewsOf(Data), Out);
+  EXPECT_GT(Ledger.busySeconds(Resource::Gpu), 0.0);
+  EXPECT_GT(Ledger.busySeconds(Resource::Pcie), 0.0);
+  EXPECT_GT(Ledger.busySeconds(Resource::CpuPool), 0.0); // refinement
+  EXPECT_GT(Device.launches(KernelFamily::Compression), 0u);
+  EXPECT_GT(Ledger.bytesToDevice(), 0u);
+  EXPECT_GT(Ledger.bytesFromDevice(), 0u);
+}
+
+TEST_F(EngineFixture, IncompressibleDataFallsBackToRaw) {
+  CompressEngineConfig Config;
+  CompressEngine Engine(Model, Ledger, Pool, nullptr, Config);
+  ByteVector Data(64 * 4096);
+  Random Rng(12);
+  Rng.fillBytes(Data.data(), Data.size());
+  std::vector<CompressedChunk> Out;
+  Engine.compressBatch(viewsOf(Data), Out);
+  EXPECT_EQ(Engine.rawFallbacks(), Out.size());
+  for (const CompressedChunk &Chunk : Out)
+    EXPECT_TRUE(Chunk.StoredRaw);
+}
+
+TEST_F(EngineFixture, LockstepChargesDivergentChunksMore) {
+  // Two inputs with identical total literal/match bytes, but one has
+  // them split evenly across lanes and the other concentrates all the
+  // literals in a single lane. Under the SIMT lockstep rule the
+  // divergent chunk's wavefront is gated by its slowest lane, so the
+  // GPU charge must be strictly higher.
+  GpuDevice Device(Model, Ledger);
+  CompressEngineConfig Config;
+  Config.Backend = CompressBackend::GpuLane;
+  Config.Lanes.Lanes = 8;
+  CompressEngine Engine(Model, Ledger, Pool, &Device, Config);
+
+  // Balanced: every 512 B lane is half filler, half noise.
+  ByteVector Balanced(4096);
+  Random Rng(21);
+  for (std::size_t Lane = 0; Lane < 8; ++Lane) {
+    std::memset(Balanced.data() + Lane * 512, 0x55, 256);
+    Rng.fillBytes(Balanced.data() + Lane * 512 + 256, 256);
+  }
+  // Divergent: lanes 0-3 pure filler, lanes 4-7 pure noise (same
+  // totals: 2 KiB filler, 2 KiB noise).
+  ByteVector Divergent(4096);
+  std::memset(Divergent.data(), 0x55, 2048);
+  Rng.fillBytes(Divergent.data() + 2048, 2048);
+
+  std::vector<CompressedChunk> Out;
+  const ChunkView BalancedView{ByteSpan(Balanced.data(), 4096), 0};
+  const ChunkView DivergentView{ByteSpan(Divergent.data(), 4096), 0};
+  Engine.compressBatch(std::span<const ChunkView>(&BalancedView, 1), Out);
+  const double BalancedExec =
+      Ledger.busySeconds(Resource::Gpu) * 1e6 - Model.Gpu.LaunchUs;
+  Ledger.reset();
+  Engine.compressBatch(std::span<const ChunkView>(&DivergentView, 1), Out);
+  const double DivergentExec =
+      Ledger.busySeconds(Resource::Gpu) * 1e6 - Model.Gpu.LaunchUs;
+  // The literal and match per-byte rates are deliberately close (the
+  // calibration in EXPERIMENTS.md), so the lockstep penalty is a
+  // few percent here — but it must be strictly and measurably worse.
+  EXPECT_GT(DivergentExec, BalancedExec * 1.03);
+}
+
+TEST_F(EngineFixture, GpuBatchingRespectsSubBatchSize) {
+  Model.Gpu.CompressBatchChunks = 16;
+  GpuDevice Device(Model, Ledger);
+  CompressEngineConfig Config;
+  Config.Backend = CompressBackend::GpuLane;
+  CompressEngine Engine(Model, Ledger, Pool, &Device, Config);
+  const ByteVector Data = streamWithDuplicates(64, 1.0, 13);
+  std::vector<CompressedChunk> Out;
+  Engine.compressBatch(viewsOf(Data), Out);
+  EXPECT_EQ(Device.launches(KernelFamily::Compression), 4u); // 64/16
+}

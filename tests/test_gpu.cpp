@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the GPU device model: kernel launch accounting,
+/// transfers, memory arena, mixed-kernel penalty.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpu/GpuDevice.h"
+#include "util/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace padre;
+
+namespace {
+
+struct GpuFixture : ::testing::Test {
+  CostModel Model;
+  ResourceLedger Ledger;
+};
+
+} // namespace
+
+TEST_F(GpuFixture, KernelChargesLaunchPlusExec) {
+  GpuDevice Device(Model, Ledger);
+  bool Ran = false;
+  Device.launchKernel(KernelFamily::Compression, 100.0,
+                      [&Ran] { Ran = true; });
+  EXPECT_TRUE(Ran);
+  EXPECT_NEAR(Ledger.busySeconds(Resource::Gpu),
+              (Model.Gpu.LaunchUs + 100.0) * 1e-6, 1e-12);
+  EXPECT_EQ(Ledger.kernelLaunches(), 1u);
+  EXPECT_EQ(Device.launches(KernelFamily::Compression), 1u);
+  EXPECT_EQ(Device.launches(KernelFamily::Indexing), 0u);
+}
+
+TEST_F(GpuFixture, MixedModeInflatesKernelCost) {
+  GpuDevice Device(Model, Ledger);
+  Device.launchKernel(KernelFamily::Indexing, 100.0, nullptr);
+  const double Plain = Ledger.busySeconds(Resource::Gpu);
+  Ledger.reset();
+  Device.setMixedMode(true);
+  Device.launchKernel(KernelFamily::Indexing, 100.0, nullptr);
+  EXPECT_NEAR(Ledger.busySeconds(Resource::Gpu),
+              Plain * Model.Gpu.MixedKernelPenalty, 1e-12);
+}
+
+TEST_F(GpuFixture, TransfersChargePcieAndCount) {
+  GpuDevice Device(Model, Ledger);
+  Device.transferToDevice(4096);
+  Device.transferFromDevice(1024);
+  EXPECT_NEAR(Ledger.busySeconds(Resource::Pcie),
+              (Model.pcieTransferUs(4096) + Model.pcieTransferUs(1024)) *
+                  1e-6,
+              1e-12);
+  EXPECT_EQ(Ledger.bytesToDevice(), 4096u);
+  EXPECT_EQ(Ledger.bytesFromDevice(), 1024u);
+}
+
+TEST_F(GpuFixture, MemoryArenaBounds) {
+  GpuDevice Device(Model, Ledger);
+  const std::uint64_t Capacity = Device.memoryCapacityBytes();
+  EXPECT_EQ(Capacity, static_cast<std::uint64_t>(
+                          Model.Gpu.DeviceMemoryMiB * 1024 * 1024));
+  EXPECT_TRUE(Device.allocateMemory(Capacity / 2));
+  EXPECT_TRUE(Device.allocateMemory(Capacity / 2));
+  EXPECT_FALSE(Device.allocateMemory(1)); // arena full
+  Device.releaseMemory(Capacity / 2);
+  EXPECT_TRUE(Device.allocateMemory(1));
+}
+
+TEST_F(GpuFixture, ConcurrentLaunchCountsAreExact) {
+  GpuDevice Device(Model, Ledger);
+  ThreadPool Pool(4);
+  Pool.parallelFor(0, 500, [&Device](std::size_t) {
+    Device.launchKernel(KernelFamily::Hashing, 1.0, nullptr);
+  });
+  EXPECT_EQ(Device.launches(KernelFamily::Hashing), 500u);
+  EXPECT_EQ(Ledger.kernelLaunches(), 500u);
+}
+
+TEST_F(GpuFixture, KernelFamilyNames) {
+  EXPECT_STREQ(kernelFamilyName(KernelFamily::Indexing), "indexing");
+  EXPECT_STREQ(kernelFamilyName(KernelFamily::Hashing), "hashing");
+  EXPECT_STREQ(kernelFamilyName(KernelFamily::Compression), "compression");
+}
+
+TEST_F(GpuFixture, AbsentGpuReportsNotPresent) {
+  Model.Gpu.Present = false;
+  GpuDevice Device(Model, Ledger);
+  EXPECT_FALSE(Device.present());
+}

@@ -1,0 +1,245 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the GPU lane-parallel compressor and its CPU refinement:
+/// lane geometry, overlap-window semantics, refined-stream round trips,
+/// raw fallback, and the ratio cost of lane parallelism vs single-scan
+/// compression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/GpuLaneCompressor.h"
+#include "util/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+using namespace padre;
+
+namespace {
+
+ByteVector randomData(std::size_t Size, std::uint64_t Seed) {
+  ByteVector Data(Size);
+  Random Rng(Seed);
+  Rng.fillBytes(Data.data(), Data.size());
+  return Data;
+}
+
+ByteVector repetitiveData(std::size_t Size, std::uint64_t Seed) {
+  ByteVector Data(Size);
+  Random Rng(Seed);
+  std::uint8_t Pattern[64];
+  Rng.fillBytes(Pattern, sizeof(Pattern));
+  for (std::size_t I = 0; I < Size; I += 64) {
+    const std::size_t Take = std::min<std::size_t>(64, Size - I);
+    if (Rng.nextBool(0.2))
+      Rng.fillBytes(Data.data() + I, Take);
+    else
+      std::copy(Pattern, Pattern + Take, Data.data() + I);
+  }
+  return Data;
+}
+
+/// Refines and decodes back; asserts the chunk survives.
+void expectRefinedRoundTrip(const GpuLaneCompressor &Compressor,
+                            const ByteVector &Data) {
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  const RefinedChunk Refined = GpuLaneCompressor::refine(
+      Outputs, ByteSpan(Data.data(), Data.size()));
+  const auto View =
+      decodeBlock(ByteSpan(Refined.Block.data(), Refined.Block.size()));
+  ASSERT_TRUE(View.has_value());
+  EXPECT_EQ(View->OriginalSize, Data.size());
+  if (View->Method == BlockMethod::Raw) {
+    EXPECT_TRUE(Refined.StoredRaw);
+    EXPECT_TRUE(std::equal(View->Payload.begin(), View->Payload.end(),
+                           Data.begin()));
+    return;
+  }
+  EXPECT_EQ(View->Method, BlockMethod::GpuLane);
+  ByteVector Out;
+  ASSERT_TRUE(LzCodec::decompress(View->Payload, Data.size(), Out));
+  EXPECT_EQ(Out, Data);
+}
+
+} // namespace
+
+TEST(GpuLaneCompressor, LaneGeometryCoversChunk) {
+  GpuLaneConfig Config;
+  Config.Lanes = 8;
+  const GpuLaneCompressor Compressor(Config);
+  const ByteVector Data = randomData(4096, 1);
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  EXPECT_EQ(Outputs.LaneResults.size(), 8u);
+  std::size_t Covered = 0;
+  for (const CompressResult &Lane : Outputs.LaneResults)
+    Covered += Lane.Stats.LiteralBytes + Lane.Stats.MatchBytes;
+  EXPECT_EQ(Covered, Data.size());
+}
+
+TEST(GpuLaneCompressor, FewerLanesThanBytesDegradesGracefully) {
+  GpuLaneConfig Config;
+  Config.Lanes = 16;
+  const GpuLaneCompressor Compressor(Config);
+  const ByteVector Data = randomData(10, 2); // fewer bytes than lanes
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  EXPECT_LE(Outputs.LaneResults.size(), 10u);
+  expectRefinedRoundTrip(Compressor, Data);
+}
+
+TEST(GpuLaneCompressor, EmptyChunk) {
+  const GpuLaneCompressor Compressor;
+  const LaneOutputs Outputs = Compressor.runLanes(ByteSpan());
+  EXPECT_TRUE(Outputs.LaneResults.empty());
+  EXPECT_EQ(Outputs.totalPayloadBytes(), 0u);
+}
+
+namespace {
+
+class LaneRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t, int>> {
+};
+
+} // namespace
+
+TEST_P(LaneRoundTrip, RefinedStreamDecodes) {
+  const auto &[Lanes, History, Shape] = GetParam();
+  GpuLaneConfig Config;
+  Config.Lanes = Lanes;
+  Config.HistoryBytes = History;
+  const GpuLaneCompressor Compressor(Config);
+
+  ByteVector Data;
+  switch (Shape) {
+  case 0:
+    Data = randomData(4096, 3);
+    break;
+  case 1:
+    Data = repetitiveData(4096, 4);
+    break;
+  case 2:
+    Data = ByteVector(4096, 0x77);
+    break;
+  default:
+    Data = repetitiveData(16384, 5);
+  }
+  expectRefinedRoundTrip(Compressor, Data);
+}
+
+namespace {
+
+std::string laneRoundTripName(
+    const ::testing::TestParamInfo<LaneRoundTrip::ParamType> &Info) {
+  static const char *Shapes[] = {"random", "mixed", "constant", "big"};
+  return "lanes" + std::to_string(std::get<0>(Info.param)) + "_hist" +
+         std::to_string(std::get<1>(Info.param)) + "_" +
+         Shapes[std::get<2>(Info.param)];
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, LaneRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u, 32u),
+                       ::testing::Values(std::size_t{0}, std::size_t{256},
+                                         std::size_t{1024}),
+                       ::testing::Range(0, 4)),
+    laneRoundTripName);
+
+TEST(GpuLaneCompressor, IncompressibleFallsBackToRaw) {
+  const GpuLaneCompressor Compressor;
+  const ByteVector Data = randomData(4096, 6);
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  const RefinedChunk Refined = GpuLaneCompressor::refine(
+      Outputs, ByteSpan(Data.data(), Data.size()));
+  EXPECT_TRUE(Refined.StoredRaw);
+  const auto View =
+      decodeBlock(ByteSpan(Refined.Block.data(), Refined.Block.size()));
+  ASSERT_TRUE(View.has_value());
+  EXPECT_EQ(View->Method, BlockMethod::Raw);
+}
+
+TEST(GpuLaneCompressor, CompressibleBeatsRaw) {
+  const GpuLaneCompressor Compressor;
+  const ByteVector Data = repetitiveData(4096, 7);
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  const RefinedChunk Refined = GpuLaneCompressor::refine(
+      Outputs, ByteSpan(Data.data(), Data.size()));
+  EXPECT_FALSE(Refined.StoredRaw);
+  EXPECT_LT(Refined.Block.size(), Data.size());
+}
+
+TEST(GpuLaneCompressor, HistoryOverlapImprovesRatio) {
+  // With overlap, lane k can reference the pattern in lane k-1's
+  // region, so more lanes' worth of redundancy is captured (§3.2(2)
+  // "Adjacent threads inspect overlapping regions by the size of the
+  // history buffer").
+  const ByteVector Data = repetitiveData(4096, 8);
+  GpuLaneConfig NoOverlap;
+  NoOverlap.Lanes = 8;
+  NoOverlap.HistoryBytes = 0;
+  GpuLaneConfig WithOverlap = NoOverlap;
+  WithOverlap.HistoryBytes = 512;
+  const LaneOutputs A =
+      GpuLaneCompressor(NoOverlap).runLanes(ByteSpan(Data.data(),
+                                                     Data.size()));
+  const LaneOutputs B = GpuLaneCompressor(WithOverlap)
+                            .runLanes(ByteSpan(Data.data(), Data.size()));
+  EXPECT_LE(B.totalPayloadBytes(), A.totalPayloadBytes());
+}
+
+TEST(GpuLaneCompressor, MoreLanesCostRatioVsSingleScan) {
+  // Lane parallelism trades ratio for parallel speed: a single-lane
+  // scan can never lose to a many-lane scan with the same matcher
+  // (ignoring refinement merges).
+  const ByteVector Data = repetitiveData(8192, 9);
+  GpuLaneConfig One;
+  One.Lanes = 1;
+  GpuLaneConfig Many;
+  Many.Lanes = 16;
+  Many.HistoryBytes = 128;
+  const auto Single = GpuLaneCompressor(One).runLanes(
+      ByteSpan(Data.data(), Data.size()));
+  const auto Wide = GpuLaneCompressor(Many).runLanes(
+      ByteSpan(Data.data(), Data.size()));
+  EXPECT_LE(Single.totalPayloadBytes(), Wide.totalPayloadBytes());
+}
+
+TEST(GpuLaneCompressor, RefineMergesBoundaryLiteralRuns) {
+  // All-literal lanes: per-lane streams end in literal runs; the
+  // refined stream must not have more control bytes than the naive
+  // concatenation.
+  const ByteVector Data = randomData(4096, 10);
+  GpuLaneConfig Config;
+  Config.Lanes = 8;
+  const GpuLaneCompressor Compressor(Config);
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  const RefinedChunk Refined = GpuLaneCompressor::refine(
+      Outputs, ByteSpan(Data.data(), Data.size()));
+  // Raw fallback also proves the merged stream wasn't bigger.
+  EXPECT_LE(Refined.Block.size(), Data.size() + BlockHeaderSize);
+}
+
+TEST(GpuLaneCompressor, StatsSurviveRefinement) {
+  const ByteVector Data = repetitiveData(4096, 11);
+  const GpuLaneCompressor Compressor;
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  CompressStats LaneSum;
+  for (const CompressResult &Lane : Outputs.LaneResults)
+    LaneSum.merge(Lane.Stats);
+  const RefinedChunk Refined = GpuLaneCompressor::refine(
+      Outputs, ByteSpan(Data.data(), Data.size()));
+  EXPECT_EQ(Refined.Stats.LiteralBytes, LaneSum.LiteralBytes);
+  EXPECT_EQ(Refined.Stats.MatchBytes, LaneSum.MatchBytes);
+  EXPECT_EQ(Refined.Stats.LiteralBytes + Refined.Stats.MatchBytes,
+            Data.size());
+}

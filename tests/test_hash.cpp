@@ -1,0 +1,228 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the hash module: SHA-1 / SHA-256 against official
+/// test vectors, CRC-32C check values, FNV-1a, and the fingerprint
+/// bin/prefix arithmetic the dedup index relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hash/Crc32.h"
+#include "hash/Fingerprint.h"
+#include "hash/Fnv.h"
+#include "hash/Sha1.h"
+#include "hash/Sha256.h"
+#include "util/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace padre;
+
+static ByteSpan bytesOf(const char *Text) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t *>(Text),
+                  std::strlen(Text));
+}
+
+//===----------------------------------------------------------------------===//
+// SHA-1 (FIPS 180-1 and RFC 3174 vectors)
+//===----------------------------------------------------------------------===//
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(toHex(ByteSpan(Sha1::digest(bytesOf("")).data(), 20)),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(toHex(ByteSpan(Sha1::digest(bytesOf("abc")).data(), 20)),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      toHex(ByteSpan(
+          Sha1::digest(
+              bytesOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                      "nopq"))
+              .data(),
+          20)),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 Context;
+  const ByteVector Block(1000, 'a');
+  for (int I = 0; I < 1000; ++I)
+    Context.update(ByteSpan(Block.data(), Block.size()));
+  EXPECT_EQ(toHex(ByteSpan(Context.final().data(), 20)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Random Rng(1);
+  ByteVector Data(10000);
+  Rng.fillBytes(Data.data(), Data.size());
+  const auto OneShot = Sha1::digest(ByteSpan(Data.data(), Data.size()));
+
+  // Feed in awkward piece sizes that straddle block boundaries.
+  Sha1 Context;
+  std::size_t Offset = 0;
+  const std::size_t Pieces[] = {1, 63, 64, 65, 127, 128, 1000, 3, 0, 9999};
+  for (std::size_t Piece : Pieces) {
+    const std::size_t Take = std::min(Piece, Data.size() - Offset);
+    Context.update(ByteSpan(Data.data() + Offset, Take));
+    Offset += Take;
+  }
+  Context.update(ByteSpan(Data.data() + Offset, Data.size() - Offset));
+  EXPECT_EQ(Context.final(), OneShot);
+}
+
+TEST(Sha1, PaddingBoundaryLengths) {
+  // Message lengths around the 55/56/64-byte padding edges must all
+  // produce distinct, stable digests.
+  std::vector<Sha1::Digest> Digests;
+  for (std::size_t Length : {54u, 55u, 56u, 57u, 63u, 64u, 65u}) {
+    const ByteVector Data(Length, 0x5A);
+    Digests.push_back(Sha1::digest(ByteSpan(Data.data(), Data.size())));
+  }
+  for (std::size_t I = 0; I < Digests.size(); ++I)
+    for (std::size_t J = I + 1; J < Digests.size(); ++J)
+      EXPECT_NE(Digests[I], Digests[J]);
+}
+
+//===----------------------------------------------------------------------===//
+// SHA-256 (FIPS 180-2 vectors)
+//===----------------------------------------------------------------------===//
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(
+      toHex(ByteSpan(Sha256::digest(bytesOf("")).data(), 32)),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(
+      toHex(ByteSpan(Sha256::digest(bytesOf("abc")).data(), 32)),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      toHex(ByteSpan(
+          Sha256::digest(bytesOf(
+                             "abcdbcdecdefdefgefghfghighijhijkijkljklmklmn"
+                             "lmnomnopnopq"))
+              .data(),
+          32)),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 Context;
+  const ByteVector Block(1000, 'a');
+  for (int I = 0; I < 1000; ++I)
+    Context.update(ByteSpan(Block.data(), Block.size()));
+  EXPECT_EQ(
+      toHex(ByteSpan(Context.final().data(), 32)),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+//===----------------------------------------------------------------------===//
+// CRC-32C
+//===----------------------------------------------------------------------===//
+
+TEST(Crc32c, CheckValue) {
+  // Standard CRC-32C check: "123456789" -> 0xE3069283.
+  EXPECT_EQ(crc32c(bytesOf("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(crc32c(bytesOf("")), 0u); }
+
+TEST(Crc32c, SeedChaining) {
+  const ByteSpan Whole = bytesOf("hello world");
+  const std::uint32_t Full = crc32c(Whole);
+  const std::uint32_t Partial = crc32c(Whole.subspan(5), crc32c(Whole.first(5)));
+  EXPECT_EQ(Partial, Full);
+}
+
+TEST(Crc32c, DetectsBitFlip) {
+  ByteVector Data(100, 0x41);
+  const std::uint32_t Before = crc32c(ByteSpan(Data.data(), Data.size()));
+  Data[50] ^= 0x01;
+  EXPECT_NE(crc32c(ByteSpan(Data.data(), Data.size())), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// FNV-1a
+//===----------------------------------------------------------------------===//
+
+TEST(Fnv, KnownVectors) {
+  // Published FNV-1a 64 values.
+  EXPECT_EQ(fnv1a64(bytesOf("")), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a64(bytesOf("a")), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(fnv1a64(bytesOf("foobar")), 0x85944171F73967E8ull);
+}
+
+TEST(Fnv, IntegerOverloadMixesAllBytes) {
+  EXPECT_NE(fnv1a64(std::uint64_t{1}), fnv1a64(std::uint64_t{1} << 56));
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, BinIdUsesLeadingBits) {
+  Sha1::Digest Digest{};
+  Digest[0] = 0xAB;
+  Digest[1] = 0xCD;
+  Digest[2] = 0xEF;
+  const Fingerprint Fp(Digest);
+  EXPECT_EQ(Fp.binId(8), 0xABu);
+  EXPECT_EQ(Fp.binId(16), 0xABCDu);
+  EXPECT_EQ(Fp.binId(4), 0xAu);
+  EXPECT_EQ(Fp.binId(12), 0xABCu);
+  EXPECT_EQ(Fp.binId(20), 0xABCDEu);
+}
+
+TEST(Fingerprint, BinIdIsUniformish) {
+  // Hash uniformity: over many fingerprints, all 16 top-4-bit bins get
+  // hits.
+  int Bins[16] = {0};
+  for (int I = 0; I < 512; ++I) {
+    std::uint8_t Data[8];
+    storeLe64(Data, static_cast<std::uint64_t>(I));
+    Bins[Fingerprint::ofData(ByteSpan(Data, 8)).binId(4)] += 1;
+  }
+  for (int Count : Bins)
+    EXPECT_GT(Count, 8);
+}
+
+TEST(Fingerprint, OrderingAndEquality) {
+  const auto A = Fingerprint::ofData(bytesOf("a"));
+  const auto B = Fingerprint::ofData(bytesOf("b"));
+  EXPECT_EQ(A, Fingerprint::ofData(bytesOf("a")));
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(A < B || B < A);
+}
+
+TEST(Fingerprint, Key64ReadsBigEndianWithZeroPad) {
+  Sha1::Digest Digest{};
+  for (unsigned I = 0; I < 20; ++I)
+    Digest[I] = static_cast<std::uint8_t>(I + 1);
+  const Fingerprint Fp(Digest);
+  EXPECT_EQ(Fp.key64(0), 0x0102030405060708ull);
+  // Offset 16: only 4 digest bytes remain; the rest reads as zero.
+  EXPECT_EQ(Fp.key64(16), 0x1112131400000000ull);
+}
+
+TEST(Fingerprint, HexMatchesSha1) {
+  EXPECT_EQ(Fingerprint::ofData(bytesOf("abc")).hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(FingerprintHash, DistinctForDistinctDigests) {
+  FingerprintHash Hasher;
+  EXPECT_NE(Hasher(Fingerprint::ofData(bytesOf("x"))),
+            Hasher(Fingerprint::ofData(bytesOf("y"))));
+}

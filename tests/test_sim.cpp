@@ -1,0 +1,196 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the sim module: ledger arithmetic, makespan /
+/// bottleneck math, cost-model helpers and platform profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/CostModel.h"
+#include "sim/Platform.h"
+#include "sim/ResourceLedger.h"
+#include "util/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace padre;
+
+//===----------------------------------------------------------------------===//
+// ResourceLedger
+//===----------------------------------------------------------------------===//
+
+TEST(ResourceLedger, ChargesAccumulate) {
+  ResourceLedger Ledger;
+  Ledger.chargeMicros(Resource::CpuPool, 100.0);
+  Ledger.chargeMicros(Resource::CpuPool, 150.0);
+  EXPECT_NEAR(Ledger.busySeconds(Resource::CpuPool), 250e-6, 1e-12);
+  EXPECT_EQ(Ledger.busySeconds(Resource::Gpu), 0.0);
+}
+
+TEST(ResourceLedger, MakespanDividesCpuByThreads) {
+  ResourceLedger Ledger;
+  Ledger.chargeMicros(Resource::CpuPool, 800.0);
+  Ledger.chargeMicros(Resource::Gpu, 50.0);
+  // CPU normalized: 800/8 = 100us; GPU 50us -> CPU is the bottleneck.
+  EXPECT_NEAR(Ledger.makespanSeconds(8), 100e-6, 1e-12);
+  EXPECT_EQ(Ledger.bottleneck(8), Resource::CpuPool);
+  // With one thread the CPU dominates even more.
+  EXPECT_NEAR(Ledger.makespanSeconds(1), 800e-6, 1e-12);
+}
+
+TEST(ResourceLedger, MaskExcludesResources) {
+  ResourceLedger Ledger;
+  Ledger.chargeMicros(Resource::Ssd, 1000.0);
+  Ledger.chargeMicros(Resource::CpuPool, 80.0);
+  EXPECT_NEAR(Ledger.makespanSeconds(8, AllResources), 1000e-6, 1e-12);
+  EXPECT_NEAR(Ledger.makespanSeconds(8, ComputeResources), 10e-6, 1e-12);
+  EXPECT_EQ(Ledger.bottleneck(8, ComputeResources), Resource::CpuPool);
+}
+
+TEST(ResourceLedger, ResetClearsEverything) {
+  ResourceLedger Ledger;
+  Ledger.chargeMicros(Resource::Pcie, 5.0);
+  Ledger.countKernelLaunch();
+  Ledger.countHostToDevice(100);
+  Ledger.reset();
+  EXPECT_EQ(Ledger.busySeconds(Resource::Pcie), 0.0);
+  EXPECT_EQ(Ledger.kernelLaunches(), 0u);
+  EXPECT_EQ(Ledger.bytesToDevice(), 0u);
+}
+
+TEST(ResourceLedger, ConcurrentChargesAreLossless) {
+  ResourceLedger Ledger;
+  ThreadPool Pool(4);
+  Pool.parallelFor(0, 10000, [&Ledger](std::size_t) {
+    Ledger.chargeMicros(Resource::Gpu, 1.0);
+  });
+  EXPECT_NEAR(Ledger.busySeconds(Resource::Gpu), 10000e-6, 1e-9);
+}
+
+TEST(ResourceLedger, SummaryContainsLaunchCount) {
+  ResourceLedger Ledger;
+  Ledger.countKernelLaunch();
+  Ledger.countKernelLaunch();
+  EXPECT_NE(Ledger.summary(8).find("launches=2"), std::string::npos);
+}
+
+TEST(ResourceLedger, ResourceNames) {
+  EXPECT_STREQ(resourceName(Resource::CpuPool), "cpu");
+  EXPECT_STREQ(resourceName(Resource::Gpu), "gpu");
+  EXPECT_STREQ(resourceName(Resource::Pcie), "pcie");
+  EXPECT_STREQ(resourceName(Resource::Ssd), "ssd");
+  EXPECT_STREQ(resourceName(Resource::IndexLock), "lock");
+}
+
+TEST(ResourceLedger, IndexLockIsCapacityOneInComputeMakespan) {
+  ResourceLedger Ledger;
+  Ledger.chargeMicros(Resource::CpuPool, 800.0);
+  Ledger.chargeMicros(Resource::IndexLock, 500.0);
+  // CPU normalized 100us < lock 500us: the serialization point wins.
+  EXPECT_NEAR(Ledger.makespanSeconds(8, ComputeResources), 500e-6, 1e-12);
+  EXPECT_EQ(Ledger.bottleneck(8, ComputeResources), Resource::IndexLock);
+}
+
+//===----------------------------------------------------------------------===//
+// CostModel helpers
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, DefaultIsValid) {
+  EXPECT_TRUE(isValidCostModel(CostModel()));
+}
+
+TEST(CostModel, RejectsNonPositiveConstants) {
+  CostModel Model;
+  Model.Cpu.HashPerByteNs = 0.0;
+  EXPECT_FALSE(isValidCostModel(Model));
+  Model = CostModel();
+  Model.Gpu.MixedKernelPenalty = 0.9; // below 1 is nonsensical
+  EXPECT_FALSE(isValidCostModel(Model));
+  Model = CostModel();
+  Model.Cpu.Threads = 0;
+  EXPECT_FALSE(isValidCostModel(Model));
+}
+
+TEST(CostModel, HashCostScalesLinearly) {
+  const CostModel Model;
+  EXPECT_NEAR(Model.cpuHashUs(8192), 2 * Model.cpuHashUs(4096), 1e-9);
+  EXPECT_LT(Model.gpuHashUs(4096), Model.cpuHashUs(4096));
+}
+
+TEST(CostModel, CompressCostPrefersMatches) {
+  const CostModel Model;
+  // Match-covered bytes must be cheaper than literal bytes — this is
+  // what makes compressible data faster (§4(2)).
+  EXPECT_LT(Model.cpuCompressUs(0, 4096), Model.cpuCompressUs(4096, 0));
+}
+
+TEST(CostModel, PcieTransferHasFixedAndLinearParts) {
+  const CostModel Model;
+  const double Small = Model.pcieTransferUs(1);
+  const double Large = Model.pcieTransferUs(1 << 20);
+  EXPECT_GT(Small, 0.0);
+  EXPECT_GT(Large, Small);
+  // 1 MiB at 8 GB/s is ~131 us plus the fixed setup.
+  EXPECT_NEAR(Large, Model.Pcie.PerTransferUs + (1 << 20) / 8e3, 1.0);
+}
+
+TEST(CostModel, SsdSequentialCosts) {
+  const CostModel Model;
+  // 320 MB/s: 1 MB takes ~3125 us plus command overhead.
+  EXPECT_NEAR(Model.ssdSeqWriteUs(1000000),
+              Model.Ssd.SeqCommandUs + 1000000.0 / 320.0, 1e-6);
+  EXPECT_LT(Model.ssdSeqReadUs(1000000), Model.ssdSeqWriteUs(1000000));
+}
+
+TEST(CostModel, PostprocessRawFallbackIsCheap) {
+  const CostModel Model;
+  EXPECT_LT(Model.cpuPostprocessUs(0, /*StoredRaw=*/true),
+            Model.cpuPostprocessUs(2048, /*StoredRaw=*/false));
+}
+
+//===----------------------------------------------------------------------===//
+// Platform profiles
+//===----------------------------------------------------------------------===//
+
+TEST(Platform, PaperProfileHasGpu) {
+  const Platform P = Platform::paper();
+  EXPECT_TRUE(P.Model.Gpu.Present);
+  EXPECT_TRUE(isValidCostModel(P.Model));
+}
+
+TEST(Platform, NoGpuProfile) {
+  EXPECT_FALSE(Platform::noGpu().Model.Gpu.Present);
+}
+
+TEST(Platform, WeakGpuIsSlowerThanPaper) {
+  const Platform Paper = Platform::paper();
+  const Platform Weak = Platform::weakGpu();
+  EXPECT_GT(Weak.Model.Gpu.LzLiteralPerByteNs,
+            Paper.Model.Gpu.LzLiteralPerByteNs);
+  EXPECT_GT(Weak.Model.Gpu.LaunchUs, Paper.Model.Gpu.LaunchUs);
+  EXPECT_LT(Weak.Model.Pcie.GigabytesPerSec,
+            Paper.Model.Pcie.GigabytesPerSec);
+  EXPECT_TRUE(isValidCostModel(Weak.Model));
+}
+
+TEST(Platform, FastGpuIsFasterThanPaper) {
+  const Platform Paper = Platform::paper();
+  const Platform Fast = Platform::fastGpu();
+  EXPECT_LT(Fast.Model.Gpu.LzLiteralPerByteNs,
+            Paper.Model.Gpu.LzLiteralPerByteNs);
+  EXPECT_TRUE(isValidCostModel(Fast.Model));
+}
+
+TEST(Platform, AllProfilesAreDistinctAndValid) {
+  const auto Profiles = Platform::allProfiles();
+  ASSERT_EQ(Profiles.size(), 4u);
+  std::set<std::string> Names;
+  for (const Platform &P : Profiles) {
+    EXPECT_TRUE(isValidCostModel(P.Model));
+    Names.insert(P.Name);
+  }
+  EXPECT_EQ(Names.size(), 4u);
+}

@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the trace module: format round trips, malformed-input
+/// rejection, synthesis properties (mix, locality, bounds), content
+/// determinism, and verified replay against the LBA volume in several
+/// pipeline modes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/TraceRunner.h"
+#include "workload/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+using namespace padre;
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFormat, SerializeParseRoundTrip) {
+  TraceLog Log;
+  Log.Records = {
+      {TraceOp::Write, 10, 4, 7},
+      {TraceOp::Read, 10, 2, 0},
+      {TraceOp::Trim, 12, 2, 0},
+      {TraceOp::Write, 0, 1, 99},
+  };
+  const auto Parsed = TraceLog::parse(Log.serialize());
+  ASSERT_TRUE(Parsed.has_value());
+  ASSERT_EQ(Parsed->Records.size(), Log.Records.size());
+  for (std::size_t I = 0; I < Log.Records.size(); ++I) {
+    EXPECT_EQ(Parsed->Records[I].Op, Log.Records[I].Op);
+    EXPECT_EQ(Parsed->Records[I].Lba, Log.Records[I].Lba);
+    EXPECT_EQ(Parsed->Records[I].Blocks, Log.Records[I].Blocks);
+    if (Log.Records[I].Op == TraceOp::Write) {
+      EXPECT_EQ(Parsed->Records[I].ContentTag, Log.Records[I].ContentTag);
+    }
+  }
+}
+
+TEST(TraceFormat, CommentsAndBlanksAreSkipped) {
+  const auto Parsed = TraceLog::parse("# header\n\nW 1 2 3 # inline\n\n"
+                                      "R 1 2\n");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->Records.size(), 2u);
+}
+
+TEST(TraceFormat, RejectsMalformedLines) {
+  EXPECT_FALSE(TraceLog::parse("X 1 2\n").has_value());   // unknown op
+  EXPECT_FALSE(TraceLog::parse("W 1 2\n").has_value());   // missing tag
+  EXPECT_FALSE(TraceLog::parse("R 1\n").has_value());     // missing count
+  EXPECT_FALSE(TraceLog::parse("R 1 2 3\n").has_value()); // trailing junk
+  EXPECT_FALSE(TraceLog::parse("W 1 0 5\n").has_value()); // zero blocks
+}
+
+TEST(TraceFormat, EmptyTextIsEmptyTrace) {
+  const auto Parsed = TraceLog::parse("");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_TRUE(Parsed->Records.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Synthesis
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSynthesis, RespectsBoundsAndCount) {
+  TraceSynthesisConfig Config;
+  Config.Operations = 5000;
+  Config.VolumeBlocks = 1000;
+  Config.MaxRunBlocks = 7;
+  const TraceLog Log = TraceLog::synthesize(Config);
+  ASSERT_EQ(Log.Records.size(), 5000u);
+  for (const TraceRecord &Record : Log.Records) {
+    EXPECT_LT(Record.Lba, 1000u);
+    EXPECT_GE(Record.Blocks, 1u);
+    EXPECT_LE(Record.Blocks, 7u);
+    EXPECT_LE(Record.Lba + Record.Blocks, 1000u);
+    if (Record.Op == TraceOp::Write) {
+      EXPECT_LT(Record.ContentTag, Config.ContentTags);
+    }
+  }
+}
+
+TEST(TraceSynthesis, OperationMixNearConfig) {
+  TraceSynthesisConfig Config;
+  Config.Operations = 20000;
+  const TraceLog Log = TraceLog::synthesize(Config);
+  std::map<TraceOp, double> Mix;
+  for (const TraceRecord &Record : Log.Records)
+    Mix[Record.Op] += 1.0 / static_cast<double>(Log.Records.size());
+  EXPECT_NEAR(Mix[TraceOp::Write], Config.WriteFraction, 0.02);
+  EXPECT_NEAR(Mix[TraceOp::Read], Config.ReadFraction, 0.02);
+}
+
+TEST(TraceSynthesis, HotspotSkewsAccesses) {
+  TraceSynthesisConfig Config;
+  Config.Operations = 20000;
+  Config.VolumeBlocks = 10000;
+  const TraceLog Log = TraceLog::synthesize(Config);
+  const std::uint64_t HotLimit = static_cast<std::uint64_t>(
+      Config.VolumeBlocks * Config.HotFraction);
+  std::size_t HotOps = 0;
+  for (const TraceRecord &Record : Log.Records)
+    HotOps += Record.Lba < HotLimit;
+  // ~80% target plus the cold draws that land in the hot range anyway.
+  EXPECT_GT(static_cast<double>(HotOps) / Log.Records.size(), 0.7);
+}
+
+TEST(TraceSynthesis, DeterministicPerSeed) {
+  TraceSynthesisConfig Config;
+  const std::string A = TraceLog::synthesize(Config).serialize();
+  const std::string B = TraceLog::synthesize(Config).serialize();
+  EXPECT_EQ(A, B);
+  Config.Seed = 2;
+  EXPECT_NE(TraceLog::synthesize(Config).serialize(), A);
+}
+
+TEST(TraceContent, TagsAreDeterministicAndDistinct) {
+  ByteVector A(4096), B(4096), C(4096);
+  fillTraceBlock(5, MutableByteSpan(A.data(), A.size()));
+  fillTraceBlock(5, MutableByteSpan(B.data(), B.size()));
+  fillTraceBlock(6, MutableByteSpan(C.data(), C.size()));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+//===----------------------------------------------------------------------===//
+// Verified replay
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ReplayTest : public ::testing::TestWithParam<PipelineMode> {};
+
+} // namespace
+
+TEST_P(ReplayTest, SyntheticTraceRunsClean) {
+  PipelineConfig Config;
+  Config.Mode = GetParam();
+  Config.Dedup.Index.BinBits = 8;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = 512;
+  Volume Vol(Pipeline, VolConfig);
+
+  TraceSynthesisConfig Synth;
+  Synth.Operations = 1500;
+  Synth.VolumeBlocks = 512;
+  Synth.ContentTags = 32;
+  const TraceLog Log = TraceLog::synthesize(Synth);
+  const TraceRunStats Stats = replayTrace(Vol, Log);
+
+  EXPECT_TRUE(Stats.clean())
+      << "readFail=" << Stats.ReadFailures
+      << " verifyFail=" << Stats.VerifyFailures;
+  EXPECT_EQ(Stats.Writes + Stats.Reads + Stats.Trims + Stats.OutOfRange,
+            Log.Records.size());
+  EXPECT_GT(Stats.Writes, 0u);
+  EXPECT_GT(Stats.Reads, 0u);
+
+  // The small tag pool means heavy dedup: stored chunks are bounded by
+  // the pool size (plus nothing else).
+  EXPECT_LE(Pipeline.store().chunkCount(), Synth.ContentTags);
+  Vol.collectGarbage();
+  EXPECT_EQ(Vol.scrub().CorruptChunks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ReplayTest,
+                         ::testing::Values(PipelineMode::CpuOnly,
+                                           PipelineMode::GpuCompress),
+                         [](const auto &Info) {
+                           return Info.param == PipelineMode::CpuOnly
+                                      ? "cpu"
+                                      : "gpu";
+                         });
+
+TEST(Replay, OutOfRangeRecordsAreSkippedNotFatal) {
+  PipelineConfig Config;
+  Config.Dedup.Index.BinBits = 8;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = 8;
+  Volume Vol(Pipeline, VolConfig);
+
+  TraceLog Log;
+  Log.Records = {
+      {TraceOp::Write, 0, 2, 1},
+      {TraceOp::Write, 100, 1, 2}, // out of range
+      {TraceOp::Read, 0, 2, 0},
+  };
+  const TraceRunStats Stats = replayTrace(Vol, Log);
+  EXPECT_EQ(Stats.OutOfRange, 1u);
+  EXPECT_EQ(Stats.Writes, 1u);
+  EXPECT_TRUE(Stats.clean());
+}
+
+TEST(Replay, DetectsInjectedCorruption) {
+  PipelineConfig Config;
+  Config.Dedup.Index.BinBits = 8;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = 8;
+  Volume Vol(Pipeline, VolConfig);
+
+  TraceLog Log;
+  Log.Records = {{TraceOp::Write, 0, 1, 1}};
+  replayTrace(Vol, Log);
+  ASSERT_TRUE(Pipeline.corruptChunkForTesting(Vol.mapping()[0], 30));
+
+  TraceLog ReadLog;
+  ReadLog.Records = {{TraceOp::Read, 0, 1, 0}};
+  const TraceRunStats Stats = replayTrace(Vol, ReadLog);
+  EXPECT_EQ(Stats.ReadFailures, 1u);
+  EXPECT_FALSE(Stats.clean());
+}

@@ -1,0 +1,280 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the util module: thread pool, PRNG, statistics, byte
+/// helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "util/Bytes.h"
+#include "util/Random.h"
+#include "util/Stats.h"
+#include "util/StopWatch.h"
+#include "util/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <set>
+
+using namespace padre;
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Counter] { Counter.fetch_add(1); });
+  Pool.waitIdle();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(0, Hits.size(),
+                   [&Hits](std::size_t I) { Hits[I].fetch_add(1); });
+  for (const auto &Hit : Hits)
+    EXPECT_EQ(Hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool Pool(2);
+  bool Ran = false;
+  Pool.parallelFor(5, 5, [&Ran](std::size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPool, SlicesAreDisjointAndComplete) {
+  ThreadPool Pool(3);
+  std::mutex Mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> Slices;
+  Pool.parallelForSlices(10, 107,
+                         [&](std::size_t Begin, std::size_t End, unsigned) {
+                           std::lock_guard<std::mutex> Lock(Mutex);
+                           Slices.push_back({Begin, End});
+                         });
+  std::sort(Slices.begin(), Slices.end());
+  std::size_t Expected = 10;
+  for (const auto &[Begin, End] : Slices) {
+    EXPECT_EQ(Begin, Expected);
+    EXPECT_LT(Begin, End);
+    Expected = End;
+  }
+  EXPECT_EQ(Expected, 107u);
+}
+
+TEST(ThreadPool, SliceIndexIsBounded) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> MaxIndex{0};
+  Pool.parallelForSlices(0, 1000,
+                         [&](std::size_t, std::size_t, unsigned Index) {
+                           unsigned Current = MaxIndex.load();
+                           while (Index > Current &&
+                                  !MaxIndex.compare_exchange_weak(Current,
+                                                                  Index)) {
+                           }
+                         });
+  EXPECT_LT(MaxIndex.load(), Pool.size());
+}
+
+TEST(ThreadPool, SingleWorkerPoolStillCompletes) {
+  ThreadPool Pool(1);
+  std::atomic<int> Counter{0};
+  Pool.parallelFor(0, 50, [&Counter](std::size_t) { Counter.fetch_add(1); });
+  EXPECT_EQ(Counter.load(), 50);
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, DeterministicForSameSeed) {
+  Random A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 100; ++I)
+    Equal += A.nextU64() == B.nextU64();
+  EXPECT_LT(Equal, 3);
+}
+
+TEST(Random, NextBelowStaysInRange) {
+  Random Rng(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    const double Value = Rng.nextDouble();
+    EXPECT_GE(Value, 0.0);
+    EXPECT_LT(Value, 1.0);
+  }
+}
+
+TEST(Random, NextBoolMatchesProbability) {
+  Random Rng(11);
+  int Trues = 0;
+  const int Trials = 20000;
+  for (int I = 0; I < Trials; ++I)
+    Trues += Rng.nextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(Trues) / Trials, 0.3, 0.02);
+}
+
+TEST(Random, FillBytesIsDeterministicAndCoversBuffer) {
+  Random A(5), B(5);
+  std::uint8_t BufA[37], BufB[37];
+  A.fillBytes(BufA, sizeof(BufA));
+  B.fillBytes(BufB, sizeof(BufB));
+  EXPECT_EQ(0, std::memcmp(BufA, BufB, sizeof(BufA)));
+  // Not all bytes equal (overwhelmingly likely for a working PRNG).
+  std::set<std::uint8_t> Distinct(BufA, BufA + sizeof(BufA));
+  EXPECT_GT(Distinct.size(), 8u);
+}
+
+TEST(Random, ReseedResetsStream) {
+  Random Rng(77);
+  const std::uint64_t First = Rng.nextU64();
+  Rng.nextU64();
+  Rng.reseed(77);
+  EXPECT_EQ(Rng.nextU64(), First);
+}
+
+//===----------------------------------------------------------------------===//
+// RunningStats
+//===----------------------------------------------------------------------===//
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats Stats;
+  for (double Value : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    Stats.add(Value);
+  EXPECT_EQ(Stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(Stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(Stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(Stats.max(), 9.0);
+  EXPECT_NEAR(Stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats Stats;
+  EXPECT_EQ(Stats.count(), 0u);
+  EXPECT_EQ(Stats.mean(), 0.0);
+  EXPECT_EQ(Stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats All, A, B;
+  Random Rng(3);
+  for (int I = 0; I < 1000; ++I) {
+    const double Value = Rng.nextDouble() * 10.0;
+    All.add(Value);
+    (I % 2 == 0 ? A : B).add(Value);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(A.min(), All.min());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+TEST(RunningStats, MergeIntoEmpty) {
+  RunningStats A, B;
+  B.add(1.0);
+  B.add(3.0);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.mean(), 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, PercentilesOfUniformData) {
+  Histogram Hist(100.0, 100);
+  for (int I = 0; I < 100; ++I)
+    Hist.add(static_cast<double>(I) + 0.5);
+  EXPECT_NEAR(Hist.percentile(50.0), 50.0, 1.5);
+  EXPECT_NEAR(Hist.percentile(95.0), 95.0, 1.5);
+}
+
+TEST(Histogram, OverflowGoesToMax) {
+  Histogram Hist(10.0, 10);
+  Hist.add(5.0);
+  Hist.add(1000.0);
+  EXPECT_DOUBLE_EQ(Hist.percentile(100.0), 1000.0);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram Hist(10.0, 10);
+  Hist.add(1.0);
+  Hist.add(2.0);
+  EXPECT_NE(Hist.summary().find("count=2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Bytes helpers
+//===----------------------------------------------------------------------===//
+
+TEST(Bytes, LittleEndianRoundTrip) {
+  std::uint8_t Buffer[8];
+  storeLe16(Buffer, 0xBEEF);
+  EXPECT_EQ(loadLe16(Buffer), 0xBEEF);
+  storeLe32(Buffer, 0xDEADBEEFu);
+  EXPECT_EQ(loadLe32(Buffer), 0xDEADBEEFu);
+  storeLe64(Buffer, 0x0123456789ABCDEFull);
+  EXPECT_EQ(loadLe64(Buffer), 0x0123456789ABCDEFull);
+}
+
+TEST(Bytes, LittleEndianByteOrder) {
+  std::uint8_t Buffer[4];
+  storeLe32(Buffer, 0x11223344u);
+  EXPECT_EQ(Buffer[0], 0x44);
+  EXPECT_EQ(Buffer[3], 0x11);
+}
+
+TEST(Bytes, HexFormatting) {
+  const std::uint8_t Data[] = {0xDE, 0xAD, 0x00, 0xFF};
+  EXPECT_EQ(toHex(ByteSpan(Data, 4)), "dead00ff");
+  EXPECT_EQ(toHex(ByteSpan(Data, 0)), "");
+}
+
+TEST(Bytes, SizeFormatting) {
+  EXPECT_EQ(formatSize(512), "512 B");
+  EXPECT_EQ(formatSize(4096), "4.00 KiB");
+  EXPECT_EQ(formatSize(3ull << 30), "3.00 GiB");
+}
+
+TEST(Bytes, ThroughputFormatting) {
+  EXPECT_EQ(formatThroughput(1e6, 1.0), "1.0 MB/s");
+  EXPECT_EQ(formatThroughput(1.0, 0.0), "inf");
+}
+
+TEST(Bytes, AppendBytes) {
+  ByteVector Out = {1, 2};
+  const std::uint8_t More[] = {3, 4, 5};
+  appendBytes(Out, ByteSpan(More, 3));
+  EXPECT_EQ(Out, (ByteVector{1, 2, 3, 4, 5}));
+}
+
+TEST(StopWatch, MeasuresForwardTime) {
+  StopWatch Watch;
+  const double First = Watch.seconds();
+  EXPECT_GE(First, 0.0);
+  EXPECT_GE(Watch.seconds(), First);
+  Watch.restart();
+  EXPECT_LT(Watch.seconds(), 1.0);
+}

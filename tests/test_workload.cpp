@@ -1,0 +1,225 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the vdbench-style workload generator: determinism,
+/// duplicate structure, and that the dedup/compression-ratio knobs
+/// actually deliver the requested ratios (the compression knob is
+/// verified against the real LZ codec).
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/LzCodec.h"
+#include "workload/VdbenchStream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+
+using namespace padre;
+
+namespace {
+
+WorkloadConfig smallConfig(double Dedup, double Compress) {
+  WorkloadConfig Config;
+  Config.TotalBytes = 4 << 20;
+  Config.DedupRatio = Dedup;
+  Config.CompressRatio = Compress;
+  Config.Seed = 17;
+  return Config;
+}
+
+} // namespace
+
+TEST(VdbenchStream, DeterministicAcrossInstances) {
+  const VdbenchStream A(smallConfig(2.0, 2.0));
+  const VdbenchStream B(smallConfig(2.0, 2.0));
+  ASSERT_EQ(A.blockCount(), B.blockCount());
+  ByteVector BlockA(4096), BlockB(4096);
+  for (std::uint64_t I = 0; I < A.blockCount(); I += 37) {
+    A.fillBlock(I, MutableByteSpan(BlockA.data(), BlockA.size()));
+    B.fillBlock(I, MutableByteSpan(BlockB.data(), BlockB.size()));
+    EXPECT_EQ(BlockA, BlockB) << "block " << I;
+  }
+}
+
+TEST(VdbenchStream, DifferentSeedsProduceDifferentData) {
+  WorkloadConfig ConfigA = smallConfig(1.0, 1.0);
+  WorkloadConfig ConfigB = ConfigA;
+  ConfigB.Seed = 18;
+  const VdbenchStream A(ConfigA), B(ConfigB);
+  ByteVector BlockA(4096), BlockB(4096);
+  A.fillBlock(0, MutableByteSpan(BlockA.data(), BlockA.size()));
+  B.fillBlock(0, MutableByteSpan(BlockB.data(), BlockB.size()));
+  EXPECT_NE(BlockA, BlockB);
+}
+
+TEST(VdbenchStream, DuplicatesAreByteIdenticalReplays) {
+  const VdbenchStream Stream(smallConfig(3.0, 2.0));
+  // Map content -> first block; every duplicate must match some
+  // earlier block exactly.
+  std::map<std::string, std::uint64_t> Seen;
+  ByteVector Block(4096);
+  for (std::uint64_t I = 0; I < Stream.blockCount(); ++I) {
+    Stream.fillBlock(I, MutableByteSpan(Block.data(), Block.size()));
+    const std::string Key(reinterpret_cast<const char *>(Block.data()),
+                          Block.size());
+    const bool SeenBefore = Seen.count(Key) != 0;
+    EXPECT_EQ(SeenBefore, Stream.isDuplicate(I)) << "block " << I;
+    Seen.emplace(Key, I);
+  }
+}
+
+TEST(VdbenchStream, FirstBlockIsNeverDuplicate) {
+  const VdbenchStream Stream(smallConfig(4.0, 1.0));
+  EXPECT_FALSE(Stream.isDuplicate(0));
+}
+
+TEST(VdbenchStream, TotalBytesAndBlockCount) {
+  WorkloadConfig Config = smallConfig(2.0, 2.0);
+  Config.TotalBytes = 1 << 20;
+  Config.BlockSize = 8192;
+  const VdbenchStream Stream(Config);
+  EXPECT_EQ(Stream.blockCount(), (1u << 20) / 8192);
+  EXPECT_EQ(Stream.totalBytes(), 1u << 20);
+}
+
+namespace {
+
+class RatioSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+} // namespace
+
+TEST_P(RatioSweep, AchievedDedupRatioNearTarget) {
+  const auto &[Dedup, Compress] = GetParam();
+  const VdbenchStream Stream(smallConfig(Dedup, Compress));
+  EXPECT_NEAR(Stream.achievedDedupRatio(), Dedup, Dedup * 0.15);
+}
+
+TEST_P(RatioSweep, AchievedCompressRatioNearTarget) {
+  const auto &[Dedup, Compress] = GetParam();
+  const VdbenchStream Stream(smallConfig(Dedup, Compress));
+  // Compress a sample of unique blocks with the reference codec.
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  ByteVector Block(4096);
+  std::uint64_t Original = 0, Compressed = 0;
+  for (std::uint64_t I = 0; I < Stream.blockCount(); I += 7) {
+    if (Stream.isDuplicate(I))
+      continue;
+    Stream.fillBlock(I, MutableByteSpan(Block.data(), Block.size()));
+    const CompressResult Result =
+        Codec.compress(ByteSpan(Block.data(), Block.size()));
+    Original += Block.size();
+    // Store-raw fallback: never above original size.
+    Compressed += std::min(Result.Payload.size(), Block.size());
+  }
+  ASSERT_GT(Original, 0u);
+  const double Achieved =
+      static_cast<double>(Original) / static_cast<double>(Compressed);
+  EXPECT_NEAR(Achieved, Compress, Compress * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, RatioSweep,
+    ::testing::Values(std::make_tuple(1.0, 1.0), std::make_tuple(2.0, 2.0),
+                      std::make_tuple(2.0, 4.0), std::make_tuple(4.0, 2.0),
+                      std::make_tuple(3.0, 1.5)),
+    [](const ::testing::TestParamInfo<RatioSweep::ParamType> &Info) {
+      return "d" +
+             std::to_string(static_cast<int>(std::get<0>(Info.param) * 10)) +
+             "_c" +
+             std::to_string(static_cast<int>(std::get<1>(Info.param) * 10));
+    });
+
+TEST(VdbenchStream, RatioOneMeansNoDuplicates) {
+  const VdbenchStream Stream(smallConfig(1.0, 2.0));
+  EXPECT_EQ(Stream.uniqueBlockCount(), Stream.blockCount());
+  for (std::uint64_t I = 0; I < Stream.blockCount(); ++I)
+    EXPECT_FALSE(Stream.isDuplicate(I));
+}
+
+TEST(VdbenchStream, RandomCellFractionMonotoneInRatio) {
+  const VdbenchStream Low(smallConfig(1.0, 1.0));
+  const VdbenchStream Mid(smallConfig(1.0, 2.0));
+  const VdbenchStream High(smallConfig(1.0, 4.0));
+  EXPECT_GT(Low.randomCellFraction(), Mid.randomCellFraction());
+  EXPECT_GT(Mid.randomCellFraction(), High.randomCellFraction());
+  EXPECT_DOUBLE_EQ(Low.randomCellFraction(), 1.0);
+}
+
+TEST(VdbenchStream, DedupWindowBoundsDuplicateDistance) {
+  WorkloadConfig Config = smallConfig(2.0, 2.0);
+  Config.DedupWindowBlocks = 8;
+  const VdbenchStream Stream(Config);
+  // With a tight window, any duplicate's source must be nearby: verify
+  // by replaying content of the previous 64 blocks.
+  ByteVector Block(4096), Candidate(4096);
+  for (std::uint64_t I = 1; I < std::min<std::uint64_t>(
+                                    Stream.blockCount(), 300);
+       ++I) {
+    if (!Stream.isDuplicate(I))
+      continue;
+    Stream.fillBlock(I, MutableByteSpan(Block.data(), Block.size()));
+    bool FoundNearby = false;
+    const std::uint64_t From = I > 64 ? I - 64 : 0;
+    for (std::uint64_t J = From; J < I && !FoundNearby; ++J) {
+      Stream.fillBlock(J, MutableByteSpan(Candidate.data(),
+                                          Candidate.size()));
+      FoundNearby = Block == Candidate;
+    }
+    EXPECT_TRUE(FoundNearby) << "duplicate " << I << " has no recent source";
+  }
+}
+
+TEST(VdbenchStream, ContentAlphabetBoundsByteValues) {
+  WorkloadConfig Config = smallConfig(1.0, 1.0);
+  Config.ContentAlphabet = 16;
+  Config.TotalBytes = 1 << 20;
+  const VdbenchStream Stream(Config);
+  ByteVector Block(4096);
+  for (std::uint64_t I = 0; I < Stream.blockCount(); I += 13) {
+    Stream.fillBlock(I, MutableByteSpan(Block.data(), Block.size()));
+    for (std::uint8_t Byte : Block)
+      EXPECT_LT(Byte, 16);
+  }
+}
+
+TEST(VdbenchStream, SmallAlphabetKeepsLzRatioNearTarget) {
+  // The alphabet shrinks byte entropy but must not hand LZ long
+  // matches: the achieved LZ ratio stays near the knob.
+  WorkloadConfig Config = smallConfig(1.0, 2.0);
+  Config.ContentAlphabet = 16;
+  const VdbenchStream Stream(Config);
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  ByteVector Block(4096);
+  std::uint64_t Original = 0, Compressed = 0;
+  for (std::uint64_t I = 0; I < Stream.blockCount(); I += 17) {
+    Stream.fillBlock(I, MutableByteSpan(Block.data(), Block.size()));
+    Original += Block.size();
+    Compressed += std::min(
+        Codec.compress(ByteSpan(Block.data(), Block.size()))
+            .Payload.size(),
+        Block.size());
+  }
+  const double Achieved =
+      static_cast<double>(Original) / static_cast<double>(Compressed);
+  EXPECT_NEAR(Achieved, 2.0, 0.7);
+}
+
+TEST(VdbenchStream, GenerateAllMatchesFillBlock) {
+  WorkloadConfig Config = smallConfig(2.0, 2.0);
+  Config.TotalBytes = 1 << 20;
+  const VdbenchStream Stream(Config);
+  const ByteVector All = Stream.generateAll();
+  ASSERT_EQ(All.size(), Stream.totalBytes());
+  ByteVector Block(Config.BlockSize);
+  for (std::uint64_t I = 0; I < Stream.blockCount(); I += 11) {
+    Stream.fillBlock(I, MutableByteSpan(Block.data(), Block.size()));
+    EXPECT_EQ(0, std::memcmp(Block.data(),
+                             All.data() + I * Config.BlockSize,
+                             Config.BlockSize));
+  }
+}

@@ -1,0 +1,423 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// padrectl — command-line driver for the padre library.
+///
+/// Subcommands:
+///   info                         platform profiles + model constants
+///   calibrate [options]          dummy-I/O integration calibration
+///   run       [options]          pipeline run on a synthetic stream
+///   volume    [options]          LBA volume demo: writes, overwrites,
+///                                TRIM, GC, image save/load round trip
+///   trace     [options]          synthesize (or --trace FILE) and
+///                                replay a verified I/O trace
+///
+/// Common options:
+///   --platform paper|no-gpu|weak-gpu|fast-gpu   (default paper)
+///   --mode cpu-only|gpu-dedup|gpu-compress|gpu-both|auto  (default auto)
+///   --bytes N        stream size in bytes        (default 16 MiB)
+///   --dedup D        workload dedup ratio        (default 2.0)
+///   --comp C         workload compression ratio  (default 2.0)
+///   --chunk N        chunk size in bytes         (default 4096)
+///   --entropy        enable the Huffman entropy stage
+///   --verify-dedup   byte-compare every digest match
+///   --cache N        read-cache capacity in bytes (default off)
+///   --chunking fixed|rabin|fastcdc   (run only; default fixed)
+///   --threads N      override the platform's CPU thread count (run)
+///   --seed N         workload seed               (default 42)
+///   --image PATH     (volume) save/load the volume image here
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibrator.h"
+#include "core/TraceRunner.h"
+#include "core/Volume.h"
+#include "persist/VolumeImage.h"
+#include "workload/VdbenchStream.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace padre;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  Platform Plat = Platform::paper();
+  std::optional<PipelineMode> Mode; // nullopt = auto (calibrate)
+  std::uint64_t Bytes = 16ull << 20;
+  double DedupRatio = 2.0;
+  double CompressRatio = 2.0;
+  std::size_t ChunkSize = 4096;
+  bool Entropy = false;
+  std::uint64_t Seed = 42;
+  std::string ImagePath;
+  std::string TracePath;
+  std::uint64_t TraceOps = 5000;
+  bool VerifyDedup = false;
+  std::uint64_t CacheBytes = 0;
+  ChunkingMode Chunking = ChunkingMode::Fixed;
+  unsigned Threads = 0; // 0 = platform default
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: padrectl <info|calibrate|run|volume|trace> [options]\n"
+      "  --platform paper|no-gpu|weak-gpu|fast-gpu\n"
+      "  --mode cpu-only|gpu-dedup|gpu-compress|gpu-both|auto\n"
+      "  --bytes N  --dedup D  --comp C  --chunk N  --seed N\n"
+      "  --entropy  --verify-dedup  --cache N  --chunking "
+      "fixed|rabin|fastcdc\n"
+      "  --threads N  --image PATH  --trace FILE  --trace-ops N\n");
+}
+
+bool parsePlatform(const std::string &Name, Platform &Out) {
+  for (const Platform &Plat : Platform::allProfiles()) {
+    if (Plat.Name == Name ||
+        (Name == "paper" && Plat.Name.rfind("paper", 0) == 0)) {
+      Out = Plat;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseMode(const std::string &Name,
+               std::optional<PipelineMode> &Out) {
+  if (Name == "auto") {
+    Out = std::nullopt;
+    return true;
+  }
+  for (unsigned I = 0; I < PipelineModeCount; ++I)
+    if (Name == pipelineModeName(static_cast<PipelineMode>(I))) {
+      Out = static_cast<PipelineMode>(I);
+      return true;
+    }
+  return false;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  if (Argc < 2)
+    return false;
+  Opts.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto NextValue = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    std::string Value;
+    if (Arg == "--entropy") {
+      Opts.Entropy = true;
+    } else if (Arg == "--platform" && NextValue(Value)) {
+      if (!parsePlatform(Value, Opts.Plat)) {
+        std::fprintf(stderr, "error: unknown platform '%s'\n",
+                     Value.c_str());
+        return false;
+      }
+    } else if (Arg == "--mode" && NextValue(Value)) {
+      if (!parseMode(Value, Opts.Mode)) {
+        std::fprintf(stderr, "error: unknown mode '%s'\n", Value.c_str());
+        return false;
+      }
+    } else if (Arg == "--bytes" && NextValue(Value)) {
+      Opts.Bytes = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--dedup" && NextValue(Value)) {
+      Opts.DedupRatio = std::strtod(Value.c_str(), nullptr);
+    } else if (Arg == "--comp" && NextValue(Value)) {
+      Opts.CompressRatio = std::strtod(Value.c_str(), nullptr);
+    } else if (Arg == "--chunk" && NextValue(Value)) {
+      Opts.ChunkSize = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--seed" && NextValue(Value)) {
+      Opts.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--image" && NextValue(Value)) {
+      Opts.ImagePath = Value;
+    } else if (Arg == "--trace" && NextValue(Value)) {
+      Opts.TracePath = Value;
+    } else if (Arg == "--trace-ops" && NextValue(Value)) {
+      Opts.TraceOps = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--verify-dedup") {
+      Opts.VerifyDedup = true;
+    } else if (Arg == "--cache" && NextValue(Value)) {
+      Opts.CacheBytes = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--threads" && NextValue(Value)) {
+      Opts.Threads =
+          static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (Arg == "--chunking" && NextValue(Value)) {
+      if (Value == "fixed")
+        Opts.Chunking = ChunkingMode::Fixed;
+      else if (Value == "rabin")
+        Opts.Chunking = ChunkingMode::Rabin;
+      else if (Value == "fastcdc")
+        Opts.Chunking = ChunkingMode::FastCdc;
+      else {
+        std::fprintf(stderr, "error: unknown chunking '%s'\n",
+                     Value.c_str());
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown or incomplete option '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+  }
+  if (Opts.Bytes == 0 || Opts.ChunkSize == 0 || Opts.DedupRatio < 1.0 ||
+      Opts.CompressRatio < 1.0) {
+    std::fprintf(stderr, "error: invalid numeric option\n");
+    return false;
+  }
+  return true;
+}
+
+PipelineConfig pipelineConfigFor(const Options &Opts, PipelineMode Mode) {
+  PipelineConfig Config;
+  Config.Mode = Mode;
+  Config.ChunkSize = Opts.ChunkSize;
+  Config.Dedup.Index.BinBits = 10;
+  Config.Compress.EntropyStage = Opts.Entropy;
+  Config.VerifyDuplicates = Opts.VerifyDedup;
+  Config.ReadCacheBytes = Opts.CacheBytes;
+  Config.Chunking = Opts.Chunking;
+  return Config;
+}
+
+PipelineMode resolveMode(const Options &Opts) {
+  if (Opts.Mode)
+    return *Opts.Mode;
+  CalibratorConfig CalConfig;
+  CalConfig.Base = pipelineConfigFor(Opts, PipelineMode::CpuOnly);
+  CalConfig.DedupRatio = Opts.DedupRatio;
+  CalConfig.CompressRatio = Opts.CompressRatio;
+  const CalibrationResult Result = calibrate(Opts.Plat, CalConfig);
+  std::printf("calibration on %s:\n%s\n", Opts.Plat.Name.c_str(),
+              Result.summary().c_str());
+  return Result.BestMode;
+}
+
+ByteVector makeStream(const Options &Opts) {
+  WorkloadConfig Load;
+  Load.BlockSize = Opts.ChunkSize;
+  Load.TotalBytes = Opts.Bytes;
+  Load.DedupRatio = Opts.DedupRatio;
+  Load.CompressRatio = Opts.CompressRatio;
+  Load.Seed = Opts.Seed;
+  return VdbenchStream(Load).generateAll();
+}
+
+int commandInfo() {
+  std::printf("padre — parallel inline data reduction (PaCT'17 "
+              "reproduction)\n\nplatform profiles:\n");
+  for (const Platform &Plat : Platform::allProfiles()) {
+    const GpuCosts &Gpu = Plat.Model.Gpu;
+    std::printf("  %-36s gpu=%s", Plat.Name.c_str(),
+                Gpu.Present ? "yes" : "no");
+    if (Gpu.Present)
+      std::printf(" launch=%.0fus lzLit=%.2fns/B mem=%.0fMiB pcie=%.1fGB/s",
+                  Gpu.LaunchUs, Gpu.LzLiteralPerByteNs, Gpu.DeviceMemoryMiB,
+                  Plat.Model.Pcie.GigabytesPerSec);
+    std::printf("\n");
+  }
+  const CostModel Model;
+  std::printf("\npaper CPU model: %u threads, request=%.0fus/chunk, "
+              "sha1=%.2fns/B, probe=%.1fus, lz(lit)=%.1fns/B\n",
+              Model.Cpu.Threads, Model.Cpu.RequestOverheadUs,
+              Model.Cpu.HashPerByteNs, Model.Cpu.IndexProbeUs,
+              Model.Cpu.LzLiteralPerByteNs);
+  std::printf("paper SSD model: %.0fK IOPS (4K), %.0f MB/s sequential "
+              "write\n",
+              1e3 / Model.Ssd.RandWrite4KUs / 1e3 * 1e3,
+              Model.Ssd.SeqWriteMBps);
+  return 0;
+}
+
+int commandCalibrate(const Options &Opts) {
+  CalibratorConfig CalConfig;
+  CalConfig.Base = pipelineConfigFor(Opts, PipelineMode::CpuOnly);
+  CalConfig.DedupRatio = Opts.DedupRatio;
+  CalConfig.CompressRatio = Opts.CompressRatio;
+  const CalibrationResult Result = calibrate(Opts.Plat, CalConfig);
+  std::printf("platform: %s\n%s", Opts.Plat.Name.c_str(),
+              Result.summary().c_str());
+  return 0;
+}
+
+int commandRun(const Options &OptsIn) {
+  Options Opts = OptsIn;
+  if (Opts.Threads != 0)
+    Opts.Plat.Model.Cpu.Threads = Opts.Threads;
+  const PipelineMode Mode = resolveMode(Opts);
+  const ByteVector Data = makeStream(Opts);
+  ReductionPipeline Pipeline(Opts.Plat, pipelineConfigFor(Opts, Mode));
+  Pipeline.write(ByteSpan(Data.data(), Data.size()));
+  Pipeline.finish();
+  if (!Pipeline.verifyAgainst(ByteSpan(Data.data(), Data.size()))) {
+    std::fprintf(stderr, "error: read-back verification FAILED\n");
+    return 1;
+  }
+  std::printf("mode %s on %s, %s stream (dedup %.1f, comp %.1f%s)\n\n",
+              pipelineModeName(Mode), Opts.Plat.Name.c_str(),
+              formatSize(Data.size()).c_str(), Opts.DedupRatio,
+              Opts.CompressRatio, Opts.Entropy ? ", entropy" : "");
+  std::printf("%s\n\nread-back verified byte-exact\n",
+              Pipeline.report().toString().c_str());
+  return 0;
+}
+
+int commandVolume(const Options &OptsIn) {
+  Options Opts = OptsIn;
+  Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
+  const PipelineMode Mode = resolveMode(Opts);
+  ReductionPipeline Pipeline(Opts.Plat, pipelineConfigFor(Opts, Mode));
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
+  Volume Vol(Pipeline, VolConfig);
+
+  const ByteVector Data = makeStream(Opts);
+  const std::uint64_t Blocks = Data.size() / Opts.ChunkSize;
+  if (!Vol.writeBlocks(0, ByteSpan(Data.data(), Data.size()))) {
+    std::fprintf(stderr, "error: initial write rejected\n");
+    return 1;
+  }
+  // Overwrite the first quarter and TRIM the last quarter.
+  Vol.writeBlocks(0, ByteSpan(Data.data() + Data.size() / 2,
+                              Blocks / 4 * Opts.ChunkSize));
+  Vol.trim(Blocks - Blocks / 4, Blocks / 4);
+  const std::size_t Collected = Vol.collectGarbage();
+  Vol.flush();
+
+  const VolumeStats Stats = Vol.stats();
+  std::printf("volume: %llu blocks, %llu mapped, %llu live chunks, "
+              "%zu collected by GC\n",
+              static_cast<unsigned long long>(Vol.blockCount()),
+              static_cast<unsigned long long>(Stats.MappedBlocks),
+              static_cast<unsigned long long>(Stats.LiveChunks),
+              Collected);
+  std::printf("space: %s logical -> %s physical (amplification %.2f)\n",
+              formatSize(Stats.LogicalBytes).c_str(),
+              formatSize(Stats.PhysicalBytes).c_str(),
+              Stats.spaceAmplification());
+
+  if (!Opts.ImagePath.empty()) {
+    const ImageResult Saved =
+        saveVolumeImage(Opts.ImagePath, Vol, Pipeline);
+    if (!Saved.Ok) {
+      std::fprintf(stderr, "error: save failed: %s\n",
+                   Saved.Message.c_str());
+      return 1;
+    }
+    ReductionPipeline Fresh(Opts.Plat, pipelineConfigFor(Opts, Mode));
+    Volume Restored(Fresh, VolConfig);
+    const ImageResult Loaded =
+        loadVolumeImage(Opts.ImagePath, Fresh, Restored);
+    if (!Loaded.Ok) {
+      std::fprintf(stderr, "error: load failed: %s\n",
+                   Loaded.Message.c_str());
+      return 1;
+    }
+    const auto Original = Vol.readBlocks(0, Vol.blockCount());
+    const auto RoundTrip = Restored.readBlocks(0, Restored.blockCount());
+    if (!Original || !RoundTrip || *Original != *RoundTrip) {
+      std::fprintf(stderr, "error: image round trip mismatch\n");
+      return 1;
+    }
+    std::printf("image: saved to %s and restored byte-exact\n",
+                Opts.ImagePath.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int commandTrace(const Options &OptsIn) {
+  Options Opts = OptsIn;
+  Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
+  const PipelineMode Mode = resolveMode(Opts);
+  ReductionPipeline Pipeline(Opts.Plat, pipelineConfigFor(Opts, Mode));
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
+  Volume Vol(Pipeline, VolConfig);
+
+  TraceLog Log;
+  if (!Opts.TracePath.empty()) {
+    std::FILE *File = std::fopen(Opts.TracePath.c_str(), "rb");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot open trace %s\n",
+                   Opts.TracePath.c_str());
+      return 1;
+    }
+    std::string Text;
+    char Buffer[4096];
+    std::size_t Read;
+    while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+      Text.append(Buffer, Read);
+    std::fclose(File);
+    const auto Parsed = TraceLog::parse(Text);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: malformed trace file\n");
+      return 1;
+    }
+    Log = *Parsed;
+  } else {
+    TraceSynthesisConfig Synth;
+    Synth.Operations = Opts.TraceOps;
+    Synth.VolumeBlocks = VolConfig.BlockCount;
+    Synth.Seed = Opts.Seed;
+    Log = TraceLog::synthesize(Synth);
+  }
+
+  const TraceRunStats Stats = replayTrace(Vol, Log);
+  Vol.collectGarbage();
+  Vol.flush();
+  const Volume::ScrubReport Scrub = Vol.scrub();
+  const VolumeStats VolStats = Vol.stats();
+
+  std::printf("replayed %zu records: %llu writes, %llu reads, %llu "
+              "trims (%llu out of range)\n",
+              Log.Records.size(),
+              static_cast<unsigned long long>(Stats.Writes),
+              static_cast<unsigned long long>(Stats.Reads),
+              static_cast<unsigned long long>(Stats.Trims),
+              static_cast<unsigned long long>(Stats.OutOfRange));
+  std::printf("verification: %llu read failures, %llu content "
+              "mismatches; scrub: %llu/%llu corrupt\n",
+              static_cast<unsigned long long>(Stats.ReadFailures),
+              static_cast<unsigned long long>(Stats.VerifyFailures),
+              static_cast<unsigned long long>(Scrub.CorruptChunks),
+              static_cast<unsigned long long>(Scrub.ChunksScanned));
+  std::printf("space: %s logical -> %s physical (amplification %.2f)\n",
+              formatSize(VolStats.LogicalBytes).c_str(),
+              formatSize(VolStats.PhysicalBytes).c_str(),
+              VolStats.spaceAmplification());
+  std::printf("%s\n", Pipeline.report().toString().c_str());
+  return Stats.clean() && Scrub.CorruptChunks == 0 ? 0 : 1;
+}
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage();
+    return 2;
+  }
+  if (Opts.Command == "info")
+    return commandInfo();
+  if (Opts.Command == "calibrate")
+    return commandCalibrate(Opts);
+  if (Opts.Command == "run")
+    return commandRun(Opts);
+  if (Opts.Command == "volume")
+    return commandVolume(Opts);
+  if (Opts.Command == "trace")
+    return commandTrace(Opts);
+  std::fprintf(stderr, "error: unknown command '%s'\n",
+               Opts.Command.c_str());
+  usage();
+  return 2;
+}
