@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bin_ablation.dir/bench_bin_ablation.cpp.o"
+  "CMakeFiles/bench_bin_ablation.dir/bench_bin_ablation.cpp.o.d"
+  "bench_bin_ablation"
+  "bench_bin_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bin_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

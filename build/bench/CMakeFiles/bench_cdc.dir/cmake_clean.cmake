@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdc.dir/bench_cdc.cpp.o"
+  "CMakeFiles/bench_cdc.dir/bench_cdc.cpp.o.d"
+  "bench_cdc"
+  "bench_cdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk_ablation.dir/bench_chunk_ablation.cpp.o"
+  "CMakeFiles/bench_chunk_ablation.dir/bench_chunk_ablation.cpp.o.d"
+  "bench_chunk_ablation"
+  "bench_chunk_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indexing_prelim.dir/bench_indexing_prelim.cpp.o"
+  "CMakeFiles/bench_indexing_prelim.dir/bench_indexing_prelim.cpp.o.d"
+  "bench_indexing_prelim"
+  "bench_indexing_prelim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indexing_prelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

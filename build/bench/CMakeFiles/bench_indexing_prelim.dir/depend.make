@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_indexing_prelim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lane_ablation.dir/bench_lane_ablation.cpp.o"
+  "CMakeFiles/bench_lane_ablation.dir/bench_lane_ablation.cpp.o.d"
+  "bench_lane_ablation"
+  "bench_lane_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lane_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

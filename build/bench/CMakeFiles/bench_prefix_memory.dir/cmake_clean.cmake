@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefix_memory.dir/bench_prefix_memory.cpp.o"
+  "CMakeFiles/bench_prefix_memory.dir/bench_prefix_memory.cpp.o.d"
+  "bench_prefix_memory"
+  "bench_prefix_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefix_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_farm.dir/clone_farm.cpp.o"
+  "CMakeFiles/clone_farm.dir/clone_farm.cpp.o.d"
+  "clone_farm"
+  "clone_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

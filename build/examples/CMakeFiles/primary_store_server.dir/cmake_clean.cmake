@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primary_store_server.dir/primary_store_server.cpp.o"
+  "CMakeFiles/primary_store_server.dir/primary_store_server.cpp.o.d"
+  "primary_store_server"
+  "primary_store_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primary_store_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunk/Chunker.cpp" "src/chunk/CMakeFiles/padre_chunk.dir/Chunker.cpp.o" "gcc" "src/chunk/CMakeFiles/padre_chunk.dir/Chunker.cpp.o.d"
+  "/root/repo/src/chunk/FastCdcChunker.cpp" "src/chunk/CMakeFiles/padre_chunk.dir/FastCdcChunker.cpp.o" "gcc" "src/chunk/CMakeFiles/padre_chunk.dir/FastCdcChunker.cpp.o.d"
+  "/root/repo/src/chunk/FixedChunker.cpp" "src/chunk/CMakeFiles/padre_chunk.dir/FixedChunker.cpp.o" "gcc" "src/chunk/CMakeFiles/padre_chunk.dir/FixedChunker.cpp.o.d"
+  "/root/repo/src/chunk/RabinChunker.cpp" "src/chunk/CMakeFiles/padre_chunk.dir/RabinChunker.cpp.o" "gcc" "src/chunk/CMakeFiles/padre_chunk.dir/RabinChunker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_chunk.dir/Chunker.cpp.o"
+  "CMakeFiles/padre_chunk.dir/Chunker.cpp.o.d"
+  "CMakeFiles/padre_chunk.dir/FastCdcChunker.cpp.o"
+  "CMakeFiles/padre_chunk.dir/FastCdcChunker.cpp.o.d"
+  "CMakeFiles/padre_chunk.dir/FixedChunker.cpp.o"
+  "CMakeFiles/padre_chunk.dir/FixedChunker.cpp.o.d"
+  "CMakeFiles/padre_chunk.dir/RabinChunker.cpp.o"
+  "CMakeFiles/padre_chunk.dir/RabinChunker.cpp.o.d"
+  "libpadre_chunk.a"
+  "libpadre_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for padre_chunk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/Block.cpp" "src/compress/CMakeFiles/padre_compress.dir/Block.cpp.o" "gcc" "src/compress/CMakeFiles/padre_compress.dir/Block.cpp.o.d"
+  "/root/repo/src/compress/ChunkCodec.cpp" "src/compress/CMakeFiles/padre_compress.dir/ChunkCodec.cpp.o" "gcc" "src/compress/CMakeFiles/padre_compress.dir/ChunkCodec.cpp.o.d"
+  "/root/repo/src/compress/GpuLaneCompressor.cpp" "src/compress/CMakeFiles/padre_compress.dir/GpuLaneCompressor.cpp.o" "gcc" "src/compress/CMakeFiles/padre_compress.dir/GpuLaneCompressor.cpp.o.d"
+  "/root/repo/src/compress/Huffman.cpp" "src/compress/CMakeFiles/padre_compress.dir/Huffman.cpp.o" "gcc" "src/compress/CMakeFiles/padre_compress.dir/Huffman.cpp.o.d"
+  "/root/repo/src/compress/LzCodec.cpp" "src/compress/CMakeFiles/padre_compress.dir/LzCodec.cpp.o" "gcc" "src/compress/CMakeFiles/padre_compress.dir/LzCodec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/padre_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_compress.dir/Block.cpp.o"
+  "CMakeFiles/padre_compress.dir/Block.cpp.o.d"
+  "CMakeFiles/padre_compress.dir/ChunkCodec.cpp.o"
+  "CMakeFiles/padre_compress.dir/ChunkCodec.cpp.o.d"
+  "CMakeFiles/padre_compress.dir/GpuLaneCompressor.cpp.o"
+  "CMakeFiles/padre_compress.dir/GpuLaneCompressor.cpp.o.d"
+  "CMakeFiles/padre_compress.dir/Huffman.cpp.o"
+  "CMakeFiles/padre_compress.dir/Huffman.cpp.o.d"
+  "CMakeFiles/padre_compress.dir/LzCodec.cpp.o"
+  "CMakeFiles/padre_compress.dir/LzCodec.cpp.o.d"
+  "libpadre_compress.a"
+  "libpadre_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BackgroundReducer.cpp" "src/core/CMakeFiles/padre_core.dir/BackgroundReducer.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/BackgroundReducer.cpp.o.d"
+  "/root/repo/src/core/Calibrator.cpp" "src/core/CMakeFiles/padre_core.dir/Calibrator.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/Calibrator.cpp.o.d"
+  "/root/repo/src/core/ChunkCache.cpp" "src/core/CMakeFiles/padre_core.dir/ChunkCache.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/ChunkCache.cpp.o.d"
+  "/root/repo/src/core/ChunkStore.cpp" "src/core/CMakeFiles/padre_core.dir/ChunkStore.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/ChunkStore.cpp.o.d"
+  "/root/repo/src/core/CompressEngine.cpp" "src/core/CMakeFiles/padre_core.dir/CompressEngine.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/CompressEngine.cpp.o.d"
+  "/root/repo/src/core/DedupEngine.cpp" "src/core/CMakeFiles/padre_core.dir/DedupEngine.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/DedupEngine.cpp.o.d"
+  "/root/repo/src/core/ReductionPipeline.cpp" "src/core/CMakeFiles/padre_core.dir/ReductionPipeline.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/ReductionPipeline.cpp.o.d"
+  "/root/repo/src/core/RefTracker.cpp" "src/core/CMakeFiles/padre_core.dir/RefTracker.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/RefTracker.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/padre_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/Report.cpp.o.d"
+  "/root/repo/src/core/StoragePool.cpp" "src/core/CMakeFiles/padre_core.dir/StoragePool.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/StoragePool.cpp.o.d"
+  "/root/repo/src/core/TraceRunner.cpp" "src/core/CMakeFiles/padre_core.dir/TraceRunner.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/TraceRunner.cpp.o.d"
+  "/root/repo/src/core/Volume.cpp" "src/core/CMakeFiles/padre_core.dir/Volume.cpp.o" "gcc" "src/core/CMakeFiles/padre_core.dir/Volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/padre_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/padre_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/padre_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/padre_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/padre_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/padre_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/padre_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/padre_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_core.dir/BackgroundReducer.cpp.o"
+  "CMakeFiles/padre_core.dir/BackgroundReducer.cpp.o.d"
+  "CMakeFiles/padre_core.dir/Calibrator.cpp.o"
+  "CMakeFiles/padre_core.dir/Calibrator.cpp.o.d"
+  "CMakeFiles/padre_core.dir/ChunkCache.cpp.o"
+  "CMakeFiles/padre_core.dir/ChunkCache.cpp.o.d"
+  "CMakeFiles/padre_core.dir/ChunkStore.cpp.o"
+  "CMakeFiles/padre_core.dir/ChunkStore.cpp.o.d"
+  "CMakeFiles/padre_core.dir/CompressEngine.cpp.o"
+  "CMakeFiles/padre_core.dir/CompressEngine.cpp.o.d"
+  "CMakeFiles/padre_core.dir/DedupEngine.cpp.o"
+  "CMakeFiles/padre_core.dir/DedupEngine.cpp.o.d"
+  "CMakeFiles/padre_core.dir/ReductionPipeline.cpp.o"
+  "CMakeFiles/padre_core.dir/ReductionPipeline.cpp.o.d"
+  "CMakeFiles/padre_core.dir/RefTracker.cpp.o"
+  "CMakeFiles/padre_core.dir/RefTracker.cpp.o.d"
+  "CMakeFiles/padre_core.dir/Report.cpp.o"
+  "CMakeFiles/padre_core.dir/Report.cpp.o.d"
+  "CMakeFiles/padre_core.dir/StoragePool.cpp.o"
+  "CMakeFiles/padre_core.dir/StoragePool.cpp.o.d"
+  "CMakeFiles/padre_core.dir/TraceRunner.cpp.o"
+  "CMakeFiles/padre_core.dir/TraceRunner.cpp.o.d"
+  "CMakeFiles/padre_core.dir/Volume.cpp.o"
+  "CMakeFiles/padre_core.dir/Volume.cpp.o.d"
+  "libpadre_core.a"
+  "libpadre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delta/DeltaCodec.cpp" "src/delta/CMakeFiles/padre_delta.dir/DeltaCodec.cpp.o" "gcc" "src/delta/CMakeFiles/padre_delta.dir/DeltaCodec.cpp.o.d"
+  "/root/repo/src/delta/SimilarityIndex.cpp" "src/delta/CMakeFiles/padre_delta.dir/SimilarityIndex.cpp.o" "gcc" "src/delta/CMakeFiles/padre_delta.dir/SimilarityIndex.cpp.o.d"
+  "/root/repo/src/delta/SuperFeatures.cpp" "src/delta/CMakeFiles/padre_delta.dir/SuperFeatures.cpp.o" "gcc" "src/delta/CMakeFiles/padre_delta.dir/SuperFeatures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/padre_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_delta.dir/DeltaCodec.cpp.o"
+  "CMakeFiles/padre_delta.dir/DeltaCodec.cpp.o.d"
+  "CMakeFiles/padre_delta.dir/SimilarityIndex.cpp.o"
+  "CMakeFiles/padre_delta.dir/SimilarityIndex.cpp.o.d"
+  "CMakeFiles/padre_delta.dir/SuperFeatures.cpp.o"
+  "CMakeFiles/padre_delta.dir/SuperFeatures.cpp.o.d"
+  "libpadre_delta.a"
+  "libpadre_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

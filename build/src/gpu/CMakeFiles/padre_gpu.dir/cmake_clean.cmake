@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_gpu.dir/GpuDevice.cpp.o"
+  "CMakeFiles/padre_gpu.dir/GpuDevice.cpp.o.d"
+  "libpadre_gpu.a"
+  "libpadre_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpadre_gpu.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/Crc32.cpp" "src/hash/CMakeFiles/padre_hash.dir/Crc32.cpp.o" "gcc" "src/hash/CMakeFiles/padre_hash.dir/Crc32.cpp.o.d"
+  "/root/repo/src/hash/Fingerprint.cpp" "src/hash/CMakeFiles/padre_hash.dir/Fingerprint.cpp.o" "gcc" "src/hash/CMakeFiles/padre_hash.dir/Fingerprint.cpp.o.d"
+  "/root/repo/src/hash/Sha1.cpp" "src/hash/CMakeFiles/padre_hash.dir/Sha1.cpp.o" "gcc" "src/hash/CMakeFiles/padre_hash.dir/Sha1.cpp.o.d"
+  "/root/repo/src/hash/Sha256.cpp" "src/hash/CMakeFiles/padre_hash.dir/Sha256.cpp.o" "gcc" "src/hash/CMakeFiles/padre_hash.dir/Sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_hash.dir/Crc32.cpp.o"
+  "CMakeFiles/padre_hash.dir/Crc32.cpp.o.d"
+  "CMakeFiles/padre_hash.dir/Fingerprint.cpp.o"
+  "CMakeFiles/padre_hash.dir/Fingerprint.cpp.o.d"
+  "CMakeFiles/padre_hash.dir/Sha1.cpp.o"
+  "CMakeFiles/padre_hash.dir/Sha1.cpp.o.d"
+  "CMakeFiles/padre_hash.dir/Sha256.cpp.o"
+  "CMakeFiles/padre_hash.dir/Sha256.cpp.o.d"
+  "libpadre_hash.a"
+  "libpadre_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/BinBuffer.cpp" "src/index/CMakeFiles/padre_index.dir/BinBuffer.cpp.o" "gcc" "src/index/CMakeFiles/padre_index.dir/BinBuffer.cpp.o.d"
+  "/root/repo/src/index/BinLayout.cpp" "src/index/CMakeFiles/padre_index.dir/BinLayout.cpp.o" "gcc" "src/index/CMakeFiles/padre_index.dir/BinLayout.cpp.o.d"
+  "/root/repo/src/index/CpuBinStore.cpp" "src/index/CMakeFiles/padre_index.dir/CpuBinStore.cpp.o" "gcc" "src/index/CMakeFiles/padre_index.dir/CpuBinStore.cpp.o.d"
+  "/root/repo/src/index/DedupIndex.cpp" "src/index/CMakeFiles/padre_index.dir/DedupIndex.cpp.o" "gcc" "src/index/CMakeFiles/padre_index.dir/DedupIndex.cpp.o.d"
+  "/root/repo/src/index/GpuBinTable.cpp" "src/index/CMakeFiles/padre_index.dir/GpuBinTable.cpp.o" "gcc" "src/index/CMakeFiles/padre_index.dir/GpuBinTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/padre_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/padre_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/padre_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_index.dir/BinBuffer.cpp.o"
+  "CMakeFiles/padre_index.dir/BinBuffer.cpp.o.d"
+  "CMakeFiles/padre_index.dir/BinLayout.cpp.o"
+  "CMakeFiles/padre_index.dir/BinLayout.cpp.o.d"
+  "CMakeFiles/padre_index.dir/CpuBinStore.cpp.o"
+  "CMakeFiles/padre_index.dir/CpuBinStore.cpp.o.d"
+  "CMakeFiles/padre_index.dir/DedupIndex.cpp.o"
+  "CMakeFiles/padre_index.dir/DedupIndex.cpp.o.d"
+  "CMakeFiles/padre_index.dir/GpuBinTable.cpp.o"
+  "CMakeFiles/padre_index.dir/GpuBinTable.cpp.o.d"
+  "libpadre_index.a"
+  "libpadre_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

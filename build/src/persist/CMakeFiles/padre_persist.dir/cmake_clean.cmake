@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_persist.dir/VolumeImage.cpp.o"
+  "CMakeFiles/padre_persist.dir/VolumeImage.cpp.o.d"
+  "libpadre_persist.a"
+  "libpadre_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

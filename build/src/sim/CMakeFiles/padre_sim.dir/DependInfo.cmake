@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/CostModel.cpp" "src/sim/CMakeFiles/padre_sim.dir/CostModel.cpp.o" "gcc" "src/sim/CMakeFiles/padre_sim.dir/CostModel.cpp.o.d"
+  "/root/repo/src/sim/Platform.cpp" "src/sim/CMakeFiles/padre_sim.dir/Platform.cpp.o" "gcc" "src/sim/CMakeFiles/padre_sim.dir/Platform.cpp.o.d"
+  "/root/repo/src/sim/ResourceLedger.cpp" "src/sim/CMakeFiles/padre_sim.dir/ResourceLedger.cpp.o" "gcc" "src/sim/CMakeFiles/padre_sim.dir/ResourceLedger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_sim.dir/CostModel.cpp.o"
+  "CMakeFiles/padre_sim.dir/CostModel.cpp.o.d"
+  "CMakeFiles/padre_sim.dir/Platform.cpp.o"
+  "CMakeFiles/padre_sim.dir/Platform.cpp.o.d"
+  "CMakeFiles/padre_sim.dir/ResourceLedger.cpp.o"
+  "CMakeFiles/padre_sim.dir/ResourceLedger.cpp.o.d"
+  "libpadre_sim.a"
+  "libpadre_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

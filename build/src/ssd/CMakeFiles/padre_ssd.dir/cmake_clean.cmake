@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_ssd.dir/SsdModel.cpp.o"
+  "CMakeFiles/padre_ssd.dir/SsdModel.cpp.o.d"
+  "libpadre_ssd.a"
+  "libpadre_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_util.dir/Bytes.cpp.o"
+  "CMakeFiles/padre_util.dir/Bytes.cpp.o.d"
+  "CMakeFiles/padre_util.dir/Stats.cpp.o"
+  "CMakeFiles/padre_util.dir/Stats.cpp.o.d"
+  "CMakeFiles/padre_util.dir/ThreadPool.cpp.o"
+  "CMakeFiles/padre_util.dir/ThreadPool.cpp.o.d"
+  "libpadre_util.a"
+  "libpadre_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_workload.dir/Trace.cpp.o"
+  "CMakeFiles/padre_workload.dir/Trace.cpp.o.d"
+  "CMakeFiles/padre_workload.dir/VdbenchStream.cpp.o"
+  "CMakeFiles/padre_workload.dir/VdbenchStream.cpp.o.d"
+  "libpadre_workload.a"
+  "libpadre_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_engines.cpp" "tests/CMakeFiles/test_engines.dir/test_engines.cpp.o" "gcc" "tests/CMakeFiles/test_engines.dir/test_engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/padre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/padre_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/padre_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/padre_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/padre_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/padre_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/padre_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/padre_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/padre_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/padre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

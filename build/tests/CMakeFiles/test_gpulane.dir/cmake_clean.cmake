@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpulane.dir/test_gpulane.cpp.o"
+  "CMakeFiles/test_gpulane.dir/test_gpulane.cpp.o.d"
+  "test_gpulane"
+  "test_gpulane.pdb"
+  "test_gpulane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpulane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padrectl.dir/padrectl.cpp.o"
+  "CMakeFiles/padrectl.dir/padrectl.cpp.o.d"
+  "padrectl"
+  "padrectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padrectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(padrectl_info "/root/repo/build/tools/padrectl" "info")
+set_tests_properties(padrectl_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(padrectl_calibrate "/root/repo/build/tools/padrectl" "calibrate" "--platform" "no-gpu")
+set_tests_properties(padrectl_calibrate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(padrectl_run "/root/repo/build/tools/padrectl" "run" "--bytes" "2097152" "--mode" "gpu-compress" "--entropy")
+set_tests_properties(padrectl_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(padrectl_run_cdc_verify "/root/repo/build/tools/padrectl" "run" "--bytes" "2097152" "--mode" "cpu-only" "--chunking" "fastcdc" "--verify-dedup" "--threads" "16")
+set_tests_properties(padrectl_run_cdc_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(padrectl_trace_cached "/root/repo/build/tools/padrectl" "trace" "--bytes" "2097152" "--mode" "cpu-only" "--cache" "1048576" "--trace-ops" "800")
+set_tests_properties(padrectl_trace_cached PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(padrectl_volume "/root/repo/build/tools/padrectl" "volume" "--bytes" "2097152" "--mode" "cpu-only" "--image" "padrectl_smoke.img")
+set_tests_properties(padrectl_volume PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(padrectl_trace "/root/repo/build/tools/padrectl" "trace" "--bytes" "2097152" "--mode" "gpu-compress" "--trace-ops" "1000")
+set_tests_properties(padrectl_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(padrectl_bad_args "/root/repo/build/tools/padrectl" "frobnicate")
+set_tests_properties(padrectl_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
