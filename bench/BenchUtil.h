@@ -35,6 +35,11 @@ struct RunSpec {
   bool EntropyStage = false;
   std::size_t BatchChunks = 256;
   unsigned ContentAlphabet = 256;
+  /// Optional observability sinks (non-owning). When set, the measured
+  /// phase records spans/metrics — spans from the warmup are cleared by
+  /// resetMeasurement alongside the ledger.
+  obs::TraceRecorder *Trace = nullptr;
+  obs::MetricsRegistry *Metrics = nullptr;
 };
 
 /// Runs one steady-state pipeline measurement.
@@ -48,6 +53,8 @@ inline PipelineReport runSpec(const Platform &Plat, const RunSpec &Spec) {
   Config.Dedup.Index.BufferCapacityPerBin = Spec.BufferCapacityPerBin;
   Config.Compress.EntropyStage = Spec.EntropyStage;
   Config.BatchChunks = Spec.BatchChunks;
+  Config.Trace = Spec.Trace;
+  Config.Metrics = Spec.Metrics;
 
   WorkloadConfig Load;
   Load.BlockSize = Spec.ChunkSize;

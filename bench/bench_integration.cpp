@@ -12,6 +12,8 @@
 #include "BenchUtil.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 using namespace padre;
 using namespace padre::bench;
@@ -20,11 +22,33 @@ int main() {
   banner("E4", "Fig. 2 — throughput of integration methods "
                "(dedup 2.0, compression 2.0)");
 
+  // Optional observability capture: PADRE_OBS_PREFIX=/tmp/e4 writes
+  // /tmp/e4-<mode>.json (Chrome trace) and /tmp/e4-<mode>.prom
+  // (Prometheus text) for each integration mode. See OBSERVABILITY.md.
+  const char *ObsPrefix = std::getenv("PADRE_OBS_PREFIX");
+
   PipelineReport Reports[PipelineModeCount];
   for (unsigned I = 0; I < PipelineModeCount; ++I) {
     RunSpec Spec;
     Spec.Mode = static_cast<PipelineMode>(I);
-    Reports[I] = runSpec(Platform::paper(), Spec);
+    if (ObsPrefix) {
+      obs::TraceRecorder Trace;
+      obs::MetricsRegistry Metrics;
+      Spec.Trace = &Trace;
+      Spec.Metrics = &Metrics;
+      Reports[I] = runSpec(Platform::paper(), Spec);
+      const std::string Stem = std::string(ObsPrefix) + "-" +
+                               pipelineModeName(Spec.Mode);
+      if (!Trace.writeChromeJson(Stem + ".json") ||
+          !Metrics.writePrometheus(Stem + ".prom"))
+        std::fprintf(stderr, "warning: failed to write %s.{json,prom}\n",
+                     Stem.c_str());
+      else
+        std::printf("obs: wrote %s.json / %s.prom\n", Stem.c_str(),
+                    Stem.c_str());
+    } else {
+      Reports[I] = runSpec(Platform::paper(), Spec);
+    }
   }
 
   std::printf("%-14s %12s %12s %10s %10s %12s\n", "mode", "IOPS (K)",

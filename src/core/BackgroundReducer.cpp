@@ -15,10 +15,17 @@ BackgroundReduceStats padre::backgroundReduce(Volume &Vol,
                                               std::uint64_t RunBlocks) {
   assert(RunBlocks > 0 && "Run length must be nonzero");
   BackgroundReduceStats Stats;
+  ReductionPipeline &Pipe = Vol.pipelineForMaintenance();
+  // One umbrella span for the whole pass. Category "sweep", not
+  // "stage": the rewrites run through the pipeline and emit their own
+  // stage spans inside this one — a stage-category umbrella would
+  // double-count the lanes in the reconciliation check.
+  const obs::StageSpan Sweep(Pipe.config().Trace, Pipe.ledger(),
+                             "background-sweep", obs::CategorySweep);
   // Use the pipeline's own stored-bytes accounting via volume stats.
   Stats.BytesBefore = Vol.stats().PhysicalBytes;
   // The sweep's rewrites are storage-internal I/O, not host writes.
-  Vol.pipelineForMaintenance().setInternalWrites(true);
+  Pipe.setInternalWrites(true);
 
   const std::uint64_t BlockCount = Vol.blockCount();
   std::uint64_t Lba = 0;
@@ -48,9 +55,14 @@ BackgroundReduceStats padre::backgroundReduce(Volume &Vol,
     Lba = RunEnd;
   }
 
-  Vol.pipelineForMaintenance().setInternalWrites(false);
+  Pipe.setInternalWrites(false);
   Stats.ChunksCollected = Vol.collectGarbage();
   Vol.flush();
   Stats.BytesAfter = Vol.stats().PhysicalBytes;
+  if (obs::MetricsRegistry *Metrics = Pipe.config().Metrics)
+    Metrics
+        ->counter("padre_background_blocks_total",
+                  "Blocks rewritten by background reduction sweeps")
+        .add(Stats.BlocksProcessed);
   return Stats;
 }

@@ -17,7 +17,8 @@ using namespace padre;
 CompressEngine::CompressEngine(const CostModel &Model,
                                ResourceLedger &Ledger, ThreadPool &Pool,
                                GpuDevice *Device,
-                               const CompressEngineConfig &Config)
+                               const CompressEngineConfig &Config,
+                               const obs::ObsSinks &Obs)
     : Model(Model), Ledger(Ledger), Pool(Pool), Device(Device),
       Config(Config), CpuCodec(Config.CpuMatcher, Config.CpuOptions),
       LaneCompressor(Config.Lanes) {
@@ -25,6 +26,10 @@ CompressEngine::CompressEngine(const CostModel &Model,
   if (Config.Backend == CompressBackend::GpuLane)
     assert(Device && Device->present() &&
            "GPU compression requested without a GPU");
+  if (Obs.Metrics)
+    RawFallbackCounter = &Obs.Metrics->counter(
+        "padre_compress_raw_fallback_total",
+        "Chunks stored raw because compression did not pay");
 }
 
 void CompressEngine::compressBatch(std::span<const ChunkView> Chunks,
@@ -87,6 +92,8 @@ void CompressEngine::compressBatchCpu(std::span<const ChunkView> Chunks,
         }
         Ledger.chargeMicros(Resource::CpuPool, Micros);
         RawFallbacks.fetch_add(Raw, std::memory_order_relaxed);
+        if (RawFallbackCounter)
+          RawFallbackCounter->add(Raw);
       });
 }
 
@@ -177,6 +184,8 @@ void CompressEngine::compressBatchGpu(std::span<const ChunkView> Chunks,
           }
           Ledger.chargeMicros(Resource::CpuPool, Micros);
           RawFallbacks.fetch_add(Raw, std::memory_order_relaxed);
+          if (RawFallbackCounter)
+            RawFallbackCounter->add(Raw);
         });
   }
 }

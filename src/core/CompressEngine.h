@@ -25,6 +25,7 @@
 #include "compress/GpuLaneCompressor.h"
 #include "compress/LzCodec.h"
 #include "gpu/GpuDevice.h"
+#include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
 #include "util/ThreadPool.h"
@@ -67,9 +68,11 @@ struct CompressEngineConfig {
 class CompressEngine {
 public:
   /// \p Device may be null when the backend is Cpu.
+  /// \p Obs sinks are optional; defaults disable instrumentation.
   CompressEngine(const CostModel &Model, ResourceLedger &Ledger,
                  ThreadPool &Pool, GpuDevice *Device,
-                 const CompressEngineConfig &Config);
+                 const CompressEngineConfig &Config,
+                 const obs::ObsSinks &Obs = obs::ObsSinks());
 
   /// Compresses every chunk in the batch into \p Out (resized).
   void compressBatch(std::span<const ChunkView> Chunks,
@@ -94,6 +97,8 @@ private:
   LzCodec CpuCodec;
   GpuLaneCompressor LaneCompressor;
   std::atomic<std::uint64_t> RawFallbacks{0};
+  // Observability (null = disabled), cached at construction.
+  obs::Counter *RawFallbackCounter = nullptr;
 };
 
 } // namespace padre

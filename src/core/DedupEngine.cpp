@@ -13,7 +13,8 @@ using namespace padre;
 
 DedupEngine::DedupEngine(const CostModel &Model, ResourceLedger &Ledger,
                          ThreadPool &Pool, SsdModel &Ssd, GpuDevice *Device,
-                         const DedupEngineConfig &Config)
+                         const DedupEngineConfig &Config,
+                         const obs::ObsSinks &Obs)
     : Model(Model), Ledger(Ledger), Pool(Pool), Ssd(Ssd), Device(Device),
       Config(Config), Index(Config.Index),
       Offload(Config.GpuOffload ? Config.OffloadInitial : 0.0) {
@@ -24,6 +25,21 @@ DedupEngine::DedupEngine(const CostModel &Model, ResourceLedger &Ledger,
     GpuTable = std::make_unique<GpuBinTable>(*Device, Index.layout(),
                                              Config.GpuSlotsPerBin,
                                              Config.Index.Seed ^ 0x6B75);
+  }
+  if (Obs.Metrics) {
+    HitDepthHist = &Obs.Metrics->histogram(
+        "padre_bin_buffer_hit_depth",
+        "Entries scanned newest-first before a bin-buffer hit",
+        1.0, 2.0, 12);
+    BinFlushes = &Obs.Metrics->counter(
+        "padre_bin_flushes_total",
+        "Bin-buffer drains (sequential SSD log writes)");
+    if (Config.GpuOffload) {
+      OffloadGauge = &Obs.Metrics->gauge(
+          "padre_dedup_offload_fraction",
+          "Adaptive fraction of each batch co-processed by the GPU");
+      OffloadGauge->set(Offload);
+    }
   }
 }
 
@@ -114,6 +130,8 @@ void DedupEngine::processBatch(std::span<const ChunkView> Chunks,
   handleFlushes(Flushes);
 
   for (std::size_t I = 0; I < Count; ++I) {
+    if (HitDepthHist && Results[I].Outcome == LookupOutcome::DupBuffer)
+      HitDepthHist->observe(static_cast<double>(Results[I].BufferDepth));
     Items[I].Fp = Fingerprints[I];
     Items[I].Outcome = Results[I].Outcome;
     Items[I].Location = Results[I].Outcome == LookupOutcome::DupGpu
@@ -194,6 +212,8 @@ void DedupEngine::offloadToGpu(
 }
 
 void DedupEngine::handleFlushes(std::vector<FlushEvent> &Flushes) {
+  if (BinFlushes)
+    BinFlushes->add(Flushes.size());
   for (FlushEvent &Event : Flushes) {
     // "When the buffer is full, the hash is immediately flushed from
     // the buffer to the storage. This creates the appropriate
@@ -239,6 +259,8 @@ void DedupEngine::adaptOffload() {
   }
   Offload = std::min(Config.OffloadCeiling,
                      std::max(Config.OffloadFloor, Offload));
+  if (OffloadGauge)
+    OffloadGauge->set(Offload);
 }
 
 void DedupEngine::finish() {

@@ -29,6 +29,7 @@
 #include "gpu/GpuDevice.h"
 #include "index/DedupIndex.h"
 #include "index/GpuBinTable.h"
+#include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
 #include "ssd/SsdModel.h"
@@ -77,9 +78,11 @@ struct DedupEngineConfig {
 class DedupEngine {
 public:
   /// \p Device may be null (or absent) when GpuOffload is false.
+  /// \p Obs sinks are optional; defaults disable instrumentation.
   DedupEngine(const CostModel &Model, ResourceLedger &Ledger,
               ThreadPool &Pool, SsdModel &Ssd, GpuDevice *Device,
-              const DedupEngineConfig &Config);
+              const DedupEngineConfig &Config,
+              const obs::ObsSinks &Obs = obs::ObsSinks());
 
   /// Deduplicates a batch. \p NewLocations[i] is the location chunk i
   /// will occupy if unique. Results land in \p Items (resized).
@@ -133,6 +136,10 @@ private:
   // Ledger snapshot at the last adaptation step.
   double LastCpuBusy = 0.0;
   double LastGpuBusy = 0.0;
+  // Observability instruments (null = disabled), cached at construction.
+  obs::LogHistogram *HitDepthHist = nullptr;
+  obs::Gauge *OffloadGauge = nullptr;
+  obs::Counter *BinFlushes = nullptr;
 };
 
 } // namespace padre

@@ -50,11 +50,17 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
     Device->setMixedMode(Config.Mode == PipelineMode::GpuBoth);
   }
 
+  const obs::ObsSinks Obs{Config.Trace, Config.Metrics};
+  Ssd.setObs(Obs);
+  if (Device)
+    Device->setObs(Obs);
+
   DedupEngineConfig DedupConfig = Config.Dedup;
   DedupConfig.GpuOffload = modeOffloadsDedup(Config.Mode);
   if (Config.DedupEnabled)
     Dedup = std::make_unique<DedupEngine>(Platform.Model, Ledger, Pool,
-                                          Ssd, Device.get(), DedupConfig);
+                                          Ssd, Device.get(), DedupConfig,
+                                          Obs);
 
   CompressEngineConfig CompressConfig = Config.Compress;
   CompressConfig.Backend = modeOffloadsCompression(Config.Mode)
@@ -62,10 +68,38 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
                                : CompressBackend::Cpu;
   if (Config.CompressEnabled)
     Compress = std::make_unique<CompressEngine>(
-        Platform.Model, Ledger, Pool, Device.get(), CompressConfig);
+        Platform.Model, Ledger, Pool, Device.get(), CompressConfig, Obs);
 
   if (Config.ReadCacheBytes != 0)
     Cache = std::make_unique<ChunkCache>(Config.ReadCacheBytes);
+
+  if (Config.Metrics) {
+    obs::MetricsRegistry &M = *Config.Metrics;
+    ChunkLatencyHist = &M.histogram(
+        "padre_chunk_latency_us",
+        "Per-chunk modelled service latency (microseconds)",
+        1.0, 2.0, 24);
+    BatchChunksHist = &M.histogram(
+        "padre_batch_chunks", "Chunks per pipeline batch (occupancy)",
+        1.0, 2.0, 16);
+    ChunksTotal = &M.counter("padre_chunks_total",
+                             "Logical chunks ingested by the pipeline");
+    LogicalBytesTotal =
+        &M.counter("padre_logical_bytes_total", "Logical bytes ingested");
+    UniqueTotal = &M.counter("padre_unique_chunks_total",
+                             "Chunks found unique (stored)");
+    DupBufferTotal = &M.counter("padre_dup_chunks_total{tier=\"buffer\"}",
+                                "Duplicate chunks by resolving tier");
+    DupTreeTotal = &M.counter("padre_dup_chunks_total{tier=\"tree\"}",
+                              "Duplicate chunks by resolving tier");
+    DupGpuTotal = &M.counter("padre_dup_chunks_total{tier=\"gpu\"}",
+                             "Duplicate chunks by resolving tier");
+    StoredBytesTotal = &M.counter("padre_stored_bytes_total",
+                                  "Bytes destaged after reduction");
+    VerifyMismatchTotal =
+        &M.counter("padre_verify_mismatch_total",
+                   "Digest matches demoted to unique by verify-on-dedup");
+  }
 }
 
 void ReductionPipeline::write(ByteSpan Stream,
@@ -100,25 +134,39 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
                                      std::vector<ChunkWriteInfo> *InfoOut,
                                      bool Raw) {
   const std::size_t Count = Chunks.size();
+  if (BatchChunksHist)
+    BatchChunksHist->observe(static_cast<double>(Count));
+  // Report-counter snapshots: the batch deltas feed the metric
+  // counters at the end of the function.
+  const std::uint64_t PrevUnique = UniqueChunks;
+  const std::uint64_t PrevDupBuffer = DupFromBuffer;
+  const std::uint64_t PrevDupTree = DupFromTree;
+  const std::uint64_t PrevDupGpu = DupFromGpu;
+  const std::uint64_t PrevMismatches = VerifyMismatches;
+  const std::uint64_t PrevStored = StoredBytes;
+  const std::uint64_t PrevLogicalBytes = LogicalBytes;
 
   // Request-path fixed costs and endurance intent.
-  double OverheadMicros = 0.0;
-  std::uint64_t BatchBytes = 0;
-  // CDC scans every byte through a rolling hash; fixed chunking is a
-  // pointer computation (the 40x factor is the gear-hash cost).
-  const double ChunkingPerByteNs =
-      Config.Chunking == ChunkingMode::Fixed
-          ? Plat.Model.Cpu.ChunkingPerByteNs
-          : Plat.Model.Cpu.ChunkingPerByteNs * 40.0;
-  for (const ChunkView &Chunk : Chunks) {
-    OverheadMicros += Plat.Model.Cpu.RequestOverheadUs +
-                      ChunkingPerByteNs * 1e-3 *
-                          static_cast<double>(Chunk.Data.size());
-    BatchBytes += Chunk.Data.size();
+  {
+    const obs::StageSpan Stage(Config.Trace, Ledger, "chunk");
+    double OverheadMicros = 0.0;
+    std::uint64_t BatchBytes = 0;
+    // CDC scans every byte through a rolling hash; fixed chunking is a
+    // pointer computation (the 40x factor is the gear-hash cost).
+    const double ChunkingPerByteNs =
+        Config.Chunking == ChunkingMode::Fixed
+            ? Plat.Model.Cpu.ChunkingPerByteNs
+            : Plat.Model.Cpu.ChunkingPerByteNs * 40.0;
+    for (const ChunkView &Chunk : Chunks) {
+      OverheadMicros += Plat.Model.Cpu.RequestOverheadUs +
+                        ChunkingPerByteNs * 1e-3 *
+                            static_cast<double>(Chunk.Data.size());
+      BatchBytes += Chunk.Data.size();
+    }
+    Ledger.chargeMicros(Resource::CpuPool, OverheadMicros);
+    if (!InternalWrites)
+      Ssd.noteHostWrite(BatchBytes);
   }
-  Ledger.chargeMicros(Resource::CpuPool, OverheadMicros);
-  if (!InternalWrites)
-    Ssd.noteHostWrite(BatchBytes);
 
   // Stage 1: deduplication (Fig. 1 upper half).
   std::vector<std::uint64_t> NewLocations(Count);
@@ -126,22 +174,25 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
     NewLocations[I] = NextLocation + I;
 
   std::vector<DedupItem> Items;
-  if (Dedup && !Raw) {
-    Dedup->processBatch(Chunks, NewLocations, Items);
-  } else {
-    // Dedup disabled (compression-only benchmarks) or a raw pass-
-    // through write: every chunk is treated as unique. Raw writes
-    // still fingerprint (the background reducer needs the digests).
-    Items.resize(Count);
-    for (std::size_t I = 0; I < Count; ++I) {
-      Items[I].Outcome = LookupOutcome::Unique;
-      Items[I].Location = NewLocations[I];
-      if (Raw) {
-        Items[I].Fp = Fingerprint::ofData(Chunks[I].Data);
-        Ledger.chargeMicros(Resource::CpuPool,
-                            Plat.Model.cpuHashUs(Chunks[I].Data.size()));
-        Items[I].LatencyUs =
-            Plat.Model.cpuHashUs(Chunks[I].Data.size());
+  {
+    const obs::StageSpan Stage(Config.Trace, Ledger, "dedup");
+    if (Dedup && !Raw) {
+      Dedup->processBatch(Chunks, NewLocations, Items);
+    } else {
+      // Dedup disabled (compression-only benchmarks) or a raw pass-
+      // through write: every chunk is treated as unique. Raw writes
+      // still fingerprint (the background reducer needs the digests).
+      Items.resize(Count);
+      for (std::size_t I = 0; I < Count; ++I) {
+        Items[I].Outcome = LookupOutcome::Unique;
+        Items[I].Location = NewLocations[I];
+        if (Raw) {
+          Items[I].Fp = Fingerprint::ofData(Chunks[I].Data);
+          Ledger.chargeMicros(Resource::CpuPool,
+                              Plat.Model.cpuHashUs(Chunks[I].Data.size()));
+          Items[I].LatencyUs =
+              Plat.Model.cpuHashUs(Chunks[I].Data.size());
+        }
       }
     }
   }
@@ -154,6 +205,7 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
   // only a memcmp is charged); older chunks are read back from the
   // store.
   if (Config.VerifyDuplicates) {
+    const obs::StageSpan Stage(Config.Trace, Ledger, "verify");
     const std::uint64_t BatchBase = NextLocation - Count;
     for (std::size_t I = 0; I < Count; ++I) {
       if (Items[I].Outcome == LookupOutcome::Unique)
@@ -228,29 +280,37 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
 
   // Stage 2: compression of unique chunks (Fig. 1 lower half).
   std::vector<CompressedChunk> Compressed;
-  if (Compress && !Raw) {
-    Compress->compressBatch(
-        std::span<const ChunkView>(UniqueViews.data(), UniqueViews.size()),
-        Compressed);
-  } else {
-    Compressed.resize(UniqueViews.size());
-    for (std::size_t I = 0; I < UniqueViews.size(); ++I) {
-      const ByteSpan Data = UniqueViews[I].Data;
-      Compressed[I].StoredRaw = true;
-      Compressed[I].Block = encodeBlock(
-          BlockMethod::Raw, static_cast<std::uint32_t>(Data.size()), Data);
+  {
+    const obs::StageSpan Stage(Config.Trace, Ledger, "compress");
+    if (Compress && !Raw) {
+      Compress->compressBatch(
+          std::span<const ChunkView>(UniqueViews.data(),
+                                     UniqueViews.size()),
+          Compressed);
+    } else {
+      Compressed.resize(UniqueViews.size());
+      for (std::size_t I = 0; I < UniqueViews.size(); ++I) {
+        const ByteSpan Data = UniqueViews[I].Data;
+        Compressed[I].StoredRaw = true;
+        Compressed[I].Block = encodeBlock(
+            BlockMethod::Raw, static_cast<std::uint32_t>(Data.size()),
+            Data);
+      }
     }
   }
 
   // Stage 3: destage — one coalesced sequential write per batch.
   std::uint64_t DestageBytes = 0;
-  for (std::size_t I = 0; I < UniqueViews.size(); ++I) {
-    const std::uint64_t Location = Items[UniqueIndices[I]].Location;
-    DestageBytes += Compressed[I].Block.size();
-    StoredBytes += Compressed[I].Block.size();
-    Store.put(Location, std::move(Compressed[I].Block));
+  {
+    const obs::StageSpan Stage(Config.Trace, Ledger, "destage");
+    for (std::size_t I = 0; I < UniqueViews.size(); ++I) {
+      const std::uint64_t Location = Items[UniqueIndices[I]].Location;
+      DestageBytes += Compressed[I].Block.size();
+      StoredBytes += Compressed[I].Block.size();
+      Store.put(Location, std::move(Compressed[I].Block));
+    }
+    Ssd.writeSequential(DestageBytes);
   }
-  Ssd.writeSequential(DestageBytes);
 
   // Per-chunk modelled service latency: request path + dedup stage +
   // (uniques) compression stage + an equal share of the coalesced
@@ -269,16 +329,33 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
         Plat.Model.Cpu.RequestOverheadUs +
         Plat.Model.Cpu.ChunkingPerByteNs * 1e-3 *
             static_cast<double>(Chunks[I].Data.size());
-    LatencyHist.add(RequestUs + Items[I].LatencyUs + CompressLatency[I]);
+    const double TotalUs =
+        RequestUs + Items[I].LatencyUs + CompressLatency[I];
+    LatencyHist.add(TotalUs);
+    if (ChunkLatencyHist)
+      ChunkLatencyHist->observe(TotalUs);
+  }
+
+  if (ChunksTotal) {
+    ChunksTotal->add(Count);
+    LogicalBytesTotal->add(LogicalBytes - PrevLogicalBytes);
+    UniqueTotal->add(UniqueChunks - PrevUnique);
+    DupBufferTotal->add(DupFromBuffer - PrevDupBuffer);
+    DupTreeTotal->add(DupFromTree - PrevDupTree);
+    DupGpuTotal->add(DupFromGpu - PrevDupGpu);
+    StoredBytesTotal->add(StoredBytes - PrevStored);
+    VerifyMismatchTotal->add(VerifyMismatches - PrevMismatches);
   }
 }
 
 void ReductionPipeline::finish() {
+  const obs::StageSpan Stage(Config.Trace, Ledger, "drain");
   if (Dedup)
     Dedup->finish();
 }
 
 std::optional<ByteVector> ReductionPipeline::readBack() {
+  const obs::StageSpan Stage(Config.Trace, Ledger, "read");
   // Charge the read path: one random SSD read per referenced chunk and
   // CPU decompression per logical byte.
   Ssd.readRandom4K(Recipe.ChunkLocations.size());
@@ -290,6 +367,7 @@ std::optional<ByteVector> ReductionPipeline::readBack() {
 
 std::optional<ByteVector>
 ReductionPipeline::readChunk(std::uint64_t Location, bool BypassCache) {
+  const obs::StageSpan Stage(Config.Trace, Ledger, "read");
   if (Cache && !BypassCache) {
     if (auto Hit = Cache->get(Location)) {
       Ledger.chargeMicros(Resource::CpuPool,
@@ -344,6 +422,10 @@ bool ReductionPipeline::verifyAgainst(ByteSpan Original) {
 
 void ReductionPipeline::resetMeasurement() {
   Ledger.reset();
+  // The lane clocks restart at zero; recorded spans would otherwise
+  // overlap the post-warmup ones at the same positions.
+  if (Config.Trace)
+    Config.Trace->clear();
   LogicalBytes = LogicalChunks = 0;
   UniqueChunks = UniqueBytes = 0;
   DupChunks = DupFromBuffer = DupFromTree = DupFromGpu = 0;

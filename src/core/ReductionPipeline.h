@@ -30,6 +30,7 @@
 #include "core/CompressEngine.h"
 #include "core/DedupEngine.h"
 #include "core/Report.h"
+#include "obs/Obs.h"
 #include "util/Stats.h"
 #include "sim/Platform.h"
 #include "ssd/SsdModel.h"
@@ -69,6 +70,13 @@ struct PipelineConfig {
   std::size_t ReadCacheBytes = 0;
   DedupEngineConfig Dedup;
   CompressEngineConfig Compress;
+  /// Observability sinks (non-owning; must outlive the pipeline). When
+  /// null the hot path makes no instrumentation calls at all — no
+  /// allocation, no ledger reads — so an untraced run is bit-identical
+  /// to one built before the observability layer existed. See
+  /// OBSERVABILITY.md for the span schema and metric catalogue.
+  obs::TraceRecorder *Trace = nullptr;
+  obs::MetricsRegistry *Metrics = nullptr;
 
   PipelineConfig() {
     Dedup.Index.BinBits = 10;
@@ -204,6 +212,18 @@ private:
   /// Per-chunk modelled service latency (microseconds): request path +
   /// dedup stage + (for uniques) compression stage + destage share.
   Histogram LatencyHist{20000.0, 2000};
+  // Observability instruments (null when Config.Metrics is null),
+  // cached at construction so the hot path never locks the registry.
+  obs::LogHistogram *ChunkLatencyHist = nullptr;
+  obs::LogHistogram *BatchChunksHist = nullptr;
+  obs::Counter *ChunksTotal = nullptr;
+  obs::Counter *LogicalBytesTotal = nullptr;
+  obs::Counter *UniqueTotal = nullptr;
+  obs::Counter *DupBufferTotal = nullptr;
+  obs::Counter *DupTreeTotal = nullptr;
+  obs::Counter *DupGpuTotal = nullptr;
+  obs::Counter *StoredBytesTotal = nullptr;
+  obs::Counter *VerifyMismatchTotal = nullptr;
 };
 
 } // namespace padre

@@ -45,47 +45,85 @@ inline bool modeOffloadsCompression(PipelineMode Mode) {
 /// separately as a baseline.
 struct PipelineReport {
   // Workload.
+  /// Bytes the host wrote through the pipeline (bytes). Denominator of
+  /// every reduction ratio and of ThroughputMBps.
   std::uint64_t LogicalBytes = 0;
+  /// Chunks those bytes split into (count). Denominator of
+  /// ThroughputIops; the "IOPS" of E1/E4 (Tables 2–3, Fig. 2).
   std::uint64_t LogicalChunks = 0;
 
   // Dedup outcome.
+  /// Chunks stored for the first time (count).
   std::uint64_t UniqueChunks = 0;
+  /// Chunks eliminated as duplicates (count); the workload's dedup
+  /// ratio 2.0 in E4 (§4) makes this ≈ half of LogicalChunks.
   std::uint64_t DupChunks = 0;
+  /// Duplicates resolved in the in-memory bin buffer (count) — the
+  /// paper's partial-indexing fast path (§2).
   std::uint64_t DupFromBuffer = 0;
+  /// Duplicates resolved in the on-"disk" index tree (count).
   std::uint64_t DupFromTree = 0;
+  /// Duplicates resolved by GPU-offloaded index lookups (count);
+  /// nonzero only in gpu-dedup/gpu-both modes (E2, Fig. 2).
   std::uint64_t DupFromGpu = 0;
   /// Verify-on-dedup only: digest matches whose bytes differed
-  /// (collision or latent corruption) — stored fresh instead.
+  /// (collision or latent corruption) — stored fresh instead (count).
   std::uint64_t VerifyMismatches = 0;
-  double DedupRatio = 1.0; ///< logical bytes / unique bytes
+  /// Logical bytes / unique bytes (ratio ≥ 1); workload knob of E4/E5.
+  double DedupRatio = 1.0;
 
   // Compression outcome (unique chunks only).
-  std::uint64_t StoredBytes = 0; ///< encoded bytes destaged
+  /// Encoded bytes destaged to the SSD (bytes). Numerator of the
+  /// physical-capacity story in E5.
+  std::uint64_t StoredBytes = 0;
+  /// Chunks whose encoding did not shrink them and were stored raw
+  /// (count) — the incompressible-data guard.
   std::uint64_t RawFallbacks = 0;
-  double CompressRatio = 1.0;  ///< unique bytes / stored bytes
-  double ReductionRatio = 1.0; ///< logical bytes / stored bytes
+  /// Unique bytes / stored bytes (ratio ≥ 1); workload knob of E3/E4.
+  double CompressRatio = 1.0;
+  /// Logical bytes / stored bytes (ratio ≥ 1) — end-to-end reduction.
+  double ReductionRatio = 1.0;
 
-  // Modelled performance.
-  double MakespanSec = 0.0; ///< compute-resource bottleneck time
+  // Modelled performance (modelled seconds, NOT wall time — see
+  // OBSERVABILITY.md "modelled time vs wall time").
+  /// Busiest compute resource's normalized busy time (modelled s);
+  /// the run length every throughput figure divides by.
+  double MakespanSec = 0.0;
+  /// LogicalChunks / MakespanSec (chunks per modelled s). The y-axis
+  /// of Fig. 2 and of Tables 2–4 (E1–E4).
   double ThroughputIops = 0.0;
+  /// LogicalBytes / MakespanSec (MB per modelled s), same artefacts.
   double ThroughputMBps = 0.0;
+  /// Resource whose normalized busy time equals MakespanSec — the
+  /// paper's bottleneck analysis in §4(3).
   Resource Bottleneck = Resource::CpuPool;
+  /// CPU-pool busy time (modelled s), summed over worker threads.
+  /// Equals the trace's per-lane "stage" span total on the cpu lane.
   double CpuBusySec = 0.0;
+  /// GPU busy time (modelled s); Fig. 2's "gpu busy" column in E4.
   double GpuBusySec = 0.0;
+  /// PCIe transfer busy time (modelled s), both directions.
   double PcieBusySec = 0.0;
+  /// SSD command busy time (modelled s): destage writes + read-back.
   double SsdBusySec = 0.0;
+  /// GPU kernel launches (count) across all kernel families (E2–E4).
   std::uint64_t KernelLaunches = 0;
-  double OffloadFraction = 0.0; ///< final dedup offload fraction
+  /// Final fraction of dedup lookups offloaded to the GPU [0, 1];
+  /// the adaptive split of §3 (E2).
+  double OffloadFraction = 0.0;
 
   // Modelled per-chunk service latency in microseconds. Throughput and
   // latency are distinct under batching: deeper GPU batches raise
-  // throughput *and* latency.
-  double LatencyP50Us = 0.0;
-  double LatencyP95Us = 0.0;
-  double LatencyP99Us = 0.0;
+  // throughput *and* latency (E1, Table 2).
+  double LatencyP50Us = 0.0; ///< median chunk latency (modelled µs)
+  double LatencyP95Us = 0.0; ///< 95th percentile (modelled µs)
+  double LatencyP99Us = 0.0; ///< 99th percentile (modelled µs)
 
-  // SSD endurance.
+  // SSD endurance (E5).
+  /// Bytes the host asked the SSD to write (bytes).
   std::uint64_t SsdHostBytes = 0;
+  /// Bytes actually programmed to NAND after write amplification
+  /// (bytes); SsdNandBytes / SsdHostBytes is E5's endurance gain.
   std::uint64_t SsdNandBytes = 0;
 
   /// Multi-line human-readable rendering.

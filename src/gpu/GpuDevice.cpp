@@ -54,28 +54,60 @@ void GpuDevice::releaseMemory(std::uint64_t Bytes) {
   assert(Previous >= Bytes && "Releasing more device memory than reserved");
 }
 
+void GpuDevice::setObs(const obs::ObsSinks &Obs) {
+  Trace = Obs.Trace;
+  if (!Obs.Metrics)
+    return;
+  for (unsigned F = 0; F < KernelFamilyCount; ++F) {
+    std::string Name = "padre_gpu_kernel_launches_total{family=\"";
+    Name += kernelFamilyName(static_cast<KernelFamily>(F));
+    Name += "\"}";
+    LaunchCounters[F] =
+        &Obs.Metrics->counter(Name, "GPU kernel launches by family");
+  }
+  BytesH2d = &Obs.Metrics->counter("padre_pcie_bytes_total{dir=\"h2d\"}",
+                                   "Bytes moved over the PCIe link");
+  BytesD2h = &Obs.Metrics->counter("padre_pcie_bytes_total{dir=\"d2h\"}",
+                                   "Bytes moved over the PCIe link");
+}
+
 void GpuDevice::transferToDevice(std::size_t Bytes) {
   assert(present() && "No GPU on this platform");
+  const obs::LaneSpan Span(Trace, Ledger, Resource::Pcie, "dma:h2d",
+                           obs::CategoryDma);
   Ledger.chargeMicros(Resource::Pcie, Model.pcieTransferUs(Bytes));
   Ledger.countHostToDevice(Bytes);
+  if (BytesH2d)
+    BytesH2d->add(Bytes);
 }
 
 void GpuDevice::transferFromDevice(std::size_t Bytes) {
   assert(present() && "No GPU on this platform");
+  const obs::LaneSpan Span(Trace, Ledger, Resource::Pcie, "dma:d2h",
+                           obs::CategoryDma);
   Ledger.chargeMicros(Resource::Pcie, Model.pcieTransferUs(Bytes));
   Ledger.countDeviceToHost(Bytes);
+  if (BytesD2h)
+    BytesD2h->add(Bytes);
 }
 
 void GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
                              const std::function<void()> &Body) {
   assert(present() && "No GPU on this platform");
   assert(ExecMicros >= 0.0 && "Negative kernel execution time");
+  static constexpr const char *SpanNames[KernelFamilyCount] = {
+      "kernel:indexing", "kernel:hashing", "kernel:compression"};
+  const obs::LaneSpan Span(Trace, Ledger, Resource::Gpu,
+                           SpanNames[static_cast<unsigned>(Family)],
+                           obs::CategoryKernel);
   const double Penalty =
       MixedMode.load() ? Model.Gpu.MixedKernelPenalty : 1.0;
   Ledger.chargeMicros(Resource::Gpu,
                       (Model.Gpu.LaunchUs + ExecMicros) * Penalty);
   Ledger.countKernelLaunch();
   LaunchCounts[static_cast<unsigned>(Family)].fetch_add(1);
+  if (obs::Counter *C = LaunchCounters[static_cast<unsigned>(Family)])
+    C->add(1);
   if (Body)
     Body();
 }

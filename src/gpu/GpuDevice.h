@@ -23,6 +23,7 @@
 #ifndef PADRE_GPU_GPUDEVICE_H
 #define PADRE_GPU_GPUDEVICE_H
 
+#include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
 
@@ -89,6 +90,12 @@ public:
   /// Number of kernels launched for \p Family since construction.
   std::uint64_t launches(KernelFamily Family) const;
 
+  /// Attaches observability sinks: per-family kernel spans and DMA
+  /// spans (detail categories nested inside the pipeline stage spans)
+  /// plus launch/byte counters. Call before any traffic; sinks must
+  /// outlive the device.
+  void setObs(const obs::ObsSinks &Obs);
+
   /// The cost model the device was built with.
   const CostModel &costModel() const { return Model; }
 
@@ -98,6 +105,12 @@ private:
   std::atomic<std::uint64_t> MemoryUsed{0};
   std::atomic<bool> MixedMode{false};
   std::atomic<std::uint64_t> LaunchCounts[KernelFamilyCount];
+  // Observability (null = disabled). Counter pointers are cached at
+  // setObs time so the hot path never touches the registry lock.
+  obs::TraceRecorder *Trace = nullptr;
+  obs::Counter *LaunchCounters[KernelFamilyCount] = {};
+  obs::Counter *BytesH2d = nullptr;
+  obs::Counter *BytesD2h = nullptr;
 };
 
 } // namespace padre

@@ -21,15 +21,21 @@ BinBuffer::BinBuffer(const BinLayout &Layout, std::size_t CapacityPerBin)
 }
 
 std::optional<std::uint64_t>
-BinBuffer::lookup(std::uint32_t Bin, const std::uint8_t *Suffix) const {
+BinBuffer::lookup(std::uint32_t Bin, const std::uint8_t *Suffix,
+                  std::size_t *DepthOut) const {
   const Slot &S = Slots[Bin];
   const std::size_t Count = S.Locations.size();
   // Newest-first: recently written chunks are the likeliest duplicates.
   for (std::size_t I = Count; I > 0; --I) {
     const std::uint8_t *Entry = S.Suffixes.data() + (I - 1) * SuffixBytes;
-    if (std::memcmp(Entry, Suffix, SuffixBytes) == 0)
+    if (std::memcmp(Entry, Suffix, SuffixBytes) == 0) {
+      if (DepthOut)
+        *DepthOut = Count - I + 1;
       return S.Locations[I - 1];
+    }
   }
+  if (DepthOut)
+    *DepthOut = Count;
   return std::nullopt;
 }
 

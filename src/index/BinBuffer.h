@@ -35,9 +35,12 @@ public:
 
   /// Looks up \p Suffix (Layout.suffixBytes() bytes) in \p Bin,
   /// scanning newest-first (temporal locality). Returns the entry's
-  /// location on hit.
+  /// location on hit. When \p DepthOut is non-null it receives the
+  /// number of entries scanned (1 = newest entry hit) — the locality
+  /// signal behind the padre_bin_buffer_hit_depth metric.
   std::optional<std::uint64_t> lookup(std::uint32_t Bin,
-                                      const std::uint8_t *Suffix) const;
+                                      const std::uint8_t *Suffix,
+                                      std::size_t *DepthOut = nullptr) const;
 
   /// Appends an entry to \p Bin. Returns true if the bin is now full
   /// and must be drained before further inserts.

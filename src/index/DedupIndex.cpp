@@ -25,13 +25,15 @@ LookupResult DedupIndex::processOne(std::uint32_t Bin, const Fingerprint &Fp,
   // Paper lookup order (§3.3): bin buffer first — "recently updated
   // chunks can reside in the bin buffer and chunks are more likely to
   // find duplicates in the bin buffer due to temporal locality".
-  if (auto Hit = Buffer.lookup(Bin, Suffix)) {
+  std::size_t Depth = 0;
+  if (auto Hit = Buffer.lookup(Bin, Suffix, &Depth)) {
     BufferHits.fetch_add(1, std::memory_order_relaxed);
-    return LookupResult{LookupOutcome::DupBuffer, *Hit};
+    return LookupResult{LookupOutcome::DupBuffer, *Hit,
+                        static_cast<std::uint32_t>(Depth)};
   }
   if (auto Hit = Tree.lookup(Bin, Suffix)) {
     TreeHits.fetch_add(1, std::memory_order_relaxed);
-    return LookupResult{LookupOutcome::DupTree, *Hit};
+    return LookupResult{LookupOutcome::DupTree, *Hit, 0};
   }
 
   // Unique chunk: stage it in the bin buffer; drain on fill.

@@ -43,6 +43,11 @@ enum class LookupOutcome : std::uint8_t {
 struct LookupResult {
   LookupOutcome Outcome = LookupOutcome::Unique;
   std::uint64_t Location = 0; ///< existing location for duplicates
+  /// For DupBuffer: entries scanned newest-first before the hit
+  /// (1 = the newest entry). Zero otherwise. Feeds the
+  /// padre_bin_buffer_hit_depth metric — small depths confirm the
+  /// paper's temporal-locality argument for probing the buffer first.
+  std::uint32_t BufferDepth = 0;
 };
 
 /// A drained bin-buffer run: destined for a sequential SSD write, a

@@ -1,0 +1,274 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metrics registry implementation: instrument storage and Prometheus
+/// text-format export.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsRegistry.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+using namespace padre;
+using namespace padre::obs;
+
+//===----------------------------------------------------------------------===//
+// LogHistogram
+//===----------------------------------------------------------------------===//
+
+LogHistogram::LogHistogram(double FirstBound, double Growth,
+                           std::size_t BucketCount)
+    : Counts(BucketCount + 1) {
+  assert(FirstBound > 0.0 && Growth > 1.0 && BucketCount >= 1);
+  Bounds.reserve(BucketCount);
+  double Bound = FirstBound;
+  for (std::size_t I = 0; I < BucketCount; ++I) {
+    Bounds.push_back(Bound);
+    Bound *= Growth;
+  }
+}
+
+std::size_t LogHistogram::bucketIndex(double V) const {
+  // Linear scan beats binary search at these bucket counts and keeps
+  // the `le` semantics (first bound >= V) obvious.
+  for (std::size_t I = 0; I < Bounds.size(); ++I)
+    if (V <= Bounds[I])
+      return I;
+  return Bounds.size();
+}
+
+void LogHistogram::observe(double V) {
+  Counts[bucketIndex(V)].fetch_add(1, std::memory_order_relaxed);
+  Total.fetch_add(1, std::memory_order_relaxed);
+  double Expected = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Expected, Expected + V,
+                                    std::memory_order_relaxed))
+    ;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry::Entry &MetricsRegistry::entry(const std::string &Name,
+                                               Kind K,
+                                               const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entry &E = Entries[Name];
+  const bool Fresh = !E.AsCounter && !E.AsGauge && !E.AsHistogram;
+  if (Fresh) {
+    E.InstrumentKind = K;
+    E.Help = Help;
+  }
+  assert(E.InstrumentKind == K && "metric re-registered as another kind");
+  return E;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  Entry &E = entry(Name, Kind::Counter, Help);
+  if (!E.AsCounter)
+    E.AsCounter = std::make_unique<Counter>();
+  return *E.AsCounter;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  Entry &E = entry(Name, Kind::Gauge, Help);
+  if (!E.AsGauge)
+    E.AsGauge = std::make_unique<Gauge>();
+  return *E.AsGauge;
+}
+
+LogHistogram &MetricsRegistry::histogram(const std::string &Name,
+                                         const std::string &Help,
+                                         double FirstBound, double Growth,
+                                         std::size_t BucketCount) {
+  Entry &E = entry(Name, Kind::Histogram, Help);
+  if (!E.AsHistogram)
+    E.AsHistogram =
+        std::make_unique<LogHistogram>(FirstBound, Growth, BucketCount);
+  return *E.AsHistogram;
+}
+
+const MetricsRegistry::Entry *MetricsRegistry::find(const std::string &Name,
+                                                    Kind K) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const auto It = Entries.find(Name);
+  if (It == Entries.end() || It->second.InstrumentKind != K)
+    return nullptr;
+  return &It->second;
+}
+
+const Counter *MetricsRegistry::findCounter(const std::string &Name) const {
+  const Entry *E = find(Name, Kind::Counter);
+  return E ? E->AsCounter.get() : nullptr;
+}
+
+const Gauge *MetricsRegistry::findGauge(const std::string &Name) const {
+  const Entry *E = find(Name, Kind::Gauge);
+  return E ? E->AsGauge.get() : nullptr;
+}
+
+const LogHistogram *
+MetricsRegistry::findHistogram(const std::string &Name) const {
+  const Entry *E = find(Name, Kind::Histogram);
+  return E ? E->AsHistogram.get() : nullptr;
+}
+
+namespace {
+
+/// Splits `name{label="v"}` into the base name and the brace-enclosed
+/// label block ("" when unlabelled).
+void splitName(const std::string &Name, std::string &Base,
+               std::string &Labels) {
+  const std::size_t Brace = Name.find('{');
+  if (Brace == std::string::npos) {
+    Base = Name;
+    Labels.clear();
+    return;
+  }
+  Base = Name.substr(0, Brace);
+  Labels = Name.substr(Brace);
+}
+
+void appendDouble(std::string &Out, double V) {
+  if (std::isinf(V)) {
+    Out += V > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%g", V);
+  Out += Buffer;
+}
+
+/// Appends `labels` merged with one extra pair, e.g.
+/// ({tier="gpu"}, le, 4096) -> {tier="gpu",le="4096"}.
+void appendMergedLabels(std::string &Out, const std::string &Labels,
+                        const std::string &ExtraKey, double ExtraValue) {
+  Out.push_back('{');
+  if (!Labels.empty()) {
+    // Labels look like {k="v",...}; strip the outer braces.
+    Out.append(Labels, 1, Labels.size() - 2);
+    Out.push_back(',');
+  }
+  Out += ExtraKey;
+  Out += "=\"";
+  appendDouble(Out, ExtraValue);
+  Out += "\"}";
+}
+
+} // namespace
+
+std::string MetricsRegistry::prometheusText() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  std::string Out;
+  Out.reserve(Entries.size() * 96);
+  std::string LastBase;
+
+  for (const auto &[Name, E] : Entries) {
+    std::string Base, Labels;
+    splitName(Name, Base, Labels);
+
+    // One HELP/TYPE header per base name; the sorted map guarantees
+    // all label series of a base name are adjacent.
+    if (Base != LastBase) {
+      LastBase = Base;
+      if (!E.Help.empty()) {
+        Out += "# HELP ";
+        Out += Base;
+        Out.push_back(' ');
+        Out += E.Help;
+        Out.push_back('\n');
+      }
+      Out += "# TYPE ";
+      Out += Base;
+      switch (E.InstrumentKind) {
+      case Kind::Counter:
+        Out += " counter\n";
+        break;
+      case Kind::Gauge:
+        Out += " gauge\n";
+        break;
+      case Kind::Histogram:
+        Out += " histogram\n";
+        break;
+      }
+    }
+
+    switch (E.InstrumentKind) {
+    case Kind::Counter: {
+      Out += Name;
+      Out.push_back(' ');
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                    static_cast<unsigned long long>(E.AsCounter->value()));
+      Out += Buffer;
+      Out.push_back('\n');
+      break;
+    }
+    case Kind::Gauge: {
+      Out += Name;
+      Out.push_back(' ');
+      appendDouble(Out, E.AsGauge->value());
+      Out.push_back('\n');
+      break;
+    }
+    case Kind::Histogram: {
+      const LogHistogram &H = *E.AsHistogram;
+      std::uint64_t Cumulative = 0;
+      for (std::size_t I = 0; I < H.bounds().size(); ++I) {
+        Cumulative += H.bucketCount(I);
+        Out += Base;
+        Out += "_bucket";
+        appendMergedLabels(Out, Labels, "le", H.bounds()[I]);
+        Out.push_back(' ');
+        char Buffer[32];
+        std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                      static_cast<unsigned long long>(Cumulative));
+        Out += Buffer;
+        Out.push_back('\n');
+      }
+      Out += Base;
+      Out += "_bucket";
+      appendMergedLabels(Out, Labels, "le",
+                         std::numeric_limits<double>::infinity());
+      Out.push_back(' ');
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                    static_cast<unsigned long long>(H.count()));
+      Out += Buffer;
+      Out.push_back('\n');
+      Out += Base;
+      Out += "_sum";
+      Out += Labels;
+      Out.push_back(' ');
+      appendDouble(Out, H.sum());
+      Out.push_back('\n');
+      Out += Base;
+      Out += "_count";
+      Out += Labels;
+      Out.push_back(' ');
+      Out += Buffer; // same count as +Inf bucket
+      Out.push_back('\n');
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+bool MetricsRegistry::writePrometheus(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  const std::string Text = prometheusText();
+  const bool Ok =
+      std::fwrite(Text.data(), 1, Text.size(), File) == Text.size();
+  return std::fclose(File) == 0 && Ok;
+}

@@ -1,0 +1,143 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics registry: named counters, gauges and log-bucketed
+/// histograms with Prometheus text-format export. Instruments are
+/// registered once (by the pipeline/engine constructors — registration
+/// takes a lock) and then updated lock-free on the hot path through
+/// cached pointers; a null registry pointer disables the whole layer.
+///
+/// Metric names follow Prometheus conventions (`*_total` counters,
+/// unit suffixes like `_us`/`_bytes`) and may carry one inline label
+/// set, e.g. `padre_dup_chunks_total{tier="buffer"}` — series of one
+/// base name group under a single HELP/TYPE header in the export.
+/// Every padre metric, with units and labels, is catalogued in
+/// OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_OBS_METRICSREGISTRY_H
+#define PADRE_OBS_METRICSREGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace padre {
+namespace obs {
+
+/// Monotonically increasing event count. Thread-safe.
+class Counter {
+public:
+  void add(std::uint64_t N = 1) {
+    Value.fetch_add(N, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return Value.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> Value{0};
+};
+
+/// Last-write-wins instantaneous value. Thread-safe.
+class Gauge {
+public:
+  void set(double V) { Value.store(V, std::memory_order_relaxed); }
+  double value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> Value{0.0};
+};
+
+/// Histogram with exponentially growing bucket bounds:
+/// bound[i] = FirstBound * Growth^i, plus an overflow bucket. A value V
+/// lands in the first bucket with V <= bound (Prometheus `le`
+/// semantics). Log buckets keep constant *relative* resolution across
+/// the decades a latency distribution spans, at a fixed bucket count.
+/// Thread-safe.
+class LogHistogram {
+public:
+  /// \p FirstBound > 0, \p Growth > 1, \p BucketCount >= 1.
+  LogHistogram(double FirstBound, double Growth, std::size_t BucketCount);
+
+  LogHistogram(const LogHistogram &) = delete;
+  LogHistogram &operator=(const LogHistogram &) = delete;
+
+  void observe(double V);
+
+  /// Index of the bucket \p V lands in; bounds().size() = overflow.
+  std::size_t bucketIndex(double V) const;
+
+  /// The finite upper bounds, ascending.
+  const std::vector<double> &bounds() const { return Bounds; }
+
+  /// Observations in bucket \p I (I == bounds().size() is overflow).
+  std::uint64_t bucketCount(std::size_t I) const {
+    return Counts[I].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return Total.load(std::memory_order_relaxed);
+  }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+
+private:
+  std::vector<double> Bounds;
+  std::vector<std::atomic<std::uint64_t>> Counts; ///< Bounds.size() + 1
+  std::atomic<std::uint64_t> Total{0};
+  std::atomic<double> Sum{0.0};
+};
+
+/// Registry of named instruments. Registration is idempotent: asking
+/// for an existing name returns the same instrument (the kind and, for
+/// histograms, the bucket geometry must match the first registration).
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name, const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  LogHistogram &histogram(const std::string &Name,
+                          const std::string &Help = "",
+                          double FirstBound = 1.0, double Growth = 2.0,
+                          std::size_t BucketCount = 24);
+
+  /// Lookup without registration (tests, exporters). Null if absent or
+  /// a different kind.
+  const Counter *findCounter(const std::string &Name) const;
+  const Gauge *findGauge(const std::string &Name) const;
+  const LogHistogram *findHistogram(const std::string &Name) const;
+
+  /// Prometheus text exposition format (HELP/TYPE headers per base
+  /// name, `_bucket`/`_sum`/`_count` series for histograms).
+  std::string prometheusText() const;
+
+  /// Writes prometheusText() to \p Path. Returns false on I/O failure.
+  bool writePrometheus(const std::string &Path) const;
+
+private:
+  enum class Kind { Counter, Gauge, Histogram };
+
+  struct Entry {
+    Kind InstrumentKind = Kind::Counter;
+    std::string Help;
+    std::unique_ptr<Counter> AsCounter;
+    std::unique_ptr<Gauge> AsGauge;
+    std::unique_ptr<LogHistogram> AsHistogram;
+  };
+
+  Entry &entry(const std::string &Name, Kind K, const std::string &Help);
+  const Entry *find(const std::string &Name, Kind K) const;
+
+  mutable std::mutex Mutex;
+  // Sorted map: label series of one base name export adjacently.
+  std::map<std::string, Entry> Entries;
+};
+
+} // namespace obs
+} // namespace padre
+
+#endif // PADRE_OBS_METRICSREGISTRY_H

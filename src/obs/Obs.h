@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pair of observability sinks threaded through engine
+/// constructors. Both pointers default to null — the engines then make
+/// no instrumentation calls at all, keeping the untraced hot path
+/// identical to the pre-observability code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_OBS_OBS_H
+#define PADRE_OBS_OBS_H
+
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
+
+namespace padre {
+namespace obs {
+
+/// Non-owning sinks; the owner (padrectl, a bench, a test) must keep
+/// them alive for the lifetime of the engines they are passed to.
+struct ObsSinks {
+  TraceRecorder *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+};
+
+} // namespace obs
+} // namespace padre
+
+#endif // PADRE_OBS_OBS_H

@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace recorder implementation: span storage and Chrome trace_event
+/// JSON export.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceRecorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+using namespace padre;
+using namespace padre::obs;
+
+void TraceRecorder::record(const char *Name, const char *Category,
+                           Resource Lane, double BeginUs, double DurUs) {
+  // Durations below a nanosecond are indistinguishable from "this
+  // stage charged nothing here" — the ledger stores integer nanos.
+  if (!(DurUs >= 1e-3))
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.push_back(TraceSpan{Name, Category, Lane, BeginUs, DurUs});
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::vector<TraceSpan> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Copy = Spans;
+  }
+  std::sort(Copy.begin(), Copy.end(),
+            [](const TraceSpan &A, const TraceSpan &B) {
+              if (A.Lane != B.Lane)
+                return static_cast<unsigned>(A.Lane) <
+                       static_cast<unsigned>(B.Lane);
+              if (A.BeginUs != B.BeginUs)
+                return A.BeginUs < B.BeginUs;
+              return A.DurUs > B.DurUs; // parents before children
+            });
+  return Copy;
+}
+
+std::size_t TraceRecorder::spanCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Spans.size();
+}
+
+double TraceRecorder::laneTotalUs(Resource Lane,
+                                  const char *Category) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  double Total = 0.0;
+  for (const TraceSpan &Span : Spans) {
+    if (Span.Lane != Lane)
+      continue;
+    if (Category && std::string_view(Span.Category) != Category)
+      continue;
+    Total += Span.DurUs;
+  }
+  return Total;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.clear();
+}
+
+namespace {
+
+/// Escapes a string for a JSON literal. Span names are static C
+/// identifiers today, but the exporter must not rely on that.
+void appendJsonString(std::string &Out, const char *Text) {
+  Out.push_back('"');
+  for (const char *P = Text; *P; ++P) {
+    const char C = *P;
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buffer;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void appendNumber(std::string &Out, double Value) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.3f", Value);
+  Out += Buffer;
+}
+
+} // namespace
+
+std::string TraceRecorder::chromeJson() const {
+  const std::vector<TraceSpan> Sorted = spans();
+
+  std::string Out;
+  Out.reserve(128 + Sorted.size() * 96);
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  // Metadata: one process ("padre modelled time") with one thread
+  // track per resource lane, in Resource enum order.
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"padre (modelled time)\"}}";
+  for (unsigned R = 0; R < ResourceCount; ++R) {
+    Out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    appendNumber(Out, static_cast<double>(R));
+    Out += ",\"args\":{\"name\":";
+    appendJsonString(Out, resourceName(static_cast<Resource>(R)));
+    Out += "}}";
+    // Force lane order in the viewer (lower sort index renders first).
+    Out += ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":";
+    appendNumber(Out, static_cast<double>(R));
+    Out += ",\"args\":{\"sort_index\":";
+    appendNumber(Out, static_cast<double>(R));
+    Out += "}}";
+  }
+
+  for (const TraceSpan &Span : Sorted) {
+    Out += ",\n{\"name\":";
+    appendJsonString(Out, Span.Name);
+    Out += ",\"cat\":";
+    appendJsonString(Out, Span.Category);
+    Out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    appendNumber(Out, static_cast<double>(static_cast<unsigned>(Span.Lane)));
+    Out += ",\"ts\":";
+    appendNumber(Out, Span.BeginUs);
+    Out += ",\"dur\":";
+    appendNumber(Out, Span.DurUs);
+    Out += ",\"args\":{\"lane\":";
+    appendJsonString(Out, resourceName(Span.Lane));
+    Out += "}}";
+  }
+
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool TraceRecorder::writeChromeJson(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  const std::string Json = chromeJson();
+  const bool Ok =
+      std::fwrite(Json.data(), 1, Json.size(), File) == Json.size();
+  return std::fclose(File) == 0 && Ok;
+}

@@ -52,6 +52,13 @@ double ResourceLedger::busySeconds(Resource R) const {
          1e-9;
 }
 
+double ResourceLedger::busyMicros(Resource R) const {
+  return static_cast<double>(
+             BusyNanos[static_cast<unsigned>(R)].load(
+                 std::memory_order_relaxed)) *
+         1e-3;
+}
+
 double ResourceLedger::makespanSeconds(unsigned CpuThreads,
                                        unsigned Mask) const {
   assert(CpuThreads > 0 && "CPU pool needs at least one thread");

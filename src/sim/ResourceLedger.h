@@ -75,6 +75,11 @@ public:
   /// Accumulated busy time of \p R in seconds.
   double busySeconds(Resource R) const;
 
+  /// Accumulated busy time of \p R in microseconds. This is the span
+  /// clock of the observability layer: obs::LaneSpan/StageSpan snapshot
+  /// it around charge sites (see src/obs/TraceRecorder.h).
+  double busyMicros(Resource R) const;
+
   /// Bottleneck makespan over the resources selected by \p Mask:
   /// max(busy(r) / capacity(r)). CPU capacity is \p CpuThreads parallel
   /// hardware threads; other resources have capacity one.

@@ -16,6 +16,27 @@ SsdModel::SsdModel(const CostModel &Model, ResourceLedger &Ledger)
   assert(isValidCostModel(Model) && "Invalid cost model");
 }
 
+void SsdModel::setObs(const obs::ObsSinks &Obs) {
+  Trace = Obs.Trace;
+  if (!Obs.Metrics)
+    return;
+  // Service time per SSD command. A command's span position on the SSD
+  // lane doubles as its modelled queue position (the lane is a
+  // capacity-one device, so accumulated busy time IS the queue).
+  IoHist = &Obs.Metrics->histogram("padre_ssd_io_us",
+                                   "SSD command service time "
+                                   "(modelled microseconds)",
+                                   1.0, 2.0, 24);
+  SeqWriteOps = &Obs.Metrics->counter(
+      "padre_ssd_io_total{op=\"seq-write\"}", "SSD commands by type");
+  RandWriteOps = &Obs.Metrics->counter(
+      "padre_ssd_io_total{op=\"rand-write\"}", "SSD commands by type");
+  SeqReadOps = &Obs.Metrics->counter(
+      "padre_ssd_io_total{op=\"seq-read\"}", "SSD commands by type");
+  RandReadOps = &Obs.Metrics->counter(
+      "padre_ssd_io_total{op=\"rand-read\"}", "SSD commands by type");
+}
+
 void SsdModel::noteHostWrite(std::uint64_t Bytes) {
   HostBytes.fetch_add(Bytes, std::memory_order_relaxed);
 }
@@ -23,7 +44,14 @@ void SsdModel::noteHostWrite(std::uint64_t Bytes) {
 void SsdModel::writeSequential(std::uint64_t Bytes) {
   if (Bytes == 0)
     return;
-  Ledger.chargeMicros(Resource::Ssd, Model.ssdSeqWriteUs(Bytes));
+  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:seq-write",
+                           obs::CategoryIo);
+  const double Micros = Model.ssdSeqWriteUs(Bytes);
+  Ledger.chargeMicros(Resource::Ssd, Micros);
+  if (IoHist) {
+    IoHist->observe(Micros);
+    SeqWriteOps->add(1);
+  }
   NandBytes.fetch_add(
       static_cast<std::uint64_t>(static_cast<double>(Bytes) *
                                  Model.Ssd.SequentialWaf),
@@ -33,8 +61,15 @@ void SsdModel::writeSequential(std::uint64_t Bytes) {
 void SsdModel::writeRandom4K(std::uint64_t Count) {
   if (Count == 0)
     return;
-  Ledger.chargeMicros(Resource::Ssd,
-                      Model.Ssd.RandWrite4KUs * static_cast<double>(Count));
+  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:rand-write",
+                           obs::CategoryIo);
+  const double Micros =
+      Model.Ssd.RandWrite4KUs * static_cast<double>(Count);
+  Ledger.chargeMicros(Resource::Ssd, Micros);
+  if (IoHist) {
+    IoHist->observe(Micros);
+    RandWriteOps->add(1);
+  }
   NandBytes.fetch_add(
       static_cast<std::uint64_t>(static_cast<double>(Count) * 4096.0 *
                                  Model.Ssd.RandomWaf),
@@ -44,14 +79,28 @@ void SsdModel::writeRandom4K(std::uint64_t Count) {
 void SsdModel::readSequential(std::uint64_t Bytes) {
   if (Bytes == 0)
     return;
-  Ledger.chargeMicros(Resource::Ssd, Model.ssdSeqReadUs(Bytes));
+  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:seq-read",
+                           obs::CategoryIo);
+  const double Micros = Model.ssdSeqReadUs(Bytes);
+  Ledger.chargeMicros(Resource::Ssd, Micros);
+  if (IoHist) {
+    IoHist->observe(Micros);
+    SeqReadOps->add(1);
+  }
 }
 
 void SsdModel::readRandom4K(std::uint64_t Count) {
   if (Count == 0)
     return;
-  Ledger.chargeMicros(Resource::Ssd,
-                      Model.Ssd.RandRead4KUs * static_cast<double>(Count));
+  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:rand-read",
+                           obs::CategoryIo);
+  const double Micros =
+      Model.Ssd.RandRead4KUs * static_cast<double>(Count);
+  Ledger.chargeMicros(Resource::Ssd, Micros);
+  if (IoHist) {
+    IoHist->observe(Micros);
+    RandReadOps->add(1);
+  }
 }
 
 double SsdModel::enduranceRatio() const {

@@ -22,6 +22,7 @@
 #ifndef PADRE_SSD_SSDMODEL_H
 #define PADRE_SSD_SSDMODEL_H
 
+#include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
 
@@ -74,11 +75,23 @@ public:
   /// The sequential write bandwidth of the bare device in MB/s.
   double baselineSeqWriteMBps() const { return Model.Ssd.SeqWriteMBps; }
 
+  /// Attaches observability sinks: per-command I/O spans on the SSD
+  /// lane plus a service-time histogram and per-op counters. Call
+  /// before any traffic; sinks must outlive the model.
+  void setObs(const obs::ObsSinks &Obs);
+
 private:
   CostModel Model;
   ResourceLedger &Ledger;
   std::atomic<std::uint64_t> HostBytes{0};
   std::atomic<std::uint64_t> NandBytes{0};
+  // Observability (null = disabled); instruments cached at setObs time.
+  obs::TraceRecorder *Trace = nullptr;
+  obs::LogHistogram *IoHist = nullptr;
+  obs::Counter *SeqWriteOps = nullptr;
+  obs::Counter *RandWriteOps = nullptr;
+  obs::Counter *SeqReadOps = nullptr;
+  obs::Counter *RandReadOps = nullptr;
 };
 
 } // namespace padre

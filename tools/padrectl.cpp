@@ -26,12 +26,19 @@
 ///   --threads N      override the platform's CPU thread count (run)
 ///   --seed N         workload seed               (default 42)
 ///   --image PATH     (volume) save/load the volume image here
+///   --trace-out FILE.json    write a Chrome trace_event span file
+///                            (open in Perfetto / about:tracing)
+///   --metrics-out FILE.prom  write Prometheus text-format metrics
+///
+/// Options also accept the --opt=value spelling. See OBSERVABILITY.md
+/// for the span schema and metric catalogue.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Calibrator.h"
 #include "core/TraceRunner.h"
 #include "core/Volume.h"
+#include "obs/Obs.h"
 #include "persist/VolumeImage.h"
 #include "workload/VdbenchStream.h"
 
@@ -63,6 +70,8 @@ struct Options {
   std::uint64_t CacheBytes = 0;
   ChunkingMode Chunking = ChunkingMode::Fixed;
   unsigned Threads = 0; // 0 = platform default
+  std::string TraceOutPath;
+  std::string MetricsOutPath;
 };
 
 void usage() {
@@ -74,7 +83,8 @@ void usage() {
       "  --bytes N  --dedup D  --comp C  --chunk N  --seed N\n"
       "  --entropy  --verify-dedup  --cache N  --chunking "
       "fixed|rabin|fastcdc\n"
-      "  --threads N  --image PATH  --trace FILE  --trace-ops N\n");
+      "  --threads N  --image PATH  --trace FILE  --trace-ops N\n"
+      "  --trace-out FILE.json  --metrics-out FILE.prom\n");
 }
 
 bool parsePlatform(const std::string &Name, Platform &Out) {
@@ -107,8 +117,21 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     return false;
   Opts.Command = Argv[1];
   for (int I = 2; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
+    std::string Arg = Argv[I];
+    // Accept both "--opt value" and "--opt=value".
+    std::optional<std::string> Inline;
+    if (Arg.rfind("--", 0) == 0) {
+      const std::size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Arg.substr(Eq + 1);
+        Arg.resize(Eq);
+      }
+    }
     auto NextValue = [&](std::string &Out) {
+      if (Inline) {
+        Out = *Inline;
+        return true;
+      }
       if (I + 1 >= Argc)
         return false;
       Out = Argv[++I];
@@ -142,6 +165,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.ImagePath = Value;
     } else if (Arg == "--trace" && NextValue(Value)) {
       Opts.TracePath = Value;
+    } else if (Arg == "--trace-out" && NextValue(Value)) {
+      Opts.TraceOutPath = Value;
+    } else if (Arg == "--metrics-out" && NextValue(Value)) {
+      Opts.MetricsOutPath = Value;
     } else if (Arg == "--trace-ops" && NextValue(Value)) {
       Opts.TraceOps = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Arg == "--verify-dedup") {
@@ -188,6 +215,45 @@ PipelineConfig pipelineConfigFor(const Options &Opts, PipelineMode Mode) {
   Config.Chunking = Opts.Chunking;
   return Config;
 }
+
+/// Caller-frame observability sinks for --trace-out / --metrics-out.
+/// Only the sinks whose output path was requested are attached, so an
+/// unadorned invocation runs with instrumentation fully disabled.
+struct ObsOutput {
+  obs::TraceRecorder Trace;
+  obs::MetricsRegistry Metrics;
+
+  void attach(const Options &Opts, PipelineConfig &Config) {
+    if (!Opts.TraceOutPath.empty())
+      Config.Trace = &Trace;
+    if (!Opts.MetricsOutPath.empty())
+      Config.Metrics = &Metrics;
+  }
+
+  /// Writes the requested files. Returns false on I/O failure.
+  bool write(const Options &Opts) const {
+    if (!Opts.TraceOutPath.empty()) {
+      if (!Trace.writeChromeJson(Opts.TraceOutPath)) {
+        std::fprintf(stderr, "error: cannot write trace %s\n",
+                     Opts.TraceOutPath.c_str());
+        return false;
+      }
+      std::printf("trace: %zu spans -> %s (open in Perfetto or "
+                  "chrome://tracing)\n",
+                  Trace.spanCount(), Opts.TraceOutPath.c_str());
+    }
+    if (!Opts.MetricsOutPath.empty()) {
+      if (!Metrics.writePrometheus(Opts.MetricsOutPath)) {
+        std::fprintf(stderr, "error: cannot write metrics %s\n",
+                     Opts.MetricsOutPath.c_str());
+        return false;
+      }
+      std::printf("metrics: %s (Prometheus text format)\n",
+                  Opts.MetricsOutPath.c_str());
+    }
+    return true;
+  }
+};
 
 PipelineMode resolveMode(const Options &Opts) {
   if (Opts.Mode)
@@ -255,7 +321,10 @@ int commandRun(const Options &OptsIn) {
     Opts.Plat.Model.Cpu.Threads = Opts.Threads;
   const PipelineMode Mode = resolveMode(Opts);
   const ByteVector Data = makeStream(Opts);
-  ReductionPipeline Pipeline(Opts.Plat, pipelineConfigFor(Opts, Mode));
+  ObsOutput Obs;
+  PipelineConfig Config = pipelineConfigFor(Opts, Mode);
+  Obs.attach(Opts, Config);
+  ReductionPipeline Pipeline(Opts.Plat, Config);
   Pipeline.write(ByteSpan(Data.data(), Data.size()));
   Pipeline.finish();
   if (!Pipeline.verifyAgainst(ByteSpan(Data.data(), Data.size()))) {
@@ -268,14 +337,17 @@ int commandRun(const Options &OptsIn) {
               Opts.CompressRatio, Opts.Entropy ? ", entropy" : "");
   std::printf("%s\n\nread-back verified byte-exact\n",
               Pipeline.report().toString().c_str());
-  return 0;
+  return Obs.write(Opts) ? 0 : 1;
 }
 
 int commandVolume(const Options &OptsIn) {
   Options Opts = OptsIn;
   Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
   const PipelineMode Mode = resolveMode(Opts);
-  ReductionPipeline Pipeline(Opts.Plat, pipelineConfigFor(Opts, Mode));
+  ObsOutput Obs;
+  PipelineConfig Config = pipelineConfigFor(Opts, Mode);
+  Obs.attach(Opts, Config);
+  ReductionPipeline Pipeline(Opts.Plat, Config);
   VolumeConfig VolConfig;
   VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
   Volume Vol(Pipeline, VolConfig);
@@ -331,7 +403,7 @@ int commandVolume(const Options &OptsIn) {
     std::printf("image: saved to %s and restored byte-exact\n",
                 Opts.ImagePath.c_str());
   }
-  return 0;
+  return Obs.write(Opts) ? 0 : 1;
 }
 
 } // namespace
@@ -340,7 +412,10 @@ int commandTrace(const Options &OptsIn) {
   Options Opts = OptsIn;
   Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
   const PipelineMode Mode = resolveMode(Opts);
-  ReductionPipeline Pipeline(Opts.Plat, pipelineConfigFor(Opts, Mode));
+  ObsOutput Obs;
+  PipelineConfig Config = pipelineConfigFor(Opts, Mode);
+  Obs.attach(Opts, Config);
+  ReductionPipeline Pipeline(Opts.Plat, Config);
   VolumeConfig VolConfig;
   VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
   Volume Vol(Pipeline, VolConfig);
@@ -397,6 +472,8 @@ int commandTrace(const Options &OptsIn) {
               formatSize(VolStats.PhysicalBytes).c_str(),
               VolStats.spaceAmplification());
   std::printf("%s\n", Pipeline.report().toString().c_str());
+  if (!Obs.write(Opts))
+    return 1;
   return Stats.clean() && Scrub.CorruptChunks == 0 ? 0 : 1;
 }
 
