@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// R1 — batched restore (extension; the paper's pipeline is
+/// write-only, but a primary system serves reads). Three views:
+///
+///   1. the decode-mode batch-depth sweep — the read-side launch
+///      crossover: the GPU lane-decompression kernel loses to the
+///      8-thread CPU pool at shallow depths (LaunchUs dominates) and
+///      wins once deep batches amortize it, with the Auto probe
+///      expected to pick the winner at every depth;
+///   2. the cache-size sweep — the DRAM front tier absorbing re-reads
+///      (dedup concentrates reads, so even small caches earn hits);
+///   3. a mixed R/W trace replay — reads through the restore engine
+///      while writes run the paper pipeline, the deployment shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/TraceRunner.h"
+#include "restore/VolumeReader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace padre;
+using namespace padre::bench;
+using namespace padre::restore;
+
+namespace {
+
+/// Decode-side makespan (s): the busiest compute lane, SSD excluded.
+/// Cold full-stream reads are flash-bound end to end, so the CPU/GPU
+/// decode contest only shows on the compute lanes (exactly like the
+/// write side, where compression hides behind destage until the SSD
+/// is taken out of the picture).
+double decodeSec(const ReadReport &Report) {
+  const double CpuSec =
+      Report.CpuBusySec /
+      static_cast<double>(Platform::paper().Model.Cpu.Threads);
+  return std::max({CpuSec, Report.GpuBusySec, Report.PcieBusySec});
+}
+
+/// One measured restore pass over the whole written stream.
+ReadReport restorePass(ReductionPipeline &Pipeline,
+                       const ReadConfig &Config) {
+  ReadPipeline Reader(Pipeline, Config);
+  Reader.resetMeasurement();
+  const auto Restored = Reader.readStream(Pipeline.recipe());
+  if (!Restored) {
+    std::fprintf(stderr, "FATAL: restore pass failed to decode\n");
+    std::exit(1);
+  }
+  return Reader.report();
+}
+
+/// Writes the standard measured stream into a fresh pipeline.
+std::unique_ptr<ReductionPipeline> writtenPipeline(std::uint64_t CacheBytes) {
+  PipelineConfig Config;
+  Config.Mode = PipelineMode::CpuOnly; // write side out of the way
+  Config.ReadCacheBytes = CacheBytes;
+  WorkloadConfig Load;
+  Load.BlockSize = Config.ChunkSize;
+  Load.TotalBytes = 12ull << 20;
+  Load.DedupRatio = 2.0;
+  Load.CompressRatio = 2.0;
+  Load.Seed = 1234;
+  const ByteVector Data = VdbenchStream(Load).generateAll();
+  auto Pipeline =
+      std::make_unique<ReductionPipeline>(Platform::paper(), Config);
+  Pipeline->write(ByteSpan(Data.data(), Data.size()));
+  Pipeline->finish();
+  return Pipeline;
+}
+
+} // namespace
+
+int main() {
+  banner("R1", "batched restore: decode crossover, cache tier, R/W mix "
+               "(extension)");
+
+  //===------------------------------------------------------------===//
+  // 1. Decode-mode batch-depth sweep (no cache: decode vs decode).
+  //===------------------------------------------------------------===//
+  std::printf("decode batch-depth sweep (cold reads, no cache, "
+              "comp 2.0; decode-limited\nKIOPS = chunks / busiest "
+              "compute lane — end-to-end reads are flash-bound):\n");
+  std::printf("%8s %14s %14s %10s %12s %8s\n", "depth", "cpu dec (K)",
+              "gpu dec (K)", "gpu/cpu", "e2e (K)", "probe");
+  const auto Pipeline = writtenPipeline(0);
+  for (std::size_t Depth : {8u, 32u, 64u, 96u, 128u, 256u, 512u}) {
+    ReadConfig Config;
+    Config.BatchDepth = Depth;
+    Config.Mode = DecodeMode::Cpu;
+    const ReadReport Cpu = restorePass(*Pipeline, Config);
+    Config.Mode = DecodeMode::Gpu;
+    const ReadReport Gpu = restorePass(*Pipeline, Config);
+    Config.Mode = DecodeMode::Auto;
+    ReadPipeline Probe(*Pipeline, Config);
+    const double CpuDecIops =
+        static_cast<double>(Cpu.ChunksRequested) / decodeSec(Cpu);
+    const double GpuDecIops =
+        static_cast<double>(Gpu.ChunksRequested) / decodeSec(Gpu);
+    std::printf("%8zu %14.1f %14.1f %10.2f %12.1f %8s\n", Depth,
+                CpuDecIops / 1e3, GpuDecIops / 1e3,
+                GpuDecIops / CpuDecIops, Gpu.ThroughputIops / 1e3,
+                decodeModeName(Probe.effectiveMode()));
+  }
+  std::printf("expected shape: cpu flat; gpu climbs with depth "
+              "(LaunchUs amortized), crossing\ncpu near depth ~100; "
+              "the probe picks the faster side of the crossover.\n");
+
+  //===------------------------------------------------------------===//
+  // 2. Cache-size sweep: cold pass fills, warm pass hits.
+  //===------------------------------------------------------------===//
+  std::printf("\ncache-size sweep (two full-stream passes, cpu "
+              "decode, depth 256):\n");
+  std::printf("%10s %12s %14s %14s\n", "cache", "warm hits",
+              "cold IOPS (K)", "warm IOPS (K)");
+  for (std::uint64_t CacheBytes :
+       {0ull, 1ull << 20, 4ull << 20, 16ull << 20, 64ull << 20}) {
+    const auto Cached = writtenPipeline(CacheBytes);
+    ReadConfig Config;
+    Config.Mode = DecodeMode::Cpu;
+    const ReadReport Cold = restorePass(*Cached, Config);
+    const ReadReport Warm = restorePass(*Cached, Config);
+    std::printf("%10s %11.0f%% %14.1f %14.1f\n",
+                CacheBytes == 0 ? "off"
+                                : formatSize(CacheBytes).c_str(),
+                Warm.cacheHitRate() * 100.0, Cold.ThroughputIops / 1e3,
+                Warm.ThroughputIops / 1e3);
+  }
+  std::printf("expected shape: warm hit rate grows with capacity "
+              "(dedup concentrates reads\non shared chunks, so hits "
+              "exceed capacity/footprint); warm IOPS follows.\n");
+
+  //===------------------------------------------------------------===//
+  // 3. Mixed R/W trace through volume + restore engine.
+  //===------------------------------------------------------------===//
+  std::printf("\nmixed R/W trace replay (restore reads, paper-pipeline "
+              "writes, 16 MiB cache):\n");
+  std::printf("%12s %10s %10s %12s %12s\n", "read frac", "reads",
+              "writes", "cache hits", "runs");
+  for (const double ReadFraction : {0.2, 0.5, 0.8}) {
+    PipelineConfig Config;
+    Config.Mode = PipelineMode::CpuOnly;
+    Config.ReadCacheBytes = 16ull << 20;
+    ReductionPipeline Mixed(Platform::paper(), Config);
+    VolumeConfig VolConfig;
+    VolConfig.BlockCount = 4096;
+    Volume Vol(Mixed, VolConfig);
+    TraceSynthesisConfig Synth;
+    Synth.Operations = 4000;
+    Synth.VolumeBlocks = VolConfig.BlockCount;
+    Synth.WriteFraction = 0.9 - ReadFraction;
+    Synth.ReadFraction = ReadFraction;
+    Synth.Seed = 7;
+    const TraceLog Log = TraceLog::synthesize(Synth);
+    VolumeReader Reader(Vol);
+    const TraceRunStats Stats = replayTrace(
+        Vol, Log, [&](std::uint64_t Lba, std::uint64_t Count) {
+          return Reader.readBlocks(Lba, Count);
+        });
+    if (!Stats.clean()) {
+      std::fprintf(stderr, "FATAL: mixed replay verification failed\n");
+      return 1;
+    }
+    const ReadReport Report = Reader.pipeline().report();
+    std::printf("%12.1f %10llu %10llu %11.0f%% %12llu\n", ReadFraction,
+                static_cast<unsigned long long>(Stats.Reads),
+                static_cast<unsigned long long>(Stats.Writes),
+                Report.cacheHitRate() * 100.0,
+                static_cast<unsigned long long>(Report.CoalescedRuns));
+  }
+  std::printf("expected shape: every mix verifies byte-exact; hot-spot "
+              "re-reads hit the cache.\n");
+  return 0;
+}

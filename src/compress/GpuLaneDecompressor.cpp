@@ -1,0 +1,172 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lane-parallel LZ decompression: CPU pre-parse and kernel body.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/GpuLaneDecompressor.h"
+
+#include "util/Bytes.h"
+
+#include <cassert>
+
+using namespace padre;
+
+std::uint32_t GpuDecodePlan::totalTokenSwitches() const {
+  std::uint32_t Total = 0;
+  for (const GpuDecodeLane &Lane : Lanes)
+    Total += Lane.TokenSwitches;
+  return Total;
+}
+
+GpuLaneDecompressor::GpuLaneDecompressor(unsigned Lanes)
+    : Lanes(Lanes == 0 ? 1 : Lanes) {}
+
+namespace {
+
+/// Token kinds for divergence tracking.
+enum class TokenKind { None, Literal, Match };
+
+} // namespace
+
+std::optional<GpuDecodePlan>
+GpuLaneDecompressor::plan(ByteSpan Payload, std::size_t OriginalSize) const {
+  if (OriginalSize > LzCodec::MaxInputSize)
+    return std::nullopt;
+
+  GpuDecodePlan Plan;
+  Plan.OriginalSize = OriginalSize;
+  Plan.PayloadSize = Payload.size();
+  if (OriginalSize == 0)
+    return Payload.empty() ? std::optional<GpuDecodePlan>(Plan)
+                           : std::nullopt;
+
+  // Roughly equal output share per lane; tokens are indivisible, so a
+  // lane closes at the first token boundary at or past its share.
+  const std::size_t LaneTarget = (OriginalSize + Lanes - 1) / Lanes;
+
+  GpuDecodeLane Lane;
+  TokenKind LastKind = TokenKind::None;
+  std::size_t Pos = 0;
+  std::size_t OutPos = 0;
+
+  while (Pos < Payload.size()) {
+    // Close the current lane once it has met its output share and
+    // another lane slot remains.
+    if (OutPos - Lane.OutputBegin >= LaneTarget &&
+        Plan.Lanes.size() + 1 < Lanes) {
+      Lane.PayloadEnd = Pos;
+      Lane.OutputEnd = OutPos;
+      Plan.Lanes.push_back(Lane);
+      Lane = GpuDecodeLane();
+      Lane.PayloadBegin = Pos;
+      Lane.OutputBegin = OutPos;
+      LastKind = TokenKind::None;
+    }
+
+    const std::uint8_t Control = Payload[Pos];
+    if ((Control & 0x80) == 0) {
+      const std::size_t Run = static_cast<std::size_t>(Control) + 1;
+      if (Pos + 1 + Run > Payload.size() || OutPos + Run > OriginalSize)
+        return std::nullopt;
+      Pos += 1 + Run;
+      OutPos += Run;
+      Lane.Stats.LiteralBytes += static_cast<std::uint32_t>(Run);
+      Lane.Stats.LiteralRuns += 1;
+      if (LastKind == TokenKind::Match)
+        Lane.TokenSwitches += 1;
+      LastKind = TokenKind::Literal;
+    } else {
+      const std::size_t Length =
+          static_cast<std::size_t>(Control & 0x7F) + LzCodec::MinMatch;
+      if (Pos + 3 > Payload.size())
+        return std::nullopt;
+      const std::size_t Distance = loadLe16(Payload.data() + Pos + 1);
+      if (Distance == 0 || Distance > OutPos ||
+          OutPos + Length > OriginalSize)
+        return std::nullopt;
+      if (Distance > OutPos - Lane.OutputBegin)
+        Lane.CrossLaneRefs += 1;
+      Pos += 3;
+      OutPos += Length;
+      Lane.Stats.MatchBytes += static_cast<std::uint32_t>(Length);
+      Lane.Stats.Matches += 1;
+      if (LastKind == TokenKind::Literal)
+        Lane.TokenSwitches += 1;
+      LastKind = TokenKind::Match;
+    }
+  }
+
+  if (OutPos != OriginalSize)
+    return std::nullopt;
+  Lane.PayloadEnd = Pos;
+  Lane.OutputEnd = OutPos;
+  Plan.Lanes.push_back(Lane);
+  return Plan;
+}
+
+bool GpuLaneDecompressor::runLanes(ByteSpan Payload,
+                                   const GpuDecodePlan &Plan,
+                                   ByteVector &Out) {
+  if (Plan.PayloadSize != Payload.size())
+    return false;
+
+  const std::size_t OutStart = Out.size();
+  Out.reserve(OutStart + Plan.OriginalSize);
+
+  // Lanes decode in order into the shared output window: a lane's
+  // back-references may reach into output earlier lanes produced
+  // (GpuDecodeLane::CrossLaneRefs), exactly as write-side lanes read
+  // each other's regions through the history overlap.
+  for (const GpuDecodeLane &Lane : Plan.Lanes) {
+    if (Out.size() - OutStart != Lane.OutputBegin) {
+      Out.resize(OutStart);
+      return false;
+    }
+    std::size_t Pos = Lane.PayloadBegin;
+    while (Pos < Lane.PayloadEnd) {
+      const std::size_t OutPos = Out.size() - OutStart;
+      const std::uint8_t Control = Payload[Pos];
+      if ((Control & 0x80) == 0) {
+        const std::size_t Run = static_cast<std::size_t>(Control) + 1;
+        if (Pos + 1 + Run > Lane.PayloadEnd ||
+            OutPos + Run > Lane.OutputEnd) {
+          Out.resize(OutStart);
+          return false;
+        }
+        Out.insert(Out.end(), Payload.begin() + Pos + 1,
+                   Payload.begin() + Pos + 1 + Run);
+        Pos += 1 + Run;
+      } else {
+        const std::size_t Length =
+            static_cast<std::size_t>(Control & 0x7F) + LzCodec::MinMatch;
+        if (Pos + 3 > Lane.PayloadEnd) {
+          Out.resize(OutStart);
+          return false;
+        }
+        const std::size_t Distance = loadLe16(Payload.data() + Pos + 1);
+        if (Distance == 0 || Distance > OutPos ||
+            OutPos + Length > Lane.OutputEnd) {
+          Out.resize(OutStart);
+          return false;
+        }
+        // Byte-by-byte: overlapping copies (distance < length)
+        // replicate the window, as in LzCodec::decompress.
+        for (std::size_t I = 0; I < Length; ++I)
+          Out.push_back(Out[OutStart + OutPos - Distance + I]);
+        Pos += 3;
+      }
+    }
+    if (Out.size() - OutStart != Lane.OutputEnd) {
+      Out.resize(OutStart);
+      return false;
+    }
+  }
+
+  if (Out.size() - OutStart != Plan.OriginalSize) {
+    Out.resize(OutStart);
+    return false;
+  }
+  return true;
+}

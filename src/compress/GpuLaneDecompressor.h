@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GPU decompression kernel and its CPU pre-processing — the
+/// inverse of GpuLaneCompressor, for the restore path.
+///
+/// Decompression is the harder half of the codec to parallelize: the
+/// token stream is variable-length, so a device thread cannot know
+/// where lane N's tokens start until lane N-1's tokens have been
+/// parsed (Sitaridi et al., CODAG — see PAPERS.md). The standard
+/// answer, mirrored here, is a cheap *CPU pre-parse*: one serial walk
+/// of the token stream splits it into per-lane segments (token
+/// boundaries plus output offsets), and the device lanes then decode
+/// their segments independently. Where compression put its CPU stage
+/// *after* the kernel (refinement), decompression puts it *before*
+/// (planning) — the symmetry the cost model's PlanSetupUs/PlanPerByteNs
+/// constants encode.
+///
+/// `plan` is that CPU stage; `runLanes` is the functional kernel body.
+/// The restore engine charges the kernel with the same SIMT-lockstep
+/// slowest-lane rule as the write side (`lanes x max(lane cost)`, see
+/// CostModel::gpuDecodeLaneUs), with each lane's cost driven by its
+/// token mix: literal/match byte counts plus *token-kind switches*, the
+/// branch-divergence driver CODAG characterizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_COMPRESS_GPULANEDECOMPRESSOR_H
+#define PADRE_COMPRESS_GPULANEDECOMPRESSOR_H
+
+#include "compress/LzCodec.h"
+
+#include <optional>
+#include <vector>
+
+namespace padre {
+
+/// One device lane's share of a chunk decode, produced by the CPU
+/// pre-parse. Offsets are into the payload (token stream) and the
+/// decoded output respectively; both ranges are token-aligned.
+struct GpuDecodeLane {
+  std::size_t PayloadBegin = 0;
+  std::size_t PayloadEnd = 0;
+  std::size_t OutputBegin = 0;
+  std::size_t OutputEnd = 0;
+  /// Functional token mix of the segment (drives the lane's modelled
+  /// kernel cost).
+  CompressStats Stats;
+  /// Literal<->match token transitions inside the lane — the
+  /// divergence driver (CostModel::DecDivergencePerTokenNs).
+  std::uint32_t TokenSwitches = 0;
+  /// Matches whose back-distance reaches before OutputBegin, i.e. into
+  /// output another lane produces. These are what force lanes to share
+  /// the chunk's output window (modelled, not charged).
+  std::uint32_t CrossLaneRefs = 0;
+};
+
+/// The CPU pre-parse result for one chunk: token-aligned lane segments
+/// covering the whole payload.
+struct GpuDecodePlan {
+  std::vector<GpuDecodeLane> Lanes;
+  std::size_t OriginalSize = 0;
+  std::size_t PayloadSize = 0;
+
+  /// Total token-kind switches across lanes.
+  std::uint32_t totalTokenSwitches() const;
+};
+
+/// Lane-parallel LZ decompressor (CPU planning + kernel body).
+/// Stateless; safe to share between threads.
+class GpuLaneDecompressor {
+public:
+  /// \p Lanes device threads per chunk; matches GpuLaneConfig::Lanes on
+  /// the write side by default.
+  explicit GpuLaneDecompressor(unsigned Lanes = 8);
+
+  /// The CPU pre-parse: one serial walk of \p Payload (an LZ token
+  /// stream decoding to exactly \p OriginalSize bytes) that splits it
+  /// into at most `lanes()` token-aligned segments of roughly equal
+  /// output size. Returns nullopt on any malformed token — planning
+  /// doubles as validation, so the kernel body never sees a bad
+  /// stream.
+  std::optional<GpuDecodePlan> plan(ByteSpan Payload,
+                                    std::size_t OriginalSize) const;
+
+  /// The kernel body: decodes every lane of \p Payload per \p Plan,
+  /// appending exactly Plan.OriginalSize bytes to \p Out. Lanes decode
+  /// into a shared output window so cross-lane back-references resolve
+  /// (matching the write side's overlapping history rule). Returns
+  /// false on any mismatch against the plan (no partial output is
+  /// appended). Functionally identical to LzCodec::decompress.
+  static bool runLanes(ByteSpan Payload, const GpuDecodePlan &Plan,
+                       ByteVector &Out);
+
+  unsigned lanes() const { return Lanes; }
+
+private:
+  unsigned Lanes;
+};
+
+} // namespace padre
+
+#endif // PADRE_COMPRESS_GPULANEDECOMPRESSOR_H

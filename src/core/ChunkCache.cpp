@@ -16,13 +16,34 @@ ChunkCache::ChunkCache(std::size_t CapacityBytes)
   assert(CapacityBytes > 0 && "Zero-capacity cache");
 }
 
+void ChunkCache::setObs(obs::MetricsRegistry *Metrics) {
+  if (!Metrics) {
+    HitCounter = MissCounter = EvictionCounter = nullptr;
+    BytesGauge = nullptr;
+    return;
+  }
+  HitCounter = &Metrics->counter("padre_cache_hit_total",
+                                 "Read-cache lookups served from DRAM");
+  MissCounter = &Metrics->counter("padre_cache_miss_total",
+                                  "Read-cache lookups that went to the SSD");
+  EvictionCounter = &Metrics->counter("padre_cache_eviction_total",
+                                      "Read-cache LRU evictions");
+  BytesGauge = &Metrics->gauge("padre_cache_bytes",
+                               "Decompressed bytes currently cached");
+  BytesGauge->set(static_cast<double>(CachedBytes));
+}
+
 std::optional<ByteVector> ChunkCache::get(std::uint64_t Location) {
   const auto It = Map.find(Location);
   if (It == Map.end()) {
     ++Misses;
+    if (MissCounter)
+      MissCounter->add(1);
     return std::nullopt;
   }
   ++Hits;
+  if (HitCounter)
+    HitCounter->add(1);
   // Promote to most-recently-used.
   Lru.splice(Lru.begin(), Lru, It->second);
   return It->second->Chunk;
@@ -38,12 +59,16 @@ void ChunkCache::put(std::uint64_t Location, ByteVector Chunk) {
     It->second->Chunk = std::move(Chunk);
     Lru.splice(Lru.begin(), Lru, It->second);
     evictToFit(0);
+    if (BytesGauge)
+      BytesGauge->set(static_cast<double>(CachedBytes));
     return;
   }
   evictToFit(Chunk.size());
   CachedBytes += Chunk.size();
   Lru.push_front(Entry{Location, std::move(Chunk)});
   Map[Location] = Lru.begin();
+  if (BytesGauge)
+    BytesGauge->set(static_cast<double>(CachedBytes));
 }
 
 void ChunkCache::invalidate(std::uint64_t Location) {
@@ -53,12 +78,16 @@ void ChunkCache::invalidate(std::uint64_t Location) {
   CachedBytes -= It->second->Chunk.size();
   Lru.erase(It->second);
   Map.erase(It);
+  if (BytesGauge)
+    BytesGauge->set(static_cast<double>(CachedBytes));
 }
 
 void ChunkCache::clear() {
   Lru.clear();
   Map.clear();
   CachedBytes = 0;
+  if (BytesGauge)
+    BytesGauge->set(static_cast<double>(CachedBytes));
 }
 
 void ChunkCache::evictToFit(std::size_t NeededBytes) {
@@ -68,5 +97,9 @@ void ChunkCache::evictToFit(std::size_t NeededBytes) {
     Map.erase(Victim.Location);
     Lru.pop_back();
     ++Evictions;
+    if (EvictionCounter)
+      EvictionCounter->add(1);
   }
+  if (BytesGauge)
+    BytesGauge->set(static_cast<double>(CachedBytes));
 }

@@ -13,6 +13,7 @@
 #ifndef PADRE_CORE_CHUNKCACHE_H
 #define PADRE_CORE_CHUNKCACHE_H
 
+#include "obs/MetricsRegistry.h"
 #include "util/Bytes.h"
 
 #include <cstdint>
@@ -33,6 +34,12 @@ public:
   /// most-recently-used; nullopt on miss.
   std::optional<ByteVector> get(std::uint64_t Location);
 
+  /// True if \p Location is cached. Does not promote and does not
+  /// count as a lookup (readahead planning must not skew hit rates).
+  bool contains(std::uint64_t Location) const {
+    return Map.find(Location) != Map.end();
+  }
+
   /// Inserts (or refreshes) \p Chunk under \p Location, evicting LRU
   /// entries to fit. Chunks larger than the capacity are not cached.
   void put(std::uint64_t Location, ByteVector Chunk);
@@ -42,6 +49,12 @@ public:
 
   /// Drops everything.
   void clear();
+
+  /// Attaches metric instruments (hit/miss/eviction counters plus a
+  /// cached-bytes gauge — see OBSERVABILITY.md). Instruments are
+  /// registered once here and updated through cached pointers on the
+  /// hot path. Null detaches; \p Metrics must outlive the cache.
+  void setObs(obs::MetricsRegistry *Metrics);
 
   std::uint64_t hits() const { return Hits; }
   std::uint64_t misses() const { return Misses; }
@@ -72,6 +85,11 @@ private:
   std::uint64_t Evictions = 0;
   std::list<Entry> Lru; ///< front = most recent
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> Map;
+  // Observability (null = disabled).
+  obs::Counter *HitCounter = nullptr;
+  obs::Counter *MissCounter = nullptr;
+  obs::Counter *EvictionCounter = nullptr;
+  obs::Gauge *BytesGauge = nullptr;
 };
 
 } // namespace padre

@@ -70,8 +70,10 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
     Compress = std::make_unique<CompressEngine>(
         Platform.Model, Ledger, Pool, Device.get(), CompressConfig, Obs);
 
-  if (Config.ReadCacheBytes != 0)
+  if (Config.ReadCacheBytes != 0) {
     Cache = std::make_unique<ChunkCache>(Config.ReadCacheBytes);
+    Cache->setObs(Config.Metrics);
+  }
 
   if (Config.Metrics) {
     obs::MetricsRegistry &M = *Config.Metrics;
@@ -99,6 +101,9 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
     VerifyMismatchTotal =
         &M.counter("padre_verify_mismatch_total",
                    "Digest matches demoted to unique by verify-on-dedup");
+    DecodeFailTotal =
+        &M.counter("padre_read_decode_fail_total",
+                   "Chunk reads that failed to decode (corruption)");
   }
 }
 
@@ -378,13 +383,22 @@ ReductionPipeline::readChunk(std::uint64_t Location, bool BypassCache) {
   }
   Ssd.readRandom4K(1);
   const auto Chunk = Store.readChunk(Location);
-  if (Chunk) {
-    Ledger.chargeMicros(Resource::CpuPool,
-                        Plat.Model.Cpu.DecompressPerByteNs * 1e-3 *
-                            static_cast<double>(Chunk->size()));
-    if (Cache && !BypassCache)
-      Cache->put(Location, *Chunk);
+  if (!Chunk) {
+    // Corrupt (or missing) payload: drop any stale cached copy — a
+    // later cached read must not mask corruption the flash path
+    // reports, regardless of whether *this* read bypassed the cache
+    // (scrub does, and scrub is exactly when corruption surfaces).
+    if (Cache)
+      Cache->invalidate(Location);
+    if (DecodeFailTotal)
+      DecodeFailTotal->add(1);
+    return std::nullopt;
   }
+  Ledger.chargeMicros(Resource::CpuPool,
+                      Plat.Model.Cpu.DecompressPerByteNs * 1e-3 *
+                          static_cast<double>(Chunk->size()));
+  if (Cache && !BypassCache)
+    Cache->put(Location, *Chunk);
   return Chunk;
 }
 

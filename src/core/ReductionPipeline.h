@@ -66,7 +66,12 @@ struct PipelineConfig {
   /// A mismatching duplicate is stored as a fresh unique chunk. Costs
   /// one SSD read + a memcmp per duplicate.
   bool VerifyDuplicates = false;
-  /// Decompressed-chunk LRU on the read path (extension); 0 disables.
+  /// Decompressed-chunk LRU capacity on the read path (extension).
+  /// Default 0 = disabled: the paper's pipeline is write-only, so the
+  /// cache is opt-in; `padrectl restore` opts in with 32 MiB. The
+  /// restore engine (src/restore) uses it as the DRAM front tier and
+  /// its hit/miss/eviction counters surface in MetricsRegistry
+  /// (padre_cache_*, see OBSERVABILITY.md).
   std::size_t ReadCacheBytes = 0;
   DedupEngineConfig Dedup;
   CompressEngineConfig Compress;
@@ -134,8 +139,11 @@ public:
   std::optional<ByteVector> readChunk(std::uint64_t Location,
                                       bool BypassCache = false);
 
-  /// Read-cache statistics (null when disabled).
+  /// Read-cache statistics (null when disabled). The non-const form is
+  /// for the restore engine (src/restore), which uses the cache as its
+  /// front tier.
   const ChunkCache *readCache() const { return Cache.get(); }
+  ChunkCache *readCache() { return Cache.get(); }
 
   /// Garbage-collection hooks for the volume layer: drops a dead
   /// chunk's index entries (CPU index + GPU bin table), and erases its
@@ -172,6 +180,7 @@ public:
   ResourceLedger &ledger() { return Ledger; }
   ThreadPool &pool() { return Pool; }
   const SsdModel &ssd() const { return Ssd; }
+  SsdModel &ssd() { return Ssd; }
   const ChunkStore &store() const { return Store; }
   const DedupEngine *dedupEngine() const { return Dedup.get(); }
   GpuDevice *gpuDevice() { return Device.get(); }
@@ -224,6 +233,7 @@ private:
   obs::Counter *DupGpuTotal = nullptr;
   obs::Counter *StoredBytesTotal = nullptr;
   obs::Counter *VerifyMismatchTotal = nullptr;
+  obs::Counter *DecodeFailTotal = nullptr;
 };
 
 } // namespace padre

@@ -12,7 +12,8 @@
 
 using namespace padre;
 
-TraceRunStats padre::replayTrace(Volume &Vol, const TraceLog &Log) {
+TraceRunStats padre::replayTrace(Volume &Vol, const TraceLog &Log,
+                                 const TraceReadFn &ReadBlocks) {
   TraceRunStats Stats;
   const std::size_t BlockSize = Vol.blockSize();
 
@@ -46,7 +47,9 @@ TraceRunStats padre::replayTrace(Volume &Vol, const TraceLog &Log) {
       break;
     }
     case TraceOp::Read: {
-      const auto Data = Vol.readBlocks(Record.Lba, Record.Blocks);
+      const auto Data = ReadBlocks
+                            ? ReadBlocks(Record.Lba, Record.Blocks)
+                            : Vol.readBlocks(Record.Lba, Record.Blocks);
       ++Stats.Reads;
       Stats.BlocksRead += Record.Blocks;
       if (!Data) {

@@ -15,6 +15,8 @@
 #include "core/Volume.h"
 #include "workload/Trace.h"
 
+#include <functional>
+
 namespace padre {
 
 /// Replay outcome counters.
@@ -35,10 +37,19 @@ struct TraceRunStats {
   bool clean() const { return ReadFailures == 0 && VerifyFailures == 0; }
 };
 
+/// How replay serves reads: given (Lba, Count), return the decoded
+/// blocks or nullopt on failure — the Volume::readBlocks contract.
+using TraceReadFn =
+    std::function<std::optional<ByteVector>(std::uint64_t, std::uint64_t)>;
+
 /// Replays \p Log against \p Vol, verifying every read against a
 /// shadow tag map. Out-of-range records are counted and skipped
-/// (traces may be generated for a different geometry).
-TraceRunStats replayTrace(Volume &Vol, const TraceLog &Log);
+/// (traces may be generated for a different geometry). Reads go
+/// through \p ReadBlocks when provided (e.g. the batched
+/// restore::VolumeReader — core cannot depend on restore, so the
+/// read path is injected), else Volume::readBlocks.
+TraceRunStats replayTrace(Volume &Vol, const TraceLog &Log,
+                          const TraceReadFn &ReadBlocks = nullptr);
 
 } // namespace padre
 

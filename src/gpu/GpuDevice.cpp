@@ -19,6 +19,8 @@ const char *padre::kernelFamilyName(KernelFamily Family) {
     return "hashing";
   case KernelFamily::Compression:
     return "compression";
+  case KernelFamily::Decompression:
+    return "decompression";
   }
   assert(false && "Unknown kernel family");
   return "?";
@@ -96,7 +98,8 @@ void GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
   assert(present() && "No GPU on this platform");
   assert(ExecMicros >= 0.0 && "Negative kernel execution time");
   static constexpr const char *SpanNames[KernelFamilyCount] = {
-      "kernel:indexing", "kernel:hashing", "kernel:compression"};
+      "kernel:indexing", "kernel:hashing", "kernel:compression",
+      "kernel:decompression"};
   const obs::LaneSpan Span(Trace, Ledger, Resource::Gpu,
                            SpanNames[static_cast<unsigned>(Family)],
                            obs::CategoryKernel);

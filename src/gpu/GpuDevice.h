@@ -36,14 +36,15 @@ namespace padre {
 /// Kernel families tracked by the device (for reports and for the
 /// mixed-kernel penalty).
 enum class KernelFamily : unsigned {
-  Indexing = 0,    ///< bin-table probe kernels (dedup offload)
-  Hashing = 1,     ///< SHA-1 fingerprint kernels (dedup offload)
-  Compression = 2, ///< lane-parallel LZ kernels
+  Indexing = 0,      ///< bin-table probe kernels (dedup offload)
+  Hashing = 1,       ///< SHA-1 fingerprint kernels (dedup offload)
+  Compression = 2,   ///< lane-parallel LZ kernels
+  Decompression = 3, ///< lane-parallel LZ decode kernels (restore path)
 };
 
-inline constexpr unsigned KernelFamilyCount = 3;
+inline constexpr unsigned KernelFamilyCount = 4;
 
-/// Returns "indexing", "hashing" or "compression".
+/// Returns "indexing", "hashing", "compression" or "decompression".
 const char *kernelFamilyName(KernelFamily Family);
 
 /// The modelled discrete GPU. Thread-safe: engines launch kernels from

@@ -1,0 +1,622 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batched restore pipeline implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "restore/ReadPipeline.h"
+
+#include "compress/ChunkCodec.h"
+#include "compress/GpuLaneCompressor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+using namespace padre;
+using namespace padre::restore;
+
+const char *padre::restore::decodeModeName(DecodeMode Mode) {
+  switch (Mode) {
+  case DecodeMode::Cpu:
+    return "cpu";
+  case DecodeMode::Gpu:
+    return "gpu";
+  case DecodeMode::Auto:
+    return "auto";
+  }
+  assert(false && "Unknown decode mode");
+  return "?";
+}
+
+namespace {
+
+/// Methods whose payload is the shared LZ token stream — what the
+/// lane-decompression kernel accepts. Raw copies on the CPU; LzHuff
+/// needs the serial Huffman stage first, so it stays on the CPU too.
+bool gpuDecodable(BlockMethod Method) {
+  return Method == BlockMethod::Lz77 || Method == BlockMethod::QuickLz ||
+         Method == BlockMethod::GpuLane;
+}
+
+} // namespace
+
+ReadPipeline::ReadPipeline(ReductionPipeline &Pipeline,
+                           const ReadConfig &Config)
+    : Pipe(Pipeline), Config(Config), Model(Pipeline.platform().Model),
+      Decoder(GpuLaneConfig().Lanes) {
+  if (this->Config.BatchDepth == 0)
+    this->Config.BatchDepth = 1;
+
+  Device = Pipeline.gpuDevice();
+  if (!Device && Model.Gpu.Present) {
+    // CPU-only *write* mode on a GPU platform: the restore path may
+    // still offload, so bring up a device on the shared ledger.
+    OwnedDevice = std::make_unique<GpuDevice>(Model, Pipeline.ledger());
+    OwnedDevice->setObs(
+        obs::ObsSinks{Pipe.config().Trace, Pipe.config().Metrics});
+    Device = OwnedDevice.get();
+  }
+
+  switch (this->Config.Mode) {
+  case DecodeMode::Cpu:
+    Mode = DecodeMode::Cpu;
+    break;
+  case DecodeMode::Gpu:
+    Mode = Device ? DecodeMode::Gpu : DecodeMode::Cpu;
+    break;
+  case DecodeMode::Auto:
+    Mode = probeMode();
+    break;
+  }
+
+  resetMeasurement();
+
+  if (obs::MetricsRegistry *M = Pipe.config().Metrics) {
+    ReadLatencyHist = &M->histogram(
+        "padre_read_latency_us",
+        "Per-read modelled service latency (microseconds)", 1.0, 2.0, 24);
+    ReadChunksTotal = &M->counter("padre_read_chunks_total",
+                                  "Chunk reads served by the restore path");
+    ReadBytesTotal = &M->counter("padre_read_bytes_total",
+                                 "Decoded bytes returned to readers");
+    SsdChunksTotal = &M->counter("padre_read_ssd_chunks_total",
+                                 "Chunks fetched from flash (cache misses)");
+    CoalescedRunsTotal =
+        &M->counter("padre_read_coalesced_runs_total",
+                    "Adjacent-miss runs issued as sequential SSD reads");
+    ReadaheadTotal = &M->counter("padre_read_readahead_total",
+                                 "Chunks decoded speculatively into the cache");
+    DecodeFailTotal =
+        &M->counter("padre_read_decode_fail_total",
+                    "Chunk reads that failed to decode (corruption)");
+    CpuBatchesTotal = &M->counter("padre_read_batches_total{mode=\"cpu\"}",
+                                  "Decode batches by executing resource");
+    GpuBatchesTotal = &M->counter("padre_read_batches_total{mode=\"gpu\"}",
+                                  "Decode batches by executing resource");
+  }
+}
+
+void ReadPipeline::resetMeasurement() {
+  for (unsigned R = 0; R < ResourceCount; ++R)
+    BaselineUs[R] = Pipe.ledger().busyMicros(static_cast<Resource>(R));
+  ChunksRequested = BytesOut = 0;
+  CacheHits = SsdChunks = EncodedBytesIn = 0;
+  CoalescedRuns = RandomReads = ReadaheadChunks = 0;
+  DecodeFailures = GpuBatches = CpuBatches = 0;
+  LatencyHist = Histogram(20000.0, 2000);
+}
+
+bool ReadPipeline::readLocations(std::span<const std::uint64_t> Locations,
+                                 std::vector<ByteVector> &Out) {
+  for (std::size_t Begin = 0; Begin < Locations.size();
+       Begin += Config.BatchDepth) {
+    const std::size_t End =
+        std::min(Locations.size(), Begin + Config.BatchDepth);
+    if (!processBatch(Locations.subspan(Begin, End - Begin), Out))
+      return false;
+  }
+  return true;
+}
+
+std::optional<ByteVector>
+ReadPipeline::readStream(const StreamRecipe &Recipe) {
+  std::vector<ByteVector> Chunks;
+  Chunks.reserve(Recipe.ChunkLocations.size());
+  if (!readLocations(std::span<const std::uint64_t>(
+                         Recipe.ChunkLocations.data(),
+                         Recipe.ChunkLocations.size()),
+                     Chunks))
+    return std::nullopt;
+  ByteVector Stream;
+  Stream.reserve(Recipe.logicalBytes());
+  for (const ByteVector &Chunk : Chunks)
+    appendBytes(Stream, ByteSpan(Chunk.data(), Chunk.size()));
+  return Stream;
+}
+
+void ReadPipeline::noteFailure(std::uint64_t Location) {
+  ++DecodeFailures;
+  if (DecodeFailTotal)
+    DecodeFailTotal->add(1);
+  // A corrupt block must not leave a stale good copy behind (the same
+  // invariant ReductionPipeline::readChunk enforces).
+  if (ChunkCache *Cache = Pipe.readCache())
+    Cache->invalidate(Location);
+}
+
+bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
+                                std::vector<ByteVector> &Out) {
+  ResourceLedger &Ledger = Pipe.ledger();
+  obs::TraceRecorder *Trace = Pipe.config().Trace;
+  ChunkCache *Cache = Pipe.readCache();
+  const ChunkStore &Store = Pipe.store();
+
+  const std::size_t Base = Out.size();
+  Out.resize(Base + Locations.size());
+  ChunksRequested += Locations.size();
+  if (ReadChunksTotal)
+    ReadChunksTotal->add(Locations.size());
+
+  std::vector<BatchItem> Items;
+  Items.reserve(Locations.size());
+  std::unordered_map<std::uint64_t, std::size_t> ItemIndex;
+  /// Per request: index into Items, or npos for a cache hit.
+  constexpr std::size_t CacheHit = ~static_cast<std::size_t>(0);
+  std::vector<std::size_t> Source(Locations.size(), CacheHit);
+  std::vector<double> LatencyUs(Locations.size(), 0.0);
+
+  //===------------------------------------------------------------===//
+  // Stage 1: fetch — cache front tier, then coalesced SSD reads.
+  //===------------------------------------------------------------===//
+  {
+    const obs::StageSpan Stage(Trace, Ledger, "restore:fetch");
+
+    for (std::size_t I = 0; I < Locations.size(); ++I) {
+      const std::uint64_t Loc = Locations[I];
+      if (Cache) {
+        if (auto Hit = Cache->get(Loc)) {
+          const double CopyUs = Model.Cpu.CacheCopyPerByteNs * 1e-3 *
+                                static_cast<double>(Hit->size());
+          Ledger.chargeMicros(Resource::CpuPool, CopyUs);
+          LatencyUs[I] = CopyUs;
+          Out[Base + I] = std::move(*Hit);
+          ++CacheHits;
+          continue;
+        }
+      }
+      const auto [It, Inserted] = ItemIndex.try_emplace(Loc, Items.size());
+      if (Inserted) {
+        BatchItem Item;
+        Item.Location = Loc;
+        Items.push_back(std::move(Item));
+      }
+      Source[I] = It->second;
+    }
+
+    // Resolve encoded blocks; a location absent from the store is a
+    // failed read (the recipe/mapping references a chunk GC dropped or
+    // that never destaged).
+    for (BatchItem &Item : Items) {
+      const auto Block = Store.encodedBlock(Item.Location);
+      if (!Block) {
+        noteFailure(Item.Location);
+        return false;
+      }
+      Item.Encoded = *Block;
+    }
+
+    // Coalescing: destage writes a batch's unique chunks at adjacent
+    // locations, so sorted misses form sequential runs on flash.
+    std::vector<std::size_t> Order(Items.size());
+    for (std::size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(),
+              [&](std::size_t A, std::size_t B) {
+                return Items[A].Location < Items[B].Location;
+              });
+
+    const std::size_t MissCount = Items.size();
+    SsdChunks += MissCount;
+    if (SsdChunksTotal)
+      SsdChunksTotal->add(MissCount);
+
+    std::size_t RunBegin = 0;
+    while (RunBegin < Order.size()) {
+      std::size_t RunEnd = RunBegin + 1;
+      while (RunEnd < Order.size() &&
+             Items[Order[RunEnd]].Location ==
+                 Items[Order[RunEnd - 1]].Location + 1)
+        ++RunEnd;
+      std::vector<std::size_t> Run(Order.begin() + RunBegin,
+                                   Order.begin() + RunEnd);
+      RunBegin = RunEnd;
+
+      // Readahead: extend the run with the next store-resident
+      // locations (recipe locality: the stream's following chunks)
+      // that are neither cached nor already in this batch. They ride
+      // the same sequential read and decode into the cache only.
+      if (Cache && Config.ReadaheadChunks > 0) {
+        std::uint64_t Next = Items[Run.back()].Location + 1;
+        for (std::size_t A = 0; A < Config.ReadaheadChunks; ++A, ++Next) {
+          if (ItemIndex.count(Next) || Cache->contains(Next))
+            break;
+          const auto Block = Store.encodedBlock(Next);
+          if (!Block)
+            break;
+          BatchItem Item;
+          Item.Location = Next;
+          Item.Encoded = *Block;
+          Item.Readahead = true;
+          ItemIndex.emplace(Next, Items.size());
+          Run.push_back(Items.size());
+          Items.push_back(std::move(Item));
+          ++ReadaheadChunks;
+          if (ReadaheadTotal)
+            ReadaheadTotal->add(1);
+        }
+      }
+
+      // Charge the run: one sequential stream, or a random 4K read
+      // for a singleton.
+      std::uint64_t RunBytes = 0;
+      for (std::size_t Idx : Run)
+        RunBytes += Items[Idx].Encoded.size();
+      EncodedBytesIn += RunBytes;
+      double ShareUs;
+      if (Run.size() > 1) {
+        Pipe.ssd().readSequential(RunBytes);
+        ++CoalescedRuns;
+        if (CoalescedRunsTotal)
+          CoalescedRunsTotal->add(1);
+        ShareUs = Model.ssdSeqReadUs(RunBytes) /
+                  static_cast<double>(Run.size());
+      } else {
+        Pipe.ssd().readRandom4K(1);
+        ++RandomReads;
+        ShareUs = Model.Ssd.RandRead4KUs;
+      }
+      for (std::size_t Idx : Run)
+        Items[Idx].FetchShareUs = ShareUs;
+    }
+  }
+
+  //===------------------------------------------------------------===//
+  // Stage 2: decode — parse headers, then CPU pool or GPU kernel.
+  //===------------------------------------------------------------===//
+  bool Ok = true;
+  {
+    const obs::StageSpan Stage(Trace, Ledger, "restore:decode");
+
+    std::vector<BatchItem *> CpuItems, GpuItems;
+    for (BatchItem &Item : Items) {
+      const auto View = decodeBlock(Item.Encoded);
+      if (!View) {
+        Item.Failed = true;
+        Ok = false;
+        continue;
+      }
+      Item.Method = View->Method;
+      Item.OriginalSize = View->OriginalSize;
+      Item.Payload = View->Payload;
+      if (Mode == DecodeMode::Gpu && gpuDecodable(Item.Method))
+        GpuItems.push_back(&Item);
+      else
+        CpuItems.push_back(&Item);
+    }
+
+    if (Ok && !CpuItems.empty())
+      Ok = decodeCpu(CpuItems);
+    if (Ok && !GpuItems.empty())
+      Ok = decodeGpu(GpuItems);
+
+    // Fill the cache: every decoded chunk, readahead included — the
+    // cache as front tier is the whole point of fetching ahead.
+    if (Ok && Cache)
+      for (BatchItem &Item : Items)
+        Cache->put(Item.Location, Item.Decoded);
+  }
+
+  if (!Ok) {
+    for (const BatchItem &Item : Items)
+      if (Item.Failed)
+        noteFailure(Item.Location);
+    return false;
+  }
+
+  // Deliver and account. No ledger charges below — the stage spans
+  // above already tile every lane.
+  for (std::size_t I = 0; I < Locations.size(); ++I) {
+    if (Source[I] != CacheHit) {
+      const BatchItem &Item = Items[Source[I]];
+      LatencyUs[I] = Item.FetchShareUs + Item.DecodeUs;
+      Out[Base + I] = Item.Decoded;
+    }
+    BytesOut += Out[Base + I].size();
+    LatencyHist.add(LatencyUs[I]);
+    if (ReadLatencyHist)
+      ReadLatencyHist->observe(LatencyUs[I]);
+  }
+  if (ReadBytesTotal) {
+    std::uint64_t Delivered = 0;
+    for (std::size_t I = 0; I < Locations.size(); ++I)
+      Delivered += Out[Base + I].size();
+    ReadBytesTotal->add(Delivered);
+  }
+  return true;
+}
+
+bool ReadPipeline::decodeCpu(const std::vector<BatchItem *> &Items) {
+  ++CpuBatches;
+  if (CpuBatchesTotal)
+    CpuBatchesTotal->add(1);
+  // Chunk-parallel across the pool, the read-side mirror of
+  // CompressEngine::compressBatchCpu: each slice decodes its chunks
+  // functionally and charges its accumulated modelled time once.
+  Pipe.pool().parallelForSlices(
+      0, Items.size(), [&](std::size_t Begin, std::size_t End, unsigned) {
+        double Micros = 0.0;
+        for (std::size_t I = Begin; I < End; ++I) {
+          BatchItem &Item = *Items[I];
+          double Us = Model.Cpu.DecompressSetupUs;
+          switch (Item.Method) {
+          case BlockMethod::Raw:
+            // No token decode — a DRAM copy out of the block.
+            Us += Model.Cpu.CacheCopyPerByteNs * 1e-3 *
+                  static_cast<double>(Item.OriginalSize);
+            break;
+          case BlockMethod::LzHuff:
+            // Serial entropy stage over the payload, then the LZ pass.
+            Us += (Model.Cpu.HuffmanPerByteNs * 1e-3 *
+                   static_cast<double>(Item.Payload.size())) +
+                  (Model.Cpu.DecompressPerByteNs * 1e-3 *
+                   static_cast<double>(Item.OriginalSize));
+            break;
+          default:
+            Us += Model.Cpu.DecompressPerByteNs * 1e-3 *
+                  static_cast<double>(Item.OriginalSize);
+            break;
+          }
+          Micros += Us;
+          Item.DecodeUs += Us;
+          const BlockView View{Item.Method, Item.OriginalSize,
+                               Item.Payload};
+          Item.Decoded.reserve(Item.OriginalSize);
+          if (!decodeChunkPayload(View, Item.Decoded))
+            Item.Failed = true;
+        }
+        Pipe.ledger().chargeMicros(Resource::CpuPool, Micros);
+      });
+  for (const BatchItem *Item : Items)
+    if (Item->Failed)
+      return false;
+  return true;
+}
+
+bool ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
+  assert(Device && "GPU decode without device");
+  const std::size_t SubBatch = Model.Gpu.DecompressBatchChunks;
+
+  for (std::size_t Begin = 0; Begin < Items.size(); Begin += SubBatch) {
+    const std::size_t End = std::min(Items.size(), Begin + SubBatch);
+    ++GpuBatches;
+    if (GpuBatchesTotal)
+      GpuBatchesTotal->add(1);
+
+    // CPU pre-parse across the pool: split every token stream into
+    // lane segments. Planning doubles as validation — a malformed
+    // payload fails here, before any device traffic.
+    Pipe.pool().parallelForSlices(
+        Begin, End, [&](std::size_t SliceBegin, std::size_t SliceEnd,
+                        unsigned) {
+          double Micros = 0.0;
+          for (std::size_t I = SliceBegin; I < SliceEnd; ++I) {
+            BatchItem &Item = *Items[I];
+            const double PlanUs =
+                Model.Cpu.PlanSetupUs +
+                Model.Cpu.PlanPerByteNs * 1e-3 *
+                    static_cast<double>(Item.Payload.size());
+            Micros += PlanUs;
+            Item.DecodeUs += PlanUs;
+            Item.Plan = Decoder.plan(Item.Payload, Item.OriginalSize);
+            if (!Item.Plan)
+              Item.Failed = true;
+          }
+          Pipe.ledger().chargeMicros(Resource::CpuPool, Micros);
+        });
+    for (std::size_t I = Begin; I < End; ++I)
+      if (Items[I]->Failed)
+        return false;
+
+    // Host -> device: the compressed payloads.
+    std::size_t InBytes = 0;
+    for (std::size_t I = Begin; I < End; ++I)
+      InBytes += Items[I]->Payload.size();
+    Device->transferToDevice(InBytes);
+
+    // Kernel time under the SIMT lockstep rule: every chunk costs
+    // lanes x its slowest lane, with divergence priced per token-kind
+    // switch (compress/GpuLaneDecompressor.h).
+    double ExecMicros = 0.0;
+    for (std::size_t I = Begin; I < End; ++I) {
+      const GpuDecodePlan &Plan = *Items[I]->Plan;
+      double SlowestLane = 0.0;
+      for (const GpuDecodeLane &Lane : Plan.Lanes)
+        SlowestLane = std::max(
+            SlowestLane,
+            Model.gpuDecodeLaneUs(Lane.Stats.LiteralBytes,
+                                  Lane.Stats.MatchBytes,
+                                  Lane.TokenSwitches));
+      ExecMicros += SlowestLane * static_cast<double>(Plan.Lanes.size());
+    }
+
+    // The lane-parallel kernel over the whole sub-batch; the body is
+    // the functional decode.
+    Device->launchKernel(KernelFamily::Decompression, ExecMicros, [&] {
+      for (std::size_t I = Begin; I < End; ++I) {
+        BatchItem &Item = *Items[I];
+        Item.Decoded.reserve(Item.OriginalSize);
+        if (!GpuLaneDecompressor::runLanes(Item.Payload, *Item.Plan,
+                                           Item.Decoded))
+          Item.Failed = true;
+      }
+    });
+    for (std::size_t I = Begin; I < End; ++I)
+      if (Items[I]->Failed)
+        return false;
+
+    // Device -> host: the decoded chunks.
+    std::size_t OutBytes = 0;
+    for (std::size_t I = Begin; I < End; ++I)
+      OutBytes += Items[I]->OriginalSize;
+    Device->transferFromDevice(OutBytes);
+
+    // Every chunk in the sub-batch waits for the whole round trip —
+    // the same latency semantics as the write side's GPU batches.
+    const double Penalty =
+        Device->mixedMode() ? Model.Gpu.MixedKernelPenalty : 1.0;
+    const double RoundTripUs = Model.pcieTransferUs(InBytes) +
+                               (Model.Gpu.LaunchUs + ExecMicros) * Penalty +
+                               Model.pcieTransferUs(OutBytes);
+    for (std::size_t I = Begin; I < End; ++I)
+      Items[I]->DecodeUs += RoundTripUs;
+  }
+  return true;
+}
+
+DecodeMode ReadPipeline::probeMode() const {
+  if (!Device)
+    return DecodeMode::Cpu;
+
+  // Synthetic ~2:1-compressible chunk: alternate a repeating motif
+  // with pseudo-random noise so the token stream mixes matches and
+  // literals (the divergence-relevant shape), then price both decode
+  // paths at BatchDepth. Everything here is arithmetic on the cost
+  // model — nothing is charged to the ledger.
+  const std::size_t ChunkSize =
+      std::min(Pipe.config().ChunkSize, LzCodec::MaxInputSize);
+  ByteVector Chunk(ChunkSize);
+  std::uint32_t State = 0x9e3779b9u;
+  for (std::size_t I = 0; I < ChunkSize; ++I) {
+    if ((I / 64) % 2 == 0) {
+      Chunk[I] = static_cast<std::uint8_t>(I % 64);
+    } else {
+      State = State * 1664525u + 1013904223u;
+      Chunk[I] = static_cast<std::uint8_t>(State >> 24);
+    }
+  }
+  const LzCodec Codec(LzCodec::MatcherKind::SingleProbe);
+  const CompressResult Probe =
+      Codec.compress(ByteSpan(Chunk.data(), Chunk.size()));
+  if (Probe.Payload.size() >= Chunk.size())
+    return DecodeMode::Cpu; // store-raw data never reaches the kernel
+  const auto Plan =
+      Decoder.plan(ByteSpan(Probe.Payload.data(), Probe.Payload.size()),
+                   ChunkSize);
+  if (!Plan)
+    return DecodeMode::Cpu;
+
+  const double Depth = static_cast<double>(Config.BatchDepth);
+  const double Threads = static_cast<double>(Model.Cpu.Threads);
+  const double PayloadBytes = static_cast<double>(Probe.Payload.size());
+
+  // CPU pool: chunk-parallel, bottlenecked by the pool itself.
+  const double CpuMakespanUs =
+      Depth *
+      (Model.Cpu.DecompressSetupUs +
+       Model.Cpu.DecompressPerByteNs * 1e-3 *
+           static_cast<double>(ChunkSize)) /
+      Threads;
+
+  // GPU path: plan on the pool, kernel + DMA on device lanes; the
+  // makespan is the busiest of the three (perfect stage overlap, the
+  // same first-order model the ledger uses).
+  double SlowestLane = 0.0;
+  for (const GpuDecodeLane &Lane : Plan->Lanes)
+    SlowestLane = std::max(
+        SlowestLane, Model.gpuDecodeLaneUs(Lane.Stats.LiteralBytes,
+                                           Lane.Stats.MatchBytes,
+                                           Lane.TokenSwitches));
+  const double ChunkExecUs =
+      SlowestLane * static_cast<double>(Plan->Lanes.size());
+  const double Kernels = std::ceil(
+      Depth / static_cast<double>(Model.Gpu.DecompressBatchChunks));
+  const double PlanBusyUs =
+      Depth *
+      (Model.Cpu.PlanSetupUs +
+       Model.Cpu.PlanPerByteNs * 1e-3 * PayloadBytes) /
+      Threads;
+  const double GpuBusyUs =
+      Kernels * Model.Gpu.LaunchUs + Depth * ChunkExecUs;
+  const double PcieBusyUs =
+      Kernels * 2.0 * Model.Pcie.PerTransferUs +
+      Depth * (PayloadBytes + static_cast<double>(ChunkSize)) /
+          (Model.Pcie.GigabytesPerSec * 1e3);
+  const double GpuMakespanUs =
+      std::max(PlanBusyUs, std::max(GpuBusyUs, PcieBusyUs));
+
+  return GpuMakespanUs < CpuMakespanUs ? DecodeMode::Gpu
+                                       : DecodeMode::Cpu;
+}
+
+ReadReport ReadPipeline::report() const {
+  ReadReport Report;
+  Report.ChunksRequested = ChunksRequested;
+  Report.BytesOut = BytesOut;
+  Report.CacheHits = CacheHits;
+  Report.SsdChunks = SsdChunks;
+  Report.EncodedBytesIn = EncodedBytesIn;
+  Report.CoalescedRuns = CoalescedRuns;
+  Report.RandomReads = RandomReads;
+  Report.ReadaheadChunks = ReadaheadChunks;
+  Report.DecodeFailures = DecodeFailures;
+  Report.GpuBatches = GpuBatches;
+  Report.CpuBatches = CpuBatches;
+
+  // Busy-time deltas against the measurement baseline. The makespan is
+  // computed over the deltas (the shared ledger cannot subtract a
+  // baseline itself) and spans ALL resources — reads wait on flash.
+  const ResourceLedger &Ledger = Pipe.ledger();
+  const double Threads = static_cast<double>(Model.Cpu.Threads);
+  double MaxNormUs = 0.0;
+  Report.Bottleneck = Resource::CpuPool;
+  for (unsigned R = 0; R < ResourceCount; ++R) {
+    const Resource Lane = static_cast<Resource>(R);
+    const double DeltaUs = Ledger.busyMicros(Lane) - BaselineUs[R];
+    const double NormUs =
+        Lane == Resource::CpuPool ? DeltaUs / Threads : DeltaUs;
+    if (NormUs > MaxNormUs) {
+      MaxNormUs = NormUs;
+      Report.Bottleneck = Lane;
+    }
+    switch (Lane) {
+    case Resource::CpuPool:
+      Report.CpuBusySec = DeltaUs * 1e-6;
+      break;
+    case Resource::Gpu:
+      Report.GpuBusySec = DeltaUs * 1e-6;
+      break;
+    case Resource::Pcie:
+      Report.PcieBusySec = DeltaUs * 1e-6;
+      break;
+    case Resource::Ssd:
+      Report.SsdBusySec = DeltaUs * 1e-6;
+      break;
+    case Resource::IndexLock:
+      break;
+    }
+  }
+  Report.MakespanSec = MaxNormUs * 1e-6;
+  if (Report.MakespanSec > 0.0) {
+    Report.ThroughputMBps =
+        static_cast<double>(BytesOut) / Report.MakespanSec / 1e6;
+    Report.ThroughputIops =
+        static_cast<double>(ChunksRequested) / Report.MakespanSec;
+  }
+  Report.LatencyP50Us = LatencyHist.percentile(50.0);
+  Report.LatencyP95Us = LatencyHist.percentile(95.0);
+  Report.LatencyP99Us = LatencyHist.percentile(99.0);
+  return Report;
+}

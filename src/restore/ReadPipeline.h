@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched read/restore pipeline — the read-path mirror of the
+/// paper's write pipeline. Where the write side chunks, dedups,
+/// compresses and destages, the restore side:
+///
+///   1. gathers a batch of chunk fetches (from a recipe, an LBA
+///      mapping, or an explicit location list),
+///   2. serves what it can from the DRAM chunk cache (the front tier),
+///   3. coalesces location-adjacent misses into sequential SSD reads
+///      (destage wrote them adjacently, so recipe-local reads are
+///      sequential on flash) and issues the rest as random 4K reads,
+///   4. decompresses the fetched payloads either chunk-parallel on the
+///      CPU pool or on the GPU lane-decompression kernel — compressed
+///      payloads staged over the modelled PCIe link, the kernel charged
+///      under the same SIMT-lockstep slowest-lane rule as the write
+///      side, with a CPU pre-parse planning the lane splits
+///      (compress/GpuLaneDecompressor.h),
+///   5. optionally extends coalesced runs with *readahead*: the next
+///      store-resident locations decode into the cache on the same
+///      fetch, so recipe-local streams hit DRAM on their next batch.
+///
+/// GPU decode pays the same launch-latency economics as GPU
+/// compression: a deep batch amortizes LaunchUs and wins, a shallow
+/// one does not and loses to the 8-thread CPU pool. DecodeMode::Auto
+/// resolves the crossover with a calibrator-style probe (synthetic
+/// chunks, modelled costs only — nothing is charged to the ledger).
+///
+/// Everything is observable: "restore:fetch"/"restore:decode" stage
+/// spans tile the lane clocks (their per-lane totals reconcile with
+/// ReadReport's busy times, tests/test_restore.cpp), and the
+/// padre_read_* metrics are catalogued in OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_RESTORE_READPIPELINE_H
+#define PADRE_RESTORE_READPIPELINE_H
+
+#include "compress/Block.h"
+#include "compress/GpuLaneDecompressor.h"
+#include "core/ReductionPipeline.h"
+#include "restore/ReadReport.h"
+#include "util/Stats.h"
+
+#include <memory>
+#include <optional>
+#include <span>
+
+namespace padre {
+namespace restore {
+
+/// Who decodes a fetched batch.
+enum class DecodeMode {
+  Cpu,  ///< chunk-parallel across the CPU pool
+  Gpu,  ///< lane-parallel decompression kernel (CPU plans the lanes)
+  Auto, ///< probe both at construction, pick the faster at BatchDepth
+};
+
+/// Returns "cpu", "gpu" or "auto".
+const char *decodeModeName(DecodeMode Mode);
+
+/// Restore pipeline configuration.
+struct ReadConfig {
+  /// Chunk fetches gathered per batch (the read-side analogue of
+  /// PipelineConfig::BatchChunks). Deep batches amortize the GPU
+  /// launch and coalesce better; shallow ones bound latency.
+  std::size_t BatchDepth = 256;
+  DecodeMode Mode = DecodeMode::Auto;
+  /// Store-resident successor chunks decoded into the cache per
+  /// coalesced run (recipe-locality readahead). 0 disables; ignored
+  /// when the pipeline has no read cache.
+  std::size_t ReadaheadChunks = 0;
+};
+
+/// The batched restore engine over a reduction pipeline's store, cache,
+/// SSD and (optional) GPU. Single-caller semantics like Volume: the
+/// parallelism lives inside the batch stages.
+class ReadPipeline {
+public:
+  /// \p Pipeline supplies the store, ledger, pool, SSD, cache and
+  /// observability sinks, and must outlive this object. If the
+  /// platform has a GPU but the pipeline was built in a CPU-only mode
+  /// (no device), the restore engine brings up its own device on the
+  /// shared ledger — the read path may offload even when the write
+  /// path does not.
+  ReadPipeline(ReductionPipeline &Pipeline,
+               const ReadConfig &Config = ReadConfig());
+
+  /// Reads the chunks at \p Locations, appending one decoded buffer
+  /// per location to \p Out in order. Duplicate locations fetch and
+  /// decode once and copy out per requester. Returns false on the
+  /// first chunk that is missing or fails to decode (the failure is
+  /// counted and any stale cache entry invalidated; \p Out may hold a
+  /// prefix).
+  bool readLocations(std::span<const std::uint64_t> Locations,
+                     std::vector<ByteVector> &Out);
+
+  /// Reconstructs a whole stream from \p Recipe through the batched
+  /// path — the restore mirror of ReductionPipeline::readBack().
+  /// Returns nullopt on any missing/corrupt chunk.
+  std::optional<ByteVector> readStream(const StreamRecipe &Recipe);
+
+  /// The mode batches actually run in: never Auto — the probe resolved
+  /// it at construction (and Gpu degrades to Cpu on GPU-less
+  /// platforms).
+  DecodeMode effectiveMode() const { return Mode; }
+
+  /// Rebaselines the measurement: report busy times and counters
+  /// restart here. Unlike ReductionPipeline::resetMeasurement() this
+  /// does NOT reset the shared ledger — write-side measurements in the
+  /// same run stay intact; the report subtracts the baseline instead.
+  void resetMeasurement();
+
+  /// The measurements since construction or resetMeasurement().
+  ReadReport report() const;
+
+  const ReadConfig &config() const { return Config; }
+
+private:
+  /// One chunk being fetched/decoded in the current batch.
+  struct BatchItem {
+    std::uint64_t Location = 0;
+    ByteSpan Encoded; ///< store block (header + payload)
+    // Parsed header (restore:decode fills these).
+    BlockMethod Method = BlockMethod::Raw;
+    std::uint32_t OriginalSize = 0;
+    ByteSpan Payload;
+    std::optional<GpuDecodePlan> Plan; ///< GPU path only
+    ByteVector Decoded;
+    double FetchShareUs = 0.0; ///< this chunk's share of SSD latency
+    double DecodeUs = 0.0;     ///< decode stage latency contribution
+    bool Readahead = false;    ///< cache-fill only, no requester
+    bool Failed = false;
+  };
+
+  bool processBatch(std::span<const std::uint64_t> Locations,
+                    std::vector<ByteVector> &Out);
+  bool decodeCpu(const std::vector<BatchItem *> &Items);
+  bool decodeGpu(const std::vector<BatchItem *> &Items);
+  void noteFailure(std::uint64_t Location);
+  /// The Auto probe: modelled CPU vs GPU decode makespan for a
+  /// synthetic batch at BatchDepth; charges nothing.
+  DecodeMode probeMode() const;
+
+  ReductionPipeline &Pipe;
+  ReadConfig Config;
+  const CostModel &Model;
+  /// The pipeline's device, or OwnedDevice on CPU-only write modes.
+  std::unique_ptr<GpuDevice> OwnedDevice;
+  GpuDevice *Device = nullptr;
+  GpuLaneDecompressor Decoder;
+  DecodeMode Mode = DecodeMode::Cpu;
+
+  // Report counters (reset by resetMeasurement).
+  std::uint64_t ChunksRequested = 0;
+  std::uint64_t BytesOut = 0;
+  std::uint64_t CacheHits = 0;
+  std::uint64_t SsdChunks = 0;
+  std::uint64_t EncodedBytesIn = 0;
+  std::uint64_t CoalescedRuns = 0;
+  std::uint64_t RandomReads = 0;
+  std::uint64_t ReadaheadChunks = 0;
+  std::uint64_t DecodeFailures = 0;
+  std::uint64_t GpuBatches = 0;
+  std::uint64_t CpuBatches = 0;
+  /// Ledger busy-time baselines (µs) captured at resetMeasurement.
+  double BaselineUs[ResourceCount] = {};
+  Histogram LatencyHist{20000.0, 2000};
+
+  // Observability instruments (null when the pipeline has no metrics
+  // registry), cached at construction.
+  obs::LogHistogram *ReadLatencyHist = nullptr;
+  obs::Counter *ReadChunksTotal = nullptr;
+  obs::Counter *ReadBytesTotal = nullptr;
+  obs::Counter *SsdChunksTotal = nullptr;
+  obs::Counter *CoalescedRunsTotal = nullptr;
+  obs::Counter *ReadaheadTotal = nullptr;
+  obs::Counter *DecodeFailTotal = nullptr;
+  obs::Counter *CpuBatchesTotal = nullptr;
+  obs::Counter *GpuBatchesTotal = nullptr;
+};
+
+} // namespace restore
+} // namespace padre
+
+#endif // PADRE_RESTORE_READPIPELINE_H

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batched volume reads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "restore/VolumeReader.h"
+
+#include <cstring>
+
+using namespace padre;
+using namespace padre::restore;
+
+VolumeReader::VolumeReader(Volume &Vol, const ReadConfig &Config)
+    : Vol(Vol), Pipe(Vol.pipelineForMaintenance(), Config) {}
+
+std::optional<ByteVector>
+VolumeReader::readMapped(const std::vector<std::uint64_t> &Mapping,
+                         std::uint64_t Lba, std::uint64_t Count) {
+  if (Lba + Count > Mapping.size() || Lba + Count < Lba)
+    return std::nullopt;
+
+  // Gather the mapped blocks' locations; unmapped blocks contribute
+  // zeros without touching the restore engine.
+  std::vector<std::uint64_t> Locations;
+  Locations.reserve(Count);
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    const std::uint64_t Loc = Mapping[Lba + I];
+    if (Loc != Volume::Unmapped)
+      Locations.push_back(Loc);
+  }
+
+  std::vector<ByteVector> Chunks;
+  Chunks.reserve(Locations.size());
+  if (!Pipe.readLocations(std::span<const std::uint64_t>(Locations.data(),
+                                                         Locations.size()),
+                          Chunks))
+    return std::nullopt;
+
+  const std::size_t BlockSize = Vol.blockSize();
+  ByteVector Out(Count * BlockSize, std::uint8_t{0});
+  std::size_t Next = 0;
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    if (Mapping[Lba + I] == Volume::Unmapped)
+      continue;
+    const ByteVector &Chunk = Chunks[Next++];
+    if (Chunk.size() != BlockSize)
+      return std::nullopt; // store geometry violation
+    std::memcpy(Out.data() + I * BlockSize, Chunk.data(), BlockSize);
+  }
+  return Out;
+}
+
+std::optional<ByteVector> VolumeReader::readBlocks(std::uint64_t Lba,
+                                                   std::uint64_t Count) {
+  return readMapped(Vol.mapping(), Lba, Count);
+}
+
+std::optional<ByteVector>
+VolumeReader::readSnapshotBlocks(Volume::SnapshotId Id, std::uint64_t Lba,
+                                 std::uint64_t Count) {
+  for (const auto &[SnapId, Mapping] : Vol.snapshotTable())
+    if (SnapId == Id)
+      return readMapped(Mapping, Lba, Count);
+  return std::nullopt;
+}

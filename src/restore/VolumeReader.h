@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batched LBA reads over a Volume — the restore pipeline surfaced at
+/// the block-device frontend. Volume::readBlocks walks its mapping one
+/// chunk at a time through ReductionPipeline::readChunk; this reader
+/// gathers a whole LBA range into one location batch so the restore
+/// engine can coalesce the SSD fetches and amortize the GPU decode
+/// launch across the range. Snapshot reads take the same path through
+/// the snapshot's captured mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_RESTORE_VOLUMEREADER_H
+#define PADRE_RESTORE_VOLUMEREADER_H
+
+#include "core/Volume.h"
+#include "restore/ReadPipeline.h"
+
+namespace padre {
+namespace restore {
+
+/// Batched reads against a volume's current or snapshot mapping.
+/// Single-caller semantics like the volume itself; \p Vol (and its
+/// pipeline) must outlive the reader.
+class VolumeReader {
+public:
+  VolumeReader(Volume &Vol, const ReadConfig &Config = ReadConfig());
+
+  /// Reads \p Count blocks at \p Lba through the batched restore
+  /// pipeline. Unmapped blocks read as zeros. Returns nullopt on
+  /// out-of-range or store corruption (mirrors Volume::readBlocks).
+  std::optional<ByteVector> readBlocks(std::uint64_t Lba,
+                                       std::uint64_t Count);
+
+  /// Reads \p Count blocks at \p Lba as of snapshot \p Id. Unmapped
+  /// blocks read as zeros; nullopt on bad id/range or corruption.
+  std::optional<ByteVector> readSnapshotBlocks(Volume::SnapshotId Id,
+                                               std::uint64_t Lba,
+                                               std::uint64_t Count);
+
+  ReadPipeline &pipeline() { return Pipe; }
+  const ReadPipeline &pipeline() const { return Pipe; }
+
+private:
+  std::optional<ByteVector>
+  readMapped(const std::vector<std::uint64_t> &Mapping, std::uint64_t Lba,
+             std::uint64_t Count);
+
+  Volume &Vol;
+  ReadPipeline Pipe;
+};
+
+} // namespace restore
+} // namespace padre
+
+#endif // PADRE_RESTORE_VOLUMEREADER_H

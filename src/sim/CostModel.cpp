@@ -27,9 +27,13 @@ bool isValidCostModel(const CostModel &Model) {
       Model.Cpu.PostPerByteNs,     Model.Cpu.StoreRawPostUs,
       Model.Cpu.DecompressPerByteNs, Model.Cpu.HuffmanPerByteNs,
       Model.Cpu.VerifyPerByteNs,  Model.Cpu.CacheCopyPerByteNs,
+      Model.Cpu.DecompressSetupUs, Model.Cpu.PlanSetupUs,
+      Model.Cpu.PlanPerByteNs,
       Model.Gpu.LaunchUs,          Model.Gpu.HashPerByteNs,
       Model.Gpu.ProbePerEntryUs,   Model.Gpu.LaneSetupNs,
       Model.Gpu.LzLiteralPerByteNs, Model.Gpu.LzMatchPerByteNs,
+      Model.Gpu.DecLaneSetupNs,    Model.Gpu.DecLiteralPerByteNs,
+      Model.Gpu.DecMatchPerByteNs, Model.Gpu.DecDivergencePerTokenNs,
       Model.Gpu.MixedKernelPenalty, Model.Gpu.DeviceMemoryMiB,
       Model.Pcie.GigabytesPerSec,  Model.Pcie.PerTransferUs,
       Model.Ssd.SeqWriteMBps,      Model.Ssd.SeqReadMBps,
@@ -41,6 +45,7 @@ bool isValidCostModel(const CostModel &Model) {
       return false;
   return Model.Cpu.Threads > 0 && Model.Gpu.DedupBatchChunks > 0 &&
          Model.Gpu.CompressBatchChunks > 0 &&
+         Model.Gpu.DecompressBatchChunks > 0 &&
          Model.Gpu.MixedKernelPenalty >= 1.0;
 }
 

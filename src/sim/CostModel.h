@@ -68,6 +68,19 @@ struct CpuCosts {
   double StoreRawPostUs = 5.0;
   /// LZ decompression (read path), per original byte.
   double DecompressPerByteNs = 2.5;
+  /// Fixed per-chunk decode-call setup on the batched restore path
+  /// (block header parse, CRC check, output allocation). The serial
+  /// `readChunk` path folds this into its per-byte charge; the restore
+  /// engine models it explicitly so shallow batches pay the true fixed
+  /// costs. (See src/restore/ReadPipeline.h.)
+  double DecompressSetupUs = 6.0;
+  /// GPU-decode pre-parse on the CPU: one serial walk of the token
+  /// stream to split it into lane segments (token boundaries + output
+  /// offsets). Mirrors PostSetupUs/PostPerByteNs on the write side —
+  /// decompression's CPU stage runs *before* the kernel instead of
+  /// after it. Charged per payload byte scanned.
+  double PlanSetupUs = 2.0;
+  double PlanPerByteNs = 1.2;
   /// Optional Huffman entropy stage (extension): per token byte
   /// encoded or decoded (two passes + bit packing).
   double HuffmanPerByteNs = 6.0;
@@ -112,6 +125,27 @@ struct GpuCosts {
   /// Chunks per compression kernel. Compression tolerates deeper
   /// batching because unique chunks are already buffered for destage.
   unsigned CompressBatchChunks = 256;
+  /// Lane-parallel LZ *decompression* (read path), charged per
+  /// wavefront under the same lockstep rule as compression:
+  ///   lanes x max over lanes (DecLaneSetupNs
+  ///                           + literals x DecLiteral
+  ///                           + match bytes x DecMatch
+  ///                           + token-kind switches x DecDivergence)
+  /// Decoding has no match search, so the per-byte rates are far below
+  /// the compression rates; what it does have is *control-flow
+  /// divergence* — every literal/match token boundary is a branch, and
+  /// lanes whose token mixes differ replay each other's paths (CODAG's
+  /// characterization; see PAPERS.md). DecDivergencePerTokenNs prices
+  /// one token-kind transition inside a lane.
+  double DecLaneSetupNs = 60.0;
+  double DecLiteralPerByteNs = 0.20;
+  double DecMatchPerByteNs = 0.14;
+  double DecDivergencePerTokenNs = 2.0;
+  /// Chunks per decompression kernel. Reads tolerate deep batching the
+  /// same way destage does — the restore engine gathers fetches before
+  /// decoding — but shallow read bursts leave the launch latency
+  /// unamortized (the CPU/GPU crossover bench_read sweeps).
+  unsigned DecompressBatchChunks = 256;
   /// Device memory budget for the GPU bin table, in MiB. Bounds which
   /// fraction of the index is GPU-resident (random replacement).
   double DeviceMemoryMiB = 512.0;
@@ -177,6 +211,21 @@ struct CostModel {
                    Gpu.LzLiteralPerByteNs *
                        static_cast<double>(LiteralBytes) +
                    Gpu.LzMatchPerByteNs * static_cast<double>(MatchBytes));
+  }
+
+  /// One GPU lane's LZ *decode* cost in microseconds, from the token
+  /// mix it decodes: \p LiteralBytes copied from the stream,
+  /// \p MatchBytes copied from history, \p TokenSwitches transitions
+  /// between literal and match tokens (the divergence driver). A
+  /// chunk's kernel cost is `lanes x max(lane costs)` — the same
+  /// lockstep rule as gpuLaneUs.
+  double gpuDecodeLaneUs(std::size_t LiteralBytes, std::size_t MatchBytes,
+                         std::size_t TokenSwitches) const {
+    return 1e-3 *
+           (Gpu.DecLaneSetupNs +
+            Gpu.DecLiteralPerByteNs * static_cast<double>(LiteralBytes) +
+            Gpu.DecMatchPerByteNs * static_cast<double>(MatchBytes) +
+            Gpu.DecDivergencePerTokenNs * static_cast<double>(TokenSwitches));
   }
 
   /// CPU post-processing (refinement) cost for a GPU-compressed chunk

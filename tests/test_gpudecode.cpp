@@ -1,0 +1,270 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the GPU lane-parallel decompressor (the decode inverse of
+/// test_gpulane): plan geometry, round trips across lane counts and
+/// data shapes, divergence accounting, cross-lane reference detection,
+/// malformed-payload rejection, and the decode cost-model helper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/GpuLaneCompressor.h"
+#include "compress/GpuLaneDecompressor.h"
+#include "sim/CostModel.h"
+#include "util/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+using namespace padre;
+
+namespace {
+
+ByteVector randomData(std::size_t Size, std::uint64_t Seed) {
+  ByteVector Data(Size);
+  Random Rng(Seed);
+  Rng.fillBytes(Data.data(), Data.size());
+  return Data;
+}
+
+ByteVector repetitiveData(std::size_t Size, std::uint64_t Seed) {
+  ByteVector Data(Size);
+  Random Rng(Seed);
+  std::uint8_t Pattern[64];
+  Rng.fillBytes(Pattern, sizeof(Pattern));
+  for (std::size_t I = 0; I < Size; I += 64) {
+    const std::size_t Take = std::min<std::size_t>(64, Size - I);
+    if (Rng.nextBool(0.2))
+      Rng.fillBytes(Data.data() + I, Take);
+    else
+      std::copy(Pattern, Pattern + Take, Data.data() + I);
+  }
+  return Data;
+}
+
+/// Compresses with the single-scan codec — the decoder accepts any
+/// producer of the shared token format.
+ByteVector compress(const ByteVector &Data) {
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  return Codec.compress(ByteSpan(Data.data(), Data.size())).Payload;
+}
+
+/// Plans and decodes back; asserts the chunk survives.
+void expectDecodeRoundTrip(const GpuLaneDecompressor &Decoder,
+                           const ByteVector &Data) {
+  const ByteVector Payload = compress(Data);
+  const auto Plan = Decoder.plan(ByteSpan(Payload.data(), Payload.size()),
+                                 Data.size());
+  ASSERT_TRUE(Plan.has_value());
+  EXPECT_EQ(Plan->OriginalSize, Data.size());
+  EXPECT_EQ(Plan->PayloadSize, Payload.size());
+  ByteVector Out;
+  ASSERT_TRUE(GpuLaneDecompressor::runLanes(
+      ByteSpan(Payload.data(), Payload.size()), *Plan, Out));
+  EXPECT_EQ(Out, Data);
+}
+
+} // namespace
+
+TEST(GpuLaneDecompressor, PlanTilesPayloadAndOutput) {
+  const GpuLaneDecompressor Decoder(8);
+  const ByteVector Data = repetitiveData(4096, 1);
+  const ByteVector Payload = compress(Data);
+  const auto Plan = Decoder.plan(ByteSpan(Payload.data(), Payload.size()),
+                                 Data.size());
+  ASSERT_TRUE(Plan.has_value());
+  EXPECT_LE(Plan->Lanes.size(), 8u);
+  EXPECT_GE(Plan->Lanes.size(), 1u);
+  // Lane segments must tile both streams exactly, in order.
+  std::size_t PayloadPos = 0, OutputPos = 0;
+  for (const GpuDecodeLane &Lane : Plan->Lanes) {
+    EXPECT_EQ(Lane.PayloadBegin, PayloadPos);
+    EXPECT_EQ(Lane.OutputBegin, OutputPos);
+    EXPECT_LT(Lane.PayloadBegin, Lane.PayloadEnd);
+    EXPECT_LT(Lane.OutputBegin, Lane.OutputEnd);
+    PayloadPos = Lane.PayloadEnd;
+    OutputPos = Lane.OutputEnd;
+    EXPECT_EQ(Lane.Stats.LiteralBytes + Lane.Stats.MatchBytes,
+              Lane.OutputEnd - Lane.OutputBegin);
+  }
+  EXPECT_EQ(PayloadPos, Payload.size());
+  EXPECT_EQ(OutputPos, Data.size());
+}
+
+TEST(GpuLaneDecompressor, EmptyChunk) {
+  const GpuLaneDecompressor Decoder;
+  const auto Plan = Decoder.plan(ByteSpan(), 0);
+  ASSERT_TRUE(Plan.has_value());
+  EXPECT_TRUE(Plan->Lanes.empty());
+  ByteVector Out;
+  EXPECT_TRUE(GpuLaneDecompressor::runLanes(ByteSpan(), *Plan, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(GpuLaneDecompressor, OversizedChunkRejected) {
+  const GpuLaneDecompressor Decoder;
+  const ByteVector Payload(16, std::uint8_t{0});
+  EXPECT_FALSE(Decoder.plan(ByteSpan(Payload.data(), Payload.size()),
+                            LzCodec::MaxInputSize + 1)
+                   .has_value());
+}
+
+namespace {
+
+class DecodeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+} // namespace
+
+TEST_P(DecodeRoundTrip, LanePlannedStreamDecodes) {
+  const auto &[Lanes, Shape] = GetParam();
+  const GpuLaneDecompressor Decoder(Lanes);
+  ByteVector Data;
+  switch (Shape) {
+  case 0:
+    Data = randomData(4096, 3);
+    break;
+  case 1:
+    Data = repetitiveData(4096, 4);
+    break;
+  case 2:
+    Data = ByteVector(4096, 0x77);
+    break;
+  default:
+    Data = repetitiveData(16384, 5);
+  }
+  expectDecodeRoundTrip(Decoder, Data);
+}
+
+namespace {
+
+std::string decodeRoundTripName(
+    const ::testing::TestParamInfo<DecodeRoundTrip::ParamType> &Info) {
+  static const char *Shapes[] = {"random", "mixed", "constant", "big"};
+  return "lanes" + std::to_string(std::get<0>(Info.param)) + "_" +
+         Shapes[std::get<1>(Info.param)];
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, DecodeRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u, 32u),
+                       ::testing::Range(0, 4)),
+    decodeRoundTripName);
+
+TEST(GpuLaneDecompressor, DecodesGpuLaneRefinedBlocks) {
+  // The write-side lane compressor's refined stream is the same token
+  // format; the decode kernel must accept it (this is the production
+  // pairing: GpuLane-method blocks read back through the GPU).
+  const ByteVector Data = repetitiveData(8192, 6);
+  const GpuLaneCompressor Compressor;
+  const LaneOutputs Outputs =
+      Compressor.runLanes(ByteSpan(Data.data(), Data.size()));
+  const RefinedChunk Refined = GpuLaneCompressor::refine(
+      Outputs, ByteSpan(Data.data(), Data.size()));
+  const auto View =
+      decodeBlock(ByteSpan(Refined.Block.data(), Refined.Block.size()));
+  ASSERT_TRUE(View.has_value());
+  ASSERT_EQ(View->Method, BlockMethod::GpuLane);
+  const GpuLaneDecompressor Decoder(8);
+  const auto Plan = Decoder.plan(View->Payload, View->OriginalSize);
+  ASSERT_TRUE(Plan.has_value());
+  ByteVector Out;
+  ASSERT_TRUE(
+      GpuLaneDecompressor::runLanes(View->Payload, *Plan, Out));
+  EXPECT_EQ(Out, Data);
+}
+
+TEST(GpuLaneDecompressor, TokenSwitchAccounting) {
+  // Constant data decodes as one literal run plus long matches — few
+  // token-kind switches. Mixed data flips between kinds constantly.
+  // The divergence counter must reflect that ordering.
+  const GpuLaneDecompressor Decoder(8);
+  const ByteVector Constant(8192, std::uint8_t{0x42});
+  const ByteVector Mixed = repetitiveData(8192, 7);
+  const ByteVector ConstPayload = compress(Constant);
+  const ByteVector MixedPayload = compress(Mixed);
+  const auto ConstPlan = Decoder.plan(
+      ByteSpan(ConstPayload.data(), ConstPayload.size()), Constant.size());
+  const auto MixedPlan = Decoder.plan(
+      ByteSpan(MixedPayload.data(), MixedPayload.size()), Mixed.size());
+  ASSERT_TRUE(ConstPlan.has_value());
+  ASSERT_TRUE(MixedPlan.has_value());
+  EXPECT_LT(ConstPlan->totalTokenSwitches(),
+            MixedPlan->totalTokenSwitches());
+  // Sum over lanes equals the total.
+  std::uint32_t Sum = 0;
+  for (const GpuDecodeLane &Lane : MixedPlan->Lanes)
+    Sum += Lane.TokenSwitches;
+  EXPECT_EQ(Sum, MixedPlan->totalTokenSwitches());
+}
+
+TEST(GpuLaneDecompressor, CrossLaneRefsDetected) {
+  // Constant data: every match reaches back into earlier output, so
+  // once the stream is split across 8 lanes, later lanes must hold
+  // references that cross their own segment start.
+  const GpuLaneDecompressor Decoder(8);
+  const ByteVector Data(16384, std::uint8_t{0x5A});
+  const ByteVector Payload = compress(Data);
+  const auto Plan = Decoder.plan(ByteSpan(Payload.data(), Payload.size()),
+                                 Data.size());
+  ASSERT_TRUE(Plan.has_value());
+  ASSERT_GT(Plan->Lanes.size(), 1u);
+  std::uint32_t CrossRefs = 0;
+  for (const GpuDecodeLane &Lane : Plan->Lanes)
+    CrossRefs += Lane.CrossLaneRefs;
+  EXPECT_GT(CrossRefs, 0u);
+}
+
+TEST(GpuLaneDecompressor, MalformedPayloadsRejected) {
+  const GpuLaneDecompressor Decoder(8);
+  const ByteVector Data = repetitiveData(4096, 8);
+  ByteVector Payload = compress(Data);
+
+  // Truncation: the token walk runs off the end.
+  EXPECT_FALSE(Decoder.plan(ByteSpan(Payload.data(), Payload.size() - 1),
+                            Data.size())
+                   .has_value());
+  // Wrong original size: the stream does not produce it.
+  EXPECT_FALSE(Decoder.plan(ByteSpan(Payload.data(), Payload.size()),
+                            Data.size() - 1)
+                   .has_value());
+  // A zero back-distance is never valid.
+  ByteVector Bad = Payload;
+  for (std::size_t I = 0; I + 2 < Bad.size(); ++I) {
+    if ((Bad[I] & 0x80) != 0) { // first match token
+      Bad[I + 1] = 0;
+      Bad[I + 2] = 0;
+      break;
+    }
+    I += (Bad[I] & 0x7F) + 1; // skip literal run body
+  }
+  EXPECT_FALSE(
+      Decoder.plan(ByteSpan(Bad.data(), Bad.size()), Data.size())
+          .has_value());
+  // runLanes cross-checks the plan against the payload it gets.
+  const auto Plan = Decoder.plan(ByteSpan(Payload.data(), Payload.size()),
+                                 Data.size());
+  ASSERT_TRUE(Plan.has_value());
+  ByteVector Out;
+  EXPECT_FALSE(GpuLaneDecompressor::runLanes(
+      ByteSpan(Payload.data(), Payload.size() - 1), *Plan, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(GpuLaneDecompressor, DecodeCostModelIsMonotonic) {
+  const CostModel Model;
+  // More bytes or more divergence can only slow a lane down.
+  const double Base = Model.gpuDecodeLaneUs(512, 512, 16);
+  EXPECT_GT(Base, 0.0);
+  EXPECT_GT(Model.gpuDecodeLaneUs(1024, 512, 16), Base);
+  EXPECT_GT(Model.gpuDecodeLaneUs(512, 1024, 16), Base);
+  EXPECT_GT(Model.gpuDecodeLaneUs(512, 512, 64), Base);
+  // Literals stream slower than match copies (CODAG: match copies are
+  // coalesced reads of already-decoded output).
+  EXPECT_GT(Model.gpuDecodeLaneUs(1024, 0, 0),
+            Model.gpuDecodeLaneUs(0, 1024, 0));
+}
