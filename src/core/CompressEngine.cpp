@@ -26,10 +26,16 @@ CompressEngine::CompressEngine(const CostModel &Model,
   if (Config.Backend == CompressBackend::GpuLane)
     assert(Device && Device->present() &&
            "GPU compression requested without a GPU");
-  if (Obs.Metrics)
+  if (Obs.Metrics) {
     RawFallbackCounter = &Obs.Metrics->counter(
         "padre_compress_raw_fallback_total",
         "Chunks stored raw because compression did not pay");
+    if (Config.Backend == CompressBackend::GpuLane)
+      GpuFallbacks = &Obs.Metrics->counter(
+          "padre_gpu_fallback_total{family=\"compression\"}",
+          "GPU sub-batches re-compressed on the CPU after a device "
+          "fault");
+  }
 }
 
 void CompressEngine::compressBatch(std::span<const ChunkView> Chunks,
@@ -38,20 +44,21 @@ void CompressEngine::compressBatch(std::span<const ChunkView> Chunks,
   if (Chunks.empty())
     return;
   if (Config.Backend == CompressBackend::Cpu)
-    compressBatchCpu(Chunks, Out);
+    compressRangeCpu(Chunks, 0, Chunks.size(), Out);
   else
     compressBatchGpu(Chunks, Out);
 }
 
-void CompressEngine::compressBatchCpu(std::span<const ChunkView> Chunks,
+void CompressEngine::compressRangeCpu(std::span<const ChunkView> Chunks,
+                                      std::size_t Begin, std::size_t End,
                                       std::vector<CompressedChunk> &Out) {
   // One codec call per chunk, chunk-parallel across the pool (§3.2(1)).
   Pool.parallelForSlices(
-      0, Chunks.size(),
-      [&](std::size_t Begin, std::size_t End, unsigned) {
+      Begin, End,
+      [&](std::size_t SliceBegin, std::size_t SliceEnd, unsigned) {
         double Micros = 0.0;
         std::uint64_t Raw = 0;
-        for (std::size_t I = Begin; I < End; ++I) {
+        for (std::size_t I = SliceBegin; I < SliceEnd; ++I) {
           const ByteSpan Data = Chunks[I].Data;
           CompressResult Result = CpuCodec.compress(Data);
           const double CompressUs = Model.cpuCompressUs(
@@ -110,34 +117,51 @@ void CompressEngine::compressBatchGpu(std::span<const ChunkView> Chunks,
     std::size_t InBytes = 0;
     for (std::size_t I = Begin; I < End; ++I)
       InBytes += Chunks[I].Data.size();
-    Device->transferToDevice(InBytes);
+    fault::Status DeviceOk = Device->transferToDevice(InBytes);
 
     // Run the lane kernels functionally first; their per-lane outcomes
     // determine the kernel's modelled execution time under the SIMT
     // lockstep rule: every chunk costs lanes x its slowest lane
     // (§3.1(2) — branching lanes do not finish early).
+    std::size_t OutBytes = 0;
     double ExecMicros = 0.0;
-    for (std::size_t I = Begin; I < End; ++I) {
-      DeviceResults[I] = LaneCompressor.runLanes(Chunks[I].Data);
-      double SlowestLane = 0.0;
-      for (const CompressResult &Lane : DeviceResults[I].LaneResults)
-        SlowestLane = std::max(
-            SlowestLane, Model.gpuLaneUs(Lane.Stats.LiteralBytes,
-                                         Lane.Stats.MatchBytes));
-      ExecMicros += SlowestLane *
-                    static_cast<double>(DeviceResults[I].LaneResults.size());
+    if (DeviceOk.ok()) {
+      for (std::size_t I = Begin; I < End; ++I) {
+        DeviceResults[I] = LaneCompressor.runLanes(Chunks[I].Data);
+        double SlowestLane = 0.0;
+        for (const CompressResult &Lane : DeviceResults[I].LaneResults)
+          SlowestLane = std::max(
+              SlowestLane, Model.gpuLaneUs(Lane.Stats.LiteralBytes,
+                                           Lane.Stats.MatchBytes));
+        ExecMicros += SlowestLane *
+                      static_cast<double>(
+                          DeviceResults[I].LaneResults.size());
+      }
+
+      // The lane-parallel kernel over the whole sub-batch ("we design a
+      // compression algorithm that computes the chunk compression
+      // results at a time", §3.2(2)).
+      DeviceOk =
+          Device->launchKernel(KernelFamily::Compression, ExecMicros, nullptr);
+
+      // Device -> host: the unrefined per-lane token streams.
+      if (DeviceOk.ok()) {
+        for (std::size_t I = Begin; I < End; ++I)
+          OutBytes += DeviceResults[I].totalPayloadBytes();
+        DeviceOk = Device->transferFromDevice(OutBytes);
+      }
     }
 
-    // The lane-parallel kernel over the whole sub-batch ("we design a
-    // compression algorithm that computes the chunk compression
-    // results at a time", §3.2(2)).
-    Device->launchKernel(KernelFamily::Compression, ExecMicros, nullptr);
-
-    // Device -> host: the unrefined per-lane token streams.
-    std::size_t OutBytes = 0;
-    for (std::size_t I = Begin; I < End; ++I)
-      OutBytes += DeviceResults[I].totalPayloadBytes();
-    Device->transferFromDevice(OutBytes);
+    if (!DeviceOk.ok()) {
+      // Degraded mode: re-compress this sub-batch on the CPU path.
+      // Whatever the device produced is discarded — the output is
+      // bit-exact either way, only the modelled cost differs.
+      ++GpuFallbackCount;
+      if (GpuFallbacks)
+        GpuFallbacks->add(1);
+      compressRangeCpu(Chunks, Begin, End, Out);
+      continue;
+    }
 
     // Every chunk in the sub-batch waits for the whole kernel round
     // trip before its CPU refinement can start.

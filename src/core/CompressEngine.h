@@ -75,16 +75,25 @@ public:
                  const obs::ObsSinks &Obs = obs::ObsSinks());
 
   /// Compresses every chunk in the batch into \p Out (resized).
+  /// Infallible by construction: a GPU device fault re-compresses the
+  /// affected sub-batch on the CPU path (degraded mode), so callers
+  /// never see a partial batch.
   void compressBatch(std::span<const ChunkView> Chunks,
                      std::vector<CompressedChunk> &Out);
 
   /// Cumulative store-raw fallbacks.
   std::uint64_t rawFallbacks() const { return RawFallbacks.load(); }
 
+  /// GPU sub-batches re-compressed on the CPU after a device fault.
+  std::uint64_t gpuFallbackCount() const { return GpuFallbackCount; }
+
   const CompressEngineConfig &config() const { return Config; }
 
 private:
-  void compressBatchCpu(std::span<const ChunkView> Chunks,
+  /// CPU backend over [Begin, End) — also the GPU backend's per-sub-
+  /// batch fallback.
+  void compressRangeCpu(std::span<const ChunkView> Chunks,
+                        std::size_t Begin, std::size_t End,
                         std::vector<CompressedChunk> &Out);
   void compressBatchGpu(std::span<const ChunkView> Chunks,
                         std::vector<CompressedChunk> &Out);
@@ -97,8 +106,10 @@ private:
   LzCodec CpuCodec;
   GpuLaneCompressor LaneCompressor;
   std::atomic<std::uint64_t> RawFallbacks{0};
+  std::uint64_t GpuFallbackCount = 0;
   // Observability (null = disabled), cached at construction.
   obs::Counter *RawFallbackCounter = nullptr;
+  obs::Counter *GpuFallbacks = nullptr;
 };
 
 } // namespace padre

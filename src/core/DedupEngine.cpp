@@ -39,18 +39,22 @@ DedupEngine::DedupEngine(const CostModel &Model, ResourceLedger &Ledger,
           "padre_dedup_offload_fraction",
           "Adaptive fraction of each batch co-processed by the GPU");
       OffloadGauge->set(Offload);
+      GpuFallbacks = &Obs.Metrics->counter(
+          "padre_gpu_fallback_total{family=\"indexing\"}",
+          "GPU sub-batches re-run on the CPU path after a device fault");
     }
   }
 }
 
-void DedupEngine::processBatch(std::span<const ChunkView> Chunks,
-                               std::span<const std::uint64_t> NewLocations,
-                               std::vector<DedupItem> &Items) {
+fault::Status DedupEngine::processBatch(
+    std::span<const ChunkView> Chunks,
+    std::span<const std::uint64_t> NewLocations,
+    std::vector<DedupItem> &Items) {
   const std::size_t Count = Chunks.size();
   assert(NewLocations.size() == Count && "Batch arrays disagree");
   Items.assign(Count, DedupItem());
   if (Count == 0)
-    return;
+    return {};
 
   // Select the GPU co-processing subset by error-diffusion so any
   // fraction spreads evenly through the batch.
@@ -78,8 +82,8 @@ void DedupEngine::processBatch(std::span<const ChunkView> Chunks,
   // "GPU indexing is performed if the GPU is available, and CPU
   // indexing is performed if duplicate hashes are not found").
   if (!Selected.empty())
-    offloadToGpu(Chunks, Selected, Fingerprints, KnownDuplicate,
-                 ResolvedLocations, LatencyUs);
+    offloadToGpu(Chunks, Selected, IsSelected, Fingerprints,
+                 KnownDuplicate, ResolvedLocations, LatencyUs);
 
   // CPU hashing for everything the GPU did not take — chunk-parallel.
   Pool.parallelForSlices(
@@ -127,7 +131,7 @@ void DedupEngine::processBatch(std::span<const ChunkView> Chunks,
   if (Config.SerialIndexing)
     Ledger.chargeMicros(Resource::IndexLock, IndexMicros);
 
-  handleFlushes(Flushes);
+  const fault::Status FlushStatus = handleFlushes(Flushes);
 
   for (std::size_t I = 0; I < Count; ++I) {
     if (HitDepthHist && Results[I].Outcome == LookupOutcome::DupBuffer)
@@ -149,11 +153,13 @@ void DedupEngine::processBatch(std::span<const ChunkView> Chunks,
 
   if (GpuTable)
     adaptOffload();
+  return FlushStatus;
 }
 
 void DedupEngine::offloadToGpu(
     std::span<const ChunkView> Chunks,
     const std::vector<std::uint32_t> &Selected,
+    std::vector<std::uint8_t> &IsSelected,
     std::vector<Fingerprint> &Fingerprints,
     std::vector<std::uint8_t> &KnownDuplicate,
     std::vector<std::uint64_t> &ResolvedLocations,
@@ -172,32 +178,50 @@ void DedupEngine::offloadToGpu(
       Bytes += Size;
       ExecMicros += Model.gpuHashUs(Size) + Model.Gpu.ProbePerEntryUs;
     }
-    Device->transferToDevice(Bytes);
+    fault::Status DeviceOk = Device->transferToDevice(Bytes);
 
     // The kernel: SHA-1 per chunk, then a linear-scan probe of the
     // GPU-resident bin. Results are (slot, hit) pairs; location
     // metadata is resolved host-side afterwards.
-    Device->launchKernel(KernelFamily::Indexing, ExecMicros, [&] {
-      for (std::size_t I = Begin; I < End; ++I) {
-        const std::uint32_t Item = Selected[I];
-        Fingerprints[Item] = Fingerprint::ofData(Chunks[Item].Data);
-        const std::uint32_t Bin =
-            Index.layout().binOf(Fingerprints[Item]);
-        if (!GpuTable->coversBin(Bin))
-          continue;
-        const GpuProbeResult Probe = GpuTable->probe(Fingerprints[Item]);
-        if (Probe.Hit) {
-          KnownDuplicate[Item] = 1;
-          ResolvedLocations[Item] =
-              GpuTable->resolveLocation(Probe.SlotIndex);
+    if (DeviceOk.ok())
+      DeviceOk = Device->launchKernel(KernelFamily::Indexing, ExecMicros, [&] {
+        for (std::size_t I = Begin; I < End; ++I) {
+          const std::uint32_t Item = Selected[I];
+          Fingerprints[Item] = Fingerprint::ofData(Chunks[Item].Data);
+          const std::uint32_t Bin =
+              Index.layout().binOf(Fingerprints[Item]);
+          if (!GpuTable->coversBin(Bin))
+            continue;
+          const GpuProbeResult Probe = GpuTable->probe(Fingerprints[Item]);
+          if (Probe.Hit) {
+            KnownDuplicate[Item] = 1;
+            ResolvedLocations[Item] =
+                GpuTable->resolveLocation(Probe.SlotIndex);
+          }
         }
-      }
-    });
+      });
 
     // Digest + (slot, hit) pair back to the host.
     const std::size_t ResultBytes =
         (End - Begin) * (Fingerprint::Size + sizeof(std::uint32_t));
-    Device->transferFromDevice(ResultBytes);
+    if (DeviceOk.ok())
+      DeviceOk = Device->transferFromDevice(ResultBytes);
+
+    if (!DeviceOk.ok()) {
+      // Degraded mode: hand the sub-batch back to the CPU hash+index
+      // path. Any results the device produced are discarded (a DMA
+      // that corrupted in flight cannot be trusted).
+      for (std::size_t I = Begin; I < End; ++I) {
+        const std::uint32_t Item = Selected[I];
+        IsSelected[Item] = 0;
+        KnownDuplicate[Item] = 0;
+        ResolvedLocations[Item] = 0;
+      }
+      ++GpuFallbackCount;
+      if (GpuFallbacks)
+        GpuFallbacks->add(1);
+      continue;
+    }
 
     // Every chunk in the sub-batch waits for the whole round trip:
     // DMA in, launch, lockstep execution, DMA out.
@@ -211,7 +235,8 @@ void DedupEngine::offloadToGpu(
   }
 }
 
-void DedupEngine::handleFlushes(std::vector<FlushEvent> &Flushes) {
+fault::Status DedupEngine::handleFlushes(std::vector<FlushEvent> &Flushes) {
+  fault::Status First;
   if (BinFlushes)
     BinFlushes->add(Flushes.size());
   for (FlushEvent &Event : Flushes) {
@@ -220,18 +245,28 @@ void DedupEngine::handleFlushes(std::vector<FlushEvent> &Flushes) {
     // sequential writes for the SSD." (§3.3)
     const std::size_t LogBytes =
         Event.Locations.size() * Index.layout().cpuEntryBytes();
-    Ssd.writeSequential(LogBytes);
+    const fault::Status LogStatus = Ssd.writeSequential(LogBytes);
+    if (!LogStatus.ok() && First.ok())
+      First = LogStatus;
 
     // "And then, GPU bin in GPU memory are updated accordingly."
     if (GpuTable && GpuTable->coversBin(Event.Bin)) {
-      Device->transferToDevice(Event.Suffixes.size());
-      GpuTable->applyFlush(Event.Bin,
-                           ByteSpan(Event.Suffixes.data(),
-                                    Event.Suffixes.size()),
-                           Event.Locations);
+      if (Device->transferToDevice(Event.Suffixes.size()).ok()) {
+        GpuTable->applyFlush(Event.Bin,
+                             ByteSpan(Event.Suffixes.data(),
+                                      Event.Suffixes.size()),
+                             Event.Locations);
+      } else {
+        // The GPU table just misses these entries; probes fall through
+        // to the CPU index.
+        ++GpuFallbackCount;
+        if (GpuFallbacks)
+          GpuFallbacks->add(1);
+      }
     }
   }
   Flushes.clear();
+  return First;
 }
 
 void DedupEngine::adaptOffload() {
@@ -263,18 +298,18 @@ void DedupEngine::adaptOffload() {
     OffloadGauge->set(Offload);
 }
 
-void DedupEngine::finish() {
+fault::Status DedupEngine::finish() {
   std::vector<FlushEvent> Flushes;
   Index.flushAll(Flushes);
-  handleFlushes(Flushes);
+  return handleFlushes(Flushes);
 }
 
-void DedupEngine::restoreEntry(const Fingerprint &Fp,
-                               std::uint64_t Location) {
+fault::Status DedupEngine::restoreEntry(const Fingerprint &Fp,
+                                        std::uint64_t Location) {
   Ledger.chargeMicros(Resource::CpuPool, Model.Cpu.IndexMaintainUs);
   std::vector<FlushEvent> Flushes;
   (void)Index.upsert(Fp, Location, Flushes);
-  handleFlushes(Flushes);
+  return handleFlushes(Flushes);
 }
 
 bool DedupEngine::dropEntry(const Fingerprint &Fp) {

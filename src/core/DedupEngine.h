@@ -26,6 +26,7 @@
 #define PADRE_CORE_DEDUPENGINE_H
 
 #include "chunk/Chunker.h"
+#include "fault/Status.h"
 #include "gpu/GpuDevice.h"
 #include "index/DedupIndex.h"
 #include "index/GpuBinTable.h"
@@ -86,13 +87,17 @@ public:
 
   /// Deduplicates a batch. \p NewLocations[i] is the location chunk i
   /// will occupy if unique. Results land in \p Items (resized).
-  void processBatch(std::span<const ChunkView> Chunks,
-                    std::span<const std::uint64_t> NewLocations,
-                    std::vector<DedupItem> &Items);
+  /// GPU faults never fail the batch — a faulted sub-batch falls back
+  /// to the CPU hash+index path — so a non-ok status only reports a
+  /// bin-log SSD write that outlived its retry budget (the in-memory
+  /// index stays consistent; the log entries are lost).
+  fault::Status processBatch(std::span<const ChunkView> Chunks,
+                             std::span<const std::uint64_t> NewLocations,
+                             std::vector<DedupItem> &Items);
 
   /// End-of-stream: drains every bin buffer (SSD log write + GPU
   /// update included).
-  void finish();
+  fault::Status finish();
 
   /// Garbage collection: drops \p Fp from the CPU index and, if
   /// resident, the GPU bin table. Returns true if any entry existed.
@@ -100,7 +105,10 @@ public:
 
   /// Restore path: inserts \p Fp -> \p Location if absent, applying
   /// any resulting bin drains (SSD log + GPU table update) as usual.
-  void restoreEntry(const Fingerprint &Fp, std::uint64_t Location);
+  fault::Status restoreEntry(const Fingerprint &Fp, std::uint64_t Location);
+
+  /// GPU sub-batches re-run on the CPU path after a device fault.
+  std::uint64_t gpuFallbackCount() const { return GpuFallbackCount; }
 
   /// Current adaptive offload fraction.
   double offloadFraction() const { return Offload; }
@@ -110,16 +118,22 @@ public:
 
 private:
   /// Runs the GPU hash+probe kernels over the selected chunk indices;
-  /// fills KnownDuplicate/Locations for hits.
+  /// fills KnownDuplicate/Locations for hits. A device fault in a
+  /// sub-batch clears its chunks' IsSelected flags so the CPU path
+  /// picks them up (degraded-mode fallback).
   void offloadToGpu(std::span<const ChunkView> Chunks,
                     const std::vector<std::uint32_t> &Selected,
+                    std::vector<std::uint8_t> &IsSelected,
                     std::vector<Fingerprint> &Fingerprints,
                     std::vector<std::uint8_t> &KnownDuplicate,
                     std::vector<std::uint64_t> &ResolvedLocations,
                     std::vector<double> &LatencyUs);
 
   /// Applies flush events: sequential SSD log write + GPU bin update.
-  void handleFlushes(std::vector<FlushEvent> &Flushes);
+  /// Returns the first log-write failure; a faulted GPU-table DMA only
+  /// skips that table update (subsequent GPU probes miss and fall
+  /// through to the CPU index — correct, slower).
+  fault::Status handleFlushes(std::vector<FlushEvent> &Flushes);
 
   /// Nudges the offload fraction toward CPU/GPU busy balance.
   void adaptOffload();
@@ -136,10 +150,12 @@ private:
   // Ledger snapshot at the last adaptation step.
   double LastCpuBusy = 0.0;
   double LastGpuBusy = 0.0;
+  std::uint64_t GpuFallbackCount = 0;
   // Observability instruments (null = disabled), cached at construction.
   obs::LogHistogram *HitDepthHist = nullptr;
   obs::Gauge *OffloadGauge = nullptr;
   obs::Counter *BinFlushes = nullptr;
+  obs::Counter *GpuFallbacks = nullptr;
 };
 
 } // namespace padre

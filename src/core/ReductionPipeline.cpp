@@ -54,6 +54,12 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
   Ssd.setObs(Obs);
   if (Device)
     Device->setObs(Obs);
+  if (Config.Faults) {
+    Ssd.setFaultInjector(Config.Faults);
+    if (Device)
+      Device->setFaultInjector(Config.Faults);
+    Config.Faults->setObs(Config.Metrics);
+  }
 
   DedupEngineConfig DedupConfig = Config.Dedup;
   DedupConfig.GpuOffload = modeOffloadsDedup(Config.Mode);
@@ -104,40 +110,58 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
     DecodeFailTotal =
         &M.counter("padre_read_decode_fail_total",
                    "Chunk reads that failed to decode (corruption)");
+    ScrubRepairedTotal =
+        &M.counter("padre_scrub_repair_total{outcome=\"repaired\"}",
+                   "Scrubbed chunks repaired from a verified copy");
+    ScrubLostTotal =
+        &M.counter("padre_scrub_repair_total{outcome=\"lost\"}",
+                   "Scrubbed chunks with no trusted repair source");
   }
 }
 
-void ReductionPipeline::write(ByteSpan Stream,
-                              std::vector<ChunkWriteInfo> *InfoOut) {
+fault::Status ReductionPipeline::write(ByteSpan Stream,
+                                       std::vector<ChunkWriteInfo> *InfoOut) {
   std::vector<ChunkView> Chunks;
   StreamChunker->split(Stream, LogicalBytes, Chunks);
+  fault::Status First;
   for (std::size_t Begin = 0; Begin < Chunks.size();
        Begin += Config.BatchChunks) {
     const std::size_t End =
         std::min(Chunks.size(), Begin + Config.BatchChunks);
-    processBatch(std::span<const ChunkView>(Chunks.data() + Begin,
-                                            End - Begin),
-                 InfoOut, /*Raw=*/false);
+    const fault::Status St =
+        processBatch(std::span<const ChunkView>(Chunks.data() + Begin,
+                                                End - Begin),
+                     InfoOut, /*Raw=*/false);
+    if (!St.ok() && First.ok())
+      First = St;
   }
+  return First;
 }
 
-void ReductionPipeline::writeRaw(ByteSpan Stream,
-                                 std::vector<ChunkWriteInfo> *InfoOut) {
+fault::Status
+ReductionPipeline::writeRaw(ByteSpan Stream,
+                            std::vector<ChunkWriteInfo> *InfoOut) {
   std::vector<ChunkView> Chunks;
   StreamChunker->split(Stream, LogicalBytes, Chunks);
+  fault::Status First;
   for (std::size_t Begin = 0; Begin < Chunks.size();
        Begin += Config.BatchChunks) {
     const std::size_t End =
         std::min(Chunks.size(), Begin + Config.BatchChunks);
-    processBatch(std::span<const ChunkView>(Chunks.data() + Begin,
-                                            End - Begin),
-                 InfoOut, /*Raw=*/true);
+    const fault::Status St =
+        processBatch(std::span<const ChunkView>(Chunks.data() + Begin,
+                                                End - Begin),
+                     InfoOut, /*Raw=*/true);
+    if (!St.ok() && First.ok())
+      First = St;
   }
+  return First;
 }
 
-void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
-                                     std::vector<ChunkWriteInfo> *InfoOut,
-                                     bool Raw) {
+fault::Status
+ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
+                                std::vector<ChunkWriteInfo> *InfoOut,
+                                bool Raw) {
   const std::size_t Count = Chunks.size();
   if (BatchChunksHist)
     BatchChunksHist->observe(static_cast<double>(Count));
@@ -179,10 +203,11 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
     NewLocations[I] = NextLocation + I;
 
   std::vector<DedupItem> Items;
+  fault::Status BatchStatus;
   {
     const obs::StageSpan Stage(Config.Trace, Ledger, "dedup");
     if (Dedup && !Raw) {
-      Dedup->processBatch(Chunks, NewLocations, Items);
+      BatchStatus = Dedup->processBatch(Chunks, NewLocations, Items);
     } else {
       // Dedup disabled (compression-only benchmarks) or a raw pass-
       // through write: every chunk is treated as unique. Raw writes
@@ -312,9 +337,28 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       const std::uint64_t Location = Items[UniqueIndices[I]].Location;
       DestageBytes += Compressed[I].Block.size();
       StoredBytes += Compressed[I].Block.size();
+      // Injected payload corruption: flip one bit in the encoded block
+      // on its way to the store. The block's CRC no longer matches, so
+      // the read path (or scrub) reports ChunkCorrupt.
+      if (Config.Faults) {
+        if (const auto Fault =
+                Config.Faults->sample(fault::FaultSite::Destage)) {
+          ByteVector &Block = Compressed[I].Block;
+          if (Block.size() > BlockHeaderSize) {
+            const std::size_t Offset =
+                BlockHeaderSize +
+                static_cast<std::size_t>(
+                    Fault->RandomBits % (Block.size() - BlockHeaderSize));
+            Block[Offset] ^= static_cast<std::uint8_t>(
+                1u << ((Fault->RandomBits >> 32) & 7u));
+          }
+        }
+      }
       Store.put(Location, std::move(Compressed[I].Block));
     }
-    Ssd.writeSequential(DestageBytes);
+    const fault::Status DestageStatus = Ssd.writeSequential(DestageBytes);
+    if (!DestageStatus.ok() && BatchStatus.ok())
+      BatchStatus = DestageStatus;
   }
 
   // Per-chunk modelled service latency: request path + dedup stage +
@@ -351,12 +395,14 @@ void ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
     StoredBytesTotal->add(StoredBytes - PrevStored);
     VerifyMismatchTotal->add(VerifyMismatches - PrevMismatches);
   }
+  return BatchStatus;
 }
 
-void ReductionPipeline::finish() {
+fault::Status ReductionPipeline::finish() {
   const obs::StageSpan Stage(Config.Trace, Ledger, "drain");
   if (Dedup)
-    Dedup->finish();
+    return Dedup->finish();
+  return {};
 }
 
 std::optional<ByteVector> ReductionPipeline::readBack() {
@@ -372,16 +418,26 @@ std::optional<ByteVector> ReductionPipeline::readBack() {
 
 std::optional<ByteVector>
 ReductionPipeline::readChunk(std::uint64_t Location, bool BypassCache) {
+  auto Result = readChunkEx(Location, BypassCache);
+  if (!Result.ok())
+    return std::nullopt;
+  return std::move(Result.value());
+}
+
+fault::Expected<ByteVector>
+ReductionPipeline::readChunkEx(std::uint64_t Location, bool BypassCache) {
   const obs::StageSpan Stage(Config.Trace, Ledger, "read");
   if (Cache && !BypassCache) {
     if (auto Hit = Cache->get(Location)) {
       Ledger.chargeMicros(Resource::CpuPool,
                           Plat.Model.Cpu.CacheCopyPerByteNs * 1e-3 *
                               static_cast<double>(Hit->size()));
-      return Hit;
+      return std::move(*Hit);
     }
   }
-  Ssd.readRandom4K(1);
+  const fault::Status IoStatus = Ssd.readRandom4K(1);
+  if (!IoStatus.ok())
+    return IoStatus;
   const auto Chunk = Store.readChunk(Location);
   if (!Chunk) {
     // Corrupt (or missing) payload: drop any stale cached copy — a
@@ -392,14 +448,71 @@ ReductionPipeline::readChunk(std::uint64_t Location, bool BypassCache) {
       Cache->invalidate(Location);
     if (DecodeFailTotal)
       DecodeFailTotal->add(1);
-    return std::nullopt;
+    return fault::Status::error(Store.contains(Location)
+                                    ? fault::ErrorCode::ChunkCorrupt
+                                    : fault::ErrorCode::ChunkMissing,
+                                Location);
   }
   Ledger.chargeMicros(Resource::CpuPool,
                       Plat.Model.Cpu.DecompressPerByteNs * 1e-3 *
                           static_cast<double>(Chunk->size()));
   if (Cache && !BypassCache)
     Cache->put(Location, *Chunk);
-  return Chunk;
+  return *Chunk;
+}
+
+ScrubOutcome ReductionPipeline::scrubChunk(std::uint64_t Location,
+                                           const Fingerprint &Fp) {
+  // Snapshot any cached decoded copy *before* the flash read: a
+  // corrupt flash read invalidates cached copies, and the snapshot is
+  // the only repair source this pipeline has.
+  std::optional<ByteVector> Candidate;
+  if (Cache)
+    Candidate = Cache->get(Location);
+
+  auto Read = readChunkEx(Location, /*BypassCache=*/true);
+  if (Read.ok()) {
+    Ledger.chargeMicros(Resource::CpuPool,
+                        Plat.Model.cpuHashUs(Read->size()));
+    if (Fingerprint::ofData(ByteSpan(Read->data(), Read->size())) == Fp)
+      return ScrubOutcome::Healthy;
+    // A block that decodes but hashes wrong is corruption the CRC
+    // missed (or a collision-shared chunk); fall through to repair.
+    if (Cache)
+      Cache->invalidate(Location);
+  }
+
+  // Verify the candidate against the tracker's fingerprint before
+  // trusting it — an unverified copy could launder corruption back in.
+  if (Candidate) {
+    Ledger.chargeMicros(Resource::CpuPool,
+                        Plat.Model.cpuHashUs(Candidate->size()));
+    if (Fingerprint::ofData(
+            ByteSpan(Candidate->data(), Candidate->size())) == Fp) {
+      // Re-encode conservatively as a raw block and rewrite in place.
+      // The rewrite is an in-place page update, not part of a destage
+      // stream, so it is charged as a random write.
+      Ledger.chargeMicros(Resource::CpuPool,
+                          Plat.Model.Cpu.CacheCopyPerByteNs * 1e-3 *
+                              static_cast<double>(Candidate->size()));
+      if (Ssd.writeRandom4K(1).ok()) {
+        ByteVector Block = encodeBlock(
+            BlockMethod::Raw,
+            static_cast<std::uint32_t>(Candidate->size()),
+            ByteSpan(Candidate->data(), Candidate->size()));
+        Store.erase(Location);
+        Store.put(Location, std::move(Block));
+        if (Cache)
+          Cache->put(Location, *Candidate);
+        if (ScrubRepairedTotal)
+          ScrubRepairedTotal->add(1);
+        return ScrubOutcome::Repaired;
+      }
+    }
+  }
+  if (ScrubLostTotal)
+    ScrubLostTotal->add(1);
+  return ScrubOutcome::Lost;
 }
 
 bool ReductionPipeline::dropIndexEntry(const Fingerprint &Fp) {

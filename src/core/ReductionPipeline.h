@@ -30,6 +30,8 @@
 #include "core/CompressEngine.h"
 #include "core/DedupEngine.h"
 #include "core/Report.h"
+#include "fault/FaultInjector.h"
+#include "fault/Status.h"
 #include "obs/Obs.h"
 #include "util/Stats.h"
 #include "sim/Platform.h"
@@ -82,6 +84,11 @@ struct PipelineConfig {
   /// OBSERVABILITY.md for the span schema and metric catalogue.
   obs::TraceRecorder *Trace = nullptr;
   obs::MetricsRegistry *Metrics = nullptr;
+  /// Fault injector (non-owning; must outlive the pipeline). Attached
+  /// to the SSD model, the GPU device and the destage stage. Null (or
+  /// an empty plan) leaves every code path and modelled cost
+  /// bit-identical to a fault-free build; see DESIGN.md fault model.
+  fault::FaultInjector *Faults = nullptr;
 
   PipelineConfig() {
     Dedup.Index.BinBits = 10;
@@ -98,6 +105,9 @@ struct ChunkWriteInfo {
   std::uint32_t Size = 0;
 };
 
+/// Per-chunk result of scrub-and-repair (see scrubChunk).
+enum class ScrubOutcome { Healthy, Repaired, Lost };
+
 /// The inline reduction pipeline for one storage volume.
 class ReductionPipeline {
 public:
@@ -106,8 +116,12 @@ public:
   /// Ingests a write stream (any multiple of calls). The stream is
   /// chunked, deduplicated, compressed and destaged per the mode.
   /// When \p InfoOut is non-null, one ChunkWriteInfo per chunk is
-  /// appended in stream order.
-  void write(ByteSpan Stream, std::vector<ChunkWriteInfo> *InfoOut = nullptr);
+  /// appended in stream order. GPU faults are recovered transparently
+  /// (CPU fallback); the returned status reports the first SSD write
+  /// that outlived its retry budget — every batch is still processed,
+  /// so the functional store stays complete.
+  fault::Status write(ByteSpan Stream,
+                      std::vector<ChunkWriteInfo> *InfoOut = nullptr);
 
   /// Ingests a write stream bypassing both reduction operations: every
   /// chunk is stored raw at a fresh location (the §1 "store first,
@@ -115,11 +129,11 @@ public:
   /// core/BackgroundReducer.h). Fingerprints in \p InfoOut are still
   /// computed (the background pass needs them for its index), charged
   /// as CPU hashing.
-  void writeRaw(ByteSpan Stream,
-                std::vector<ChunkWriteInfo> *InfoOut = nullptr);
+  fault::Status writeRaw(ByteSpan Stream,
+                         std::vector<ChunkWriteInfo> *InfoOut = nullptr);
 
   /// End-of-run: drains the bin buffers (SSD log writes + GPU update).
-  void finish();
+  fault::Status finish();
 
   /// Recipe of everything written so far (for read-back).
   const StreamRecipe &recipe() const { return Recipe; }
@@ -138,6 +152,20 @@ public:
   /// absent or corrupt.
   std::optional<ByteVector> readChunk(std::uint64_t Location,
                                       bool BypassCache = false);
+
+  /// Like readChunk but preserves the failure class: SsdReadError
+  /// (flash command gave up), ChunkMissing (no block at the location)
+  /// or ChunkCorrupt (block failed its CRC/format check).
+  fault::Expected<ByteVector> readChunkEx(std::uint64_t Location,
+                                          bool BypassCache = false);
+
+  /// Verifies the chunk stored at \p Location against \p Fp (charging
+  /// the flash read + hash) and, when it is corrupt or unreadable,
+  /// attempts a repair from a fingerprint-verified cached copy: the
+  /// copy is re-encoded as a raw block and rewritten in place. Lost
+  /// means no trusted repair source existed (or the repair write
+  /// itself failed) — the caller keeps the typed loss.
+  ScrubOutcome scrubChunk(std::uint64_t Location, const Fingerprint &Fp);
 
   /// Read-cache statistics (null when disabled). The non-const form is
   /// for the restore engine (src/restore), which uses the cache as its
@@ -188,8 +216,8 @@ public:
   const Platform &platform() const { return Plat; }
 
 private:
-  void processBatch(std::span<const ChunkView> Chunks,
-                    std::vector<ChunkWriteInfo> *InfoOut, bool Raw);
+  fault::Status processBatch(std::span<const ChunkView> Chunks,
+                             std::vector<ChunkWriteInfo> *InfoOut, bool Raw);
 
   Platform Plat;
   PipelineConfig Config;
@@ -234,6 +262,8 @@ private:
   obs::Counter *StoredBytesTotal = nullptr;
   obs::Counter *VerifyMismatchTotal = nullptr;
   obs::Counter *DecodeFailTotal = nullptr;
+  obs::Counter *ScrubRepairedTotal = nullptr;
+  obs::Counter *ScrubLostTotal = nullptr;
 };
 
 } // namespace padre

@@ -187,6 +187,28 @@ Volume::ScrubReport Volume::scrub() {
   return Report;
 }
 
+Volume::ScrubRepairReport Volume::scrubAndRepair() {
+  ScrubRepairReport Report;
+  for (const ChunkRecord &Record : Tracker->records()) {
+    ++Report.ChunksScanned;
+    switch (Pipeline.scrubChunk(Record.Location, Record.Fp)) {
+    case ScrubOutcome::Healthy:
+      break;
+    case ScrubOutcome::Repaired:
+      ++Report.CorruptChunks;
+      ++Report.RepairedChunks;
+      break;
+    case ScrubOutcome::Lost:
+      ++Report.CorruptChunks;
+      ++Report.LostChunks;
+      Report.LostLocations.push_back(Record.Location);
+      break;
+    }
+  }
+  std::sort(Report.LostLocations.begin(), Report.LostLocations.end());
+  return Report;
+}
+
 VolumeStats Volume::stats() const {
   VolumeStats Stats;
   for (std::uint64_t Location : Mapping)

@@ -136,6 +136,23 @@ public:
   /// domain.
   ScrubReport scrub();
 
+  struct ScrubRepairReport {
+    std::uint64_t ChunksScanned = 0;
+    std::uint64_t CorruptChunks = 0;
+    std::uint64_t RepairedChunks = 0;
+    std::uint64_t LostChunks = 0;
+    /// Locations that could not be repaired (no fingerprint-verified
+    /// copy available, or the repair write failed).
+    std::vector<std::uint64_t> LostLocations;
+  };
+
+  /// scrub() plus repair: each corrupt/unreadable chunk is rewritten
+  /// from a fingerprint-verified cached copy when one exists (see
+  /// ReductionPipeline::scrubChunk). Chunks with no trusted repair
+  /// source are reported as lost — their data is gone until the caller
+  /// restores from a replica or an image.
+  ScrubRepairReport scrubAndRepair();
+
   /// Flushes pipeline buffers (bin-buffer drains).
   void flush() { Pipeline.finish(); }
 

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault injector implementation. The per-op decision is a splitmix64
+/// counter-mode PRF over (seed, site, op, rule): no generator state is
+/// shared between ops, so concurrency cannot perturb the sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultInjector.h"
+
+#include "util/Random.h"
+
+#include <algorithm>
+
+using namespace padre;
+using namespace padre::fault;
+
+namespace {
+
+/// Hash-combine in counter mode: feeds \p Word into \p Seed and
+/// returns a well-mixed 64-bit output.
+std::uint64_t mix(std::uint64_t Seed, std::uint64_t Word) {
+  std::uint64_t State = Seed ^ (Word + 0x9E3779B97F4A7C15ULL +
+                                (Seed << 6) + (Seed >> 2));
+  return Random::splitMix64(State);
+}
+
+double toUnitDouble(std::uint64_t Bits) {
+  return static_cast<double>(Bits >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &Plan) : Plan(Plan) {
+  for (auto &Count : OpCounts)
+    Count.store(0);
+  for (auto &Count : InjectedCounts)
+    Count.store(0);
+  for (std::size_t I = 0; I < this->Plan.Rules.size(); ++I) {
+    FaultRule &Rule = this->Plan.Rules[I];
+    std::sort(Rule.AtOps.begin(), Rule.AtOps.end());
+    SiteRules[static_cast<unsigned>(Rule.Site)].push_back(I);
+  }
+}
+
+void FaultInjector::setObs(obs::MetricsRegistry *Metrics) {
+  if (!Metrics)
+    return;
+  for (unsigned K = 0; K < FaultKindCount; ++K) {
+    std::string Name = "padre_fault_injected_total{kind=\"";
+    Name += faultKindName(static_cast<FaultKind>(K));
+    Name += "\"}";
+    KindCounters[K] = &Metrics->counter(Name, "Injected faults by kind");
+  }
+}
+
+std::optional<InjectedFault> FaultInjector::sample(FaultSite Site) {
+  const unsigned SiteIdx = static_cast<unsigned>(Site);
+  const std::uint64_t Op =
+      OpCounts[SiteIdx].fetch_add(1, std::memory_order_relaxed);
+  const std::vector<std::size_t> &Rules = SiteRules[SiteIdx];
+  if (Rules.empty())
+    return std::nullopt;
+
+  const std::uint64_t SiteSeed = mix(Plan.Seed, 0xFA01u + SiteIdx);
+  for (const std::size_t RuleIdx : Rules) {
+    const FaultRule &Rule = Plan.Rules[RuleIdx];
+    bool Fires = false;
+    const std::uint64_t Draw = mix(mix(SiteSeed, Op), RuleIdx);
+    if (Rule.Probability > 0.0 && toUnitDouble(Draw) < Rule.Probability)
+      Fires = true;
+    if (!Fires && !Rule.AtOps.empty() &&
+        std::binary_search(Rule.AtOps.begin(), Rule.AtOps.end(), Op))
+      Fires = true;
+    if (!Fires && Rule.EveryN != 0 && (Op + 1) % Rule.EveryN == 0)
+      Fires = true;
+    if (!Fires)
+      continue;
+
+    InjectedFault Fault;
+    Fault.Kind = Rule.Kind;
+    switch (Rule.Kind) {
+    case FaultKind::IoTimeout:
+      Fault.ExtraUs = Plan.Policy.SsdTimeoutUs;
+      break;
+    case FaultKind::GpuKernelHang:
+      Fault.ExtraUs = Plan.Policy.GpuHangTimeoutUs;
+      break;
+    default:
+      break;
+    }
+    Fault.RandomBits = mix(Draw, 0xB17F11Bu);
+    InjectedCounts[static_cast<unsigned>(Rule.Kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (obs::Counter *C = KindCounters[static_cast<unsigned>(Rule.Kind)])
+      C->add(1);
+    return Fault;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultInjector::injectedTotal() const {
+  std::uint64_t Total = 0;
+  for (const auto &Count : InjectedCounts)
+    Total += Count.load(std::memory_order_relaxed);
+  return Total;
+}

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seeded, deterministic fault injector. Each instrumented device
+/// calls `sample(Site)` once per modelled operation; the injector
+/// decides — as a pure function of (plan seed, site, the site's op
+/// ordinal, rule index) — whether a fault strikes. Because the
+/// decision is counter-based rather than shared-stream-based, the
+/// same plan replays bit-identically regardless of how calls from
+/// different sites interleave, and two runs of the same workload see
+/// the same faults at the same ops.
+///
+/// With no rules at a site, `sample` costs one relaxed fetch_add and
+/// returns nullopt — and the devices skip even that when no injector
+/// is attached, so the no-fault hot path is untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_FAULT_FAULTINJECTOR_H
+#define PADRE_FAULT_FAULTINJECTOR_H
+
+#include "fault/FaultPlan.h"
+#include "obs/MetricsRegistry.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace padre {
+namespace fault {
+
+/// One injected fault, as delivered to the faulting device.
+struct InjectedFault {
+  FaultKind Kind = FaultKind::LatentSectorError;
+  /// Extra modelled latency the fault costs (timeout stall, hang
+  /// occupancy); 0 for instant failures.
+  double ExtraUs = 0.0;
+  /// Deterministic per-fault entropy — bit-flip sites derive the
+  /// corrupted offset/bit from this so corruption is replayable too.
+  std::uint64_t RandomBits = 0;
+};
+
+/// Thread-safe. One injector serves every device of one pipeline.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &Plan);
+
+  /// Called once per modelled op at \p Site. Returns the fault to
+  /// apply, or nullopt. Always advances the site's op ordinal.
+  std::optional<InjectedFault> sample(FaultSite Site);
+
+  const FaultPlan &plan() const { return Plan; }
+
+  /// Ops sampled at \p Site so far.
+  std::uint64_t ops(FaultSite Site) const {
+    return OpCounts[static_cast<unsigned>(Site)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Faults injected of \p Kind / in total.
+  std::uint64_t injected(FaultKind Kind) const {
+    return InjectedCounts[static_cast<unsigned>(Kind)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t injectedTotal() const;
+
+  /// Registers `padre_fault_injected_total{kind=...}` counters. Call
+  /// before traffic; \p Metrics must outlive the injector.
+  void setObs(obs::MetricsRegistry *Metrics);
+
+private:
+  FaultPlan Plan;
+  /// Indices into Plan.Rules, bucketed by site (built once).
+  std::vector<std::size_t> SiteRules[FaultSiteCount];
+  std::atomic<std::uint64_t> OpCounts[FaultSiteCount];
+  std::atomic<std::uint64_t> InjectedCounts[FaultKindCount];
+  obs::Counter *KindCounters[FaultKindCount] = {};
+};
+
+} // namespace fault
+} // namespace padre
+
+#endif // PADRE_FAULT_FAULTINJECTOR_H

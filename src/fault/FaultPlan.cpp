@@ -1,0 +1,214 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault-plan names, validity matrix and spec parser.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace padre;
+using namespace padre::fault;
+
+const char *padre::fault::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::SsdRead:
+    return "ssd-read";
+  case FaultSite::SsdWrite:
+    return "ssd-write";
+  case FaultSite::GpuKernel:
+    return "gpu-kernel";
+  case FaultSite::GpuDma:
+    return "gpu-dma";
+  case FaultSite::Destage:
+    return "destage";
+  }
+  assert(false && "Unknown fault site");
+  return "?";
+}
+
+const char *padre::fault::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::LatentSectorError:
+    return "latent-sector-error";
+  case FaultKind::IoTimeout:
+    return "io-timeout";
+  case FaultKind::GpuEccError:
+    return "gpu-ecc";
+  case FaultKind::GpuKernelHang:
+    return "gpu-hang";
+  case FaultKind::GpuDmaCorrupt:
+    return "gpu-dma-corrupt";
+  case FaultKind::PayloadBitFlip:
+    return "payload-bitflip";
+  }
+  assert(false && "Unknown fault kind");
+  return "?";
+}
+
+bool padre::fault::faultKindValidAt(FaultSite Site, FaultKind Kind) {
+  switch (Site) {
+  case FaultSite::SsdRead:
+  case FaultSite::SsdWrite:
+    return Kind == FaultKind::LatentSectorError ||
+           Kind == FaultKind::IoTimeout;
+  case FaultSite::GpuKernel:
+    return Kind == FaultKind::GpuEccError || Kind == FaultKind::GpuKernelHang;
+  case FaultSite::GpuDma:
+    return Kind == FaultKind::GpuDmaCorrupt;
+  case FaultSite::Destage:
+    return Kind == FaultKind::PayloadBitFlip;
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<std::string> splitOn(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  std::size_t Begin = 0;
+  for (;;) {
+    const std::size_t End = Text.find(Sep, Begin);
+    if (End == std::string::npos) {
+      Parts.push_back(Text.substr(Begin));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+}
+
+bool parseU64(const std::string &Text, std::uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return End == Text.c_str() + Text.size();
+}
+
+bool parseF64(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(Text.c_str(), &End);
+  return End == Text.c_str() + Text.size();
+}
+
+bool parseSite(const std::string &Name, FaultSite &Out) {
+  for (unsigned S = 0; S < FaultSiteCount; ++S) {
+    if (Name == faultSiteName(static_cast<FaultSite>(S))) {
+      Out = static_cast<FaultSite>(S);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Spec kinds are short aliases; the canonical names also parse.
+bool parseKind(const std::string &Name, FaultKind &Out) {
+  static constexpr const char *Aliases[FaultKindCount] = {
+      "error", "timeout", "ecc", "hang", "dma-corrupt", "bitflip"};
+  for (unsigned K = 0; K < FaultKindCount; ++K) {
+    if (Name == Aliases[K] || Name == faultKindName(static_cast<FaultKind>(K))) {
+      Out = static_cast<FaultKind>(K);
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool padre::fault::parseFaultPlan(const std::string &Spec, FaultPlan &Out,
+                                  std::string &Error) {
+  FaultPlan Plan;
+  for (const std::string &Clause : splitOn(Spec, ';')) {
+    if (Clause.empty())
+      continue;
+
+    // Global settings: key=value with no ':'.
+    if (Clause.find(':') == std::string::npos) {
+      const std::size_t Eq = Clause.find('=');
+      if (Eq == std::string::npos) {
+        Error = "clause '" + Clause + "' is neither key=value nor a rule";
+        return false;
+      }
+      const std::string Key = Clause.substr(0, Eq);
+      const std::string Value = Clause.substr(Eq + 1);
+      std::uint64_t U = 0;
+      double F = 0.0;
+      if (Key == "seed" && parseU64(Value, U)) {
+        Plan.Seed = U;
+      } else if (Key == "retries" && parseU64(Value, U)) {
+        Plan.Policy.MaxRetries = static_cast<unsigned>(U);
+      } else if (Key == "backoff-us" && parseF64(Value, F) && F >= 0.0) {
+        Plan.Policy.RetryBackoffUs = F;
+      } else if (Key == "timeout-us" && parseF64(Value, F) && F >= 0.0) {
+        Plan.Policy.SsdTimeoutUs = F;
+      } else if (Key == "hang-us" && parseF64(Value, F) && F >= 0.0) {
+        Plan.Policy.GpuHangTimeoutUs = F;
+      } else {
+        Error = "bad setting '" + Clause + "'";
+        return false;
+      }
+      continue;
+    }
+
+    // Rule: site:kind:trigger.
+    const std::vector<std::string> Parts = splitOn(Clause, ':');
+    if (Parts.size() != 3) {
+      Error = "rule '" + Clause + "' is not site:kind:trigger";
+      return false;
+    }
+    FaultRule Rule;
+    if (!parseSite(Parts[0], Rule.Site)) {
+      Error = "unknown fault site '" + Parts[0] + "'";
+      return false;
+    }
+    if (!parseKind(Parts[1], Rule.Kind)) {
+      Error = "unknown fault kind '" + Parts[1] + "'";
+      return false;
+    }
+    if (!faultKindValidAt(Rule.Site, Rule.Kind)) {
+      Error = std::string("fault kind '") + faultKindName(Rule.Kind) +
+              "' cannot occur at site '" + faultSiteName(Rule.Site) + "'";
+      return false;
+    }
+    const std::string &Trigger = Parts[2];
+    if (Trigger.rfind("p=", 0) == 0) {
+      double P = 0.0;
+      if (!parseF64(Trigger.substr(2), P) || P < 0.0 || P > 1.0) {
+        Error = "bad probability in '" + Clause + "'";
+        return false;
+      }
+      Rule.Probability = P;
+    } else if (Trigger.rfind("at=", 0) == 0) {
+      for (const std::string &Item : splitOn(Trigger.substr(3), ',')) {
+        std::uint64_t Op = 0;
+        if (!parseU64(Item, Op)) {
+          Error = "bad op index in '" + Clause + "'";
+          return false;
+        }
+        Rule.AtOps.push_back(Op);
+      }
+      std::sort(Rule.AtOps.begin(), Rule.AtOps.end());
+    } else if (Trigger.rfind("every=", 0) == 0) {
+      std::uint64_t N = 0;
+      if (!parseU64(Trigger.substr(6), N) || N == 0) {
+        Error = "bad period in '" + Clause + "'";
+        return false;
+      }
+      Rule.EveryN = N;
+    } else {
+      Error = "bad trigger in '" + Clause + "' (want p=, at= or every=)";
+      return false;
+    }
+    Plan.Rules.push_back(std::move(Rule));
+  }
+  Out = std::move(Plan);
+  return true;
+}

@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarative fault plans. A plan names *where* faults strike (a
+/// FaultSite on a modelled device), *what* strikes (a FaultKind), and
+/// *when* (per-op probability, an explicit op schedule, or every Nth
+/// op), plus the recovery policy knobs (retry budget, backoff,
+/// timeout latencies). Plans are pure data: the same plan handed to
+/// two FaultInjectors produces bit-identical fault sequences, which is
+/// what makes fault tests replayable from a single seed.
+///
+/// `parseFaultPlan` accepts the `padrectl --fault-plan` mini-language:
+/// semicolon-separated clauses, each either a global setting or a
+/// site:kind:trigger rule —
+///
+///   seed=N | retries=N | backoff-us=F | timeout-us=F | hang-us=F
+///   <site>:<kind>:<trigger>
+///     site    := ssd-read | ssd-write | gpu-kernel | gpu-dma | destage
+///     kind    := error | timeout | ecc | hang | dma-corrupt | bitflip
+///     trigger := p=F | at=N[,N...] | every=N
+///
+/// e.g. `seed=7;ssd-read:error:p=0.01;gpu-kernel:hang:at=2,5`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_FAULT_FAULTPLAN_H
+#define PADRE_FAULT_FAULTPLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace padre {
+namespace fault {
+
+/// Injection points instrumented by the modelled devices and the
+/// pipeline destage stage.
+enum class FaultSite : unsigned {
+  SsdRead = 0,  ///< SsdModel read commands (sequential and random)
+  SsdWrite = 1, ///< SsdModel write commands
+  GpuKernel = 2,///< GpuDevice::launchKernel
+  GpuDma = 3,   ///< GpuDevice transfers (both directions)
+  Destage = 4,  ///< encoded payloads on their way into the chunk store
+};
+
+inline constexpr unsigned FaultSiteCount = 5;
+
+/// What goes wrong when a rule fires.
+enum class FaultKind : unsigned {
+  LatentSectorError = 0, ///< SSD op fails; retryable
+  IoTimeout = 1,         ///< SSD op stalls (extra latency), then fails
+  GpuEccError = 2,       ///< kernel completes, results uncorrectable
+  GpuKernelHang = 3,     ///< kernel never completes; killed at timeout
+  GpuDmaCorrupt = 4,     ///< transfer delivers corrupt data
+  PayloadBitFlip = 5,    ///< one bit flips in a stored block payload
+};
+
+inline constexpr unsigned FaultKindCount = 6;
+
+/// "ssd-read", "ssd-write", "gpu-kernel", "gpu-dma", "destage".
+const char *faultSiteName(FaultSite Site);
+
+/// "latent-sector-error", "io-timeout", "gpu-ecc", "gpu-hang",
+/// "gpu-dma-corrupt", "payload-bitflip".
+const char *faultKindName(FaultKind Kind);
+
+/// Whether \p Kind is something that can physically happen at \p Site
+/// (a kernel cannot suffer a latent sector error).
+bool faultKindValidAt(FaultSite Site, FaultKind Kind);
+
+/// One injection rule. Exactly one trigger should be set; when several
+/// are, any of them firing injects the fault.
+struct FaultRule {
+  FaultSite Site = FaultSite::SsdRead;
+  FaultKind Kind = FaultKind::LatentSectorError;
+  /// Per-op Bernoulli probability in [0, 1].
+  double Probability = 0.0;
+  /// Explicit 0-based op indices at the site (kept sorted).
+  std::vector<std::uint64_t> AtOps;
+  /// Fires on every Nth op (ops N-1, 2N-1, ...); 0 = disabled.
+  std::uint64_t EveryN = 0;
+};
+
+/// Recovery policy: how hard the system tries before surfacing a
+/// typed error, and what the modelled degradation costs.
+struct FaultPolicy {
+  /// Retries after the first failed SSD attempt before giving up.
+  unsigned MaxRetries = 4;
+  /// Linear backoff: attempt k waits k * RetryBackoffUs before the
+  /// re-issue. Charged to the SSD lane (degradation is modelled time).
+  double RetryBackoffUs = 100.0;
+  /// Extra latency an IoTimeout adds to the stalled attempt.
+  double SsdTimeoutUs = 500.0;
+  /// Time a hung kernel occupies the GPU before the host kills it.
+  double GpuHangTimeoutUs = 2000.0;
+};
+
+/// A complete plan. An empty plan (no rules) injects nothing and — by
+/// the injector's fast-path contract — leaves every modelled cost
+/// bit-identical to a run with no injector attached.
+struct FaultPlan {
+  std::uint64_t Seed = 0x5EED;
+  FaultPolicy Policy;
+  std::vector<FaultRule> Rules;
+
+  bool empty() const { return Rules.empty(); }
+};
+
+/// Parses the --fault-plan mini-language (see file comment). Returns
+/// false and fills \p Error on malformed input, unknown names, or a
+/// kind/site mismatch.
+bool parseFaultPlan(const std::string &Spec, FaultPlan &Out,
+                    std::string &Error);
+
+} // namespace fault
+} // namespace padre
+
+#endif // PADRE_FAULT_FAULTPLAN_H

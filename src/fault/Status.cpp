@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error-code names.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fault/Status.h"
+
+using namespace padre;
+using namespace padre::fault;
+
+const char *padre::fault::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::SsdReadError:
+    return "ssd-read-error";
+  case ErrorCode::SsdWriteError:
+    return "ssd-write-error";
+  case ErrorCode::GpuKernelError:
+    return "gpu-kernel-error";
+  case ErrorCode::GpuDmaError:
+    return "gpu-dma-error";
+  case ErrorCode::ChunkMissing:
+    return "chunk-missing";
+  case ErrorCode::ChunkCorrupt:
+    return "chunk-corrupt";
+  case ErrorCode::DecodeError:
+    return "decode-error";
+  case ErrorCode::ChunkLost:
+    return "chunk-lost";
+  }
+  assert(false && "Unknown error code");
+  return "?";
+}

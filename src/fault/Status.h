@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed error propagation for the fault-tolerant pipeline paths.
+/// Inline reduction sits on the primary write path, so a modelled
+/// device fault must surface as a recoverable value — never an assert.
+/// `Status` is a two-word code+detail pair (no allocation, cheap to
+/// return by value); `Expected<T>` carries either a result or a
+/// non-ok Status, for read-path functions that previously returned
+/// std::optional and lost the failure reason.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_FAULT_STATUS_H
+#define PADRE_FAULT_STATUS_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace padre {
+namespace fault {
+
+/// Every failure class a pipeline operation can surface. The code
+/// identifies *what* went wrong; Status::detail() carries the where
+/// (typically a chunk location) when one exists.
+enum class ErrorCode : std::uint8_t {
+  Ok = 0,
+  /// A latent sector error or timeout persisted past the retry budget.
+  SsdReadError,
+  SsdWriteError,
+  /// GPU kernel hang or uncorrectable ECC error; results discarded.
+  GpuKernelError,
+  /// PCIe DMA delivered corrupt data (payload CRC mismatch on arrival).
+  GpuDmaError,
+  /// No block stored at the requested location.
+  ChunkMissing,
+  /// A stored block failed its CRC/format check.
+  ChunkCorrupt,
+  /// A well-formed block whose payload failed to decode.
+  DecodeError,
+  /// Scrub found corruption and no verified repair source exists.
+  ChunkLost,
+};
+
+/// Stable lower-case name for \p Code ("ok", "ssd-read-error", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// A success/error result. Default-constructed is Ok. Deliberately
+/// not [[nodiscard]] at the type level: write-path callers that run
+/// fault-free by construction (no injector attached) may ignore it.
+class Status {
+public:
+  Status() = default; ///< Ok — `return {};` is the success return.
+
+  static Status error(ErrorCode Code, std::uint64_t Detail = 0) {
+    assert(Code != ErrorCode::Ok && "error() requires a non-Ok code");
+    Status S;
+    S.Code = Code;
+    S.Detail = Detail;
+    return S;
+  }
+
+  bool ok() const { return Code == ErrorCode::Ok; }
+  explicit operator bool() const { return ok(); }
+
+  ErrorCode code() const { return Code; }
+  /// Failure context (chunk location, op index); 0 when none applies.
+  std::uint64_t detail() const { return Detail; }
+  const char *message() const { return errorCodeName(Code); }
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::uint64_t Detail = 0;
+};
+
+/// A value or a non-ok Status (C++20 predates std::expected). The
+/// moved-from/value-less states are guarded by asserts, matching the
+/// std::optional idiom already used across the codebase.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Status St) : St(St) {
+    assert(!St.ok() && "Expected from an Ok status carries no value");
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "value() on an errored Expected");
+    return *Value;
+  }
+  const T &value() const {
+    assert(ok() && "value() on an errored Expected");
+    return *Value;
+  }
+  T *operator->() { return &value(); }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+
+  /// The error (Ok when a value is present, for uniform logging).
+  Status status() const { return St; }
+
+private:
+  std::optional<T> Value;
+  Status St;
+};
+
+} // namespace fault
+} // namespace padre
+
+#endif // PADRE_FAULT_STATUS_H

@@ -7,6 +7,8 @@
 
 #include "gpu/GpuDevice.h"
 
+#include "fault/FaultInjector.h"
+
 #include <cassert>
 
 using namespace padre;
@@ -73,7 +75,7 @@ void GpuDevice::setObs(const obs::ObsSinks &Obs) {
                                    "Bytes moved over the PCIe link");
 }
 
-void GpuDevice::transferToDevice(std::size_t Bytes) {
+fault::Status GpuDevice::transferToDevice(std::size_t Bytes) {
   assert(present() && "No GPU on this platform");
   const obs::LaneSpan Span(Trace, Ledger, Resource::Pcie, "dma:h2d",
                            obs::CategoryDma);
@@ -81,9 +83,12 @@ void GpuDevice::transferToDevice(std::size_t Bytes) {
   Ledger.countHostToDevice(Bytes);
   if (BytesH2d)
     BytesH2d->add(Bytes);
+  if (Faults && Faults->sample(fault::FaultSite::GpuDma))
+    return fault::Status::error(fault::ErrorCode::GpuDmaError);
+  return {};
 }
 
-void GpuDevice::transferFromDevice(std::size_t Bytes) {
+fault::Status GpuDevice::transferFromDevice(std::size_t Bytes) {
   assert(present() && "No GPU on this platform");
   const obs::LaneSpan Span(Trace, Ledger, Resource::Pcie, "dma:d2h",
                            obs::CategoryDma);
@@ -91,10 +96,13 @@ void GpuDevice::transferFromDevice(std::size_t Bytes) {
   Ledger.countDeviceToHost(Bytes);
   if (BytesD2h)
     BytesD2h->add(Bytes);
+  if (Faults && Faults->sample(fault::FaultSite::GpuDma))
+    return fault::Status::error(fault::ErrorCode::GpuDmaError);
+  return {};
 }
 
-void GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
-                             const std::function<void()> &Body) {
+fault::Status GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
+                                      const std::function<void()> &Body) {
   assert(present() && "No GPU on this platform");
   assert(ExecMicros >= 0.0 && "Negative kernel execution time");
   static constexpr const char *SpanNames[KernelFamilyCount] = {
@@ -105,14 +113,28 @@ void GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
                            obs::CategoryKernel);
   const double Penalty =
       MixedMode.load() ? Model.Gpu.MixedKernelPenalty : 1.0;
+  std::optional<fault::InjectedFault> Fault;
+  if (Faults)
+    Fault = Faults->sample(fault::FaultSite::GpuKernel);
+  // A hung kernel occupies the device until the host kills it at the
+  // hang timeout; an ECC-errored kernel runs to completion but its
+  // results are uncorrectable. Either way Body is skipped — the
+  // functional results never existed or are discarded.
+  const double ChargedExecUs =
+      (Fault && Fault->Kind == fault::FaultKind::GpuKernelHang)
+          ? Fault->ExtraUs
+          : ExecMicros;
   Ledger.chargeMicros(Resource::Gpu,
-                      (Model.Gpu.LaunchUs + ExecMicros) * Penalty);
+                      (Model.Gpu.LaunchUs + ChargedExecUs) * Penalty);
   Ledger.countKernelLaunch();
   LaunchCounts[static_cast<unsigned>(Family)].fetch_add(1);
   if (obs::Counter *C = LaunchCounters[static_cast<unsigned>(Family)])
     C->add(1);
+  if (Fault)
+    return fault::Status::error(fault::ErrorCode::GpuKernelError);
   if (Body)
     Body();
+  return {};
 }
 
 std::uint64_t GpuDevice::launches(KernelFamily Family) const {

@@ -23,6 +23,7 @@
 #ifndef PADRE_GPU_GPUDEVICE_H
 #define PADRE_GPU_GPUDEVICE_H
 
+#include "fault/Status.h"
 #include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
@@ -32,6 +33,10 @@
 #include <functional>
 
 namespace padre {
+
+namespace fault {
+class FaultInjector;
+} // namespace fault
 
 /// Kernel families tracked by the device (for reports and for the
 /// mixed-kernel penalty).
@@ -70,18 +75,27 @@ public:
 
   std::uint64_t memoryUsedBytes() const { return MemoryUsed.load(); }
 
-  /// Charges a host-to-device DMA of \p Bytes to the PCIe link.
-  void transferToDevice(std::size_t Bytes);
+  /// Charges a host-to-device DMA of \p Bytes to the PCIe link. With a
+  /// fault injector attached, the transfer may deliver corrupt data:
+  /// the time is still charged (the DMA ran; the arrival CRC failed)
+  /// and a GpuDmaError status is returned for the caller's CPU
+  /// fallback.
+  fault::Status transferToDevice(std::size_t Bytes);
 
-  /// Charges a device-to-host DMA of \p Bytes to the PCIe link.
-  void transferFromDevice(std::size_t Bytes);
+  /// Charges a device-to-host DMA of \p Bytes to the PCIe link. Same
+  /// fault contract as transferToDevice.
+  fault::Status transferFromDevice(std::size_t Bytes);
 
   /// Launches a kernel: runs \p Body functionally on the calling thread
   /// and charges launch latency plus \p ExecMicros of execution to the
   /// GPU resource (both scaled by the mixed-kernel penalty when mixed
-  /// mode is enabled).
-  void launchKernel(KernelFamily Family, double ExecMicros,
-                    const std::function<void()> &Body);
+  /// mode is enabled). Injected kernel faults skip \p Body (an ECC
+  /// error's results are discarded; a hung kernel never finishes, and
+  /// is charged the plan's hang timeout instead of its execution time)
+  /// and return GpuKernelError — the caller re-runs the work on the
+  /// CPU path.
+  fault::Status launchKernel(KernelFamily Family, double ExecMicros,
+                             const std::function<void()> &Body);
 
   /// Enables/disables the mixed-kernel occupancy penalty. Set by the
   /// pipeline when both reduction operations offload to the GPU.
@@ -97,12 +111,19 @@ public:
   /// outlive the device.
   void setObs(const obs::ObsSinks &Obs);
 
+  /// Attaches a fault injector (null detaches; must outlive the
+  /// device). Call before any traffic.
+  void setFaultInjector(fault::FaultInjector *Injector) {
+    Faults = Injector;
+  }
+
   /// The cost model the device was built with.
   const CostModel &costModel() const { return Model; }
 
 private:
   CostModel Model;
   ResourceLedger &Ledger;
+  fault::FaultInjector *Faults = nullptr;
   std::atomic<std::uint64_t> MemoryUsed{0};
   std::atomic<bool> MixedMode{false};
   std::atomic<std::uint64_t> LaunchCounts[KernelFamilyCount];

@@ -57,6 +57,8 @@ ReadPipeline::ReadPipeline(ReductionPipeline &Pipeline,
     OwnedDevice = std::make_unique<GpuDevice>(Model, Pipeline.ledger());
     OwnedDevice->setObs(
         obs::ObsSinks{Pipe.config().Trace, Pipe.config().Metrics});
+    if (Pipe.config().Faults)
+      OwnedDevice->setFaultInjector(Pipe.config().Faults);
     Device = OwnedDevice.get();
   }
 
@@ -96,6 +98,11 @@ ReadPipeline::ReadPipeline(ReductionPipeline &Pipeline,
                                   "Decode batches by executing resource");
     GpuBatchesTotal = &M->counter("padre_read_batches_total{mode=\"gpu\"}",
                                   "Decode batches by executing resource");
+    if (Device)
+      GpuFallbackTotal = &M->counter(
+          "padre_gpu_fallback_total{family=\"decompression\"}",
+          "GPU decode sub-batches re-decoded on the CPU after a device "
+          "fault");
   }
 }
 
@@ -110,15 +117,20 @@ void ReadPipeline::resetMeasurement() {
 }
 
 bool ReadPipeline::readLocations(std::span<const std::uint64_t> Locations,
-                                 std::vector<ByteVector> &Out) {
+                                 std::vector<ByteVector> &Out,
+                                 std::vector<ReadFailure> *Failures) {
+  // Every batch runs even after a failure: a mid-stream bad chunk must
+  // not strand the remaining fetches (the caller may be restoring
+  // everything else around a known-lost chunk).
+  bool Ok = true;
   for (std::size_t Begin = 0; Begin < Locations.size();
        Begin += Config.BatchDepth) {
     const std::size_t End =
         std::min(Locations.size(), Begin + Config.BatchDepth);
-    if (!processBatch(Locations.subspan(Begin, End - Begin), Out))
-      return false;
+    if (!processBatch(Locations.subspan(Begin, End - Begin), Out, Failures))
+      Ok = false;
   }
-  return true;
+  return Ok;
 }
 
 std::optional<ByteVector>
@@ -148,7 +160,8 @@ void ReadPipeline::noteFailure(std::uint64_t Location) {
 }
 
 bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
-                                std::vector<ByteVector> &Out) {
+                                std::vector<ByteVector> &Out,
+                                std::vector<ReadFailure> *Failures) {
   ResourceLedger &Ledger = Pipe.ledger();
   obs::TraceRecorder *Trace = Pipe.config().Trace;
   ChunkCache *Cache = Pipe.readCache();
@@ -198,27 +211,32 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
 
     // Resolve encoded blocks; a location absent from the store is a
     // failed read (the recipe/mapping references a chunk GC dropped or
-    // that never destaged).
+    // that never destaged). The miss is recorded and the rest of the
+    // batch proceeds — one lost chunk must not strand its neighbours.
     for (BatchItem &Item : Items) {
       const auto Block = Store.encodedBlock(Item.Location);
       if (!Block) {
-        noteFailure(Item.Location);
-        return false;
+        Item.Failed = true;
+        Item.Error = fault::ErrorCode::ChunkMissing;
+        continue;
       }
       Item.Encoded = *Block;
     }
 
     // Coalescing: destage writes a batch's unique chunks at adjacent
     // locations, so sorted misses form sequential runs on flash.
-    std::vector<std::size_t> Order(Items.size());
-    for (std::size_t I = 0; I < Order.size(); ++I)
-      Order[I] = I;
+    // Missing chunks issue no flash traffic.
+    std::vector<std::size_t> Order;
+    Order.reserve(Items.size());
+    for (std::size_t I = 0; I < Items.size(); ++I)
+      if (!Items[I].Failed)
+        Order.push_back(I);
     std::sort(Order.begin(), Order.end(),
               [&](std::size_t A, std::size_t B) {
                 return Items[A].Location < Items[B].Location;
               });
 
-    const std::size_t MissCount = Items.size();
+    const std::size_t MissCount = Order.size();
     SsdChunks += MissCount;
     if (SsdChunksTotal)
       SsdChunksTotal->add(MissCount);
@@ -260,42 +278,52 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
       }
 
       // Charge the run: one sequential stream, or a random 4K read
-      // for a singleton.
+      // for a singleton. A flash command that exhausts its retry
+      // budget fails every chunk riding it — the other runs still
+      // complete (independent commands).
       std::uint64_t RunBytes = 0;
       for (std::size_t Idx : Run)
         RunBytes += Items[Idx].Encoded.size();
       EncodedBytesIn += RunBytes;
       double ShareUs;
+      fault::Status IoStatus;
       if (Run.size() > 1) {
-        Pipe.ssd().readSequential(RunBytes);
+        IoStatus = Pipe.ssd().readSequential(RunBytes);
         ++CoalescedRuns;
         if (CoalescedRunsTotal)
           CoalescedRunsTotal->add(1);
         ShareUs = Model.ssdSeqReadUs(RunBytes) /
                   static_cast<double>(Run.size());
       } else {
-        Pipe.ssd().readRandom4K(1);
+        IoStatus = Pipe.ssd().readRandom4K(1);
         ++RandomReads;
         ShareUs = Model.Ssd.RandRead4KUs;
       }
-      for (std::size_t Idx : Run)
+      for (std::size_t Idx : Run) {
         Items[Idx].FetchShareUs = ShareUs;
+        if (!IoStatus.ok()) {
+          Items[Idx].Failed = true;
+          Items[Idx].Error = fault::ErrorCode::SsdReadError;
+        }
+      }
     }
   }
 
   //===------------------------------------------------------------===//
   // Stage 2: decode — parse headers, then CPU pool or GPU kernel.
+  // Fetch-failed items skip the stage; decode failures are per-item.
   //===------------------------------------------------------------===//
-  bool Ok = true;
   {
     const obs::StageSpan Stage(Trace, Ledger, "restore:decode");
 
     std::vector<BatchItem *> CpuItems, GpuItems;
     for (BatchItem &Item : Items) {
+      if (Item.Failed)
+        continue;
       const auto View = decodeBlock(Item.Encoded);
       if (!View) {
         Item.Failed = true;
-        Ok = false;
+        Item.Error = fault::ErrorCode::ChunkCorrupt;
         continue;
       }
       Item.Method = View->Method;
@@ -307,32 +335,46 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
         CpuItems.push_back(&Item);
     }
 
-    if (Ok && !CpuItems.empty())
-      Ok = decodeCpu(CpuItems);
-    if (Ok && !GpuItems.empty())
-      Ok = decodeGpu(GpuItems);
+    if (!CpuItems.empty())
+      decodeCpu(CpuItems);
+    if (!GpuItems.empty())
+      decodeGpu(GpuItems);
 
-    // Fill the cache: every decoded chunk, readahead included — the
-    // cache as front tier is the whole point of fetching ahead.
-    if (Ok && Cache)
+    // Fill the cache: every successfully decoded chunk, readahead
+    // included — the cache as front tier is the whole point of
+    // fetching ahead. Failed items must NOT pollute the cache: an
+    // empty/garbage buffer under a live location would satisfy later
+    // reads with wrong data.
+    if (Cache)
       for (BatchItem &Item : Items)
-        Cache->put(Item.Location, Item.Decoded);
+        if (!Item.Failed)
+          Cache->put(Item.Location, Item.Decoded);
   }
 
-  if (!Ok) {
-    for (const BatchItem &Item : Items)
-      if (Item.Failed)
-        noteFailure(Item.Location);
-    return false;
+  // Failure accounting: count + invalidate per failed item; only
+  // *requested* (non-readahead) failures surface to the caller — a
+  // speculative readahead miss is not the reader's problem.
+  bool Ok = true;
+  for (const BatchItem &Item : Items) {
+    if (!Item.Failed)
+      continue;
+    noteFailure(Item.Location);
+    if (!Item.Readahead) {
+      Ok = false;
+      if (Failures)
+        Failures->push_back(ReadFailure{Item.Location, Item.Error});
+    }
   }
 
   // Deliver and account. No ledger charges below — the stage spans
-  // above already tile every lane.
+  // above already tile every lane. Failed requests deliver an empty
+  // buffer (their slot stays default-constructed).
   for (std::size_t I = 0; I < Locations.size(); ++I) {
     if (Source[I] != CacheHit) {
       const BatchItem &Item = Items[Source[I]];
       LatencyUs[I] = Item.FetchShareUs + Item.DecodeUs;
-      Out[Base + I] = Item.Decoded;
+      if (!Item.Failed)
+        Out[Base + I] = Item.Decoded;
     }
     BytesOut += Out[Base + I].size();
     LatencyHist.add(LatencyUs[I]);
@@ -345,10 +387,10 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
       Delivered += Out[Base + I].size();
     ReadBytesTotal->add(Delivered);
   }
-  return true;
+  return Ok;
 }
 
-bool ReadPipeline::decodeCpu(const std::vector<BatchItem *> &Items) {
+void ReadPipeline::decodeCpu(const std::vector<BatchItem *> &Items) {
   ++CpuBatches;
   if (CpuBatchesTotal)
     CpuBatchesTotal->add(1);
@@ -383,19 +425,18 @@ bool ReadPipeline::decodeCpu(const std::vector<BatchItem *> &Items) {
           Item.DecodeUs += Us;
           const BlockView View{Item.Method, Item.OriginalSize,
                                Item.Payload};
+          Item.Decoded.clear();
           Item.Decoded.reserve(Item.OriginalSize);
-          if (!decodeChunkPayload(View, Item.Decoded))
+          if (!decodeChunkPayload(View, Item.Decoded)) {
             Item.Failed = true;
+            Item.Error = fault::ErrorCode::DecodeError;
+          }
         }
         Pipe.ledger().chargeMicros(Resource::CpuPool, Micros);
       });
-  for (const BatchItem *Item : Items)
-    if (Item->Failed)
-      return false;
-  return true;
 }
 
-bool ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
+void ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
   assert(Device && "GPU decode without device");
   const std::size_t SubBatch = Model.Gpu.DecompressBatchChunks;
 
@@ -407,7 +448,8 @@ bool ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
 
     // CPU pre-parse across the pool: split every token stream into
     // lane segments. Planning doubles as validation — a malformed
-    // payload fails here, before any device traffic.
+    // payload fails here, before any device traffic, and only fails
+    // its own chunk.
     Pipe.pool().parallelForSlices(
         Begin, End, [&](std::size_t SliceBegin, std::size_t SliceEnd,
                         unsigned) {
@@ -421,26 +463,27 @@ bool ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
             Micros += PlanUs;
             Item.DecodeUs += PlanUs;
             Item.Plan = Decoder.plan(Item.Payload, Item.OriginalSize);
-            if (!Item.Plan)
+            if (!Item.Plan) {
               Item.Failed = true;
+              Item.Error = fault::ErrorCode::DecodeError;
+            }
           }
           Pipe.ledger().chargeMicros(Resource::CpuPool, Micros);
         });
-    for (std::size_t I = Begin; I < End; ++I)
-      if (Items[I]->Failed)
-        return false;
 
-    // Host -> device: the compressed payloads.
+    // Host -> device: the compressed payloads (planned chunks only).
     std::size_t InBytes = 0;
     for (std::size_t I = Begin; I < End; ++I)
-      InBytes += Items[I]->Payload.size();
-    Device->transferToDevice(InBytes);
+      if (Items[I]->Plan)
+        InBytes += Items[I]->Payload.size();
 
     // Kernel time under the SIMT lockstep rule: every chunk costs
     // lanes x its slowest lane, with divergence priced per token-kind
     // switch (compress/GpuLaneDecompressor.h).
     double ExecMicros = 0.0;
     for (std::size_t I = Begin; I < End; ++I) {
+      if (!Items[I]->Plan)
+        continue;
       const GpuDecodePlan &Plan = *Items[I]->Plan;
       double SlowestLane = 0.0;
       for (const GpuDecodeLane &Lane : Plan.Lanes)
@@ -452,26 +495,59 @@ bool ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
       ExecMicros += SlowestLane * static_cast<double>(Plan.Lanes.size());
     }
 
+    fault::Status DeviceOk = Device->transferToDevice(InBytes);
+
     // The lane-parallel kernel over the whole sub-batch; the body is
-    // the functional decode.
-    Device->launchKernel(KernelFamily::Decompression, ExecMicros, [&] {
-      for (std::size_t I = Begin; I < End; ++I) {
-        BatchItem &Item = *Items[I];
-        Item.Decoded.reserve(Item.OriginalSize);
-        if (!GpuLaneDecompressor::runLanes(Item.Payload, *Item.Plan,
-                                           Item.Decoded))
-          Item.Failed = true;
-      }
-    });
-    for (std::size_t I = Begin; I < End; ++I)
-      if (Items[I]->Failed)
-        return false;
+    // the functional decode. An injected kernel fault skips the body.
+    if (DeviceOk.ok())
+      DeviceOk =
+          Device->launchKernel(KernelFamily::Decompression, ExecMicros, [&] {
+            for (std::size_t I = Begin; I < End; ++I) {
+              BatchItem &Item = *Items[I];
+              if (!Item.Plan)
+                continue;
+              Item.Decoded.reserve(Item.OriginalSize);
+              if (!GpuLaneDecompressor::runLanes(Item.Payload, *Item.Plan,
+                                                 Item.Decoded)) {
+                Item.Failed = true;
+                Item.Error = fault::ErrorCode::DecodeError;
+              }
+            }
+          });
 
     // Device -> host: the decoded chunks.
     std::size_t OutBytes = 0;
     for (std::size_t I = Begin; I < End; ++I)
-      OutBytes += Items[I]->OriginalSize;
-    Device->transferFromDevice(OutBytes);
+      if (Items[I]->Plan)
+        OutBytes += Items[I]->OriginalSize;
+    if (DeviceOk.ok())
+      DeviceOk = Device->transferFromDevice(OutBytes);
+
+    if (!DeviceOk.ok()) {
+      // Degraded mode: re-decode this sub-batch on the CPU path.
+      // Whatever the device produced (including DMA-corrupt output) is
+      // discarded — the CPU decode is authoritative, so the delivered
+      // bytes are bit-exact either way; only the modelled cost
+      // differs. Plan failures stay failed: the payload is malformed
+      // on any backend.
+      ++GpuDecodeFallbacks;
+      if (GpuFallbackTotal)
+        GpuFallbackTotal->add(1);
+      std::vector<BatchItem *> Retry;
+      Retry.reserve(End - Begin);
+      for (std::size_t I = Begin; I < End; ++I) {
+        BatchItem &Item = *Items[I];
+        if (!Item.Plan)
+          continue;
+        Item.Failed = false;
+        Item.Error = fault::ErrorCode::Ok;
+        Item.Decoded.clear();
+        Retry.push_back(&Item);
+      }
+      if (!Retry.empty())
+        decodeCpu(Retry);
+      continue;
+    }
 
     // Every chunk in the sub-batch waits for the whole round trip —
     // the same latency semantics as the write side's GPU batches.
@@ -481,9 +557,9 @@ bool ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
                                (Model.Gpu.LaunchUs + ExecMicros) * Penalty +
                                Model.pcieTransferUs(OutBytes);
     for (std::size_t I = Begin; I < End; ++I)
-      Items[I]->DecodeUs += RoundTripUs;
+      if (Items[I]->Plan)
+        Items[I]->DecodeUs += RoundTripUs;
   }
-  return true;
 }
 
 DecodeMode ReadPipeline::probeMode() const {

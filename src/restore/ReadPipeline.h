@@ -60,6 +60,14 @@ enum class DecodeMode {
 /// Returns "cpu", "gpu" or "auto".
 const char *decodeModeName(DecodeMode Mode);
 
+/// One failed chunk read: where and why. SsdReadError means the flash
+/// command exhausted its retry budget; ChunkMissing/ChunkCorrupt and
+/// DecodeError classify store-level damage.
+struct ReadFailure {
+  std::uint64_t Location = 0;
+  fault::ErrorCode Code = fault::ErrorCode::Ok;
+};
+
 /// Restore pipeline configuration.
 struct ReadConfig {
   /// Chunk fetches gathered per batch (the read-side analogue of
@@ -89,12 +97,16 @@ public:
 
   /// Reads the chunks at \p Locations, appending one decoded buffer
   /// per location to \p Out in order. Duplicate locations fetch and
-  /// decode once and copy out per requester. Returns false on the
-  /// first chunk that is missing or fails to decode (the failure is
-  /// counted and any stale cache entry invalidated; \p Out may hold a
-  /// prefix).
+  /// decode once and copy out per requester. A chunk that is missing,
+  /// unreadable (SSD retry budget exhausted) or corrupt does NOT abort
+  /// the batch: every remaining fetch still completes, the failed
+  /// request delivers an empty buffer, and — when \p Failures is
+  /// non-null — one ReadFailure per failed location records the typed
+  /// cause. Returns true iff every requested chunk was delivered.
+  /// Failures are counted and any stale cache entry invalidated.
   bool readLocations(std::span<const std::uint64_t> Locations,
-                     std::vector<ByteVector> &Out);
+                     std::vector<ByteVector> &Out,
+                     std::vector<ReadFailure> *Failures = nullptr);
 
   /// Reconstructs a whole stream from \p Recipe through the batched
   /// path — the restore mirror of ReductionPipeline::readBack().
@@ -115,6 +127,10 @@ public:
   /// The measurements since construction or resetMeasurement().
   ReadReport report() const;
 
+  /// GPU decode sub-batches transparently re-decoded on the CPU after
+  /// an injected device fault (kernel/ECC/DMA).
+  std::uint64_t gpuDecodeFallbackCount() const { return GpuDecodeFallbacks; }
+
   const ReadConfig &config() const { return Config; }
 
 private:
@@ -132,12 +148,14 @@ private:
     double DecodeUs = 0.0;     ///< decode stage latency contribution
     bool Readahead = false;    ///< cache-fill only, no requester
     bool Failed = false;
+    fault::ErrorCode Error = fault::ErrorCode::Ok;
   };
 
   bool processBatch(std::span<const std::uint64_t> Locations,
-                    std::vector<ByteVector> &Out);
-  bool decodeCpu(const std::vector<BatchItem *> &Items);
-  bool decodeGpu(const std::vector<BatchItem *> &Items);
+                    std::vector<ByteVector> &Out,
+                    std::vector<ReadFailure> *Failures);
+  void decodeCpu(const std::vector<BatchItem *> &Items);
+  void decodeGpu(const std::vector<BatchItem *> &Items);
   void noteFailure(std::uint64_t Location);
   /// The Auto probe: modelled CPU vs GPU decode makespan for a
   /// synthetic batch at BatchDepth; charges nothing.
@@ -164,6 +182,8 @@ private:
   std::uint64_t DecodeFailures = 0;
   std::uint64_t GpuBatches = 0;
   std::uint64_t CpuBatches = 0;
+  /// GPU decode sub-batches re-decoded on the CPU after a device fault.
+  std::uint64_t GpuDecodeFallbacks = 0;
   /// Ledger busy-time baselines (µs) captured at resetMeasurement.
   double BaselineUs[ResourceCount] = {};
   Histogram LatencyHist{20000.0, 2000};
@@ -179,6 +199,7 @@ private:
   obs::Counter *DecodeFailTotal = nullptr;
   obs::Counter *CpuBatchesTotal = nullptr;
   obs::Counter *GpuBatchesTotal = nullptr;
+  obs::Counter *GpuFallbackTotal = nullptr;
 };
 
 } // namespace restore

@@ -7,6 +7,8 @@
 
 #include "ssd/SsdModel.h"
 
+#include "fault/FaultInjector.h"
+
 #include <cassert>
 
 using namespace padre;
@@ -35,72 +37,113 @@ void SsdModel::setObs(const obs::ObsSinks &Obs) {
       "padre_ssd_io_total{op=\"seq-read\"}", "SSD commands by type");
   RandReadOps = &Obs.Metrics->counter(
       "padre_ssd_io_total{op=\"rand-read\"}", "SSD commands by type");
+  RetryReads = &Obs.Metrics->counter("padre_retry_total{op=\"read\"}",
+                                     "SSD commands re-issued after a "
+                                     "transient fault");
+  RetryWrites = &Obs.Metrics->counter("padre_retry_total{op=\"write\"}",
+                                      "SSD commands re-issued after a "
+                                      "transient fault");
 }
 
 void SsdModel::noteHostWrite(std::uint64_t Bytes) {
   HostBytes.fetch_add(Bytes, std::memory_order_relaxed);
 }
 
-void SsdModel::writeSequential(std::uint64_t Bytes) {
-  if (Bytes == 0)
-    return;
-  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:seq-write",
-                           obs::CategoryIo);
-  const double Micros = Model.ssdSeqWriteUs(Bytes);
-  Ledger.chargeMicros(Resource::Ssd, Micros);
-  if (IoHist) {
-    IoHist->observe(Micros);
-    SeqWriteOps->add(1);
+fault::Status SsdModel::issue(fault::FaultSite Site, const char *SpanName,
+                              double OpMicros, obs::Counter *OpCounter) {
+  if (!Faults) {
+    const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, SpanName,
+                             obs::CategoryIo);
+    Ledger.chargeMicros(Resource::Ssd, OpMicros);
+    if (IoHist) {
+      IoHist->observe(OpMicros);
+      OpCounter->add(1);
+    }
+    return {};
   }
+
+  const fault::FaultPolicy &Policy = Faults->plan().Policy;
+  const bool IsRead = Site == fault::FaultSite::SsdRead;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    std::optional<fault::InjectedFault> Fault;
+    {
+      const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, SpanName,
+                               obs::CategoryIo);
+      Fault = Faults->sample(Site);
+      // A timed-out attempt occupies the device for the stall on top
+      // of the service time; an instant failure still costs a full
+      // attempt.
+      Ledger.chargeMicros(Resource::Ssd,
+                          OpMicros + (Fault ? Fault->ExtraUs : 0.0));
+    }
+    if (!Fault) {
+      if (IoHist) {
+        IoHist->observe(OpMicros);
+        OpCounter->add(1);
+      }
+      return {};
+    }
+    if (Attempt >= Policy.MaxRetries)
+      return fault::Status::error(IsRead ? fault::ErrorCode::SsdReadError
+                                         : fault::ErrorCode::SsdWriteError,
+                                  Faults->ops(Site));
+    const double BackoffUs =
+        Policy.RetryBackoffUs * static_cast<double>(Attempt + 1);
+    if (BackoffUs > 0.0) {
+      const obs::LaneSpan Retry(Trace, Ledger, Resource::Ssd, "ssd:retry",
+                                obs::CategoryIo);
+      Ledger.chargeMicros(Resource::Ssd, BackoffUs);
+    }
+    Retries.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter *C = IsRead ? RetryReads : RetryWrites)
+      C->add(1);
+  }
+}
+
+fault::Status SsdModel::writeSequential(std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return {};
+  const fault::Status St =
+      issue(fault::FaultSite::SsdWrite, "ssd:seq-write",
+            Model.ssdSeqWriteUs(Bytes), SeqWriteOps);
+  // NAND endurance is charged once per command: retries re-issue the
+  // host transfer, but the FTL only programs the pages once the data
+  // lands (and a failed command's partial programs are noise next to
+  // the WAF model's precision).
   NandBytes.fetch_add(
       static_cast<std::uint64_t>(static_cast<double>(Bytes) *
                                  Model.Ssd.SequentialWaf),
       std::memory_order_relaxed);
+  return St;
 }
 
-void SsdModel::writeRandom4K(std::uint64_t Count) {
+fault::Status SsdModel::writeRandom4K(std::uint64_t Count) {
   if (Count == 0)
-    return;
-  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:rand-write",
-                           obs::CategoryIo);
-  const double Micros =
-      Model.Ssd.RandWrite4KUs * static_cast<double>(Count);
-  Ledger.chargeMicros(Resource::Ssd, Micros);
-  if (IoHist) {
-    IoHist->observe(Micros);
-    RandWriteOps->add(1);
-  }
+    return {};
+  const fault::Status St =
+      issue(fault::FaultSite::SsdWrite, "ssd:rand-write",
+            Model.Ssd.RandWrite4KUs * static_cast<double>(Count),
+            RandWriteOps);
   NandBytes.fetch_add(
       static_cast<std::uint64_t>(static_cast<double>(Count) * 4096.0 *
                                  Model.Ssd.RandomWaf),
       std::memory_order_relaxed);
+  return St;
 }
 
-void SsdModel::readSequential(std::uint64_t Bytes) {
+fault::Status SsdModel::readSequential(std::uint64_t Bytes) {
   if (Bytes == 0)
-    return;
-  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:seq-read",
-                           obs::CategoryIo);
-  const double Micros = Model.ssdSeqReadUs(Bytes);
-  Ledger.chargeMicros(Resource::Ssd, Micros);
-  if (IoHist) {
-    IoHist->observe(Micros);
-    SeqReadOps->add(1);
-  }
+    return {};
+  return issue(fault::FaultSite::SsdRead, "ssd:seq-read",
+               Model.ssdSeqReadUs(Bytes), SeqReadOps);
 }
 
-void SsdModel::readRandom4K(std::uint64_t Count) {
+fault::Status SsdModel::readRandom4K(std::uint64_t Count) {
   if (Count == 0)
-    return;
-  const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ssd:rand-read",
-                           obs::CategoryIo);
-  const double Micros =
-      Model.Ssd.RandRead4KUs * static_cast<double>(Count);
-  Ledger.chargeMicros(Resource::Ssd, Micros);
-  if (IoHist) {
-    IoHist->observe(Micros);
-    RandReadOps->add(1);
-  }
+    return {};
+  return issue(fault::FaultSite::SsdRead, "ssd:rand-read",
+               Model.Ssd.RandRead4KUs * static_cast<double>(Count),
+               RandReadOps);
 }
 
 double SsdModel::enduranceRatio() const {

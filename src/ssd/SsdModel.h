@@ -17,11 +17,21 @@
 /// bytes (what physically hit flash, including a simple FTL
 /// write-amplification factor).
 ///
+/// Fault tolerance (DESIGN.md fault model): with a FaultInjector
+/// attached, each command samples the ssd-read/ssd-write fault site
+/// per attempt. Latent sector errors and timeouts are retried with
+/// linear backoff up to the plan's retry budget — every attempt's
+/// service time, timeout stall and backoff wait is charged to the SSD
+/// lane, so degradation shows up in modelled time — and a fault that
+/// outlives the budget surfaces as a typed Status error. With no
+/// injector the code path is exactly the pre-fault one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PADRE_SSD_SSDMODEL_H
 #define PADRE_SSD_SSDMODEL_H
 
+#include "fault/Status.h"
 #include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
@@ -30,6 +40,11 @@
 #include <cstdint>
 
 namespace padre {
+
+namespace fault {
+class FaultInjector;
+enum class FaultSite : unsigned;
+} // namespace fault
 
 /// Modelled SSD with service-time and endurance accounting.
 /// Thread-safe.
@@ -46,17 +61,17 @@ public:
 
   /// Sequentially writes \p Bytes (destage streams, bin-buffer
   /// flushes). Charges service time and NAND bytes.
-  void writeSequential(std::uint64_t Bytes);
+  fault::Status writeSequential(std::uint64_t Bytes);
 
   /// Writes \p Count random 4 KiB pages. Charges service time and NAND
   /// bytes (with the random-write FTL amplification).
-  void writeRandom4K(std::uint64_t Count);
+  fault::Status writeRandom4K(std::uint64_t Count);
 
   /// Sequentially reads \p Bytes.
-  void readSequential(std::uint64_t Bytes);
+  fault::Status readSequential(std::uint64_t Bytes);
 
   /// Reads \p Count random 4 KiB pages.
-  void readRandom4K(std::uint64_t Count);
+  fault::Status readRandom4K(std::uint64_t Count);
 
   /// Logical bytes the host submitted (`noteHostWrite` total).
   std::uint64_t hostBytesWritten() const { return HostBytes.load(); }
@@ -80,11 +95,28 @@ public:
   /// before any traffic; sinks must outlive the model.
   void setObs(const obs::ObsSinks &Obs);
 
+  /// Attaches a fault injector (null detaches; must outlive the
+  /// model). Call before traffic.
+  void setFaultInjector(fault::FaultInjector *Injector) {
+    Faults = Injector;
+  }
+
+  /// Commands re-issued after a transient fault since construction.
+  std::uint64_t retryCount() const { return Retries.load(); }
+
 private:
+  /// Shared command body: charges \p OpMicros (per attempt, under a
+  /// \p SpanName lane span), drives the retry loop when an injector is
+  /// attached, and feeds the I/O histogram/op counter on success.
+  fault::Status issue(fault::FaultSite Site, const char *SpanName,
+                      double OpMicros, obs::Counter *OpCounter);
+
   CostModel Model;
   ResourceLedger &Ledger;
   std::atomic<std::uint64_t> HostBytes{0};
   std::atomic<std::uint64_t> NandBytes{0};
+  std::atomic<std::uint64_t> Retries{0};
+  fault::FaultInjector *Faults = nullptr;
   // Observability (null = disabled); instruments cached at setObs time.
   obs::TraceRecorder *Trace = nullptr;
   obs::LogHistogram *IoHist = nullptr;
@@ -92,6 +124,8 @@ private:
   obs::Counter *RandWriteOps = nullptr;
   obs::Counter *SeqReadOps = nullptr;
   obs::Counter *RandReadOps = nullptr;
+  obs::Counter *RetryReads = nullptr;
+  obs::Counter *RetryWrites = nullptr;
 };
 
 } // namespace padre

@@ -392,3 +392,97 @@ TEST_P(LzFuzz, RandomMixturesRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LzFuzz, ::testing::Range(0, 25));
+
+//===----------------------------------------------------------------------===//
+// Decoder robustness: damaged payloads must fail typed, never crash.
+//
+// The fault layer (src/fault) flips bits at destage and the scrubber
+// feeds suspect blocks straight back through these decoders, so the
+// decode contract is load-bearing: a corrupt payload either returns
+// false with Out untouched, or decodes to exactly OriginalSize bytes
+// (a semantically valid but different token stream). No other outcome
+// — in particular no partial output and no out-of-bounds read.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks the decode contract for one (possibly damaged) payload.
+void expectLzDecodeContract(const ByteVector &Payload,
+                            std::size_t OriginalSize) {
+  ByteVector Out = {0xEE, 0xBB};
+  const ByteVector Before = Out;
+  const bool Ok = LzCodec::decompress(
+      ByteSpan(Payload.data(), Payload.size()), OriginalSize, Out);
+  if (Ok)
+    EXPECT_EQ(Out.size(), Before.size() + OriginalSize);
+  else
+    EXPECT_EQ(Out, Before); // failure must not leave partial output
+}
+
+} // namespace
+
+class LzCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzCorruption, TruncatedPayloadsAlwaysFail) {
+  const std::uint64_t Seed = static_cast<std::uint64_t>(GetParam());
+  const ByteVector Data = repetitiveData(2048 + Seed * 97, Seed + 600);
+  const LzCodec Codec(Seed % 2 ? LzCodec::MatcherKind::HashChain
+                               : LzCodec::MatcherKind::SingleProbe);
+  const ByteVector Payload =
+      Codec.compress(ByteSpan(Data.data(), Data.size())).Payload;
+  Random Rng(Seed * 31 + 7);
+  for (int Trial = 0; Trial < 32; ++Trial) {
+    const std::size_t Keep = Rng.nextBelow(Payload.size());
+    ByteVector Cut(Payload.begin(), Payload.begin() + Keep);
+    ByteVector Out;
+    // Fewer payload bytes can never produce all OriginalSize bytes, so
+    // truncation is always detected (not merely tolerated).
+    EXPECT_FALSE(LzCodec::decompress(ByteSpan(Cut.data(), Cut.size()),
+                                     Data.size(), Out));
+    EXPECT_TRUE(Out.empty());
+  }
+}
+
+TEST_P(LzCorruption, BitFlippedPayloadsFailOrDecodeFullSize) {
+  const std::uint64_t Seed = static_cast<std::uint64_t>(GetParam());
+  const ByteVector Data = repetitiveData(4096, Seed + 700);
+  const LzCodec Codec(Seed % 2 ? LzCodec::MatcherKind::HashChain
+                               : LzCodec::MatcherKind::SingleProbe);
+  const ByteVector Payload =
+      Codec.compress(ByteSpan(Data.data(), Data.size())).Payload;
+  Random Rng(Seed * 131 + 17);
+  for (int Trial = 0; Trial < 64; ++Trial) {
+    ByteVector Damaged = Payload;
+    const std::size_t Flips = 1 + Rng.nextBelow(4);
+    for (std::size_t I = 0; I < Flips; ++I)
+      Damaged[Rng.nextBelow(Damaged.size())] ^=
+          static_cast<std::uint8_t>(1u << Rng.nextBelow(8));
+    expectLzDecodeContract(Damaged, Data.size());
+  }
+}
+
+TEST(LzCorruption, GarbagePayloadsNeverCrash) {
+  for (std::uint64_t Seed = 0; Seed < 16; ++Seed) {
+    Random Rng(Seed * 53 + 29);
+    const ByteVector Garbage = randomData(1 + Rng.nextBelow(4096), Seed + 800);
+    expectLzDecodeContract(Garbage, 1 + Rng.nextBelow(8192));
+  }
+}
+
+TEST(LzCorruption, WrongOriginalSizeIsRejected) {
+  const ByteVector Data = repetitiveData(4096, 900);
+  const LzCodec Codec(LzCodec::MatcherKind::HashChain);
+  const ByteVector Payload =
+      Codec.compress(ByteSpan(Data.data(), Data.size())).Payload;
+  ByteVector Out;
+  // Too-small claim: the stream overruns the declared size.
+  EXPECT_FALSE(LzCodec::decompress(ByteSpan(Payload.data(), Payload.size()),
+                                   Data.size() - 1, Out));
+  EXPECT_TRUE(Out.empty());
+  // Too-large claim: the stream ends short of the declared size.
+  EXPECT_FALSE(LzCodec::decompress(ByteSpan(Payload.data(), Payload.size()),
+                                   Data.size() + 1, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzCorruption, ::testing::Range(0, 12));

@@ -280,3 +280,103 @@ TEST(Delta, BeatsLzOnLightlyEditedChunks) {
   // leaves ~95% of the bytes copyable from the base.
   EXPECT_LT(DeltaTotal, LzTotal * 0.25);
 }
+
+//===----------------------------------------------------------------------===//
+// Decoder robustness under systematic damage. Delta payloads reference
+// the *base* chunk by offset, so corruption can redirect copies as
+// well as break framing; the decoder must bounds-check both and uphold
+// the shared decode contract: fail with Out untouched, or produce
+// exactly TargetSize bytes. Never crash, never read out of bounds.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectDeltaDecodeContract(const ByteVector &Base,
+                               const ByteVector &Payload,
+                               std::size_t TargetSize) {
+  ByteVector Out = {0x5A};
+  const ByteVector Before = Out;
+  const bool Ok =
+      deltaDecode(ByteSpan(Base.data(), Base.size()),
+                  ByteSpan(Payload.data(), Payload.size()), TargetSize, Out);
+  if (Ok)
+    EXPECT_EQ(Out.size(), Before.size() + TargetSize);
+  else
+    EXPECT_EQ(Out, Before);
+}
+
+} // namespace
+
+class DeltaCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaCorruption, TruncatedPayloadsAlwaysFail) {
+  const std::uint64_t Seed = static_cast<std::uint64_t>(GetParam());
+  Random Rng(Seed * 449 + 13);
+  const ByteVector Base = randomData(1024 + Rng.nextBelow(4096), Seed + 40);
+  const ByteVector Target =
+      withEdits(Base, static_cast<unsigned>(1 + Rng.nextBelow(20)),
+                Seed + 41);
+  const ByteVector Payload =
+      deltaEncode(ByteSpan(Base.data(), Base.size()),
+                  ByteSpan(Target.data(), Target.size()))
+          .Payload;
+  for (int Trial = 0; Trial < 24; ++Trial) {
+    const std::size_t Keep = Rng.nextBelow(Payload.size());
+    const ByteVector Cut(Payload.begin(), Payload.begin() + Keep);
+    ByteVector Out;
+    // A strict prefix of the token stream covers strictly fewer target
+    // bytes, so truncation is always detected.
+    EXPECT_FALSE(deltaDecode(ByteSpan(Base.data(), Base.size()),
+                             ByteSpan(Cut.data(), Cut.size()),
+                             Target.size(), Out));
+    EXPECT_TRUE(Out.empty());
+  }
+}
+
+TEST_P(DeltaCorruption, BitFlippedPayloadsFailOrDecodeFullSize) {
+  const std::uint64_t Seed = static_cast<std::uint64_t>(GetParam());
+  Random Rng(Seed * 523 + 17);
+  const ByteVector Base = randomData(2048, Seed + 50);
+  const ByteVector Target =
+      withEdits(Base, static_cast<unsigned>(1 + Rng.nextBelow(30)),
+                Seed + 51);
+  const ByteVector Payload =
+      deltaEncode(ByteSpan(Base.data(), Base.size()),
+                  ByteSpan(Target.data(), Target.size()))
+          .Payload;
+  for (int Trial = 0; Trial < 64; ++Trial) {
+    ByteVector Damaged = Payload;
+    const std::size_t Flips = 1 + Rng.nextBelow(4);
+    for (std::size_t I = 0; I < Flips; ++I)
+      Damaged[Rng.nextBelow(Damaged.size())] ^=
+          static_cast<std::uint8_t>(1u << Rng.nextBelow(8));
+    expectDeltaDecodeContract(Base, Damaged, Target.size());
+  }
+}
+
+TEST(DeltaCorruption, GarbagePayloadsNeverCrash) {
+  for (std::uint64_t Seed = 0; Seed < 16; ++Seed) {
+    Random Rng(Seed * 89 + 23);
+    const ByteVector Base = randomData(512 + Rng.nextBelow(2048), Seed + 60);
+    const ByteVector Garbage =
+        randomData(1 + Rng.nextBelow(2048), Seed + 61);
+    expectDeltaDecodeContract(Base, Garbage, 1 + Rng.nextBelow(8192));
+  }
+}
+
+TEST(DeltaCorruption, CopyBeyondBaseIsRejected) {
+  // A copy token whose offset+length overruns the base must fail even
+  // when the target size would otherwise fit.
+  const ByteVector Base = randomData(64, 70);
+  ByteVector Payload;
+  Payload.push_back(0x80); // copy, length DeltaMinCopy
+  Payload.push_back(60);   // offset 60: 60 + 8 > 64
+  Payload.push_back(0);
+  ByteVector Out;
+  EXPECT_FALSE(deltaDecode(ByteSpan(Base.data(), Base.size()),
+                           ByteSpan(Payload.data(), Payload.size()),
+                           DeltaMinCopy, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaCorruption, ::testing::Range(0, 10));

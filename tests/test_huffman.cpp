@@ -309,3 +309,88 @@ INSTANTIATE_TEST_SUITE_P(Backends, EntropyPipeline,
                                       ? "cpu"
                                       : "gpu";
                          });
+
+//===----------------------------------------------------------------------===//
+// Decoder robustness under systematic damage. The destage bit-flip
+// fault (src/fault) can land anywhere in a stored block, so the
+// entropy decoder must uphold the same contract as the LZ and delta
+// decoders: a damaged payload either fails (Out untouched) or decodes
+// to exactly OriginalSize bytes — never a crash, never partial output.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ByteVector compressibleCorpus(std::uint64_t Seed) {
+  Random Rng(Seed * 977 + 5);
+  const unsigned Alphabet = 2 + Rng.nextBelow(48);
+  ByteVector Data(1024 + Rng.nextBelow(4096));
+  for (std::uint8_t &Byte : Data)
+    Byte = static_cast<std::uint8_t>(Rng.nextBelow(Alphabet));
+  return Data;
+}
+
+void expectHuffmanDecodeContract(const ByteVector &Payload,
+                                 std::size_t OriginalSize) {
+  ByteVector Out = {0xA5};
+  const ByteVector Before = Out;
+  const bool Ok = huffmanDecode(ByteSpan(Payload.data(), Payload.size()),
+                                OriginalSize, Out);
+  if (Ok)
+    EXPECT_EQ(Out.size(), Before.size() + OriginalSize);
+  else
+    EXPECT_EQ(Out, Before);
+}
+
+} // namespace
+
+class HuffmanCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanCorruption, TruncationSweepFailsCleanly) {
+  const std::uint64_t Seed = static_cast<std::uint64_t>(GetParam());
+  const ByteVector Data = compressibleCorpus(Seed);
+  const auto Encoded = huffmanEncode(ByteSpan(Data.data(), Data.size()));
+  ASSERT_TRUE(Encoded.has_value());
+  Random Rng(Seed * 37 + 3);
+  for (int Trial = 0; Trial < 24; ++Trial) {
+    const std::size_t Keep = Rng.nextBelow(Encoded->size());
+    const ByteVector Cut(Encoded->begin(), Encoded->begin() + Keep);
+    ByteVector Out;
+    // A truncated stream can never yield all OriginalSize symbols —
+    // below the header it is rejected outright, above it the bit
+    // reader exhausts early.
+    EXPECT_FALSE(huffmanDecode(ByteSpan(Cut.data(), Cut.size()),
+                               Data.size(), Out));
+    EXPECT_TRUE(Out.empty());
+  }
+}
+
+TEST_P(HuffmanCorruption, BitFlipsInHeaderAndStreamFailOrDecodeFullSize) {
+  const std::uint64_t Seed = static_cast<std::uint64_t>(GetParam());
+  const ByteVector Data = compressibleCorpus(Seed + 100);
+  const auto Encoded = huffmanEncode(ByteSpan(Data.data(), Data.size()));
+  ASSERT_TRUE(Encoded.has_value());
+  Random Rng(Seed * 61 + 11);
+  for (int Trial = 0; Trial < 48; ++Trial) {
+    ByteVector Damaged = *Encoded;
+    // Half the trials target the 128-byte code-length header (corrupt
+    // tables, Kraft violations), half the bit stream proper.
+    const bool HitHeader = Trial % 2 == 0;
+    const std::size_t Offset =
+        HitHeader ? Rng.nextBelow(HuffmanHeaderSize)
+                  : HuffmanHeaderSize +
+                        Rng.nextBelow(Damaged.size() - HuffmanHeaderSize);
+    Damaged[Offset] ^= static_cast<std::uint8_t>(1u << Rng.nextBelow(8));
+    expectHuffmanDecodeContract(Damaged, Data.size());
+  }
+}
+
+TEST(HuffmanCorruption, GarbagePayloadsNeverCrash) {
+  for (std::uint64_t Seed = 0; Seed < 16; ++Seed) {
+    Random Rng(Seed * 211 + 9);
+    ByteVector Garbage(HuffmanHeaderSize + Rng.nextBelow(2048));
+    Rng.fillBytes(Garbage.data(), Garbage.size());
+    expectHuffmanDecodeContract(Garbage, 1 + Rng.nextBelow(8192));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanCorruption, ::testing::Range(0, 10));

@@ -433,3 +433,169 @@ TEST_F(VolumeRestoreFixture, MixedTraceReplaysCleanThroughRestore) {
   EXPECT_EQ(Stats.ReadFailures, 0u);
   EXPECT_EQ(Stats.VerifyFailures, 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Error paths: a failed chunk must not take the batch down with it,
+// and must never leave its debris in the cache.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A written CPU-only pipeline with an attached fault injector. The
+/// plan and injector are members so they outlive the pipeline.
+struct FaultedRestoreRig {
+  fault::FaultPlan Plan;
+  std::optional<fault::FaultInjector> Injector;
+  std::unique_ptr<ReductionPipeline> Pipeline;
+  ByteVector Data;
+
+  void write(std::uint64_t Bytes, std::size_t CacheBytes = 0) {
+    Injector.emplace(Plan);
+    PipelineConfig Config;
+    Config.Mode = PipelineMode::CpuOnly;
+    Config.ReadCacheBytes = CacheBytes;
+    Config.Faults = &*Injector;
+    Data = makeStream(Bytes, /*DedupRatio=*/1.0);
+    Pipeline = std::make_unique<ReductionPipeline>(Platform::paper(), Config);
+    ASSERT_TRUE(Pipeline->write(ByteSpan(Data.data(), Data.size())).ok());
+    ASSERT_TRUE(Pipeline->finish().ok());
+  }
+};
+
+} // namespace
+
+TEST(RestoreErrorPath, MidBatchSsdErrorCompletesRemainingFetches) {
+  FaultedRestoreRig Rig;
+  Rig.Plan.Policy.MaxRetries = 0; // make the hit permanent, not retried
+  fault::FaultRule Rule;
+  Rule.Site = fault::FaultSite::SsdRead;
+  Rule.Kind = fault::FaultKind::LatentSectorError;
+  Rule.AtOps = {2}; // the third flash read command of the batch
+  Rig.Plan.Rules.push_back(Rule);
+  Rig.write(1 << 20);
+
+  // Stride-2 locations defeat coalescing: every chunk is its own flash
+  // command, so exactly one chunk sits in the blast radius.
+  const auto &All = Rig.Pipeline->recipe().ChunkLocations;
+  ASSERT_GE(All.size(), 16u);
+  std::vector<std::uint64_t> Locations;
+  for (std::size_t I = 0; I < 16; I += 2)
+    Locations.push_back(All[I]);
+
+  ReadConfig Config;
+  Config.Mode = DecodeMode::Cpu;
+  ReadPipeline Reader(*Rig.Pipeline, Config);
+  std::vector<ByteVector> Out;
+  std::vector<ReadFailure> Failures;
+  EXPECT_FALSE(Reader.readLocations(
+      std::span<const std::uint64_t>(Locations.data(), Locations.size()),
+      Out, &Failures));
+
+  // One typed failure; every other fetch still completed and delivered.
+  ASSERT_EQ(Out.size(), Locations.size());
+  ASSERT_EQ(Failures.size(), 1u);
+  EXPECT_EQ(Failures[0].Code, fault::ErrorCode::SsdReadError);
+  std::size_t EmptySlots = 0;
+  for (std::size_t I = 0; I < Locations.size(); ++I) {
+    if (Out[I].empty()) {
+      ++EmptySlots;
+      EXPECT_EQ(Locations[I], Failures[0].Location);
+      continue;
+    }
+    // The injected schedule is exhausted, so a direct re-read gives
+    // the reference bytes.
+    const auto Expect = Rig.Pipeline->readChunk(Locations[I]);
+    ASSERT_TRUE(Expect.has_value());
+    EXPECT_EQ(Out[I], *Expect) << "slot " << I;
+  }
+  EXPECT_EQ(EmptySlots, 1u);
+  EXPECT_EQ(Reader.report().DecodeFailures, 1u);
+}
+
+TEST(RestoreErrorPath, SsdFailedFetchDoesNotPolluteCache) {
+  FaultedRestoreRig Rig;
+  Rig.Plan.Policy.MaxRetries = 0;
+  fault::FaultRule Rule;
+  Rule.Site = fault::FaultSite::SsdRead;
+  Rule.Kind = fault::FaultKind::LatentSectorError;
+  Rule.AtOps = {0}; // first flash read of the batch fails
+  Rig.Plan.Rules.push_back(Rule);
+  Rig.write(1 << 20, /*CacheBytes=*/8 << 20);
+
+  const auto &All = Rig.Pipeline->recipe().ChunkLocations;
+  ASSERT_GE(All.size(), 8u);
+  const std::vector<std::uint64_t> Locations = {All[0], All[2], All[4]};
+  ReadConfig Config;
+  Config.Mode = DecodeMode::Cpu;
+  ReadPipeline Reader(*Rig.Pipeline, Config);
+  std::vector<ByteVector> Out;
+  std::vector<ReadFailure> Failures;
+  EXPECT_FALSE(Reader.readLocations(
+      std::span<const std::uint64_t>(Locations.data(), Locations.size()),
+      Out, &Failures));
+  ASSERT_EQ(Failures.size(), 1u);
+
+  // The survivors were cached; the failed chunk was not.
+  const ChunkCache *Cache = Rig.Pipeline->readCache();
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_FALSE(Cache->contains(Failures[0].Location));
+  std::size_t Cached = 0;
+  for (const std::uint64_t Loc : Locations)
+    if (Cache->contains(Loc))
+      ++Cached;
+  EXPECT_EQ(Cached, Locations.size() - 1);
+}
+
+TEST_F(RestoreFixture, CorruptChunkDoesNotPolluteCacheAndIsTyped) {
+  write(1 << 20, /*CacheBytes=*/8 << 20, /*DedupRatio=*/1.0);
+  const auto &All = Pipeline->recipe().ChunkLocations;
+  ASSERT_GE(All.size(), 8u);
+  const std::uint64_t Bad = All[2];
+  ASSERT_TRUE(Pipeline->corruptChunkForTesting(Bad, 20));
+
+  ReadConfig Config;
+  Config.Mode = DecodeMode::Cpu;
+  ReadPipeline Reader(*Pipeline, Config);
+  const std::vector<std::uint64_t> Locations = {All[0], Bad, All[4]};
+  std::vector<ByteVector> Out;
+  std::vector<ReadFailure> Failures;
+  EXPECT_FALSE(Reader.readLocations(
+      std::span<const std::uint64_t>(Locations.data(), Locations.size()),
+      Out, &Failures));
+  ASSERT_EQ(Failures.size(), 1u);
+  EXPECT_EQ(Failures[0].Location, Bad);
+  EXPECT_EQ(Failures[0].Code, fault::ErrorCode::ChunkCorrupt);
+  // Neighbours delivered; the corrupt chunk's slot is empty.
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_FALSE(Out[0].empty());
+  EXPECT_TRUE(Out[1].empty());
+  EXPECT_FALSE(Out[2].empty());
+  // The failed decode never reached the cache; the good ones did.
+  const ChunkCache *Cache = Pipeline->readCache();
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_FALSE(Cache->contains(Bad));
+  EXPECT_TRUE(Cache->contains(All[0]));
+  EXPECT_TRUE(Cache->contains(All[4]));
+}
+
+TEST_F(RestoreFixture, MissingChunkReportsTypedFailure) {
+  write(1 << 20);
+  const auto &All = Pipeline->recipe().ChunkLocations;
+  const std::uint64_t Ghost = ~std::uint64_t{1};
+  const std::vector<std::uint64_t> Locations = {All[0], Ghost, All[2]};
+  ReadConfig Config;
+  Config.Mode = DecodeMode::Cpu;
+  ReadPipeline Reader(*Pipeline, Config);
+  std::vector<ByteVector> Out;
+  std::vector<ReadFailure> Failures;
+  EXPECT_FALSE(Reader.readLocations(
+      std::span<const std::uint64_t>(Locations.data(), Locations.size()),
+      Out, &Failures));
+  ASSERT_EQ(Failures.size(), 1u);
+  EXPECT_EQ(Failures[0].Location, Ghost);
+  EXPECT_EQ(Failures[0].Code, fault::ErrorCode::ChunkMissing);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_FALSE(Out[0].empty());
+  EXPECT_TRUE(Out[1].empty());
+  EXPECT_FALSE(Out[2].empty());
+}

@@ -32,6 +32,8 @@
 ///   --read-batch N   restore batch depth          (default 256)
 ///   --read-mode cpu|gpu|auto   restore decode mode (default auto)
 ///   --readahead N    restore readahead chunks per run (default 8)
+///   --fault-plan SPEC  deterministic fault injection (DESIGN.md):
+///       seed=N;retries=N;<site>:<kind>:<trigger>[;...]
 ///   --trace-out FILE.json    write a Chrome trace_event span file
 ///                            (open in Perfetto / about:tracing)
 ///   --metrics-out FILE.prom  write Prometheus text-format metrics
@@ -82,6 +84,7 @@ struct Options {
   std::size_t ReadBatch = 256;
   restore::DecodeMode ReadMode = restore::DecodeMode::Auto;
   std::size_t Readahead = 8;
+  fault::FaultPlan FaultPlan;
 };
 
 void usage() {
@@ -96,7 +99,12 @@ void usage() {
       "fixed|rabin|fastcdc\n"
       "  --threads N  --image PATH  --trace FILE  --trace-ops N\n"
       "  --trace-out FILE.json  --metrics-out FILE.prom\n"
-      "  --read-batch N  --read-mode cpu|gpu|auto  --readahead N\n");
+      "  --read-batch N  --read-mode cpu|gpu|auto  --readahead N\n"
+      "  --fault-plan SPEC   inject faults, e.g.\n"
+      "      'seed=7;ssd-read:error:p=0.01;gpu-kernel:hang:every=50'\n"
+      "      sites: ssd-read ssd-write gpu-kernel gpu-dma destage\n"
+      "      kinds: error timeout ecc hang dma-corrupt bitflip\n"
+      "      triggers: p=F | at=N,N,... | every=N   (see DESIGN.md)\n");
 }
 
 bool parsePlatform(const std::string &Name, Platform &Out) {
@@ -203,6 +211,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
                      Value.c_str());
         return false;
       }
+    } else if (Arg == "--fault-plan" && NextValue(Value)) {
+      std::string Error;
+      if (!fault::parseFaultPlan(Value, Opts.FaultPlan, Error)) {
+        std::fprintf(stderr, "error: bad fault plan: %s\n", Error.c_str());
+        return false;
+      }
     } else if (Arg == "--threads" && NextValue(Value)) {
       Opts.Threads =
           static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
@@ -291,6 +305,34 @@ struct ObsOutput {
   }
 };
 
+/// Caller-frame fault injector for --fault-plan: it must outlive the
+/// pipeline, like the observability sinks.
+struct FaultSetup {
+  std::optional<fault::FaultInjector> Injector;
+
+  void attach(const Options &Opts, PipelineConfig &Config) {
+    if (Opts.FaultPlan.empty())
+      return;
+    Injector.emplace(Opts.FaultPlan);
+    Config.Faults = &*Injector;
+  }
+
+  void summary() const {
+    if (!Injector)
+      return;
+    std::printf("\nfault plan (seed %llu): %llu faults injected",
+                static_cast<unsigned long long>(Injector->plan().Seed),
+                static_cast<unsigned long long>(Injector->injectedTotal()));
+    for (unsigned K = 0; K < fault::FaultKindCount; ++K) {
+      const auto Kind = static_cast<fault::FaultKind>(K);
+      if (const std::uint64_t N = Injector->injected(Kind))
+        std::printf(", %s=%llu", fault::faultKindName(Kind),
+                    static_cast<unsigned long long>(N));
+    }
+    std::printf("\n");
+  }
+};
+
 PipelineMode resolveMode(const Options &Opts) {
   if (Opts.Mode)
     return *Opts.Mode;
@@ -358,11 +400,21 @@ int commandRun(const Options &OptsIn) {
   const PipelineMode Mode = resolveMode(Opts);
   const ByteVector Data = makeStream(Opts);
   ObsOutput Obs;
+  FaultSetup Faults;
   PipelineConfig Config = pipelineConfigFor(Opts, Mode);
   Obs.attach(Opts, Config);
+  Faults.attach(Opts, Config);
   ReductionPipeline Pipeline(Opts.Plat, Config);
-  Pipeline.write(ByteSpan(Data.data(), Data.size()));
-  Pipeline.finish();
+  const fault::Status WriteStatus =
+      Pipeline.write(ByteSpan(Data.data(), Data.size()));
+  const fault::Status FinishStatus = Pipeline.finish();
+  if (!WriteStatus.ok() || !FinishStatus.ok()) {
+    const fault::Status &Bad = WriteStatus.ok() ? FinishStatus : WriteStatus;
+    std::fprintf(stderr, "error: write failed: %s (detail %llu)\n",
+                 Bad.message(),
+                 static_cast<unsigned long long>(Bad.detail()));
+    return 1;
+  }
   if (!Pipeline.verifyAgainst(ByteSpan(Data.data(), Data.size()))) {
     std::fprintf(stderr, "error: read-back verification FAILED\n");
     return 1;
@@ -385,6 +437,7 @@ int commandRun(const Options &OptsIn) {
   std::printf("\nrestore (decode mode %s):\n%s\n",
               restore::decodeModeName(Reader.effectiveMode()),
               Reader.report().toString().c_str());
+  Faults.summary();
   return Obs.write(Opts) ? 0 : 1;
 }
 
@@ -393,8 +446,10 @@ int commandVolume(const Options &OptsIn) {
   Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
   const PipelineMode Mode = resolveMode(Opts);
   ObsOutput Obs;
+  FaultSetup Faults;
   PipelineConfig Config = pipelineConfigFor(Opts, Mode);
   Obs.attach(Opts, Config);
+  Faults.attach(Opts, Config);
   ReductionPipeline Pipeline(Opts.Plat, Config);
   VolumeConfig VolConfig;
   VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
@@ -451,6 +506,7 @@ int commandVolume(const Options &OptsIn) {
     std::printf("image: saved to %s and restored byte-exact\n",
                 Opts.ImagePath.c_str());
   }
+  Faults.summary();
   return Obs.write(Opts) ? 0 : 1;
 }
 
@@ -461,8 +517,10 @@ int commandRestore(const Options &OptsIn) {
     Opts.CacheBytes = 32ull << 20; // restore demo default: 32 MiB cache
   const PipelineMode Mode = resolveMode(Opts);
   ObsOutput Obs;
+  FaultSetup Faults;
   PipelineConfig Config = pipelineConfigFor(Opts, Mode);
   Obs.attach(Opts, Config);
+  Faults.attach(Opts, Config);
   ReductionPipeline Pipeline(Opts.Plat, Config);
   VolumeConfig VolConfig;
   VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
@@ -505,6 +563,7 @@ int commandRestore(const Options &OptsIn) {
   std::printf("\nwarm pass (cache front tier):\n%s\n",
               Reader.pipeline().report().toString().c_str());
   std::printf("\nboth passes verified byte-exact\n");
+  Faults.summary();
   return Obs.write(Opts) ? 0 : 1;
 }
 
@@ -515,8 +574,10 @@ int commandTrace(const Options &OptsIn) {
   Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
   const PipelineMode Mode = resolveMode(Opts);
   ObsOutput Obs;
+  FaultSetup Faults;
   PipelineConfig Config = pipelineConfigFor(Opts, Mode);
   Obs.attach(Opts, Config);
+  Faults.attach(Opts, Config);
   ReductionPipeline Pipeline(Opts.Plat, Config);
   VolumeConfig VolConfig;
   VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
@@ -559,7 +620,23 @@ int commandTrace(const Options &OptsIn) {
       });
   Vol.collectGarbage();
   Vol.flush();
-  const Volume::ScrubReport Scrub = Vol.scrub();
+  // Under a fault plan, scrub-and-repair: injected destage bit-flips
+  // are expected and repairable from the cache; plain scrub would
+  // report them as (unexplained) corruption.
+  Volume::ScrubReport Scrub;
+  if (Faults.Injector) {
+    const Volume::ScrubRepairReport Repair = Vol.scrubAndRepair();
+    Scrub.ChunksScanned = Repair.ChunksScanned;
+    Scrub.CorruptChunks = Repair.LostChunks; // repaired ones healed
+    Scrub.BadLocations = Repair.LostLocations;
+    std::printf("scrub-and-repair: %llu corrupt, %llu repaired, %llu "
+                "lost\n",
+                static_cast<unsigned long long>(Repair.CorruptChunks),
+                static_cast<unsigned long long>(Repair.RepairedChunks),
+                static_cast<unsigned long long>(Repair.LostChunks));
+  } else {
+    Scrub = Vol.scrub();
+  }
   const VolumeStats VolStats = Vol.stats();
 
   std::printf("replayed %zu records: %llu writes, %llu reads, %llu "
@@ -592,6 +669,7 @@ int commandTrace(const Options &OptsIn) {
               static_cast<unsigned long long>(ReadStats.CoalescedRuns),
               static_cast<unsigned long long>(ReadStats.CpuBatches),
               static_cast<unsigned long long>(ReadStats.GpuBatches));
+  Faults.summary();
   if (!Obs.write(Opts))
     return 1;
   return Stats.clean() && Scrub.CorruptChunks == 0 ? 0 : 1;
