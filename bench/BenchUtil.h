@@ -35,6 +35,9 @@ struct RunSpec {
   bool EntropyStage = false;
   std::size_t BatchChunks = 256;
   unsigned ContentAlphabet = 256;
+  /// In-flight write batches for the pipelined scheduler (E6).
+  /// Depth 1 reproduces the serial stage chain exactly.
+  std::size_t PipelineDepth = 4;
   /// Optional observability sinks (non-owning). When set, the measured
   /// phase records spans/metrics — spans from the warmup are cleared by
   /// resetMeasurement alongside the ledger.
@@ -53,6 +56,7 @@ inline PipelineReport runSpec(const Platform &Plat, const RunSpec &Spec) {
   Config.Dedup.Index.BufferCapacityPerBin = Spec.BufferCapacityPerBin;
   Config.Compress.EntropyStage = Spec.EntropyStage;
   Config.BatchChunks = Spec.BatchChunks;
+  Config.PipelineDepth = Spec.PipelineDepth;
   Config.Trace = Spec.Trace;
   Config.Metrics = Spec.Metrics;
 

@@ -81,6 +81,11 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
     Cache->setObs(Config.Metrics);
   }
 
+  Sched = std::make_unique<BatchScheduler>(
+      Ledger, Platform.Model.Cpu.Threads,
+      std::max<std::size_t>(1, Config.PipelineDepth), Device.get(), Ssd,
+      Config.Trace);
+
   if (Config.Metrics) {
     obs::MetricsRegistry &M = *Config.Metrics;
     ChunkLatencyHist = &M.histogram(
@@ -175,6 +180,13 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
   const std::uint64_t PrevStored = StoredBytes;
   const std::uint64_t PrevLogicalBytes = LogicalBytes;
 
+  // Admit the batch into the scheduler's in-flight window. Stages
+  // still execute serially on the host (bit-exact results at every
+  // depth); the brackets capture what each stage charges and replay it
+  // onto the dependency-aware timeline.
+  Sched->beginBatch();
+  Sched->beginStage(BatchScheduler::Stage::Dedup);
+
   // Request-path fixed costs and endurance intent.
   {
     const obs::StageSpan Stage(Config.Trace, Ledger, "chunk");
@@ -254,11 +266,17 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
                              Chunks[I].Data.begin());
       } else {
         Ssd.readRandom4K(1);
-        Ledger.chargeMicros(
-            Resource::CpuPool,
-            (Plat.Model.Cpu.DecompressPerByteNs +
-             Plat.Model.Cpu.VerifyPerByteNs) *
-                1e-3 * static_cast<double>(Chunks[I].Data.size()));
+        // Decompression is only charged when the stored block actually
+        // is compressed — a raw-stored block (incompressible data, or
+        // compression disabled) costs just the byte compare.
+        double PerByteNs = Plat.Model.Cpu.VerifyPerByteNs;
+        if (const auto Encoded = Store.encodedBlock(Items[I].Location);
+            Encoded && Encoded->size() > 2 &&
+            static_cast<BlockMethod>((*Encoded)[2]) != BlockMethod::Raw)
+          PerByteNs += Plat.Model.Cpu.DecompressPerByteNs;
+        Ledger.chargeMicros(Resource::CpuPool,
+                            PerByteNs * 1e-3 *
+                                static_cast<double>(Chunks[I].Data.size()));
         const auto Stored = Store.readChunk(Items[I].Location);
         Matches = Stored && Stored->size() == Chunks[I].Data.size() &&
                   std::equal(Stored->begin(), Stored->end(),
@@ -271,6 +289,8 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       Items[I].Location = NewLocations[I];
     }
   }
+
+  Sched->endStage(BatchScheduler::Stage::Dedup);
 
   // Partition into unique chunks (to compress + destage) and
   // duplicates (recipe-only).
@@ -310,6 +330,7 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
 
   // Stage 2: compression of unique chunks (Fig. 1 lower half).
   std::vector<CompressedChunk> Compressed;
+  Sched->beginStage(BatchScheduler::Stage::Compress);
   {
     const obs::StageSpan Stage(Config.Trace, Ledger, "compress");
     if (Compress && !Raw) {
@@ -328,9 +349,11 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       }
     }
   }
+  Sched->endStage(BatchScheduler::Stage::Compress);
 
   // Stage 3: destage — one coalesced sequential write per batch.
   std::uint64_t DestageBytes = 0;
+  Sched->beginStage(BatchScheduler::Stage::Destage);
   {
     const obs::StageSpan Stage(Config.Trace, Ledger, "destage");
     for (std::size_t I = 0; I < UniqueViews.size(); ++I) {
@@ -360,6 +383,8 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
     if (!DestageStatus.ok() && BatchStatus.ok())
       BatchStatus = DestageStatus;
   }
+  Sched->endStage(BatchScheduler::Stage::Destage);
+  Sched->endBatch();
 
   // Per-chunk modelled service latency: request path + dedup stage +
   // (uniques) compression stage + an equal share of the coalesced
@@ -400,9 +425,15 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
 
 fault::Status ReductionPipeline::finish() {
   const obs::StageSpan Stage(Config.Trace, Ledger, "drain");
-  if (Dedup)
-    return Dedup->finish();
-  return {};
+  if (!Dedup)
+    return {};
+  // The end-of-run bin-buffer flush drains after every queued destage
+  // on the timeline, so the window empties cleanly even when the last
+  // batches ended in typed errors.
+  Sched->beginStage(BatchScheduler::Stage::Drain);
+  const fault::Status St = Dedup->finish();
+  Sched->endStage(BatchScheduler::Stage::Drain);
+  return St;
 }
 
 std::optional<ByteVector> ReductionPipeline::readBack() {
@@ -549,6 +580,9 @@ bool ReductionPipeline::verifyAgainst(ByteSpan Original) {
 
 void ReductionPipeline::resetMeasurement() {
   Ledger.reset();
+  // The timeline restarts alongside the busy clocks: the measured
+  // phase's schedule must not inherit the warmup's queue positions.
+  Sched->reset();
   // The lane clocks restart at zero; recorded spans would otherwise
   // overlap the post-warmup ones at the same positions.
   if (Config.Trace)
@@ -608,5 +642,19 @@ PipelineReport ReductionPipeline::report() const {
   Report.LatencyP99Us = LatencyHist.percentile(99.0);
   Report.SsdHostBytes = Ssd.hostBytesWritten();
   Report.SsdNandBytes = Ssd.nandBytesWritten();
+
+  Report.PipelineDepth = static_cast<unsigned>(Sched->depth());
+  Report.WallSec = Ledger.timelineWallMicros() * 1e-6;
+  if (Report.WallSec > 0.0) {
+    Report.WallThroughputIops =
+        static_cast<double>(LogicalChunks) / Report.WallSec;
+    Report.WallThroughputMBps =
+        static_cast<double>(LogicalBytes) / Report.WallSec / 1e6;
+  }
+  const ScheduleOverlap Overlap = Sched->overlap();
+  for (unsigned R = 0; R < ResourceCount; ++R) {
+    Report.SchedBusySec[R] = Overlap.BusySec[R];
+    Report.SchedHiddenSec[R] = Overlap.HiddenSec[R];
+  }
   return Report;
 }

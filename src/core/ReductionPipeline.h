@@ -25,6 +25,7 @@
 #include "chunk/FastCdcChunker.h"
 #include "chunk/FixedChunker.h"
 #include "chunk/RabinChunker.h"
+#include "core/BatchScheduler.h"
 #include "core/ChunkCache.h"
 #include "core/ChunkStore.h"
 #include "core/CompressEngine.h"
@@ -58,6 +59,14 @@ struct PipelineConfig {
   ChunkingMode Chunking = ChunkingMode::Fixed;
   /// Chunks per pipeline batch (the unit of stage hand-off).
   std::size_t BatchChunks = 256;
+  /// Bounded in-flight window of the inter-batch software pipeline
+  /// (core/BatchScheduler.h): while batch N destages, batch N+1
+  /// compresses and batch N+2 runs the CPU front half — all in
+  /// modelled time on the dependency-aware timeline. Depth 1 is the
+  /// serial pipeline (each batch waits for its predecessor's destage).
+  /// Functional results and per-lane busy charges are identical at
+  /// every depth; only the timeline (PipelineReport::WallSec) changes.
+  std::size_t PipelineDepth = 4;
   /// Disable to benchmark a single operation (E2 dedup-only, E3
   /// compression-only).
   bool DedupEnabled = true;
@@ -206,6 +215,7 @@ public:
   PipelineReport report() const;
 
   ResourceLedger &ledger() { return Ledger; }
+  const BatchScheduler &scheduler() const { return *Sched; }
   ThreadPool &pool() { return Pool; }
   const SsdModel &ssd() const { return Ssd; }
   SsdModel &ssd() { return Ssd; }
@@ -229,6 +239,7 @@ private:
   std::unique_ptr<DedupEngine> Dedup;
   std::unique_ptr<CompressEngine> Compress;
   std::unique_ptr<ChunkCache> Cache;
+  std::unique_ptr<BatchScheduler> Sched;
   std::unique_ptr<Chunker> StreamChunker;
   StreamRecipe Recipe;
 

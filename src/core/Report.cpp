@@ -27,8 +27,21 @@ const char *padre::pipelineModeName(PipelineMode Mode) {
   return "?";
 }
 
+namespace {
+
+/// Percent of a lane's scheduled occupancy hidden behind other lanes.
+double hiddenPct(const double *BusySec, const double *HiddenSec,
+                 Resource R) {
+  const double Busy = BusySec[static_cast<unsigned>(R)];
+  if (Busy <= 0.0)
+    return 0.0;
+  return 100.0 * HiddenSec[static_cast<unsigned>(R)] / Busy;
+}
+
+} // namespace
+
 std::string PipelineReport::toString() const {
-  char Buffer[1024];
+  char Buffer[1536];
   std::snprintf(
       Buffer, sizeof(Buffer),
       "chunks=%llu (%.1f MiB)  unique=%llu dup=%llu "
@@ -39,6 +52,8 @@ std::string PipelineReport::toString() const {
       "bottleneck=%s offload=%.2f\n"
       "latency (modelled): p50=%.0fus p95=%.0fus p99=%.0fus\n"
       "busy: cpu=%.4fs gpu=%.4fs pcie=%.4fs ssd=%.4fs launches=%llu\n"
+      "pipeline: depth=%u wall=%.4fs (%.1f MB/s) hidden: cpu=%.0f%% "
+      "gpu=%.0f%% pcie=%.0f%% ssd=%.0f%%\n"
       "ssd endurance: host=%.1f MiB nand=%.1f MiB",
       static_cast<unsigned long long>(LogicalChunks),
       static_cast<double>(LogicalBytes) / (1 << 20),
@@ -54,7 +69,12 @@ std::string PipelineReport::toString() const {
       resourceName(Bottleneck), OffloadFraction, LatencyP50Us,
       LatencyP95Us, LatencyP99Us, CpuBusySec, GpuBusySec,
       PcieBusySec, SsdBusySec,
-      static_cast<unsigned long long>(KernelLaunches),
+      static_cast<unsigned long long>(KernelLaunches), PipelineDepth,
+      WallSec, WallThroughputMBps,
+      hiddenPct(SchedBusySec, SchedHiddenSec, Resource::CpuPool),
+      hiddenPct(SchedBusySec, SchedHiddenSec, Resource::Gpu),
+      hiddenPct(SchedBusySec, SchedHiddenSec, Resource::Pcie),
+      hiddenPct(SchedBusySec, SchedHiddenSec, Resource::Ssd),
       static_cast<double>(SsdHostBytes) / (1 << 20),
       static_cast<double>(SsdNandBytes) / (1 << 20));
   return Buffer;

@@ -126,6 +126,30 @@ struct PipelineReport {
   /// (bytes); SsdNandBytes / SsdHostBytes is E5's endurance gain.
   std::uint64_t SsdNandBytes = 0;
 
+  // Pipelined write-path schedule (core/BatchScheduler.h, E6). The
+  // busy times above are depth-invariant — pipelining changes *when*
+  // modelled time lands, never what is charged — so only this block
+  // varies with PipelineConfig::PipelineDepth.
+  /// The configured in-flight window.
+  unsigned PipelineDepth = 1;
+  /// Wall time of the dependency-constrained write-path schedule
+  /// (modelled s): the full serial stage chain at depth 1, approaching
+  /// the bottleneck lane's busy time as the window deepens.
+  double WallSec = 0.0;
+  /// LogicalBytes / WallSec (MB per modelled s) — the throughput a
+  /// host watching the write stream would observe.
+  double WallThroughputMBps = 0.0;
+  /// LogicalChunks / WallSec (chunks per modelled s).
+  double WallThroughputIops = 0.0;
+  /// Scheduled occupancy per lane (modelled s; CPU normalized by pool
+  /// width). Sums to the lane's busy time — asserted by `ctest -L
+  /// sched` — so none of the charged time is lost in the replay.
+  double SchedBusySec[ResourceCount] = {};
+  /// Portion of each lane's occupancy during which another lane was
+  /// also busy — time hidden behind the rest of the pipeline. The
+  /// padrectl report footer prints this as "% hidden".
+  double SchedHiddenSec[ResourceCount] = {};
+
   /// Multi-line human-readable rendering.
   std::string toString() const;
 };

@@ -9,6 +9,7 @@
 
 #include "fault/FaultInjector.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace padre;
@@ -26,6 +27,27 @@ const char *padre::kernelFamilyName(KernelFamily Family) {
   }
   assert(false && "Unknown kernel family");
   return "?";
+}
+
+double GpuStagingModel::acquireSlot(double ReadyUs) {
+  assert(Pending < SlotCount && "Both staging slots already in flight");
+  const double Start = std::max(ReadyUs, FreeUs[Cursor]);
+  Cursor = (Cursor + 1) % SlotCount;
+  ++Pending;
+  return Start;
+}
+
+void GpuStagingModel::releaseOldest(double KernelDoneUs) {
+  if (Pending == 0)
+    return;
+  FreeUs[Oldest] = KernelDoneUs;
+  Oldest = (Oldest + 1) % SlotCount;
+  --Pending;
+}
+
+void GpuStagingModel::reset() {
+  FreeUs[0] = FreeUs[1] = 0.0;
+  Cursor = Oldest = Pending = 0;
 }
 
 GpuDevice::GpuDevice(const CostModel &Model, ResourceLedger &Ledger)
@@ -80,6 +102,8 @@ fault::Status GpuDevice::transferToDevice(std::size_t Bytes) {
   const obs::LaneSpan Span(Trace, Ledger, Resource::Pcie, "dma:h2d",
                            obs::CategoryDma);
   Ledger.chargeMicros(Resource::Pcie, Model.pcieTransferUs(Bytes));
+  if (OpLog)
+    OpLog->push_back(GpuOp{GpuOp::Kind::H2d, Model.pcieTransferUs(Bytes)});
   Ledger.countHostToDevice(Bytes);
   if (BytesH2d)
     BytesH2d->add(Bytes);
@@ -93,6 +117,8 @@ fault::Status GpuDevice::transferFromDevice(std::size_t Bytes) {
   const obs::LaneSpan Span(Trace, Ledger, Resource::Pcie, "dma:d2h",
                            obs::CategoryDma);
   Ledger.chargeMicros(Resource::Pcie, Model.pcieTransferUs(Bytes));
+  if (OpLog)
+    OpLog->push_back(GpuOp{GpuOp::Kind::D2h, Model.pcieTransferUs(Bytes)});
   Ledger.countDeviceToHost(Bytes);
   if (BytesD2h)
     BytesD2h->add(Bytes);
@@ -126,6 +152,9 @@ fault::Status GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
           : ExecMicros;
   Ledger.chargeMicros(Resource::Gpu,
                       (Model.Gpu.LaunchUs + ChargedExecUs) * Penalty);
+  if (OpLog)
+    OpLog->push_back(GpuOp{GpuOp::Kind::Kernel,
+                           (Model.Gpu.LaunchUs + ChargedExecUs) * Penalty});
   Ledger.countKernelLaunch();
   LaunchCounts[static_cast<unsigned>(Family)].fetch_add(1);
   if (obs::Counter *C = LaunchCounters[static_cast<unsigned>(Family)])

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace padre {
 
@@ -51,6 +52,51 @@ inline constexpr unsigned KernelFamilyCount = 4;
 
 /// Returns "indexing", "hashing", "compression" or "decompression".
 const char *kernelFamilyName(KernelFamily Family);
+
+/// One operation submitted to the device's async queue, in host
+/// submission order. When the batch scheduler arms the log (setOpLog),
+/// every DMA and kernel appends an entry; the scheduler then *replays*
+/// the queue onto the dependency-aware timeline — H2D on the PCIe
+/// lane, the kernel it feeds on the GPU lane, D2H back on PCIe — the
+/// way an asynchronous stream would execute it, instead of the
+/// charge-order serialization the busy accumulators imply.
+struct GpuOp {
+  enum class Kind : unsigned { H2d, Kernel, D2h };
+  Kind Op = Kind::Kernel;
+  /// Modelled time the operation charged (µs), fault stalls included.
+  double Micros = 0.0;
+};
+
+/// Double-buffered device staging (modelled): two staging slots feed
+/// the async queue, so the upload for sub-batch N+1 overlaps the
+/// kernel consuming slot N, but a third upload must wait for the first
+/// kernel to free its slot — the classic two-deep copy/compute
+/// pipeline. Pure timeline bookkeeping in modelled µs, driven by the
+/// batch scheduler's replay; not thread-safe (replay is
+/// single-threaded).
+class GpuStagingModel {
+public:
+  static constexpr unsigned SlotCount = 2;
+
+  /// Earliest time an upload eligible at \p ReadyUs may start: the
+  /// slot acquired is the least-recently freed one.
+  double acquireSlot(double ReadyUs);
+
+  /// Frees the oldest in-flight slot at \p KernelDoneUs (the kernel
+  /// that consumed it has completed). No-op when nothing is in flight.
+  void releaseOldest(double KernelDoneUs);
+
+  /// Slots currently holding an upload whose kernel has not completed.
+  unsigned inFlight() const { return Pending; }
+
+  void reset();
+
+private:
+  double FreeUs[SlotCount] = {0.0, 0.0};
+  unsigned Cursor = 0;  ///< next slot to acquire (ring order)
+  unsigned Oldest = 0;  ///< next slot to release (ring order)
+  unsigned Pending = 0; ///< acquired but not yet released
+};
 
 /// The modelled discrete GPU. Thread-safe: engines launch kernels from
 /// multiple pool threads concurrently.
@@ -111,6 +157,16 @@ public:
   /// outlive the device.
   void setObs(const obs::ObsSinks &Obs);
 
+  /// Arms (null detaches) the async submission log: every DMA and
+  /// kernel appends one GpuOp in issue order. The caller owns the
+  /// vector. Unsynchronized by design — arm it only around code that
+  /// issues device traffic from a single thread (the pipeline thread;
+  /// pool workers never touch the device).
+  void setOpLog(std::vector<GpuOp> *Log) { OpLog = Log; }
+
+  /// The device's staging-buffer timeline model (see GpuStagingModel).
+  GpuStagingModel &staging() { return Staging; }
+
   /// Attaches a fault injector (null detaches; must outlive the
   /// device). Call before any traffic.
   void setFaultInjector(fault::FaultInjector *Injector) {
@@ -124,6 +180,8 @@ private:
   CostModel Model;
   ResourceLedger &Ledger;
   fault::FaultInjector *Faults = nullptr;
+  std::vector<GpuOp> *OpLog = nullptr;
+  GpuStagingModel Staging;
   std::atomic<std::uint64_t> MemoryUsed{0};
   std::atomic<bool> MixedMode{false};
   std::atomic<std::uint64_t> LaunchCounts[KernelFamilyCount];

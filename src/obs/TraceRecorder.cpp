@@ -112,37 +112,56 @@ void appendNumber(std::string &Out, double Value) {
 
 std::string TraceRecorder::chromeJson() const {
   const std::vector<TraceSpan> Sorted = spans();
+  bool HasSched = false;
+  for (const TraceSpan &Span : Sorted)
+    if (std::string_view(Span.Category) == CategorySched) {
+      HasSched = true;
+      break;
+    }
 
   std::string Out;
   Out.reserve(128 + Sorted.size() * 96);
   Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
 
   // Metadata: one process ("padre modelled time") with one thread
-  // track per resource lane, in Resource enum order.
+  // track per resource lane, in Resource enum order. Scheduler
+  // timeline spans (CategorySched) live on a wall clock, not the lane
+  // busy clocks, so they get a second set of per-lane tracks after the
+  // busy-clock ones — that's where the Fig. 1 overlap is visible.
   Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"padre (modelled time)\"}}";
-  for (unsigned R = 0; R < ResourceCount; ++R) {
-    Out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
-    appendNumber(Out, static_cast<double>(R));
-    Out += ",\"args\":{\"name\":";
-    appendJsonString(Out, resourceName(static_cast<Resource>(R)));
-    Out += "}}";
-    // Force lane order in the viewer (lower sort index renders first).
-    Out += ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
-           "\"tid\":";
-    appendNumber(Out, static_cast<double>(R));
-    Out += ",\"args\":{\"sort_index\":";
-    appendNumber(Out, static_cast<double>(R));
-    Out += "}}";
+  const unsigned TrackSets = HasSched ? 2 : 1;
+  for (unsigned Set = 0; Set < TrackSets; ++Set) {
+    for (unsigned R = 0; R < ResourceCount; ++R) {
+      const unsigned Tid = Set * ResourceCount + R;
+      Out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      appendNumber(Out, static_cast<double>(Tid));
+      Out += ",\"args\":{\"name\":";
+      std::string LaneName = resourceName(static_cast<Resource>(R));
+      if (Set == 1)
+        LaneName += " (pipelined)";
+      appendJsonString(Out, LaneName.c_str());
+      Out += "}}";
+      // Force lane order in the viewer (lower sort index renders first).
+      Out += ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+             "\"tid\":";
+      appendNumber(Out, static_cast<double>(Tid));
+      Out += ",\"args\":{\"sort_index\":";
+      appendNumber(Out, static_cast<double>(Tid));
+      Out += "}}";
+    }
   }
 
   for (const TraceSpan &Span : Sorted) {
+    const bool Sched = std::string_view(Span.Category) == CategorySched;
+    const unsigned Tid = (Sched ? ResourceCount : 0) +
+                         static_cast<unsigned>(Span.Lane);
     Out += ",\n{\"name\":";
     appendJsonString(Out, Span.Name);
     Out += ",\"cat\":";
     appendJsonString(Out, Span.Category);
     Out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
-    appendNumber(Out, static_cast<double>(static_cast<unsigned>(Span.Lane)));
+    appendNumber(Out, static_cast<double>(Tid));
     Out += ",\"ts\":";
     appendNumber(Out, Span.BeginUs);
     Out += ",\"dur\":";

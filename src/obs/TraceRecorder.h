@@ -41,6 +41,14 @@ inline constexpr const char *CategoryKernel = "kernel"; ///< GPU kernels
 inline constexpr const char *CategoryDma = "dma";       ///< PCIe DMAs
 inline constexpr const char *CategoryIo = "io";         ///< SSD commands
 inline constexpr const char *CategorySweep = "sweep";   ///< background passes
+/// Batch-scheduler timeline spans. Unlike every other category, their
+/// Begin/Dur are positions on the *scheduled* timeline (dependency-
+/// constrained wall clock, see core/BatchScheduler.h), not the lane's
+/// busy clock — so the Chrome export gives them their own per-lane
+/// tracks, where cross-lane overlap between in-flight batches is
+/// visually meaningful (the Fig. 1 picture). They never participate in
+/// the stage-span/ledger reconciliation contract.
+inline constexpr const char *CategorySched = "sched";
 
 /// One recorded span. Name/Category must be string literals (or other
 /// storage outliving the recorder) — spans never copy them.

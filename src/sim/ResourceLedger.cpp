@@ -36,6 +36,79 @@ void ResourceLedger::reset() {
   KernelLaunches.store(0, std::memory_order_relaxed);
   BytesToDevice.store(0, std::memory_order_relaxed);
   BytesFromDevice.store(0, std::memory_order_relaxed);
+  resetTimeline();
+}
+
+namespace {
+
+/// Gaps narrower than the ledger's nanosecond resolution are noise —
+/// not worth tracking or splitting on.
+constexpr double GapMinUs = 1e-3;
+
+} // namespace
+
+LaneInterval ResourceLedger::scheduleMicros(Resource R, double ReadyUs,
+                                            double DurUs, bool Backfill) {
+  assert(std::isfinite(ReadyUs) && ReadyUs >= 0.0 && "Invalid ready time");
+  assert(std::isfinite(DurUs) && DurUs >= 0.0 && "Invalid duration");
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  const unsigned I = static_cast<unsigned>(R);
+  if (Backfill) {
+    // Earliest-fit into an idle gap; the remainder of the gap (head
+    // and/or tail) stays available for later backfills.
+    auto &Gaps = LaneGapsUs[I];
+    for (auto It = Gaps.begin(); It != Gaps.end(); ++It) {
+      const double Start = std::fmax(It->StartUs, ReadyUs);
+      if (Start + DurUs > It->EndUs + GapMinUs)
+        continue;
+      const LaneInterval Placed{Start, Start + DurUs};
+      const LaneInterval Tail{Placed.EndUs, It->EndUs};
+      if (Start - It->StartUs > GapMinUs) {
+        It->EndUs = Start;
+        if (Tail.EndUs - Tail.StartUs > GapMinUs)
+          Gaps.insert(It + 1, Tail);
+      } else if (Tail.EndUs - Tail.StartUs > GapMinUs) {
+        *It = Tail;
+      } else {
+        Gaps.erase(It);
+      }
+      LaneSchedUs[I] += DurUs;
+      return Placed;
+    }
+  }
+  double &Free = LaneFreeUs[I];
+  const double Start = std::fmax(Free, ReadyUs);
+  if (Start - Free > GapMinUs)
+    LaneGapsUs[I].push_back(LaneInterval{Free, Start});
+  Free = Start + DurUs;
+  LaneSchedUs[I] += DurUs;
+  return LaneInterval{Start, Free};
+}
+
+double ResourceLedger::laneFreeMicros(Resource R) const {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  return LaneFreeUs[static_cast<unsigned>(R)];
+}
+
+double ResourceLedger::laneScheduledMicros(Resource R) const {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  return LaneSchedUs[static_cast<unsigned>(R)];
+}
+
+double ResourceLedger::timelineWallMicros() const {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  double Max = 0.0;
+  for (const double Free : LaneFreeUs)
+    Max = std::fmax(Max, Free);
+  return Max;
+}
+
+void ResourceLedger::resetTimeline() {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  for (unsigned I = 0; I < ResourceCount; ++I) {
+    LaneFreeUs[I] = LaneSchedUs[I] = 0.0;
+    LaneGapsUs[I].clear();
+  }
 }
 
 void ResourceLedger::chargeMicros(Resource R, double Micros) {

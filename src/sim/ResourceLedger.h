@@ -24,7 +24,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace padre {
 
@@ -59,13 +61,30 @@ inline constexpr unsigned ComputeResources =
     resourceBit(Resource::CpuPool) | resourceBit(Resource::Gpu) |
     resourceBit(Resource::Pcie) | resourceBit(Resource::IndexLock);
 
+/// One occupancy interval on a lane's scheduled timeline (modelled µs).
+struct LaneInterval {
+  double StartUs = 0.0;
+  double EndUs = 0.0;
+};
+
 /// Thread-safe accumulator of modelled busy time per resource, plus a
 /// few event counters used by the benchmark reports.
+///
+/// Besides the unconditional busy accumulators (whose sum is
+/// order-independent and therefore identical for any stage
+/// interleaving), the ledger keeps a *dependency-aware timeline*: one
+/// free-clock per lane that `scheduleMicros` advances to
+/// `max(lane free, inputs ready) + duration`. The batch scheduler
+/// (core/BatchScheduler.h) replays each stage's charges onto this
+/// timeline, so `timelineWallMicros` is the wall time of the
+/// dependency-constrained schedule — serial at PipelineDepth=1, the
+/// paper's Fig. 1 overlap at deeper windows — while the busy totals
+/// stay depth-invariant.
 class ResourceLedger {
 public:
   ResourceLedger() { reset(); }
 
-  /// Zeroes all accumulated time and counters.
+  /// Zeroes all accumulated time and counters (timeline included).
   void reset();
 
   /// Adds \p Micros microseconds of busy time to \p R. Negative or
@@ -90,6 +109,41 @@ public:
   Resource bottleneck(unsigned CpuThreads,
                       unsigned Mask = AllResources) const;
 
+  /// Schedules \p DurUs of occupancy on lane \p R no earlier than
+  /// \p ReadyUs (when the work's inputs exist): the lane's free clock
+  /// advances to `max(free, ReadyUs) + DurUs` and the occupied
+  /// interval is returned. Lanes are FIFO — successive calls on one
+  /// lane never reorder — which is exactly a device queue (SSD command
+  /// queue, GPU stream, DMA engine). CPU durations should be divided
+  /// by the pool's thread count before scheduling (the lane models the
+  /// pool at full width).
+  ///
+  /// With \p Backfill the task may instead be placed in the earliest
+  /// idle gap left on the lane that both fits \p DurUs and starts no
+  /// earlier than \p ReadyUs. Device queues must not use this (command
+  /// order is part of their contract), but the CPU pool is a work-
+  /// stealing scheduler, not a queue: a later-submitted batch whose
+  /// inputs are ready runs while an earlier-submitted stage still
+  /// waits on the GPU. This is what lets batch N+2's dedup proceed
+  /// under batch N+1's kernel (the Fig. 1 overlap across batches).
+  LaneInterval scheduleMicros(Resource R, double ReadyUs, double DurUs,
+                              bool Backfill = false);
+
+  /// Lane \p R's free-clock position (µs): when the next scheduled
+  /// operation could start at the earliest.
+  double laneFreeMicros(Resource R) const;
+
+  /// Total duration scheduled onto lane \p R so far (µs).
+  double laneScheduledMicros(Resource R) const;
+
+  /// Wall time of the scheduled timeline: the latest lane free clock
+  /// (µs). Zero until something is scheduled.
+  double timelineWallMicros() const;
+
+  /// Rewinds every lane free clock (and scheduled total) to zero
+  /// without touching busy time. reset() includes this.
+  void resetTimeline();
+
   /// Event counters (benchmark reporting only).
   void countKernelLaunch() { KernelLaunches.fetch_add(1); }
   void countHostToDevice(std::uint64_t Bytes) { BytesToDevice += Bytes; }
@@ -109,6 +163,14 @@ private:
   std::atomic<std::uint64_t> KernelLaunches;
   std::atomic<std::uint64_t> BytesToDevice;
   std::atomic<std::uint64_t> BytesFromDevice;
+  // Timeline state (mutex-guarded: scheduling is a per-stage replay,
+  // not a hot path).
+  mutable std::mutex TimelineMutex;
+  double LaneFreeUs[ResourceCount] = {};
+  double LaneSchedUs[ResourceCount] = {};
+  /// Idle gaps left behind whenever a task started past the lane's
+  /// free clock, sorted by start; backfill consumes them.
+  std::vector<LaneInterval> LaneGapsUs[ResourceCount];
 };
 
 } // namespace padre

@@ -55,6 +55,8 @@ fault::Status SsdModel::issue(fault::FaultSite Site, const char *SpanName,
     const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, SpanName,
                              obs::CategoryIo);
     Ledger.chargeMicros(Resource::Ssd, OpMicros);
+    if (OpLog)
+      OpLog->push_back(OpMicros);
     if (IoHist) {
       IoHist->observe(OpMicros);
       OpCounter->add(1);
@@ -64,6 +66,9 @@ fault::Status SsdModel::issue(fault::FaultSite Site, const char *SpanName,
 
   const fault::FaultPolicy &Policy = Faults->plan().Policy;
   const bool IsRead = Site == fault::FaultSite::SsdRead;
+  // Everything this command charges — attempts, timeout stalls and
+  // backoff waits — is one queue occupancy for the scheduler's replay.
+  double CommandTotalUs = 0.0;
   for (unsigned Attempt = 0;; ++Attempt) {
     std::optional<fault::InjectedFault> Fault;
     {
@@ -73,26 +78,33 @@ fault::Status SsdModel::issue(fault::FaultSite Site, const char *SpanName,
       // A timed-out attempt occupies the device for the stall on top
       // of the service time; an instant failure still costs a full
       // attempt.
-      Ledger.chargeMicros(Resource::Ssd,
-                          OpMicros + (Fault ? Fault->ExtraUs : 0.0));
+      const double AttemptUs = OpMicros + (Fault ? Fault->ExtraUs : 0.0);
+      Ledger.chargeMicros(Resource::Ssd, AttemptUs);
+      CommandTotalUs += AttemptUs;
     }
     if (!Fault) {
+      if (OpLog)
+        OpLog->push_back(CommandTotalUs);
       if (IoHist) {
         IoHist->observe(OpMicros);
         OpCounter->add(1);
       }
       return {};
     }
-    if (Attempt >= Policy.MaxRetries)
+    if (Attempt >= Policy.MaxRetries) {
+      if (OpLog)
+        OpLog->push_back(CommandTotalUs);
       return fault::Status::error(IsRead ? fault::ErrorCode::SsdReadError
                                          : fault::ErrorCode::SsdWriteError,
                                   Faults->ops(Site));
+    }
     const double BackoffUs =
         Policy.RetryBackoffUs * static_cast<double>(Attempt + 1);
     if (BackoffUs > 0.0) {
       const obs::LaneSpan Retry(Trace, Ledger, Resource::Ssd, "ssd:retry",
                                 obs::CategoryIo);
       Ledger.chargeMicros(Resource::Ssd, BackoffUs);
+      CommandTotalUs += BackoffUs;
     }
     Retries.fetch_add(1, std::memory_order_relaxed);
     if (obs::Counter *C = IsRead ? RetryReads : RetryWrites)

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 namespace padre {
 
@@ -95,6 +96,15 @@ public:
   /// before any traffic; sinks must outlive the model.
   void setObs(const obs::ObsSinks &Obs);
 
+  /// Arms (null detaches) the command log: each command appends its
+  /// total charged service time in µs — retries, timeout stalls and
+  /// backoff waits included — in issue order. The batch scheduler
+  /// replays the log as the SSD's queued-command lane, so a destage
+  /// write occupies the device queue on the timeline instead of
+  /// blocking the CPU lane. Caller owns the vector; arm only around
+  /// single-threaded command issue (the pipeline thread).
+  void setOpLog(std::vector<double> *Log) { OpLog = Log; }
+
   /// Attaches a fault injector (null detaches; must outlive the
   /// model). Call before traffic.
   void setFaultInjector(fault::FaultInjector *Injector) {
@@ -117,6 +127,7 @@ private:
   std::atomic<std::uint64_t> NandBytes{0};
   std::atomic<std::uint64_t> Retries{0};
   fault::FaultInjector *Faults = nullptr;
+  std::vector<double> *OpLog = nullptr;
   // Observability (null = disabled); instruments cached at setObs time.
   obs::TraceRecorder *Trace = nullptr;
   obs::LogHistogram *IoHist = nullptr;

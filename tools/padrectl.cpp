@@ -84,6 +84,7 @@ struct Options {
   std::size_t ReadBatch = 256;
   restore::DecodeMode ReadMode = restore::DecodeMode::Auto;
   std::size_t Readahead = 8;
+  std::size_t PipelineDepth = 4;
   fault::FaultPlan FaultPlan;
 };
 
@@ -100,6 +101,7 @@ void usage() {
       "  --threads N  --image PATH  --trace FILE  --trace-ops N\n"
       "  --trace-out FILE.json  --metrics-out FILE.prom\n"
       "  --read-batch N  --read-mode cpu|gpu|auto  --readahead N\n"
+      "  --pipeline-depth N   in-flight write batches (1 = serial)\n"
       "  --fault-plan SPEC   inject faults, e.g.\n"
       "      'seed=7;ssd-read:error:p=0.01;gpu-kernel:hang:every=50'\n"
       "      sites: ssd-read ssd-write gpu-kernel gpu-dma destage\n"
@@ -199,6 +201,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.ReadBatch = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Arg == "--readahead" && NextValue(Value)) {
       Opts.Readahead = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--pipeline-depth" && NextValue(Value)) {
+      Opts.PipelineDepth = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Arg == "--read-mode" && NextValue(Value)) {
       if (Value == "cpu")
         Opts.ReadMode = restore::DecodeMode::Cpu;
@@ -239,7 +243,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     }
   }
   if (Opts.Bytes == 0 || Opts.ChunkSize == 0 || Opts.DedupRatio < 1.0 ||
-      Opts.CompressRatio < 1.0 || Opts.ReadBatch == 0) {
+      Opts.CompressRatio < 1.0 || Opts.ReadBatch == 0 ||
+      Opts.PipelineDepth == 0) {
     std::fprintf(stderr, "error: invalid numeric option\n");
     return false;
   }
@@ -263,7 +268,30 @@ PipelineConfig pipelineConfigFor(const Options &Opts, PipelineMode Mode) {
   Config.VerifyDuplicates = Opts.VerifyDedup;
   Config.ReadCacheBytes = Opts.CacheBytes;
   Config.Chunking = Opts.Chunking;
+  Config.PipelineDepth = Opts.PipelineDepth;
   return Config;
+}
+
+/// Footer after the write-side report: how much of the scheduled wall
+/// time each lane occupied, and how much of that occupancy ran under
+/// the cover of another lane (E6's overlap story).
+void printOverlapSummary(const PipelineReport &Report) {
+  if (Report.WallSec <= 0.0)
+    return;
+  static constexpr Resource Lanes[] = {Resource::CpuPool, Resource::Gpu,
+                                       Resource::Pcie, Resource::Ssd};
+  std::printf("\noverlap (depth %u, wall %.4fs):\n", Report.PipelineDepth,
+              Report.WallSec);
+  for (const Resource Lane : Lanes) {
+    const unsigned I = static_cast<unsigned>(Lane);
+    const double Busy = Report.SchedBusySec[I];
+    const double Hidden = Report.SchedHiddenSec[I];
+    std::printf("  %-4s busy %.4fs (%5.1f%% of wall), hidden behind "
+                "other lanes %5.1f%%\n",
+                resourceName(Lane), Busy,
+                100.0 * Busy / Report.WallSec,
+                Busy > 0.0 ? 100.0 * Hidden / Busy : 0.0);
+  }
 }
 
 /// Caller-frame observability sinks for --trace-out / --metrics-out.
@@ -423,8 +451,10 @@ int commandRun(const Options &OptsIn) {
               pipelineModeName(Mode), Opts.Plat.Name.c_str(),
               formatSize(Data.size()).c_str(), Opts.DedupRatio,
               Opts.CompressRatio, Opts.Entropy ? ", entropy" : "");
-  std::printf("%s\n\nread-back verified byte-exact\n",
-              Pipeline.report().toString().c_str());
+  const PipelineReport WriteReport = Pipeline.report();
+  std::printf("%s\n", WriteReport.toString().c_str());
+  printOverlapSummary(WriteReport);
+  std::printf("\nread-back verified byte-exact\n");
 
   // Read-mix: restore the whole stream through the batched read
   // pipeline and report the read side next to the write side.
