@@ -230,6 +230,14 @@ void BatchScheduler::endBatch() {
   Window.push_back(DestageDoneUs);
 }
 
+double BatchScheduler::noteCommit(double DurUs, const char *SpanName) {
+  // The commit may not start before the batch it covers has fully
+  // destaged; the SSD lane's FIFO clock then orders it after every
+  // queued destage command anyway.
+  const double ReadyUs = Window.empty() ? DestageDoneUs : Window.back();
+  return schedule(Resource::Ssd, ReadyUs, DurUs, SpanName);
+}
+
 ScheduleOverlap BatchScheduler::overlap() const {
   ScheduleOverlap Result;
   // Backfill places CPU intervals out of issue order; the sweeps below

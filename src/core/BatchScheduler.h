@@ -89,6 +89,13 @@ public:
   /// completion time is known.
   void endBatch();
 
+  /// Places a journal group-commit write of \p DurUs on the SSD lane,
+  /// ready no earlier than the most recently retired batch's destage
+  /// completion — the timeline realisation of the write-ahead
+  /// ordering: data destage, then journal commit, then ack
+  /// (src/journal). Returns the commit's completion time (µs).
+  double noteCommit(double DurUs, const char *SpanName);
+
   /// Timeline wall time so far (µs) — every admitted batch fully
   /// destaged and drained.
   double wallMicros() const { return Ledger.timelineWallMicros(); }

@@ -436,6 +436,18 @@ fault::Status ReductionPipeline::finish() {
   return St;
 }
 
+fault::Status ReductionPipeline::journalWrite(std::uint64_t Bytes,
+                                              const char *SpanName) {
+  const obs::StageSpan Stage(Config.Trace, Ledger, SpanName);
+  // Outside any stage bracket the op log is disarmed, so the charge
+  // reaches the timeline only through noteCommit — which pins it after
+  // the covered batch's destage (write-ahead ordering).
+  const double BeforeUs = Ledger.busyMicros(Resource::Ssd);
+  const fault::Status St = Ssd.writeSequential(Bytes);
+  Sched->noteCommit(Ledger.busyMicros(Resource::Ssd) - BeforeUs, SpanName);
+  return St;
+}
+
 std::optional<ByteVector> ReductionPipeline::readBack() {
   const obs::StageSpan Stage(Config.Trace, Ledger, "read");
   // Charge the read path: one random SSD read per referenced chunk and

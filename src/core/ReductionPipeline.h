@@ -144,6 +144,14 @@ public:
   /// End-of-run: drains the bin buffers (SSD log writes + GPU update).
   fault::Status finish();
 
+  /// Charges a metadata-journal write of \p Bytes to the SSD lane
+  /// (src/journal): a sequential append through the fault-injected
+  /// write path, bracketed as a stage span named \p SpanName (a string
+  /// literal) and placed on the timeline *after* the most recent
+  /// batch's destage completes — the write-ahead ordering of destage
+  /// -> commit -> ack. Returns the write's status.
+  fault::Status journalWrite(std::uint64_t Bytes, const char *SpanName);
+
   /// Recipe of everything written so far (for read-back).
   const StreamRecipe &recipe() const { return Recipe; }
 

@@ -25,15 +25,17 @@ Volume::Volume(ReductionPipeline &Pipeline, const VolumeConfig &Config,
          "LBA volumes require fixed-size chunking");
 }
 
-bool Volume::writeBlocks(std::uint64_t Lba, ByteSpan Data) {
-  return writeBlocksImpl(Lba, Data, /*Raw=*/false);
+bool Volume::writeBlocks(std::uint64_t Lba, ByteSpan Data,
+                         std::vector<ChunkWriteInfo> *InfoOut) {
+  return writeBlocksImpl(Lba, Data, /*Raw=*/false, InfoOut);
 }
 
 bool Volume::writeBlocksRaw(std::uint64_t Lba, ByteSpan Data) {
-  return writeBlocksImpl(Lba, Data, /*Raw=*/true);
+  return writeBlocksImpl(Lba, Data, /*Raw=*/true, nullptr);
 }
 
-bool Volume::writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw) {
+bool Volume::writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw,
+                             std::vector<ChunkWriteInfo> *InfoOut) {
   assert(Data.size() % BlockSize == 0 &&
          "Writes must be whole blocks (primary-storage granularity)");
   const std::uint64_t Blocks = Data.size() / BlockSize;
@@ -58,6 +60,27 @@ bool Volume::writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw) {
     if (Old != Unmapped)
       Tracker->dereference(Old);
   }
+  if (InfoOut)
+    InfoOut->insert(InfoOut->end(), Infos.begin(), Infos.end());
+  return true;
+}
+
+bool Volume::applyMappingUpdate(std::uint64_t Lba, std::uint64_t Location,
+                                const Fingerprint &Fp, bool FreshChunk) {
+  if (Lba >= Config.BlockCount)
+    return false;
+  ChunkWriteInfo Info;
+  Info.Location = Location;
+  Info.Fp = Fp;
+  // A dedup hit replayed onto a dead-but-resident chunk is a revival,
+  // exactly as on the original write path; a fresh chunk is not.
+  Info.Outcome = FreshChunk ? LookupOutcome::Unique : LookupOutcome::DupTree;
+  Tracker->reference(Info);
+  std::uint64_t &Slot = Mapping[Lba];
+  const std::uint64_t Old = Slot;
+  Slot = Location;
+  if (Old != Unmapped)
+    Tracker->dereference(Old);
   return true;
 }
 

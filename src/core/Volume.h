@@ -74,7 +74,11 @@ public:
 
   /// Writes \p Data (a multiple of the block size) at block \p Lba.
   /// Returns false (writing nothing) if the range exceeds the volume.
-  bool writeBlocks(std::uint64_t Lba, ByteSpan Data);
+  /// When \p InfoOut is non-null, the pipeline's per-block outcomes
+  /// (location, fingerprint, dedup outcome) are appended — the journal
+  /// layer records them as the write's redo intent (src/journal).
+  bool writeBlocks(std::uint64_t Lba, ByteSpan Data,
+                   std::vector<ChunkWriteInfo> *InfoOut = nullptr);
 
   /// Writes \p Data bypassing both reduction operations (the §1
   /// background-reduction baseline; see core/BackgroundReducer.h).
@@ -201,8 +205,20 @@ public:
                     const std::vector<ChunkRecord> &Records,
                     SnapshotTable Snapshots = SnapshotTable());
 
+  /// Journal-replay hook (src/journal/Recovery.cpp): re-applies one
+  /// recorded LBA remap without re-running the pipeline — references
+  /// the chunk at \p Location (fingerprint \p Fp), installs the
+  /// mapping, and dereferences the previously mapped chunk; exactly
+  /// the per-block tail of writeBlocks. \p FreshChunk marks a chunk
+  /// the same record just placed (replayed as a Unique outcome, so it
+  /// does not count as a dedup revival). Returns false for an
+  /// out-of-range LBA.
+  bool applyMappingUpdate(std::uint64_t Lba, std::uint64_t Location,
+                          const Fingerprint &Fp, bool FreshChunk = false);
+
 private:
-  bool writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw);
+  bool writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw,
+                       std::vector<ChunkWriteInfo> *InfoOut);
 
   ReductionPipeline &Pipeline;
   VolumeConfig Config;

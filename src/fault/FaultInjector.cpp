@@ -35,6 +35,8 @@ double toUnitDouble(std::uint64_t Bits) {
 FaultInjector::FaultInjector(const FaultPlan &Plan) : Plan(Plan) {
   for (auto &Count : OpCounts)
     Count.store(0);
+  for (auto &Count : CrashPointCounts)
+    Count.store(0);
   for (auto &Count : InjectedCounts)
     Count.store(0);
   for (std::size_t I = 0; I < this->Plan.Rules.size(); ++I) {
@@ -90,6 +92,53 @@ std::optional<InjectedFault> FaultInjector::sample(FaultSite Site) {
     default:
       break;
     }
+    Fault.RandomBits = mix(Draw, 0xB17F11Bu);
+    InjectedCounts[static_cast<unsigned>(Rule.Kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (obs::Counter *C = KindCounters[static_cast<unsigned>(Rule.Kind)])
+      C->add(1);
+    return Fault;
+  }
+  return std::nullopt;
+}
+
+std::optional<InjectedFault> FaultInjector::sampleCrash(CrashPoint Point) {
+  const unsigned SiteIdx = static_cast<unsigned>(FaultSite::Crash);
+  const unsigned PointIdx = static_cast<unsigned>(Point);
+  const std::uint64_t GlobalOp =
+      OpCounts[SiteIdx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t PointOp =
+      CrashPointCounts[PointIdx].fetch_add(1, std::memory_order_relaxed);
+  const std::vector<std::size_t> &Rules = SiteRules[SiteIdx];
+  if (Rules.empty())
+    return std::nullopt;
+
+  const std::uint64_t SiteSeed = mix(Plan.Seed, 0xFA01u + SiteIdx);
+  for (const std::size_t RuleIdx : Rules) {
+    const FaultRule &Rule = Plan.Rules[RuleIdx];
+    const bool Filtered = Rule.CrashPointFilter >= 0;
+    if (Filtered && Rule.CrashPointFilter != static_cast<int>(PointIdx))
+      continue;
+    // Point-filtered rules draw against the point's private arrival
+    // counter (and a point-specific seed, so two points never share a
+    // Bernoulli stream); bare rules see the global crash ordinal.
+    const std::uint64_t Op = Filtered ? PointOp : GlobalOp;
+    const std::uint64_t RuleSeed =
+        Filtered ? mix(SiteSeed, 0xC0A5u + PointIdx) : SiteSeed;
+    bool Fires = false;
+    const std::uint64_t Draw = mix(mix(RuleSeed, Op), RuleIdx);
+    if (Rule.Probability > 0.0 && toUnitDouble(Draw) < Rule.Probability)
+      Fires = true;
+    if (!Fires && !Rule.AtOps.empty() &&
+        std::binary_search(Rule.AtOps.begin(), Rule.AtOps.end(), Op))
+      Fires = true;
+    if (!Fires && Rule.EveryN != 0 && (Op + 1) % Rule.EveryN == 0)
+      Fires = true;
+    if (!Fires)
+      continue;
+
+    InjectedFault Fault;
+    Fault.Kind = Rule.Kind;
     Fault.RandomBits = mix(Draw, 0xB17F11Bu);
     InjectedCounts[static_cast<unsigned>(Rule.Kind)].fetch_add(
         1, std::memory_order_relaxed);

@@ -49,6 +49,20 @@ public:
   /// apply, or nullopt. Always advances the site's op ordinal.
   std::optional<InjectedFault> sample(FaultSite Site);
 
+  /// Crash-point variant (journal layer): advances both the global
+  /// Crash-site ordinal and \p Point's private arrival counter, then
+  /// evaluates the Crash-site rules — point-filtered rules against the
+  /// point counter, unfiltered rules against the global ordinal. The
+  /// decision stays a pure function of (seed, point, ordinals, rule),
+  /// so crash schedules replay bit-identically.
+  std::optional<InjectedFault> sampleCrash(CrashPoint Point);
+
+  /// Crash-point arrivals sampled at \p Point so far.
+  std::uint64_t crashPointOps(CrashPoint Point) const {
+    return CrashPointCounts[static_cast<unsigned>(Point)].load(
+        std::memory_order_relaxed);
+  }
+
   const FaultPlan &plan() const { return Plan; }
 
   /// Ops sampled at \p Site so far.
@@ -73,6 +87,7 @@ private:
   /// Indices into Plan.Rules, bucketed by site (built once).
   std::vector<std::size_t> SiteRules[FaultSiteCount];
   std::atomic<std::uint64_t> OpCounts[FaultSiteCount];
+  std::atomic<std::uint64_t> CrashPointCounts[CrashPointCount];
   std::atomic<std::uint64_t> InjectedCounts[FaultKindCount];
   obs::Counter *KindCounters[FaultKindCount] = {};
 };

@@ -26,8 +26,27 @@ const char *padre::fault::faultSiteName(FaultSite Site) {
     return "gpu-dma";
   case FaultSite::Destage:
     return "destage";
+  case FaultSite::Crash:
+    return "crash";
   }
   assert(false && "Unknown fault site");
+  return "?";
+}
+
+const char *padre::fault::crashPointName(CrashPoint Point) {
+  switch (Point) {
+  case CrashPoint::MidDestage:
+    return "mid-destage";
+  case CrashPoint::PreCommit:
+    return "pre-commit";
+  case CrashPoint::MidCommit:
+    return "mid-commit";
+  case CrashPoint::PostCommit:
+    return "post-commit";
+  case CrashPoint::MidCheckpoint:
+    return "mid-checkpoint";
+  }
+  assert(false && "Unknown crash point");
   return "?";
 }
 
@@ -45,6 +64,10 @@ const char *padre::fault::faultKindName(FaultKind Kind) {
     return "gpu-dma-corrupt";
   case FaultKind::PayloadBitFlip:
     return "payload-bitflip";
+  case FaultKind::Crash:
+    return "crash";
+  case FaultKind::TornWrite:
+    return "torn-write";
   }
   assert(false && "Unknown fault kind");
   return "?";
@@ -62,6 +85,8 @@ bool padre::fault::faultKindValidAt(FaultSite Site, FaultKind Kind) {
     return Kind == FaultKind::GpuDmaCorrupt;
   case FaultSite::Destage:
     return Kind == FaultKind::PayloadBitFlip;
+  case FaultSite::Crash:
+    return Kind == FaultKind::Crash || Kind == FaultKind::TornWrite;
   }
   return false;
 }
@@ -98,7 +123,21 @@ bool parseF64(const std::string &Text, double &Out) {
   return End == Text.c_str() + Text.size();
 }
 
-bool parseSite(const std::string &Name, FaultSite &Out) {
+/// Parses a site name, including the `crash@<point>` form which sets
+/// \p PointFilter to the named crash point (-1 otherwise).
+bool parseSite(const std::string &Name, FaultSite &Out, int &PointFilter) {
+  PointFilter = -1;
+  if (Name.rfind("crash@", 0) == 0) {
+    const std::string Point = Name.substr(6);
+    for (unsigned P = 0; P < CrashPointCount; ++P) {
+      if (Point == crashPointName(static_cast<CrashPoint>(P))) {
+        Out = FaultSite::Crash;
+        PointFilter = static_cast<int>(P);
+        return true;
+      }
+    }
+    return false;
+  }
   for (unsigned S = 0; S < FaultSiteCount; ++S) {
     if (Name == faultSiteName(static_cast<FaultSite>(S))) {
       Out = static_cast<FaultSite>(S);
@@ -111,7 +150,8 @@ bool parseSite(const std::string &Name, FaultSite &Out) {
 /// Spec kinds are short aliases; the canonical names also parse.
 bool parseKind(const std::string &Name, FaultKind &Out) {
   static constexpr const char *Aliases[FaultKindCount] = {
-      "error", "timeout", "ecc", "hang", "dma-corrupt", "bitflip"};
+      "error", "timeout", "ecc", "hang", "dma-corrupt", "bitflip",
+      "crash", "torn-write"};
   for (unsigned K = 0; K < FaultKindCount; ++K) {
     if (Name == Aliases[K] || Name == faultKindName(static_cast<FaultKind>(K))) {
       Out = static_cast<FaultKind>(K);
@@ -165,7 +205,7 @@ bool padre::fault::parseFaultPlan(const std::string &Spec, FaultPlan &Out,
       return false;
     }
     FaultRule Rule;
-    if (!parseSite(Parts[0], Rule.Site)) {
+    if (!parseSite(Parts[0], Rule.Site, Rule.CrashPointFilter)) {
       Error = "unknown fault site '" + Parts[0] + "'";
       return false;
     }

@@ -16,10 +16,23 @@
 ///   seed=N | retries=N | backoff-us=F | timeout-us=F | hang-us=F
 ///   <site>:<kind>:<trigger>
 ///     site    := ssd-read | ssd-write | gpu-kernel | gpu-dma | destage
+///              | crash | crash@<point>
+///     point   := mid-destage | pre-commit | mid-commit | post-commit
+///              | mid-checkpoint
 ///     kind    := error | timeout | ecc | hang | dma-corrupt | bitflip
+///              | crash | torn-write
 ///     trigger := p=F | at=N[,N...] | every=N
 ///
 /// e.g. `seed=7;ssd-read:error:p=0.01;gpu-kernel:hang:at=2,5`.
+///
+/// Crash rules drive the journal layer's crash-point injection
+/// (src/journal/JournaledVolume.h). A bare `crash` site counts every
+/// crash-point arrival in one ordinal stream (`crash:crash:at=7` halts
+/// at the 7th instrumented point of any flavour); `crash@post-commit`
+/// counts only that point's arrivals, so `crash@post-commit:crash:at=N`
+/// is "crash after the (N+1)th commit". `torn-write` additionally
+/// leaves a deterministic partial tail of the in-flight commit bytes
+/// (recovery must discard it — the torn-tail rule, DESIGN.md §3(12)).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,9 +54,28 @@ enum class FaultSite : unsigned {
   GpuKernel = 2,///< GpuDevice::launchKernel
   GpuDma = 3,   ///< GpuDevice transfers (both directions)
   Destage = 4,  ///< encoded payloads on their way into the chunk store
+  Crash = 5,    ///< journal crash points (JournaledVolume write path)
 };
 
-inline constexpr unsigned FaultSiteCount = 5;
+inline constexpr unsigned FaultSiteCount = 6;
+
+/// The instrumented crash points of the journaled write path, in
+/// pipeline order (see src/journal/JournaledVolume.cpp). Each is a
+/// distinct halt position relative to the WAL commit-ordering rule
+/// (data destage -> journal commit -> ack).
+enum class CrashPoint : unsigned {
+  MidDestage = 0,    ///< data destaged, intent record not yet buffered
+  PreCommit = 1,     ///< record buffered, commit not started
+  MidCommit = 2,     ///< commit in flight (torn-write leaves a tail)
+  PostCommit = 3,    ///< record durable, ack never delivered
+  MidCheckpoint = 4, ///< checkpoint written, log not yet truncated
+};
+
+inline constexpr unsigned CrashPointCount = 5;
+
+/// "mid-destage", "pre-commit", "mid-commit", "post-commit",
+/// "mid-checkpoint".
+const char *crashPointName(CrashPoint Point);
 
 /// What goes wrong when a rule fires.
 enum class FaultKind : unsigned {
@@ -53,15 +85,18 @@ enum class FaultKind : unsigned {
   GpuKernelHang = 3,     ///< kernel never completes; killed at timeout
   GpuDmaCorrupt = 4,     ///< transfer delivers corrupt data
   PayloadBitFlip = 5,    ///< one bit flips in a stored block payload
+  Crash = 6,             ///< clean halt at the sampled crash point
+  TornWrite = 7,         ///< halt mid-commit, partial record on disk
 };
 
-inline constexpr unsigned FaultKindCount = 6;
+inline constexpr unsigned FaultKindCount = 8;
 
-/// "ssd-read", "ssd-write", "gpu-kernel", "gpu-dma", "destage".
+/// "ssd-read", "ssd-write", "gpu-kernel", "gpu-dma", "destage",
+/// "crash".
 const char *faultSiteName(FaultSite Site);
 
 /// "latent-sector-error", "io-timeout", "gpu-ecc", "gpu-hang",
-/// "gpu-dma-corrupt", "payload-bitflip".
+/// "gpu-dma-corrupt", "payload-bitflip", "crash", "torn-write".
 const char *faultKindName(FaultKind Kind);
 
 /// Whether \p Kind is something that can physically happen at \p Site
@@ -79,6 +114,11 @@ struct FaultRule {
   std::vector<std::uint64_t> AtOps;
   /// Fires on every Nth op (ops N-1, 2N-1, ...); 0 = disabled.
   std::uint64_t EveryN = 0;
+  /// Crash-site rules only: restricts the rule to one crash point and
+  /// switches its op ordinal to that point's private arrival counter
+  /// (`crash@post-commit` in the spec grammar). -1 = any point, global
+  /// crash ordinal.
+  int CrashPointFilter = -1;
 };
 
 /// Recovery policy: how hard the system tries before surfacing a

@@ -30,6 +30,18 @@ const char *padre::fault::errorCodeName(ErrorCode Code) {
     return "decode-error";
   case ErrorCode::ChunkLost:
     return "chunk-lost";
+  case ErrorCode::IoError:
+    return "io-error";
+  case ErrorCode::ImageCorrupt:
+    return "image-corrupt";
+  case ErrorCode::JournalCorrupt:
+    return "journal-corrupt";
+  case ErrorCode::StateMismatch:
+    return "state-mismatch";
+  case ErrorCode::ReplayMismatch:
+    return "replay-mismatch";
+  case ErrorCode::Crashed:
+    return "crashed";
   }
   assert(false && "Unknown error code");
   return "?";

@@ -42,6 +42,24 @@ enum class ErrorCode : std::uint8_t {
   DecodeError,
   /// Scrub found corruption and no verified repair source exists.
   ChunkLost,
+  /// A host file operation failed (open, short read/write, rename).
+  IoError,
+  /// A persisted volume image failed its integrity checks (CRC,
+  /// truncation, malformed records); nothing was restored.
+  ImageCorrupt,
+  /// Journal/checkpoint framing failed in a way torn-tail discard
+  /// cannot explain (bad magic, CRC-valid garbage, sequence gap).
+  JournalCorrupt,
+  /// A persisted artefact does not fit this volume (version, chunk
+  /// size, geometry, or a shared-tracker restore).
+  StateMismatch,
+  /// Journal replay disagreed with the recorded intent (refcount
+  /// delta, snapshot id, GC count) — the redo log and the rebuilt
+  /// state diverged.
+  ReplayMismatch,
+  /// The volume halted at an injected crash point; the operation was
+  /// not acknowledged (recover from the journal to continue).
+  Crashed,
 };
 
 /// Stable lower-case name for \p Code ("ok", "ssd-read-error", ...).
@@ -97,6 +115,7 @@ public:
     return *Value;
   }
   T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
   T &operator*() { return value(); }
   const T &operator*() const { return value(); }
 

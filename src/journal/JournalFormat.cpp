@@ -1,0 +1,312 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Journal/checkpoint format implementation: framing, CRC validation,
+/// torn-tail detection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "journal/JournalFormat.h"
+
+#include "hash/Crc32.h"
+
+#include <cstring>
+
+using namespace padre;
+using namespace padre::journal;
+using padre::fault::ErrorCode;
+using padre::fault::Status;
+
+namespace {
+
+void appendLe32(ByteVector &Out, std::uint32_t Value) {
+  std::uint8_t Buf[4];
+  storeLe32(Buf, Value);
+  Out.insert(Out.end(), Buf, Buf + 4);
+}
+
+void appendLe64(ByteVector &Out, std::uint64_t Value) {
+  std::uint8_t Buf[8];
+  storeLe64(Buf, Value);
+  Out.insert(Out.end(), Buf, Buf + 8);
+}
+
+/// Bounds-checked sequential reader over a byte span. Every accessor
+/// reports success so malformed input can never read out of bounds.
+class ByteReader {
+public:
+  explicit ByteReader(ByteSpan Data) : Data(Data) {}
+
+  std::size_t position() const { return Pos; }
+  std::size_t remaining() const { return Data.size() - Pos; }
+  bool atEnd() const { return Pos == Data.size(); }
+
+  bool readU8(std::uint8_t &Out) {
+    if (remaining() < 1)
+      return false;
+    Out = Data[Pos];
+    Pos += 1;
+    return true;
+  }
+
+  bool readU32(std::uint32_t &Out) {
+    if (remaining() < 4)
+      return false;
+    Out = loadLe32(Data.data() + Pos);
+    Pos += 4;
+    return true;
+  }
+
+  bool readU64(std::uint64_t &Out) {
+    if (remaining() < 8)
+      return false;
+    Out = loadLe64(Data.data() + Pos);
+    Pos += 8;
+    return true;
+  }
+
+  bool readBytes(std::size_t Count, ByteSpan &Out) {
+    if (remaining() < Count)
+      return false;
+    Out = ByteSpan(Data.data() + Pos, Count);
+    Pos += Count;
+    return true;
+  }
+
+  bool readFingerprint(Fingerprint &Out) {
+    ByteSpan Raw;
+    if (!readBytes(Fingerprint::Size, Raw))
+      return false;
+    Sha1::Digest Digest;
+    std::memcpy(Digest.data(), Raw.data(), Fingerprint::Size);
+    Out = Fingerprint(Digest);
+    return true;
+  }
+
+private:
+  ByteSpan Data;
+  std::size_t Pos = 0;
+};
+
+void appendFingerprint(ByteVector &Out, const Fingerprint &Fp) {
+  Out.insert(Out.end(), Fp.bytes().begin(), Fp.bytes().end());
+}
+
+/// Serializes the type-specific body of \p Record and returns the
+/// chunk-payload bytes it contains.
+std::uint64_t encodeBody(const JournalRecord &Record, ByteVector &Out) {
+  std::uint64_t ChunkPayloadBytes = 0;
+  switch (Record.Type) {
+  case RecordType::WriteBatch:
+    appendLe32(Out, static_cast<std::uint32_t>(Record.Chunks.size()));
+    for (const NewChunk &Chunk : Record.Chunks) {
+      appendLe64(Out, Chunk.Location);
+      appendFingerprint(Out, Chunk.Fp);
+      appendLe32(Out, static_cast<std::uint32_t>(Chunk.Encoded.size()));
+      appendBytes(Out, ByteSpan(Chunk.Encoded.data(), Chunk.Encoded.size()));
+      ChunkPayloadBytes += Chunk.Encoded.size();
+    }
+    appendLe32(Out, static_cast<std::uint32_t>(Record.Updates.size()));
+    for (const MapUpdate &Update : Record.Updates) {
+      appendLe64(Out, Update.Lba);
+      appendLe64(Out, Update.Location);
+      appendFingerprint(Out, Update.Fp);
+    }
+    appendLe32(Out, static_cast<std::uint32_t>(Record.Deltas.size()));
+    for (const RefDelta &Delta : Record.Deltas) {
+      appendLe64(Out, Delta.Location);
+      appendLe64(Out, static_cast<std::uint64_t>(Delta.Delta));
+    }
+    break;
+  case RecordType::Trim:
+    appendLe64(Out, Record.Lba);
+    appendLe64(Out, Record.Count);
+    break;
+  case RecordType::SnapshotCreate:
+  case RecordType::SnapshotDelete:
+    appendLe64(Out, Record.SnapshotId);
+    break;
+  case RecordType::Gc:
+    appendLe64(Out, Record.Collected);
+    break;
+  }
+  return ChunkPayloadBytes;
+}
+
+/// Parses one CRC-verified payload. Failure means the payload is
+/// structurally malformed — tearing cannot produce that (the CRC
+/// already passed), so callers report JournalCorrupt.
+bool decodePayload(ByteSpan Payload, JournalRecord &Out) {
+  ByteReader Reader(Payload);
+  std::uint8_t TypeByte = 0;
+  if (!Reader.readU64(Out.Seq) || !Reader.readU8(TypeByte))
+    return false;
+  if (TypeByte > static_cast<std::uint8_t>(RecordType::Gc))
+    return false;
+  Out.Type = static_cast<RecordType>(TypeByte);
+  switch (Out.Type) {
+  case RecordType::WriteBatch: {
+    std::uint32_t ChunkCount = 0;
+    if (!Reader.readU32(ChunkCount))
+      return false;
+    Out.Chunks.reserve(ChunkCount);
+    for (std::uint32_t I = 0; I < ChunkCount; ++I) {
+      NewChunk Chunk;
+      std::uint32_t EncodedSize = 0;
+      ByteSpan Encoded;
+      if (!Reader.readU64(Chunk.Location) ||
+          !Reader.readFingerprint(Chunk.Fp) || !Reader.readU32(EncodedSize) ||
+          !Reader.readBytes(EncodedSize, Encoded))
+        return false;
+      Chunk.Encoded.assign(Encoded.begin(), Encoded.end());
+      Out.Chunks.push_back(std::move(Chunk));
+    }
+    std::uint32_t UpdateCount = 0;
+    if (!Reader.readU32(UpdateCount))
+      return false;
+    Out.Updates.reserve(UpdateCount);
+    for (std::uint32_t I = 0; I < UpdateCount; ++I) {
+      MapUpdate Update;
+      if (!Reader.readU64(Update.Lba) || !Reader.readU64(Update.Location) ||
+          !Reader.readFingerprint(Update.Fp))
+        return false;
+      Out.Updates.push_back(Update);
+    }
+    std::uint32_t DeltaCount = 0;
+    if (!Reader.readU32(DeltaCount))
+      return false;
+    Out.Deltas.reserve(DeltaCount);
+    for (std::uint32_t I = 0; I < DeltaCount; ++I) {
+      RefDelta Delta;
+      std::uint64_t Raw = 0;
+      if (!Reader.readU64(Delta.Location) || !Reader.readU64(Raw))
+        return false;
+      Delta.Delta = static_cast<std::int64_t>(Raw);
+      Out.Deltas.push_back(Delta);
+    }
+    break;
+  }
+  case RecordType::Trim:
+    if (!Reader.readU64(Out.Lba) || !Reader.readU64(Out.Count))
+      return false;
+    break;
+  case RecordType::SnapshotCreate:
+  case RecordType::SnapshotDelete:
+    if (!Reader.readU64(Out.SnapshotId))
+      return false;
+    break;
+  case RecordType::Gc:
+    if (!Reader.readU64(Out.Collected))
+      return false;
+    break;
+  }
+  return Reader.atEnd();
+}
+
+} // namespace
+
+void journal::encodeJournalHeader(const JournalHeader &Header,
+                                  ByteVector &Out) {
+  const std::size_t Begin = Out.size();
+  appendLe64(Out, JournalMagic);
+  appendLe32(Out, JournalVersion);
+  appendLe32(Out, Header.ChunkSize);
+  appendLe64(Out, Header.BlockCount);
+  appendLe64(Out, Header.BaseSeq);
+  appendLe32(Out, crc32c(ByteSpan(Out.data() + Begin, Out.size() - Begin)));
+}
+
+std::uint64_t journal::encodeRecord(const JournalRecord &Record,
+                                    ByteVector &Out) {
+  ByteVector Payload;
+  appendLe64(Payload, Record.Seq);
+  Payload.push_back(static_cast<std::uint8_t>(Record.Type));
+  const std::uint64_t ChunkPayloadBytes = encodeBody(Record, Payload);
+  appendLe32(Out, static_cast<std::uint32_t>(Payload.size()));
+  appendLe32(Out, crc32c(ByteSpan(Payload.data(), Payload.size())));
+  appendBytes(Out, ByteSpan(Payload.data(), Payload.size()));
+  return ChunkPayloadBytes;
+}
+
+fault::Expected<JournalScan> journal::scanJournal(ByteSpan File) {
+  if (File.size() < JournalHeaderSize)
+    return Status::error(ErrorCode::JournalCorrupt, File.size());
+  const std::uint32_t HeaderCrc = loadLe32(File.data() + JournalHeaderSize - 4);
+  if (crc32c(ByteSpan(File.data(), JournalHeaderSize - 4)) != HeaderCrc)
+    return Status::error(ErrorCode::JournalCorrupt);
+  ByteReader Reader(File);
+  JournalScan Scan;
+  std::uint64_t Magic = 0;
+  std::uint32_t Version = 0;
+  std::uint32_t Crc = 0;
+  Reader.readU64(Magic);
+  Reader.readU32(Version);
+  Reader.readU32(Scan.Header.ChunkSize);
+  Reader.readU64(Scan.Header.BlockCount);
+  Reader.readU64(Scan.Header.BaseSeq);
+  Reader.readU32(Crc);
+  if (Magic != JournalMagic)
+    return Status::error(ErrorCode::JournalCorrupt);
+  if (Version != JournalVersion)
+    return Status::error(ErrorCode::StateMismatch, Version);
+
+  // Record loop: any frame the CRC cannot vouch for starts the torn
+  // tail — discard it and every byte after it.
+  std::uint64_t ExpectedSeq = Scan.Header.BaseSeq;
+  while (!Reader.atEnd()) {
+    const std::size_t FrameStart = Reader.position();
+    std::uint32_t PayloadSize = 0;
+    std::uint32_t PayloadCrc = 0;
+    ByteSpan Payload;
+    if (!Reader.readU32(PayloadSize) || !Reader.readU32(PayloadCrc) ||
+        !Reader.readBytes(PayloadSize, Payload) ||
+        crc32c(Payload) != PayloadCrc) {
+      Scan.TornBytes = File.size() - FrameStart;
+      break;
+    }
+    JournalRecord Record;
+    if (!decodePayload(Payload, Record))
+      return Status::error(ErrorCode::JournalCorrupt, FrameStart);
+    if (Record.Seq != ExpectedSeq)
+      return Status::error(ErrorCode::JournalCorrupt, Record.Seq);
+    ++ExpectedSeq;
+    Scan.Records.push_back(std::move(Record));
+  }
+  return Scan;
+}
+
+void journal::encodeCheckpoint(std::uint64_t CoveredSeq, ByteSpan Image,
+                               ByteVector &Out) {
+  const std::size_t Begin = Out.size();
+  appendLe64(Out, CheckpointMagic);
+  appendLe32(Out, CheckpointVersion);
+  appendLe64(Out, CoveredSeq);
+  appendLe64(Out, Image.size());
+  appendBytes(Out, Image);
+  appendLe32(Out, crc32c(ByteSpan(Out.data() + Begin, Out.size() - Begin)));
+}
+
+fault::Expected<CheckpointView> journal::scanCheckpoint(ByteSpan File) {
+  if (File.size() < CheckpointPrefixSize + 4)
+    return Status::error(ErrorCode::ImageCorrupt, File.size());
+  const std::uint32_t FileCrc = loadLe32(File.data() + File.size() - 4);
+  if (crc32c(ByteSpan(File.data(), File.size() - 4)) != FileCrc)
+    return Status::error(ErrorCode::ImageCorrupt);
+  ByteReader Reader(File);
+  std::uint64_t Magic = 0;
+  std::uint32_t Version = 0;
+  CheckpointView View;
+  std::uint64_t ImageSize = 0;
+  Reader.readU64(Magic);
+  Reader.readU32(Version);
+  Reader.readU64(View.CoveredSeq);
+  Reader.readU64(ImageSize);
+  if (Magic != CheckpointMagic)
+    return Status::error(ErrorCode::ImageCorrupt);
+  if (Version != CheckpointVersion)
+    return Status::error(ErrorCode::StateMismatch, Version);
+  if (ImageSize != File.size() - CheckpointPrefixSize - 4)
+    return Status::error(ErrorCode::ImageCorrupt, ImageSize);
+  Reader.readBytes(ImageSize, View.Image);
+  return View;
+}

@@ -1,0 +1,157 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-consistent frontend over an LBA volume: every mutating
+/// operation is recorded in the metadata write-ahead log before it is
+/// acknowledged, in strict write-ahead order —
+///
+///   1. data destage      the pipeline stores the chunks (batch N's
+///                        destage on the SSD timeline),
+///   2. journal commit    the record (LBA remaps, new-chunk
+///                        fingerprints + encoded blocks, refcount
+///                        deltas) is framed, CRC'd and flushed;
+///                        modelled as a sequential SSD append pinned
+///                        *after* the destage completes
+///                        (BatchScheduler::noteCommit),
+///   3. acknowledge       only now does the caller observe success.
+///
+/// A crash before (3) loses nothing that was promised: recovery
+/// (journal/Recovery.h) replays exactly the committed prefix, and an
+/// operation is acknowledged iff its sequence number is <= ackedSeq().
+/// A crash between (2) and (3) may legitimately surface the write
+/// after recovery — durable but never acknowledged — the one outcome
+/// WAL semantics cannot forbid.
+///
+/// Group commit amortizes (2): with GroupCommitOps > 1 records pool in
+/// memory and one flush covers the group (sync() forces it). Periodic
+/// checkpoints snapshot the full volume through the VolumeImage format
+/// and truncate the log, bounding recovery time by the log length
+/// since the last checkpoint rather than volume size.
+///
+/// Crash injection: the fault plan's `crash` site
+/// (crash@<point>:crash:...) halts the frontend at MidDestage,
+/// PreCommit, MidCommit (optionally with a torn tail), PostCommit or
+/// MidCheckpoint. Once halted every operation returns
+/// ErrorCode::Crashed; the test harness then recovers into a fresh
+/// pipeline/volume pair and checks acknowledged state bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_JOURNAL_JOURNALEDVOLUME_H
+#define PADRE_JOURNAL_JOURNALEDVOLUME_H
+
+#include "core/Volume.h"
+#include "journal/MetadataJournal.h"
+
+namespace padre {
+namespace journal {
+
+struct JournaledVolumeConfig {
+  std::string JournalPath;
+  std::string CheckpointPath;
+  /// Operations per group commit; 1 = commit (and ack) every op.
+  std::size_t GroupCommitOps = 1;
+  /// Checkpoint + log truncation every N committed ops; 0 = never.
+  std::size_t CheckpointEveryOps = 0;
+  /// Crash injector (non-owning, may be null = never crashes).
+  fault::FaultInjector *Faults = nullptr;
+  /// Metrics sink (non-owning, may be null).
+  obs::MetricsRegistry *Metrics = nullptr;
+};
+
+/// The journaling frontend. Mutating calls MUST go through this class
+/// rather than the wrapped volume, or the log diverges from the state
+/// it promises to rebuild. Reads are pass-through (vol()).
+class JournaledVolume {
+public:
+  /// \p Vol and \p Pipeline must outlive the frontend. Creates (or
+  /// truncates) the journal file immediately; ctorStatus() reports
+  /// failure to do so.
+  JournaledVolume(Volume &Vol, ReductionPipeline &Pipeline,
+                  const JournaledVolumeConfig &Config);
+
+  /// File-creation outcome of the constructor.
+  fault::Status ctorStatus() const { return CtorStatus; }
+
+  /// Journaled writeBlocks: destage, record, (group-)commit, ack.
+  /// Returns the operation's journal sequence; it is acknowledged once
+  /// ackedSeq() >= that sequence (immediately so with GroupCommitOps
+  /// of 1).
+  fault::Expected<std::uint64_t> writeBlocks(std::uint64_t Lba,
+                                             ByteSpan Data);
+
+  /// Journaled TRIM of \p Count blocks at \p Lba.
+  fault::Expected<std::uint64_t> trim(std::uint64_t Lba,
+                                      std::uint64_t Count);
+
+  /// Journaled snapshot creation; \p IdOut (optional) receives the id.
+  fault::Expected<std::uint64_t>
+  createSnapshot(Volume::SnapshotId *IdOut = nullptr);
+
+  /// Journaled snapshot deletion.
+  fault::Expected<std::uint64_t> deleteSnapshot(Volume::SnapshotId Id);
+
+  /// Journaled garbage collection; \p CollectedOut (optional) receives
+  /// the number of chunks purged.
+  fault::Expected<std::uint64_t>
+  collectGarbage(std::size_t *CollectedOut = nullptr);
+
+  /// Forces the pending group commit (fsync semantics). Ok when
+  /// nothing is pending.
+  fault::Status sync();
+
+  /// Commits pending records, snapshots the volume into the checkpoint
+  /// file (atomically, via temp file + rename) and truncates the log.
+  fault::Status checkpoint();
+
+  /// Highest sequence whose operation has been acknowledged to a
+  /// caller (0 = none).
+  std::uint64_t ackedSeq() const { return AckedSeq; }
+
+  /// Highest sequence durably committed to the journal file. May
+  /// exceed ackedSeq() by at most the op interrupted post-commit.
+  std::uint64_t committedSeq() const { return Journal.committedSeq(); }
+
+  /// True once a crash point fired; every subsequent op returns
+  /// ErrorCode::Crashed.
+  bool halted() const { return Halted; }
+
+  std::uint64_t checkpointsTaken() const { return Checkpoints; }
+
+  /// The wrapped volume, for reads and statistics.
+  Volume &vol() { return Vol; }
+  const Volume &vol() const { return Vol; }
+
+private:
+  /// Samples the crash injector at \p Point; when a fault fires, halts
+  /// the frontend and returns it.
+  std::optional<fault::InjectedFault> crashAt(fault::CrashPoint Point);
+
+  /// Appends \p Record and runs the group-commit policy. On success
+  /// returns the record's sequence (acknowledged iff committed).
+  fault::Expected<std::uint64_t> logAndMaybeCommit(JournalRecord Record);
+
+  /// Flushes pending records: MidCommit crash window, file write,
+  /// modelled charge, PostCommit crash window, ack.
+  fault::Status commitPending();
+
+  Volume &Vol;
+  ReductionPipeline &Pipeline;
+  JournaledVolumeConfig Config;
+  MetadataJournal Journal;
+  fault::Status CtorStatus;
+  bool Halted = false;
+  std::uint64_t AckedSeq = 0;
+  std::size_t OpsSinceCheckpoint = 0;
+  std::uint64_t Checkpoints = 0;
+
+  obs::Counter *RecordsTotal = nullptr;
+  obs::Counter *CommitsTotal = nullptr;
+  obs::Counter *BytesTotal = nullptr;
+  obs::Counter *CheckpointsTotal = nullptr;
+};
+
+} // namespace journal
+} // namespace padre
+
+#endif // PADRE_JOURNAL_JOURNALEDVOLUME_H

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata journal writer implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "journal/MetadataJournal.h"
+
+#include <algorithm>
+
+using namespace padre;
+using namespace padre::journal;
+using padre::fault::ErrorCode;
+using padre::fault::Status;
+
+MetadataJournal::~MetadataJournal() { close(); }
+
+void MetadataJournal::close() {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+fault::Status MetadataJournal::create(const std::string &Path,
+                                      const JournalHeader &Header) {
+  close();
+  this->Path = Path;
+  this->Header = Header;
+  NextSeq = Header.BaseSeq;
+  CommittedSeq = Header.BaseSeq - 1;
+  Pending.clear();
+  PendingChunkPayload = 0;
+  PendingRecords = 0;
+
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return Status::error(ErrorCode::IoError);
+  ByteVector Bytes;
+  encodeJournalHeader(Header, Bytes);
+  if (std::fwrite(Bytes.data(), 1, Bytes.size(), File) != Bytes.size() ||
+      std::fflush(File) != 0)
+    return Status::error(ErrorCode::IoError);
+  return {};
+}
+
+std::uint64_t MetadataJournal::append(JournalRecord Record) {
+  Record.Seq = NextSeq++;
+  PendingChunkPayload += encodeRecord(Record, Pending);
+  ++PendingRecords;
+  return Record.Seq;
+}
+
+fault::Expected<MetadataJournal::CommitInfo> MetadataJournal::commit() {
+  CommitInfo Info;
+  if (Pending.empty())
+    return Info;
+  if (!File)
+    return Status::error(ErrorCode::IoError);
+  if (std::fwrite(Pending.data(), 1, Pending.size(), File) !=
+          Pending.size() ||
+      std::fflush(File) != 0)
+    return Status::error(ErrorCode::IoError);
+  Info.FramedBytes = Pending.size();
+  Info.MetaBytes = Pending.size() - PendingChunkPayload;
+  Info.Records = PendingRecords;
+  CommittedSeq = NextSeq - 1;
+  Pending.clear();
+  PendingChunkPayload = 0;
+  PendingRecords = 0;
+  return Info;
+}
+
+fault::Status MetadataJournal::tornCommit(std::size_t KeepBytes) {
+  if (!File)
+    return Status::error(ErrorCode::IoError);
+  KeepBytes = std::min(KeepBytes, Pending.size());
+  if (KeepBytes > 0 &&
+      (std::fwrite(Pending.data(), 1, KeepBytes, File) != KeepBytes ||
+       std::fflush(File) != 0))
+    return Status::error(ErrorCode::IoError);
+  // The records never became durable: they are gone, exactly as after
+  // a power cut. CommittedSeq stays where the last full commit left it.
+  Pending.clear();
+  PendingChunkPayload = 0;
+  PendingRecords = 0;
+  return {};
+}
+
+fault::Status MetadataJournal::truncate(std::uint64_t BaseSeq) {
+  JournalHeader NewHeader = Header;
+  NewHeader.BaseSeq = BaseSeq;
+  return create(Path, NewHeader);
+}

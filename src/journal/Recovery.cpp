@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recovery implementation: checkpoint load, journal scan, validated
+/// replay.
+///
+//===----------------------------------------------------------------------===//
+
+#include "journal/Recovery.h"
+
+#include "persist/VolumeImage.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+using namespace padre;
+using namespace padre::journal;
+using padre::fault::ErrorCode;
+using padre::fault::Status;
+
+namespace {
+
+/// Reads \p Path entirely. False when the file cannot be opened
+/// (treated as absent by the caller); IoError via \p St for a short
+/// read on an opened file.
+bool readFileBytes(const std::string &Path, ByteVector &Out, Status &St) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  std::fseek(File, 0, SEEK_END);
+  const long Size = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  if (Size < 0) {
+    std::fclose(File);
+    St = Status::error(ErrorCode::IoError);
+    return true;
+  }
+  Out.resize(static_cast<std::size_t>(Size));
+  const std::size_t Read =
+      Out.empty() ? 0 : std::fread(Out.data(), 1, Out.size(), File);
+  std::fclose(File);
+  if (Read != Out.size())
+    St = Status::error(ErrorCode::IoError);
+  return true;
+}
+
+/// Charges the modelled cost of reading + validating \p Bytes:
+/// a sequential SSD read and the CPU verification pass.
+double chargeScan(ReductionPipeline &Pipeline, std::uint64_t Bytes) {
+  double Us = 0.0;
+  ResourceLedger &Ledger = Pipeline.ledger();
+  const double SsdBeforeUs = Ledger.busyMicros(Resource::Ssd);
+  Pipeline.ssd().readSequential(Bytes);
+  Us += Ledger.busyMicros(Resource::Ssd) - SsdBeforeUs;
+  const double VerifyUs = Pipeline.platform().Model.Cpu.VerifyPerByteNs *
+                          1e-3 * static_cast<double>(Bytes);
+  Ledger.chargeMicros(Resource::CpuPool, VerifyUs);
+  Us += VerifyUs;
+  return Us;
+}
+
+/// Replays one committed record onto the pair, validating every effect
+/// against the recorded intent.
+Status replayRecord(JournalRecord &Record, ReductionPipeline &Pipeline,
+                    Volume &Vol) {
+  switch (Record.Type) {
+  case RecordType::WriteBatch: {
+    std::vector<std::uint32_t> RefsBefore;
+    RefsBefore.reserve(Record.Deltas.size());
+    for (const RefDelta &Delta : Record.Deltas)
+      RefsBefore.push_back(Vol.refCount(Delta.Location));
+    std::unordered_set<std::uint64_t> FreshChunks;
+    for (NewChunk &Chunk : Record.Chunks) {
+      FreshChunks.insert(Chunk.Location);
+      if (!Pipeline.restoreChunk(Chunk.Location, std::move(Chunk.Encoded),
+                                 Chunk.Fp))
+        return Status::error(ErrorCode::ReplayMismatch, Chunk.Location);
+    }
+    for (const MapUpdate &Update : Record.Updates)
+      if (!Vol.applyMappingUpdate(Update.Lba, Update.Location, Update.Fp,
+                                  FreshChunks.count(Update.Location) != 0))
+        return Status::error(ErrorCode::ReplayMismatch, Update.Lba);
+    for (std::size_t I = 0; I < Record.Deltas.size(); ++I) {
+      const RefDelta &Delta = Record.Deltas[I];
+      const std::int64_t Moved =
+          static_cast<std::int64_t>(Vol.refCount(Delta.Location)) -
+          static_cast<std::int64_t>(RefsBefore[I]);
+      if (Moved != Delta.Delta)
+        return Status::error(ErrorCode::ReplayMismatch, Delta.Location);
+    }
+    return {};
+  }
+  case RecordType::Trim:
+    if (!Vol.trim(Record.Lba, Record.Count))
+      return Status::error(ErrorCode::ReplayMismatch, Record.Lba);
+    return {};
+  case RecordType::SnapshotCreate:
+    if (Vol.createSnapshot() != Record.SnapshotId)
+      return Status::error(ErrorCode::ReplayMismatch, Record.SnapshotId);
+    return {};
+  case RecordType::SnapshotDelete:
+    if (!Vol.deleteSnapshot(Record.SnapshotId))
+      return Status::error(ErrorCode::ReplayMismatch, Record.SnapshotId);
+    return {};
+  case RecordType::Gc:
+    if (Vol.collectGarbage() != Record.Collected)
+      return Status::error(ErrorCode::ReplayMismatch, Record.Collected);
+    return {};
+  }
+  return Status::error(ErrorCode::JournalCorrupt);
+}
+
+} // namespace
+
+RecoveryReport journal::recoverVolume(const std::string &JournalPath,
+                                      const std::string &CheckpointPath,
+                                      ReductionPipeline &Pipeline, Volume &Vol,
+                                      obs::MetricsRegistry *Metrics) {
+  RecoveryReport Report;
+  obs::TraceRecorder *Trace = Pipeline.config().Trace;
+
+  // Phase 1: checkpoint.
+  {
+    const obs::StageSpan Stage(Trace, Pipeline.ledger(), "ckpt:load");
+    ByteVector File;
+    Status ReadSt;
+    if (readFileBytes(CheckpointPath, File, ReadSt)) {
+      if (!ReadSt.ok()) {
+        Report.St = ReadSt;
+        return Report;
+      }
+      Report.ModelledMicros += chargeScan(Pipeline, File.size());
+      const fault::Expected<CheckpointView> View =
+          scanCheckpoint(ByteSpan(File.data(), File.size()));
+      if (!View.ok()) {
+        Report.St = View.status();
+        return Report;
+      }
+      if (const Status St = decodeVolumeImage(View->Image, Pipeline, Vol);
+          !St.ok()) {
+        Report.St = St;
+        return Report;
+      }
+      Report.CheckpointLoaded = true;
+      Report.CheckpointSeq = View->CoveredSeq;
+      Report.LastSeq = View->CoveredSeq;
+    }
+  }
+
+  // Phase 2+3: journal scan and replay.
+  const obs::StageSpan Stage(Trace, Pipeline.ledger(), "journal:replay");
+  ByteVector File;
+  Status ReadSt;
+  if (!readFileBytes(JournalPath, File, ReadSt))
+    return Report; // no journal — the checkpoint (or empty volume) is it
+  if (!ReadSt.ok()) {
+    Report.St = ReadSt;
+    return Report;
+  }
+  Report.ModelledMicros += chargeScan(Pipeline, File.size());
+  fault::Expected<JournalScan> Scan =
+      scanJournal(ByteSpan(File.data(), File.size()));
+  if (!Scan.ok()) {
+    Report.St = Scan.status();
+    return Report;
+  }
+  Report.DiscardedTailBytes = Scan->TornBytes;
+  if (Scan->Header.ChunkSize != Pipeline.config().ChunkSize ||
+      Scan->Header.BlockCount != Vol.blockCount()) {
+    Report.St = Status::error(ErrorCode::StateMismatch);
+    return Report;
+  }
+  // The log must continue where the checkpoint stops: a truncated log
+  // whose base skips past the covered sequence lost records.
+  if (Scan->Header.BaseSeq > Report.CheckpointSeq + 1) {
+    Report.St =
+        Status::error(ErrorCode::JournalCorrupt, Scan->Header.BaseSeq);
+    return Report;
+  }
+
+  for (JournalRecord &Record : Scan->Records) {
+    if (Record.Seq <= Report.CheckpointSeq) {
+      // Mid-checkpoint crash residue: already covered by the image.
+      ++Report.SkippedRecords;
+      continue;
+    }
+    if (const Status St = replayRecord(Record, Pipeline, Vol); !St.ok()) {
+      Report.St = St;
+      return Report;
+    }
+    ++Report.ReplayedRecords;
+    Report.LastSeq = Record.Seq;
+  }
+
+  if (Metrics) {
+    Metrics->counter("padre_journal_replayed_records_total",
+                     "Records replayed by recovery")
+        .add(Report.ReplayedRecords);
+    Metrics->counter("padre_journal_torn_bytes_total",
+                     "Torn-tail bytes discarded by recovery")
+        .add(Report.DiscardedTailBytes);
+  }
+  return Report;
+}

@@ -1,7 +1,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Volume image serialization.
+/// Volume image serialization: span-based encode, two-phase validated
+/// decode, and the file-path wrappers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -9,10 +10,13 @@
 
 #include "hash/Crc32.h"
 
+#include <cassert>
 #include <cstdio>
-#include <map>
+#include <unordered_set>
 
 using namespace padre;
+using fault::ErrorCode;
+using fault::Status;
 
 namespace {
 
@@ -78,17 +82,32 @@ private:
 
 } // namespace
 
-ImageResult padre::saveVolumeImage(const std::string &Path,
-                                   const Volume &Vol,
-                                   const ReductionPipeline &Pipeline) {
-  // Build the image in memory (images are store-sized, i.e. small in
-  // this reproduction), then write once.
+ImageResult ImageResult::failure(fault::Status St, std::string Why) {
+  ImageResult Result;
+  Result.Ok = false;
+  Result.Status = St;
+  if (!Why.empty()) {
+    Result.Message = std::move(Why);
+  } else {
+    Result.Message = St.message();
+    if (St.detail() != 0)
+      Result.Message += " (detail " + std::to_string(St.detail()) + ")";
+  }
+  return Result;
+}
+
+Status padre::encodeVolumeImage(const Volume &Vol,
+                                const ReductionPipeline &Pipeline,
+                                ByteVector &Out) {
   const std::vector<Volume::ChunkRecord> Records = Vol.chunkRecords();
   const std::vector<std::uint64_t> &Mapping = Vol.mapping();
   std::uint64_t MappedCount = 0;
   for (std::uint64_t Location : Mapping)
     MappedCount += Location != Volume::Unmapped;
 
+  // The CRC trailer covers everything appended by *this* call, so the
+  // image is built in a scratch buffer and spliced in at the end —
+  // callers may embed it after their own framing (journal checkpoints).
   ByteVector Image;
   Image.reserve(SuperblockSize + Pipeline.store().storedBytes() +
                 Records.size() * ChunkRecordHeader +
@@ -103,9 +122,7 @@ ImageResult padre::saveVolumeImage(const std::string &Path,
   for (const Volume::ChunkRecord &Record : Records) {
     const auto Block = Pipeline.store().encodedBlock(Record.Location);
     if (!Block)
-      return ImageResult::failure("chunk " +
-                                  std::to_string(Record.Location) +
-                                  " missing from the store");
+      return Status::error(ErrorCode::ChunkMissing, Record.Location);
     appendLe64(Image, Record.Location);
     appendLe32(Image, static_cast<std::uint32_t>(Block->size()));
     appendLe32(Image, Record.Refs);
@@ -139,15 +156,139 @@ ImageResult padre::saveVolumeImage(const std::string &Path,
   }
 
   appendLe32(Image, crc32c(ByteSpan(Image.data(), Image.size())));
+  appendBytes(Out, ByteSpan(Image.data(), Image.size()));
+  return {};
+}
+
+Status padre::decodeVolumeImage(ByteSpan Image, ReductionPipeline &Pipeline,
+                                Volume &Vol) {
+  //===------------------------------------------------------------===//
+  // Phase 1 — parse and validate everything. No Pipeline/Vol mutation
+  // happens in this phase, so any rejection leaves the pair untouched.
+  //===------------------------------------------------------------===//
+  if (Image.size() < SuperblockSize + 4)
+    return Status::error(ErrorCode::ImageCorrupt);
+
+  const std::uint32_t StoredCrc = loadLe32(Image.data() + Image.size() - 4);
+  if (crc32c(Image.subspan(0, Image.size() - 4)) != StoredCrc)
+    return Status::error(ErrorCode::ImageCorrupt);
+
+  ImageReader Reader(Image.subspan(0, Image.size() - 4));
+  std::uint64_t Magic, BlockCount, ChunkCount, MappedCount;
+  std::uint32_t Version, ChunkSize;
+  if (!Reader.readLe64(Magic) || !Reader.readLe32(Version) ||
+      !Reader.readLe32(ChunkSize) || !Reader.readLe64(BlockCount) ||
+      !Reader.readLe64(ChunkCount) || !Reader.readLe64(MappedCount))
+    return Status::error(ErrorCode::ImageCorrupt);
+  if (Magic != ImageMagic)
+    return Status::error(ErrorCode::ImageCorrupt);
+  if (Version != ImageVersion)
+    return Status::error(ErrorCode::StateMismatch, Version);
+  if (ChunkSize != Pipeline.config().ChunkSize)
+    return Status::error(ErrorCode::StateMismatch, ChunkSize);
+  if (BlockCount != Vol.blockCount())
+    return Status::error(ErrorCode::StateMismatch, BlockCount);
+
+  struct StagedChunk {
+    Volume::ChunkRecord Record;
+    ByteVector Block;
+  };
+  std::vector<StagedChunk> Staged;
+  Staged.reserve(ChunkCount);
+  std::vector<Volume::ChunkRecord> Records;
+  Records.reserve(ChunkCount);
+  std::unordered_set<std::uint64_t> SeenLocations;
+  for (std::uint64_t I = 0; I < ChunkCount; ++I) {
+    Volume::ChunkRecord Record;
+    std::uint32_t EncodedSize;
+    std::array<std::uint8_t, Fingerprint::Size> Digest;
+    if (!Reader.readLe64(Record.Location) ||
+        !Reader.readLe32(EncodedSize) || !Reader.readLe32(Record.Refs) ||
+        !Reader.readBytes(Digest.data(), Digest.size()))
+      return Status::error(ErrorCode::ImageCorrupt);
+    Record.Fp = Fingerprint(Digest);
+    ByteSpan Block;
+    if (!Reader.readSpan(EncodedSize, Block))
+      return Status::error(ErrorCode::ImageCorrupt);
+    if (!decodeBlock(Block))
+      return Status::error(ErrorCode::ImageCorrupt, Record.Location);
+    if (!SeenLocations.insert(Record.Location).second)
+      return Status::error(ErrorCode::ImageCorrupt, Record.Location);
+    if (Pipeline.store().contains(Record.Location))
+      return Status::error(ErrorCode::StateMismatch, Record.Location);
+    Staged.push_back({Record, ByteVector(Block.begin(), Block.end())});
+    Records.push_back(Record);
+  }
+
+  std::vector<std::uint64_t> Mapping(BlockCount, Volume::Unmapped);
+  for (std::uint64_t I = 0; I < MappedCount; ++I) {
+    std::uint64_t Lba, Location;
+    if (!Reader.readLe64(Lba) || !Reader.readLe64(Location))
+      return Status::error(ErrorCode::ImageCorrupt);
+    if (Lba >= BlockCount)
+      return Status::error(ErrorCode::ImageCorrupt, Lba);
+    Mapping[Lba] = Location;
+  }
+  Volume::SnapshotTable Snapshots;
+  std::uint64_t SnapshotCount;
+  if (!Reader.readLe64(SnapshotCount))
+    return Status::error(ErrorCode::ImageCorrupt);
+  for (std::uint64_t S = 0; S < SnapshotCount; ++S) {
+    std::uint64_t Id, SnapMapped;
+    if (!Reader.readLe64(Id) || !Reader.readLe64(SnapMapped))
+      return Status::error(ErrorCode::ImageCorrupt);
+    std::vector<std::uint64_t> SnapMapping(BlockCount, Volume::Unmapped);
+    for (std::uint64_t I = 0; I < SnapMapped; ++I) {
+      std::uint64_t Lba, Location;
+      if (!Reader.readLe64(Lba) || !Reader.readLe64(Location))
+        return Status::error(ErrorCode::ImageCorrupt);
+      if (Lba >= BlockCount)
+        return Status::error(ErrorCode::ImageCorrupt, Lba);
+      SnapMapping[Lba] = Location;
+    }
+    Snapshots.emplace_back(Id, std::move(SnapMapping));
+  }
+  if (!Reader.atEnd())
+    return Status::error(ErrorCode::ImageCorrupt, Reader.position());
+
+  //===------------------------------------------------------------===//
+  // Phase 2 — apply. restoreState runs first (it checks its own
+  // preconditions before mutating, and a shared tracker is the one
+  // failure phase 1 cannot see); the chunk placements that follow are
+  // pre-validated above and cannot fail.
+  //===------------------------------------------------------------===//
+  if (!Vol.restoreState(std::move(Mapping), Records, std::move(Snapshots)))
+    return Status::error(ErrorCode::StateMismatch);
+  for (StagedChunk &Chunk : Staged) {
+    const bool Placed = Pipeline.restoreChunk(
+        Chunk.Record.Location, std::move(Chunk.Block), Chunk.Record.Fp);
+    assert(Placed && "Pre-validated chunk placement failed");
+    (void)Placed;
+  }
+  return {};
+}
+
+ImageResult padre::saveVolumeImage(const std::string &Path,
+                                   const Volume &Vol,
+                                   const ReductionPipeline &Pipeline) {
+  // Build the image in memory (images are store-sized, i.e. small in
+  // this reproduction), then write once.
+  ByteVector Image;
+  if (const Status St = encodeVolumeImage(Vol, Pipeline, Image); !St)
+    return ImageResult::failure(
+        St, "chunk " + std::to_string(St.detail()) +
+                " missing from the store");
 
   std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File)
-    return ImageResult::failure("cannot open " + Path + " for writing");
+    return ImageResult::failure(Status::error(ErrorCode::IoError),
+                                "cannot open " + Path + " for writing");
   const std::size_t Written =
       std::fwrite(Image.data(), 1, Image.size(), File);
   const bool CloseOk = std::fclose(File) == 0;
   if (Written != Image.size() || !CloseOk)
-    return ImageResult::failure("short write to " + Path);
+    return ImageResult::failure(Status::error(ErrorCode::IoError),
+                                "short write to " + Path);
   return ImageResult::success();
 }
 
@@ -156,100 +297,27 @@ ImageResult padre::loadVolumeImage(const std::string &Path,
                                    Volume &Vol) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
-    return ImageResult::failure("cannot open " + Path);
+    return ImageResult::failure(Status::error(ErrorCode::IoError),
+                                "cannot open " + Path);
   std::fseek(File, 0, SEEK_END);
   const long Size = std::ftell(File);
   std::fseek(File, 0, SEEK_SET);
-  if (Size < static_cast<long>(SuperblockSize + 4)) {
+  if (Size < 0) {
     std::fclose(File);
-    return ImageResult::failure("image too small");
+    return ImageResult::failure(Status::error(ErrorCode::IoError),
+                                "cannot size " + Path);
   }
   ByteVector Image(static_cast<std::size_t>(Size));
   const std::size_t Read = std::fread(Image.data(), 1, Image.size(), File);
   std::fclose(File);
   if (Read != Image.size())
-    return ImageResult::failure("short read from " + Path);
+    return ImageResult::failure(Status::error(ErrorCode::IoError),
+                                "short read from " + Path);
 
-  // Whole-file integrity first.
-  const std::uint32_t StoredCrc = loadLe32(Image.data() + Image.size() - 4);
-  if (crc32c(ByteSpan(Image.data(), Image.size() - 4)) != StoredCrc)
-    return ImageResult::failure("image CRC mismatch (corrupt file)");
-
-  ImageReader Reader(ByteSpan(Image.data(), Image.size() - 4));
-  std::uint64_t Magic, BlockCount, ChunkCount, MappedCount;
-  std::uint32_t Version, ChunkSize;
-  if (!Reader.readLe64(Magic) || !Reader.readLe32(Version) ||
-      !Reader.readLe32(ChunkSize) || !Reader.readLe64(BlockCount) ||
-      !Reader.readLe64(ChunkCount) || !Reader.readLe64(MappedCount))
-    return ImageResult::failure("truncated superblock");
-  if (Magic != ImageMagic)
-    return ImageResult::failure("not a padre volume image");
-  if (Version != ImageVersion)
-    return ImageResult::failure("unsupported image version " +
-                                std::to_string(Version));
-  if (ChunkSize != Pipeline.config().ChunkSize)
-    return ImageResult::failure("chunk size mismatch");
-  if (BlockCount != Vol.blockCount())
-    return ImageResult::failure("volume geometry mismatch");
-
-  std::vector<Volume::ChunkRecord> Records;
-  Records.reserve(ChunkCount);
-  for (std::uint64_t I = 0; I < ChunkCount; ++I) {
-    Volume::ChunkRecord Record;
-    std::uint32_t EncodedSize;
-    std::array<std::uint8_t, Fingerprint::Size> Digest;
-    if (!Reader.readLe64(Record.Location) ||
-        !Reader.readLe32(EncodedSize) || !Reader.readLe32(Record.Refs) ||
-        !Reader.readBytes(Digest.data(), Digest.size()))
-      return ImageResult::failure("truncated chunk record");
-    Record.Fp = Fingerprint(Digest);
-    ByteSpan Block;
-    if (!Reader.readSpan(EncodedSize, Block))
-      return ImageResult::failure("truncated chunk payload");
-    if (!decodeBlock(Block))
-      return ImageResult::failure("corrupt chunk block at location " +
-                                  std::to_string(Record.Location));
-    if (!Pipeline.restoreChunk(Record.Location,
-                               ByteVector(Block.begin(), Block.end()),
-                               Record.Fp))
-      return ImageResult::failure("duplicate chunk location " +
-                                  std::to_string(Record.Location));
-    Records.push_back(Record);
-  }
-
-  std::vector<std::uint64_t> Mapping(BlockCount, Volume::Unmapped);
-  for (std::uint64_t I = 0; I < MappedCount; ++I) {
-    std::uint64_t Lba, Location;
-    if (!Reader.readLe64(Lba) || !Reader.readLe64(Location))
-      return ImageResult::failure("truncated mapping record");
-    if (Lba >= BlockCount)
-      return ImageResult::failure("mapping LBA out of range");
-    Mapping[Lba] = Location;
-  }
-  Volume::SnapshotTable Snapshots;
-  std::uint64_t SnapshotCount;
-  if (!Reader.readLe64(SnapshotCount))
-    return ImageResult::failure("truncated snapshot count");
-  for (std::uint64_t S = 0; S < SnapshotCount; ++S) {
-    std::uint64_t Id, SnapMapped;
-    if (!Reader.readLe64(Id) || !Reader.readLe64(SnapMapped))
-      return ImageResult::failure("truncated snapshot header");
-    std::vector<std::uint64_t> SnapMapping(BlockCount, Volume::Unmapped);
-    for (std::uint64_t I = 0; I < SnapMapped; ++I) {
-      std::uint64_t Lba, Location;
-      if (!Reader.readLe64(Lba) || !Reader.readLe64(Location))
-        return ImageResult::failure("truncated snapshot record");
-      if (Lba >= BlockCount)
-        return ImageResult::failure("snapshot LBA out of range");
-      SnapMapping[Lba] = Location;
-    }
-    Snapshots.emplace_back(Id, std::move(SnapMapping));
-  }
-  if (!Reader.atEnd())
-    return ImageResult::failure("trailing bytes after snapshot tables");
-
-  if (!Vol.restoreState(std::move(Mapping), Records,
-                        std::move(Snapshots)))
-    return ImageResult::failure("volume state restore rejected");
+  if (const Status St =
+          decodeVolumeImage(ByteSpan(Image.data(), Image.size()),
+                            Pipeline, Vol);
+      !St)
+    return ImageResult::failure(St);
   return ImageResult::success();
 }

@@ -7,6 +7,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "hash/Crc32.h"
 #include "persist/VolumeImage.h"
 #include "util/Random.h"
 #include "workload/VdbenchStream.h"
@@ -175,6 +176,81 @@ TEST_F(PersistFixture, RejectsBitFlipAnywhere) {
     const ImageResult Result =
         loadVolumeImage(ImagePath, *Fresh, Restored);
     EXPECT_FALSE(Result.Ok) << "offset " << Offset;
+    // The trailer CRC covers the whole file, so every flip is typed as
+    // image corruption (never a crash, never a partial load).
+    EXPECT_EQ(Result.Status.code(), fault::ErrorCode::ImageCorrupt)
+        << "offset " << Offset;
+    EXPECT_EQ(Restored.stats().MappedBlocks, 0u) << "offset " << Offset;
+  }
+}
+
+TEST_F(PersistFixture, SemanticCorruptionLeavesTargetUntouched) {
+  // A CRC-valid image with an out-of-range mapping LBA exercises the
+  // two-phase decode: validation fails *after* the CRC passes, and the
+  // target pair must remain untouched and fully usable.
+  auto Pipeline = makePipeline();
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = 32;
+  Volume Vol(*Pipeline, VolConfig);
+  for (std::uint64_t Lba = 0; Lba < 4; ++Lba) {
+    const ByteVector Data = blockOf(Lba + 1);
+    ASSERT_TRUE(Vol.writeBlocks(Lba, ByteSpan(Data.data(), Data.size())));
+  }
+  ASSERT_TRUE(saveVolumeImage(ImagePath, Vol, *Pipeline).Ok);
+
+  std::FILE *File = std::fopen(ImagePath.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  std::fseek(File, 0, SEEK_END);
+  const long Size = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  ByteVector Pristine(static_cast<std::size_t>(Size));
+  ASSERT_EQ(std::fread(Pristine.data(), 1, Pristine.size(), File),
+            Pristine.size());
+  std::fclose(File);
+
+  // With no snapshots the file tail is: ..., last 16-byte mapping
+  // record, u64 snapshot count (0), u32 trailer CRC — so the last
+  // record's LBA field sits 28 bytes from the end. Point it past the
+  // volume and recompute the CRC so only semantic validation can
+  // reject it.
+  ByteVector Corrupt = Pristine;
+  const std::size_t LbaOffset = Corrupt.size() - 4 - 8 - 16;
+  const std::uint64_t BadLba = VolConfig.BlockCount + 999;
+  storeLe64(Corrupt.data() + LbaOffset, BadLba);
+  storeLe32(Corrupt.data() + Corrupt.size() - 4,
+            crc32c(ByteSpan(Corrupt.data(), Corrupt.size() - 4)));
+  {
+    std::FILE *Out = std::fopen(ImagePath.c_str(), "wb");
+    ASSERT_NE(Out, nullptr);
+    ASSERT_EQ(std::fwrite(Corrupt.data(), 1, Corrupt.size(), Out),
+              Corrupt.size());
+    std::fclose(Out);
+  }
+
+  auto Fresh = makePipeline();
+  Volume Restored(*Fresh, VolConfig);
+  const ImageResult Result = loadVolumeImage(ImagePath, *Fresh, Restored);
+  ASSERT_FALSE(Result.Ok);
+  EXPECT_EQ(Result.Status.code(), fault::ErrorCode::ImageCorrupt);
+  EXPECT_EQ(Result.Status.detail(), BadLba);
+  EXPECT_EQ(Restored.stats().MappedBlocks, 0u);
+  EXPECT_EQ(Restored.stats().LiveChunks, 0u);
+
+  // The very pair that saw the failed load must accept the pristine
+  // image — proof no partial state leaked into pipeline or volume.
+  {
+    std::FILE *Out = std::fopen(ImagePath.c_str(), "wb");
+    ASSERT_NE(Out, nullptr);
+    ASSERT_EQ(std::fwrite(Pristine.data(), 1, Pristine.size(), Out),
+              Pristine.size());
+    std::fclose(Out);
+  }
+  const ImageResult Retry = loadVolumeImage(ImagePath, *Fresh, Restored);
+  ASSERT_TRUE(Retry.Ok) << Retry.Message;
+  for (std::uint64_t Lba = 0; Lba < 4; ++Lba) {
+    const auto Read = Restored.readBlocks(Lba, 1);
+    ASSERT_TRUE(Read.has_value());
+    EXPECT_EQ(*Read, blockOf(Lba + 1)) << "LBA " << Lba;
   }
 }
 
@@ -189,7 +265,9 @@ TEST_F(PersistFixture, RejectsGeometryMismatch) {
   VolumeConfig Wrong;
   Wrong.BlockCount = 64;
   Volume Restored(*Fresh, Wrong);
-  EXPECT_FALSE(loadVolumeImage(ImagePath, *Fresh, Restored).Ok);
+  const ImageResult Result = loadVolumeImage(ImagePath, *Fresh, Restored);
+  EXPECT_FALSE(Result.Ok);
+  EXPECT_EQ(Result.Status.code(), fault::ErrorCode::StateMismatch);
 }
 
 TEST_F(PersistFixture, RejectsMissingFileAndGarbage) {
@@ -197,14 +275,18 @@ TEST_F(PersistFixture, RejectsMissingFileAndGarbage) {
   VolumeConfig VolConfig;
   VolConfig.BlockCount = 8;
   Volume Vol(*Pipeline, VolConfig);
-  EXPECT_FALSE(loadVolumeImage("/nonexistent/padre.img", *Pipeline, Vol)
-                   .Ok);
+  const ImageResult Missing =
+      loadVolumeImage("/nonexistent/padre.img", *Pipeline, Vol);
+  EXPECT_FALSE(Missing.Ok);
+  EXPECT_EQ(Missing.Status.code(), fault::ErrorCode::IoError);
 
   std::FILE *File = std::fopen(ImagePath.c_str(), "wb");
   ASSERT_NE(File, nullptr);
   std::fputs("this is not an image", File);
   std::fclose(File);
-  EXPECT_FALSE(loadVolumeImage(ImagePath, *Pipeline, Vol).Ok);
+  const ImageResult Garbage = loadVolumeImage(ImagePath, *Pipeline, Vol);
+  EXPECT_FALSE(Garbage.Ok);
+  EXPECT_EQ(Garbage.Status.code(), fault::ErrorCode::ImageCorrupt);
 }
 
 TEST_F(PersistFixture, SnapshotsSurviveRemount) {
