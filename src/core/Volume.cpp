@@ -252,7 +252,7 @@ std::uint32_t Volume::refCount(std::uint64_t Location) const {
 
 bool Volume::restoreState(std::vector<std::uint64_t> NewMapping,
                           const std::vector<ChunkRecord> &Records,
-                          SnapshotTable NewSnapshots) {
+                          SnapshotTable NewSnapshots, SnapshotId NextId) {
   if (SharedTracker)
     return false; // would clobber the other domain members' references
   if (NewMapping.size() != Config.BlockCount)
@@ -262,7 +262,11 @@ bool Volume::restoreState(std::vector<std::uint64_t> NewMapping,
       return false;
   Mapping = std::move(NewMapping);
   Snapshots = std::move(NewSnapshots);
-  NextSnapshotId = 1;
+  // The counter is monotonic across deletes: the persisted value wins
+  // whenever it is ahead of the live table (a deleted snapshot leaves
+  // no trace there, yet its id must never be reissued — journal replay
+  // validates replayed ids against the recorded ones).
+  NextSnapshotId = std::max<SnapshotId>(NextId, 1);
   for (const auto &[Id, Map] : Snapshots)
     NextSnapshotId = std::max(NextSnapshotId, Id + 1);
   Tracker->restore(Records);

@@ -196,14 +196,23 @@ public:
   /// Snapshot table snapshot (persistence support), oldest first.
   SnapshotTable snapshotTable() const { return Snapshots; }
 
+  /// The id the next createSnapshot() will assign (persistence
+  /// support). Monotonic across deletes, so it cannot be derived from
+  /// the live snapshot table.
+  SnapshotId nextSnapshotId() const { return NextSnapshotId; }
+
   /// Replaces the volume's mapping, reference table and snapshots
   /// (restore path). Only valid for volumes with a private tracker —
   /// restoring one member of a shared domain would clobber the
-  /// others' references. Returns false on geometry mismatch, snapshot
-  /// mappings of the wrong size, or a shared tracker.
+  /// others' references. \p NextId restores the snapshot-id counter; it
+  /// is raised to past the highest live snapshot id, so 0 (the
+  /// default) derives the counter from the table alone. Returns false
+  /// on geometry mismatch, snapshot mappings of the wrong size, or a
+  /// shared tracker.
   bool restoreState(std::vector<std::uint64_t> NewMapping,
                     const std::vector<ChunkRecord> &Records,
-                    SnapshotTable Snapshots = SnapshotTable());
+                    SnapshotTable Snapshots = SnapshotTable(),
+                    SnapshotId NextId = 0);
 
   /// Journal-replay hook (src/journal/Recovery.cpp): re-applies one
   /// recorded LBA remap without re-running the pipeline — references

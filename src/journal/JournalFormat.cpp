@@ -10,6 +10,7 @@
 
 #include "hash/Crc32.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace padre;
@@ -146,10 +147,15 @@ bool decodePayload(ByteSpan Payload, JournalRecord &Out) {
   Out.Type = static_cast<RecordType>(TypeByte);
   switch (Out.Type) {
   case RecordType::WriteBatch: {
+    // The counts are untrusted (CRC-valid garbage can claim ~4e9
+    // elements); every reserve() is clamped to what the remaining
+    // bytes could actually encode so a crafted payload cannot force a
+    // huge allocation — the per-element reads then fail naturally.
     std::uint32_t ChunkCount = 0;
     if (!Reader.readU32(ChunkCount))
       return false;
-    Out.Chunks.reserve(ChunkCount);
+    Out.Chunks.reserve(
+        std::min<std::size_t>(ChunkCount, Reader.remaining() / (12 + Fingerprint::Size)));
     for (std::uint32_t I = 0; I < ChunkCount; ++I) {
       NewChunk Chunk;
       std::uint32_t EncodedSize = 0;
@@ -164,7 +170,8 @@ bool decodePayload(ByteSpan Payload, JournalRecord &Out) {
     std::uint32_t UpdateCount = 0;
     if (!Reader.readU32(UpdateCount))
       return false;
-    Out.Updates.reserve(UpdateCount);
+    Out.Updates.reserve(
+        std::min<std::size_t>(UpdateCount, Reader.remaining() / (16 + Fingerprint::Size)));
     for (std::uint32_t I = 0; I < UpdateCount; ++I) {
       MapUpdate Update;
       if (!Reader.readU64(Update.Lba) || !Reader.readU64(Update.Location) ||
@@ -175,7 +182,7 @@ bool decodePayload(ByteSpan Payload, JournalRecord &Out) {
     std::uint32_t DeltaCount = 0;
     if (!Reader.readU32(DeltaCount))
       return false;
-    Out.Deltas.reserve(DeltaCount);
+    Out.Deltas.reserve(std::min<std::size_t>(DeltaCount, Reader.remaining() / 16));
     for (std::uint32_t I = 0; I < DeltaCount; ++I) {
       RefDelta Delta;
       std::uint64_t Raw = 0;

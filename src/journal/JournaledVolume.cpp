@@ -88,8 +88,16 @@ JournaledVolume::writeBlocks(std::uint64_t Lba, ByteSpan Data) {
       continue;
     const std::optional<ByteSpan> Block =
         Pipeline.store().encodedBlock(Info.Location);
-    if (!Block)
+    if (!Block) {
+      // The destage in (1) already mutated the volume, but no record
+      // will be appended for it — from here on the log diverges from
+      // volume state, and any further journaled op would bake that
+      // divergence into records whose replay validation must fail.
+      // Fence the frontend exactly like a crash: only recovery (which
+      // replays the committed prefix onto fresh state) is safe.
+      Halted = true;
       return Status::error(ErrorCode::ChunkMissing, Info.Location);
+    }
     NewChunk Chunk;
     Chunk.Location = Info.Location;
     Chunk.Fp = Info.Fp;

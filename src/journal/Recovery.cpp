@@ -10,6 +10,7 @@
 
 #include "persist/VolumeImage.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <unordered_set>
 
@@ -20,13 +21,21 @@ using padre::fault::Status;
 
 namespace {
 
-/// Reads \p Path entirely. False when the file cannot be opened
-/// (treated as absent by the caller); IoError via \p St for a short
-/// read on an opened file.
+/// Reads \p Path entirely. False only when the file does not exist
+/// (treated as absent by the caller); any other open failure —
+/// permissions, transient I/O — reports IoError via \p St, as does a
+/// short read on an opened file. Absence must stay distinct from
+/// unreadability: recovering from the checkpoint alone while a real
+/// journal sits unreadable would silently drop committed records.
 bool readFileBytes(const std::string &Path, ByteVector &Out, Status &St) {
+  errno = 0;
   std::FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File)
-    return false;
+  if (!File) {
+    if (errno == ENOENT)
+      return false;
+    St = Status::error(ErrorCode::IoError);
+    return true;
+  }
   std::fseek(File, 0, SEEK_END);
   const long Size = std::ftell(File);
   std::fseek(File, 0, SEEK_SET);

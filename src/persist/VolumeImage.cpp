@@ -21,7 +21,7 @@ using fault::Status;
 namespace {
 
 constexpr std::uint64_t ImageMagic = 0x314D494552444150ull; // "PADREIM1"
-constexpr std::uint32_t ImageVersion = 2;
+constexpr std::uint32_t ImageVersion = 3;
 constexpr std::size_t SuperblockSize = 8 + 4 + 4 + 8 + 8 + 8;
 constexpr std::size_t ChunkRecordHeader = 8 + 4 + 4 + Fingerprint::Size;
 constexpr std::size_t MappingRecordSize = 16;
@@ -138,7 +138,7 @@ Status padre::encodeVolumeImage(const Volume &Vol,
     appendLe64(Image, Mapping[Lba]);
   }
 
-  // Snapshot tables (format v2): id + sparse mapping each.
+  // Snapshot tables (since format v2): id + sparse mapping each.
   const Volume::SnapshotTable Snapshots = Vol.snapshotTable();
   appendLe64(Image, Snapshots.size());
   for (const auto &[Id, SnapMapping] : Snapshots) {
@@ -154,6 +154,12 @@ Status padre::encodeVolumeImage(const Volume &Vol,
       appendLe64(Image, SnapMapping[Lba]);
     }
   }
+
+  // Snapshot-id counter (since format v3). Monotonic across deletes,
+  // so it cannot be recomputed from the live table: losing it would
+  // reissue a deleted snapshot's id and break journal replay of
+  // acknowledged SnapshotCreate records.
+  appendLe64(Image, Vol.nextSnapshotId());
 
   appendLe32(Image, crc32c(ByteSpan(Image.data(), Image.size())));
   appendBytes(Out, ByteSpan(Image.data(), Image.size()));
@@ -248,6 +254,14 @@ Status padre::decodeVolumeImage(ByteSpan Image, ReductionPipeline &Pipeline,
     }
     Snapshots.emplace_back(Id, std::move(SnapMapping));
   }
+  std::uint64_t NextSnapshotId;
+  if (!Reader.readLe64(NextSnapshotId))
+    return Status::error(ErrorCode::ImageCorrupt);
+  // The counter must be ahead of every live snapshot: a value that
+  // would reissue a live id is structurally inconsistent.
+  for (const auto &[Id, SnapMapping] : Snapshots)
+    if (Id >= NextSnapshotId)
+      return Status::error(ErrorCode::ImageCorrupt, Id);
   if (!Reader.atEnd())
     return Status::error(ErrorCode::ImageCorrupt, Reader.position());
 
@@ -257,7 +271,8 @@ Status padre::decodeVolumeImage(ByteSpan Image, ReductionPipeline &Pipeline,
   // failure phase 1 cannot see); the chunk placements that follow are
   // pre-validated above and cannot fail.
   //===------------------------------------------------------------===//
-  if (!Vol.restoreState(std::move(Mapping), Records, std::move(Snapshots)))
+  if (!Vol.restoreState(std::move(Mapping), Records, std::move(Snapshots),
+                        NextSnapshotId))
     return Status::error(ErrorCode::StateMismatch);
   for (StagedChunk &Chunk : Staged) {
     const bool Placed = Pipeline.restoreChunk(

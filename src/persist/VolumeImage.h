@@ -13,6 +13,10 @@
 ///   chunk records: u64 location, u32 encoded size, u32 refs,
 ///                  20-byte fingerprint, encoded block bytes
 ///   mapping records: u64 lba, u64 location   (mapped LBAs only)
+///   snapshot tables: u64 count, then per snapshot u64 id,
+///                    u64 mapped count, sparse mapping records
+///   snapshot-id counter: u64 next snapshot id (monotonic across
+///                        deletes — not derivable from the tables)
 ///   trailer: u32 CRC-32C over everything before it
 ///
 /// The span-based encode/decode pair is the primitive layer — the

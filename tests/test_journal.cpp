@@ -512,6 +512,39 @@ TEST_F(JournalFixture, ExplicitCheckpointAnchorsRecoveredState) {
   EXPECT_EQ(readAll(Restored), readAll(Vol));
 }
 
+TEST_F(JournalFixture, SnapshotIdCounterSurvivesCheckpointAfterDelete) {
+  // Create-then-delete advances the snapshot-id counter without
+  // leaving a live snapshot for the checkpoint to derive it from; the
+  // checkpoint must persist the counter itself so an acknowledged
+  // post-checkpoint SnapshotCreate replays with the recorded id
+  // instead of reissuing the deleted one.
+  auto Pipeline = makePipeline();
+  Volume Vol(*Pipeline, {BlockCount});
+  JournaledVolume Jv(Vol, *Pipeline, configOf());
+  const ByteVector Data = blockOf(1);
+  ASSERT_TRUE(Jv.writeBlocks(0, ByteSpan(Data.data(), Data.size())).ok());
+  Volume::SnapshotId First = 0;
+  ASSERT_TRUE(Jv.createSnapshot(&First).ok());
+  ASSERT_TRUE(Jv.deleteSnapshot(First).ok());
+  ASSERT_TRUE(Jv.checkpoint().ok());
+
+  Volume::SnapshotId Second = 0;
+  ASSERT_TRUE(Jv.createSnapshot(&Second).ok());
+  EXPECT_EQ(Second, First + 1);
+
+  auto FreshPipe = makePipeline();
+  Volume Restored(*FreshPipe, {BlockCount});
+  const RecoveryReport Report =
+      recoverVolume(JournalPath, CheckpointPath, *FreshPipe, Restored);
+  ASSERT_TRUE(Report.ok()) << Report.St.message();
+  EXPECT_TRUE(Report.CheckpointLoaded);
+  EXPECT_EQ(Report.ReplayedRecords, 1u); // the post-checkpoint create
+  EXPECT_EQ(Restored.snapshotIds(),
+            std::vector<Volume::SnapshotId>{Second});
+  EXPECT_EQ(Restored.nextSnapshotId(), Vol.nextSnapshotId());
+  EXPECT_EQ(readAll(Restored), readAll(Vol));
+}
+
 //===--------------------------------------------------------------------===//
 // Corruption sweeps — typed errors, never crashes
 //===--------------------------------------------------------------------===//
@@ -698,6 +731,34 @@ TEST(JournalFormat, CrcValidGarbagePayloadIsCorruptNotTorn) {
   storeLe64(SeqBytes, 1);
   Payload.insert(Payload.end(), SeqBytes, SeqBytes + 8);
   Payload.push_back(200);
+  std::uint8_t Frame[8];
+  storeLe32(Frame, static_cast<std::uint32_t>(Payload.size()));
+  storeLe32(Frame + 4, crc32c(ByteSpan(Payload.data(), Payload.size())));
+  File.insert(File.end(), Frame, Frame + 8);
+  appendBytes(File, ByteSpan(Payload.data(), Payload.size()));
+
+  const auto Scan = scanJournal(ByteSpan(File.data(), File.size()));
+  ASSERT_FALSE(Scan.ok());
+  EXPECT_EQ(Scan.status().code(), ErrorCode::JournalCorrupt);
+}
+
+TEST(JournalFormat, HugeElementCountsFailTypedWithoutAllocating) {
+  // A CRC-valid WriteBatch whose chunk count claims ~4e9 elements: the
+  // decoder must clamp its reservations to what the payload could
+  // actually hold and report corruption, not die in std::bad_alloc.
+  ByteVector File;
+  JournalHeader Header;
+  Header.ChunkSize = BlockSize;
+  Header.BlockCount = BlockCount;
+  encodeJournalHeader(Header, File);
+  ByteVector Payload;
+  std::uint8_t SeqBytes[8];
+  storeLe64(SeqBytes, 1);
+  Payload.insert(Payload.end(), SeqBytes, SeqBytes + 8);
+  Payload.push_back(0); // RecordType::WriteBatch
+  std::uint8_t CountBytes[4];
+  storeLe32(CountBytes, 0xFFFFFFFFu);
+  Payload.insert(Payload.end(), CountBytes, CountBytes + 4);
   std::uint8_t Frame[8];
   storeLe32(Frame, static_cast<std::uint32_t>(Payload.size()));
   storeLe32(Frame + 4, crc32c(ByteSpan(Payload.data(), Payload.size())));

@@ -209,12 +209,12 @@ TEST_F(PersistFixture, SemanticCorruptionLeavesTargetUntouched) {
   std::fclose(File);
 
   // With no snapshots the file tail is: ..., last 16-byte mapping
-  // record, u64 snapshot count (0), u32 trailer CRC — so the last
-  // record's LBA field sits 28 bytes from the end. Point it past the
-  // volume and recompute the CRC so only semantic validation can
-  // reject it.
+  // record, u64 snapshot count (0), u64 next snapshot id, u32 trailer
+  // CRC — so the last record's LBA field sits 36 bytes from the end.
+  // Point it past the volume and recompute the CRC so only semantic
+  // validation can reject it.
   ByteVector Corrupt = Pristine;
-  const std::size_t LbaOffset = Corrupt.size() - 4 - 8 - 16;
+  const std::size_t LbaOffset = Corrupt.size() - 4 - 8 - 8 - 16;
   const std::uint64_t BadLba = VolConfig.BlockCount + 999;
   storeLe64(Corrupt.data() + LbaOffset, BadLba);
   storeLe32(Corrupt.data() + Corrupt.size() - 4,
@@ -298,6 +298,9 @@ TEST_F(PersistFixture, SnapshotsSurviveRemount) {
   const ByteVector Before = blockOf(50);
   const ByteVector After = blockOf(51);
   ASSERT_TRUE(Vol.writeBlocks(0, ByteSpan(Before.data(), Before.size())));
+  // A deleted snapshot advances the id counter past what the live
+  // table shows; the image must persist the counter itself.
+  ASSERT_TRUE(Vol.deleteSnapshot(Vol.createSnapshot()));
   const Volume::SnapshotId Snap = Vol.createSnapshot();
   ASSERT_TRUE(Vol.writeBlocks(0, ByteSpan(After.data(), After.size())));
   ASSERT_TRUE(saveVolumeImage(ImagePath, Vol, *Pipeline).Ok);
@@ -306,6 +309,7 @@ TEST_F(PersistFixture, SnapshotsSurviveRemount) {
   Volume Restored(*Fresh, VolConfig);
   ASSERT_TRUE(loadVolumeImage(ImagePath, *Fresh, Restored).Ok);
   EXPECT_EQ(Restored.stats().Snapshots, 1u);
+  EXPECT_EQ(Restored.nextSnapshotId(), Vol.nextSnapshotId());
   const auto Old = Restored.readSnapshotBlocks(Snap, 0, 1);
   ASSERT_TRUE(Old.has_value());
   EXPECT_EQ(*Old, Before);
@@ -328,7 +332,7 @@ TEST_F(PersistFixture, LoaderNeverCrashesOnRandomGarbage) {
     if (Case % 3 == 0 && Garbage.size() > 16) {
       // Valid magic + version so parsing reaches deeper code paths.
       storeLe64(Garbage.data(), 0x314D494552444150ull);
-      storeLe32(Garbage.data() + 8, 2);
+      storeLe32(Garbage.data() + 8, 3);
       storeLe32(Garbage.data() + 12, 4096);
     }
     std::FILE *File = std::fopen(ImagePath.c_str(), "wb");
