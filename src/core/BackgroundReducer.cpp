@@ -11,8 +11,9 @@
 
 using namespace padre;
 
-BackgroundReduceStats padre::backgroundReduce(Volume &Vol,
-                                              std::uint64_t RunBlocks) {
+BackgroundReduceStats
+padre::backgroundReduce(Volume &Vol, std::uint64_t RunBlocks,
+                        std::vector<ChunkWriteInfo> *InfoOut) {
   assert(RunBlocks > 0 && "Run length must be nonzero");
   BackgroundReduceStats Stats;
   ReductionPipeline &Pipe = Vol.pipelineForMaintenance();
@@ -49,7 +50,8 @@ BackgroundReduceStats padre::backgroundReduce(Volume &Vol,
       continue;
     }
     [[maybe_unused]] const bool Ok =
-        Vol.writeBlocks(Lba, ByteSpan(Data->data(), Data->size()));
+        Vol.writeBlocks(Lba, ByteSpan(Data->data(), Data->size()),
+                        InfoOut);
     assert(Ok && "In-range rewrite must succeed");
     Stats.BlocksProcessed += RunEnd - Lba;
     Lba = RunEnd;

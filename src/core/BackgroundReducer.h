@@ -38,9 +38,14 @@ struct BackgroundReduceStats {
 /// Sweeps \p Vol: rewrites every mapped block through the reduction
 /// path in runs of \p RunBlocks, then garbage-collects the raw
 /// originals. Charges all the extra SSD reads and writes — the §1
-/// endurance cost this scheme pays.
+/// endurance cost this scheme pays. When \p InfoOut is non-null, the
+/// pipeline's per-block outcomes of every rewrite are appended (the
+/// multi-tenant service uses them to expire a deferred tenant's
+/// transient index entries after its post-process pass, SERVICE.md).
 BackgroundReduceStats backgroundReduce(Volume &Vol,
-                                       std::uint64_t RunBlocks = 64);
+                                       std::uint64_t RunBlocks = 64,
+                                       std::vector<ChunkWriteInfo>
+                                           *InfoOut = nullptr);
 
 } // namespace padre
 

@@ -28,7 +28,7 @@
 #include "chunk/Chunker.h"
 #include "fault/Status.h"
 #include "gpu/GpuDevice.h"
-#include "index/DedupIndex.h"
+#include "index/FingerprintIndex.h"
 #include "index/GpuBinTable.h"
 #include "obs/Obs.h"
 #include "sim/CostModel.h"
@@ -113,7 +113,7 @@ public:
   /// Current adaptive offload fraction.
   double offloadFraction() const { return Offload; }
 
-  const DedupIndex &index() const { return Index; }
+  const FingerprintIndex &index() const { return *Index; }
   const GpuBinTable *gpuTable() const { return GpuTable.get(); }
 
 private:
@@ -144,7 +144,10 @@ private:
   SsdModel &Ssd;
   GpuDevice *Device;
   DedupEngineConfig Config;
-  DedupIndex Index;
+  /// Concrete type picked by makeFingerprintIndex from
+  /// Config.Index.Shards: the plain bin index, or the digest-prefix
+  /// sharded composite the multi-tenant service uses.
+  std::unique_ptr<FingerprintIndex> Index;
   std::unique_ptr<GpuBinTable> GpuTable;
   double Offload;
   // Ledger snapshot at the last adaptation step.

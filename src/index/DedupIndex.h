@@ -13,6 +13,10 @@
 /// event (sequential SSD write + bin-tree merge + GPU-table update are
 /// performed by the engine, §3.3).
 ///
+/// The shared batch types (LookupResult, FlushEvent, DedupIndexConfig)
+/// live in index/FingerprintIndex.h with the abstract interface this
+/// class implements.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PADRE_INDEX_DEDUPINDEX_H
@@ -21,6 +25,7 @@
 #include "index/BinBuffer.h"
 #include "index/BinLayout.h"
 #include "index/CpuBinStore.h"
+#include "index/FingerprintIndex.h"
 #include "util/ThreadPool.h"
 
 #include <atomic>
@@ -31,50 +36,12 @@
 
 namespace padre {
 
-/// Where a lookup was satisfied (or not).
-enum class LookupOutcome : std::uint8_t {
-  Unique = 0,    ///< not found anywhere; inserted as a new entry
-  DupBuffer = 1, ///< found in the bin buffer
-  DupTree = 2,   ///< found in the bin tree
-  DupGpu = 3,    ///< resolved by the GPU before the CPU path
-};
-
-/// Per-fingerprint batch result.
-struct LookupResult {
-  LookupOutcome Outcome = LookupOutcome::Unique;
-  std::uint64_t Location = 0; ///< existing location for duplicates
-  /// For DupBuffer: entries scanned newest-first before the hit
-  /// (1 = the newest entry). Zero otherwise. Feeds the
-  /// padre_bin_buffer_hit_depth metric — small depths confirm the
-  /// paper's temporal-locality argument for probing the buffer first.
-  std::uint32_t BufferDepth = 0;
-};
-
-/// A drained bin-buffer run: destined for a sequential SSD write, a
-/// bin-tree merge (already performed), and a GPU bin-table update.
-struct FlushEvent {
-  std::uint32_t Bin = 0;
-  ByteVector Suffixes;
-  std::vector<std::uint64_t> Locations;
-};
-
-/// Index configuration.
-struct DedupIndexConfig {
-  /// log2 of the bin count; 16 = the paper's 2-byte prefix.
-  unsigned BinBits = 16;
-  /// Bin-buffer entries per bin before a flush.
-  std::size_t BufferCapacityPerBin = 64;
-  /// Bin-tree entries per bin (0 = unbounded); bounds index memory.
-  std::size_t MaxEntriesPerBin = 0;
-  std::uint64_t Seed = 0x5EED5EED5EEDULL;
-};
-
 /// Lock-free-by-partitioning dedup index (bin buffer + bin tree).
-class DedupIndex {
+class DedupIndex : public FingerprintIndex {
 public:
   explicit DedupIndex(const DedupIndexConfig &Config = DedupIndexConfig());
 
-  const BinLayout &layout() const { return Layout; }
+  const BinLayout &layout() const override { return Layout; }
 
   /// Processes a batch: for each fingerprint, runs the CPU lookup
   /// order and fills \p Results. Unique fingerprints are inserted with
@@ -87,37 +54,42 @@ public:
                     std::span<const std::uint64_t> Locations,
                     std::span<const std::uint8_t> KnownDuplicate,
                     ThreadPool &Pool, std::span<LookupResult> Results,
-                    std::vector<FlushEvent> &FlushOut);
+                    std::vector<FlushEvent> &FlushOut) override;
 
   /// Single-item lookup without insertion (read path / tests).
-  std::optional<std::uint64_t> lookup(const Fingerprint &Fp) const;
+  std::optional<std::uint64_t> lookup(const Fingerprint &Fp) const override;
 
   /// Removes \p Fp from the buffer or tree (garbage collection of a
   /// dead chunk's entry). Returns true if an entry was removed.
-  bool remove(const Fingerprint &Fp);
+  bool remove(const Fingerprint &Fp) override;
 
   /// Single-item insert-if-absent (restore path / tools): runs the
   /// normal lookup order and inserts \p Fp at \p Location when unique.
   /// Drains land in \p FlushOut exactly as in processBatch.
   LookupResult upsert(const Fingerprint &Fp, std::uint64_t Location,
-                      std::vector<FlushEvent> &FlushOut);
+                      std::vector<FlushEvent> &FlushOut) override;
 
   /// Drains every non-empty bin buffer into flush events (end-of-run
   /// flush), merging into the tree as in processBatch.
-  void flushAll(std::vector<FlushEvent> &FlushOut);
+  void flushAll(std::vector<FlushEvent> &FlushOut) override;
 
   /// Cumulative per-stage hit counters.
-  std::uint64_t bufferHits() const { return BufferHits.load(); }
-  std::uint64_t treeHits() const { return TreeHits.load(); }
-  std::uint64_t gpuHits() const { return GpuHits.load(); }
-  std::uint64_t uniqueInserts() const { return UniqueInserts.load(); }
-  std::uint64_t evictions() const { return Evictions.load(); }
+  std::uint64_t bufferHits() const override { return BufferHits.load(); }
+  std::uint64_t treeHits() const override { return TreeHits.load(); }
+  std::uint64_t gpuHits() const override { return GpuHits.load(); }
+  std::uint64_t uniqueInserts() const override {
+    return UniqueInserts.load();
+  }
+  std::uint64_t evictions() const override { return Evictions.load(); }
 
   /// Entries in the tree (buffered entries excluded).
-  std::size_t treeEntries() const { return Tree.totalEntries(); }
+  std::size_t treeEntries() const override { return Tree.totalEntries(); }
 
   /// Index memory: tree entry storage plus buffered entries.
-  std::size_t memoryBytes() const;
+  std::size_t memoryBytes() const override;
+
+  /// The whole index is its only shard.
+  IndexShardStats shardStats(unsigned Shard) const override;
 
 private:
   /// Runs the CPU path for one fingerprint (caller owns its bin).

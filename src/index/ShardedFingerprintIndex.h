@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global fingerprint index sharded by digest prefix: K independent
+/// bin indexes (index/DedupIndex.h), each owning a contiguous range of
+/// the bin space. A fingerprint's bin id — its leading BinBits, i.e.
+/// the digest prefix — picks the shard, so shards never share state and
+/// need no cross-shard coordination (the service-scale extension of the
+/// paper's §3.1(1) bin partitioning: the same trick, one level up).
+///
+/// Because a bin's buffer and tree behave identically no matter which
+/// shard hosts them, every shard count produces bit-identical lookup
+/// outcomes, flush contents and counter totals. What sharding adds is
+/// introspection granularity — per-shard hit/occupancy stats that the
+/// multi-tenant service exports as padre_svc_shard_* metrics — and a
+/// seam for scaling the index across nodes later (ROADMAP).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_INDEX_SHARDEDFINGERPRINTINDEX_H
+#define PADRE_INDEX_SHARDEDFINGERPRINTINDEX_H
+
+#include "index/DedupIndex.h"
+#include "index/FingerprintIndex.h"
+
+#include <memory>
+#include <vector>
+
+namespace padre {
+
+/// Prefix-sharded composite over K plain bin indexes.
+class ShardedFingerprintIndex : public FingerprintIndex {
+public:
+  /// \p Config.Shards shards (clamped to [1, binCount]); every shard
+  /// is configured identically, so the composite behaves exactly like
+  /// one DedupIndex built from the same config.
+  explicit ShardedFingerprintIndex(const DedupIndexConfig &Config);
+
+  const BinLayout &layout() const override;
+
+  void processBatch(std::span<const Fingerprint> Fingerprints,
+                    std::span<const std::uint64_t> Locations,
+                    std::span<const std::uint8_t> KnownDuplicate,
+                    ThreadPool &Pool, std::span<LookupResult> Results,
+                    std::vector<FlushEvent> &FlushOut) override;
+
+  std::optional<std::uint64_t> lookup(const Fingerprint &Fp) const override;
+  bool remove(const Fingerprint &Fp) override;
+  LookupResult upsert(const Fingerprint &Fp, std::uint64_t Location,
+                      std::vector<FlushEvent> &FlushOut) override;
+  void flushAll(std::vector<FlushEvent> &FlushOut) override;
+
+  std::uint64_t bufferHits() const override;
+  std::uint64_t treeHits() const override;
+  std::uint64_t gpuHits() const override;
+  std::uint64_t uniqueInserts() const override;
+  std::uint64_t evictions() const override;
+  std::size_t treeEntries() const override;
+  std::size_t memoryBytes() const override;
+
+  unsigned shardCount() const override {
+    return static_cast<unsigned>(Shards.size());
+  }
+  IndexShardStats shardStats(unsigned Shard) const override;
+
+  /// Shard id owning \p Bin (contiguous ranges: shard = bin·K/bins).
+  unsigned shardOfBin(std::uint32_t Bin) const;
+
+private:
+  std::vector<std::unique_ptr<DedupIndex>> Shards;
+};
+
+} // namespace padre
+
+#endif // PADRE_INDEX_SHARDEDFINGERPRINTINDEX_H

@@ -49,6 +49,11 @@ inline constexpr const char *CategorySweep = "sweep";   ///< background passes
 /// visually meaningful (the Fig. 1 picture). They never participate in
 /// the stage-span/ledger reconciliation contract.
 inline constexpr const char *CategorySched = "sched";
+/// Multi-tenant service spans (src/service/VolumeService.h): one per
+/// dispatched tenant run or deferred-dedup sweep. Like "sweep" spans,
+/// they are umbrellas over pipeline work that emits its own stage
+/// spans inside — never part of the stage/ledger reconciliation.
+inline constexpr const char *CategorySvc = "svc";
 
 /// One recorded span. Name/Category must be string literals (or other
 /// storage outliving the recorder) — spans never copy them.

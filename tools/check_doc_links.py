@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Docs link checker: fail CI on dead relative links or anchors.
+
+Scans every Markdown file in the repository (skipping build trees and
+.git) for inline links `[text](target)` outside fenced code blocks and
+verifies that
+
+* a relative path target resolves to an existing file or directory,
+* a `path#anchor` target's anchor matches a heading in that file,
+* a bare `#anchor` target matches a heading in the same file.
+
+External schemes (http/https/mailto) are ignored. Anchors are compared
+against GitHub-style heading slugs (lowercased, punctuation stripped,
+spaces to hyphens, duplicate slugs suffixed -1, -2, ...).
+
+Usage: python3 tools/check_doc_links.py [repo-root]
+Exit status: 0 if every link resolves, 1 otherwise (each dead link is
+reported as file:line).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".github"} | {d for d in ("build",)}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def slugify(heading):
+    # GitHub's algorithm: strip markdown emphasis/code ticks, lowercase,
+    # delete everything but word characters, spaces and hyphens, then
+    # turn spaces into hyphens.
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path, root):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Drop inline code spans before matching links.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for target in LINK_RE.findall(stripped):
+                if EXTERNAL_RE.match(target):
+                    continue
+                base, _, anchor = target.partition("#")
+                if base:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(path), base)
+                    )
+                    if not os.path.exists(dest):
+                        errors.append(
+                            f"{os.path.relpath(path, root)}:{lineno}: "
+                            f"dead link target '{base}'"
+                        )
+                        continue
+                else:
+                    dest = path
+                if anchor:
+                    if not dest.endswith(".md") or not os.path.isfile(dest):
+                        errors.append(
+                            f"{os.path.relpath(path, root)}:{lineno}: "
+                            f"anchor on non-markdown target '{target}'"
+                        )
+                        continue
+                    if anchor.lower() not in heading_slugs(dest):
+                        errors.append(
+                            f"{os.path.relpath(path, root)}:{lineno}: "
+                            f"dead anchor '#{anchor}' in '{base or path}'"
+                        )
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(err)
+    print(
+        f"check_doc_links: {checked} markdown files, "
+        f"{len(errors)} dead link(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

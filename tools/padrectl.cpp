@@ -20,6 +20,16 @@
 ///                                recovery into a fresh volume with
 ///                                bit-exact verification of every
 ///                                acknowledged write
+///   serve     [options]          multi-tenant service demo: N tenants
+///                                behind weighted-fair dispatch over
+///                                one sharded global index, with
+///                                quotas and the prioritized cache
+///                                tier (see SERVICE.md)
+///   tenant    [options]          single-tenant parity check: the same
+///                                stream through a direct Volume and
+///                                through the VolumeService must be
+///                                bit-identical (results and ledger
+///                                charges) at the chosen shard count
 ///
 /// Common options:
 ///   --platform paper|no-gpu|weak-gpu|fast-gpu   (default paper)
@@ -42,6 +52,13 @@
 ///   --checkpoint PATH    (recover) checkpoint path (padre.ckpt)
 ///   --group-commit N     (recover) ops per group commit (default 1)
 ///   --checkpoint-every N (recover) checkpoint every N ops (default 0)
+///   --tenants N          (serve) tenant count            (default 3)
+///   --rounds N           (serve) dispatch rounds         (default 12)
+///   --shards N           (serve/tenant) index shards     (default 4)
+///   --index-budget N     (serve) inline index budget, bytes (default 0
+///                        = unlimited / pass-through)
+///   --policy prioritized|lru   (serve) cache-tier policy
+///   --quota N            (serve) per-tenant quota, bytes (default 0)
 ///   --fault-plan SPEC  deterministic fault injection (DESIGN.md):
 ///       seed=N;retries=N;<site>:<kind>:<trigger>[;...]
 ///   --trace-out FILE.json    write a Chrome trace_event span file
@@ -56,6 +73,8 @@
 #include "core/Calibrator.h"
 #include "core/TraceRunner.h"
 #include "core/Volume.h"
+#include "service/VolumeService.h"
+#include "util/Random.h"
 #include "journal/JournaledVolume.h"
 #include "journal/Recovery.h"
 #include "obs/Obs.h"
@@ -103,12 +122,19 @@ struct Options {
   std::string CheckpointPath = "padre.ckpt";
   std::size_t GroupCommitOps = 1;
   std::size_t CheckpointEveryOps = 0;
+  unsigned Tenants = 3;
+  std::uint64_t Rounds = 12;
+  unsigned Shards = 4;
+  std::size_t IndexBudget = 0;
+  CachePolicy Policy = CachePolicy::Prioritized;
+  std::uint64_t QuotaBytes = 0;
 };
 
 void usage() {
   std::fprintf(
       stderr,
-      "usage: padrectl <info|calibrate|run|volume|trace|restore|recover> "
+      "usage: padrectl "
+      "<info|calibrate|run|volume|trace|restore|recover|serve|tenant> "
       "[options]\n"
       "  --platform paper|no-gpu|weak-gpu|fast-gpu\n"
       "  --mode cpu-only|gpu-dedup|gpu-compress|gpu-both|auto\n"
@@ -121,6 +147,9 @@ void usage() {
       "  --pipeline-depth N   in-flight write batches (1 = serial)\n"
       "  --journal PATH  --checkpoint PATH   (recover) WAL/checkpoint\n"
       "  --group-commit N  --checkpoint-every N   (recover) policies\n"
+      "  --tenants N  --rounds N  --quota N   (serve) tenant workload\n"
+      "  --shards N  --index-budget N  --policy prioritized|lru\n"
+      "      (serve/tenant) sharded global index + cache tier\n"
       "  --fault-plan SPEC   inject faults, e.g.\n"
       "      'seed=7;ssd-read:error:p=0.01;gpu-kernel:hang:every=50'\n"
       "      sites: ssd-read ssd-write gpu-kernel gpu-dma destage\n"
@@ -242,6 +271,28 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.GroupCommitOps = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Arg == "--checkpoint-every" && NextValue(Value)) {
       Opts.CheckpointEveryOps = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--tenants" && NextValue(Value)) {
+      Opts.Tenants =
+          static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (Arg == "--rounds" && NextValue(Value)) {
+      Opts.Rounds = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--shards" && NextValue(Value)) {
+      Opts.Shards =
+          static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (Arg == "--index-budget" && NextValue(Value)) {
+      Opts.IndexBudget = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--quota" && NextValue(Value)) {
+      Opts.QuotaBytes = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--policy" && NextValue(Value)) {
+      if (Value == "prioritized")
+        Opts.Policy = CachePolicy::Prioritized;
+      else if (Value == "lru")
+        Opts.Policy = CachePolicy::Lru;
+      else {
+        std::fprintf(stderr, "error: unknown policy '%s'\n",
+                     Value.c_str());
+        return false;
+      }
     } else if (Arg == "--fault-plan" && NextValue(Value)) {
       std::string Error;
       if (!fault::parseFaultPlan(Value, Opts.FaultPlan, Error)) {
@@ -271,7 +322,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (Opts.Bytes == 0 || Opts.ChunkSize == 0 || Opts.DedupRatio < 1.0 ||
       Opts.CompressRatio < 1.0 || Opts.ReadBatch == 0 ||
-      Opts.PipelineDepth == 0) {
+      Opts.PipelineDepth == 0 || Opts.Tenants == 0 || Opts.Rounds == 0 ||
+      Opts.Shards == 0) {
     std::fprintf(stderr, "error: invalid numeric option\n");
     return false;
   }
@@ -730,6 +782,213 @@ int commandRecover(const Options &OptsIn) {
   return Obs.write(Opts) ? 0 : 1;
 }
 
+/// One service-demo dispatch run: RunBlocks blocks whose contents are
+/// derived from \p Tag (deterministic across invocations).
+constexpr std::uint64_t ServeRunBlocks = 8;
+
+ByteVector serveRun(const Options &Opts, std::uint64_t Tag) {
+  ByteVector Data(ServeRunBlocks * Opts.ChunkSize);
+  for (std::uint64_t I = 0; I < ServeRunBlocks; ++I) {
+    Random Rng((Tag + I) * 7919 + Opts.Seed);
+    Rng.fillBytes(Data.data() + I * Opts.ChunkSize, Opts.ChunkSize);
+  }
+  return Data;
+}
+
+int commandServe(const Options &OptsIn) {
+  Options Opts = OptsIn;
+  Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
+  const PipelineMode Mode = resolveMode(Opts);
+  ObsOutput Obs;
+  FaultSetup Faults;
+  ServiceConfig Config;
+  Config.Pipeline = pipelineConfigFor(Opts, Mode);
+  Config.Pipeline.Dedup.Index.Shards = Opts.Shards;
+  Config.IndexMemoryBudget = Opts.IndexBudget;
+  Config.Policy = Opts.Policy;
+  Obs.attach(Opts, Config.Pipeline);
+  Faults.attach(Opts, Config.Pipeline);
+  VolumeService Service(Opts.Plat, Config);
+
+  // Tenant 0 rewrites one working set every round (a hot, high-
+  // locality stream); the rest write fresh blocks (cold streams). With
+  // an --index-budget this is the cache tier's decision to make.
+  TenantConfig Tenant;
+  Tenant.Blocks = std::max<std::uint64_t>(Opts.Rounds * ServeRunBlocks,
+                                          ServeRunBlocks);
+  Tenant.QuotaBytes = Opts.QuotaBytes;
+  std::vector<VolumeService::TenantId> Ids;
+  for (unsigned I = 0; I < Opts.Tenants; ++I)
+    Ids.push_back(
+        Service.addTenant("tenant" + std::to_string(I), Tenant));
+
+  for (std::uint64_t Round = 0; Round < Opts.Rounds; ++Round) {
+    for (unsigned I = 0; I < Opts.Tenants; ++I) {
+      const bool Hot = I == 0;
+      const std::uint64_t Tag =
+          Hot ? 1000 : 1'000'000 * I + Round * ServeRunBlocks;
+      const ByteVector Run = serveRun(Opts, Tag);
+      const std::uint64_t Lba = Hot ? 0 : Round * ServeRunBlocks;
+      // Quota rejections are part of the demo, not an error.
+      Service.submitWrite(Ids[I], Lba,
+                          ByteSpan(Run.data(), Run.size()));
+    }
+    Service.pump();
+  }
+  Service.finish();
+  const ServiceSweepStats Sweep = Service.sweepDeferred();
+
+  std::printf("service on %s: %u tenants, %llu rounds, %u index "
+              "shard%s, policy %s, budget %s\n\n",
+              Opts.Plat.Name.c_str(), Opts.Tenants,
+              static_cast<unsigned long long>(Service.rounds()),
+              Opts.Shards, Opts.Shards == 1 ? "" : "s",
+              Opts.Policy == CachePolicy::Prioritized ? "prioritized"
+                                                      : "lru",
+              Opts.IndexBudget == 0
+                  ? "unlimited"
+                  : formatSize(Opts.IndexBudget).c_str());
+  std::printf("%-10s %12s %12s %12s %10s %9s %8s\n", "tenant",
+              "admitted", "deferred", "rejected", "locality", "resident",
+              "tracked");
+  for (const VolumeService::TenantId Id : Ids) {
+    const TenantStats Stats = Service.tenantStats(Id);
+    std::printf("%-10s %12s %12s %12s %10.3f %9s %8zu\n",
+                Stats.Name.c_str(),
+                formatSize(Stats.AdmittedBytes).c_str(),
+                formatSize(Stats.DeferredBytes).c_str(),
+                formatSize(Stats.RejectedBytes).c_str(),
+                Stats.LocalityScore, Stats.Resident ? "yes" : "no",
+                Stats.TrackedEntries);
+  }
+  std::printf("\nsweep: %llu tenants, %llu blocks reprocessed, %llu "
+              "chunks collected, %llu entries expired\n",
+              static_cast<unsigned long long>(Sweep.TenantsSwept),
+              static_cast<unsigned long long>(Sweep.BlocksProcessed),
+              static_cast<unsigned long long>(Sweep.ChunksCollected),
+              static_cast<unsigned long long>(Sweep.EntriesExpired));
+
+  const DedupEngine *Engine = Service.pipeline().dedupEngine();
+  if (Engine && Engine->index().shardCount() > 1) {
+    const FingerprintIndex &Index = Engine->index();
+    std::printf("\n%-7s %12s %12s %12s %12s\n", "shard", "bins",
+                "entries", "hits", "memory");
+    for (unsigned S = 0; S < Index.shardCount(); ++S) {
+      const IndexShardStats Stats = Index.shardStats(S);
+      std::printf("%-7u %5llu..%-5llu %12llu %12llu %12s\n", S,
+                  static_cast<unsigned long long>(Stats.BinBegin),
+                  static_cast<unsigned long long>(Stats.BinEnd),
+                  static_cast<unsigned long long>(Stats.TreeEntries),
+                  static_cast<unsigned long long>(
+                      Stats.BufferHits + Stats.TreeHits + Stats.GpuHits),
+                  formatSize(Stats.MemoryBytes).c_str());
+    }
+  }
+  std::printf("\n%s\n", Service.pipeline().report().toString().c_str());
+  Faults.summary();
+  return Obs.write(Opts) ? 0 : 1;
+}
+
+int commandTenant(const Options &OptsIn) {
+  Options Opts = OptsIn;
+  Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
+  const PipelineMode Mode = resolveMode(Opts);
+  const ByteVector Data = makeStream(Opts);
+  const std::uint64_t Blocks = Data.size() / Opts.ChunkSize;
+  const std::uint64_t ExtentBlocks = 64;
+
+  // Reference: the same stream straight through a Volume.
+  ReductionPipeline DirectPipe(Opts.Plat,
+                               pipelineConfigFor(Opts, Mode));
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = Blocks;
+  Volume Direct(DirectPipe, VolConfig);
+  for (std::uint64_t Lba = 0; Lba < Blocks; Lba += ExtentBlocks) {
+    const std::uint64_t Count = std::min(ExtentBlocks, Blocks - Lba);
+    if (!Direct.writeBlocks(Lba,
+                            ByteSpan(Data.data() + Lba * Opts.ChunkSize,
+                                     Count * Opts.ChunkSize))) {
+      std::fprintf(stderr, "error: direct write rejected\n");
+      return 1;
+    }
+  }
+  Direct.flush();
+
+  // Candidate: one tenant through the service at --shards shards.
+  ServiceConfig Config;
+  Config.Pipeline = pipelineConfigFor(Opts, Mode);
+  Config.Pipeline.Dedup.Index.Shards = Opts.Shards;
+  VolumeService Service(Opts.Plat, Config);
+  TenantConfig Tenant;
+  Tenant.Blocks = Blocks;
+  const auto Id = Service.addTenant("tenant0", Tenant);
+  for (std::uint64_t Lba = 0; Lba < Blocks; Lba += ExtentBlocks) {
+    const std::uint64_t Count = std::min(ExtentBlocks, Blocks - Lba);
+    if (!Service.submitWrite(Id,
+                             Lba,
+                             ByteSpan(Data.data() + Lba * Opts.ChunkSize,
+                                      Count * Opts.ChunkSize))) {
+      std::fprintf(stderr, "error: service write rejected\n");
+      return 1;
+    }
+  }
+  Service.finish();
+
+  const PipelineReport Ref = DirectPipe.report();
+  const PipelineReport Svc = Service.pipeline().report();
+  std::printf("single-tenant parity on %s: %s stream, %u index "
+              "shard%s\n\n",
+              Opts.Plat.Name.c_str(), formatSize(Data.size()).c_str(),
+              Opts.Shards, Opts.Shards == 1 ? "" : "s");
+  bool Match = Ref.UniqueChunks == Svc.UniqueChunks &&
+               Ref.DupChunks == Svc.DupChunks &&
+               Ref.DupFromBuffer == Svc.DupFromBuffer &&
+               Ref.DupFromTree == Svc.DupFromTree &&
+               Ref.StoredBytes == Svc.StoredBytes;
+  std::printf("%-22s %16s %16s\n", "counter", "direct volume",
+              "service");
+  const auto Row = [&](const char *Name, std::uint64_t A,
+                       std::uint64_t B) {
+    std::printf("%-22s %16llu %16llu%s\n", Name,
+                static_cast<unsigned long long>(A),
+                static_cast<unsigned long long>(B),
+                A == B ? "" : "   <-- MISMATCH");
+  };
+  Row("unique chunks", Ref.UniqueChunks, Svc.UniqueChunks);
+  Row("dup chunks", Ref.DupChunks, Svc.DupChunks);
+  Row("dup (buffer)", Ref.DupFromBuffer, Svc.DupFromBuffer);
+  Row("dup (tree)", Ref.DupFromTree, Svc.DupFromTree);
+  Row("stored bytes", Ref.StoredBytes, Svc.StoredBytes);
+  static constexpr Resource Lanes[] = {Resource::CpuPool, Resource::Gpu,
+                                       Resource::Pcie, Resource::Ssd,
+                                       Resource::IndexLock};
+  for (const Resource Lane : Lanes) {
+    const double A = DirectPipe.ledger().busyMicros(Lane);
+    const double B = Service.pipeline().ledger().busyMicros(Lane);
+    Match = Match && A == B;
+    std::printf("%-22s %16.3f %16.3f%s\n", resourceName(Lane), A, B,
+                A == B ? "" : "   <-- MISMATCH");
+  }
+  const auto DirectRead = Direct.readBlocks(0, Blocks);
+  const auto ServiceRead = Service.readBlocks(Id, 0, Blocks);
+  const bool BytesMatch = DirectRead && ServiceRead &&
+                          *DirectRead == *ServiceRead &&
+                          std::equal(DirectRead->begin(),
+                                     DirectRead->end(), Data.begin());
+  Match = Match && BytesMatch;
+  std::printf("\nread-back: %s\n",
+              BytesMatch ? "byte-exact on both paths"
+                         : "MISMATCH between paths");
+  if (!Match) {
+    std::fprintf(stderr, "error: service diverged from the direct "
+                         "volume path\n");
+    return 1;
+  }
+  std::printf("parity: PASS — service results and ledger charges are "
+              "bit-identical\n");
+  return 0;
+}
+
 } // namespace
 
 int commandTrace(const Options &OptsIn) {
@@ -858,6 +1117,10 @@ int main(int Argc, char **Argv) {
     return commandRestore(Opts);
   if (Opts.Command == "recover")
     return commandRecover(Opts);
+  if (Opts.Command == "serve")
+    return commandServe(Opts);
+  if (Opts.Command == "tenant")
+    return commandTenant(Opts);
   std::fprintf(stderr, "error: unknown command '%s'\n",
                Opts.Command.c_str());
   usage();
