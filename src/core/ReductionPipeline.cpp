@@ -50,6 +50,9 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
     Device->setMixedMode(Config.Mode == PipelineMode::GpuBoth);
   }
 
+  if (Config.Ftl)
+    Ssd.enableFtl(*Config.Ftl);
+
   const obs::ObsSinks Obs{Config.Trace, Config.Metrics};
   Ssd.setObs(Obs);
   if (Device)
@@ -351,8 +354,13 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
   }
   Sched->endStage(BatchScheduler::Stage::Compress);
 
-  // Stage 3: destage — one coalesced sequential write per batch.
+  // Stage 3: destage — one coalesced sequential write per batch. With
+  // the FTL enabled the same stream also carries the per-chunk extent
+  // layout so the device can track each chunk's pages.
   std::uint64_t DestageBytes = 0;
+  std::vector<SsdModel::ChunkExtent> DestageExtents;
+  if (Ssd.ftlEnabled())
+    DestageExtents.reserve(UniqueViews.size());
   Sched->beginStage(BatchScheduler::Stage::Destage);
   {
     const obs::StageSpan Stage(Config.Trace, Ledger, "destage");
@@ -360,6 +368,8 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       const std::uint64_t Location = Items[UniqueIndices[I]].Location;
       DestageBytes += Compressed[I].Block.size();
       StoredBytes += Compressed[I].Block.size();
+      if (Ssd.ftlEnabled())
+        DestageExtents.push_back({Location, Compressed[I].Block.size()});
       // Injected payload corruption: flip one bit in the encoded block
       // on its way to the store. The block's CRC no longer matches, so
       // the read path (or scrub) reports ChunkCorrupt.
@@ -379,7 +389,10 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       }
       Store.put(Location, std::move(Compressed[I].Block));
     }
-    const fault::Status DestageStatus = Ssd.writeSequential(DestageBytes);
+    const fault::Status DestageStatus =
+        Ssd.ftlEnabled()
+            ? Ssd.writeDestage(DestageExtents, DestageBytes)
+            : Ssd.writeSequential(DestageBytes);
     if (!DestageStatus.ok() && BatchStatus.ok())
       BatchStatus = DestageStatus;
   }
@@ -538,7 +551,9 @@ ScrubOutcome ReductionPipeline::scrubChunk(std::uint64_t Location,
       Ledger.chargeMicros(Resource::CpuPool,
                           Plat.Model.Cpu.CacheCopyPerByteNs * 1e-3 *
                               static_cast<double>(Candidate->size()));
-      if (Ssd.writeRandom4K(1).ok()) {
+      if (Ssd.rewriteChunk(Location,
+                           BlockHeaderSize + Candidate->size())
+              .ok()) {
         ByteVector Block = encodeBlock(
             BlockMethod::Raw,
             static_cast<std::uint32_t>(Candidate->size()),
@@ -567,6 +582,7 @@ bool ReductionPipeline::dropIndexEntry(const Fingerprint &Fp) {
 std::uint64_t ReductionPipeline::eraseChunk(std::uint64_t Location) {
   if (Cache)
     Cache->invalidate(Location);
+  Ssd.invalidateChunk(Location);
   return Store.erase(Location);
 }
 
@@ -575,6 +591,10 @@ bool ReductionPipeline::restoreChunk(std::uint64_t Location,
                                      const Fingerprint &Fp) {
   if (Store.contains(Location))
     return false;
+  // Recovery re-programs the chunk's flash pages; register the extent
+  // so later GC/TRIM invalidation finds it.
+  if (Ssd.ftlEnabled())
+    (void)Ssd.rewriteChunk(Location, Block.size());
   StoredBytes += Block.size();
   Store.put(Location, std::move(Block));
   NextLocation = std::max(NextLocation, Location + 1);

@@ -39,6 +39,7 @@
 #include "ssd/SsdModel.h"
 
 #include <memory>
+#include <optional>
 
 namespace padre {
 
@@ -98,6 +99,11 @@ struct PipelineConfig {
   /// an empty plan) leaves every code path and modelled cost
   /// bit-identical to a fault-free build; see DESIGN.md fault model.
   fault::FaultInjector *Faults = nullptr;
+  /// Page-level FTL geometry (ssd/Ftl.h). Unset (the default) keeps
+  /// the seed constant-WAF NAND accounting bit-exactly; set, the SSD
+  /// model tracks every destaged chunk's pages and write amplification
+  /// becomes a measured output (DESIGN.md decision 14).
+  std::optional<ssd::FtlConfig> Ftl;
 
   PipelineConfig() {
     Dedup.Index.BinBits = 10;

@@ -7,6 +7,9 @@
 
 #include "core/TraceRunner.h"
 
+#include "core/ReductionPipeline.h"
+
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -86,4 +89,147 @@ TraceRunStats padre::replayTrace(Volume &Vol, const TraceLog &Log,
     }
   }
   return Stats;
+}
+
+namespace {
+
+/// Total modelled busy time an op would serialize behind: the shared
+/// CPU pool contributes its busy time divided by the pool width (the
+/// lanes run in parallel), the device lanes contribute theirs whole.
+double modelledBusyUs(const ResourceLedger &Ledger, double CpuThreads) {
+  return Ledger.busyMicros(Resource::CpuPool) / CpuThreads +
+         Ledger.busyMicros(Resource::Gpu) +
+         Ledger.busyMicros(Resource::Pcie) +
+         Ledger.busyMicros(Resource::Ssd) +
+         Ledger.busyMicros(Resource::IndexLock);
+}
+
+/// Exact percentile of a sorted sample (nearest-rank on N-1).
+double percentileOf(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  const std::size_t Idx = static_cast<std::size_t>(
+      P * static_cast<double>(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+} // namespace
+
+TimedReplayReport padre::replayTraceTimed(Volume &Vol, const TraceLog &Log,
+                                          const ReplayConfig &Config,
+                                          const TraceReadFn &ReadBlocks) {
+  TimedReplayReport Report;
+  const std::size_t BlockSize = Vol.blockSize();
+  ResourceLedger &Ledger = Vol.pipelineForMaintenance().ledger();
+  const double CpuThreads = static_cast<double>(
+      Vol.pipelineForMaintenance().platform().Model.Cpu.Threads);
+
+  constexpr std::uint64_t Unwritten = ~0ull;
+  std::vector<std::uint64_t> Shadow(Vol.blockCount(), Unwritten);
+
+  std::vector<double> Latencies;
+  Latencies.reserve(Log.Records.size());
+  double Clock = 0.0; // completion clock of the open-loop queue
+  ByteVector WriteBuffer;
+  ByteVector Expected(BlockSize);
+  std::uint64_t OpIndex = 0;
+  for (const TraceRecord &Record : Log.Records) {
+    ++OpIndex;
+    if (Record.Lba + Record.Blocks > Vol.blockCount() ||
+        Record.Lba + Record.Blocks < Record.Lba) {
+      ++Report.Stats.OutOfRange;
+      continue;
+    }
+    const double BusyBefore = modelledBusyUs(Ledger, CpuThreads);
+    switch (Record.Op) {
+    case TraceOp::Write: {
+      WriteBuffer.resize(static_cast<std::size_t>(Record.Blocks) *
+                         BlockSize);
+      for (std::uint32_t I = 0; I < Record.Blocks; ++I) {
+        fillTraceBlock(Record.ContentTag,
+                       MutableByteSpan(WriteBuffer.data() + I * BlockSize,
+                                       BlockSize));
+        Shadow[Record.Lba + I] = Record.ContentTag;
+      }
+      const ByteSpan Data(WriteBuffer.data(), WriteBuffer.size());
+      [[maybe_unused]] const bool Ok =
+          Config.RawWrites ? Vol.writeBlocksRaw(Record.Lba, Data)
+                           : Vol.writeBlocks(Record.Lba, Data);
+      assert(Ok && "In-range write must succeed");
+      ++Report.Stats.Writes;
+      Report.Stats.BlocksWritten += Record.Blocks;
+      break;
+    }
+    case TraceOp::Read: {
+      const auto Data = ReadBlocks
+                            ? ReadBlocks(Record.Lba, Record.Blocks)
+                            : Vol.readBlocks(Record.Lba, Record.Blocks);
+      ++Report.Stats.Reads;
+      Report.Stats.BlocksRead += Record.Blocks;
+      if (!Data) {
+        ++Report.Stats.ReadFailures;
+        break;
+      }
+      for (std::uint32_t I = 0; I < Record.Blocks; ++I) {
+        const std::uint64_t Tag = Shadow[Record.Lba + I];
+        if (Tag == Unwritten) {
+          bool AllZero = true;
+          for (std::size_t B = 0; B < BlockSize && AllZero; ++B)
+            AllZero = (*Data)[I * BlockSize + B] == 0;
+          if (!AllZero)
+            ++Report.Stats.VerifyFailures;
+          continue;
+        }
+        fillTraceBlock(Tag, MutableByteSpan(Expected.data(), BlockSize));
+        if (std::memcmp(Data->data() + I * BlockSize, Expected.data(),
+                        BlockSize) != 0)
+          ++Report.Stats.VerifyFailures;
+      }
+      break;
+    }
+    case TraceOp::Trim: {
+      [[maybe_unused]] const bool Ok =
+          Vol.trim(Record.Lba, Record.Blocks);
+      assert(Ok && "In-range trim must succeed");
+      for (std::uint32_t I = 0; I < Record.Blocks; ++I)
+        Shadow[Record.Lba + I] = Unwritten;
+      ++Report.Stats.Trims;
+      break;
+    }
+    }
+    if (Config.GcEveryOps != 0 && OpIndex % Config.GcEveryOps == 0) {
+      Report.ChunksCollected += Vol.collectGarbage();
+      ++Report.GcRuns;
+    }
+    // Open-loop queue: the op starts when it arrives or when the
+    // device frees up, whichever is later; latency is queueing plus
+    // this op's modelled service time.
+    const double ServiceUs =
+        modelledBusyUs(Ledger, CpuThreads) - BusyBefore;
+    const double Arrival = static_cast<double>(Record.ArrivalUs);
+    Clock = std::max(Clock, Arrival) + ServiceUs;
+    Latencies.push_back(Clock - Arrival);
+    Report.ServiceUs += ServiceUs;
+  }
+  // Drain buffered batches so their destage cost is on the clock.
+  {
+    const double BusyBefore = modelledBusyUs(Ledger, CpuThreads);
+    Vol.flush();
+    const double FlushUs = modelledBusyUs(Ledger, CpuThreads) - BusyBefore;
+    Clock += FlushUs;
+    Report.ServiceUs += FlushUs;
+  }
+  Report.WallUs = Clock;
+  if (!Latencies.empty()) {
+    std::sort(Latencies.begin(), Latencies.end());
+    Report.P50Us = percentileOf(Latencies, 0.50);
+    Report.P95Us = percentileOf(Latencies, 0.95);
+    Report.P99Us = percentileOf(Latencies, 0.99);
+    Report.MaxUs = Latencies.back();
+    double Sum = 0.0;
+    for (double L : Latencies)
+      Sum += L;
+    Report.MeanUs = Sum / static_cast<double>(Latencies.size());
+  }
+  return Report;
 }

@@ -51,6 +51,50 @@ using TraceReadFn =
 TraceRunStats replayTrace(Volume &Vol, const TraceLog &Log,
                           const TraceReadFn &ReadBlocks = nullptr);
 
+/// Timed-replay knobs.
+struct ReplayConfig {
+  /// Bypass the reduction pipeline: writes go through
+  /// Volume::writeBlocksRaw (the reduction-off baseline of E9).
+  bool RawWrites = false;
+  /// Run Volume::collectGarbage every N ops (0 = never). Interleaves
+  /// chunk GC — and, with the FTL on, page invalidation — with the
+  /// write stream.
+  std::uint64_t GcEveryOps = 0;
+};
+
+/// Timed-replay outcome: everything `replayTrace` counts, plus the
+/// open-loop latency distribution.
+struct TimedReplayReport {
+  TraceRunStats Stats;
+  /// Per-op modelled latency percentiles in microseconds (exact, from
+  /// the full sample vector). Latency = completion − arrival under an
+  /// open-loop single-server queue: the device drains ops in trace
+  /// order at their modelled service times, and ops that arrive while
+  /// it is busy queue behind their predecessors.
+  double P50Us = 0.0;
+  double P95Us = 0.0;
+  double P99Us = 0.0;
+  double MeanUs = 0.0;
+  double MaxUs = 0.0;
+  /// Completion time of the last op (modelled wall clock, µs).
+  double WallUs = 0.0;
+  /// Total modelled service time across ops (µs).
+  double ServiceUs = 0.0;
+  /// Volume GC passes run and chunks they collected.
+  std::uint64_t GcRuns = 0;
+  std::uint64_t ChunksCollected = 0;
+};
+
+/// Replays \p Log with the open-loop latency model: each record's
+/// service time is the modelled busy-time delta its execution charges
+/// (CPU-pool time divided by the pool width, plus GPU, PCIe, SSD and
+/// index-lock lane time), and its latency is queueing + service
+/// against the record's `ArrivalUs` stamp. Functional behaviour
+/// (shadow verification, skip counting) matches `replayTrace`.
+TimedReplayReport replayTraceTimed(Volume &Vol, const TraceLog &Log,
+                                   const ReplayConfig &Config = {},
+                                   const TraceReadFn &ReadBlocks = nullptr);
+
 } // namespace padre
 
 #endif // PADRE_CORE_TRACERUNNER_H

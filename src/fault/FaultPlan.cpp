@@ -45,6 +45,8 @@ const char *padre::fault::crashPointName(CrashPoint Point) {
     return "post-commit";
   case CrashPoint::MidCheckpoint:
     return "mid-checkpoint";
+  case CrashPoint::MidGc:
+    return "mid-gc";
   }
   assert(false && "Unknown crash point");
   return "?";

@@ -18,7 +18,7 @@
 ///     site    := ssd-read | ssd-write | gpu-kernel | gpu-dma | destage
 ///              | crash | crash@<point>
 ///     point   := mid-destage | pre-commit | mid-commit | post-commit
-///              | mid-checkpoint
+///              | mid-checkpoint | mid-gc
 ///     kind    := error | timeout | ecc | hang | dma-corrupt | bitflip
 ///              | crash | torn-write
 ///     trigger := p=F | at=N[,N...] | every=N
@@ -69,12 +69,13 @@ enum class CrashPoint : unsigned {
   MidCommit = 2,     ///< commit in flight (torn-write leaves a tail)
   PostCommit = 3,    ///< record durable, ack never delivered
   MidCheckpoint = 4, ///< checkpoint written, log not yet truncated
+  MidGc = 5,         ///< chunks collected, Gc record not yet buffered
 };
 
-inline constexpr unsigned CrashPointCount = 5;
+inline constexpr unsigned CrashPointCount = 6;
 
 /// "mid-destage", "pre-commit", "mid-commit", "post-commit",
-/// "mid-checkpoint".
+/// "mid-checkpoint", "mid-gc".
 const char *crashPointName(CrashPoint Point);
 
 /// What goes wrong when a rule fires.

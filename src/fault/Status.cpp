@@ -42,6 +42,10 @@ const char *padre::fault::errorCodeName(ErrorCode Code) {
     return "replay-mismatch";
   case ErrorCode::Crashed:
     return "crashed";
+  case ErrorCode::TraceMalformed:
+    return "trace-malformed";
+  case ErrorCode::TraceInvalid:
+    return "trace-invalid";
   }
   assert(false && "Unknown error code");
   return "?";

@@ -60,6 +60,12 @@ enum class ErrorCode : std::uint8_t {
   /// The volume halted at an injected crash point; the operation was
   /// not acknowledged (recover from the journal to continue).
   Crashed,
+  /// A workload trace line failed to parse (detail = 1-based line).
+  TraceMalformed,
+  /// A parsed trace record is semantically invalid for the target
+  /// volume — out-of-range LBA, zero length, address wrap (detail =
+  /// 0-based record index).
+  TraceInvalid,
 };
 
 /// Stable lower-case name for \p Code ("ok", "ssd-read-error", ...).

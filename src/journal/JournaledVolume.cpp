@@ -168,6 +168,11 @@ JournaledVolume::collectGarbage(std::size_t *CollectedOut) {
   const std::size_t Collected = Vol.collectGarbage();
   if (CollectedOut)
     *CollectedOut = Collected;
+  // Chunks are gone from the store (and, with the FTL on, their flash
+  // pages invalidated) but no Gc record exists yet — recovery must
+  // rebuild a consistent image from the committed prefix alone.
+  if (crashAt(CrashPoint::MidGc))
+    return Status::error(ErrorCode::Crashed);
   JournalRecord Record;
   Record.Type = RecordType::Gc;
   Record.Collected = Collected;

@@ -39,7 +39,8 @@ bool isValidCostModel(const CostModel &Model) {
       Model.Ssd.SeqWriteMBps,      Model.Ssd.SeqReadMBps,
       Model.Ssd.RandWrite4KUs,     Model.Ssd.RandRead4KUs,
       Model.Ssd.SeqCommandUs,      Model.Ssd.SequentialWaf,
-      Model.Ssd.RandomWaf};
+      Model.Ssd.RandomWaf,         Model.Ssd.FtlGcPageReadUs,
+      Model.Ssd.FtlGcPageProgramUs, Model.Ssd.FtlBlockEraseUs};
   for (double Value : Values)
     if (!std::isfinite(Value) || Value <= 0.0)
       return false;

@@ -173,6 +173,12 @@ struct SsdCosts {
   /// trigger garbage-collection copies.
   double SequentialWaf = 1.05;
   double RandomWaf = 1.5;
+  /// FTL overhead costs (only charged when the page-level FTL is
+  /// enabled; see ssd/Ftl.h): a GC relocation is one page read plus
+  /// one page program, and reclaiming a block costs an erase.
+  double FtlGcPageReadUs = 10.0;
+  double FtlGcPageProgramUs = 12.0;
+  double FtlBlockEraseUs = 1800.0;
 };
 
 /// The full calibrated platform cost model plus derived-cost helpers.

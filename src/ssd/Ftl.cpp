@@ -1,0 +1,380 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Page-level FTL implementation: log-structured allocation, greedy
+/// garbage collection, dynamic + static wear leveling. See Ftl.h for
+/// the design notes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ssd/Ftl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace padre {
+namespace ssd {
+
+bool isValidFtlConfig(const FtlConfig &Config) {
+  if (Config.PageBytes == 0 || Config.PagesPerBlock == 0 ||
+      Config.Blocks == 0)
+    return false;
+  if (!(Config.OverprovisionPct >= 0.0 && Config.OverprovisionPct < 90.0))
+    return false;
+  if (Config.GcReserveBlocks < 2)
+    return false;
+  // The reserve plus the open block must leave blocks for data.
+  if (Config.Blocks <= Config.GcReserveBlocks + 2)
+    return false;
+  if (Config.EraseBudget == 0)
+    return false;
+  const std::uint64_t TotalPages =
+      std::uint64_t{Config.Blocks} * Config.PagesPerBlock;
+  if (Config.MetadataPages >= TotalPages / 2)
+    return false;
+  return true;
+}
+
+Ftl::Ftl(const FtlConfig &C) : Config(C) {
+  assert(isValidFtlConfig(Config) && "invalid FTL config");
+  TotalPages = std::uint64_t{Config.Blocks} * Config.PagesPerBlock;
+  // Logical capacity excludes the over-provisioned share and the
+  // reserve blocks GC needs for relocation headroom, so a full device
+  // always has victims with invalid pages to reclaim.
+  const double UsableFrac = 1.0 - Config.OverprovisionPct / 100.0;
+  std::uint64_t Cap =
+      static_cast<std::uint64_t>(static_cast<double>(TotalPages) * UsableFrac);
+  const std::uint64_t ReservePages =
+      std::uint64_t{Config.GcReserveBlocks + 1} * Config.PagesPerBlock;
+  Cap = Cap > ReservePages ? Cap - ReservePages : 0;
+  LogicalCapacityPages = Cap;
+  BlocksState.resize(Config.Blocks);
+  P2L.assign(TotalPages, NoPage);
+  FreeList.resize(Config.Blocks);
+  for (std::uint32_t B = 0; B < Config.Blocks; ++B)
+    FreeList[B] = B;
+}
+
+std::uint64_t Ftl::pagesForBytes(std::uint64_t TotalBytes) const {
+  return (TotalBytes + Config.PageBytes - 1) / Config.PageBytes;
+}
+
+void Ftl::openNextBlock() {
+  assert(!FreeList.empty() && "no free block for the log head");
+  // Dynamic wear leveling: open the coldest free block (ties by id
+  // for determinism).
+  std::size_t Best = 0;
+  for (std::size_t I = 1; I < FreeList.size(); ++I) {
+    const std::uint32_t A = FreeList[I], B = FreeList[Best];
+    if (BlocksState[A].EraseCount < BlocksState[B].EraseCount ||
+        (BlocksState[A].EraseCount == BlocksState[B].EraseCount && A < B))
+      Best = I;
+  }
+  OpenBlock = FreeList[Best];
+  FreeList.erase(FreeList.begin() + static_cast<std::ptrdiff_t>(Best));
+  BlocksState[OpenBlock].Free = false;
+  BlocksState[OpenBlock].WritePtr = 0;
+  HasOpenBlock = true;
+}
+
+std::uint64_t Ftl::allocPpn() {
+  if (!HasOpenBlock || BlocksState[OpenBlock].WritePtr == Config.PagesPerBlock)
+    openNextBlock();
+  BlockState &B = BlocksState[OpenBlock];
+  const std::uint64_t Ppn =
+      std::uint64_t{OpenBlock} * Config.PagesPerBlock + B.WritePtr;
+  ++B.WritePtr;
+  return Ppn;
+}
+
+void Ftl::programPage(std::uint64_t Lpn, bool ForHost) {
+  const std::uint64_t Ppn = allocPpn();
+  L2P[Lpn] = Ppn;
+  P2L[Ppn] = Lpn;
+  ++BlocksState[blockOf(Ppn)].ValidPages;
+  if (ForHost)
+    ++Stats.HostPages;
+  else
+    ++Stats.GcPages;
+}
+
+void Ftl::invalidatePage(std::uint64_t Lpn) {
+  auto It = L2P.find(Lpn);
+  if (It == L2P.end())
+    return;
+  const std::uint64_t Ppn = It->second;
+  P2L[Ppn] = NoPage;
+  BlockState &B = BlocksState[blockOf(Ppn)];
+  assert(B.ValidPages > 0 && "valid-count underflow");
+  --B.ValidPages;
+  L2P.erase(It);
+}
+
+void Ftl::releasePageRef(std::uint64_t Lpn) {
+  auto It = PageRefs.find(Lpn);
+  if (It == PageRefs.end())
+    return;
+  if (--It->second == 0) {
+    PageRefs.erase(It);
+    invalidatePage(Lpn);
+  }
+}
+
+void Ftl::releaseExtent(const Extent &E) {
+  if (!E.Valid)
+    return;
+  for (std::uint64_t Lpn = E.FirstPage; Lpn <= E.LastPage; ++Lpn)
+    releasePageRef(Lpn);
+}
+
+bool Ftl::ensureFree() {
+  while (FreeList.size() <= Config.GcReserveBlocks) {
+    // Greedy victim: the closed block with the fewest valid pages
+    // (ties by lowest id). The open block is never a victim.
+    std::uint32_t Victim = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t BestValid = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t B = 0; B < Config.Blocks; ++B) {
+      const BlockState &S = BlocksState[B];
+      if (S.Free || (HasOpenBlock && B == OpenBlock))
+        continue;
+      if (S.ValidPages < BestValid) {
+        BestValid = S.ValidPages;
+        Victim = B;
+      }
+    }
+    // A fully valid victim frees nothing: relocating PagesPerBlock
+    // pages consumes exactly the block we would reclaim.
+    if (Victim == std::numeric_limits<std::uint32_t>::max() ||
+        BestValid >= Config.PagesPerBlock)
+      return false;
+    ++Stats.GcRuns;
+    relocateBlock(Victim);
+    eraseBlock(Victim);
+  }
+  return true;
+}
+
+void Ftl::relocateBlock(std::uint32_t Block) {
+  const std::uint64_t Base = std::uint64_t{Block} * Config.PagesPerBlock;
+  for (std::uint32_t P = 0; P < Config.PagesPerBlock; ++P) {
+    const std::uint64_t Lpn = P2L[Base + P];
+    if (Lpn == NoPage)
+      continue;
+    // Unmap from the victim, then program at the log head. The
+    // reserve guarantees allocPpn never needs GC here.
+    P2L[Base + P] = NoPage;
+    assert(BlocksState[Block].ValidPages > 0);
+    --BlocksState[Block].ValidPages;
+    L2P.erase(Lpn);
+    programPage(Lpn, /*ForHost=*/false);
+  }
+}
+
+void Ftl::eraseBlock(std::uint32_t Block) {
+  BlockState &B = BlocksState[Block];
+  assert(B.ValidPages == 0 && "erasing a block with live pages");
+  const std::uint64_t Base = std::uint64_t{Block} * Config.PagesPerBlock;
+  for (std::uint32_t P = 0; P < Config.PagesPerBlock; ++P)
+    P2L[Base + P] = NoPage;
+  B.WritePtr = 0;
+  B.Free = true;
+  ++B.EraseCount;
+  ++Stats.Erases;
+  FreeList.push_back(Block);
+  maybeWearLevel();
+}
+
+void Ftl::maybeWearLevel() {
+  if (InWearLevel)
+    return;
+  if (eraseSpread() <= Config.WearDeltaLimit)
+    return;
+  // Static wear leveling: dig out the coldest closed block — its data
+  // has sat still while hot blocks cycled — so its erase count can
+  // catch up. Ties by lowest id.
+  std::uint32_t Cold = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t B = 0; B < Config.Blocks; ++B) {
+    const BlockState &S = BlocksState[B];
+    if (S.Free || (HasOpenBlock && B == OpenBlock))
+      continue;
+    if (Cold == std::numeric_limits<std::uint32_t>::max() ||
+        S.EraseCount < BlocksState[Cold].EraseCount)
+      Cold = B;
+  }
+  if (Cold == std::numeric_limits<std::uint32_t>::max())
+    return;
+  // Migrating a block that is already at the hot end cannot narrow
+  // the spread (cold free blocks catch up via openNextBlock instead).
+  if (BlocksState[Cold].EraseCount >= maxEraseCount())
+    return;
+  InWearLevel = true;
+  ++Stats.WearMigrations;
+  relocateBlock(Cold);
+  eraseBlock(Cold);
+  InWearLevel = false;
+}
+
+bool Ftl::appendStream(std::span<const std::uint64_t> ChunkBytes,
+                       std::vector<Extent> &Out) {
+  std::uint64_t TotalBytes = 0;
+  std::uint64_t ZeroChunks = 0;
+  for (std::uint64_t Bytes : ChunkBytes) {
+    TotalBytes += Bytes;
+    ZeroChunks += Bytes == 0 ? 1 : 0;
+  }
+  // Zero-byte chunks still pin a page each in the worst case.
+  const std::uint64_t Needed = pagesForBytes(TotalBytes) + ZeroChunks;
+  if (livePages() + Needed > LogicalCapacityPages)
+    return false;
+
+  // Lay the chunks head-to-tail into fresh logical pages. PackUsed
+  // tracks the byte fill of the stream's current page; a chunk whose
+  // head lands mid-page shares that seam page with its predecessor.
+  std::uint64_t PackUsed = Config.PageBytes; // force a fresh first page
+  std::uint64_t CurLpn = 0;
+  bool HaveCur = false;
+  for (std::uint64_t Bytes : ChunkBytes) {
+    Extent E;
+    std::uint64_t Left = Bytes;
+    while (Left > 0 || Bytes == 0) {
+      if (PackUsed == Config.PageBytes) {
+        if (!ensureFree())
+          return false; // defensive: capacity check above should hold
+        CurLpn = NextLpn++;
+        HaveCur = true;
+        programPage(CurLpn, /*ForHost=*/true);
+        PageRefs[CurLpn] = 0;
+        PackUsed = 0;
+      }
+      if (!E.Valid) {
+        E.FirstPage = CurLpn;
+        E.Valid = true;
+      }
+      E.LastPage = CurLpn;
+      ++PageRefs[CurLpn];
+      const std::uint64_t Take = std::min(Left, Config.PageBytes - PackUsed);
+      PackUsed += Take;
+      Left -= Take;
+      if (Bytes == 0)
+        break; // zero-byte chunk still pins one page
+    }
+    Out.push_back(E);
+  }
+  (void)HaveCur;
+  return true;
+}
+
+bool Ftl::appendMetadata(std::uint64_t Bytes) {
+  const std::uint64_t Pages = pagesForBytes(Bytes);
+  if (Pages == 0)
+    return true;
+  if (livePages() + Pages > LogicalCapacityPages)
+    return false;
+  for (std::uint64_t I = 0; I < Pages; ++I) {
+    if (!ensureFree())
+      return false;
+    const std::uint64_t Lpn = NextLpn++;
+    programPage(Lpn, /*ForHost=*/true);
+    PageRefs[Lpn] = 1;
+    MetaRing.push_back(Lpn);
+    // The metadata stream is a circular log: the window overflow is
+    // the truncated tail, dead on the device.
+    while (MetaRing.size() > Config.MetadataPages) {
+      releasePageRef(MetaRing.front());
+      MetaRing.pop_front();
+    }
+  }
+  return true;
+}
+
+double Ftl::measuredWaf() const {
+  if (Stats.HostPages == 0)
+    return 1.0;
+  return static_cast<double>(Stats.HostPages + Stats.GcPages) /
+         static_cast<double>(Stats.HostPages);
+}
+
+std::uint32_t Ftl::minEraseCount() const {
+  std::uint32_t Min = std::numeric_limits<std::uint32_t>::max();
+  for (const BlockState &B : BlocksState)
+    Min = std::min(Min, B.EraseCount);
+  return Min;
+}
+
+std::uint32_t Ftl::maxEraseCount() const {
+  std::uint32_t Max = 0;
+  for (const BlockState &B : BlocksState)
+    Max = std::max(Max, B.EraseCount);
+  return Max;
+}
+
+double Ftl::lifetimeFractionUsed() const {
+  const double Budget = static_cast<double>(Config.Blocks) *
+                        static_cast<double>(Config.EraseBudget);
+  return static_cast<double>(Stats.Erases) / Budget;
+}
+
+bool Ftl::checkInvariants(std::string *Why) const {
+  auto Fail = [Why](const char *Reason) {
+    if (Why)
+      *Why = Reason;
+    return false;
+  };
+  // Forward map entries have matching reverse entries.
+  std::uint64_t MappedPages = 0;
+  for (const auto &[Lpn, Ppn] : L2P) {
+    if (Ppn >= TotalPages)
+      return Fail("L2P points past the device");
+    if (P2L[Ppn] != Lpn)
+      return Fail("L2P/P2L disagree");
+    if (BlocksState[blockOf(Ppn)].Free)
+      return Fail("live page on a free block");
+    ++MappedPages;
+  }
+  // Reverse map has no entries the forward map lacks, and per-block
+  // valid counts match.
+  std::vector<std::uint32_t> Valid(Config.Blocks, 0);
+  std::uint64_t ReverseLive = 0;
+  for (std::uint64_t Ppn = 0; Ppn < TotalPages; ++Ppn) {
+    if (P2L[Ppn] == NoPage)
+      continue;
+    auto It = L2P.find(P2L[Ppn]);
+    if (It == L2P.end() || It->second != Ppn)
+      return Fail("P2L entry missing from L2P");
+    ++Valid[blockOf(Ppn)];
+    ++ReverseLive;
+  }
+  if (ReverseLive != MappedPages)
+    return Fail("forward/reverse live-page counts differ");
+  for (std::uint32_t B = 0; B < Config.Blocks; ++B) {
+    if (Valid[B] != BlocksState[B].ValidPages)
+      return Fail("per-block valid count drifted");
+    if (BlocksState[B].Free && BlocksState[B].ValidPages != 0)
+      return Fail("free block holds valid pages");
+    if (BlocksState[B].WritePtr > Config.PagesPerBlock)
+      return Fail("write pointer past block end");
+  }
+  // Every live page is owned by at least one extent (or the metadata
+  // ring), and refcounted pages are live.
+  if (PageRefs.size() != MappedPages)
+    return Fail("refcount table and live set differ");
+  for (const auto &[Lpn, Refs] : PageRefs) {
+    if (Refs == 0)
+      return Fail("zero refcount left behind");
+    if (!L2P.count(Lpn))
+      return Fail("refcounted page is not live");
+  }
+  if (MappedPages > LogicalCapacityPages)
+    return Fail("live set exceeds logical capacity");
+  // Free list agrees with block flags.
+  std::uint64_t FreeFlagged = 0;
+  for (const BlockState &B : BlocksState)
+    FreeFlagged += B.Free ? 1 : 0;
+  if (FreeFlagged != FreeList.size())
+    return Fail("free list and free flags differ");
+  return true;
+}
+
+} // namespace ssd
+} // namespace padre

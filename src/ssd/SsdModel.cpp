@@ -22,6 +22,9 @@ void SsdModel::setObs(const obs::ObsSinks &Obs) {
   Trace = Obs.Trace;
   if (!Obs.Metrics)
     return;
+  MetricsReg = Obs.Metrics;
+  if (FtlModel)
+    registerFtlMetrics();
   // Service time per SSD command. A command's span position on the SSD
   // lane doubles as its modelled queue position (the lane is a
   // capacity-one device, so accumulated busy time IS the queue).
@@ -47,6 +50,156 @@ void SsdModel::setObs(const obs::ObsSinks &Obs) {
 
 void SsdModel::noteHostWrite(std::uint64_t Bytes) {
   HostBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void SsdModel::enableFtl(const ssd::FtlConfig &Config) {
+  assert(ssd::isValidFtlConfig(Config) && "invalid FTL config");
+  std::lock_guard<std::mutex> Lock(FtlMutex);
+  FtlModel = std::make_unique<ssd::Ftl>(Config);
+  Extents.clear();
+  if (MetricsReg)
+    registerFtlMetrics();
+}
+
+void SsdModel::registerFtlMetrics() {
+  FtlHostPagesC = &MetricsReg->counter(
+      "padre_ftl_pages_total{kind=\"host\"}",
+      "FTL pages programmed, by origin (host data vs GC relocation)");
+  FtlGcPagesC =
+      &MetricsReg->counter("padre_ftl_pages_total{kind=\"gc\"}",
+                           "FTL pages programmed, by origin (host data "
+                           "vs GC relocation)");
+  FtlErasesC = &MetricsReg->counter("padre_ftl_erase_total",
+                                    "FTL block erases (endurance)");
+  FtlGcRunsC = &MetricsReg->counter("padre_ftl_gc_total",
+                                    "FTL garbage-collection victim "
+                                    "reclaims");
+  FtlWearMigsC = &MetricsReg->counter("padre_ftl_wear_migration_total",
+                                      "Static wear-leveling block "
+                                      "migrations");
+  FtlWafG = &MetricsReg->gauge("padre_ftl_measured_waf",
+                               "Measured write amplification "
+                               "(host+GC pages over host pages)");
+  FtlFreeBlocksG =
+      &MetricsReg->gauge("padre_ftl_free_blocks", "FTL free erase blocks");
+  FtlLivePagesG =
+      &MetricsReg->gauge("padre_ftl_live_pages", "FTL live (mapped) pages");
+  FtlSpreadG = &MetricsReg->gauge("padre_ftl_erase_spread",
+                                  "Max minus min per-block erase count "
+                                  "(wear-leveling bound)");
+}
+
+void SsdModel::settleFtlWork(const ssd::Ftl::Counters &Before) {
+  const ssd::Ftl::Counters &Now = FtlModel->counters();
+  const std::uint64_t HostP = Now.HostPages - Before.HostPages;
+  const std::uint64_t GcP = Now.GcPages - Before.GcPages;
+  const std::uint64_t Er = Now.Erases - Before.Erases;
+  // Every program — host or relocation — is NAND traffic: with the
+  // FTL on, this *replaces* the constant-WAF accounting.
+  NandBytes.fetch_add((HostP + GcP) * FtlModel->config().PageBytes,
+                      std::memory_order_relaxed);
+  if (GcP > 0 || Er > 0) {
+    const obs::LaneSpan Span(Trace, Ledger, Resource::Ssd, "ftl:gc",
+                             obs::CategoryIo);
+    // A relocation is a page read plus a page program; reclaiming the
+    // victim costs an erase.
+    const double GcUs =
+        static_cast<double>(GcP) *
+            (Model.Ssd.FtlGcPageReadUs + Model.Ssd.FtlGcPageProgramUs) +
+        static_cast<double>(Er) * Model.Ssd.FtlBlockEraseUs;
+    Ledger.chargeMicros(Resource::Ssd, GcUs);
+    if (OpLog)
+      OpLog->push_back(GcUs);
+    if (IoHist)
+      IoHist->observe(GcUs);
+  }
+  if (FtlHostPagesC) {
+    FtlHostPagesC->add(HostP);
+    FtlGcPagesC->add(GcP);
+    FtlErasesC->add(Er);
+    FtlGcRunsC->add(Now.GcRuns - Before.GcRuns);
+    FtlWearMigsC->add(Now.WearMigrations - Before.WearMigrations);
+    FtlWafG->set(FtlModel->measuredWaf());
+    FtlFreeBlocksG->set(static_cast<double>(FtlModel->freeBlocks()));
+    FtlLivePagesG->set(static_cast<double>(FtlModel->livePages()));
+    FtlSpreadG->set(static_cast<double>(FtlModel->eraseSpread()));
+  }
+}
+
+fault::Status SsdModel::writeDestage(std::span<const ChunkExtent> Chunks,
+                                     std::uint64_t TotalBytes) {
+  if (!FtlModel)
+    // Parity by construction: without the FTL a destage stream is
+    // exactly the sequential write it always was.
+    return writeSequential(TotalBytes);
+  if (TotalBytes == 0 && Chunks.empty())
+    return {};
+  const fault::Status St =
+      issue(fault::FaultSite::SsdWrite, "ssd:seq-write",
+            Model.ssdSeqWriteUs(TotalBytes), SeqWriteOps);
+  std::lock_guard<std::mutex> Lock(FtlMutex);
+  const ssd::Ftl::Counters Before = FtlModel->counters();
+  std::vector<std::uint64_t> Sizes;
+  Sizes.reserve(Chunks.size());
+  for (const ChunkExtent &C : Chunks)
+    Sizes.push_back(C.Bytes);
+  std::vector<ssd::Ftl::Extent> Exts;
+  Exts.reserve(Chunks.size());
+  if (!FtlModel->appendStream(Sizes, Exts))
+    return fault::Status::error(fault::ErrorCode::SsdWriteError,
+                                FtlModel->livePages());
+  for (std::size_t I = 0; I < Chunks.size(); ++I) {
+    auto [It, Inserted] = Extents.try_emplace(Chunks[I].Location, Exts[I]);
+    if (!Inserted) {
+      // A location rewrite: the old pages die.
+      FtlModel->releaseExtent(It->second);
+      It->second = Exts[I];
+    }
+  }
+  settleFtlWork(Before);
+  return St;
+}
+
+void SsdModel::invalidateChunk(std::uint64_t Location) {
+  if (!FtlModel)
+    return;
+  std::lock_guard<std::mutex> Lock(FtlMutex);
+  auto It = Extents.find(Location);
+  if (It == Extents.end())
+    return;
+  FtlModel->releaseExtent(It->second);
+  Extents.erase(It);
+  if (FtlLivePagesG) {
+    FtlWafG->set(FtlModel->measuredWaf());
+    FtlLivePagesG->set(static_cast<double>(FtlModel->livePages()));
+  }
+}
+
+fault::Status SsdModel::rewriteChunk(std::uint64_t Location,
+                                     std::uint64_t Bytes) {
+  if (!FtlModel)
+    // Parity by construction: the pre-FTL scrub repair charge.
+    return writeRandom4K(1);
+  const std::uint64_t Pages = FtlModel->pagesForBytes(Bytes);
+  const fault::Status St =
+      issue(fault::FaultSite::SsdWrite, "ssd:rand-write",
+            Model.Ssd.RandWrite4KUs * static_cast<double>(Pages ? Pages : 1),
+            RandWriteOps);
+  std::lock_guard<std::mutex> Lock(FtlMutex);
+  const ssd::Ftl::Counters Before = FtlModel->counters();
+  auto It = Extents.find(Location);
+  if (It != Extents.end()) {
+    FtlModel->releaseExtent(It->second);
+    Extents.erase(It);
+  }
+  const std::uint64_t Sizes[1] = {Bytes};
+  std::vector<ssd::Ftl::Extent> Exts;
+  if (!FtlModel->appendStream(Sizes, Exts))
+    return fault::Status::error(fault::ErrorCode::SsdWriteError,
+                                FtlModel->livePages());
+  Extents.emplace(Location, Exts[0]);
+  settleFtlWork(Before);
+  return St;
 }
 
 fault::Status SsdModel::issue(fault::FaultSite Site, const char *SpanName,
@@ -118,6 +271,18 @@ fault::Status SsdModel::writeSequential(std::uint64_t Bytes) {
   const fault::Status St =
       issue(fault::FaultSite::SsdWrite, "ssd:seq-write",
             Model.ssdSeqWriteUs(Bytes), SeqWriteOps);
+  if (FtlModel) {
+    // Metadata stream (journal commits, bin-log flushes): whole pages
+    // into the FTL's circular window; NAND bytes come from the pages
+    // actually programmed, never from the constant WAF.
+    std::lock_guard<std::mutex> Lock(FtlMutex);
+    const ssd::Ftl::Counters Before = FtlModel->counters();
+    if (!FtlModel->appendMetadata(Bytes))
+      return fault::Status::error(fault::ErrorCode::SsdWriteError,
+                                  FtlModel->livePages());
+    settleFtlWork(Before);
+    return St;
+  }
   // NAND endurance is charged once per command: retries re-issue the
   // host transfer, but the FTL only programs the pages once the data
   // lands (and a failed command's partial programs are noise next to
@@ -136,6 +301,17 @@ fault::Status SsdModel::writeRandom4K(std::uint64_t Count) {
       issue(fault::FaultSite::SsdWrite, "ssd:rand-write",
             Model.Ssd.RandWrite4KUs * static_cast<double>(Count),
             RandWriteOps);
+  if (FtlModel) {
+    // Untracked random page updates land as metadata-stream appends
+    // (no address to map); chunk rewrites should use rewriteChunk.
+    std::lock_guard<std::mutex> Lock(FtlMutex);
+    const ssd::Ftl::Counters Before = FtlModel->counters();
+    if (!FtlModel->appendMetadata(Count * 4096))
+      return fault::Status::error(fault::ErrorCode::SsdWriteError,
+                                  FtlModel->livePages());
+    settleFtlWork(Before);
+    return St;
+  }
   NandBytes.fetch_add(
       static_cast<std::uint64_t>(static_cast<double>(Count) * 4096.0 *
                                  Model.Ssd.RandomWaf),

@@ -14,8 +14,17 @@
 ///
 /// Service time is charged to the shared resource ledger; endurance is
 /// tracked as host bytes (what the workload asked to write) vs NAND
-/// bytes (what physically hit flash, including a simple FTL
-/// write-amplification factor).
+/// bytes (what physically hit flash). NAND accounting has two modes:
+///
+///   * default: a constant FTL write-amplification factor
+///     (SsdCosts::SequentialWaf / RandomWaf) scales each write — the
+///     seed behaviour, bit-exact preserved;
+///   * `enableFtl()`: a page-level FTL (ssd/Ftl.h) tracks every chunk
+///     extent, and NAND bytes are exactly the pages it programs (host
+///     plus GC relocation) — the constants are bypassed, write
+///     amplification becomes measured output, GC relocations and
+///     erases are charged to the SSD lane under `ftl:gc` spans, and
+///     `padre_ftl_*` metrics expose the device state.
 ///
 /// Fault tolerance (DESIGN.md fault model): with a FaultInjector
 /// attached, each command samples the ssd-read/ssd-write fault site
@@ -35,9 +44,14 @@
 #include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
+#include "ssd/Ftl.h"
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 namespace padre {
@@ -60,12 +74,15 @@ public:
   /// no service time is charged.
   void noteHostWrite(std::uint64_t Bytes);
 
-  /// Sequentially writes \p Bytes (destage streams, bin-buffer
-  /// flushes). Charges service time and NAND bytes.
+  /// Sequentially writes \p Bytes (bin-buffer flushes, journal
+  /// commits). Charges service time and NAND bytes. With the FTL
+  /// enabled this is the metadata stream: whole pages appended to the
+  /// FTL's circular metadata window.
   fault::Status writeSequential(std::uint64_t Bytes);
 
   /// Writes \p Count random 4 KiB pages. Charges service time and NAND
-  /// bytes (with the random-write FTL amplification).
+  /// bytes (with the random-write FTL amplification; with the FTL
+  /// enabled, as metadata-stream page appends).
   fault::Status writeRandom4K(std::uint64_t Count);
 
   /// Sequentially reads \p Bytes.
@@ -73,6 +90,46 @@ public:
 
   /// Reads \p Count random 4 KiB pages.
   fault::Status readRandom4K(std::uint64_t Count);
+
+  //===--------------------------------------------------------------===//
+  // Page-level FTL (optional; see ssd/Ftl.h).
+  //===--------------------------------------------------------------===//
+
+  /// One destaged chunk of a `writeDestage` stream: the chunk-store
+  /// location it will live at and its encoded byte size.
+  struct ChunkExtent {
+    std::uint64_t Location = 0;
+    std::uint64_t Bytes = 0;
+  };
+
+  /// Switches NAND accounting from the constant-WAF model to a
+  /// page-level FTL with the given geometry. Call before any traffic
+  /// (existing extents are dropped).
+  void enableFtl(const ssd::FtlConfig &Config);
+
+  bool ftlEnabled() const { return FtlModel != nullptr; }
+
+  /// The FTL, for measurement (null when disabled).
+  const ssd::Ftl *ftl() const { return FtlModel.get(); }
+
+  /// Writes one destage stream: \p Chunks packed head-to-tail,
+  /// \p TotalBytes their sum. Without the FTL this is exactly
+  /// `writeSequential(TotalBytes)` — same charges, same NAND bytes.
+  /// With it, the host transfer charges the same sequential service
+  /// time, the FTL packs the chunks into log pages (NAND = pages
+  /// programmed), and any GC the append triggers is charged under an
+  /// `ftl:gc` span.
+  fault::Status writeDestage(std::span<const ChunkExtent> Chunks,
+                             std::uint64_t TotalBytes);
+
+  /// Marks \p Location's extent dead (chunk GC / TRIM). No-op without
+  /// the FTL, or for unknown locations; charges no service time.
+  void invalidateChunk(std::uint64_t Location);
+
+  /// Rewrites the chunk at \p Location in place (scrub repair).
+  /// Without the FTL this is exactly `writeRandom4K(1)`; with it, the
+  /// old extent dies and \p Bytes are re-appended to the log.
+  fault::Status rewriteChunk(std::uint64_t Location, std::uint64_t Bytes);
 
   /// Logical bytes the host submitted (`noteHostWrite` total).
   std::uint64_t hostBytesWritten() const { return HostBytes.load(); }
@@ -121,6 +178,15 @@ private:
   fault::Status issue(fault::FaultSite Site, const char *SpanName,
                       double OpMicros, obs::Counter *OpCounter);
 
+  /// Registers the `padre_ftl_*` instruments (requires both a metrics
+  /// sink and an enabled FTL; called from whichever arrives second).
+  void registerFtlMetrics();
+
+  /// Charges NAND bytes and GC overhead (`ftl:gc` span, relocation
+  /// reads/programs, erases) for the FTL work since \p Before, and
+  /// refreshes the FTL gauges. Caller holds FtlMutex.
+  void settleFtlWork(const ssd::Ftl::Counters &Before);
+
   CostModel Model;
   ResourceLedger &Ledger;
   std::atomic<std::uint64_t> HostBytes{0};
@@ -128,7 +194,13 @@ private:
   std::atomic<std::uint64_t> Retries{0};
   fault::FaultInjector *Faults = nullptr;
   std::vector<double> *OpLog = nullptr;
+  // FTL state (null = constant-WAF accounting). FtlMutex serializes
+  // the mapping structures; command issue stays lock-free.
+  std::unique_ptr<ssd::Ftl> FtlModel;
+  std::mutex FtlMutex;
+  std::unordered_map<std::uint64_t, ssd::Ftl::Extent> Extents;
   // Observability (null = disabled); instruments cached at setObs time.
+  obs::MetricsRegistry *MetricsReg = nullptr;
   obs::TraceRecorder *Trace = nullptr;
   obs::LogHistogram *IoHist = nullptr;
   obs::Counter *SeqWriteOps = nullptr;
@@ -137,6 +209,15 @@ private:
   obs::Counter *RandReadOps = nullptr;
   obs::Counter *RetryReads = nullptr;
   obs::Counter *RetryWrites = nullptr;
+  obs::Counter *FtlHostPagesC = nullptr;
+  obs::Counter *FtlGcPagesC = nullptr;
+  obs::Counter *FtlErasesC = nullptr;
+  obs::Counter *FtlGcRunsC = nullptr;
+  obs::Counter *FtlWearMigsC = nullptr;
+  obs::Gauge *FtlWafG = nullptr;
+  obs::Gauge *FtlFreeBlocksG = nullptr;
+  obs::Gauge *FtlLivePagesG = nullptr;
+  obs::Gauge *FtlSpreadG = nullptr;
 };
 
 } // namespace padre

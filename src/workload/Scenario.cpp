@@ -1,0 +1,172 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shaped trace scenario generators.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Scenario.h"
+
+#include "util/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padre;
+
+const char *padre::scenarioShapeName(ScenarioShape Shape) {
+  switch (Shape) {
+  case ScenarioShape::Sequential:
+    return "sequential";
+  case ScenarioShape::UniformRandom:
+    return "uniform";
+  case ScenarioShape::SkewedHot:
+    return "skewed-hot";
+  case ScenarioShape::BurstyHot:
+    return "bursty-hot";
+  case ScenarioShape::DayNight:
+    return "day-night";
+  }
+  assert(false && "Unknown scenario shape");
+  return "?";
+}
+
+bool padre::parseScenarioShape(const std::string &Name, ScenarioShape &Out) {
+  for (unsigned S = 0; S < ScenarioShapeCount; ++S) {
+    if (Name == scenarioShapeName(static_cast<ScenarioShape>(S))) {
+      Out = static_cast<ScenarioShape>(S);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Advances the arrival clock by one jittered inter-arrival of mean
+/// \p MeanUs (uniform in [0.5, 1.5) x mean).
+std::uint64_t nextArrival(double &ClockUs, double MeanUs, Random &Rng) {
+  ClockUs += MeanUs * (0.5 + Rng.nextDouble());
+  return static_cast<std::uint64_t>(ClockUs);
+}
+
+} // namespace
+
+TraceLog padre::synthesizeScenario(const ScenarioConfig &Config) {
+  assert(Config.VolumeBlocks > 0 && Config.MaxRunBlocks > 0 &&
+         "Empty scenario geometry");
+  assert(Config.WriteFraction + Config.ReadFraction <= 1.0 &&
+         "Operation mix exceeds 1");
+  TraceLog Log;
+  Log.Records.reserve(Config.Operations);
+  Random Rng(Config.Seed ^ 0x5CE9A410ull);
+
+  const std::uint64_t HotBlocks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(Config.VolumeBlocks) *
+                                    Config.HotFraction));
+  // Unique-content mode starts tags far above any pool tag.
+  std::uint64_t NextUniqueTag = 1ull << 40;
+  const auto DrawTag = [&]() {
+    return Config.ContentTags == 0 ? NextUniqueTag++
+                                   : Rng.nextBelow(Config.ContentTags);
+  };
+
+  double ClockUs = 0.0;
+  std::uint64_t SeqLba = 0; // Sequential: the rolling write cursor
+
+  for (std::uint64_t I = 0; I < Config.Operations; ++I) {
+    TraceRecord Record;
+
+    // --- Arrival time, per shape ---------------------------------
+    switch (Config.Shape) {
+    case ScenarioShape::BurstyHot: {
+      // Bursts of BurstOps ops at Mean/BurstFactor, then one gap that
+      // restores the configured mean rate overall.
+      const std::uint64_t Pos =
+          Config.BurstOps ? I % Config.BurstOps : 0;
+      const double InBurstUs =
+          Config.MeanInterArrivalUs / std::max(1.0, Config.BurstFactor);
+      if (Pos == 0 && I != 0) {
+        const double GapUs =
+            Config.MeanInterArrivalUs * static_cast<double>(Config.BurstOps) -
+            InBurstUs * static_cast<double>(Config.BurstOps - 1);
+        Record.ArrivalUs = nextArrival(ClockUs, std::max(GapUs, InBurstUs),
+                                       Rng);
+      } else {
+        Record.ArrivalUs = nextArrival(ClockUs, InBurstUs, Rng);
+      }
+      break;
+    }
+    case ScenarioShape::DayNight: {
+      const std::uint64_t Period = std::max<std::uint64_t>(2, Config.PeriodOps);
+      const bool Night = (I % Period) >= Period / 2;
+      const double MeanUs =
+          Config.MeanInterArrivalUs *
+          (Night ? std::max(1.0, Config.NightFactor) : 1.0);
+      Record.ArrivalUs = nextArrival(ClockUs, MeanUs, Rng);
+      break;
+    }
+    default:
+      Record.ArrivalUs = nextArrival(ClockUs, Config.MeanInterArrivalUs, Rng);
+      break;
+    }
+
+    // --- Operation kind and address, per shape -------------------
+    if (Config.Shape == ScenarioShape::Sequential) {
+      // Pure overwrite passes: runs in LBA order, wrapping at the end
+      // of the volume. Every overwrite kills the previous pass's data
+      // in exactly allocation order.
+      Record.Op = TraceOp::Write;
+      Record.Lba = SeqLba;
+      const std::uint64_t Run = std::min<std::uint64_t>(
+          Config.MaxRunBlocks, Config.VolumeBlocks - SeqLba);
+      Record.Blocks = static_cast<std::uint32_t>(Run);
+      SeqLba += Run;
+      if (SeqLba >= Config.VolumeBlocks)
+        SeqLba = 0;
+      Record.ContentTag = DrawTag();
+      Log.Records.push_back(Record);
+      continue;
+    }
+
+    const double OpDraw = Rng.nextDouble();
+    if (OpDraw < Config.WriteFraction)
+      Record.Op = TraceOp::Write;
+    else if (OpDraw < Config.WriteFraction + Config.ReadFraction)
+      Record.Op = TraceOp::Read;
+    else
+      Record.Op = TraceOp::Trim;
+
+    std::uint64_t Lba = 0;
+    switch (Config.Shape) {
+    case ScenarioShape::UniformRandom:
+      Lba = Rng.nextBelow(Config.VolumeBlocks);
+      break;
+    case ScenarioShape::DayNight: {
+      // The hot region rotates each period: the working set drifts.
+      const std::uint64_t Period = std::max<std::uint64_t>(2, Config.PeriodOps);
+      const std::uint64_t Cycle = I / Period;
+      const std::uint64_t HotBase =
+          (Cycle * HotBlocks) % Config.VolumeBlocks;
+      if (Rng.nextBool(Config.HotProbability))
+        Lba = (HotBase + Rng.nextBelow(HotBlocks)) % Config.VolumeBlocks;
+      else
+        Lba = Rng.nextBelow(Config.VolumeBlocks);
+      break;
+    }
+    default: // SkewedHot / BurstyHot
+      Lba = Rng.nextBool(Config.HotProbability)
+                ? Rng.nextBelow(HotBlocks)
+                : Rng.nextBelow(Config.VolumeBlocks);
+      break;
+    }
+    Record.Lba = Lba;
+    const std::uint64_t MaxRun = std::min<std::uint64_t>(
+        Config.MaxRunBlocks, Config.VolumeBlocks - Record.Lba);
+    Record.Blocks = static_cast<std::uint32_t>(1 + Rng.nextBelow(MaxRun));
+    if (Record.Op == TraceOp::Write)
+      Record.ContentTag = DrawTag();
+    Log.Records.push_back(Record);
+  }
+  return Log;
+}

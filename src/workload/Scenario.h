@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shaped trace scenarios — the MSR/FIU-style traffic patterns the
+/// FTL and replay experiments exercise (EXPERIMENTS.md E9). Each
+/// shape is a deterministic generator producing a timed `TraceLog`
+/// (workload/Trace.h) with open-loop arrival stamps:
+///
+///   * `Sequential`   — whole-volume overwrite passes in LBA order:
+///                      old data dies in allocation order, the
+///                      FTL-friendly best case (WA → 1).
+///   * `UniformRandom`— uniform LBA picks, no locality.
+///   * `SkewedHot`    — the classic 80/20 hotspot: `HotProbability`
+///                      of ops land in the first `HotFraction` of the
+///                      LBA space (HPDedup's primary-stream skew).
+///   * `BurstyHot`    — SkewedHot arrivals compressed into bursts of
+///                      `BurstOps` ops (inter-arrival ÷ BurstFactor)
+///                      separated by idle gaps.
+///   * `DayNight`     — SkewedHot with a duty cycle: each period of
+///                      `PeriodOps` ops is half "day" (base rate) and
+///                      half "night" (inter-arrival × NightFactor),
+///                      and the hot region rotates per period — the
+///                      working set drifts like a diurnal workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_WORKLOAD_SCENARIO_H
+#define PADRE_WORKLOAD_SCENARIO_H
+
+#include "workload/Trace.h"
+
+#include <cstdint>
+#include <string>
+
+namespace padre {
+
+/// The trace shapes of the scenario suite.
+enum class ScenarioShape : std::uint8_t {
+  Sequential,
+  UniformRandom,
+  SkewedHot,
+  BurstyHot,
+  DayNight,
+};
+
+inline constexpr unsigned ScenarioShapeCount = 5;
+
+/// Stable lower-case name ("sequential", "uniform", "skewed-hot",
+/// "bursty-hot", "day-night").
+const char *scenarioShapeName(ScenarioShape Shape);
+
+/// Parses a shape name (as printed by `scenarioShapeName`). Returns
+/// false on an unknown name.
+bool parseScenarioShape(const std::string &Name, ScenarioShape &Out);
+
+/// Scenario knobs. Geometry and mix mirror `TraceSynthesisConfig`;
+/// the arrival fields shape the timing.
+struct ScenarioConfig {
+  ScenarioShape Shape = ScenarioShape::SkewedHot;
+  std::uint64_t Operations = 4000;
+  std::uint64_t VolumeBlocks = 4096;
+  std::uint32_t MaxRunBlocks = 8;
+  /// Operation mix; the remainder after writes+reads is trims.
+  /// Sequential ignores the mix: it is a pure overwrite stream.
+  double WriteFraction = 0.7;
+  double ReadFraction = 0.2;
+  /// Hotspot locality (SkewedHot / BurstyHot / DayNight).
+  double HotFraction = 0.1;
+  double HotProbability = 0.9;
+  /// Content tags are drawn from [0, ContentTags): a small pool makes
+  /// the trace dedup-friendly. 0 = every write gets a unique tag
+  /// (dedup-hostile).
+  std::uint64_t ContentTags = 64;
+  /// Base mean inter-arrival time in microseconds (jittered ±50%).
+  double MeanInterArrivalUs = 50.0;
+  /// BurstyHot: in-burst inter-arrivals are Mean / BurstFactor; the
+  /// gap after each `BurstOps`-op burst restores the overall mean.
+  double BurstFactor = 8.0;
+  std::uint64_t BurstOps = 64;
+  /// DayNight: night inter-arrivals are Mean x NightFactor; a period
+  /// is `PeriodOps` ops (half day, half night).
+  double NightFactor = 6.0;
+  std::uint64_t PeriodOps = 512;
+  std::uint64_t Seed = 1;
+};
+
+/// Generates the shaped, timed trace for \p Config. Deterministic in
+/// the config (same seed, same trace). Arrival stamps are strictly
+/// non-decreasing.
+TraceLog synthesizeScenario(const ScenarioConfig &Config);
+
+} // namespace padre
+
+#endif // PADRE_WORKLOAD_SCENARIO_H

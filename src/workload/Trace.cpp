@@ -10,6 +10,7 @@
 #include "util/Random.h"
 
 #include <cassert>
+#include <charconv>
 #include <cstdio>
 #include <sstream>
 
@@ -56,10 +57,22 @@ TraceLog TraceLog::synthesize(const TraceSynthesisConfig &Config) {
 }
 
 std::optional<TraceLog> TraceLog::parse(const std::string &Text) {
+  auto Parsed = parseChecked(Text);
+  if (!Parsed.ok())
+    return std::nullopt;
+  return std::move(*Parsed);
+}
+
+fault::Expected<TraceLog> TraceLog::parseChecked(const std::string &Text) {
   TraceLog Log;
   std::istringstream Stream(Text);
   std::string Line;
+  std::uint64_t LineNo = 0;
   while (std::getline(Stream, Line)) {
+    ++LineNo;
+    const auto Malformed = [LineNo]() {
+      return fault::Status::error(fault::ErrorCode::TraceMalformed, LineNo);
+    };
     // Strip comments and skip blank lines.
     const std::size_t Hash = Line.find('#');
     if (Hash != std::string::npos)
@@ -72,22 +85,51 @@ std::optional<TraceLog> TraceLog::parse(const std::string &Text) {
     if (Kind == "W") {
       Record.Op = TraceOp::Write;
       if (!(Fields >> Record.Lba >> Record.Blocks >> Record.ContentTag))
-        return std::nullopt;
+        return Malformed();
     } else if (Kind == "R" || Kind == "T") {
       Record.Op = Kind == "R" ? TraceOp::Read : TraceOp::Trim;
       if (!(Fields >> Record.Lba >> Record.Blocks))
-        return std::nullopt;
+        return Malformed();
     } else {
-      return std::nullopt;
+      return Malformed();
     }
     std::string Extra;
-    if (Fields >> Extra)
-      return std::nullopt; // trailing junk
+    if (Fields >> Extra) {
+      // The only legal trailing token is an `@<us>` arrival stamp —
+      // all digits, no sign, no overflow.
+      if (Extra.size() < 2 || Extra[0] != '@')
+        return Malformed();
+      const char *First = Extra.data() + 1;
+      const char *Last = Extra.data() + Extra.size();
+      const auto [Ptr, Ec] =
+          std::from_chars(First, Last, Record.ArrivalUs);
+      if (Ec != std::errc() || Ptr != Last)
+        return Malformed();
+      if (Fields >> Extra)
+        return Malformed(); // anything after the arrival is junk
+    }
     if (Record.Blocks == 0)
-      return std::nullopt;
+      return Malformed();
     Log.Records.push_back(Record);
   }
   return Log;
+}
+
+fault::Status TraceLog::validate(std::uint64_t VolumeBlocks) const {
+  for (std::size_t I = 0; I < Records.size(); ++I) {
+    const TraceRecord &Record = Records[I];
+    const auto Invalid = [I]() {
+      return fault::Status::error(fault::ErrorCode::TraceInvalid, I);
+    };
+    if (Record.Blocks == 0)
+      return Invalid(); // zero-length op
+    const std::uint64_t End = Record.Lba + Record.Blocks;
+    if (End < Record.Lba)
+      return Invalid(); // wraps the 64-bit LBA space
+    if (End > VolumeBlocks)
+      return Invalid(); // overlaps past the end of the volume
+  }
+  return {};
 }
 
 std::string TraceLog::serialize() const {
@@ -113,6 +155,14 @@ std::string TraceLog::serialize() const {
       break;
     }
     Out += Line;
+    if (Record.ArrivalUs != 0) {
+      // Timed records carry the arrival as a trailing token.
+      std::snprintf(Line, sizeof(Line), "@%llu\n",
+                    static_cast<unsigned long long>(Record.ArrivalUs));
+      Out.pop_back(); // rejoin the line
+      Out += ' ';
+      Out += Line;
+    }
   }
   return Out;
 }

@@ -12,12 +12,17 @@
 ///   W <lba> <blocks> <tag>   write <blocks> blocks of content <tag>
 ///   R <lba> <blocks>         read
 ///   T <lba> <blocks>         trim/discard
+/// Any record may end with an optional `@<us>` token — the open-loop
+/// arrival time in microseconds (MSR/FIU-style timed traces; see
+/// workload/Scenario.h for the shaped generators). Untimed records
+/// arrive at 0.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PADRE_WORKLOAD_TRACE_H
 #define PADRE_WORKLOAD_TRACE_H
 
+#include "fault/Status.h"
 #include "util/Bytes.h"
 
 #include <cstdint>
@@ -37,6 +42,9 @@ struct TraceRecord {
   std::uint64_t Lba = 0;
   std::uint32_t Blocks = 1;
   std::uint64_t ContentTag = 0; ///< writes only
+  /// Open-loop arrival time in microseconds (0 = untimed). Drives the
+  /// queueing-latency model of `replayTraceTimed`.
+  std::uint64_t ArrivalUs = 0;
 };
 
 /// Synthetic trace knobs.
@@ -68,7 +76,22 @@ public:
   /// Parses the text format. Returns nullopt on any malformed line.
   static std::optional<TraceLog> parse(const std::string &Text);
 
-  /// Renders the text format (parse round-trips it).
+  /// Parses the text format with typed errors: any malformed line is
+  /// `ErrorCode::TraceMalformed` with the 1-based line number as the
+  /// detail. Never throws, never crashes — corrupted trace files are
+  /// expected input (see the corruption-sweep tests).
+  static fault::Expected<TraceLog> parseChecked(const std::string &Text);
+
+  /// Semantic validation against a volume of \p VolumeBlocks blocks:
+  /// zero-length records, LBA ranges that wrap the 64-bit space, and
+  /// ranges overlapping past the end of the volume are
+  /// `ErrorCode::TraceInvalid` with the 0-based record index as the
+  /// detail. (Replay tolerates such records by skipping them; strict
+  /// front-ends — `padrectl replay` — reject upfront.)
+  fault::Status validate(std::uint64_t VolumeBlocks) const;
+
+  /// Renders the text format (parse round-trips it, arrivals
+  /// included).
   std::string serialize() const;
 };
 

@@ -9,6 +9,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/TraceRunner.h"
+#include "util/Random.h"
+#include "workload/Scenario.h"
 #include "workload/Trace.h"
 
 #include <gtest/gtest.h>
@@ -218,4 +220,174 @@ TEST(Replay, DetectsInjectedCorruption) {
   const TraceRunStats Stats = replayTrace(Vol, ReadLog);
   EXPECT_EQ(Stats.ReadFailures, 1u);
   EXPECT_FALSE(Stats.clean());
+}
+
+//===----------------------------------------------------------------------===//
+// Arrival stamps and typed parse errors
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFormat, ArrivalTokenRoundTrips) {
+  TraceLog Log;
+  Log.Records = {
+      {TraceOp::Write, 10, 4, 7, 125},
+      {TraceOp::Read, 10, 2, 0, 250},
+      {TraceOp::Trim, 12, 2, 0, 0}, // untimed stays bare
+  };
+  const std::string Text = Log.serialize();
+  EXPECT_NE(Text.find("@125"), std::string::npos);
+  const auto Parsed = TraceLog::parse(Text);
+  ASSERT_TRUE(Parsed.has_value());
+  ASSERT_EQ(Parsed->Records.size(), 3u);
+  EXPECT_EQ(Parsed->Records[0].ArrivalUs, 125u);
+  EXPECT_EQ(Parsed->Records[1].ArrivalUs, 250u);
+  EXPECT_EQ(Parsed->Records[2].ArrivalUs, 0u);
+}
+
+TEST(TraceFormat, ArrivalTokenGrammarIsStrict) {
+  EXPECT_TRUE(TraceLog::parse("R 1 2 @50\n").has_value());
+  EXPECT_TRUE(TraceLog::parse("W 1 2 3 @7\n").has_value());
+  EXPECT_FALSE(TraceLog::parse("R 1 2 @\n").has_value());    // empty stamp
+  EXPECT_FALSE(TraceLog::parse("R 1 2 @5x\n").has_value());  // junk suffix
+  EXPECT_FALSE(TraceLog::parse("R 1 2 @5 6\n").has_value()); // extra field
+  EXPECT_FALSE(TraceLog::parse("R 1 2 50\n").has_value());   // bare number
+}
+
+TEST(TraceChecked, MalformedLineCarriesItsNumber) {
+  const auto Bad = TraceLog::parseChecked("W 1 2 3\nR 1\nT 2 2\n");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.status().code(), fault::ErrorCode::TraceMalformed);
+  EXPECT_EQ(Bad.status().detail(), 2u); // 1-based line number
+
+  const auto Ok = TraceLog::parseChecked("W 1 2 3\n# note\nR 1 2\n");
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(Ok->Records.size(), 2u);
+}
+
+TEST(TraceChecked, ValidateRejectsOutOfRangeRecords) {
+  TraceLog Log;
+  Log.Records = {{TraceOp::Write, 0, 8, 1}};
+  EXPECT_TRUE(Log.validate(4096).ok());
+
+  Log.Records.push_back({TraceOp::Read, 4090, 16, 0}); // past the end
+  const fault::Status Past = Log.validate(4096);
+  ASSERT_FALSE(Past.ok());
+  EXPECT_EQ(Past.code(), fault::ErrorCode::TraceInvalid);
+  EXPECT_EQ(Past.detail(), 1u); // 0-based record index
+
+  Log.Records = {{TraceOp::Trim, ~0ull - 1, 4, 0}}; // 64-bit wrap
+  EXPECT_EQ(Log.validate(4096).code(), fault::ErrorCode::TraceInvalid);
+
+  TraceRecord Zero;
+  Zero.Blocks = 0;
+  Log.Records = {Zero};
+  EXPECT_EQ(Log.validate(4096).code(), fault::ErrorCode::TraceInvalid);
+}
+
+TEST(TraceChecked, CorruptionSweepNeverCrashes) {
+  TraceSynthesisConfig Synth;
+  Synth.Operations = 200;
+  std::string Text = TraceLog::synthesize(Synth).serialize();
+  Random Rng(404);
+  for (int Round = 0; Round < 400; ++Round) {
+    std::string Mutant = Text;
+    if (Round % 4 == 0) {
+      Mutant.resize(Rng.nextBelow(Mutant.size())); // truncation
+    } else {
+      const std::size_t At =
+          static_cast<std::size_t>(Rng.nextBelow(Mutant.size()));
+      Mutant[At] = static_cast<char>(Rng.nextBelow(256)); // byte flip
+    }
+    const auto Parsed = TraceLog::parseChecked(Mutant);
+    // Either it still parses, or the error is typed with a line
+    // number inside the text — never a crash, never a mystery code.
+    if (!Parsed.ok()) {
+      EXPECT_EQ(Parsed.status().code(), fault::ErrorCode::TraceMalformed);
+      EXPECT_GE(Parsed.status().detail(), 1u);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Timed replay
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TraceLog timedScenario(std::uint64_t Blocks) {
+  ScenarioConfig Scen;
+  Scen.Shape = ScenarioShape::SkewedHot;
+  Scen.Operations = 600;
+  Scen.VolumeBlocks = Blocks;
+  Scen.Seed = 21;
+  return synthesizeScenario(Scen);
+}
+
+} // namespace
+
+TEST(TimedReplay, StatsMatchTheUntimedReplay) {
+  const TraceLog Log = timedScenario(512);
+  PipelineConfig Config;
+  Config.Dedup.Index.BinBits = 8;
+
+  ReductionPipeline PipeA(Platform::paper(), Config);
+  Volume VolA(PipeA, VolumeConfig{512});
+  const TraceRunStats Untimed = replayTrace(VolA, Log);
+  VolA.flush();
+
+  ReductionPipeline PipeB(Platform::paper(), Config);
+  Volume VolB(PipeB, VolumeConfig{512});
+  const TimedReplayReport Timed = replayTraceTimed(VolB, Log);
+
+  EXPECT_EQ(Timed.Stats.Writes, Untimed.Writes);
+  EXPECT_EQ(Timed.Stats.Reads, Untimed.Reads);
+  EXPECT_EQ(Timed.Stats.Trims, Untimed.Trims);
+  EXPECT_EQ(Timed.Stats.BlocksWritten, Untimed.BlocksWritten);
+  EXPECT_TRUE(Timed.Stats.clean());
+  // The functional outcome is identical too.
+  EXPECT_EQ(PipeA.ssd().nandBytesWritten(), PipeB.ssd().nandBytesWritten());
+
+  EXPECT_GT(Timed.P50Us, 0.0);
+  EXPECT_LE(Timed.P50Us, Timed.P95Us);
+  EXPECT_LE(Timed.P95Us, Timed.P99Us);
+  EXPECT_LE(Timed.P99Us, Timed.MaxUs);
+  EXPECT_GT(Timed.WallUs, 0.0);
+  EXPECT_GE(Timed.WallUs,
+            static_cast<double>(Log.Records.back().ArrivalUs));
+}
+
+TEST(TimedReplay, RawModeAndGcCadence) {
+  const TraceLog Log = timedScenario(256);
+  PipelineConfig Config;
+  Config.Dedup.Index.BinBits = 8;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  Volume Vol(Pipeline, VolumeConfig{256});
+
+  ReplayConfig Replay;
+  Replay.RawWrites = true;
+  Replay.GcEveryOps = 50;
+  const TimedReplayReport Report = replayTraceTimed(Vol, Log, Replay);
+  EXPECT_TRUE(Report.Stats.clean());
+  EXPECT_EQ(Report.GcRuns, Log.Records.size() / 50);
+  // Raw overwrite churn leaves garbage for the cadence to collect.
+  EXPECT_GT(Report.ChunksCollected, 0u);
+}
+
+TEST(TimedReplay, RunsCleanOverTheFtl) {
+  const TraceLog Log = timedScenario(512);
+  PipelineConfig Config;
+  Config.Dedup.Index.BinBits = 8;
+  ssd::FtlConfig FtlCfg;
+  FtlCfg.Blocks = 64;
+  FtlCfg.PagesPerBlock = 64;
+  Config.Ftl = FtlCfg;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  Volume Vol(Pipeline, VolumeConfig{512});
+
+  ReplayConfig Replay;
+  Replay.GcEveryOps = 64;
+  const TimedReplayReport Report = replayTraceTimed(Vol, Log, Replay);
+  EXPECT_TRUE(Report.Stats.clean());
+  ASSERT_TRUE(Pipeline.ssd().ftlEnabled());
+  EXPECT_GE(Pipeline.ssd().ftl()->measuredWaf(), 1.0);
+  EXPECT_TRUE(Pipeline.ssd().ftl()->checkInvariants());
 }

@@ -9,14 +9,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "compress/LzCodec.h"
+#include "workload/Scenario.h"
 #include "workload/VdbenchStream.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 using namespace padre;
 
@@ -222,4 +225,141 @@ TEST(VdbenchStream, GenerateAllMatchesFillBlock) {
                              All.data() + I * Config.BlockSize,
                              Config.BlockSize));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Shaped scenario generators (workload/Scenario.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ScenarioConfig scenarioOf(ScenarioShape Shape) {
+  ScenarioConfig Config;
+  Config.Shape = Shape;
+  Config.Operations = 2000;
+  Config.VolumeBlocks = 2048;
+  Config.Seed = 11;
+  return Config;
+}
+
+/// Inter-arrival times of \p Log (first arrival counts from 0).
+std::vector<double> interArrivals(const TraceLog &Log) {
+  std::vector<double> Out;
+  std::uint64_t Prev = 0;
+  for (const TraceRecord &R : Log.Records) {
+    Out.push_back(static_cast<double>(R.ArrivalUs - Prev));
+    Prev = R.ArrivalUs;
+  }
+  return Out;
+}
+
+double meanOf(const std::vector<double> &Values) {
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Values.empty() ? 0.0 : Sum / static_cast<double>(Values.size());
+}
+
+} // namespace
+
+TEST(Scenario, ShapeNamesRoundTrip) {
+  for (unsigned S = 0; S < ScenarioShapeCount; ++S) {
+    const ScenarioShape Shape = static_cast<ScenarioShape>(S);
+    ScenarioShape Parsed;
+    ASSERT_TRUE(parseScenarioShape(scenarioShapeName(Shape), Parsed));
+    EXPECT_EQ(Parsed, Shape);
+  }
+  ScenarioShape Out;
+  EXPECT_FALSE(parseScenarioShape("zipfian", Out));
+}
+
+TEST(Scenario, EveryShapeIsBoundedMonotoneAndDeterministic) {
+  for (unsigned S = 0; S < ScenarioShapeCount; ++S) {
+    const ScenarioShape Shape = static_cast<ScenarioShape>(S);
+    SCOPED_TRACE(scenarioShapeName(Shape));
+    const ScenarioConfig Config = scenarioOf(Shape);
+    const TraceLog Log = synthesizeScenario(Config);
+    ASSERT_EQ(Log.Records.size(), Config.Operations);
+    EXPECT_TRUE(Log.validate(Config.VolumeBlocks).ok());
+    std::uint64_t Prev = 0;
+    for (const TraceRecord &R : Log.Records) {
+      EXPECT_GE(R.ArrivalUs, Prev); // arrivals never go backwards
+      Prev = R.ArrivalUs;
+    }
+    // Same seed, same trace; different seed, different trace.
+    EXPECT_EQ(synthesizeScenario(Config).serialize(), Log.serialize());
+    ScenarioConfig Reseeded = Config;
+    Reseeded.Seed = Config.Seed + 1;
+    EXPECT_NE(synthesizeScenario(Reseeded).serialize(), Log.serialize());
+  }
+}
+
+TEST(Scenario, SequentialIsOrderedOverwritePasses) {
+  const ScenarioConfig Config = scenarioOf(ScenarioShape::Sequential);
+  const TraceLog Log = synthesizeScenario(Config);
+  std::uint64_t Cursor = 0;
+  for (const TraceRecord &R : Log.Records) {
+    EXPECT_EQ(R.Op, TraceOp::Write);
+    EXPECT_EQ(R.Lba, Cursor); // strict allocation order, wrapping
+    Cursor = (Cursor + R.Blocks) % Config.VolumeBlocks;
+  }
+}
+
+TEST(Scenario, SkewedHotConcentratesAccesses) {
+  const ScenarioConfig Config = scenarioOf(ScenarioShape::SkewedHot);
+  const TraceLog Log = synthesizeScenario(Config);
+  const std::uint64_t HotEnd = static_cast<std::uint64_t>(
+      static_cast<double>(Config.VolumeBlocks) * Config.HotFraction);
+  std::size_t InHot = 0;
+  for (const TraceRecord &R : Log.Records)
+    if (R.Lba < HotEnd)
+      ++InHot;
+  // ~90% of ops target the hot 10% of the LBA space; a uniform trace
+  // would put ~10% there.
+  EXPECT_GT(static_cast<double>(InHot) /
+                static_cast<double>(Log.Records.size()),
+            0.6);
+}
+
+TEST(Scenario, BurstyArrivalsClusterBelowTheMeanRate) {
+  const TraceLog Bursty =
+      synthesizeScenario(scenarioOf(ScenarioShape::BurstyHot));
+  const TraceLog Smooth =
+      synthesizeScenario(scenarioOf(ScenarioShape::SkewedHot));
+  std::vector<double> BurstGaps = interArrivals(Bursty);
+  const std::vector<double> SmoothGaps = interArrivals(Smooth);
+  // Within a burst the gap is mean/BurstFactor, so the median bursty
+  // gap sits far below the smooth trace's; the long inter-burst gaps
+  // keep the overall rate comparable.
+  std::sort(BurstGaps.begin(), BurstGaps.end());
+  const double BurstMedian = BurstGaps[BurstGaps.size() / 2];
+  EXPECT_LT(BurstMedian, meanOf(SmoothGaps) / 3.0);
+  const double RateRatio =
+      meanOf(interArrivals(Bursty)) / meanOf(SmoothGaps);
+  EXPECT_GT(RateRatio, 0.5);
+  EXPECT_LT(RateRatio, 2.0);
+}
+
+TEST(Scenario, DayNightSlowsTheNightHalf) {
+  ScenarioConfig Config = scenarioOf(ScenarioShape::DayNight);
+  Config.PeriodOps = 512;
+  const TraceLog Log = synthesizeScenario(Config);
+  const std::vector<double> Gaps = interArrivals(Log);
+  std::vector<double> Day, Night;
+  for (std::size_t I = 0; I < Gaps.size(); ++I)
+    ((I % Config.PeriodOps) < Config.PeriodOps / 2 ? Day : Night)
+        .push_back(Gaps[I]);
+  // NightFactor=6: the night half's inter-arrival mean is several
+  // times the day half's.
+  EXPECT_GT(meanOf(Night), meanOf(Day) * 3.0);
+}
+
+TEST(Scenario, UniqueContentModeNeverRepeatsATag) {
+  ScenarioConfig Config = scenarioOf(ScenarioShape::UniformRandom);
+  Config.ContentTags = 0; // unique-content mode
+  const TraceLog Log = synthesizeScenario(Config);
+  std::map<std::uint64_t, int> Seen;
+  for (const TraceRecord &R : Log.Records)
+    if (R.Op == TraceOp::Write)
+      EXPECT_EQ(++Seen[R.ContentTag], 1) << "tag " << R.ContentTag;
 }

@@ -11,6 +11,12 @@
 ///                                TRIM, GC, image save/load round trip
 ///   trace     [options]          synthesize (or --trace FILE) and
 ///                                replay a verified I/O trace
+///   replay    [options]          timed trace replay: a shaped
+///                                scenario (--scenario) or trace file
+///                                through the open-loop latency model,
+///                                optionally over the page-level FTL
+///                                (--ftl) with measured write
+///                                amplification and lifetime
 ///   restore   [options]          batched read/restore demo: write a
 ///                                volume, read it back cold then warm
 ///                                through the restore pipeline
@@ -64,6 +70,13 @@
 ///   --trace-out FILE.json    write a Chrome trace_event span file
 ///                            (open in Perfetto / about:tracing)
 ///   --metrics-out FILE.prom  write Prometheus text-format metrics
+///   --scenario SHAPE     (replay) sequential|uniform|skewed-hot|
+///                        bursty-hot|day-night  (default skewed-hot)
+///   --gc-every N         (replay) run volume GC every N ops
+///   --raw                (replay) bypass reduction (writeBlocksRaw)
+///   --ftl                (replay) page-level FTL under the SSD model
+///   --ftl-blocks N  --ftl-pages-per-block N  --ftl-op PCT
+///                        (replay) FTL geometry and over-provisioning
 ///
 /// Options also accept the --opt=value spelling. See OBSERVABILITY.md
 /// for the span schema and metric catalogue.
@@ -80,6 +93,7 @@
 #include "obs/Obs.h"
 #include "persist/VolumeImage.h"
 #include "restore/VolumeReader.h"
+#include "workload/Scenario.h"
 #include "workload/VdbenchStream.h"
 
 #include <algorithm>
@@ -128,14 +142,21 @@ struct Options {
   std::size_t IndexBudget = 0;
   CachePolicy Policy = CachePolicy::Prioritized;
   std::uint64_t QuotaBytes = 0;
+  ScenarioShape Scenario = ScenarioShape::SkewedHot;
+  std::uint64_t GcEvery = 0;
+  bool RawWrites = false;
+  bool FtlOn = false;
+  std::uint32_t FtlBlocks = 128;
+  std::uint32_t FtlPagesPerBlock = 64;
+  double FtlOverprovisionPct = 7.0;
 };
 
 void usage() {
   std::fprintf(
       stderr,
       "usage: padrectl "
-      "<info|calibrate|run|volume|trace|restore|recover|serve|tenant> "
-      "[options]\n"
+      "<info|calibrate|run|volume|trace|replay|restore|recover|serve|"
+      "tenant> [options]\n"
       "  --platform paper|no-gpu|weak-gpu|fast-gpu\n"
       "  --mode cpu-only|gpu-dedup|gpu-compress|gpu-both|auto\n"
       "  --bytes N  --dedup D  --comp C  --chunk N  --seed N\n"
@@ -147,6 +168,10 @@ void usage() {
       "  --pipeline-depth N   in-flight write batches (1 = serial)\n"
       "  --journal PATH  --checkpoint PATH   (recover) WAL/checkpoint\n"
       "  --group-commit N  --checkpoint-every N   (recover) policies\n"
+      "  --scenario sequential|uniform|skewed-hot|bursty-hot|day-night\n"
+      "  --gc-every N  --raw  --ftl   (replay) GC cadence, raw writes,\n"
+      "      page-level FTL; geometry via --ftl-blocks N\n"
+      "      --ftl-pages-per-block N  --ftl-op PCT\n"
       "  --tenants N  --rounds N  --quota N   (serve) tenant workload\n"
       "  --shards N  --index-budget N  --policy prioritized|lru\n"
       "      (serve/tenant) sharded global index + cache tier\n"
@@ -293,6 +318,26 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
                      Value.c_str());
         return false;
       }
+    } else if (Arg == "--scenario" && NextValue(Value)) {
+      if (!parseScenarioShape(Value, Opts.Scenario)) {
+        std::fprintf(stderr, "error: unknown scenario '%s'\n",
+                     Value.c_str());
+        return false;
+      }
+    } else if (Arg == "--gc-every" && NextValue(Value)) {
+      Opts.GcEvery = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--raw") {
+      Opts.RawWrites = true;
+    } else if (Arg == "--ftl") {
+      Opts.FtlOn = true;
+    } else if (Arg == "--ftl-blocks" && NextValue(Value)) {
+      Opts.FtlBlocks =
+          static_cast<std::uint32_t>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (Arg == "--ftl-pages-per-block" && NextValue(Value)) {
+      Opts.FtlPagesPerBlock =
+          static_cast<std::uint32_t>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (Arg == "--ftl-op" && NextValue(Value)) {
+      Opts.FtlOverprovisionPct = std::strtod(Value.c_str(), nullptr);
     } else if (Arg == "--fault-plan" && NextValue(Value)) {
       std::string Error;
       if (!fault::parseFaultPlan(Value, Opts.FaultPlan, Error)) {
@@ -1097,6 +1142,144 @@ int commandTrace(const Options &OptsIn) {
   return Stats.clean() && Scrub.CorruptChunks == 0 ? 0 : 1;
 }
 
+int commandReplay(const Options &OptsIn) {
+  Options Opts = OptsIn;
+  Opts.Chunking = ChunkingMode::Fixed; // LBA volumes need fixed chunks
+  const PipelineMode Mode = resolveMode(Opts);
+  ObsOutput Obs;
+  FaultSetup Faults;
+  PipelineConfig Config = pipelineConfigFor(Opts, Mode);
+  if (Opts.FtlOn) {
+    ssd::FtlConfig Ftl;
+    Ftl.Blocks = Opts.FtlBlocks;
+    Ftl.PagesPerBlock = Opts.FtlPagesPerBlock;
+    Ftl.OverprovisionPct = Opts.FtlOverprovisionPct;
+    if (!ssd::isValidFtlConfig(Ftl)) {
+      std::fprintf(stderr, "error: invalid FTL geometry\n");
+      return 2;
+    }
+    Config.Ftl = Ftl;
+  }
+  Obs.attach(Opts, Config);
+  Faults.attach(Opts, Config);
+  ReductionPipeline Pipeline(Opts.Plat, Config);
+  VolumeConfig VolConfig;
+  VolConfig.BlockCount = Opts.Bytes / Opts.ChunkSize;
+  Volume Vol(Pipeline, VolConfig);
+
+  TraceLog Log;
+  if (!Opts.TracePath.empty()) {
+    std::FILE *File = std::fopen(Opts.TracePath.c_str(), "rb");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot open trace %s\n",
+                   Opts.TracePath.c_str());
+      return 1;
+    }
+    std::string Text;
+    char Buffer[4096];
+    std::size_t Read;
+    while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+      Text.append(Buffer, Read);
+    std::fclose(File);
+    const auto Parsed = TraceLog::parseChecked(Text);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: %s (line %llu) in %s\n",
+                   Parsed.status().message(),
+                   static_cast<unsigned long long>(Parsed.status().detail()),
+                   Opts.TracePath.c_str());
+      return 1;
+    }
+    const fault::Status Valid = Parsed->validate(VolConfig.BlockCount);
+    if (!Valid.ok()) {
+      std::fprintf(stderr, "error: %s (record %llu) in %s\n",
+                   Valid.message(),
+                   static_cast<unsigned long long>(Valid.detail()),
+                   Opts.TracePath.c_str());
+      return 1;
+    }
+    Log = *Parsed;
+  } else {
+    ScenarioConfig Scen;
+    Scen.Shape = Opts.Scenario;
+    Scen.Operations = Opts.TraceOps;
+    Scen.VolumeBlocks = VolConfig.BlockCount;
+    Scen.Seed = Opts.Seed;
+    Log = synthesizeScenario(Scen);
+  }
+
+  ReplayConfig Replay;
+  Replay.RawWrites = Opts.RawWrites;
+  Replay.GcEveryOps = Opts.GcEvery;
+  const TimedReplayReport Report = replayTraceTimed(Vol, Log, Replay);
+  const TraceRunStats &Stats = Report.Stats;
+
+  std::printf("replayed %zu records (%s writes): %llu writes, %llu "
+              "reads, %llu trims (%llu out of range)\n",
+              Log.Records.size(), Opts.RawWrites ? "raw" : "reduced",
+              static_cast<unsigned long long>(Stats.Writes),
+              static_cast<unsigned long long>(Stats.Reads),
+              static_cast<unsigned long long>(Stats.Trims),
+              static_cast<unsigned long long>(Stats.OutOfRange));
+  std::printf("verification: %llu read failures, %llu content "
+              "mismatches\n",
+              static_cast<unsigned long long>(Stats.ReadFailures),
+              static_cast<unsigned long long>(Stats.VerifyFailures));
+  if (Report.GcRuns)
+    std::printf("volume GC: %llu passes collected %llu chunks\n",
+                static_cast<unsigned long long>(Report.GcRuns),
+                static_cast<unsigned long long>(Report.ChunksCollected));
+  std::printf("latency (modelled, open-loop): p50 %.1f us, p95 %.1f us, "
+              "p99 %.1f us, mean %.1f us, max %.1f us\n",
+              Report.P50Us, Report.P95Us, Report.P99Us, Report.MeanUs,
+              Report.MaxUs);
+  std::printf("makespan %.2f ms over %.2f ms of arrivals (service %.2f "
+              "ms)\n",
+              Report.WallUs / 1000.0,
+              Log.Records.empty()
+                  ? 0.0
+                  : static_cast<double>(Log.Records.back().ArrivalUs) /
+                        1000.0,
+              Report.ServiceUs / 1000.0);
+
+  const SsdModel &Ssd = Pipeline.ssd();
+  if (const ssd::Ftl *Ftl = Ssd.ftl()) {
+    const ssd::Ftl::Counters &C = Ftl->counters();
+    std::printf("ftl: measured WA %.3f (%llu host + %llu GC pages), "
+                "%llu erases in %llu GC runs, %llu wear migrations\n",
+                Ftl->measuredWaf(),
+                static_cast<unsigned long long>(C.HostPages),
+                static_cast<unsigned long long>(C.GcPages),
+                static_cast<unsigned long long>(C.Erases),
+                static_cast<unsigned long long>(C.GcRuns),
+                static_cast<unsigned long long>(C.WearMigrations));
+    std::printf("ftl: erase spread %llu (wear-level bound %u), %llu "
+                "free blocks, %.2f%% of erase budget used\n",
+                static_cast<unsigned long long>(Ftl->eraseSpread()),
+                Ftl->config().WearDeltaLimit,
+                static_cast<unsigned long long>(Ftl->freeBlocks()),
+                Ftl->lifetimeFractionUsed() * 100.0);
+    const double Used = Ftl->lifetimeFractionUsed();
+    if (Used > 0.0)
+      std::printf("ftl: device lifetime ~%.0fx this workload\n",
+                  1.0 / Used);
+    std::string Why;
+    if (!Ftl->checkInvariants(&Why)) {
+      std::fprintf(stderr, "error: FTL invariant violated: %s\n",
+                   Why.c_str());
+      return 1;
+    }
+  } else {
+    std::printf("ssd: constant-WA model, %s NAND written (endurance "
+                "ratio %.3f)\n",
+                formatSize(Ssd.nandBytesWritten()).c_str(),
+                Ssd.enduranceRatio());
+  }
+  Faults.summary();
+  if (!Obs.write(Opts))
+    return 1;
+  return Stats.clean() ? 0 : 1;
+}
+
 int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
@@ -1113,6 +1296,8 @@ int main(int Argc, char **Argv) {
     return commandVolume(Opts);
   if (Opts.Command == "trace")
     return commandTrace(Opts);
+  if (Opts.Command == "replay")
+    return commandReplay(Opts);
   if (Opts.Command == "restore")
     return commandRestore(Opts);
   if (Opts.Command == "recover")
