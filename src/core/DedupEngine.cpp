@@ -7,6 +7,8 @@
 
 #include "core/DedupEngine.h"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 
 using namespace padre;
@@ -17,6 +19,7 @@ DedupEngine::DedupEngine(const CostModel &Model, ResourceLedger &Ledger,
                          const obs::ObsSinks &Obs)
     : Model(Model), Ledger(Ledger), Pool(Pool), Ssd(Ssd), Device(Device),
       Config(Config), Index(makeFingerprintIndex(Config.Index)),
+      HashWidth(std::clamp(Model.Cpu.HashBatchWidth, 1u, Sha1Batch::MaxWidth)),
       Offload(Config.GpuOffload ? Config.OffloadInitial : 0.0) {
   assert(isValidCostModel(Model) && "Invalid cost model");
   if (Config.GpuOffload) {
@@ -34,6 +37,15 @@ DedupEngine::DedupEngine(const CostModel &Model, ResourceLedger &Ledger,
     BinFlushes = &Obs.Metrics->counter(
         "padre_bin_flushes_total",
         "Bin-buffer drains (sequential SSD log writes)");
+    HashWidthGauge = &Obs.Metrics->gauge(
+        "padre_hash_batch_width",
+        "Multi-buffer SHA-1 lanes per batched hash call (1 = serial)");
+    HashWidthGauge->set(static_cast<double>(HashWidth));
+    if (Config.Index.Concurrent)
+      CasRetryCounter = &Obs.Metrics->counter(
+          "padre_index_cas_retry_total",
+          "Failed CAS attempts (slot claims and bin-lock acquisitions) "
+          "in the concurrent index");
     if (Config.GpuOffload) {
       OffloadGauge = &Obs.Metrics->gauge(
           "padre_dedup_offload_fraction",
@@ -56,26 +68,40 @@ fault::Status DedupEngine::processBatch(
   if (Count == 0)
     return {};
 
+  // All per-batch scratch comes from the arena: one reset reclaims the
+  // previous batch's spans (poisoned), then every array below is a
+  // pointer bump — zero heap traffic on the steady-state hot path.
+  BatchArena.reset();
+
   // Select the GPU co-processing subset by error-diffusion so any
   // fraction spreads evenly through the batch.
-  std::vector<std::uint32_t> Selected;
-  std::vector<std::uint8_t> IsSelected(Count, 0);
+  std::span<std::uint32_t> SelectedStorage =
+      BatchArena.allocateSpan<std::uint32_t>(Count);
+  std::size_t SelectedCount = 0;
+  std::span<std::uint8_t> IsSelected =
+      BatchArena.allocateFilled<std::uint8_t>(Count, 0);
   if (GpuTable && Offload > 0.0) {
     double Error = 0.0;
     for (std::size_t I = 0; I < Count; ++I) {
       Error += Offload;
       if (Error >= 1.0) {
         Error -= 1.0;
-        Selected.push_back(static_cast<std::uint32_t>(I));
+        SelectedStorage[SelectedCount++] = static_cast<std::uint32_t>(I);
         IsSelected[I] = 1;
       }
     }
   }
+  const std::span<const std::uint32_t> Selected =
+      SelectedStorage.first(SelectedCount);
 
-  std::vector<Fingerprint> Fingerprints(Count);
-  std::vector<std::uint8_t> KnownDuplicate(Count, 0);
-  std::vector<std::uint64_t> ResolvedLocations(Count, 0);
-  std::vector<double> LatencyUs(Count, 0.0);
+  std::span<Fingerprint> Fingerprints =
+      BatchArena.allocateFilled<Fingerprint>(Count, Fingerprint());
+  std::span<std::uint8_t> KnownDuplicate =
+      BatchArena.allocateFilled<std::uint8_t>(Count, 0);
+  std::span<std::uint64_t> ResolvedLocations =
+      BatchArena.allocateFilled<std::uint64_t>(Count, 0);
+  std::span<double> LatencyUs =
+      BatchArena.allocateFilled<double>(Count, 0.0);
 
   // GPU phase first: it produces fingerprints for the selected chunks
   // and resolves some duplicates before the CPU path runs (Fig. 1:
@@ -85,24 +111,55 @@ fault::Status DedupEngine::processBatch(
     offloadToGpu(Chunks, Selected, IsSelected, Fingerprints,
                  KnownDuplicate, ResolvedLocations, LatencyUs);
 
-  // CPU hashing for everything the GPU did not take — chunk-parallel.
+  // CPU hashing for everything the GPU did not take — chunk-parallel
+  // across slices, multi-buffer within each slice: lanes fill with
+  // consecutive unselected chunks and hash as one interleaved group
+  // (Sha1Batch). Every lane in a group waits for the group's longest
+  // chunk — the SIMD lockstep the cost model charges via
+  // cpuHashBatchUs. At width 1 the group is a single chunk and both
+  // the digests and the charged costs are bit-identical to the old
+  // serial loop.
+  const unsigned Width = HashWidth;
   Pool.parallelForSlices(
       0, Count,
       [&](std::size_t Begin, std::size_t End, unsigned) {
         double Micros = 0.0;
+        std::array<std::uint32_t, Sha1Batch::MaxWidth> LaneItem;
+        std::array<ByteSpan, Sha1Batch::MaxWidth> LaneData;
+        std::array<Sha1::Digest, Sha1Batch::MaxWidth> LaneDigest;
+        unsigned Lanes = 0;
+        const auto FlushGroup = [&] {
+          if (Lanes == 0)
+            return;
+          Sha1Batch::digestGroup(
+              std::span<const ByteSpan>(LaneData.data(), Lanes),
+              std::span<Sha1::Digest>(LaneDigest.data(), Lanes));
+          std::size_t MaxBytes = 0;
+          for (unsigned L = 0; L < Lanes; ++L)
+            MaxBytes = std::max(MaxBytes, LaneData[L].size());
+          const double GroupUs = Model.cpuHashBatchUs(MaxBytes, Lanes);
+          for (unsigned L = 0; L < Lanes; ++L) {
+            Fingerprints[LaneItem[L]] = Fingerprint(LaneDigest[L]);
+            LatencyUs[LaneItem[L]] += GroupUs;
+          }
+          Micros += GroupUs;
+          Lanes = 0;
+        };
         for (std::size_t I = Begin; I < End; ++I) {
           if (IsSelected[I])
             continue;
-          Fingerprints[I] = Fingerprint::ofData(Chunks[I].Data);
-          const double HashUs = Model.cpuHashUs(Chunks[I].Data.size());
-          LatencyUs[I] += HashUs;
-          Micros += HashUs;
+          LaneItem[Lanes] = static_cast<std::uint32_t>(I);
+          LaneData[Lanes] = Chunks[I].Data;
+          if (++Lanes == Width)
+            FlushGroup();
         }
+        FlushGroup();
         Ledger.chargeMicros(Resource::CpuPool, Micros);
       });
 
   // CPU bin-parallel indexing.
-  std::vector<LookupResult> Results(Count);
+  std::span<LookupResult> Results =
+      BatchArena.allocateFilled<LookupResult>(Count, LookupResult());
   std::vector<FlushEvent> Flushes;
   Index->processBatch(Fingerprints, NewLocations, KnownDuplicate, Pool,
                       Results, Flushes);
@@ -153,17 +210,18 @@ fault::Status DedupEngine::processBatch(
 
   if (GpuTable)
     adaptOffload();
+  publishCasRetries();
   return FlushStatus;
 }
 
 void DedupEngine::offloadToGpu(
     std::span<const ChunkView> Chunks,
-    const std::vector<std::uint32_t> &Selected,
-    std::vector<std::uint8_t> &IsSelected,
-    std::vector<Fingerprint> &Fingerprints,
-    std::vector<std::uint8_t> &KnownDuplicate,
-    std::vector<std::uint64_t> &ResolvedLocations,
-    std::vector<double> &LatencyUs) {
+    std::span<const std::uint32_t> Selected,
+    std::span<std::uint8_t> IsSelected,
+    std::span<Fingerprint> Fingerprints,
+    std::span<std::uint8_t> KnownDuplicate,
+    std::span<std::uint64_t> ResolvedLocations,
+    std::span<double> LatencyUs) {
   assert(Device && GpuTable && "GPU offload without device state");
   const std::size_t SubBatch = Model.Gpu.DedupBatchChunks;
 
@@ -298,10 +356,21 @@ void DedupEngine::adaptOffload() {
     OffloadGauge->set(Offload);
 }
 
+void DedupEngine::publishCasRetries() {
+  if (!CasRetryCounter)
+    return;
+  const std::uint64_t Now = Index->casRetries();
+  if (Now > LastCasRetries)
+    CasRetryCounter->add(Now - LastCasRetries);
+  LastCasRetries = Now;
+}
+
 fault::Status DedupEngine::finish() {
   std::vector<FlushEvent> Flushes;
   Index->flushAll(Flushes);
-  return handleFlushes(Flushes);
+  const fault::Status Status = handleFlushes(Flushes);
+  publishCasRetries();
+  return Status;
 }
 
 fault::Status DedupEngine::restoreEntry(const Fingerprint &Fp,

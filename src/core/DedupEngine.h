@@ -28,12 +28,14 @@
 #include "chunk/Chunker.h"
 #include "fault/Status.h"
 #include "gpu/GpuDevice.h"
+#include "hash/Sha1Batch.h"
 #include "index/FingerprintIndex.h"
 #include "index/GpuBinTable.h"
 #include "obs/Obs.h"
 #include "sim/CostModel.h"
 #include "sim/ResourceLedger.h"
 #include "ssd/SsdModel.h"
+#include "util/Arena.h"
 #include "util/ThreadPool.h"
 
 #include <memory>
@@ -122,12 +124,12 @@ private:
   /// sub-batch clears its chunks' IsSelected flags so the CPU path
   /// picks them up (degraded-mode fallback).
   void offloadToGpu(std::span<const ChunkView> Chunks,
-                    const std::vector<std::uint32_t> &Selected,
-                    std::vector<std::uint8_t> &IsSelected,
-                    std::vector<Fingerprint> &Fingerprints,
-                    std::vector<std::uint8_t> &KnownDuplicate,
-                    std::vector<std::uint64_t> &ResolvedLocations,
-                    std::vector<double> &LatencyUs);
+                    std::span<const std::uint32_t> Selected,
+                    std::span<std::uint8_t> IsSelected,
+                    std::span<Fingerprint> Fingerprints,
+                    std::span<std::uint8_t> KnownDuplicate,
+                    std::span<std::uint64_t> ResolvedLocations,
+                    std::span<double> LatencyUs);
 
   /// Applies flush events: sequential SSD log write + GPU bin update.
   /// Returns the first log-write failure; a faulted GPU-table DMA only
@@ -137,6 +139,10 @@ private:
 
   /// Nudges the offload fraction toward CPU/GPU busy balance.
   void adaptOffload();
+
+  /// Publishes the concurrent index's CAS-retry delta to the
+  /// padre_index_cas_retry_total counter (no-op when disabled).
+  void publishCasRetries();
 
   CostModel Model;
   ResourceLedger &Ledger;
@@ -149,6 +155,16 @@ private:
   /// sharded composite the multi-tenant service uses.
   std::unique_ptr<FingerprintIndex> Index;
   std::unique_ptr<GpuBinTable> GpuTable;
+  /// Per-batch scratch (fingerprints, GPU selection, lookup results,
+  /// latency accumulators) lives here instead of the heap; reset at the
+  /// top of every processBatch. Single-owner: only the batch-driving
+  /// thread allocates (parallel slices read/write the spans in place).
+  Arena BatchArena;
+  /// Multi-buffer SHA-1 lanes per batched hash call, from
+  /// Model.Cpu.HashBatchWidth clamped to [1, Sha1Batch::MaxWidth].
+  /// Width 1 reproduces the serial hash path bit-for-bit (same digests,
+  /// same per-chunk cost accumulation order).
+  unsigned HashWidth = 1;
   double Offload;
   // Ledger snapshot at the last adaptation step.
   double LastCpuBusy = 0.0;
@@ -159,6 +175,11 @@ private:
   obs::Gauge *OffloadGauge = nullptr;
   obs::Counter *BinFlushes = nullptr;
   obs::Counter *GpuFallbacks = nullptr;
+  obs::Gauge *HashWidthGauge = nullptr;
+  obs::Counter *CasRetryCounter = nullptr;
+  /// Index->casRetries() at the last publish (the counter is a delta
+  /// feed; the index keeps the cumulative truth).
+  std::uint64_t LastCasRetries = 0;
 };
 
 } // namespace padre

@@ -212,8 +212,12 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       Ssd.noteHostWrite(BatchBytes);
   }
 
-  // Stage 1: deduplication (Fig. 1 upper half).
-  std::vector<std::uint64_t> NewLocations(Count);
+  // Stage 1: deduplication (Fig. 1 upper half). Batch-scoped scratch
+  // lives in the arena — reclaimed (and poisoned) wholesale here, so a
+  // steady-state batch makes no heap calls for these arrays.
+  BatchArena.reset();
+  std::span<std::uint64_t> NewLocations =
+      BatchArena.allocateSpan<std::uint64_t>(Count);
   for (std::size_t I = 0; I < Count; ++I)
     NewLocations[I] = NextLocation + I;
 
@@ -296,9 +300,13 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
   Sched->endStage(BatchScheduler::Stage::Dedup);
 
   // Partition into unique chunks (to compress + destage) and
-  // duplicates (recipe-only).
-  std::vector<ChunkView> UniqueViews;
-  std::vector<std::size_t> UniqueIndices;
+  // duplicates (recipe-only). Capacity Count covers the all-unique
+  // worst case; UniqueCount tracks the live prefix.
+  std::span<ChunkView> UniqueViewsStorage =
+      BatchArena.allocateSpan<ChunkView>(Count);
+  std::span<std::size_t> UniqueIndices =
+      BatchArena.allocateSpan<std::size_t>(Count);
+  std::size_t UniqueCount = 0;
   for (std::size_t I = 0; I < Count; ++I) {
     Recipe.ChunkLocations.push_back(Items[I].Location);
     Recipe.ChunkSizes.push_back(
@@ -313,8 +321,9 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
     case LookupOutcome::Unique:
       ++UniqueChunks;
       UniqueBytes += Chunks[I].Data.size();
-      UniqueViews.push_back(Chunks[I]);
-      UniqueIndices.push_back(I);
+      UniqueViewsStorage[UniqueCount] = Chunks[I];
+      UniqueIndices[UniqueCount] = I;
+      ++UniqueCount;
       break;
     case LookupOutcome::DupBuffer:
       ++DupChunks;
@@ -330,6 +339,9 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       break;
     }
   }
+
+  const std::span<const ChunkView> UniqueViews =
+      UniqueViewsStorage.first(UniqueCount);
 
   // Stage 2: compression of unique chunks (Fig. 1 lower half).
   std::vector<CompressedChunk> Compressed;
@@ -407,7 +419,8 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
           ? 0.0
           : Plat.Model.ssdSeqWriteUs(DestageBytes) /
                 static_cast<double>(UniqueViews.size());
-  std::vector<double> CompressLatency(Count, 0.0);
+  std::span<double> CompressLatency =
+      BatchArena.allocateFilled<double>(Count, 0.0);
   for (std::size_t I = 0; I < UniqueViews.size(); ++I)
     CompressLatency[UniqueIndices[I]] =
         Compressed[I].LatencyUs + DestageShareUs;

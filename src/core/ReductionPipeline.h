@@ -34,6 +34,7 @@
 #include "fault/FaultInjector.h"
 #include "fault/Status.h"
 #include "obs/Obs.h"
+#include "util/Arena.h"
 #include "util/Stats.h"
 #include "sim/Platform.h"
 #include "ssd/SsdModel.h"
@@ -256,6 +257,11 @@ private:
   std::unique_ptr<BatchScheduler> Sched;
   std::unique_ptr<Chunker> StreamChunker;
   StreamRecipe Recipe;
+  /// Per-batch scratch (locations, unique-chunk partition, latency
+  /// accumulators): reset at the top of every processBatch, so the
+  /// steady-state write path allocates nothing on the heap. The dedup
+  /// engine owns a separate arena for its own stage.
+  Arena BatchArena;
 
   std::uint64_t NextLocation = 0;
   bool InternalWrites = false;

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-buffer SHA-1 implementation: W independent streaming contexts
+/// advanced one 64-byte block per round in lane order. The round-robin
+/// consumption order is what a SIMD multi-buffer kernel executes; the
+/// arithmetic per lane is the plain FIPS 180-1 chain, so the digest of
+/// every lane equals the serial Sha1::digest bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hash/Sha1Batch.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padre;
+
+Sha1Batch::Sha1Batch(unsigned Width)
+    : Width(std::clamp(Width, 1u, MaxWidth)) {}
+
+void Sha1Batch::digestGroup(std::span<const ByteSpan> Inputs,
+                            std::span<Sha1::Digest> Out) {
+  const std::size_t Lanes = Inputs.size();
+  assert(Lanes <= MaxWidth && "Group wider than MaxWidth");
+  assert(Out.size() == Lanes && "Output span must match the group");
+
+  Sha1 Contexts[MaxWidth];
+  std::size_t Consumed[MaxWidth] = {};
+
+  // Lockstep rounds: every live lane absorbs one 64-byte block, in lane
+  // order, until the longest lane has no full block left. Lanes whose
+  // message is exhausted simply retire (tail divergence) — their chain
+  // state is complete and waits for finalization.
+  bool AnyFullBlock = true;
+  while (AnyFullBlock) {
+    AnyFullBlock = false;
+    for (std::size_t Lane = 0; Lane < Lanes; ++Lane) {
+      const std::size_t Remaining = Inputs[Lane].size() - Consumed[Lane];
+      if (Remaining < 64)
+        continue;
+      Contexts[Lane].update(Inputs[Lane].subspan(Consumed[Lane], 64));
+      Consumed[Lane] += 64;
+      AnyFullBlock = true;
+    }
+  }
+
+  // Finalization: the sub-block tail plus padding, per lane. A SIMD
+  // kernel pads lanes to a common block count; arithmetic is identical.
+  for (std::size_t Lane = 0; Lane < Lanes; ++Lane) {
+    const std::size_t Remaining = Inputs[Lane].size() - Consumed[Lane];
+    if (Remaining != 0)
+      Contexts[Lane].update(Inputs[Lane].subspan(Consumed[Lane], Remaining));
+    Out[Lane] = Contexts[Lane].final();
+  }
+}
+
+void Sha1Batch::digestMany(std::span<const ByteSpan> Inputs,
+                           std::span<Sha1::Digest> Out) const {
+  assert(Out.size() == Inputs.size() && "Output span must match inputs");
+  for (std::size_t Begin = 0; Begin < Inputs.size(); Begin += Width) {
+    const std::size_t Count = std::min<std::size_t>(Width, Inputs.size() - Begin);
+    digestGroup(Inputs.subspan(Begin, Count), Out.subspan(Begin, Count));
+  }
+}

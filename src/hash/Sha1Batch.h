@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-buffer batched SHA-1: hashes several independent chunks per
+/// call by interleaving their 64-byte block rounds — the software
+/// pattern behind SIMD "multi-buffer" hash libraries (one SHA-1 round
+/// executed across W lanes at once, each lane a different message).
+/// There is no data dependency *between* chunks (§3.1: hashing is the
+/// embarrassingly parallel half of dedup), only within one chunk's
+/// block chain, so W chains advance in lockstep.
+///
+/// This implementation is scalar — the host has no guaranteed SHA-NI /
+/// AVX2 — but it is *shaped* like the SIMD kernel: blocks are consumed
+/// round-robin across the lane group, the group runs until its longest
+/// lane finishes (shorter lanes retire early, the tail-divergence case
+/// the width sweep in tests/test_hash.cpp pins), and the cost model
+/// charges it as W-lane SIMD work (CostModel::cpuHashBatchUs). Digests
+/// are bit-identical to Sha1::digest for every width and batch size,
+/// including batches that do not divide the width (e.g. 5 chunks at
+/// width 4 → one full group + one group of 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_HASH_SHA1BATCH_H
+#define PADRE_HASH_SHA1BATCH_H
+
+#include "hash/Sha1.h"
+#include "util/Bytes.h"
+
+#include <cstddef>
+#include <span>
+
+namespace padre {
+
+/// Batched SHA-1 over lane groups of a fixed width.
+class Sha1Batch {
+public:
+  /// Widths above this are clamped (8 models the widest practical
+  /// multi-buffer kernel: AVX2 does 8 SHA-1 lanes of 32-bit words).
+  static constexpr unsigned MaxWidth = 8;
+
+  /// \p Width lanes per group, clamped to [1, MaxWidth]. Width 1 is
+  /// exactly the serial one-at-a-time path.
+  explicit Sha1Batch(unsigned Width = 4);
+
+  unsigned width() const { return Width; }
+
+  /// Digests every input: Out[i] = SHA-1(Inputs[i]). Inputs are
+  /// processed in groups of width(); the final group may be narrower
+  /// (the tail case). \p Out must have Inputs.size() elements.
+  void digestMany(std::span<const ByteSpan> Inputs,
+                  std::span<Sha1::Digest> Out) const;
+
+  /// Hashes one lane group (up to MaxWidth inputs) with interleaved
+  /// block rounds. Exposed for the width-sweep tests.
+  static void digestGroup(std::span<const ByteSpan> Inputs,
+                          std::span<Sha1::Digest> Out);
+
+private:
+  unsigned Width;
+};
+
+} // namespace padre
+
+#endif // PADRE_HASH_SHA1BATCH_H

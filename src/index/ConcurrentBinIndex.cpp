@@ -1,0 +1,510 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concurrent bin index implementation. Memory-ordering map (the
+/// contract DESIGN.md decision 15 documents):
+///
+///   * slot claim:   CAS Empty -> Busy, acq_rel (failure: acquire)
+///   * slot publish: payload plain stores, then header release-store
+///   * slot probe:   header acquire-load, then payload plain loads
+///   * table publish (growth): Current release-store under the
+///     exclusive TableMutex; probes acquire-load Current
+///   * bin lock:     CAS 0 -> 1 acquire, unlock release-store 0
+///   * stat counters: relaxed (monotonic, read for reporting only)
+///
+//===----------------------------------------------------------------------===//
+
+#include "index/ConcurrentBinIndex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+using namespace padre;
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix for slot hashing.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+/// Probe hash of (bin, suffix). The suffix is at least 16 bytes (the
+/// digest minus at most a 4-byte prefix), so the 8-byte read is safe.
+std::uint64_t slotHash(std::uint32_t Bin, const std::uint8_t *Suffix) {
+  std::uint64_t Key;
+  std::memcpy(&Key, Suffix, sizeof(Key));
+  return mix64(Key ^ (static_cast<std::uint64_t>(Bin) *
+                      0xD6E8FEB86659FD93ULL));
+}
+
+/// Header word: state(2) | bin(32) | tag(top 30 bits of the hash).
+std::uint64_t headerFor(std::uint64_t State, std::uint32_t Bin,
+                        std::uint64_t Hash) {
+  return State | (static_cast<std::uint64_t>(Bin) << 2) |
+         ((Hash >> 34) << 34);
+}
+
+std::uint64_t stateOf(std::uint64_t Header) { return Header & 3; }
+std::uint32_t binOfHeader(std::uint64_t Header) {
+  return static_cast<std::uint32_t>(Header >> 2);
+}
+
+/// Slots per shard table at construction; grows x2 at 70% load.
+constexpr std::size_t InitialTableCapacity = 256;
+
+} // namespace
+
+ConcurrentBinIndex::Table::Table(std::size_t Capacity)
+    : Slots(new Slot[Capacity]), Capacity(Capacity) {}
+
+/// Per-bin spinlock hold. Lost CAS races feed the shard's retry
+/// counter; the inner relaxed spin keeps the lock word's cache line
+/// shared until it is plausibly free.
+class ConcurrentBinIndex::BinGuard {
+public:
+  BinGuard(std::atomic<std::uint32_t> &Lock, Shard &S) : Lock(Lock) {
+    std::uint32_t Expected = 0;
+    while (!Lock.compare_exchange_weak(Expected, 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      S.CasRetries.fetch_add(1, std::memory_order_relaxed);
+      while (Lock.load(std::memory_order_relaxed) != 0) {
+      }
+      Expected = 0;
+    }
+  }
+  ~BinGuard() { Lock.store(0, std::memory_order_release); }
+
+  BinGuard(const BinGuard &) = delete;
+  BinGuard &operator=(const BinGuard &) = delete;
+
+private:
+  std::atomic<std::uint32_t> &Lock;
+};
+
+ConcurrentBinIndex::ConcurrentBinIndex(const DedupIndexConfig &Config)
+    : Layout(Config.BinBits), Config(Config),
+      ShardCount(std::clamp<std::uint64_t>(Config.Shards, 1,
+                                           Layout.binCount())),
+      SuffixBytes(Layout.suffixBytes()),
+      Shards(std::make_unique<Shard[]>(ShardCount)),
+      BinLocks(std::make_unique<std::atomic<std::uint32_t>[]>(
+          Layout.binCount())),
+      Buffer(Layout, Config.BufferCapacityPerBin) {
+  for (std::size_t S = 0; S < ShardCount; ++S) {
+    Shards[S].CurrentOwned = std::make_unique<Table>(InitialTableCapacity);
+    Shards[S].Current.store(Shards[S].CurrentOwned.get(),
+                            std::memory_order_relaxed);
+  }
+  // Bounded mode shadows the tree in the oracle's own store so that
+  // eviction victims replay the identical per-bin Rng stream.
+  if (Config.MaxEntriesPerBin != 0)
+    Directory = std::make_unique<CpuBinStore>(
+        Layout, Config.MaxEntriesPerBin, Config.Seed);
+}
+
+ConcurrentBinIndex::~ConcurrentBinIndex() = default;
+
+std::optional<std::uint64_t>
+ConcurrentBinIndex::tableProbe(const Shard &S, std::uint32_t Bin,
+                               const std::uint8_t *Suffix) const {
+  const Table &T = *S.Current.load(std::memory_order_acquire);
+  const std::uint64_t Hash = slotHash(Bin, Suffix);
+  const std::uint64_t FullHeader = headerFor(StateFull, Bin, Hash);
+  const std::size_t Mask = T.Capacity - 1;
+  for (std::size_t P = 0; P < T.Capacity; ++P) {
+    const Slot &Sl = T.Slots[(Hash + P) & Mask];
+    const std::uint64_t Header = Sl.Header.load(std::memory_order_acquire);
+    if (Header == 0)
+      return std::nullopt; // Empty terminates the probe chain.
+    // Payload reads are ordered after the inserter's release-store of
+    // the Full header; a Full slot's payload is never rewritten
+    // (removal tombstones the header only), so these are race-free.
+    if (Header == FullHeader &&
+        std::memcmp(Sl.Suffix, Suffix, SuffixBytes) == 0)
+      return Sl.Location;
+  }
+  return std::nullopt;
+}
+
+void ConcurrentBinIndex::tableInsert(Shard &S, std::uint32_t Bin,
+                                     const std::uint8_t *Suffix,
+                                     std::uint64_t Location) {
+  std::shared_lock<std::shared_mutex> Guard(S.TableMutex);
+  for (;;) {
+    Table &T = *S.Current.load(std::memory_order_acquire);
+    // Grow at 70% load (tombstones count: they lengthen probe chains
+    // just like live entries until growth drops them).
+    if ((T.Used.load(std::memory_order_relaxed) + 1) * 10 >=
+        T.Capacity * 7) {
+      Guard.unlock();
+      growTable(S);
+      Guard.lock();
+      continue;
+    }
+    const std::uint64_t Hash = slotHash(Bin, Suffix);
+    const std::uint64_t BusyHeader = headerFor(StateBusy, Bin, Hash);
+    const std::uint64_t FullHeader = headerFor(StateFull, Bin, Hash);
+    const std::size_t Mask = T.Capacity - 1;
+    for (std::size_t P = 0; P < T.Capacity; ++P) {
+      Slot &Sl = T.Slots[(Hash + P) & Mask];
+      std::uint64_t Header = Sl.Header.load(std::memory_order_acquire);
+      while (stateOf(Header) == StateEmpty) {
+        std::uint64_t Expected = 0;
+        if (Sl.Header.compare_exchange_weak(Expected, BusyHeader,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+          Sl.Location = Location;
+          std::memcpy(Sl.Suffix, Suffix, SuffixBytes);
+          Sl.Header.store(FullHeader, std::memory_order_release);
+          T.Used.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // Lost the claim race to another bin's inserter.
+        S.CasRetries.fetch_add(1, std::memory_order_relaxed);
+        Header = Expected;
+      }
+    }
+    // A full sweep without a claimable slot (the table filled under
+    // us): force growth and retry.
+    Guard.unlock();
+    growTable(S);
+    Guard.lock();
+  }
+}
+
+bool ConcurrentBinIndex::tableRemove(Shard &S, std::uint32_t Bin,
+                                     const std::uint8_t *Suffix) {
+  std::shared_lock<std::shared_mutex> Guard(S.TableMutex);
+  Table &T = *S.Current.load(std::memory_order_acquire);
+  const std::uint64_t Hash = slotHash(Bin, Suffix);
+  const std::uint64_t FullHeader = headerFor(StateFull, Bin, Hash);
+  const std::uint64_t TombHeader = headerFor(StateTomb, Bin, Hash);
+  const std::size_t Mask = T.Capacity - 1;
+  for (std::size_t P = 0; P < T.Capacity; ++P) {
+    Slot &Sl = T.Slots[(Hash + P) & Mask];
+    const std::uint64_t Header = Sl.Header.load(std::memory_order_acquire);
+    if (Header == 0)
+      return false;
+    if (Header == FullHeader &&
+        std::memcmp(Sl.Suffix, Suffix, SuffixBytes) == 0) {
+      // The caller holds this bin's lock, so no other mutator races on
+      // this key; the tombstone leaves the payload intact for probes
+      // that loaded the Full header just before.
+      Sl.Header.store(TombHeader, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConcurrentBinIndex::growTable(Shard &S) {
+  std::unique_lock<std::shared_mutex> Guard(S.TableMutex);
+  Table &Old = *S.Current.load(std::memory_order_relaxed);
+  // Another grower may have already replaced the table while we waited
+  // for the exclusive lock.
+  if ((Old.Used.load(std::memory_order_relaxed) + 1) * 10 <
+      Old.Capacity * 7)
+    return;
+  auto Fresh = std::make_unique<Table>(Old.Capacity * 2);
+  const std::size_t Mask = Fresh->Capacity - 1;
+  std::size_t Live = 0;
+  for (std::size_t I = 0; I < Old.Capacity; ++I) {
+    const Slot &From = Old.Slots[I];
+    const std::uint64_t Header = From.Header.load(std::memory_order_relaxed);
+    if (stateOf(Header) != StateFull)
+      continue; // tombstones (and impossible Busy) are dropped
+    const std::uint64_t Hash = slotHash(binOfHeader(Header), From.Suffix);
+    for (std::size_t P = 0; P < Fresh->Capacity; ++P) {
+      Slot &To = Fresh->Slots[(Hash + P) & Mask];
+      if (To.Header.load(std::memory_order_relaxed) != 0)
+        continue;
+      To.Location = From.Location;
+      std::memcpy(To.Suffix, From.Suffix, SuffixBytes);
+      To.Header.store(Header, std::memory_order_relaxed);
+      break;
+    }
+    ++Live;
+  }
+  Fresh->Used.store(Live, std::memory_order_relaxed);
+  Table *Published = Fresh.get();
+  // Retire, don't free: lock-free probes in flight may still read the
+  // old table. The graveyard is reclaimed at destruction.
+  S.Graveyard.push_back(std::move(S.CurrentOwned));
+  S.CurrentOwned = std::move(Fresh);
+  S.Current.store(Published, std::memory_order_release);
+}
+
+void ConcurrentBinIndex::drainBinLocked(std::uint32_t Bin, Shard &S,
+                                        std::vector<FlushEvent> &FlushOut) {
+  FlushEvent Event;
+  Event.Bin = Bin;
+  Buffer.drain(Bin, Event.Suffixes, Event.Locations);
+  const std::size_t Run = Event.Locations.size();
+  S.BufferedEntries.fetch_sub(Run, std::memory_order_relaxed);
+
+  for (std::size_t I = 0; I < Run; ++I)
+    tableInsert(S, Bin, Event.Suffixes.data() + I * SuffixBytes,
+                Event.Locations[I]);
+
+  std::size_t Evicted = 0;
+  if (Directory) {
+    ByteVector EvictedSuffixes;
+    Evicted = Directory->mergeRun(
+        Bin, ByteSpan(Event.Suffixes.data(), Event.Suffixes.size()),
+        Event.Locations, &EvictedSuffixes);
+    // Tombstone the evicted identities (possibly including run entries
+    // inserted just above — random replacement may pick them).
+    for (std::size_t J = 0; J < Evicted; ++J) {
+      const bool Removed = tableRemove(
+          S, Bin, EvictedSuffixes.data() + J * SuffixBytes);
+      assert(Removed && "Evicted entry missing from the slot table");
+      (void)Removed;
+    }
+    S.Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+  }
+  S.TreeEntries.fetch_add(Run - Evicted, std::memory_order_relaxed);
+  S.Epoch.fetch_add(1, std::memory_order_relaxed);
+  FlushOut.push_back(std::move(Event));
+}
+
+LookupResult
+ConcurrentBinIndex::processOne(std::uint32_t Bin, const Fingerprint &Fp,
+                               std::uint64_t Location,
+                               std::vector<FlushEvent> &LocalFlush) {
+  Shard &S = Shards[shardOfBin(Bin)];
+  BinGuard Guard(BinLocks[Bin], S);
+
+  std::uint8_t Suffix[Fingerprint::Size];
+  Layout.extractSuffix(Fp, Suffix);
+
+  // Paper lookup order (§3.3): bin buffer first, then bin tree.
+  std::size_t Depth = 0;
+  if (auto Hit = Buffer.lookup(Bin, Suffix, &Depth)) {
+    S.BufferHits.fetch_add(1, std::memory_order_relaxed);
+    return LookupResult{LookupOutcome::DupBuffer, *Hit,
+                        static_cast<std::uint32_t>(Depth)};
+  }
+  if (auto Hit = tableProbe(S, Bin, Suffix)) {
+    S.TreeHits.fetch_add(1, std::memory_order_relaxed);
+    return LookupResult{LookupOutcome::DupTree, *Hit, 0};
+  }
+
+  S.UniqueInserts.fetch_add(1, std::memory_order_relaxed);
+  const bool Full = Buffer.insert(Bin, Suffix, Location);
+  S.BufferedEntries.fetch_add(1, std::memory_order_relaxed);
+  S.Epoch.fetch_add(1, std::memory_order_relaxed);
+  if (Full)
+    drainBinLocked(Bin, S, LocalFlush);
+  return LookupResult{LookupOutcome::Unique, Location};
+}
+
+void ConcurrentBinIndex::processBatch(
+    std::span<const Fingerprint> Fingerprints,
+    std::span<const std::uint64_t> Locations,
+    std::span<const std::uint8_t> KnownDuplicate, ThreadPool &Pool,
+    std::span<LookupResult> Results, std::vector<FlushEvent> &FlushOut) {
+  const std::size_t Count = Fingerprints.size();
+  assert(Locations.size() == Count && Results.size() == Count &&
+         "Batch arrays disagree");
+  assert((KnownDuplicate.empty() || KnownDuplicate.size() == Count) &&
+         "KnownDuplicate must be empty or batch-sized");
+  if (Count == 0)
+    return;
+
+  // Identical scatter + bin-slicing structure to DedupIndex: the same
+  // counting sort and the same worker-order flush concatenation keep
+  // flush events in the same order, so batch results are bit-identical
+  // to the serial oracle's.
+  const std::uint32_t BinCount = Layout.binCount();
+  std::vector<std::uint32_t> BinOf(Count);
+  std::vector<std::uint32_t> CountPerBin(BinCount + 1, 0);
+  for (std::size_t I = 0; I < Count; ++I) {
+    BinOf[I] = Layout.binOf(Fingerprints[I]);
+    ++CountPerBin[BinOf[I] + 1];
+  }
+  for (std::uint32_t B = 0; B < BinCount; ++B)
+    CountPerBin[B + 1] += CountPerBin[B];
+  std::vector<std::uint32_t> ItemsByBin(Count);
+  {
+    std::vector<std::uint32_t> Cursor(CountPerBin.begin(),
+                                      CountPerBin.end() - 1);
+    for (std::size_t I = 0; I < Count; ++I)
+      ItemsByBin[Cursor[BinOf[I]]++] = static_cast<std::uint32_t>(I);
+  }
+
+  const unsigned Workers = Pool.size();
+  std::vector<std::vector<FlushEvent>> FlushPerWorker(Workers);
+  Pool.parallelForSlices(
+      0, BinCount,
+      [&](std::size_t BinBegin, std::size_t BinEnd, unsigned Worker) {
+        std::vector<FlushEvent> &LocalFlush = FlushPerWorker[Worker];
+        for (std::size_t Bin = BinBegin; Bin < BinEnd; ++Bin) {
+          for (std::uint32_t Slot = CountPerBin[Bin];
+               Slot < CountPerBin[Bin + 1]; ++Slot) {
+            const std::uint32_t Item = ItemsByBin[Slot];
+            if (!KnownDuplicate.empty() && KnownDuplicate[Item]) {
+              Shards[shardOfBin(static_cast<std::uint32_t>(Bin))]
+                  .GpuHits.fetch_add(1, std::memory_order_relaxed);
+              Results[Item].Outcome = LookupOutcome::DupGpu;
+              // Location already resolved by the caller from the GPU
+              // metadata mirror; leave Results[Item].Location intact.
+              continue;
+            }
+            Results[Item] =
+                processOne(static_cast<std::uint32_t>(Bin),
+                           Fingerprints[Item], Locations[Item], LocalFlush);
+          }
+        }
+      });
+
+  for (std::vector<FlushEvent> &Local : FlushPerWorker)
+    for (FlushEvent &Event : Local)
+      FlushOut.push_back(std::move(Event));
+}
+
+std::optional<std::uint64_t>
+ConcurrentBinIndex::lookup(const Fingerprint &Fp) const {
+  const std::uint32_t Bin = Layout.binOf(Fp);
+  Shard &S = Shards[shardOfBin(Bin)];
+  std::uint8_t Suffix[Fingerprint::Size];
+  Layout.extractSuffix(Fp, Suffix);
+  {
+    // The buffer's vectors are mutated under the bin lock, so even a
+    // read-only scan must hold it; the tree probe below is lock-free.
+    BinGuard Guard(BinLocks[Bin], S);
+    if (auto Hit = Buffer.lookup(Bin, Suffix))
+      return Hit;
+  }
+  return tableProbe(S, Bin, Suffix);
+}
+
+LookupResult ConcurrentBinIndex::upsert(const Fingerprint &Fp,
+                                        std::uint64_t Location,
+                                        std::vector<FlushEvent> &FlushOut) {
+  return processOne(Layout.binOf(Fp), Fp, Location, FlushOut);
+}
+
+bool ConcurrentBinIndex::remove(const Fingerprint &Fp) {
+  const std::uint32_t Bin = Layout.binOf(Fp);
+  Shard &S = Shards[shardOfBin(Bin)];
+  BinGuard Guard(BinLocks[Bin], S);
+  std::uint8_t Suffix[Fingerprint::Size];
+  Layout.extractSuffix(Fp, Suffix);
+  if (Buffer.remove(Bin, Suffix)) {
+    S.BufferedEntries.fetch_sub(1, std::memory_order_relaxed);
+    S.Epoch.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (Directory) {
+    if (!Directory->remove(Bin, Suffix))
+      return false;
+    const bool Removed = tableRemove(S, Bin, Suffix);
+    assert(Removed && "Directory and slot table disagree");
+    (void)Removed;
+  } else if (!tableRemove(S, Bin, Suffix)) {
+    return false;
+  }
+  S.TreeEntries.fetch_sub(1, std::memory_order_relaxed);
+  S.Epoch.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ConcurrentBinIndex::flushAll(std::vector<FlushEvent> &FlushOut) {
+  for (std::uint32_t Bin = 0; Bin < Layout.binCount(); ++Bin) {
+    Shard &S = Shards[shardOfBin(Bin)];
+    BinGuard Guard(BinLocks[Bin], S);
+    if (Buffer.size(Bin) == 0)
+      continue;
+    drainBinLocked(Bin, S, FlushOut);
+  }
+}
+
+std::uint64_t ConcurrentBinIndex::bufferHits() const {
+  std::uint64_t Total = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Total += Shards[S].BufferHits.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::uint64_t ConcurrentBinIndex::treeHits() const {
+  std::uint64_t Total = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Total += Shards[S].TreeHits.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::uint64_t ConcurrentBinIndex::gpuHits() const {
+  std::uint64_t Total = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Total += Shards[S].GpuHits.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::uint64_t ConcurrentBinIndex::uniqueInserts() const {
+  std::uint64_t Total = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Total += Shards[S].UniqueInserts.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::uint64_t ConcurrentBinIndex::evictions() const {
+  std::uint64_t Total = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Total += Shards[S].Evictions.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::size_t ConcurrentBinIndex::treeEntries() const {
+  std::size_t Total = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Total += Shards[S].TreeEntries.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::size_t ConcurrentBinIndex::memoryBytes() const {
+  // The oracle's logical definition — entry payload bytes, not slot
+  // table footprint — so memory-budget policies (the service's cache
+  // tier) behave identically over either implementation.
+  std::size_t Entries = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Entries += Shards[S].TreeEntries.load(std::memory_order_relaxed) +
+               Shards[S].BufferedEntries.load(std::memory_order_relaxed);
+  return Entries * Layout.cpuEntryBytes();
+}
+
+std::uint64_t ConcurrentBinIndex::casRetries() const {
+  std::uint64_t Total = 0;
+  for (std::size_t S = 0; S < ShardCount; ++S)
+    Total += Shards[S].CasRetries.load(std::memory_order_relaxed);
+  return Total;
+}
+
+IndexShardStats ConcurrentBinIndex::shardStats(unsigned Shard) const {
+  assert(Shard < ShardCount && "Shard id out of range");
+  const struct Shard &S = Shards[Shard];
+  IndexShardStats Stats;
+  Stats.BufferHits = S.BufferHits.load(std::memory_order_relaxed);
+  Stats.TreeHits = S.TreeHits.load(std::memory_order_relaxed);
+  Stats.GpuHits = S.GpuHits.load(std::memory_order_relaxed);
+  Stats.UniqueInserts = S.UniqueInserts.load(std::memory_order_relaxed);
+  Stats.Evictions = S.Evictions.load(std::memory_order_relaxed);
+  Stats.TreeEntries = S.TreeEntries.load(std::memory_order_relaxed);
+  Stats.MemoryBytes =
+      (S.TreeEntries.load(std::memory_order_relaxed) +
+       S.BufferedEntries.load(std::memory_order_relaxed)) *
+      Layout.cpuEntryBytes();
+  const std::uint64_t BinCount = Layout.binCount();
+  Stats.BinBegin = static_cast<std::uint32_t>(
+      (Shard * BinCount + ShardCount - 1) / ShardCount);
+  Stats.BinEnd = static_cast<std::uint32_t>(
+      ((Shard + 1) * BinCount + ShardCount - 1) / ShardCount);
+  Stats.Epoch = S.Epoch.load(std::memory_order_relaxed);
+  Stats.CasRetries = S.CasRetries.load(std::memory_order_relaxed);
+  return Stats;
+}

@@ -1,0 +1,195 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lock-free concurrent fingerprint index: the first hot path in the
+/// repo that tolerates genuinely simultaneous mutators (DESIGN.md
+/// decision 15). The serial DedupIndex is safe only because processBatch
+/// partitions bins across workers; any *external* concurrency — two
+/// volumes upserting at once, a GC remove racing a write batch — would
+/// race on its vectors. This implementation keeps the paper's exact
+/// semantics (bin buffer → bin tree lookup order, drained sorted runs,
+/// random replacement) while making every operation thread-safe:
+///
+///  * The bin tree is K open-addressed slot tables (shards over
+///    contiguous bin ranges). Slots are 64-byte-aligned: one atomic
+///    header word (state | bin | tag) plus the location and suffix
+///    payload in the same cache line. Probes are lock-free — an
+///    acquire-load of the header happens-after the inserter's release
+///    publication, so the payload read is race-free. Inserters claim an
+///    Empty slot by CAS (failures count into casRetries()), write the
+///    payload, then release-store the Full header.
+///
+///  * Everything per-bin (buffer staging, eviction Rng, directory) is
+///    serialized by a per-bin CAS spinlock — the concurrent analogue of
+///    the serial index's "one worker owns each bin" discipline, but held
+///    only for one operation instead of one batch.
+///
+///  * Growth is RCU-lite: the grower takes the shard's shared_mutex
+///    exclusively (mutators hold it shared), rebuilds into a table twice
+///    the size (dropping tombstones), publishes it with a release store,
+///    and retires the old table to a graveyard freed at destruction —
+///    lock-free probes in flight keep reading the retired table safely.
+///
+/// Observational equivalence with DedupIndex is load-bearing and tested
+/// (tests/OracleCheck.h, tests/test_hotpath.cpp): on any serial op
+/// sequence, outcomes, buffer depths, flush events, counters, tree
+/// entries and memory bytes are bit-identical. Eviction identities match
+/// because bounded mode routes drains through a real CpuBinStore (the
+/// oracle's own structure) whose per-bin Rng seeding is unchanged, and
+/// tombstones the evicted suffixes out of the slot table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_INDEX_CONCURRENTBININDEX_H
+#define PADRE_INDEX_CONCURRENTBININDEX_H
+
+#include "index/BinBuffer.h"
+#include "index/BinLayout.h"
+#include "index/CpuBinStore.h"
+#include "index/FingerprintIndex.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+namespace padre {
+
+/// Lock-free sharded concurrent bin index.
+class ConcurrentBinIndex : public FingerprintIndex {
+public:
+  /// \p Config.Shards slot-table shards (clamped to [1, binCount]).
+  explicit ConcurrentBinIndex(const DedupIndexConfig &Config);
+  ~ConcurrentBinIndex() override;
+
+  const BinLayout &layout() const override { return Layout; }
+
+  void processBatch(std::span<const Fingerprint> Fingerprints,
+                    std::span<const std::uint64_t> Locations,
+                    std::span<const std::uint8_t> KnownDuplicate,
+                    ThreadPool &Pool, std::span<LookupResult> Results,
+                    std::vector<FlushEvent> &FlushOut) override;
+
+  std::optional<std::uint64_t> lookup(const Fingerprint &Fp) const override;
+  bool remove(const Fingerprint &Fp) override;
+  LookupResult upsert(const Fingerprint &Fp, std::uint64_t Location,
+                      std::vector<FlushEvent> &FlushOut) override;
+  void flushAll(std::vector<FlushEvent> &FlushOut) override;
+
+  std::uint64_t bufferHits() const override;
+  std::uint64_t treeHits() const override;
+  std::uint64_t gpuHits() const override;
+  std::uint64_t uniqueInserts() const override;
+  std::uint64_t evictions() const override;
+  std::size_t treeEntries() const override;
+  std::size_t memoryBytes() const override;
+
+  unsigned shardCount() const override {
+    return static_cast<unsigned>(ShardCount);
+  }
+  IndexShardStats shardStats(unsigned Shard) const override;
+  std::uint64_t casRetries() const override;
+
+  /// Shard id owning \p Bin (contiguous ranges: shard = bin·K/bins —
+  /// the same map ShardedFingerprintIndex uses).
+  unsigned shardOfBin(std::uint32_t Bin) const {
+    return static_cast<unsigned>(static_cast<std::uint64_t>(Bin) *
+                                 ShardCount / Layout.binCount());
+  }
+
+private:
+  /// Slot header states (bits 0..1 of the header word).
+  static constexpr std::uint64_t StateEmpty = 0;
+  static constexpr std::uint64_t StateBusy = 1;
+  static constexpr std::uint64_t StateFull = 2;
+  static constexpr std::uint64_t StateTomb = 3;
+
+  /// One open-addressed slot: header + payload share a cache line, so a
+  /// successful probe costs one line fill.
+  struct alignas(64) Slot {
+    /// state(2) | bin(32, bits 2..33) | tag(30, bits 34..63).
+    std::atomic<std::uint64_t> Header{0};
+    std::uint64_t Location = 0;
+    std::uint8_t Suffix[Fingerprint::Size] = {};
+  };
+
+  /// One immutable-capacity probe table (replaced wholesale on growth).
+  struct Table {
+    explicit Table(std::size_t Capacity);
+    std::unique_ptr<Slot[]> Slots;
+    std::size_t Capacity; ///< power of two
+    std::atomic<std::size_t> Used{0}; ///< claimed slots (incl. tombstones)
+  };
+
+  /// One shard: its live table, retired tables, growth mutex, and
+  /// cache-line-aligned stat counters.
+  struct alignas(64) Shard {
+    std::atomic<Table *> Current{nullptr};
+    std::unique_ptr<Table> CurrentOwned;
+    /// Retired tables stay readable until destruction (RCU-lite: probes
+    /// never block, so an in-flight probe may still hold a retired
+    /// table's pointer).
+    std::vector<std::unique_ptr<Table>> Graveyard;
+    mutable std::shared_mutex TableMutex;
+
+    std::atomic<std::uint64_t> BufferHits{0};
+    std::atomic<std::uint64_t> TreeHits{0};
+    std::atomic<std::uint64_t> GpuHits{0};
+    std::atomic<std::uint64_t> UniqueInserts{0};
+    std::atomic<std::uint64_t> Evictions{0};
+    std::atomic<std::uint64_t> Epoch{0};
+    std::atomic<std::uint64_t> CasRetries{0};
+    std::atomic<std::size_t> TreeEntries{0};
+    std::atomic<std::size_t> BufferedEntries{0};
+  };
+
+  /// RAII per-bin spinlock hold.
+  class BinGuard;
+
+  /// Runs the paper's CPU lookup order for one fingerprint with its bin
+  /// locked. Exactly DedupIndex::processOne, against the slot table.
+  LookupResult processOne(std::uint32_t Bin, const Fingerprint &Fp,
+                          std::uint64_t Location,
+                          std::vector<FlushEvent> &LocalFlush);
+
+  /// Drains \p Bin's buffer (caller holds the bin lock) into a flush
+  /// event, merges it into the tree, and appends to \p FlushOut.
+  void drainBinLocked(std::uint32_t Bin, Shard &S,
+                      std::vector<FlushEvent> &FlushOut);
+
+  /// Lock-free probe of \p S's live table.
+  std::optional<std::uint64_t> tableProbe(const Shard &S, std::uint32_t Bin,
+                                          const std::uint8_t *Suffix) const;
+  /// Claims a slot and publishes (bin lock + shared table lock held
+  /// inside; grows the table when the load factor demands it).
+  void tableInsert(Shard &S, std::uint32_t Bin, const std::uint8_t *Suffix,
+                   std::uint64_t Location);
+  /// Tombstones one matching Full slot. Returns true if found.
+  bool tableRemove(Shard &S, std::uint32_t Bin, const std::uint8_t *Suffix);
+  /// Rebuilds \p S's table at twice the capacity (exclusive lock),
+  /// dropping tombstones; the old table is retired, not freed.
+  void growTable(Shard &S);
+
+  BinLayout Layout;
+  DedupIndexConfig Config;
+  std::size_t ShardCount;
+  unsigned SuffixBytes;
+
+  std::unique_ptr<Shard[]> Shards;
+  /// Per-bin spinlock words (0 = free, 1 = held). Deliberately packed —
+  /// a cache line of padding per bin would cost 64 B x 2^BinBits; the
+  /// lock is held for nanoseconds, so false sharing is cheaper.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> BinLocks;
+  /// Buffer staging: the serial index's own BinBuffer, one bin accessed
+  /// per locked operation (distinct vector elements are race-free).
+  BinBuffer Buffer;
+  /// Bounded mode only: the oracle's bin store as eviction directory,
+  /// so victim identities replay the serial Rng stream bit-for-bit.
+  std::unique_ptr<CpuBinStore> Directory;
+};
+
+} // namespace padre
+
+#endif // PADRE_INDEX_CONCURRENTBININDEX_H

@@ -8,6 +8,8 @@
 
 #include "index/ShardedFingerprintIndex.h"
 
+#include "index/ConcurrentBinIndex.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -51,38 +53,64 @@ void ShardedFingerprintIndex::processBatch(
     return;
   }
 
-  // Partition item indices by shard, preserving stream order within
-  // each shard — the per-bin probe order (and thus every outcome) is
-  // then identical to the unsharded index's.
-  std::vector<std::vector<std::uint32_t>> ItemsPerShard(Shards.size());
-  for (std::size_t I = 0; I < Count; ++I) {
-    const std::uint32_t Bin = layout().binOf(Fingerprints[I]);
-    ItemsPerShard[shardOfBin(Bin)].push_back(
-        static_cast<std::uint32_t>(I));
+  // Partition item indices by shard with a counting sort over arena
+  // scratch, preserving stream order within each shard — the per-bin
+  // probe order (and thus every outcome) is then identical to the
+  // unsharded index's.
+  BatchScratch.reset();
+  std::span<std::size_t> CountPerShard =
+      BatchScratch.allocateFilled<std::size_t>(Shards.size(), 0);
+  for (std::size_t I = 0; I < Count; ++I)
+    ++CountPerShard[shardOfBin(layout().binOf(Fingerprints[I]))];
+  std::span<std::size_t> ShardOffset =
+      BatchScratch.allocateSpan<std::size_t>(Shards.size());
+  std::size_t Offset = 0;
+  for (std::size_t S = 0; S < Shards.size(); ++S) {
+    ShardOffset[S] = Offset;
+    Offset += CountPerShard[S];
+  }
+  std::span<std::uint32_t> ItemsByShard =
+      BatchScratch.allocateSpan<std::uint32_t>(Count);
+  {
+    std::span<std::size_t> Cursor =
+        BatchScratch.allocateSpan<std::size_t>(Shards.size());
+    for (std::size_t S = 0; S < Shards.size(); ++S)
+      Cursor[S] = ShardOffset[S];
+    for (std::size_t I = 0; I < Count; ++I) {
+      const unsigned S = shardOfBin(layout().binOf(Fingerprints[I]));
+      ItemsByShard[Cursor[S]++] = static_cast<std::uint32_t>(I);
+    }
   }
 
   // Shards run one after another (each inner batch is bin-parallel on
   // the pool already); flush events therefore land in shard order.
-  std::vector<Fingerprint> SubFps;
-  std::vector<std::uint64_t> SubLocations;
-  std::vector<std::uint8_t> SubKnown;
-  std::vector<LookupResult> SubResults;
+  std::span<Fingerprint> SubFps =
+      BatchScratch.allocateSpan<Fingerprint>(Count);
+  std::span<std::uint64_t> SubLocations =
+      BatchScratch.allocateSpan<std::uint64_t>(Count);
+  std::span<std::uint8_t> SubKnown =
+      BatchScratch.allocateSpan<std::uint8_t>(Count);
+  std::span<LookupResult> SubResults =
+      BatchScratch.allocateSpan<LookupResult>(Count);
   for (std::size_t S = 0; S < Shards.size(); ++S) {
-    const std::vector<std::uint32_t> &Items = ItemsPerShard[S];
+    const std::span<const std::uint32_t> Items =
+        ItemsByShard.subspan(ShardOffset[S], CountPerShard[S]);
     if (Items.empty())
       continue;
-    SubFps.clear();
-    SubLocations.clear();
-    SubKnown.clear();
-    for (std::uint32_t Item : Items) {
-      SubFps.push_back(Fingerprints[Item]);
-      SubLocations.push_back(Locations[Item]);
+    for (std::size_t J = 0; J < Items.size(); ++J) {
+      SubFps[J] = Fingerprints[Items[J]];
+      SubLocations[J] = Locations[Items[J]];
       if (!KnownDuplicate.empty())
-        SubKnown.push_back(KnownDuplicate[Item]);
+        SubKnown[J] = KnownDuplicate[Items[J]];
     }
-    SubResults.assign(Items.size(), LookupResult());
-    Shards[S]->processBatch(SubFps, SubLocations, SubKnown, Pool,
-                            SubResults, FlushOut);
+    for (std::size_t J = 0; J < Items.size(); ++J)
+      SubResults[J] = LookupResult();
+    Shards[S]->processBatch(
+        SubFps.first(Items.size()), SubLocations.first(Items.size()),
+        KnownDuplicate.empty()
+            ? std::span<const std::uint8_t>()
+            : std::span<const std::uint8_t>(SubKnown.first(Items.size())),
+        Pool, SubResults.first(Items.size()), FlushOut);
     for (std::size_t J = 0; J < Items.size(); ++J) {
       // DupGpu items keep their caller-resolved location; mirror the
       // unsharded contract of leaving Results[Item].Location intact.
@@ -181,6 +209,8 @@ IndexShardStats ShardedFingerprintIndex::shardStats(unsigned Shard) const {
 
 std::unique_ptr<FingerprintIndex>
 padre::makeFingerprintIndex(const DedupIndexConfig &Config) {
+  if (Config.Concurrent)
+    return std::make_unique<ConcurrentBinIndex>(Config);
   if (Config.Shards <= 1)
     return std::make_unique<DedupIndex>(Config);
   return std::make_unique<ShardedFingerprintIndex>(Config);

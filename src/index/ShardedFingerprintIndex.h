@@ -22,6 +22,7 @@
 
 #include "index/DedupIndex.h"
 #include "index/FingerprintIndex.h"
+#include "util/Arena.h"
 
 #include <memory>
 #include <vector>
@@ -68,6 +69,10 @@ public:
 
 private:
   std::vector<std::unique_ptr<DedupIndex>> Shards;
+  /// processBatch scratch (shard scatter tables and sub-batch arrays),
+  /// reset per batch. The engine drives one batch at a time, matching
+  /// the arena's single-owner discipline.
+  Arena BatchScratch;
 };
 
 } // namespace padre

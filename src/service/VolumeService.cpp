@@ -13,9 +13,22 @@
 
 using namespace padre;
 
+namespace {
+
+/// Applies the ServiceConfig::ConcurrentIndex convenience switch to the
+/// nested pipeline config before anything is built from it.
+ServiceConfig withConcurrentIndex(ServiceConfig Config) {
+  if (Config.ConcurrentIndex)
+    Config.Pipeline.Dedup.Index.Concurrent = true;
+  return Config;
+}
+
+} // namespace
+
 VolumeService::VolumeService(const Platform &Plat,
                              const ServiceConfig &Config)
-    : Config(Config), Pipeline(Plat, Config.Pipeline),
+    : Config(withConcurrentIndex(Config)),
+      Pipeline(Plat, this->Config.Pipeline),
       Tracker(std::make_shared<ChunkRefTracker>()) {
   obs::MetricsRegistry *Metrics = Config.Pipeline.Metrics;
   if (!Metrics)

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "util/Arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace padre;
+
+Arena::Arena(std::size_t FirstBlockBytes)
+    : NextBlockBytes(std::max<std::size_t>(FirstBlockBytes, 64)) {}
+
+Arena::~Arena() = default;
+
+Arena::Block &Arena::grow(std::size_t MinBytes) {
+  const std::size_t Capacity = std::max(NextBlockBytes, MinBytes);
+  NextBlockBytes = Capacity * 2;
+  Block NewBlock;
+  NewBlock.Storage = std::make_unique<std::uint8_t[]>(Capacity);
+  NewBlock.Capacity = Capacity;
+  Blocks.push_back(std::move(NewBlock));
+  return Blocks.back();
+}
+
+void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "Alignment must be a power of two");
+  Block *Current = Blocks.empty() ? nullptr : &Blocks.back();
+  std::size_t Aligned = 0;
+  if (Current) {
+    const std::uintptr_t Base =
+        reinterpret_cast<std::uintptr_t>(Current->Storage.get());
+    Aligned = (Base + Current->Used + Align - 1) / Align * Align - Base;
+  }
+  if (!Current || Aligned + Bytes > Current->Capacity) {
+    Current = &grow(Bytes + Align);
+    const std::uintptr_t Base =
+        reinterpret_cast<std::uintptr_t>(Current->Storage.get());
+    Aligned = (Base + Align - 1) / Align * Align - Base;
+  }
+  void *Result = Current->Storage.get() + Aligned;
+  Current->Used = Aligned + Bytes;
+  Allocated += Bytes;
+  return Result;
+}
+
+void Arena::reset() {
+  if (Blocks.empty()) {
+    Allocated = 0;
+    return;
+  }
+  // Keep only the largest block: the arena converges to a single block
+  // sized for the worst batch seen so far.
+  std::size_t Largest = 0;
+  for (std::size_t I = 1; I < Blocks.size(); ++I)
+    if (Blocks[I].Capacity > Blocks[Largest].Capacity)
+      Largest = I;
+  if (Largest != 0)
+    std::swap(Blocks[0], Blocks[Largest]);
+  Blocks.resize(1);
+  // Poison the reclaimed bytes so stale references read an obviously
+  // wrong pattern instead of the next batch's data.
+  std::memset(Blocks[0].Storage.get(), PoisonByte, Blocks[0].Used);
+  Blocks[0].Used = 0;
+  Allocated = 0;
+}
+
+std::size_t Arena::bytesReserved() const {
+  std::size_t Total = 0;
+  for (const Block &B : Blocks)
+    Total += B.Capacity;
+  return Total;
+}

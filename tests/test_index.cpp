@@ -7,10 +7,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "OracleCheck.h"
+
 #include "index/BinBuffer.h"
 #include "index/BinLayout.h"
 #include "index/CpuBinStore.h"
 #include "index/DedupIndex.h"
+#include "index/ShardedFingerprintIndex.h"
 #include "index/GpuBinTable.h"
 #include "util/Random.h"
 
@@ -529,4 +532,39 @@ TEST_F(IndexFixture, MemoryBoundedIndexMissesSomeDuplicates) {
   for (const LookupResult &Result : Results)
     MissedDuplicates += Result.Outcome == LookupOutcome::Unique;
   EXPECT_GT(MissedDuplicates, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle replay: the sharded composite against the plain index
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedOracle, CompositeMatchesPlainIndexUnderRandomOps) {
+  // The same OracleCheck harness the hotpath suite drives against the
+  // concurrent index, applied to the sequential sharded composite:
+  // shard count must be a pure layout decision.
+  DedupIndexConfig Serial;
+  Serial.BinBits = 8;
+  Serial.BufferCapacityPerBin = 4;
+  for (unsigned Shards : {2u, 5u, 16u}) {
+    SCOPED_TRACE("shards " + std::to_string(Shards));
+    DedupIndexConfig Sharded = Serial;
+    Sharded.Shards = Shards;
+    Random Rng(0x51AB + Shards);
+    const std::vector<oracle::IndexOp> Ops =
+        oracle::randomOps(Rng, 200, /*Universe=*/512);
+    oracle::replayConfigsAndCompare(Serial, Sharded, Ops);
+  }
+}
+
+TEST(ShardedOracle, BoundedCompositeEvictsIdentically) {
+  DedupIndexConfig Serial;
+  Serial.BinBits = 6;
+  Serial.BufferCapacityPerBin = 2;
+  Serial.MaxEntriesPerBin = 4;
+  DedupIndexConfig Sharded = Serial;
+  Sharded.Shards = 4;
+  Random Rng(0xE71C);
+  const std::vector<oracle::IndexOp> Ops =
+      oracle::randomOps(Rng, 200, /*Universe=*/2048, /*MaxBatch=*/24);
+  oracle::replayConfigsAndCompare(Serial, Sharded, Ops);
 }

@@ -6,6 +6,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "util/Arena.h"
 #include "util/Bytes.h"
 #include "util/Random.h"
 #include "util/Stats.h"
@@ -14,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <mutex>
@@ -277,4 +279,81 @@ TEST(StopWatch, MeasuresForwardTime) {
   EXPECT_GE(Watch.seconds(), First);
   Watch.restart();
   EXPECT_LT(Watch.seconds(), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena: bump allocation, poisoned reuse, retention policy
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena A(256);
+  const std::span<std::uint64_t> Words = A.allocateSpan<std::uint64_t>(8);
+  const std::span<std::uint8_t> Bytes = A.allocateSpan<std::uint8_t>(13);
+  const std::span<double> Doubles = A.allocateSpan<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Words.data()) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Doubles.data()) % 8, 0u);
+  // Fill each span with a distinct pattern; none may alias another.
+  std::fill(Words.begin(), Words.end(), 0x1111111111111111ull);
+  std::fill(Bytes.begin(), Bytes.end(), std::uint8_t(0x22));
+  std::fill(Doubles.begin(), Doubles.end(), 3.0);
+  EXPECT_TRUE(std::all_of(Words.begin(), Words.end(),
+                          [](std::uint64_t W) {
+                            return W == 0x1111111111111111ull;
+                          }));
+  EXPECT_TRUE(std::all_of(Bytes.begin(), Bytes.end(),
+                          [](std::uint8_t B) { return B == 0x22; }));
+  EXPECT_GE(A.bytesAllocated(), 8 * 8 + 13 + 4 * 8);
+}
+
+TEST(Arena, ResetPoisonsReclaimedBytes) {
+  // The canary test behind the no-stale-chunk-refs guarantee: bytes
+  // written before a reset must read back as PoisonByte afterwards, so
+  // a dangling span read fails loudly instead of aliasing fresh data.
+  Arena A(128);
+  const std::span<std::uint8_t> Canary = A.allocateSpan<std::uint8_t>(64);
+  std::fill(Canary.begin(), Canary.end(), std::uint8_t(0xCA));
+  const std::uint8_t *Raw = Canary.data();
+  A.reset();
+  for (std::size_t I = 0; I < 64; ++I)
+    ASSERT_EQ(Raw[I], Arena::PoisonByte) << "byte " << I;
+  // The next batch's allocation reuses the block and sees no canary.
+  const std::span<std::uint8_t> Fresh = A.allocateSpan<std::uint8_t>(64);
+  for (std::size_t I = 0; I < 64; ++I)
+    ASSERT_EQ(Fresh[I], Arena::PoisonByte);
+  EXPECT_EQ(A.bytesAllocated(), 64u);
+}
+
+TEST(Arena, ResetKeepsOnlyLargestBlock) {
+  Arena A(64);
+  (void)A.allocateSpan<std::uint8_t>(64);
+  (void)A.allocateSpan<std::uint8_t>(4096); // forces a bigger block
+  EXPECT_GE(A.blockCount(), 2u);
+  const std::size_t Reserved = A.bytesReserved();
+  A.reset();
+  EXPECT_EQ(A.blockCount(), 1u);
+  EXPECT_LE(A.bytesReserved(), Reserved);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  // Steady state: the survivor absorbs the next batch without growing.
+  (void)A.allocateSpan<std::uint8_t>(4096);
+  EXPECT_EQ(A.blockCount(), 1u);
+}
+
+TEST(Arena, FilledSpansAndAllocatorAdapter) {
+  Arena A;
+  const std::span<std::uint32_t> Filled =
+      A.allocateFilled<std::uint32_t>(100, 0xDEADBEEF);
+  EXPECT_TRUE(std::all_of(Filled.begin(), Filled.end(),
+                          [](std::uint32_t V) { return V == 0xDEADBEEF; }));
+  std::vector<int, ArenaAllocator<int>> Borrowed{ArenaAllocator<int>(A)};
+  for (int I = 0; I < 1000; ++I)
+    Borrowed.push_back(I);
+  EXPECT_EQ(Borrowed[999], 999);
+  EXPECT_GT(A.bytesAllocated(), 1000 * sizeof(int) / 2);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena A;
+  EXPECT_NE(A.allocate(0, 1), nullptr);
+  const std::span<std::uint8_t> Empty = A.allocateSpan<std::uint8_t>(0);
+  EXPECT_EQ(Empty.size(), 0u);
 }
