@@ -27,6 +27,8 @@ const char *padre::blockMethodName(BlockMethod Method) {
     return "gpulane";
   case BlockMethod::LzHuff:
     return "lzhuff";
+  case BlockMethod::LzFramed:
+    return "lzframed";
   }
   assert(false && "Unknown block method");
   return "?";
@@ -51,7 +53,7 @@ std::optional<BlockView> padre::decodeBlock(ByteSpan Encoded) {
   if (loadLe16(Encoded.data()) != BlockMagic)
     return std::nullopt;
   const std::uint8_t MethodByte = Encoded[2];
-  if (MethodByte > static_cast<std::uint8_t>(BlockMethod::LzHuff))
+  if (MethodByte > static_cast<std::uint8_t>(BlockMethod::LzFramed))
     return std::nullopt;
   if (Encoded[3] != 0)
     return std::nullopt; // reserved flags must be zero

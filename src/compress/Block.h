@@ -35,9 +35,10 @@ enum class BlockMethod : std::uint8_t {
   QuickLz = 2, ///< token stream from the single-probe matcher
   GpuLane = 3, ///< token stream produced by GPU lanes + CPU refinement
   LzHuff = 4,  ///< [u32 token bytes][Huffman-coded token stream]
+  LzFramed = 5, ///< v2 sub-block frame (see compress/SubBlockFrame.h)
 };
 
-/// Returns "raw", "lz77", "quicklz", "gpulane" or "lzhuff".
+/// Returns "raw", "lz77", "quicklz", "gpulane", "lzhuff" or "lzframed".
 const char *blockMethodName(BlockMethod Method);
 
 /// Size of the fixed block header in bytes.

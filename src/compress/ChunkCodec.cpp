@@ -9,6 +9,7 @@
 
 #include "compress/Huffman.h"
 #include "compress/LzCodec.h"
+#include "compress/SubBlockFrame.h"
 
 #include <cassert>
 
@@ -32,6 +33,23 @@ bool padre::decodeChunkPayload(const BlockView &View, ByteVector &Out) {
       return false;
     return LzCodec::decompress(ByteSpan(Tokens.data(), Tokens.size()),
                                View.OriginalSize, Out);
+  }
+  case BlockMethod::LzFramed: {
+    // The serial oracle for the v2 format: each sub-block is a
+    // standalone LZ stream decoded in order. Any failure rolls the
+    // whole chunk back so no partial output leaks.
+    const auto Frame = parseSubBlockFrame(View.Payload, View.OriginalSize);
+    if (!Frame)
+      return false;
+    const std::size_t OutStart = Out.size();
+    for (unsigned I = 0; I < Frame->Count; ++I) {
+      if (!LzCodec::decompress(Frame->tokens(I), Frame->Segs[I].OutputBytes,
+                               Out)) {
+        Out.resize(OutStart);
+        return false;
+      }
+    }
+    return true;
   }
   }
   assert(false && "Unknown block method");

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The warp-cooperative decode kernel for v2 framed payloads — decode
+/// v2's second level of parallelism, after the lane-per-chunk
+/// GpuLaneDecompressor.
+///
+/// The v1 lane design has two structural costs the CODAG and Gompresso
+/// papers attack (see PAPERS.md): the CPU must pre-parse the *whole*
+/// token stream to find lane boundaries (O(payload) serial work per
+/// chunk), and lanes run in one lockstep wavefront, so every
+/// literal/match branch divergence is paid by all lanes. The framed
+/// format (compress/SubBlockFrame.h) kills the first cost — sub-block
+/// boundaries are in the header, so planning is O(N) — and the
+/// reader-warp design kills most of the second: one warp owns one
+/// sub-block, a reader sub-warp streams tokens while the decoder lanes
+/// expand them in parallel, and warps proceed independently (no
+/// cross-warp lockstep).
+///
+/// `plan` is the O(N) header parse; `runWarps` is the functional kernel
+/// body. runWarps fills each sub-block's token/divergence/overlap
+/// counts as it decodes — the charge inputs are known only after the
+/// functional pass, the same idiom as the write-side kernels — and the
+/// restore engine then charges sum over sub-blocks of
+/// CostModel::gpuWarpSubBlockUs.
+///
+/// History reset at sub-block boundaries makes every back-reference
+/// intra-sub-block by construction; runWarps enforces that (a distance
+/// reaching before the sub-block's own output is a malformed payload,
+/// never a data dependency). Self-overlapping matches
+/// (distance < length) are counted per sub-block: Gompresso resolves
+/// them with bit-parallel log-step replication, modelled by
+/// GpuCosts::WarpOverlapPerMatchNs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_COMPRESS_GPUWARPDECOMPRESSOR_H
+#define PADRE_COMPRESS_GPUWARPDECOMPRESSOR_H
+
+#include "compress/LzCodec.h"
+#include "compress/SubBlockFrame.h"
+
+#include <optional>
+#include <span>
+
+namespace padre {
+
+/// One warp's share of a framed chunk decode: the sub-block's extents
+/// (from the frame header) plus the functional counts runWarps fills —
+/// the inputs to CostModel::gpuWarpSubBlockUs.
+struct WarpSubBlock {
+  SubBlockSeg Seg;
+  /// Tokens the reader sub-warp streams (literal runs + matches).
+  std::uint32_t Tokens = 0;
+  /// Literal<->match transitions — the (reader-path) divergence driver.
+  std::uint32_t TokenSwitches = 0;
+  /// Self-overlapping matches (distance < length): Gompresso's
+  /// bit-parallel replication case.
+  std::uint32_t OverlapMatches = 0;
+  /// Byte mix of the sub-block, for reporting parity with the lane
+  /// decoder.
+  CompressStats Stats;
+};
+
+/// The O(N) plan for one framed chunk. SubBlocks views caller-owned
+/// storage (the restore engine hands in arena-backed tables).
+struct GpuWarpPlan {
+  std::span<WarpSubBlock> SubBlocks;
+  std::size_t OriginalSize = 0;
+  std::size_t PayloadSize = 0;
+};
+
+/// Warp-cooperative decompressor for BlockMethod::LzFramed payloads
+/// (header planning + kernel body). Stateless; safe to share between
+/// threads.
+class GpuWarpDecompressor {
+public:
+  /// The CPU pre-parse: validates the frame header of \p Payload
+  /// against \p OriginalSize and fills \p Table (capacity >=
+  /// MaxSubBlocks) with the sub-block extents — no token walk, which
+  /// is the point (CostModel::FramePlanUs vs PlanSetupUs +
+  /// PlanPerByteNs x payload). Returns nullopt on any malformed
+  /// header; token-stream damage is caught by runWarps.
+  static std::optional<GpuWarpPlan> plan(ByteSpan Payload,
+                                         std::size_t OriginalSize,
+                                         std::span<WarpSubBlock> Table);
+
+  /// The kernel body: each warp decodes its sub-block of \p Payload
+  /// independently, appending exactly Plan.OriginalSize bytes to
+  /// \p Out, and fills the per-sub-block counts in Plan.SubBlocks.
+  /// Every back-distance must stay inside the sub-block's own output
+  /// (history reset at the boundary); any violation or malformed token
+  /// fails with no partial output appended. Functionally identical to
+  /// the serial LzCodec::decompress of the same chunk.
+  static bool runWarps(ByteSpan Payload, GpuWarpPlan &Plan, ByteVector &Out);
+};
+
+} // namespace padre
+
+#endif // PADRE_COMPRESS_GPUWARPDECOMPRESSOR_H

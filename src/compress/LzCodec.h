@@ -57,6 +57,15 @@ struct CompressResult {
   CompressStats Stats;
 };
 
+/// Result of compressFramed: the LzFramed frame payload, the merged
+/// stats of all sub-blocks, and the sub-block count actually used
+/// (clamped for tiny inputs).
+struct FramedCompressResult {
+  ByteVector Payload;
+  CompressStats Stats;
+  unsigned SubBlockCount = 0;
+};
+
 /// Tuning knobs for the matchers.
 struct LzOptions {
   /// Candidates examined per position (HashChain only).
@@ -91,6 +100,16 @@ public:
   CompressResult compressRange(ByteSpan Chunk, std::size_t Begin,
                                std::size_t End,
                                std::size_t HistoryBytes) const;
+
+  /// Compresses \p Input into the v2 framed format (see
+  /// compress/SubBlockFrame.h): the chunk is split into \p SubBlocks
+  /// near-equal pieces, each compressed with the match history reset at
+  /// its boundary (HistoryBytes = 0), so every sub-block's token stream
+  /// is an independently-decodable LZ stream. The count is clamped to
+  /// [1, MaxSubBlocks] and to the input size; the ratio cost of the
+  /// reset is the measured tradeoff of the two-level scheme.
+  FramedCompressResult compressFramed(ByteSpan Input,
+                                      unsigned SubBlocks) const;
 
   /// Decodes \p Payload into exactly \p OriginalSize bytes appended to
   /// \p Out. Returns false on any malformed token (no partial output

@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sub-block frame header parse/serialise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compress/SubBlockFrame.h"
+
+#include "compress/LzCodec.h"
+
+#include <cassert>
+
+using namespace padre;
+
+std::optional<SubBlockFrameView>
+padre::parseSubBlockFrame(ByteSpan Payload, std::uint32_t OriginalSize) {
+  if (Payload.size() < subBlockHeaderSize(1))
+    return std::nullopt;
+  if (Payload[0] != SubBlockFrameMagic)
+    return std::nullopt;
+  if (Payload[1] != SubBlockFrameVersion)
+    return std::nullopt;
+  const unsigned Count = Payload[2];
+  if (Count < 1 || Count > MaxSubBlocks)
+    return std::nullopt;
+  if (Payload[3] != 0)
+    return std::nullopt; // reserved must be zero
+  const std::size_t HeaderSize = subBlockHeaderSize(Count);
+  if (Payload.size() < HeaderSize)
+    return std::nullopt;
+
+  SubBlockFrameView View;
+  View.Payload = Payload;
+  View.Count = Count;
+  std::uint64_t PayloadSum = 0;
+  std::uint64_t OutputSum = 0;
+  for (unsigned I = 0; I < Count; ++I) {
+    SubBlockSeg &Seg = View.Segs[I];
+    Seg.PayloadBytes = loadLe16(Payload.data() + 4 + 4 * I);
+    // Stored minus one, so [1, MaxInputSize] needs no range check.
+    Seg.OutputBytes =
+        static_cast<std::uint32_t>(loadLe16(Payload.data() + 4 + 4 * I + 2)) +
+        1;
+    // A sub-block that decodes to at least one byte needs at least a
+    // control byte and a literal; a zero-length token stream is
+    // corruption, not a degenerate split.
+    if (Seg.PayloadBytes == 0)
+      return std::nullopt;
+    Seg.PayloadOffset = static_cast<std::uint32_t>(HeaderSize + PayloadSum);
+    Seg.OutputOffset = static_cast<std::uint32_t>(OutputSum);
+    PayloadSum += Seg.PayloadBytes;
+    OutputSum += Seg.OutputBytes;
+    if (PayloadSum > Payload.size() || OutputSum > OriginalSize)
+      return std::nullopt;
+  }
+  if (HeaderSize + PayloadSum != Payload.size())
+    return std::nullopt;
+  if (OutputSum != OriginalSize)
+    return std::nullopt;
+  return View;
+}
+
+void padre::appendSubBlockHeader(ByteVector &Out, unsigned Count,
+                                 const std::uint32_t *PayloadBytes,
+                                 const std::uint32_t *OutputBytes) {
+  assert(Count >= 1 && Count <= MaxSubBlocks && "Sub-block count out of range");
+  const std::size_t Base = Out.size();
+  Out.resize(Base + subBlockHeaderSize(Count));
+  Out[Base] = SubBlockFrameMagic;
+  Out[Base + 1] = SubBlockFrameVersion;
+  Out[Base + 2] = static_cast<std::uint8_t>(Count);
+  Out[Base + 3] = 0;
+  for (unsigned I = 0; I < Count; ++I) {
+    assert(PayloadBytes[I] >= 1 && PayloadBytes[I] <= MaxSubBlockPayload &&
+           "Sub-block payload outside the u16 header range");
+    assert(OutputBytes[I] >= 1 && OutputBytes[I] <= LzCodec::MaxInputSize &&
+           "Sub-block output outside the format range");
+    storeLe16(Out.data() + Base + 4 + 4 * I,
+              static_cast<std::uint16_t>(PayloadBytes[I]));
+    storeLe16(Out.data() + Base + 4 + 4 * I + 2,
+              static_cast<std::uint16_t>(OutputBytes[I] - 1));
+  }
+}

@@ -60,7 +60,16 @@ void CompressEngine::compressRangeCpu(std::span<const ChunkView> Chunks,
         std::uint64_t Raw = 0;
         for (std::size_t I = SliceBegin; I < SliceEnd; ++I) {
           const ByteSpan Data = Chunks[I].Data;
-          CompressResult Result = CpuCodec.compress(Data);
+          const bool Framed = Config.SubBlocks > 1 && !Data.empty();
+          CompressResult Result;
+          if (Framed) {
+            FramedCompressResult FramedResult =
+                CpuCodec.compressFramed(Data, Config.SubBlocks);
+            Result.Payload = std::move(FramedResult.Payload);
+            Result.Stats = FramedResult.Stats;
+          } else {
+            Result = CpuCodec.compress(Data);
+          }
           const double CompressUs = Model.cpuCompressUs(
               Result.Stats.LiteralBytes, Result.Stats.MatchBytes);
           Micros += CompressUs;
@@ -73,6 +82,13 @@ void CompressEngine::compressRangeCpu(std::span<const ChunkView> Chunks,
             Chunk.Block = encodeBlock(
                 BlockMethod::Raw, static_cast<std::uint32_t>(Data.size()),
                 Data);
+            continue;
+          }
+          if (Framed) {
+            Chunk.Block = encodeBlock(
+                BlockMethod::LzFramed,
+                static_cast<std::uint32_t>(Data.size()),
+                ByteSpan(Result.Payload.data(), Result.Payload.size()));
             continue;
           }
           // Optional entropy stage over the token stream.

@@ -62,6 +62,16 @@ struct CompressEngineConfig {
   /// (extension): extra CPU cycles for extra ratio. Applied on the CPU
   /// in both backends (for GpuLane it is part of post-processing).
   bool EntropyStage = false;
+  /// Sub-blocks per chunk for the v2 framed format (decode v2's
+  /// compress-time half, see compress/SubBlockFrame.h). 1 emits the
+  /// classic unframed payloads; >1 splits each chunk into that many
+  /// independently-decodable sub-blocks (history reset at boundaries)
+  /// so the warp-cooperative decoder can expand them in parallel — at
+  /// a small measured ratio cost. CPU backend only: the GPU-lane write
+  /// path keeps its own format, and the entropy stage is skipped for
+  /// framed chunks (a Huffman wrap would hide the sub-block
+  /// boundaries the frame exists to expose).
+  unsigned SubBlocks = 1;
 };
 
 /// The compression stage. One batch at a time; parallelism inside.

@@ -129,6 +129,20 @@ fault::Status GpuDevice::transferFromDevice(std::size_t Bytes) {
 
 fault::Status GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
                                       const std::function<void()> &Body) {
+  return submitKernel(Family, Model.Gpu.LaunchUs, ExecMicros, Body);
+}
+
+fault::Status GpuDevice::dispatchResident(KernelFamily Family,
+                                          double DispatchUs,
+                                          double ExecMicros,
+                                          const std::function<void()> &Body) {
+  assert(DispatchUs >= 0.0 && "Negative dispatch latency");
+  return submitKernel(Family, DispatchUs, ExecMicros, Body);
+}
+
+fault::Status GpuDevice::submitKernel(KernelFamily Family, double FixedUs,
+                                      double ExecMicros,
+                                      const std::function<void()> &Body) {
   assert(present() && "No GPU on this platform");
   assert(ExecMicros >= 0.0 && "Negative kernel execution time");
   static constexpr const char *SpanNames[KernelFamilyCount] = {
@@ -151,10 +165,10 @@ fault::Status GpuDevice::launchKernel(KernelFamily Family, double ExecMicros,
           ? Fault->ExtraUs
           : ExecMicros;
   Ledger.chargeMicros(Resource::Gpu,
-                      (Model.Gpu.LaunchUs + ChargedExecUs) * Penalty);
+                      (FixedUs + ChargedExecUs) * Penalty);
   if (OpLog)
-    OpLog->push_back(GpuOp{GpuOp::Kind::Kernel,
-                           (Model.Gpu.LaunchUs + ChargedExecUs) * Penalty});
+    OpLog->push_back(
+        GpuOp{GpuOp::Kind::Kernel, (FixedUs + ChargedExecUs) * Penalty});
   Ledger.countKernelLaunch();
   LaunchCounts[static_cast<unsigned>(Family)].fetch_add(1);
   if (obs::Counter *C = LaunchCounters[static_cast<unsigned>(Family)])

@@ -143,6 +143,17 @@ public:
   fault::Status launchKernel(KernelFamily Family, double ExecMicros,
                              const std::function<void()> &Body);
 
+  /// Submits work to an already-resident *persistent* kernel: instead
+  /// of the full LaunchUs, only \p DispatchUs (the work-queue doorbell
+  /// — one mapped write plus the device-side dequeue) is charged ahead
+  /// of \p ExecMicros. The caller owns residency tracking: the kernel
+  /// must have been started earlier with launchKernel, and after any
+  /// fault it must be considered evicted (relaunch before the next
+  /// dispatch). Same fault contract as launchKernel otherwise.
+  fault::Status dispatchResident(KernelFamily Family, double DispatchUs,
+                                 double ExecMicros,
+                                 const std::function<void()> &Body);
+
   /// Enables/disables the mixed-kernel occupancy penalty. Set by the
   /// pipeline when both reduction operations offload to the GPU.
   void setMixedMode(bool Mixed) { MixedMode.store(Mixed); }
@@ -177,6 +188,12 @@ public:
   const CostModel &costModel() const { return Model; }
 
 private:
+  /// Shared body of launchKernel/dispatchResident: \p FixedUs is the
+  /// pre-execution latency (LaunchUs or the doorbell).
+  fault::Status submitKernel(KernelFamily Family, double FixedUs,
+                             double ExecMicros,
+                             const std::function<void()> &Body);
+
   CostModel Model;
   ResourceLedger &Ledger;
   fault::FaultInjector *Faults = nullptr;

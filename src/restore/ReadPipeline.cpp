@@ -18,24 +18,13 @@
 using namespace padre;
 using namespace padre::restore;
 
-const char *padre::restore::decodeModeName(DecodeMode Mode) {
-  switch (Mode) {
-  case DecodeMode::Cpu:
-    return "cpu";
-  case DecodeMode::Gpu:
-    return "gpu";
-  case DecodeMode::Auto:
-    return "auto";
-  }
-  assert(false && "Unknown decode mode");
-  return "?";
-}
-
 namespace {
 
 /// Methods whose payload is the shared LZ token stream — what the
 /// lane-decompression kernel accepts. Raw copies on the CPU; LzHuff
 /// needs the serial Huffman stage first, so it stays on the CPU too.
+/// LzFramed is NOT here: the lane planner predates the v2 frame, so
+/// framed chunks go to the warp kernel (WarpGpu mode) or the CPU.
 bool gpuDecodable(BlockMethod Method) {
   return Method == BlockMethod::Lz77 || Method == BlockMethod::QuickLz ||
          Method == BlockMethod::GpuLane;
@@ -62,6 +51,10 @@ ReadPipeline::ReadPipeline(ReductionPipeline &Pipeline,
     Device = OwnedDevice.get();
   }
 
+  // The probe always runs (cheap cost-model arithmetic): even forced
+  // modes report their modelled makespans and the framed ratio delta.
+  Probe = probeMode();
+
   switch (this->Config.Mode) {
   case DecodeMode::Cpu:
     Mode = DecodeMode::Cpu;
@@ -69,10 +62,21 @@ ReadPipeline::ReadPipeline(ReductionPipeline &Pipeline,
   case DecodeMode::Gpu:
     Mode = Device ? DecodeMode::Gpu : DecodeMode::Cpu;
     break;
+  case DecodeMode::WarpGpu:
+    Mode = Device ? DecodeMode::WarpGpu : DecodeMode::Cpu;
+    break;
   case DecodeMode::Auto:
-    Mode = probeMode();
+    Mode = Probe.Mode;
     break;
   }
+  // The warp kernel only accepts framed payloads; unframed LZ chunks in
+  // WarpGpu mode ride the lane kernel only when the probe priced it
+  // under the CPU pool (forced Gpu mode keeps the old unconditional
+  // routing).
+  UnframedToLane =
+      Mode == DecodeMode::Gpu ||
+      (Mode == DecodeMode::WarpGpu && Probe.GpuUs > 0.0 &&
+       Probe.GpuUs < Probe.CpuUs);
 
   resetMeasurement();
 
@@ -98,6 +102,24 @@ ReadPipeline::ReadPipeline(ReductionPipeline &Pipeline,
                                   "Decode batches by executing resource");
     GpuBatchesTotal = &M->counter("padre_read_batches_total{mode=\"gpu\"}",
                                   "Decode batches by executing resource");
+    WarpBatchesTotal = &M->counter("padre_read_batches_total{mode=\"warp\"}",
+                                   "Decode batches by executing resource");
+    DecodeModeGauge =
+        &M->gauge("padre_read_decode_mode",
+                  "Effective decode mode (0=cpu 1=gpu 2=warp)");
+    DecodeModeGauge->set(static_cast<double>(static_cast<unsigned>(Mode)));
+    ProbeCpuGauge =
+        &M->gauge("padre_read_probe_us{mode=\"cpu\"}",
+                  "Construction-probe modelled decode makespan (us)");
+    ProbeGpuGauge =
+        &M->gauge("padre_read_probe_us{mode=\"gpu\"}",
+                  "Construction-probe modelled decode makespan (us)");
+    ProbeWarpGauge =
+        &M->gauge("padre_read_probe_us{mode=\"warp\"}",
+                  "Construction-probe modelled decode makespan (us)");
+    ProbeCpuGauge->set(Probe.CpuUs);
+    ProbeGpuGauge->set(Probe.GpuUs);
+    ProbeWarpGauge->set(Probe.WarpUs);
     if (Device)
       GpuFallbackTotal = &M->counter(
           "padre_gpu_fallback_total{family=\"decompression\"}",
@@ -113,6 +135,7 @@ void ReadPipeline::resetMeasurement() {
   CacheHits = SsdChunks = EncodedBytesIn = 0;
   CoalescedRuns = RandomReads = ReadaheadChunks = 0;
   DecodeFailures = GpuBatches = CpuBatches = 0;
+  WarpBatches = FramedChunks = 0;
   LatencyHist = Histogram(20000.0, 2000);
 }
 
@@ -167,6 +190,12 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
   ChunkCache *Cache = Pipe.readCache();
   const ChunkStore &Store = Pipe.store();
 
+  // Batch-scoped scratch (request tables, warp sub-block tables) lives
+  // in the arena: reset here poisons last batch's allocations and
+  // recycles the block — steady-state batches make no heap calls for
+  // scratch. Allocation stays on this (batch-driving) thread.
+  BatchArena.reset();
+
   const std::size_t Base = Out.size();
   Out.resize(Base + Locations.size());
   ChunksRequested += Locations.size();
@@ -178,8 +207,10 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
   std::unordered_map<std::uint64_t, std::size_t> ItemIndex;
   /// Per request: index into Items, or npos for a cache hit.
   constexpr std::size_t CacheHit = ~static_cast<std::size_t>(0);
-  std::vector<std::size_t> Source(Locations.size(), CacheHit);
-  std::vector<double> LatencyUs(Locations.size(), 0.0);
+  std::span<std::size_t> Source =
+      BatchArena.allocateFilled<std::size_t>(Locations.size(), CacheHit);
+  std::span<double> LatencyUs =
+      BatchArena.allocateFilled<double>(Locations.size(), 0.0);
 
   //===------------------------------------------------------------===//
   // Stage 1: fetch — cache front tier, then coalesced SSD reads.
@@ -316,7 +347,7 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
   {
     const obs::StageSpan Stage(Trace, Ledger, "restore:decode");
 
-    std::vector<BatchItem *> CpuItems, GpuItems;
+    std::vector<BatchItem *> CpuItems, GpuItems, WarpItems;
     for (BatchItem &Item : Items) {
       if (Item.Failed)
         continue;
@@ -329,7 +360,12 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
       Item.Method = View->Method;
       Item.OriginalSize = View->OriginalSize;
       Item.Payload = View->Payload;
-      if (Mode == DecodeMode::Gpu && gpuDecodable(Item.Method))
+      if (Item.Method == BlockMethod::LzFramed)
+        ++FramedChunks;
+      if (Mode == DecodeMode::WarpGpu &&
+          Item.Method == BlockMethod::LzFramed)
+        WarpItems.push_back(&Item);
+      else if (UnframedToLane && gpuDecodable(Item.Method))
         GpuItems.push_back(&Item);
       else
         CpuItems.push_back(&Item);
@@ -339,6 +375,8 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
       decodeCpu(CpuItems);
     if (!GpuItems.empty())
       decodeGpu(GpuItems);
+    if (!WarpItems.empty())
+      decodeWarp(WarpItems);
 
     // Fill the cache: every successfully decoded chunk, readahead
     // included — the cache as front tier is the whole point of
@@ -562,14 +600,131 @@ void ReadPipeline::decodeGpu(const std::vector<BatchItem *> &Items) {
   }
 }
 
-DecodeMode ReadPipeline::probeMode() const {
-  if (!Device)
-    return DecodeMode::Cpu;
+void ReadPipeline::decodeWarp(const std::vector<BatchItem *> &Items) {
+  assert(Device && "Warp decode without device");
+  const std::size_t SubBatch = Model.Gpu.DecompressBatchChunks;
+
+  for (std::size_t Begin = 0; Begin < Items.size(); Begin += SubBatch) {
+    const std::size_t End = std::min(Items.size(), Begin + SubBatch);
+    ++WarpBatches;
+    if (WarpBatchesTotal)
+      WarpBatchesTotal->add(1);
+
+    // Planning is the whole point of the frame: an O(sub-blocks) header
+    // parse at FramePlanUs per chunk instead of the lane planner's
+    // O(payload) token walk. Cheap enough to run serially on the batch
+    // thread — which is also what the arena's single-owner contract
+    // wants (sub-block tables are arena-backed).
+    double PlanMicros = 0.0;
+    for (std::size_t I = Begin; I < End; ++I) {
+      BatchItem &Item = *Items[I];
+      PlanMicros += Model.Cpu.FramePlanUs;
+      Item.DecodeUs += Model.Cpu.FramePlanUs;
+      Item.WarpPlan = GpuWarpDecompressor::plan(
+          Item.Payload, Item.OriginalSize,
+          BatchArena.allocateSpan<WarpSubBlock>(MaxSubBlocks));
+      if (!Item.WarpPlan) {
+        Item.Failed = true;
+        Item.Error = fault::ErrorCode::DecodeError;
+      }
+    }
+    Pipe.ledger().chargeMicros(Resource::CpuPool, PlanMicros);
+
+    // Functional kernel body first: the charge inputs (per-sub-block
+    // token/divergence/overlap counts) exist only after the decode —
+    // the same idiom as the write-side kernels. A chunk whose token
+    // stream is damaged fails here, is dropped from the plan (it is
+    // malformed on any backend — no CPU retry), and issues no device
+    // traffic.
+    double ExecMicros = 0.0;
+    std::size_t InBytes = 0, OutBytes = 0, Planned = 0;
+    for (std::size_t I = Begin; I < End; ++I) {
+      BatchItem &Item = *Items[I];
+      if (!Item.WarpPlan)
+        continue;
+      Item.Decoded.clear();
+      Item.Decoded.reserve(Item.OriginalSize);
+      if (!GpuWarpDecompressor::runWarps(Item.Payload, *Item.WarpPlan,
+                                         Item.Decoded)) {
+        Item.Failed = true;
+        Item.Error = fault::ErrorCode::DecodeError;
+        Item.WarpPlan.reset();
+        continue;
+      }
+      for (const WarpSubBlock &Sub : Item.WarpPlan->SubBlocks)
+        ExecMicros +=
+            Model.gpuWarpSubBlockUs(Sub.Tokens, Sub.Seg.OutputBytes,
+                                    Sub.TokenSwitches, Sub.OverlapMatches);
+      InBytes += Item.Payload.size();
+      OutBytes += Item.OriginalSize;
+      ++Planned;
+    }
+    if (Planned == 0)
+      continue; // whole sub-batch malformed: no device traffic
+
+    // Persistent-kernel economics: the first sub-batch pays the full
+    // LaunchUs; once resident, later sub-batches only ring the
+    // work-queue doorbell. Any device fault evicts the kernel.
+    const bool Resident = WarpKernelResident;
+    const double FixedUs =
+        Resident ? Model.Gpu.WarpDoorbellUs : Model.Gpu.LaunchUs;
+
+    fault::Status DeviceOk = Device->transferToDevice(InBytes);
+    if (DeviceOk.ok())
+      DeviceOk = Resident
+                     ? Device->dispatchResident(KernelFamily::Decompression,
+                                                Model.Gpu.WarpDoorbellUs,
+                                                ExecMicros, nullptr)
+                     : Device->launchKernel(KernelFamily::Decompression,
+                                            ExecMicros, nullptr);
+    if (DeviceOk.ok())
+      DeviceOk = Device->transferFromDevice(OutBytes);
+
+    if (!DeviceOk.ok()) {
+      // Degraded mode, same contract as the lane path: discard whatever
+      // the device produced (the functional results stand in for data
+      // that a fault made untrustworthy) and re-decode on the CPU —
+      // delivered bytes stay bit-exact, only the modelled cost differs.
+      // The kernel is evicted: the next warp sub-batch relaunches.
+      WarpKernelResident = false;
+      ++GpuDecodeFallbacks;
+      if (GpuFallbackTotal)
+        GpuFallbackTotal->add(1);
+      std::vector<BatchItem *> Retry;
+      Retry.reserve(End - Begin);
+      for (std::size_t I = Begin; I < End; ++I) {
+        BatchItem &Item = *Items[I];
+        if (!Item.WarpPlan)
+          continue;
+        Item.Failed = false;
+        Item.Error = fault::ErrorCode::Ok;
+        Item.Decoded.clear();
+        Retry.push_back(&Item);
+      }
+      if (!Retry.empty())
+        decodeCpu(Retry);
+      continue;
+    }
+    WarpKernelResident = true;
+
+    const double Penalty =
+        Device->mixedMode() ? Model.Gpu.MixedKernelPenalty : 1.0;
+    const double RoundTripUs = Model.pcieTransferUs(InBytes) +
+                               (FixedUs + ExecMicros) * Penalty +
+                               Model.pcieTransferUs(OutBytes);
+    for (std::size_t I = Begin; I < End; ++I)
+      if (Items[I]->WarpPlan)
+        Items[I]->DecodeUs += RoundTripUs;
+  }
+}
+
+ReadPipeline::ProbeResult ReadPipeline::probeMode() const {
+  ProbeResult Result;
 
   // Synthetic ~2:1-compressible chunk: alternate a repeating motif
   // with pseudo-random noise so the token stream mixes matches and
-  // literals (the divergence-relevant shape), then price both decode
-  // paths at BatchDepth. Everything here is arithmetic on the cost
+  // literals (the divergence-relevant shape), then price every decode
+  // path at BatchDepth. Everything here is arithmetic on the cost
   // model — nothing is charged to the ledger.
   const std::size_t ChunkSize =
       std::min(Pipe.config().ChunkSize, LzCodec::MaxInputSize);
@@ -586,55 +741,107 @@ DecodeMode ReadPipeline::probeMode() const {
   const LzCodec Codec(LzCodec::MatcherKind::SingleProbe);
   const CompressResult Probe =
       Codec.compress(ByteSpan(Chunk.data(), Chunk.size()));
-  if (Probe.Payload.size() >= Chunk.size())
-    return DecodeMode::Cpu; // store-raw data never reaches the kernel
-  const auto Plan =
-      Decoder.plan(ByteSpan(Probe.Payload.data(), Probe.Payload.size()),
-                   ChunkSize);
-  if (!Plan)
-    return DecodeMode::Cpu;
 
   const double Depth = static_cast<double>(Config.BatchDepth);
   const double Threads = static_cast<double>(Model.Cpu.Threads);
   const double PayloadBytes = static_cast<double>(Probe.Payload.size());
 
   // CPU pool: chunk-parallel, bottlenecked by the pool itself.
-  const double CpuMakespanUs =
-      Depth *
-      (Model.Cpu.DecompressSetupUs +
-       Model.Cpu.DecompressPerByteNs * 1e-3 *
-           static_cast<double>(ChunkSize)) /
-      Threads;
+  Result.CpuUs = Depth *
+                 (Model.Cpu.DecompressSetupUs +
+                  Model.Cpu.DecompressPerByteNs * 1e-3 *
+                      static_cast<double>(ChunkSize)) /
+                 Threads;
 
-  // GPU path: plan on the pool, kernel + DMA on device lanes; the
-  // makespan is the busiest of the three (perfect stage overlap, the
-  // same first-order model the ledger uses).
-  double SlowestLane = 0.0;
-  for (const GpuDecodeLane &Lane : Plan->Lanes)
-    SlowestLane = std::max(
-        SlowestLane, Model.gpuDecodeLaneUs(Lane.Stats.LiteralBytes,
-                                           Lane.Stats.MatchBytes,
-                                           Lane.TokenSwitches));
-  const double ChunkExecUs =
-      SlowestLane * static_cast<double>(Plan->Lanes.size());
+  // The framed format's measured ratio cost on the probe chunk (the
+  // history reset + header overhead the two-level scheme trades for
+  // warp parallelism), at the default write-side sub-block count.
+  const FramedCompressResult Framed =
+      Codec.compressFramed(ByteSpan(Chunk.data(), Chunk.size()), 4);
+  if (!Probe.Payload.empty())
+    Result.RatioDeltaPct =
+        100.0 *
+        (static_cast<double>(Framed.Payload.size()) - PayloadBytes) /
+        PayloadBytes;
+
+  if (!Device || Probe.Payload.size() >= Chunk.size())
+    return Result; // no device / store-raw data never reaches a kernel
+
   const double Kernels = std::ceil(
       Depth / static_cast<double>(Model.Gpu.DecompressBatchChunks));
-  const double PlanBusyUs =
-      Depth *
-      (Model.Cpu.PlanSetupUs +
-       Model.Cpu.PlanPerByteNs * 1e-3 * PayloadBytes) /
-      Threads;
-  const double GpuBusyUs =
-      Kernels * Model.Gpu.LaunchUs + Depth * ChunkExecUs;
-  const double PcieBusyUs =
-      Kernels * 2.0 * Model.Pcie.PerTransferUs +
+  const double PcieStreamUs =
       Depth * (PayloadBytes + static_cast<double>(ChunkSize)) /
-          (Model.Pcie.GigabytesPerSec * 1e3);
-  const double GpuMakespanUs =
-      std::max(PlanBusyUs, std::max(GpuBusyUs, PcieBusyUs));
+      (Model.Pcie.GigabytesPerSec * 1e3);
 
-  return GpuMakespanUs < CpuMakespanUs ? DecodeMode::Gpu
-                                       : DecodeMode::Cpu;
+  // Lane-GPU path: plan on the pool, kernel + DMA on device lanes; the
+  // makespan is the busiest of the three (perfect stage overlap, the
+  // same first-order model the ledger uses).
+  if (const auto Plan = Decoder.plan(
+          ByteSpan(Probe.Payload.data(), Probe.Payload.size()), ChunkSize)) {
+    double SlowestLane = 0.0;
+    for (const GpuDecodeLane &Lane : Plan->Lanes)
+      SlowestLane = std::max(
+          SlowestLane, Model.gpuDecodeLaneUs(Lane.Stats.LiteralBytes,
+                                             Lane.Stats.MatchBytes,
+                                             Lane.TokenSwitches));
+    const double ChunkExecUs =
+        SlowestLane * static_cast<double>(Plan->Lanes.size());
+    const double PlanBusyUs =
+        Depth *
+        (Model.Cpu.PlanSetupUs +
+         Model.Cpu.PlanPerByteNs * 1e-3 * PayloadBytes) /
+        Threads;
+    const double GpuBusyUs =
+        Kernels * Model.Gpu.LaunchUs + Depth * ChunkExecUs;
+    const double PcieBusyUs =
+        Kernels * 2.0 * Model.Pcie.PerTransferUs + PcieStreamUs;
+    Result.GpuUs = std::max(PlanBusyUs, std::max(GpuBusyUs, PcieBusyUs));
+  }
+
+  // Warp-GPU path over the framed probe: O(sub-blocks) planning,
+  // per-warp (not lockstep) execution, and steady-state persistent
+  // dispatch — each sub-batch pays the doorbell, not LaunchUs (the
+  // one-time launch amortizes to nothing over a stream of batches).
+  WarpSubBlock Table[MaxSubBlocks];
+  auto WarpPlan = GpuWarpDecompressor::plan(
+      ByteSpan(Framed.Payload.data(), Framed.Payload.size()), ChunkSize,
+      std::span<WarpSubBlock>(Table, MaxSubBlocks));
+  if (WarpPlan) {
+    ByteVector Scratch;
+    if (GpuWarpDecompressor::runWarps(
+            ByteSpan(Framed.Payload.data(), Framed.Payload.size()),
+            *WarpPlan, Scratch)) {
+      double ChunkExecUs = 0.0;
+      for (const WarpSubBlock &Sub : WarpPlan->SubBlocks)
+        ChunkExecUs +=
+            Model.gpuWarpSubBlockUs(Sub.Tokens, Sub.Seg.OutputBytes,
+                                    Sub.TokenSwitches, Sub.OverlapMatches);
+      const double PlanBusyUs = Depth * Model.Cpu.FramePlanUs / Threads;
+      const double GpuBusyUs =
+          Kernels * Model.Gpu.WarpDoorbellUs + Depth * ChunkExecUs;
+      const double FramedPcieUs =
+          Kernels * 2.0 * Model.Pcie.PerTransferUs +
+          Depth *
+              (static_cast<double>(Framed.Payload.size()) +
+               static_cast<double>(ChunkSize)) /
+              (Model.Pcie.GigabytesPerSec * 1e3);
+      Result.WarpUs =
+          std::max(PlanBusyUs, std::max(GpuBusyUs, FramedPcieUs));
+    }
+  }
+
+  // Auto resolves to the cheapest modelled path (0 = unavailable).
+  double BestUs = Result.CpuUs;
+  Result.Mode = DecodeMode::Cpu;
+  if (Result.GpuUs > 0.0 && Result.GpuUs < BestUs) {
+    BestUs = Result.GpuUs;
+    Result.Mode = DecodeMode::Gpu;
+  }
+  if (Result.WarpUs > 0.0 && Result.WarpUs < BestUs) {
+    BestUs = Result.WarpUs;
+    Result.Mode = DecodeMode::WarpGpu;
+  }
+  return Result;
 }
 
 ReadReport ReadPipeline::report() const {
@@ -650,6 +857,13 @@ ReadReport ReadPipeline::report() const {
   Report.DecodeFailures = DecodeFailures;
   Report.GpuBatches = GpuBatches;
   Report.CpuBatches = CpuBatches;
+  Report.WarpBatches = WarpBatches;
+  Report.FramedChunks = FramedChunks;
+  Report.Mode = Mode;
+  Report.ProbeCpuUs = Probe.CpuUs;
+  Report.ProbeGpuUs = Probe.GpuUs;
+  Report.ProbeWarpUs = Probe.WarpUs;
+  Report.SubBlockRatioDeltaPct = Probe.RatioDeltaPct;
 
   // Busy-time deltas against the measurement baseline. The makespan is
   // computed over the deltas (the shared ledger cannot subtract a

@@ -23,9 +23,16 @@
 ///
 /// GPU decode pays the same launch-latency economics as GPU
 /// compression: a deep batch amortizes LaunchUs and wins, a shallow
-/// one does not and loses to the 8-thread CPU pool. DecodeMode::Auto
-/// resolves the crossover with a calibrator-style probe (synthetic
-/// chunks, modelled costs only — nothing is charged to the ledger).
+/// one does not and loses to the 8-thread CPU pool. Decode v2 attacks
+/// exactly that crossover: v2-framed chunks (BlockMethod::LzFramed)
+/// can go to the *warp-cooperative* kernel instead
+/// (compress/GpuWarpDecompressor.h) — O(sub-blocks) planning, per-warp
+/// divergence instead of per-wavefront, and a persistent kernel whose
+/// steady-state batches pay only a doorbell instead of LaunchUs.
+/// DecodeMode::Auto resolves the three-way crossover with a
+/// calibrator-style probe (synthetic chunks, modelled costs only —
+/// nothing is charged to the ledger); the probe's makespans are
+/// published as padre_read_probe_us{mode=}.
 ///
 /// Everything is observable: "restore:fetch"/"restore:decode" stage
 /// spans tile the lane clocks (their per-lane totals reconcile with
@@ -39,8 +46,10 @@
 
 #include "compress/Block.h"
 #include "compress/GpuLaneDecompressor.h"
+#include "compress/GpuWarpDecompressor.h"
 #include "core/ReductionPipeline.h"
 #include "restore/ReadReport.h"
+#include "util/Arena.h"
 #include "util/Stats.h"
 
 #include <memory>
@@ -49,16 +58,6 @@
 
 namespace padre {
 namespace restore {
-
-/// Who decodes a fetched batch.
-enum class DecodeMode {
-  Cpu,  ///< chunk-parallel across the CPU pool
-  Gpu,  ///< lane-parallel decompression kernel (CPU plans the lanes)
-  Auto, ///< probe both at construction, pick the faster at BatchDepth
-};
-
-/// Returns "cpu", "gpu" or "auto".
-const char *decodeModeName(DecodeMode Mode);
 
 /// One failed chunk read: where and why. SsdReadError means the flash
 /// command exhausted its retry budget; ChunkMissing/ChunkCorrupt and
@@ -142,7 +141,9 @@ private:
     BlockMethod Method = BlockMethod::Raw;
     std::uint32_t OriginalSize = 0;
     ByteSpan Payload;
-    std::optional<GpuDecodePlan> Plan; ///< GPU path only
+    std::optional<GpuDecodePlan> Plan;     ///< lane-GPU path only
+    std::optional<GpuWarpPlan> WarpPlan;   ///< warp-GPU path only
+                                           ///< (arena-backed table)
     ByteVector Decoded;
     double FetchShareUs = 0.0; ///< this chunk's share of SSD latency
     double DecodeUs = 0.0;     ///< decode stage latency contribution
@@ -151,15 +152,28 @@ private:
     fault::ErrorCode Error = fault::ErrorCode::Ok;
   };
 
+  /// The construction-time probe's modelled makespans (µs; 0 when the
+  /// path is unavailable) plus the framed format's measured payload
+  /// growth on the probe chunk, and the mode the probe would pick.
+  struct ProbeResult {
+    double CpuUs = 0.0;
+    double GpuUs = 0.0;
+    double WarpUs = 0.0;
+    double RatioDeltaPct = 0.0;
+    DecodeMode Mode = DecodeMode::Cpu;
+  };
+
   bool processBatch(std::span<const std::uint64_t> Locations,
                     std::vector<ByteVector> &Out,
                     std::vector<ReadFailure> *Failures);
   void decodeCpu(const std::vector<BatchItem *> &Items);
   void decodeGpu(const std::vector<BatchItem *> &Items);
+  void decodeWarp(const std::vector<BatchItem *> &Items);
   void noteFailure(std::uint64_t Location);
-  /// The Auto probe: modelled CPU vs GPU decode makespan for a
-  /// synthetic batch at BatchDepth; charges nothing.
-  DecodeMode probeMode() const;
+  /// The Auto probe: modelled decode makespans of a synthetic batch at
+  /// BatchDepth for every available path (CPU pool, lane kernel, warp
+  /// kernel over the framed probe); charges nothing.
+  ProbeResult probeMode() const;
 
   ReductionPipeline &Pipe;
   ReadConfig Config;
@@ -169,6 +183,20 @@ private:
   GpuDevice *Device = nullptr;
   GpuLaneDecompressor Decoder;
   DecodeMode Mode = DecodeMode::Cpu;
+  ProbeResult Probe;
+  /// In WarpGpu mode, do unframed LZ chunks still go to the lane
+  /// kernel? True when the probe priced the lane path under the CPU
+  /// pool (or the user forced Gpu) — the warp kernel itself only
+  /// accepts framed payloads.
+  bool UnframedToLane = false;
+  /// Persistent warp kernel residency: the first warp sub-batch pays
+  /// the full launch, later ones only the doorbell; any device fault
+  /// evicts the kernel (see GpuDevice::dispatchResident).
+  bool WarpKernelResident = false;
+  /// Per-batch decode scratch (request tables, warp sub-block tables);
+  /// reset at every processBatch entry — allocations never outlive the
+  /// batch that made them.
+  Arena BatchArena;
 
   // Report counters (reset by resetMeasurement).
   std::uint64_t ChunksRequested = 0;
@@ -182,6 +210,8 @@ private:
   std::uint64_t DecodeFailures = 0;
   std::uint64_t GpuBatches = 0;
   std::uint64_t CpuBatches = 0;
+  std::uint64_t WarpBatches = 0;
+  std::uint64_t FramedChunks = 0;
   /// GPU decode sub-batches re-decoded on the CPU after a device fault.
   std::uint64_t GpuDecodeFallbacks = 0;
   /// Ledger busy-time baselines (µs) captured at resetMeasurement.
@@ -199,7 +229,12 @@ private:
   obs::Counter *DecodeFailTotal = nullptr;
   obs::Counter *CpuBatchesTotal = nullptr;
   obs::Counter *GpuBatchesTotal = nullptr;
+  obs::Counter *WarpBatchesTotal = nullptr;
   obs::Counter *GpuFallbackTotal = nullptr;
+  obs::Gauge *DecodeModeGauge = nullptr;
+  obs::Gauge *ProbeCpuGauge = nullptr;
+  obs::Gauge *ProbeGpuGauge = nullptr;
+  obs::Gauge *ProbeWarpGauge = nullptr;
 };
 
 } // namespace restore

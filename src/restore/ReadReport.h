@@ -20,6 +20,17 @@
 namespace padre {
 namespace restore {
 
+/// Who decodes a fetched batch.
+enum class DecodeMode {
+  Cpu,     ///< chunk-parallel across the CPU pool
+  Gpu,     ///< lane-parallel kernel (CPU pre-parses the lane splits)
+  WarpGpu, ///< warp-cooperative kernel over v2 framed payloads
+  Auto,    ///< probe all paths at construction, pick the fastest
+};
+
+/// Returns "cpu", "gpu", "warp" or "auto".
+const char *decodeModeName(DecodeMode Mode);
+
 /// Everything a restore run measures since construction or
 /// ReadPipeline::resetMeasurement().
 struct ReadReport {
@@ -53,6 +64,24 @@ struct ReadReport {
   std::uint64_t GpuBatches = 0;
   /// Decode batches run on the CPU pool (count).
   std::uint64_t CpuBatches = 0;
+  /// Decode sub-batches dispatched to the warp-cooperative kernel
+  /// (count).
+  std::uint64_t WarpBatches = 0;
+  /// v2 framed chunks decoded, on any path (count).
+  std::uint64_t FramedChunks = 0;
+  /// The mode batches run in (the probe's resolution of Auto; never
+  /// Auto itself).
+  DecodeMode Mode = DecodeMode::Cpu;
+
+  // The construction-time decode probe: modelled makespans of one
+  // synthetic batch at BatchDepth per path (µs; 0 when the path is
+  // unavailable), and the framed format's payload growth on the probe
+  // chunk — the measured sub-block ratio delta the framing trades for
+  // warp parallelism.
+  double ProbeCpuUs = 0.0;
+  double ProbeGpuUs = 0.0;
+  double ProbeWarpUs = 0.0;
+  double SubBlockRatioDeltaPct = 0.0;
 
   // Modelled performance (modelled seconds since the measurement
   // baseline — NOT wall time; see OBSERVABILITY.md).

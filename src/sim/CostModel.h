@@ -94,6 +94,12 @@ struct CpuCosts {
   /// after it. Charged per payload byte scanned.
   double PlanSetupUs = 2.0;
   double PlanPerByteNs = 1.2;
+  /// Warp-decode pre-parse on the CPU: reading a v2 frame header (see
+  /// compress/SubBlockFrame.h) to build the sub-block table. O(N) in
+  /// the sub-block count instead of O(payload) — the compress-time
+  /// framing is what buys this down from PlanSetupUs + PlanPerByteNs x
+  /// payload. Charged once per framed chunk.
+  double FramePlanUs = 0.4;
   /// Optional Huffman entropy stage (extension): per token byte
   /// encoded or decoded (two passes + bit packing).
   double HuffmanPerByteNs = 6.0;
@@ -159,6 +165,37 @@ struct GpuCosts {
   /// decoding — but shallow read bursts leave the launch latency
   /// unamortized (the CPU/GPU crossover bench_read sweeps).
   unsigned DecompressBatchChunks = 256;
+  /// Warp-cooperative LZ decompression of v2 framed payloads (CODAG's
+  /// reader-warp design; see compress/GpuWarpDecompressor.h). One warp
+  /// owns one sub-block: a reader sub-warp streams tokens while the
+  /// decoder lanes expand them, so divergence is paid per *token* on
+  /// the narrow reader path rather than per lockstep wavefront — that
+  /// is why WarpDivergencePerTokenNs is far below
+  /// DecDivergencePerTokenNs. Warps are independent (no cross-warp
+  /// lockstep), so a chunk's kernel cost is the *sum* of its
+  /// sub-block costs:
+  ///   sum over sub-blocks (WarpSubBlockSetupNs + WarpSyncNs
+  ///                        + tokens x WarpReaderPerTokenNs
+  ///                        + output bytes x WarpDecoderPerByteNs
+  ///                        + token switches x WarpDivergencePerTokenNs
+  ///                        + overlap matches x WarpOverlapPerMatchNs)
+  /// WarpOverlapPerMatchNs prices Gompresso's bit-parallel resolution
+  /// of self-overlapping matches (distance < length): the decoder
+  /// lanes must serialise the replicated copy in log-steps instead of
+  /// one parallel gather.
+  double WarpSubBlockSetupNs = 100.0;
+  double WarpReaderPerTokenNs = 1.1;
+  double WarpDecoderPerByteNs = 0.055;
+  double WarpDivergencePerTokenNs = 0.5;
+  double WarpOverlapPerMatchNs = 6.0;
+  double WarpSyncNs = 120.0;
+  /// Work-queue doorbell for the *persistent* warp-decode kernel: the
+  /// first warp batch pays LaunchUs to start the kernel; while it stays
+  /// resident, subsequent batches only ring the doorbell (one mapped
+  /// write + device-side dequeue). This is what moves the read
+  /// crossover below batch depth 16 — LaunchUs per batch alone would
+  /// keep the GPU losing until depth ~25.
+  double WarpDoorbellUs = 4.0;
   /// Device memory budget for the GPU bin table, in MiB. Bounds which
   /// fraction of the index is GPU-resident (random replacement).
   double DeviceMemoryMiB = 512.0;
@@ -257,6 +294,25 @@ struct CostModel {
             Gpu.DecLiteralPerByteNs * static_cast<double>(LiteralBytes) +
             Gpu.DecMatchPerByteNs * static_cast<double>(MatchBytes) +
             Gpu.DecDivergencePerTokenNs * static_cast<double>(TokenSwitches));
+  }
+
+  /// One sub-block's cost under the warp-cooperative decode kernel, in
+  /// microseconds: \p Tokens streamed by the reader sub-warp,
+  /// \p OutputBytes expanded by the decoder lanes, \p TokenSwitches
+  /// literal/match transitions, \p OverlapMatches self-overlapping
+  /// matches (distance < length). A chunk's kernel cost is the sum
+  /// over its sub-blocks — warps are independent, unlike the lockstep
+  /// lanes of gpuDecodeLaneUs (see GpuCosts::WarpSubBlockSetupNs).
+  double gpuWarpSubBlockUs(std::size_t Tokens, std::size_t OutputBytes,
+                           std::size_t TokenSwitches,
+                           std::size_t OverlapMatches) const {
+    return 1e-3 *
+           (Gpu.WarpSubBlockSetupNs + Gpu.WarpSyncNs +
+            Gpu.WarpReaderPerTokenNs * static_cast<double>(Tokens) +
+            Gpu.WarpDecoderPerByteNs * static_cast<double>(OutputBytes) +
+            Gpu.WarpDivergencePerTokenNs *
+                static_cast<double>(TokenSwitches) +
+            Gpu.WarpOverlapPerMatchNs * static_cast<double>(OverlapMatches));
   }
 
   /// CPU post-processing (refinement) cost for a GPU-compressed chunk

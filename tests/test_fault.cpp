@@ -441,6 +441,61 @@ TEST(FaultRestoreTest, GpuDecodeFaultFallsBackToCpuBitExact) {
   EXPECT_EQ(Reader.report().DecodeFailures, 0u);
 }
 
+TEST(FaultRestoreTest, WarpDecodeFaultEvictsKernelAndFallsBackBitExact) {
+  const ByteVector Data = makeStream(2 << 20, 1.0); // all unique
+  fault::FaultPlan Plan;
+  auto Rule =
+      rule(fault::FaultSite::GpuKernel, fault::FaultKind::GpuEccError);
+  Rule.EveryN = 2; // every other warp dispatch dies
+  Plan.Rules.push_back(Rule);
+  fault::FaultInjector Injector(Plan);
+
+  PipelineConfig Config = pipelineConfig(PipelineMode::CpuOnly);
+  Config.Compress.SubBlocks = 4; // v2 framed store
+  Config.Faults = &Injector;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  ASSERT_TRUE(Pipeline.write(ByteSpan(Data.data(), Data.size())).ok());
+  ASSERT_TRUE(Pipeline.finish().ok());
+
+  restore::ReadConfig ReadConfig;
+  ReadConfig.Mode = restore::DecodeMode::WarpGpu;
+  ReadConfig.BatchDepth = 32; // several sub-batches: evict + relaunch
+  restore::ReadPipeline Reader(Pipeline, ReadConfig);
+  ASSERT_EQ(Reader.effectiveMode(), restore::DecodeMode::WarpGpu);
+  const auto Restored = Reader.readStream(Pipeline.recipe());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(*Restored, Data); // CPU retry is authoritative and bit-exact
+  EXPECT_GT(Reader.gpuDecodeFallbackCount(), 0u);
+  const restore::ReadReport Report = Reader.report();
+  EXPECT_EQ(Report.DecodeFailures, 0u);
+  EXPECT_GT(Report.WarpBatches, 1u); // faulted AND surviving dispatches
+}
+
+TEST(FaultRestoreTest, WarpDmaFaultFallsBackBitExact) {
+  const ByteVector Data = makeStream(1 << 20, 1.0);
+  fault::FaultPlan Plan;
+  auto Rule =
+      rule(fault::FaultSite::GpuDma, fault::FaultKind::GpuDmaCorrupt);
+  Rule.AtOps = {0}; // the first DMA of the restore run
+  Plan.Rules.push_back(Rule);
+  fault::FaultInjector Injector(Plan);
+
+  PipelineConfig Config = pipelineConfig(PipelineMode::CpuOnly);
+  Config.Compress.SubBlocks = 4;
+  Config.Faults = &Injector;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  ASSERT_TRUE(Pipeline.write(ByteSpan(Data.data(), Data.size())).ok());
+  ASSERT_TRUE(Pipeline.finish().ok());
+
+  restore::ReadConfig ReadConfig;
+  ReadConfig.Mode = restore::DecodeMode::WarpGpu;
+  restore::ReadPipeline Reader(Pipeline, ReadConfig);
+  const auto Restored = Reader.readStream(Pipeline.recipe());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(*Restored, Data);
+  EXPECT_GT(Reader.gpuDecodeFallbackCount(), 0u);
+}
+
 TEST(FaultPipelineTest, GpuHangChargesHangOccupancy) {
   const ByteVector Data = makeStream(1 << 20, 1.0);
   auto Run = [&](bool WithHang) {

@@ -49,15 +49,22 @@ struct RestoreFixture : ::testing::Test {
 
   void write(std::uint64_t Bytes, std::size_t CacheBytes = 0,
              double DedupRatio = 2.0, double CompressRatio = 2.0,
-             const Platform &Plat = Platform::paper()) {
+             const Platform &Plat = Platform::paper(),
+             unsigned SubBlocks = 1) {
     PipelineConfig Config;
     Config.Mode = PipelineMode::CpuOnly;
     Config.ReadCacheBytes = CacheBytes;
     Config.Metrics = &Metrics;
+    Config.Compress.SubBlocks = SubBlocks;
     Data = makeStream(Bytes, DedupRatio, CompressRatio);
     Pipeline = std::make_unique<ReductionPipeline>(Plat, Config);
     Pipeline->write(ByteSpan(Data.data(), Data.size()));
     Pipeline->finish();
+  }
+
+  /// Writes a v2-framed stream (4 sub-blocks per chunk).
+  void writeFramed(std::uint64_t Bytes, std::size_t CacheBytes = 0) {
+    write(Bytes, CacheBytes, 2.0, 2.0, Platform::paper(), /*SubBlocks=*/4);
   }
 };
 
@@ -224,17 +231,41 @@ TEST_F(RestoreFixture, CorruptChunkFailsAndCounts) {
 // The Auto probe
 //===----------------------------------------------------------------------===//
 
-TEST_F(RestoreFixture, ProbePicksCpuShallowGpuDeep) {
+TEST_F(RestoreFixture, ProbeWarpKillsTheLaneCrossover) {
   write(1 << 20);
+  // The lane kernel's launch-latency crossover is still visible in the
+  // probe's per-path makespans: at depth 8 LaunchUs dominates and the
+  // lane path loses to the CPU pool; at depth 256 it wins. But the
+  // warp path (persistent kernel, doorbell dispatch) undercuts the CPU
+  // pool at BOTH depths, so Auto resolves to WarpGpu everywhere — the
+  // decode-v2 headline.
   ReadConfig Shallow;
   Shallow.Mode = DecodeMode::Auto;
   Shallow.BatchDepth = 8;
-  EXPECT_EQ(ReadPipeline(*Pipeline, Shallow).effectiveMode(),
-            DecodeMode::Cpu);
+  ReadPipeline ShallowReader(*Pipeline, Shallow);
+  EXPECT_EQ(ShallowReader.effectiveMode(), DecodeMode::WarpGpu);
+  const ReadReport ShallowReport = ShallowReader.report();
+  EXPECT_GT(ShallowReport.ProbeGpuUs, ShallowReport.ProbeCpuUs);
+  EXPECT_LT(ShallowReport.ProbeWarpUs, ShallowReport.ProbeCpuUs);
+
   ReadConfig Deep = Shallow;
   Deep.BatchDepth = 256;
-  EXPECT_EQ(ReadPipeline(*Pipeline, Deep).effectiveMode(),
-            DecodeMode::Gpu);
+  ReadPipeline DeepReader(*Pipeline, Deep);
+  EXPECT_EQ(DeepReader.effectiveMode(), DecodeMode::WarpGpu);
+  const ReadReport DeepReport = DeepReader.report();
+  EXPECT_LT(DeepReport.ProbeGpuUs, DeepReport.ProbeCpuUs);
+  EXPECT_LT(DeepReport.ProbeWarpUs, DeepReport.ProbeGpuUs);
+}
+
+TEST_F(RestoreFixture, ProbeReportsSubBlockRatioDelta) {
+  write(1 << 20);
+  ReadConfig Config;
+  Config.Mode = DecodeMode::Auto;
+  ReadPipeline Reader(*Pipeline, Config);
+  const ReadReport Report = Reader.report();
+  // Framing costs ratio (history reset + header) but never wins it.
+  EXPECT_GT(Report.SubBlockRatioDeltaPct, 0.0);
+  EXPECT_LT(Report.SubBlockRatioDeltaPct, 15.0);
 }
 
 TEST_F(RestoreFixture, ProbeChargesNothing) {
@@ -245,6 +276,122 @@ TEST_F(RestoreFixture, ProbeChargesNothing) {
   ReadPipeline Reader(*Pipeline, Config);
   EXPECT_EQ(Pipeline->ledger().busyMicros(Resource::CpuPool), Before);
   EXPECT_EQ(Pipeline->ledger().busyMicros(Resource::Gpu), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Decode v2: the warp-cooperative path over framed streams, and the
+// v1 <-> v2 compatibility matrix (either format on either backend).
+//===----------------------------------------------------------------------===//
+
+TEST_F(RestoreFixture, WarpDecodeRoundTripsFramedStream) {
+  writeFramed(4 << 20);
+  ReadConfig Config;
+  Config.Mode = DecodeMode::WarpGpu;
+  ReadPipeline Reader(*Pipeline, Config);
+  EXPECT_EQ(Reader.effectiveMode(), DecodeMode::WarpGpu);
+  const auto Restored = Reader.readStream(Pipeline->recipe());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(*Restored, Data);
+  const ReadReport Report = Reader.report();
+  EXPECT_GT(Report.WarpBatches, 0u);
+  EXPECT_GT(Report.FramedChunks, 0u);
+  EXPECT_EQ(Report.Mode, DecodeMode::WarpGpu);
+  EXPECT_GT(Report.GpuBusySec, 0.0);
+  EXPECT_GT(Report.PcieBusySec, 0.0);
+  // Satellite metrics: the warp batch counter and the mode gauge.
+  const Counter *Warp =
+      Metrics.findCounter("padre_read_batches_total{mode=\"warp\"}");
+  ASSERT_NE(Warp, nullptr);
+  EXPECT_EQ(Warp->value(), Report.WarpBatches);
+  const Gauge *ModeGauge = Metrics.findGauge("padre_read_decode_mode");
+  ASSERT_NE(ModeGauge, nullptr);
+  EXPECT_EQ(ModeGauge->value(), 2.0);
+  for (const char *Name :
+       {"padre_read_probe_us{mode=\"cpu\"}",
+        "padre_read_probe_us{mode=\"gpu\"}",
+        "padre_read_probe_us{mode=\"warp\"}"}) {
+    const Gauge *Probe = Metrics.findGauge(Name);
+    ASSERT_NE(Probe, nullptr) << Name;
+    EXPECT_GT(Probe->value(), 0.0) << Name;
+  }
+}
+
+TEST_F(RestoreFixture, FramedStreamDecodesOnCpuBitExact) {
+  writeFramed(2 << 20);
+  ReadConfig Config;
+  Config.Mode = DecodeMode::Cpu;
+  ReadPipeline Reader(*Pipeline, Config);
+  const auto Restored = Reader.readStream(Pipeline->recipe());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(*Restored, Data);
+  const ReadReport Report = Reader.report();
+  EXPECT_EQ(Report.WarpBatches, 0u);
+  EXPECT_GT(Report.FramedChunks, 0u); // counted on any decode path
+}
+
+TEST_F(RestoreFixture, UnframedStreamInWarpModeStaysBitExact) {
+  // v1 compatibility: a store written without framing decodes under
+  // WarpGpu mode by routing around the warp kernel (lane or CPU) —
+  // never through it.
+  write(2 << 20);
+  ReadConfig Config;
+  Config.Mode = DecodeMode::WarpGpu;
+  ReadPipeline Reader(*Pipeline, Config);
+  EXPECT_EQ(Reader.effectiveMode(), DecodeMode::WarpGpu);
+  const auto Restored = Reader.readStream(Pipeline->recipe());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(*Restored, Data);
+  const ReadReport Report = Reader.report();
+  EXPECT_EQ(Report.WarpBatches, 0u);
+  EXPECT_EQ(Report.FramedChunks, 0u);
+}
+
+TEST_F(RestoreFixture, WarpAndCpuDecodeSameFramedBytes) {
+  writeFramed(2 << 20);
+  ReadConfig CpuConfig;
+  CpuConfig.Mode = DecodeMode::Cpu;
+  const auto CpuBytes =
+      ReadPipeline(*Pipeline, CpuConfig).readStream(Pipeline->recipe());
+  ReadConfig WarpConfig;
+  WarpConfig.Mode = DecodeMode::WarpGpu;
+  const auto WarpBytes =
+      ReadPipeline(*Pipeline, WarpConfig).readStream(Pipeline->recipe());
+  ASSERT_TRUE(CpuBytes.has_value());
+  ASSERT_TRUE(WarpBytes.has_value());
+  EXPECT_EQ(*CpuBytes, *WarpBytes);
+  EXPECT_EQ(*CpuBytes, Data);
+}
+
+TEST_F(RestoreFixture, CorruptFramedChunkFailsTypedInWarpMode) {
+  writeFramed(1 << 20, /*CacheBytes=*/8 << 20);
+  const auto &All = Pipeline->recipe().ChunkLocations;
+  ASSERT_GE(All.size(), 8u);
+  const std::uint64_t Bad = All[2];
+  // Flip a payload byte past the block header: the CRC catches it and
+  // the read fails typed — never crashes, never caches garbage.
+  ASSERT_TRUE(Pipeline->corruptChunkForTesting(Bad, 20));
+
+  ReadConfig Config;
+  Config.Mode = DecodeMode::WarpGpu;
+  ReadPipeline Reader(*Pipeline, Config);
+  const std::vector<std::uint64_t> Locations = {All[0], Bad, All[4]};
+  std::vector<ByteVector> Out;
+  std::vector<ReadFailure> Failures;
+  EXPECT_FALSE(Reader.readLocations(
+      std::span<const std::uint64_t>(Locations.data(), Locations.size()),
+      Out, &Failures));
+  ASSERT_EQ(Failures.size(), 1u);
+  EXPECT_EQ(Failures[0].Location, Bad);
+  EXPECT_EQ(Failures[0].Code, fault::ErrorCode::ChunkCorrupt);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_FALSE(Out[0].empty());
+  EXPECT_TRUE(Out[1].empty());
+  EXPECT_FALSE(Out[2].empty());
+  const ChunkCache *Cache = Pipeline->readCache();
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_FALSE(Cache->contains(Bad));
+  EXPECT_TRUE(Cache->contains(All[0]));
+  EXPECT_TRUE(Cache->contains(All[4]));
 }
 
 //===----------------------------------------------------------------------===//

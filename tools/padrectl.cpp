@@ -52,7 +52,9 @@
 ///   --seed N         workload seed               (default 42)
 ///   --image PATH     (volume) save/load the volume image here
 ///   --read-batch N   restore batch depth          (default 256)
-///   --read-mode cpu|gpu|auto   restore decode mode (default auto)
+///   --read-mode cpu|gpu|warp|auto   restore decode mode (default auto)
+///   --sub-blocks N   framed sub-blocks per chunk (1 = unframed v1;
+///                    >1 stores decode-v2 frames the warp mode needs)
 ///   --readahead N    restore readahead chunks per run (default 8)
 ///   --journal PATH       (recover) metadata WAL path (padre.wal)
 ///   --checkpoint PATH    (recover) checkpoint path (padre.ckpt)
@@ -131,6 +133,7 @@ struct Options {
   restore::DecodeMode ReadMode = restore::DecodeMode::Auto;
   std::size_t Readahead = 8;
   std::size_t PipelineDepth = 4;
+  unsigned SubBlocks = 1;
   fault::FaultPlan FaultPlan;
   std::string JournalPath = "padre.wal";
   std::string CheckpointPath = "padre.ckpt";
@@ -164,7 +167,8 @@ void usage() {
       "fixed|rabin|fastcdc\n"
       "  --threads N  --image PATH  --trace FILE  --trace-ops N\n"
       "  --trace-out FILE.json  --metrics-out FILE.prom\n"
-      "  --read-batch N  --read-mode cpu|gpu|auto  --readahead N\n"
+      "  --read-batch N  --read-mode cpu|gpu|warp|auto  --readahead N\n"
+      "  --sub-blocks N       framed sub-blocks per chunk (warp decode)\n"
       "  --pipeline-depth N   in-flight write batches (1 = serial)\n"
       "  --journal PATH  --checkpoint PATH   (recover) WAL/checkpoint\n"
       "  --group-commit N  --checkpoint-every N   (recover) policies\n"
@@ -276,11 +280,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Readahead = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Arg == "--pipeline-depth" && NextValue(Value)) {
       Opts.PipelineDepth = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Arg == "--sub-blocks" && NextValue(Value)) {
+      Opts.SubBlocks =
+          static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
     } else if (Arg == "--read-mode" && NextValue(Value)) {
       if (Value == "cpu")
         Opts.ReadMode = restore::DecodeMode::Cpu;
       else if (Value == "gpu")
         Opts.ReadMode = restore::DecodeMode::Gpu;
+      else if (Value == "warp")
+        Opts.ReadMode = restore::DecodeMode::WarpGpu;
       else if (Value == "auto")
         Opts.ReadMode = restore::DecodeMode::Auto;
       else {
@@ -393,6 +402,7 @@ PipelineConfig pipelineConfigFor(const Options &Opts, PipelineMode Mode) {
   Config.ReadCacheBytes = Opts.CacheBytes;
   Config.Chunking = Opts.Chunking;
   Config.PipelineDepth = Opts.PipelineDepth;
+  Config.Compress.SubBlocks = Opts.SubBlocks;
   return Config;
 }
 
@@ -488,6 +498,17 @@ struct FaultSetup {
 PipelineMode resolveMode(const Options &Opts) {
   if (Opts.Mode)
     return *Opts.Mode;
+  // Sub-block framing lives in the CPU compress path (the GPU lane
+  // kernel's streams share history across lane boundaries, so they
+  // cannot be reframed). Calibration would otherwise pick an unframed
+  // GPU store and silently drop the framing the user asked for.
+  if (Opts.SubBlocks > 1) {
+    std::printf("note: --sub-blocks %u frames chunks on the CPU "
+                "compress path; using cpu-only writes (pass --mode to "
+                "override)\n\n",
+                Opts.SubBlocks);
+    return PipelineMode::CpuOnly;
+  }
   CalibratorConfig CalConfig;
   CalConfig.Base = pipelineConfigFor(Opts, PipelineMode::CpuOnly);
   CalConfig.DedupRatio = Opts.DedupRatio;
