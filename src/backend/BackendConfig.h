@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the multi-backend reduction framework (src/backend)
+/// — a plain-data header so PipelineConfig can embed it without pulling
+/// the backend layer's engine dependencies into every core include.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_BACKEND_BACKENDCONFIG_H
+#define PADRE_BACKEND_BACKENDCONFIG_H
+
+namespace padre {
+namespace backend {
+
+/// How the splitter partitions each batch across backends.
+///
+///   Auto    — the HPDR-style tuner picks the device share per batch
+///             from observed per-backend rates (EWMA, seeded from the
+///             static cost-model quotes) and pipelines the device
+///             share at sub-batch granularity.
+///   CpuOnly — forced split fraction 0: every chunk on the CPU
+///             backend. Bit-identical (results, recipes, charges,
+///             timeline) to the classic CpuOnly compress path.
+///   GpuOnly — forced split fraction 1: every chunk on the device
+///             backend. Bit-identical to the classic GpuCompress path
+///             when one device is configured.
+///   Fixed   — a static fraction of each batch's bytes to the device
+///             backend (BackendConfig::Fraction); no tuning.
+enum class SplitMode { Auto, CpuOnly, GpuOnly, Fixed };
+
+/// Returns "auto", "cpu", "gpu" or "fixed".
+const char *splitModeName(SplitMode Mode);
+
+/// Backend-framework knobs, embedded in PipelineConfig::Backend.
+struct BackendConfig {
+  /// Off by default: the pipeline keeps the single-engine compress
+  /// stage and nothing in this struct is read.
+  bool Enabled = false;
+  /// Modelled GPUs driven by the device-side backend: 1 selects the
+  /// single-GPU backend (pass-through to the classic GPU engine), >= 2
+  /// the N-GPU backend (extra GpuDevice instances with independent
+  /// staging/queues on their own timeline lanes).
+  unsigned GpuDevices = 1;
+  SplitMode Split = SplitMode::Auto;
+  /// Fixed-mode device share of each batch's bytes, clamped to [0, 1].
+  double Fraction = 1.0;
+  /// Tuner observation window in batches: the EWMA smoothing factor is
+  /// 2 / (TunerWindow + 1). Clamped to >= 1.
+  unsigned TunerWindow = 8;
+};
+
+} // namespace backend
+} // namespace padre
+
+#endif // PADRE_BACKEND_BACKENDCONFIG_H

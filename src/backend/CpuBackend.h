@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CPU-pool backend: wraps a Cpu-mode CompressEngine (one codec
+/// call per chunk across the pool, §3.2(1)) behind ReductionBackend.
+/// Its slice record carries no device ops — just the pool time it
+/// charged — so a full-batch slice replays bit-identically to the
+/// classic CpuOnly compress stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_BACKEND_CPUBACKEND_H
+#define PADRE_BACKEND_CPUBACKEND_H
+
+#include "backend/ReductionBackend.h"
+
+namespace padre {
+namespace backend {
+
+class CpuBackend final : public ReductionBackend {
+public:
+  /// \p Engine is the base engine configuration (matcher, entropy
+  /// stage, sub-block framing); its Backend field is forced to Cpu.
+  CpuBackend(const CostModel &Model, ResourceLedger &Ledger,
+             ThreadPool &Pool, CompressEngineConfig Engine,
+             const obs::ObsSinks &Obs);
+
+  const BackendCaps &caps() const override { return Caps; }
+  double quoteCompressUs(std::uint64_t Bytes,
+                         std::size_t Chunks) const override;
+  void executeSlice(std::span<const ChunkView> Chunks, std::size_t Begin,
+                    std::size_t End, std::vector<CompressedChunk> &Out,
+                    std::vector<BatchScheduler::CompressSlice> &Slices,
+                    bool Pipelined) override;
+  std::uint64_t rawFallbacks() const override {
+    return Engine.rawFallbacks();
+  }
+
+private:
+  CostModel Model;
+  ResourceLedger &Ledger;
+  CompressEngine Engine;
+  BackendCaps Caps;
+};
+
+} // namespace backend
+} // namespace padre
+
+#endif // PADRE_BACKEND_CPUBACKEND_H

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-GPU backend: wraps a GpuLane-mode CompressEngine driving
+/// the pipeline's primary GpuDevice (device 0). Its slice records
+/// replay on the Resource::Gpu / Resource::Pcie timeline lanes with the
+/// device's own double-buffered staging, so a full-batch unpipelined
+/// slice reproduces the classic GpuCompress stage bit-exactly —
+/// charges, op chain and timeline included.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_BACKEND_GPUBACKEND_H
+#define PADRE_BACKEND_GPUBACKEND_H
+
+#include "backend/ReductionBackend.h"
+
+namespace padre {
+namespace backend {
+
+class GpuBackend final : public ReductionBackend {
+public:
+  /// \p Device is the pipeline's primary device (index 0); must
+  /// outlive the backend. \p Engine is the base engine configuration;
+  /// its Backend field is forced to GpuLane.
+  GpuBackend(const CostModel &Model, ResourceLedger &Ledger,
+             ThreadPool &Pool, GpuDevice &Device,
+             CompressEngineConfig Engine, const obs::ObsSinks &Obs);
+
+  const BackendCaps &caps() const override { return Caps; }
+  double quoteCompressUs(std::uint64_t Bytes,
+                         std::size_t Chunks) const override;
+  void executeSlice(std::span<const ChunkView> Chunks, std::size_t Begin,
+                    std::size_t End, std::vector<CompressedChunk> &Out,
+                    std::vector<BatchScheduler::CompressSlice> &Slices,
+                    bool Pipelined) override;
+  std::uint64_t rawFallbacks() const override {
+    return Engine.rawFallbacks();
+  }
+  std::uint64_t deviceFallbacks() const override {
+    return Engine.gpuFallbackCount();
+  }
+
+private:
+  /// Runs [Begin, End) through the engine with the device op log armed
+  /// and appends one slice record carrying the captured chain.
+  void runRange(std::span<const ChunkView> Chunks, std::size_t Begin,
+                std::size_t End, std::vector<CompressedChunk> &Out,
+                std::vector<BatchScheduler::CompressSlice> &Slices);
+
+  CostModel Model;
+  ResourceLedger &Ledger;
+  GpuDevice &Device;
+  CompressEngine Engine;
+  BackendCaps Caps;
+};
+
+/// The shared static GPU quote (also the per-device seed of the N-GPU
+/// backend): PCIe round trip + launch + pessimistic lockstep kernel +
+/// pool-width CPU refinement, per compression sub-batch.
+double gpuQuoteCompressUs(const CostModel &Model, std::uint64_t Bytes,
+                          std::size_t Chunks);
+
+} // namespace backend
+} // namespace padre
+
+#endif // PADRE_BACKEND_GPUBACKEND_H

@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N-GPU backend implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/MultiGpuBackend.h"
+
+#include "backend/GpuBackend.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace padre;
+using namespace padre::backend;
+
+static CompressEngineConfig gpuConfig(CompressEngineConfig Engine) {
+  Engine.Backend = CompressBackend::GpuLane;
+  return Engine;
+}
+
+MultiGpuBackend::MultiGpuBackend(const CostModel &Model,
+                                 ResourceLedger &Ledger, ThreadPool &Pool,
+                                 GpuDevice &Primary,
+                                 CompressEngineConfig Engine,
+                                 const obs::ObsSinks &Obs,
+                                 fault::FaultInjector *Faults,
+                                 unsigned Devices)
+    : Model(Model), Ledger(Ledger) {
+  assert(Devices >= 2 && "Use GpuBackend for a single device");
+  assert(Primary.present() && "Multi-GPU backend without a modelled GPU");
+  const CompressEngineConfig Config = gpuConfig(Engine);
+  Units.resize(Devices);
+  for (unsigned K = 0; K < Devices; ++K) {
+    Unit &U = Units[K];
+    if (K == 0) {
+      // Device 0 replays on the resource lanes themselves, exactly as
+      // the single-GPU backend does.
+      U.Device = &Primary;
+      U.GpuLane = static_cast<unsigned>(Resource::Gpu);
+      U.PcieLane = static_cast<unsigned>(Resource::Pcie);
+    } else {
+      U.Owned = std::make_unique<GpuDevice>(Model, Ledger);
+      U.Device = U.Owned.get();
+      U.Device->setDeviceIndex(K);
+      U.Device->setMixedMode(Primary.mixedMode());
+      U.Device->setObs(Obs);
+      if (Faults)
+        U.Device->setFaultInjector(Faults);
+      // Each extra device gets its own queue lane and its own modelled
+      // PCIe link lane (point-to-point links, one per device).
+      U.GpuLane = Ledger.addTimelineLane(Resource::Gpu);
+      U.PcieLane = Ledger.addTimelineLane(Resource::Pcie);
+    }
+    U.Engine = std::make_unique<CompressEngine>(Model, Ledger, Pool,
+                                                U.Device, Config, Obs);
+  }
+  NameStr = "gpu" + std::to_string(Devices);
+  SpanNameStr = "backend:" + NameStr;
+  Caps.Name = NameStr.c_str();
+  Caps.SpanName = SpanNameStr.c_str();
+  Caps.DeviceCount = Devices;
+}
+
+double MultiGpuBackend::quoteCompressUs(std::uint64_t Bytes,
+                                        std::size_t Chunks) const {
+  // Ideal static partition: each device compresses 1/N of the slice on
+  // its own link and queue; the shared CPU refinement does not divide.
+  const unsigned N = deviceCount();
+  const double OneDeviceUs = gpuQuoteCompressUs(
+      Model, Bytes / N, (Chunks + N - 1) / N);
+  return OneDeviceUs;
+}
+
+void MultiGpuBackend::executeSlice(
+    std::span<const ChunkView> Chunks, std::size_t Begin, std::size_t End,
+    std::vector<CompressedChunk> &Out,
+    std::vector<BatchScheduler::CompressSlice> &Slices, bool) {
+  if (Begin >= End)
+    return;
+  const std::size_t SubBatch =
+      std::max<std::size_t>(1, Model.Gpu.CompressBatchChunks);
+  const unsigned N = deviceCount();
+  // Round-robin sub-batches over devices, executed grouped by device
+  // (per-chunk outputs are disjoint, so execution order is free) with
+  // that device's op log armed across its whole chain — the chain then
+  // replays on the device's own lanes with its own staging, every
+  // device's first upload ready at dedup-done (independent domains).
+  for (unsigned K = 0; K < N; ++K) {
+    Unit &U = Units[K];
+    BatchScheduler::CompressSlice Slice;
+    Slice.GpuLane = U.GpuLane;
+    Slice.PcieLane = U.PcieLane;
+    Slice.Staging = &U.Device->staging();
+    const double CpuBeforeUs = Ledger.busyMicros(Resource::CpuPool);
+    U.Device->setOpLog(&Slice.Ops);
+    std::size_t Index = 0;
+    for (std::size_t B = Begin; B < End; B += SubBatch, ++Index) {
+      if (Index % N != K)
+        continue;
+      U.Engine->compressSlice(Chunks, B, std::min(End, B + SubBatch), Out);
+    }
+    U.Device->setOpLog(nullptr);
+    Slice.CpuUs = Ledger.busyMicros(Resource::CpuPool) - CpuBeforeUs;
+    if (!Slice.Ops.empty() || Slice.CpuUs > 0.0)
+      Slices.push_back(std::move(Slice));
+  }
+}
+
+std::uint64_t MultiGpuBackend::rawFallbacks() const {
+  std::uint64_t Total = 0;
+  for (const Unit &U : Units)
+    Total += U.Engine->rawFallbacks();
+  return Total;
+}
+
+std::uint64_t MultiGpuBackend::deviceFallbacks() const {
+  std::uint64_t Total = 0;
+  for (const Unit &U : Units)
+    Total += U.Engine->gpuFallbackCount();
+  return Total;
+}
+
+void MultiGpuBackend::resetTimelineState() {
+  // The scheduler's reset covers device 0's staging; the extra
+  // devices' slots rewind here, in the same lockstep.
+  for (Unit &U : Units)
+    if (U.Owned)
+      U.Owned->staging().reset();
+}

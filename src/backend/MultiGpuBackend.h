@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The N-GPU backend: device 0 is the pipeline's primary GpuDevice;
+/// devices 1..N-1 are instantiated here with their own staging slots
+/// and async queues, replaying on aux timeline lanes
+/// (ResourceLedger::addTimelineLane) that mirror Resource::Gpu/Pcie.
+/// Busy time stays on the shared per-resource accumulators — charges
+/// are bit-identical across device counts; only the scheduled timeline
+/// (and the capacity term of makespanSeconds) fans out per device.
+///
+/// Work distribution is HPDR-style static round-robin over compression
+/// sub-batches: sub-batch i goes to device i mod N, each device's
+/// sub-batches chaining on its own lanes with its own double-buffered
+/// staging. One engine per device keeps the op chains, fault fallback
+/// and fallback accounting per device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PADRE_BACKEND_MULTIGPUBACKEND_H
+#define PADRE_BACKEND_MULTIGPUBACKEND_H
+
+#include "backend/ReductionBackend.h"
+
+#include <memory>
+#include <string>
+
+namespace padre {
+
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
+namespace backend {
+
+class MultiGpuBackend final : public ReductionBackend {
+public:
+  /// \p Primary is the pipeline's device 0 (not owned; must outlive
+  /// the backend). \p Devices >= 2 is the total device count; the
+  /// extra devices are created here against the same model/ledger and
+  /// inherit \p Primary's mixed-mode flag, \p Obs and \p Faults.
+  MultiGpuBackend(const CostModel &Model, ResourceLedger &Ledger,
+                  ThreadPool &Pool, GpuDevice &Primary,
+                  CompressEngineConfig Engine, const obs::ObsSinks &Obs,
+                  fault::FaultInjector *Faults, unsigned Devices);
+
+  const BackendCaps &caps() const override { return Caps; }
+  double quoteCompressUs(std::uint64_t Bytes,
+                         std::size_t Chunks) const override;
+  void executeSlice(std::span<const ChunkView> Chunks, std::size_t Begin,
+                    std::size_t End, std::vector<CompressedChunk> &Out,
+                    std::vector<BatchScheduler::CompressSlice> &Slices,
+                    bool Pipelined) override;
+  std::uint64_t rawFallbacks() const override;
+  std::uint64_t deviceFallbacks() const override;
+  void resetTimelineState() override;
+
+  unsigned deviceCount() const {
+    return static_cast<unsigned>(Units.size());
+  }
+
+private:
+  /// One modelled device with its engine and timeline lanes.
+  struct Unit {
+    GpuDevice *Device = nullptr; ///< Units[0] aliases the primary
+    std::unique_ptr<GpuDevice> Owned;
+    std::unique_ptr<CompressEngine> Engine;
+    unsigned GpuLane = 0;
+    unsigned PcieLane = 0;
+  };
+
+  CostModel Model;
+  ResourceLedger &Ledger;
+  std::vector<Unit> Units;
+  std::string NameStr;
+  std::string SpanNameStr;
+  BackendCaps Caps;
+};
+
+} // namespace backend
+} // namespace padre
+
+#endif // PADRE_BACKEND_MULTIGPUBACKEND_H

@@ -33,12 +33,23 @@ BatchScheduler::BatchScheduler(ResourceLedger &Ledger, unsigned CpuThreads,
 
 double BatchScheduler::schedule(Resource Lane, double ReadyUs, double DurUs,
                                 const char *SpanName, bool Backfill) {
+  return scheduleLane(static_cast<unsigned>(Lane), ReadyUs, DurUs, SpanName,
+                      Backfill);
+}
+
+double BatchScheduler::scheduleLane(unsigned LaneId, double ReadyUs,
+                                    double DurUs, const char *SpanName,
+                                    bool Backfill) {
   if (DurUs < EpsilonUs)
     return ReadyUs;
-  const LaneInterval I = Ledger.scheduleMicros(Lane, ReadyUs, DurUs, Backfill);
-  Intervals[static_cast<unsigned>(Lane)].push_back(I);
+  const Resource Mirror = LaneId < ResourceCount
+                              ? static_cast<Resource>(LaneId)
+                              : Ledger.laneMirror(LaneId);
+  const LaneInterval I =
+      Ledger.scheduleLaneMicros(LaneId, ReadyUs, DurUs, Backfill);
+  Intervals[static_cast<unsigned>(Mirror)].push_back(I);
   if (Trace)
-    Trace->record(SpanName, obs::CategorySched, Lane, I.StartUs,
+    Trace->record(SpanName, obs::CategorySched, Mirror, I.StartUs,
                   I.EndUs - I.StartUs);
   return I.EndUs;
 }
@@ -72,10 +83,20 @@ double BatchScheduler::replayGpuOps(double ReadyUs, bool UseStaging,
                                     double &PcieUsedUs, double &GpuUsedUs) {
   GpuStagingModel *Staging =
       (UseStaging && Device) ? &Device->staging() : nullptr;
+  return replayOps(GpuOps, ReadyUs, Staging,
+                   static_cast<unsigned>(Resource::Gpu),
+                   static_cast<unsigned>(Resource::Pcie), PcieUsedUs,
+                   GpuUsedUs);
+}
+
+double BatchScheduler::replayOps(std::span<const GpuOp> Ops, double ReadyUs,
+                                 GpuStagingModel *Staging, unsigned GpuLane,
+                                 unsigned PcieLane, double &PcieUsedUs,
+                                 double &GpuUsedUs) {
   double LastH2dEndUs = ReadyUs;
   double LastKernelEndUs = ReadyUs;
   double LastEndUs = ReadyUs;
-  for (const GpuOp &Op : GpuOps) {
+  for (const GpuOp &Op : Ops) {
     double EndUs = ReadyUs;
     switch (Op.Op) {
     case GpuOp::Kind::H2d: {
@@ -88,14 +109,14 @@ double BatchScheduler::replayGpuOps(double ReadyUs, bool UseStaging,
           Staging->releaseOldest(LastKernelEndUs);
         StartReadyUs = std::fmax(ReadyUs, Staging->acquireSlot(ReadyUs));
       }
-      EndUs = schedule(Resource::Pcie, StartReadyUs, Op.Micros, "pipe:h2d");
+      EndUs = scheduleLane(PcieLane, StartReadyUs, Op.Micros, "pipe:h2d");
       LastH2dEndUs = EndUs;
       PcieUsedUs += Op.Micros;
       break;
     }
     case GpuOp::Kind::Kernel: {
-      EndUs = schedule(Resource::Gpu, LastH2dEndUs, Op.Micros,
-                       "pipe:kernel");
+      EndUs = scheduleLane(GpuLane, LastH2dEndUs, Op.Micros,
+                           "pipe:kernel");
       LastKernelEndUs = EndUs;
       if (Staging)
         Staging->releaseOldest(EndUs);
@@ -103,8 +124,8 @@ double BatchScheduler::replayGpuOps(double ReadyUs, bool UseStaging,
       break;
     }
     case GpuOp::Kind::D2h: {
-      EndUs = schedule(Resource::Pcie, LastKernelEndUs, Op.Micros,
-                       "pipe:d2h");
+      EndUs = scheduleLane(PcieLane, LastKernelEndUs, Op.Micros,
+                           "pipe:d2h");
       PcieUsedUs += Op.Micros;
       break;
     }
@@ -112,6 +133,68 @@ double BatchScheduler::replayGpuOps(double ReadyUs, bool UseStaging,
     LastEndUs = std::fmax(LastEndUs, EndUs);
   }
   return LastEndUs;
+}
+
+void BatchScheduler::endStageCompressSliced(std::span<CompressSlice> Slices) {
+  if (Device)
+    Device->setOpLog(nullptr);
+  Ssd.setOpLog(nullptr);
+
+  double DeltaUs[ResourceCount];
+  for (unsigned R = 0; R < ResourceCount; ++R)
+    DeltaUs[R] = std::fmax(
+        0.0, Ledger.busyMicros(static_cast<Resource>(R)) - BusyBeginUs[R]);
+
+  const double ReadyUs = DedupDoneUs;
+  double DoneUs = ReadyUs;
+  double GpuOpsUs = 0.0, PcieOpsUs = 0.0, CpuSlicesUs = 0.0;
+  for (CompressSlice &Slice : Slices) {
+    const double GpuDoneUs =
+        replayOps(Slice.Ops, ReadyUs, Slice.Staging, Slice.GpuLane,
+                  Slice.PcieLane, PcieOpsUs, GpuOpsUs);
+    // A device slice's CPU time is the refine pass over the kernels'
+    // results (after the chain); a CPU slice's is the compression
+    // itself (ready at dedup-done like every other domain).
+    const double CpuReadyUs = Slice.Ops.empty() ? ReadyUs : GpuDoneUs;
+    const double CpuDoneUs =
+        schedule(Resource::CpuPool, CpuReadyUs, Slice.CpuUs / CpuThreads,
+                 "pipe:compress", /*Backfill=*/true);
+    CpuSlicesUs += Slice.CpuUs;
+    Slice.DoneUs = std::fmax(ReadyUs, std::fmax(GpuDoneUs, CpuDoneUs));
+    Slice.ElapsedUs = Slice.DoneUs - ReadyUs;
+    DoneUs = std::fmax(DoneUs, Slice.DoneUs);
+  }
+  CompressDoneUs = DoneUs;
+
+  // Lossless residuals: anything the slices did not attribute (there
+  // should be nothing) still lands on the timeline.
+  const double CpuResidualUs =
+      DeltaUs[static_cast<unsigned>(Resource::CpuPool)] - CpuSlicesUs;
+  if (CpuResidualUs > EpsilonUs)
+    schedule(Resource::CpuPool, ReadyUs, CpuResidualUs / CpuThreads,
+             "pipe:compress", /*Backfill=*/true);
+  const double GpuResidualUs =
+      DeltaUs[static_cast<unsigned>(Resource::Gpu)] - GpuOpsUs;
+  if (GpuResidualUs > EpsilonUs)
+    schedule(Resource::Gpu, BatchReadyUs, GpuResidualUs, "pipe:gpu-misc");
+  const double PcieResidualUs =
+      DeltaUs[static_cast<unsigned>(Resource::Pcie)] - PcieOpsUs;
+  if (PcieResidualUs > EpsilonUs)
+    schedule(Resource::Pcie, BatchReadyUs, PcieResidualUs, "pipe:dma-misc");
+  double SsdOpsUs = 0.0;
+  for (const double Op : SsdOps) {
+    schedule(Resource::Ssd, ReadyUs, Op, "pipe:log-write");
+    SsdOpsUs += Op;
+  }
+  const double SsdResidualUs =
+      DeltaUs[static_cast<unsigned>(Resource::Ssd)] - SsdOpsUs;
+  if (SsdResidualUs > EpsilonUs)
+    schedule(Resource::Ssd, BatchReadyUs, SsdResidualUs, "pipe:io-misc");
+  const double LockResidualUs =
+      DeltaUs[static_cast<unsigned>(Resource::IndexLock)];
+  if (LockResidualUs > EpsilonUs)
+    schedule(Resource::IndexLock, ReadyUs, LockResidualUs,
+             "pipe:index-lock");
 }
 
 void BatchScheduler::endStage(Stage S) {

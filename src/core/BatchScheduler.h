@@ -43,6 +43,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <span>
 #include <vector>
 
 namespace padre {
@@ -85,6 +86,36 @@ public:
   void beginStage(Stage S);
   void endStage(Stage S);
 
+  /// One backend's share of a split compress stage: the op chain it
+  /// submitted to *its* device (empty for a CPU slice), the CPU pool
+  /// time it charged, and the timeline lanes to replay the chain on —
+  /// Resource::Gpu/Pcie for device 0, aux lane ids
+  /// (ResourceLedger::addTimelineLane) for extra devices. The replay
+  /// fills DoneUs/ElapsedUs so the splitter's tuner can observe the
+  /// slice's modelled rate.
+  struct CompressSlice {
+    unsigned GpuLane = static_cast<unsigned>(Resource::Gpu);
+    unsigned PcieLane = static_cast<unsigned>(Resource::Pcie);
+    GpuStagingModel *Staging = nullptr; ///< per-device slots; null = CPU
+    std::vector<GpuOp> Ops;
+    double CpuUs = 0.0; ///< pool busy charged while this slice ran
+    // Filled by endStageCompressSliced:
+    double DoneUs = 0.0;    ///< slice completion time on the timeline
+    double ElapsedUs = 0.0; ///< DoneUs minus the stage's ready time
+  };
+
+  /// endStage(Compress) for a stage the splitter partitioned across
+  /// backends: every slice becomes ready at dedup-done simultaneously
+  /// (HPDR's domain decomposition — the domains are independent) and
+  /// replays onto its own device lanes; the stage completes when the
+  /// last slice does. Single-slice calls reproduce endStage(Compress)
+  /// exactly: a pure-CPU slice is one backfilled pool task, a
+  /// device-0 slice is the same staged H2D->kernel->D2H chain with
+  /// the refine pass after it. Residual charges the slices do not
+  /// attribute are still replayed losslessly, so per-resource
+  /// scheduled totals equal busy totals at every split point.
+  void endStageCompressSliced(std::span<CompressSlice> Slices);
+
   /// Retires the current batch from the window once its destage
   /// completion time is known.
   void endBatch();
@@ -126,6 +157,14 @@ private:
   double replayGpuOps(double ReadyUs, bool UseStaging, double &PcieUsedUs,
                       double &GpuUsedUs);
 
+  /// The lane-general core of replayGpuOps: replays \p Ops onto
+  /// \p GpuLane / \p PcieLane (resource or aux device lanes), uploads
+  /// gated by \p Staging when non-null.
+  double replayOps(std::span<const GpuOp> Ops, double ReadyUs,
+                   GpuStagingModel *Staging, unsigned GpuLane,
+                   unsigned PcieLane, double &PcieUsedUs,
+                   double &GpuUsedUs);
+
   /// Schedules \p DurUs on \p Lane at \p ReadyUs, records the interval
   /// for the overlap summary (and a sched-category span when tracing).
   /// Returns the completion time. \p Backfill is set for CPU-pool
@@ -134,6 +173,12 @@ private:
   /// queues keep strict FIFO order.
   double schedule(Resource Lane, double ReadyUs, double DurUs,
                   const char *SpanName, bool Backfill = false);
+
+  /// schedule() by lane id; aux device lanes record their intervals
+  /// (and spans) under the resource they mirror, so the overlap
+  /// summary and scheduled-equals-busy invariant stay per-resource.
+  double scheduleLane(unsigned LaneId, double ReadyUs, double DurUs,
+                      const char *SpanName, bool Backfill = false);
 
   ResourceLedger &Ledger;
   const unsigned CpuThreads;

@@ -46,7 +46,20 @@ void CompressEngine::compressBatch(std::span<const ChunkView> Chunks,
   if (Config.Backend == CompressBackend::Cpu)
     compressRangeCpu(Chunks, 0, Chunks.size(), Out);
   else
-    compressBatchGpu(Chunks, Out);
+    compressRangeGpu(Chunks, 0, Chunks.size(), Out);
+}
+
+void CompressEngine::compressSlice(std::span<const ChunkView> Chunks,
+                                   std::size_t Begin, std::size_t End,
+                                   std::vector<CompressedChunk> &Out) {
+  assert(Out.size() == Chunks.size() && "Out must be pre-sized");
+  assert(Begin <= End && End <= Chunks.size() && "Bad slice bounds");
+  if (Begin == End)
+    return;
+  if (Config.Backend == CompressBackend::Cpu)
+    compressRangeCpu(Chunks, Begin, End, Out);
+  else
+    compressRangeGpu(Chunks, Begin, End, Out);
 }
 
 void CompressEngine::compressRangeCpu(std::span<const ChunkView> Chunks,
@@ -120,14 +133,16 @@ void CompressEngine::compressRangeCpu(std::span<const ChunkView> Chunks,
       });
 }
 
-void CompressEngine::compressBatchGpu(std::span<const ChunkView> Chunks,
+void CompressEngine::compressRangeGpu(std::span<const ChunkView> Chunks,
+                                      std::size_t RangeBegin,
+                                      std::size_t RangeEnd,
                                       std::vector<CompressedChunk> &Out) {
   assert(Device && "GPU backend without device");
   const std::size_t SubBatch = Model.Gpu.CompressBatchChunks;
   std::vector<LaneOutputs> DeviceResults(Chunks.size());
 
-  for (std::size_t Begin = 0; Begin < Chunks.size(); Begin += SubBatch) {
-    const std::size_t End = std::min(Chunks.size(), Begin + SubBatch);
+  for (std::size_t Begin = RangeBegin; Begin < RangeEnd; Begin += SubBatch) {
+    const std::size_t End = std::min(RangeEnd, Begin + SubBatch);
 
     // Host -> device: the chunk payloads.
     std::size_t InBytes = 0;

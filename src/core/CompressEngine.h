@@ -91,6 +91,15 @@ public:
   void compressBatch(std::span<const ChunkView> Chunks,
                      std::vector<CompressedChunk> &Out);
 
+  /// Slice entry points for the backend layer (src/backend): compress
+  /// Chunks[Begin, End) into Out[Begin, End) on this engine's backend.
+  /// \p Out must already be sized to Chunks.size() — the splitter owns
+  /// the full batch vector and hands each backend its slice. Same
+  /// fault contract as compressBatch (GPU slices fall back per
+  /// sub-batch to the CPU path).
+  void compressSlice(std::span<const ChunkView> Chunks, std::size_t Begin,
+                     std::size_t End, std::vector<CompressedChunk> &Out);
+
   /// Cumulative store-raw fallbacks.
   std::uint64_t rawFallbacks() const { return RawFallbacks.load(); }
 
@@ -105,7 +114,8 @@ private:
   void compressRangeCpu(std::span<const ChunkView> Chunks,
                         std::size_t Begin, std::size_t End,
                         std::vector<CompressedChunk> &Out);
-  void compressBatchGpu(std::span<const ChunkView> Chunks,
+  void compressRangeGpu(std::span<const ChunkView> Chunks,
+                        std::size_t Begin, std::size_t End,
                         std::vector<CompressedChunk> &Out);
 
   CostModel Model;

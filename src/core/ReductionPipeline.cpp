@@ -7,11 +7,14 @@
 
 #include "core/ReductionPipeline.h"
 
+#include "backend/AutoSplitter.h"
 #include "compress/Block.h"
 
 #include <cassert>
 
 using namespace padre;
+
+ReductionPipeline::~ReductionPipeline() = default;
 
 ReductionPipeline::ReductionPipeline(const Platform &Platform,
                                      const PipelineConfig &Config)
@@ -41,8 +44,14 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
   }
   }
 
+  // The backend framework's device-capable split modes need the
+  // primary GPU even when the classic Mode is CpuOnly.
+  const bool BackendWantsGpu =
+      Config.Backend.Enabled && Config.CompressEnabled &&
+      Config.Backend.Split != backend::SplitMode::CpuOnly;
   const bool WantsGpu = modeOffloadsDedup(Config.Mode) ||
-                        modeOffloadsCompression(Config.Mode);
+                        modeOffloadsCompression(Config.Mode) ||
+                        BackendWantsGpu;
   assert((!WantsGpu || Platform.Model.Gpu.Present) &&
          "GPU mode selected on a GPU-less platform");
   if (Platform.Model.Gpu.Present && WantsGpu) {
@@ -89,6 +98,15 @@ ReductionPipeline::ReductionPipeline(const Platform &Platform,
       std::max<std::size_t>(1, Config.PipelineDepth), Device.get(), Ssd,
       Config.Trace);
 
+  if (Config.Backend.Enabled && Config.CompressEnabled) {
+    backend::AutoSplitter::Setup Setup{Platform.Model, Ledger,
+                                       Pool,           *Sched,
+                                       Device.get(),   Config.Compress,
+                                       Obs,            Config.Faults,
+                                       Config.Backend};
+    Splitter = std::make_unique<backend::AutoSplitter>(Setup);
+  }
+
   if (Config.Metrics) {
     obs::MetricsRegistry &M = *Config.Metrics;
     ChunkLatencyHist = &M.histogram(
@@ -131,6 +149,30 @@ fault::Status ReductionPipeline::write(ByteSpan Stream,
                                        std::vector<ChunkWriteInfo> *InfoOut) {
   std::vector<ChunkView> Chunks;
   StreamChunker->split(Stream, LogicalBytes, Chunks);
+  fault::Status First;
+  for (std::size_t Begin = 0; Begin < Chunks.size();
+       Begin += Config.BatchChunks) {
+    const std::size_t End =
+        std::min(Chunks.size(), Begin + Config.BatchChunks);
+    const fault::Status St =
+        processBatch(std::span<const ChunkView>(Chunks.data() + Begin,
+                                                End - Begin),
+                     InfoOut, /*Raw=*/false);
+    if (!St.ok() && First.ok())
+      First = St;
+  }
+  return First;
+}
+
+fault::Status
+ReductionPipeline::writeV(std::span<const ByteSpan> Streams,
+                          std::vector<ChunkWriteInfo> *InfoOut) {
+  std::vector<ChunkView> Chunks;
+  std::uint64_t Offset = LogicalBytes;
+  for (const ByteSpan Stream : Streams) {
+    StreamChunker->split(Stream, Offset, Chunks);
+    Offset += Stream.size();
+  }
   fault::Status First;
   for (std::size_t Begin = 0; Begin < Chunks.size();
        Begin += Config.BatchChunks) {
@@ -343,12 +385,19 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
   const std::span<const ChunkView> UniqueViews =
       UniqueViewsStorage.first(UniqueCount);
 
-  // Stage 2: compression of unique chunks (Fig. 1 lower half).
+  // Stage 2: compression of unique chunks (Fig. 1 lower half). With
+  // the backend framework enabled the splitter partitions the batch
+  // across backends and replays its own per-slice timeline; otherwise
+  // the single engine runs and the scheduler replays the whole stage.
   std::vector<CompressedChunk> Compressed;
   Sched->beginStage(BatchScheduler::Stage::Compress);
+  bool SlicedReplay = false;
   {
     const obs::StageSpan Stage(Config.Trace, Ledger, "compress");
-    if (Compress && !Raw) {
+    if (Splitter && !Raw) {
+      Splitter->runCompressStage(UniqueViews, Compressed);
+      SlicedReplay = true;
+    } else if (Compress && !Raw) {
       Compress->compressBatch(
           std::span<const ChunkView>(UniqueViews.data(),
                                      UniqueViews.size()),
@@ -364,7 +413,8 @@ ReductionPipeline::processBatch(std::span<const ChunkView> Chunks,
       }
     }
   }
-  Sched->endStage(BatchScheduler::Stage::Compress);
+  if (!SlicedReplay)
+    Sched->endStage(BatchScheduler::Stage::Compress);
 
   // Stage 3: destage — one coalesced sequential write per batch. With
   // the FTL enabled the same stream also carries the per-chunk extent
@@ -628,6 +678,10 @@ void ReductionPipeline::resetMeasurement() {
   // The timeline restarts alongside the busy clocks: the measured
   // phase's schedule must not inherit the warmup's queue positions.
   Sched->reset();
+  // Extra backend devices keep their own staging pipelines; their
+  // in-flight slots must drain with the warmup too.
+  if (Splitter)
+    Splitter->resetTimelineState();
   // The lane clocks restart at zero; recorded spans would otherwise
   // overlap the post-warmup ones at the same positions.
   if (Config.Trace)
@@ -637,7 +691,8 @@ void ReductionPipeline::resetMeasurement() {
   DupChunks = DupFromBuffer = DupFromTree = DupFromGpu = 0;
   VerifyMismatches = 0;
   StoredBytes = 0;
-  RawFallbackBase = Compress ? Compress->rawFallbacks() : 0;
+  RawFallbackBase = Splitter ? Splitter->rawFallbacks()
+                             : (Compress ? Compress->rawFallbacks() : 0);
   LatencyHist = Histogram(20000.0, 2000);
 }
 
@@ -657,7 +712,9 @@ PipelineReport ReductionPipeline::report() const {
                              static_cast<double>(UniqueBytes);
   Report.StoredBytes = StoredBytes;
   Report.RawFallbacks =
-      Compress ? Compress->rawFallbacks() - RawFallbackBase : 0;
+      (Splitter ? Splitter->rawFallbacks()
+                : (Compress ? Compress->rawFallbacks() : 0)) -
+      RawFallbackBase;
   Report.CompressRatio =
       StoredBytes == 0 ? 1.0
                        : static_cast<double>(UniqueBytes) /
@@ -668,14 +725,17 @@ PipelineReport ReductionPipeline::report() const {
                              static_cast<double>(StoredBytes);
 
   const unsigned Threads = Plat.Model.Cpu.Threads;
-  Report.MakespanSec = Ledger.makespanSeconds(Threads, ComputeResources);
+  const unsigned GpuDevices = gpuDeviceCount();
+  Report.MakespanSec =
+      Ledger.makespanSeconds(Threads, ComputeResources, GpuDevices);
   if (Report.MakespanSec > 0.0) {
     Report.ThroughputIops =
         static_cast<double>(LogicalChunks) / Report.MakespanSec;
     Report.ThroughputMBps = static_cast<double>(LogicalBytes) /
                             Report.MakespanSec / 1e6;
   }
-  Report.Bottleneck = Ledger.bottleneck(Threads, ComputeResources);
+  Report.Bottleneck =
+      Ledger.bottleneck(Threads, ComputeResources, GpuDevices);
   Report.CpuBusySec = Ledger.busySeconds(Resource::CpuPool);
   Report.GpuBusySec = Ledger.busySeconds(Resource::Gpu);
   Report.PcieBusySec = Ledger.busySeconds(Resource::Pcie);
@@ -702,4 +762,8 @@ PipelineReport ReductionPipeline::report() const {
     Report.SchedHiddenSec[R] = Overlap.HiddenSec[R];
   }
   return Report;
+}
+
+unsigned ReductionPipeline::gpuDeviceCount() const {
+  return Splitter ? std::max(1u, Splitter->deviceCount()) : 1;
 }

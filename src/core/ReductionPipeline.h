@@ -22,6 +22,7 @@
 #ifndef PADRE_CORE_REDUCTIONPIPELINE_H
 #define PADRE_CORE_REDUCTIONPIPELINE_H
 
+#include "backend/BackendConfig.h"
 #include "chunk/FastCdcChunker.h"
 #include "chunk/FixedChunker.h"
 #include "chunk/RabinChunker.h"
@@ -43,6 +44,10 @@
 #include <optional>
 
 namespace padre {
+
+namespace backend {
+class AutoSplitter;
+} // namespace backend
 
 /// Pipeline configuration. Index.BinBits defaults to 10 here (1024
 /// bins) rather than the paper's 16: experiment streams are scaled down
@@ -105,6 +110,16 @@ struct PipelineConfig {
   /// model tracks every destaged chunk's pages and write amplification
   /// becomes a measured output (DESIGN.md decision 14).
   std::optional<ssd::FtlConfig> Ftl;
+  /// Multi-backend reduction framework (src/backend, DESIGN.md
+  /// decision 17). Disabled (the default) keeps the single-engine
+  /// compress stage bit-exactly; enabled, the compress stage routes
+  /// through the AutoSplitter's backend partition — forced CpuOnly /
+  /// GpuOnly splits reproduce the classic stage bit-identically
+  /// (results, recipes, charges, timeline), Auto tunes the split per
+  /// batch, and GpuDevices >= 2 adds modelled GPUs with their own
+  /// staging/queue lanes. Requires CompressEnabled; device-capable
+  /// split modes require a GPU-present platform.
+  backend::BackendConfig Backend;
 
   PipelineConfig() {
     Dedup.Index.BinBits = 10;
@@ -128,6 +143,7 @@ enum class ScrubOutcome { Healthy, Repaired, Lost };
 class ReductionPipeline {
 public:
   ReductionPipeline(const Platform &Platform, const PipelineConfig &Config);
+  ~ReductionPipeline();
 
   /// Ingests a write stream (any multiple of calls). The stream is
   /// chunked, deduplicated, compressed and destaged per the mode.
@@ -138,6 +154,16 @@ public:
   /// so the functional store stays complete.
   fault::Status write(ByteSpan Stream,
                       std::vector<ChunkWriteInfo> *InfoOut = nullptr);
+
+  /// Ingests several streams as one write: chunking is concatenated,
+  /// so pipeline batches span stream boundaries. Callers dispatching
+  /// many small runs (the volume service's fair-share rounds) fill the
+  /// scheduler's overlap window instead of under-filling one batch per
+  /// run. Chunk order — and so locations, outcomes and recipes —
+  /// matches writing the streams back-to-back; only the batch grouping
+  /// changes.
+  fault::Status writeV(std::span<const ByteSpan> Streams,
+                       std::vector<ChunkWriteInfo> *InfoOut = nullptr);
 
   /// Ingests a write stream bypassing both reduction operations: every
   /// chunk is stored raw at a fresh location (the §1 "store first,
@@ -232,6 +258,11 @@ public:
   ResourceLedger &ledger() { return Ledger; }
   const BatchScheduler &scheduler() const { return *Sched; }
   ThreadPool &pool() { return Pool; }
+  /// The backend splitter (null unless Config.Backend.Enabled).
+  const backend::AutoSplitter *splitter() const { return Splitter.get(); }
+  /// Modelled GPU devices in play — the capacity term of the report's
+  /// makespan (1 without the multi-GPU backend).
+  unsigned gpuDeviceCount() const;
   const SsdModel &ssd() const { return Ssd; }
   SsdModel &ssd() { return Ssd; }
   const ChunkStore &store() const { return Store; }
@@ -255,6 +286,7 @@ private:
   std::unique_ptr<CompressEngine> Compress;
   std::unique_ptr<ChunkCache> Cache;
   std::unique_ptr<BatchScheduler> Sched;
+  std::unique_ptr<backend::AutoSplitter> Splitter;
   std::unique_ptr<Chunker> StreamChunker;
   StreamRecipe Recipe;
   /// Per-batch scratch (locations, unique-chunk partition, latency

@@ -50,7 +50,16 @@ bool Volume::writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw,
     Pipeline.write(Data, &Infos);
   assert(Infos.size() == Blocks && "Pipeline chunking disagrees");
 
-  for (std::uint64_t I = 0; I < Blocks; ++I) {
+  applyChunkWrites(Lba, Infos);
+  if (InfoOut)
+    InfoOut->insert(InfoOut->end(), Infos.begin(), Infos.end());
+  return true;
+}
+
+void Volume::applyChunkWrites(std::uint64_t Lba,
+                              std::span<const ChunkWriteInfo> Infos) {
+  assert(Lba + Infos.size() <= Config.BlockCount && "Range not admitted");
+  for (std::size_t I = 0; I < Infos.size(); ++I) {
     // Reference the (new or shared) chunk before dropping the old one
     // so an overwrite-with-identical-content never hits zero refs.
     Tracker->reference(Infos[I]);
@@ -60,9 +69,6 @@ bool Volume::writeBlocksImpl(std::uint64_t Lba, ByteSpan Data, bool Raw,
     if (Old != Unmapped)
       Tracker->dereference(Old);
   }
-  if (InfoOut)
-    InfoOut->insert(InfoOut->end(), Infos.begin(), Infos.end());
-  return true;
 }
 
 bool Volume::applyMappingUpdate(std::uint64_t Lba, std::uint64_t Location,

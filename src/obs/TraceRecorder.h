@@ -54,6 +54,11 @@ inline constexpr const char *CategorySched = "sched";
 /// they are umbrellas over pipeline work that emits its own stage
 /// spans inside — never part of the stage/ledger reconciliation.
 inline constexpr const char *CategorySvc = "svc";
+/// Backend-splitter spans (src/backend): one per backend slice of a
+/// split compress stage ("backend:cpu", "backend:gpu", ...), on the
+/// slice's principal lane. Detail spans nested inside the "compress"
+/// stage span — never part of the stage/ledger reconciliation.
+inline constexpr const char *CategoryBackend = "backend";
 
 /// One recorded span. Name/Category must be string literals (or other
 /// storage outliving the recorder) — spans never copy them.

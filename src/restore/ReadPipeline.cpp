@@ -104,6 +104,14 @@ ReadPipeline::ReadPipeline(ReductionPipeline &Pipeline,
                                   "Decode batches by executing resource");
     WarpBatchesTotal = &M->counter("padre_read_batches_total{mode=\"warp\"}",
                                    "Decode batches by executing resource");
+    MixedLaneTotal =
+        &M->counter("padre_read_mixed_batches_total{route=\"lane\"}",
+                    "Mixed framed/unframed batches by arbitrated route of "
+                    "the unframed remainder");
+    MixedCpuTotal =
+        &M->counter("padre_read_mixed_batches_total{route=\"cpu\"}",
+                    "Mixed framed/unframed batches by arbitrated route of "
+                    "the unframed remainder");
     DecodeModeGauge =
         &M->gauge("padre_read_decode_mode",
                   "Effective decode mode (0=cpu 1=gpu 2=warp)");
@@ -136,6 +144,7 @@ void ReadPipeline::resetMeasurement() {
   CoalescedRuns = RandomReads = ReadaheadChunks = 0;
   DecodeFailures = GpuBatches = CpuBatches = 0;
   WarpBatches = FramedChunks = 0;
+  MixedBatches = MixedToLane = 0;
   LatencyHist = Histogram(20000.0, 2000);
 }
 
@@ -347,7 +356,7 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
   {
     const obs::StageSpan Stage(Trace, Ledger, "restore:decode");
 
-    std::vector<BatchItem *> CpuItems, GpuItems, WarpItems;
+    std::vector<BatchItem *> CpuItems, GpuItems, WarpItems, Unframed;
     for (BatchItem &Item : Items) {
       if (Item.Failed)
         continue;
@@ -365,10 +374,35 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
       if (Mode == DecodeMode::WarpGpu &&
           Item.Method == BlockMethod::LzFramed)
         WarpItems.push_back(&Item);
+      else if (Mode == DecodeMode::WarpGpu && Device &&
+               gpuDecodable(Item.Method))
+        Unframed.push_back(&Item); // routed below, once the mix is known
       else if (UnframedToLane && gpuDecodable(Item.Method))
         GpuItems.push_back(&Item);
       else
         CpuItems.push_back(&Item);
+    }
+
+    // WarpGpu-mode unframed remainders: a homogeneous batch (no warp
+    // work) keeps the run-level probe decision; a genuinely mixed
+    // batch arbitrates per batch — the remainder is usually much
+    // shallower than BatchDepth, so the probe's full-batch launch
+    // amortization no longer holds for it.
+    if (!Unframed.empty()) {
+      bool ToLane = UnframedToLane;
+      if (!WarpItems.empty()) {
+        ++MixedBatches;
+        ToLane = unframedLaneWins(Unframed);
+        if (ToLane) {
+          ++MixedToLane;
+          if (MixedLaneTotal)
+            MixedLaneTotal->add(1);
+        } else if (MixedCpuTotal) {
+          MixedCpuTotal->add(1);
+        }
+      }
+      std::vector<BatchItem *> &Dest = ToLane ? GpuItems : CpuItems;
+      Dest.insert(Dest.end(), Unframed.begin(), Unframed.end());
     }
 
     if (!CpuItems.empty())
@@ -426,6 +460,43 @@ bool ReadPipeline::processBatch(std::span<const std::uint64_t> Locations,
     ReadBytesTotal->add(Delivered);
   }
   return Ok;
+}
+
+bool ReadPipeline::unframedLaneWins(
+    const std::vector<BatchItem *> &Unframed) const {
+  assert(Device && "Arbitration without a device");
+  const double Threads = static_cast<double>(Model.Cpu.Threads);
+  // CPU pool: chunk-parallel over the remainder's actual sizes.
+  double CpuUs = 0.0;
+  // Lane path: plan on the pool, then kernel + DMA. The kernel time is
+  // the all-literal single-lane estimate (the dominant literal rate,
+  // no plan computed yet — planning is part of the path being priced,
+  // so the quote must not pay it twice).
+  double PlanUs = 0.0;
+  double ExecUs = 0.0;
+  double PayloadBytes = 0.0;
+  double OutBytes = 0.0;
+  for (const BatchItem *Item : Unframed) {
+    CpuUs += Model.Cpu.DecompressSetupUs +
+             Model.Cpu.DecompressPerByteNs * 1e-3 *
+                 static_cast<double>(Item->OriginalSize);
+    PlanUs += Model.Cpu.PlanSetupUs +
+              Model.Cpu.PlanPerByteNs * 1e-3 *
+                  static_cast<double>(Item->Payload.size());
+    ExecUs += Model.gpuDecodeLaneUs(Item->OriginalSize, 0, 1);
+    PayloadBytes += static_cast<double>(Item->Payload.size());
+    OutBytes += static_cast<double>(Item->OriginalSize);
+  }
+  const double Kernels =
+      std::ceil(static_cast<double>(Unframed.size()) /
+                static_cast<double>(Model.Gpu.DecompressBatchChunks));
+  const double GpuBusyUs = Kernels * Model.Gpu.LaunchUs + ExecUs;
+  const double PcieBusyUs = Kernels * 2.0 * Model.Pcie.PerTransferUs +
+                            (PayloadBytes + OutBytes) /
+                                (Model.Pcie.GigabytesPerSec * 1e3);
+  const double LaneUs =
+      std::max(PlanUs / Threads, std::max(GpuBusyUs, PcieBusyUs));
+  return LaneUs < CpuUs / Threads;
 }
 
 void ReadPipeline::decodeCpu(const std::vector<BatchItem *> &Items) {
@@ -859,6 +930,8 @@ ReadReport ReadPipeline::report() const {
   Report.CpuBatches = CpuBatches;
   Report.WarpBatches = WarpBatches;
   Report.FramedChunks = FramedChunks;
+  Report.MixedBatches = MixedBatches;
+  Report.MixedToLane = MixedToLane;
   Report.Mode = Mode;
   Report.ProbeCpuUs = Probe.CpuUs;
   Report.ProbeGpuUs = Probe.GpuUs;

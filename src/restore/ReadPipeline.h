@@ -166,6 +166,13 @@ private:
   bool processBatch(std::span<const std::uint64_t> Locations,
                     std::vector<ByteVector> &Out,
                     std::vector<ReadFailure> *Failures);
+  /// Per-batch arbitration for batches mixing framed and unframed
+  /// chunks (WarpGpu mode): prices THIS batch's unframed remainder on
+  /// the lane-kernel path vs the CPU pool — launch amortized over the
+  /// remainder's real count, transfers over its real bytes — and
+  /// returns true when the lane wins. Homogeneous batches never get
+  /// here; they keep the run-level probe decision.
+  bool unframedLaneWins(const std::vector<BatchItem *> &Unframed) const;
   void decodeCpu(const std::vector<BatchItem *> &Items);
   void decodeGpu(const std::vector<BatchItem *> &Items);
   void decodeWarp(const std::vector<BatchItem *> &Items);
@@ -212,6 +219,8 @@ private:
   std::uint64_t CpuBatches = 0;
   std::uint64_t WarpBatches = 0;
   std::uint64_t FramedChunks = 0;
+  std::uint64_t MixedBatches = 0;
+  std::uint64_t MixedToLane = 0;
   /// GPU decode sub-batches re-decoded on the CPU after a device fault.
   std::uint64_t GpuDecodeFallbacks = 0;
   /// Ledger busy-time baselines (µs) captured at resetMeasurement.
@@ -230,6 +239,8 @@ private:
   obs::Counter *CpuBatchesTotal = nullptr;
   obs::Counter *GpuBatchesTotal = nullptr;
   obs::Counter *WarpBatchesTotal = nullptr;
+  obs::Counter *MixedLaneTotal = nullptr;
+  obs::Counter *MixedCpuTotal = nullptr;
   obs::Counter *GpuFallbackTotal = nullptr;
   obs::Gauge *DecodeModeGauge = nullptr;
   obs::Gauge *ProbeCpuGauge = nullptr;

@@ -69,6 +69,13 @@ struct ReadReport {
   std::uint64_t WarpBatches = 0;
   /// v2 framed chunks decoded, on any path (count).
   std::uint64_t FramedChunks = 0;
+  /// Batches where framed and unframed chunks genuinely mixed, so the
+  /// unframed remainder's route (lane kernel vs CPU pool) was
+  /// arbitrated per batch from that batch's actual composition (count).
+  std::uint64_t MixedBatches = 0;
+  /// Mixed-batch arbitrations that sent the unframed remainder to the
+  /// lane kernel (count); the remainder ran on the CPU pool otherwise.
+  std::uint64_t MixedToLane = 0;
   /// The mode batches run in (the probe's resolution of Auto; never
   /// Auto itself).
   DecodeMode Mode = DecodeMode::Cpu;

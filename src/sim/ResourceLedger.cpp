@@ -47,16 +47,15 @@ constexpr double GapMinUs = 1e-3;
 
 } // namespace
 
-LaneInterval ResourceLedger::scheduleMicros(Resource R, double ReadyUs,
-                                            double DurUs, bool Backfill) {
-  assert(std::isfinite(ReadyUs) && ReadyUs >= 0.0 && "Invalid ready time");
-  assert(std::isfinite(DurUs) && DurUs >= 0.0 && "Invalid duration");
-  std::lock_guard<std::mutex> Lock(TimelineMutex);
-  const unsigned I = static_cast<unsigned>(R);
+LaneInterval ResourceLedger::scheduleLocked(unsigned LaneId,
+                                            double ReadyUs, double DurUs,
+                                            bool Backfill) {
+  assert(LaneId < Lanes.size() && "Unknown timeline lane");
+  TimelineLane &Lane = Lanes[LaneId];
   if (Backfill) {
     // Earliest-fit into an idle gap; the remainder of the gap (head
     // and/or tail) stays available for later backfills.
-    auto &Gaps = LaneGapsUs[I];
+    auto &Gaps = Lane.GapsUs;
     for (auto It = Gaps.begin(); It != Gaps.end(); ++It) {
       const double Start = std::fmax(It->StartUs, ReadyUs);
       if (Start + DurUs > It->EndUs + GapMinUs)
@@ -72,42 +71,91 @@ LaneInterval ResourceLedger::scheduleMicros(Resource R, double ReadyUs,
       } else {
         Gaps.erase(It);
       }
-      LaneSchedUs[I] += DurUs;
+      Lane.SchedUs += DurUs;
       return Placed;
     }
   }
-  double &Free = LaneFreeUs[I];
+  double &Free = Lane.FreeUs;
   const double Start = std::fmax(Free, ReadyUs);
   if (Start - Free > GapMinUs)
-    LaneGapsUs[I].push_back(LaneInterval{Free, Start});
+    Lane.GapsUs.push_back(LaneInterval{Free, Start});
   Free = Start + DurUs;
-  LaneSchedUs[I] += DurUs;
+  Lane.SchedUs += DurUs;
   return LaneInterval{Start, Free};
 }
 
-double ResourceLedger::laneFreeMicros(Resource R) const {
+LaneInterval ResourceLedger::scheduleMicros(Resource R, double ReadyUs,
+                                            double DurUs, bool Backfill) {
+  return scheduleLaneMicros(static_cast<unsigned>(R), ReadyUs, DurUs,
+                            Backfill);
+}
+
+LaneInterval ResourceLedger::scheduleLaneMicros(unsigned LaneId,
+                                                double ReadyUs,
+                                                double DurUs,
+                                                bool Backfill) {
+  assert(std::isfinite(ReadyUs) && ReadyUs >= 0.0 && "Invalid ready time");
+  assert(std::isfinite(DurUs) && DurUs >= 0.0 && "Invalid duration");
   std::lock_guard<std::mutex> Lock(TimelineMutex);
-  return LaneFreeUs[static_cast<unsigned>(R)];
+  return scheduleLocked(LaneId, ReadyUs, DurUs, Backfill);
+}
+
+unsigned ResourceLedger::addTimelineLane(Resource Mirror) {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  TimelineLane Lane;
+  Lane.Mirror = Mirror;
+  Lanes.push_back(std::move(Lane));
+  return static_cast<unsigned>(Lanes.size() - 1);
+}
+
+unsigned ResourceLedger::timelineLaneCount() const {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  return static_cast<unsigned>(Lanes.size());
+}
+
+Resource ResourceLedger::laneMirror(unsigned LaneId) const {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  assert(LaneId < Lanes.size() && "Unknown timeline lane");
+  return Lanes[LaneId].Mirror;
+}
+
+double ResourceLedger::laneFreeMicros(Resource R) const {
+  return laneFreeMicrosAt(static_cast<unsigned>(R));
+}
+
+double ResourceLedger::laneFreeMicrosAt(unsigned LaneId) const {
+  std::lock_guard<std::mutex> Lock(TimelineMutex);
+  assert(LaneId < Lanes.size() && "Unknown timeline lane");
+  return Lanes[LaneId].FreeUs;
 }
 
 double ResourceLedger::laneScheduledMicros(Resource R) const {
   std::lock_guard<std::mutex> Lock(TimelineMutex);
-  return LaneSchedUs[static_cast<unsigned>(R)];
+  double Total = 0.0;
+  for (const TimelineLane &Lane : Lanes)
+    if (Lane.Mirror == R)
+      Total += Lane.SchedUs;
+  return Total;
 }
 
 double ResourceLedger::timelineWallMicros() const {
   std::lock_guard<std::mutex> Lock(TimelineMutex);
   double Max = 0.0;
-  for (const double Free : LaneFreeUs)
-    Max = std::fmax(Max, Free);
+  for (const TimelineLane &Lane : Lanes)
+    Max = std::fmax(Max, Lane.FreeUs);
   return Max;
 }
 
 void ResourceLedger::resetTimeline() {
   std::lock_guard<std::mutex> Lock(TimelineMutex);
-  for (unsigned I = 0; I < ResourceCount; ++I) {
-    LaneFreeUs[I] = LaneSchedUs[I] = 0.0;
-    LaneGapsUs[I].clear();
+  if (Lanes.size() < ResourceCount) {
+    Lanes.resize(ResourceCount);
+    for (unsigned I = 0; I < ResourceCount; ++I)
+      Lanes[I].Mirror = static_cast<Resource>(I);
+  }
+  for (TimelineLane &Lane : Lanes) {
+    Lane.FreeUs = Lane.SchedUs = 0.0;
+    Lane.GapsUs.clear();
   }
 }
 
@@ -132,32 +180,44 @@ double ResourceLedger::busyMicros(Resource R) const {
          1e-3;
 }
 
-double ResourceLedger::makespanSeconds(unsigned CpuThreads,
-                                       unsigned Mask) const {
+namespace {
+
+double laneCapacity(Resource R, unsigned CpuThreads,
+                    unsigned GpuDevices) {
+  if (R == Resource::CpuPool)
+    return static_cast<double>(CpuThreads);
+  if (R == Resource::Gpu || R == Resource::Pcie)
+    return static_cast<double>(GpuDevices);
+  return 1.0;
+}
+
+} // namespace
+
+double ResourceLedger::makespanSeconds(unsigned CpuThreads, unsigned Mask,
+                                       unsigned GpuDevices) const {
   assert(CpuThreads > 0 && "CPU pool needs at least one thread");
+  assert(GpuDevices > 0 && "GPU capacity needs at least one device");
   double Max = 0.0;
   for (unsigned I = 0; I < ResourceCount; ++I) {
     if ((Mask & (1u << I)) == 0)
       continue;
     const auto R = static_cast<Resource>(I);
-    const double Capacity =
-        R == Resource::CpuPool ? static_cast<double>(CpuThreads) : 1.0;
-    Max = std::fmax(Max, busySeconds(R) / Capacity);
+    Max = std::fmax(Max, busySeconds(R) /
+                             laneCapacity(R, CpuThreads, GpuDevices));
   }
   return Max;
 }
 
-Resource ResourceLedger::bottleneck(unsigned CpuThreads,
-                                    unsigned Mask) const {
+Resource ResourceLedger::bottleneck(unsigned CpuThreads, unsigned Mask,
+                                    unsigned GpuDevices) const {
   Resource Best = Resource::CpuPool;
   double Max = -1.0;
   for (unsigned I = 0; I < ResourceCount; ++I) {
     if ((Mask & (1u << I)) == 0)
       continue;
     const auto R = static_cast<Resource>(I);
-    const double Capacity =
-        R == Resource::CpuPool ? static_cast<double>(CpuThreads) : 1.0;
-    const double Normalized = busySeconds(R) / Capacity;
+    const double Normalized =
+        busySeconds(R) / laneCapacity(R, CpuThreads, GpuDevices);
     if (Normalized > Max) {
       Max = Normalized;
       Best = R;

@@ -101,13 +101,18 @@ public:
 
   /// Bottleneck makespan over the resources selected by \p Mask:
   /// max(busy(r) / capacity(r)). CPU capacity is \p CpuThreads parallel
-  /// hardware threads; other resources have capacity one.
+  /// hardware threads; GPU capacity is \p GpuDevices modelled devices
+  /// (the multi-GPU backend shares one busy accumulator across
+  /// devices, so capacity — not busy — carries the device count);
+  /// other resources have capacity one.
   double makespanSeconds(unsigned CpuThreads,
-                         unsigned Mask = AllResources) const;
+                         unsigned Mask = AllResources,
+                         unsigned GpuDevices = 1) const;
 
   /// The resource that determines `makespanSeconds` for \p Mask.
   Resource bottleneck(unsigned CpuThreads,
-                      unsigned Mask = AllResources) const;
+                      unsigned Mask = AllResources,
+                      unsigned GpuDevices = 1) const;
 
   /// Schedules \p DurUs of occupancy on lane \p R no earlier than
   /// \p ReadyUs (when the work's inputs exist): the lane's free clock
@@ -129,11 +134,38 @@ public:
   LaneInterval scheduleMicros(Resource R, double ReadyUs, double DurUs,
                               bool Backfill = false);
 
+  /// Registers an extra timeline lane mirroring \p Mirror — a second
+  /// device queue of the same resource kind (GPU 1's stream, its PCIe
+  /// link, …). Returns the new lane id (>= ResourceCount), stable for
+  /// the ledger's lifetime: resetTimeline() rewinds the lane's clock
+  /// but keeps the registration. Busy time stays on the shared
+  /// per-Resource accumulators — only the *scheduled timeline* fans
+  /// out per device — which is what keeps charges bit-identical
+  /// across device counts while the wall clock scales.
+  unsigned addTimelineLane(Resource Mirror);
+
+  /// Timeline lanes in existence: ResourceCount plus registered aux
+  /// lanes. Lane ids [0, ResourceCount) are the resources themselves.
+  unsigned timelineLaneCount() const;
+
+  /// The resource an aux lane mirrors (identity for ids < ResourceCount).
+  Resource laneMirror(unsigned LaneId) const;
+
+  /// scheduleMicros by lane id: ids < ResourceCount address the
+  /// resource lanes, ids from addTimelineLane address aux lanes.
+  LaneInterval scheduleLaneMicros(unsigned LaneId, double ReadyUs,
+                                  double DurUs, bool Backfill = false);
+
   /// Lane \p R's free-clock position (µs): when the next scheduled
   /// operation could start at the earliest.
   double laneFreeMicros(Resource R) const;
 
-  /// Total duration scheduled onto lane \p R so far (µs).
+  /// Free clock of an arbitrary lane id (µs).
+  double laneFreeMicrosAt(unsigned LaneId) const;
+
+  /// Total duration scheduled onto lane \p R so far (µs), aux lanes
+  /// mirroring \p R included — so the scheduled-equals-busy invariant
+  /// holds per *resource* no matter how many device lanes fan it out.
   double laneScheduledMicros(Resource R) const;
 
   /// Wall time of the scheduled timeline: the latest lane free clock
@@ -164,13 +196,21 @@ private:
   std::atomic<std::uint64_t> BytesToDevice;
   std::atomic<std::uint64_t> BytesFromDevice;
   // Timeline state (mutex-guarded: scheduling is a per-stage replay,
-  // not a hot path).
+  // not a hot path). One entry per timeline lane: the first
+  // ResourceCount entries are the resources themselves, the rest are
+  // aux device lanes from addTimelineLane.
   mutable std::mutex TimelineMutex;
-  double LaneFreeUs[ResourceCount] = {};
-  double LaneSchedUs[ResourceCount] = {};
-  /// Idle gaps left behind whenever a task started past the lane's
-  /// free clock, sorted by start; backfill consumes them.
-  std::vector<LaneInterval> LaneGapsUs[ResourceCount];
+  struct TimelineLane {
+    Resource Mirror = Resource::CpuPool;
+    double FreeUs = 0.0;
+    double SchedUs = 0.0;
+    /// Idle gaps left behind whenever a task started past the lane's
+    /// free clock, sorted by start; backfill consumes them.
+    std::vector<LaneInterval> GapsUs;
+  };
+  std::vector<TimelineLane> Lanes;
+  LaneInterval scheduleLocked(unsigned LaneId, double ReadyUs,
+                              double DurUs, bool Backfill);
 };
 
 } // namespace padre

@@ -1,0 +1,352 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-backend splitter property tests (ctest -L backend). The
+/// correctness bar for src/backend: the forced split endpoints must be
+/// exact pass-throughs of the classic single-backend stage (results,
+/// recipes, ledger charges and the scheduled timeline bit-identical),
+/// every interior split point must keep results and recipes
+/// bit-identical to the serial oracle, the tuner must be deterministic
+/// under replay, charges must not depend on the modelled device count,
+/// and fault plans must drain the overlap window with bit-exact
+/// CPU-fallback results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/AutoSplitter.h"
+#include "core/ReductionPipeline.h"
+#include "fault/FaultInjector.h"
+#include "fault/FaultPlan.h"
+#include "workload/VdbenchStream.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+using namespace padre;
+
+namespace {
+
+ByteVector makeStream(std::uint64_t Bytes, std::uint64_t Seed = 91) {
+  WorkloadConfig Config;
+  Config.TotalBytes = Bytes;
+  Config.DedupRatio = 2.0;
+  Config.CompressRatio = 2.0;
+  Config.Seed = Seed;
+  return VdbenchStream(Config).generateAll();
+}
+
+PipelineConfig classicConfig(PipelineMode Mode) {
+  PipelineConfig Config;
+  Config.Mode = Mode;
+  Config.Dedup.Index.BinBits = 8;
+  Config.Dedup.Index.BufferCapacityPerBin = 8;
+  Config.PipelineDepth = 4;
+  return Config;
+}
+
+PipelineConfig backendConfig(backend::SplitMode Split, double Fraction = 1.0,
+                             unsigned GpuDevices = 1) {
+  PipelineConfig Config = classicConfig(PipelineMode::CpuOnly);
+  Config.Backend.Enabled = true;
+  Config.Backend.Split = Split;
+  Config.Backend.Fraction = Fraction;
+  Config.Backend.GpuDevices = GpuDevices;
+  return Config;
+}
+
+/// Everything two runs are diffed on.
+struct RunResult {
+  StreamRecipe Recipe;
+  std::uint64_t StoredBytes = 0;
+  ByteVector ReadBack;
+  std::array<double, ResourceCount> BusyUs{};
+  std::array<double, ResourceCount> SchedUs{};
+  double WallUs = 0.0;
+  double MakespanSec = 0.0;
+  PipelineReport Report;
+  backend::SplitterStats Stats;
+};
+
+RunResult runOnce(const PipelineConfig &Config, const ByteVector &Data) {
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  EXPECT_TRUE(Pipeline.write(ByteSpan(Data.data(), Data.size())).ok());
+  EXPECT_TRUE(Pipeline.finish().ok());
+  RunResult Result;
+  Result.Recipe = Pipeline.recipe();
+  Result.Report = Pipeline.report();
+  Result.StoredBytes = Result.Report.StoredBytes;
+  Result.MakespanSec = Result.Report.MakespanSec;
+  for (unsigned R = 0; R < ResourceCount; ++R) {
+    Result.BusyUs[R] = Pipeline.ledger().busyMicros(static_cast<Resource>(R));
+    Result.SchedUs[R] =
+        Pipeline.ledger().laneScheduledMicros(static_cast<Resource>(R));
+  }
+  Result.WallUs = Pipeline.scheduler().wallMicros();
+  EXPECT_EQ(Pipeline.scheduler().inFlight(), 0u);
+  if (Pipeline.splitter())
+    Result.Stats = Pipeline.splitter()->stats();
+  const auto Restored = Pipeline.readBack();
+  EXPECT_TRUE(Restored.has_value());
+  if (Restored)
+    Result.ReadBack = *Restored;
+  return Result;
+}
+
+/// Results + recipes: the any-split-point bar.
+void expectSameResults(const RunResult &Oracle, const RunResult &Candidate) {
+  EXPECT_EQ(Oracle.Recipe.ChunkLocations, Candidate.Recipe.ChunkLocations);
+  EXPECT_EQ(Oracle.Recipe.ChunkSizes, Candidate.Recipe.ChunkSizes);
+  EXPECT_EQ(Oracle.ReadBack, Candidate.ReadBack);
+  EXPECT_EQ(Oracle.Report.UniqueChunks, Candidate.Report.UniqueChunks);
+  EXPECT_EQ(Oracle.Report.DupChunks, Candidate.Report.DupChunks);
+}
+
+/// Full identity: the {0,1} pass-through bar — everything above plus
+/// stored bytes, per-lane busy charges and the scheduled timeline.
+void expectBitIdentical(const RunResult &Oracle, const RunResult &Candidate) {
+  expectSameResults(Oracle, Candidate);
+  EXPECT_EQ(Oracle.StoredBytes, Candidate.StoredBytes);
+  for (unsigned R = 0; R < ResourceCount; ++R) {
+    SCOPED_TRACE(resourceName(static_cast<Resource>(R)));
+    EXPECT_DOUBLE_EQ(Oracle.BusyUs[R], Candidate.BusyUs[R]);
+    EXPECT_DOUBLE_EQ(Oracle.SchedUs[R], Candidate.SchedUs[R]);
+  }
+  EXPECT_DOUBLE_EQ(Oracle.WallUs, Candidate.WallUs);
+}
+
+constexpr double Fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pass-through endpoints: forced modes vs the classic stage
+//===----------------------------------------------------------------------===//
+
+TEST(BackendPassThrough, CpuOnlyBitIdenticalToClassicCpu) {
+  const ByteVector Data = makeStream(8ull << 20);
+  const RunResult Classic = runOnce(classicConfig(PipelineMode::CpuOnly), Data);
+  EXPECT_EQ(Classic.ReadBack, Data);
+  const RunResult Forced =
+      runOnce(backendConfig(backend::SplitMode::CpuOnly), Data);
+  expectBitIdentical(Classic, Forced);
+}
+
+TEST(BackendPassThrough, GpuOnlyBitIdenticalToClassicGpuCompress) {
+  const ByteVector Data = makeStream(8ull << 20);
+  const RunResult Classic =
+      runOnce(classicConfig(PipelineMode::GpuCompress), Data);
+  EXPECT_EQ(Classic.ReadBack, Data);
+  const RunResult Forced =
+      runOnce(backendConfig(backend::SplitMode::GpuOnly), Data);
+  expectBitIdentical(Classic, Forced);
+}
+
+TEST(BackendPassThrough, FixedEndpointsMatchForcedModes) {
+  const ByteVector Data = makeStream(4ull << 20);
+  expectBitIdentical(runOnce(backendConfig(backend::SplitMode::CpuOnly), Data),
+                     runOnce(backendConfig(backend::SplitMode::Fixed, 0.0),
+                             Data));
+  expectBitIdentical(runOnce(backendConfig(backend::SplitMode::GpuOnly), Data),
+                     runOnce(backendConfig(backend::SplitMode::Fixed, 1.0),
+                             Data));
+}
+
+//===----------------------------------------------------------------------===//
+// Every split point: results and recipes never depend on the cut
+//===----------------------------------------------------------------------===//
+
+TEST(BackendSplit, ResultsBitIdenticalAtEveryFraction) {
+  const ByteVector Data = makeStream(8ull << 20);
+  const RunResult Oracle = runOnce(classicConfig(PipelineMode::CpuOnly), Data);
+  ASSERT_EQ(Oracle.ReadBack, Data);
+  for (const unsigned Devices : {1u, 2u}) {
+    for (const double Fraction : Fractions) {
+      SCOPED_TRACE("devices " + std::to_string(Devices) + " fraction " +
+                   std::to_string(Fraction));
+      const RunResult Split = runOnce(
+          backendConfig(backend::SplitMode::Fixed, Fraction, Devices), Data);
+      expectSameResults(Oracle, Split);
+    }
+  }
+}
+
+TEST(BackendSplit, AutoModeResultsMatchOracle) {
+  const ByteVector Data = makeStream(8ull << 20);
+  const RunResult Oracle = runOnce(classicConfig(PipelineMode::CpuOnly), Data);
+  for (const unsigned Devices : {1u, 2u}) {
+    SCOPED_TRACE("devices " + std::to_string(Devices));
+    const RunResult Auto = runOnce(
+        backendConfig(backend::SplitMode::Auto, 1.0, Devices), Data);
+    expectSameResults(Oracle, Auto);
+    EXPECT_GT(Auto.Stats.Batches, 0u);
+  }
+}
+
+TEST(BackendSplit, ChargesScheduleAndWallReconcile) {
+  const ByteVector Data = makeStream(8ull << 20);
+  const unsigned Threads = Platform::paper().Model.Cpu.Threads;
+  for (const double Fraction : Fractions) {
+    SCOPED_TRACE("fraction " + std::to_string(Fraction));
+    const RunResult Split =
+        runOnce(backendConfig(backend::SplitMode::Fixed, Fraction, 1), Data);
+    // The sliced replay must stay lossless: scheduled lane totals equal
+    // the ledger's charges (CPU normalized by pool width), and the wall
+    // can never undercut any lane's occupancy.
+    EXPECT_NEAR(Split.SchedUs[static_cast<unsigned>(Resource::CpuPool)],
+                Split.BusyUs[static_cast<unsigned>(Resource::CpuPool)] /
+                    Threads,
+                1.0);
+    for (const Resource R : {Resource::Gpu, Resource::Pcie, Resource::Ssd,
+                             Resource::IndexLock})
+      EXPECT_NEAR(Split.SchedUs[static_cast<unsigned>(R)],
+                  Split.BusyUs[static_cast<unsigned>(R)], 1.0)
+          << resourceName(R);
+    for (unsigned R = 0; R < ResourceCount; ++R)
+      EXPECT_GE(Split.WallUs + 1e-6, Split.SchedUs[R]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Modelled device count: charges invariant, makespan scales
+//===----------------------------------------------------------------------===//
+
+TEST(BackendMultiGpu, BusyChargesInvariantAcrossDeviceCount) {
+  const ByteVector Data = makeStream(8ull << 20);
+  const RunResult One =
+      runOnce(backendConfig(backend::SplitMode::GpuOnly, 1.0, 1), Data);
+  const RunResult Two =
+      runOnce(backendConfig(backend::SplitMode::GpuOnly, 1.0, 2), Data);
+  expectSameResults(One, Two);
+  EXPECT_EQ(One.StoredBytes, Two.StoredBytes);
+  // Busy accumulators are shared across mirrored lanes — work charged,
+  // not where it ran — so the device count must not change any charge.
+  for (unsigned R = 0; R < ResourceCount; ++R) {
+    SCOPED_TRACE(resourceName(static_cast<Resource>(R)));
+    EXPECT_DOUBLE_EQ(One.BusyUs[R], Two.BusyUs[R]);
+  }
+}
+
+TEST(BackendMultiGpu, ComputeMakespanScalesWithDevices) {
+  // GPU-bound shape: dedup off, big batches — the compute makespan is
+  // the device lanes' occupancy, which halves across two devices.
+  WorkloadConfig Shape;
+  Shape.TotalBytes = 16ull << 20;
+  Shape.DedupRatio = 1.0;
+  Shape.CompressRatio = 2.0;
+  Shape.Seed = 92;
+  const ByteVector Data = VdbenchStream(Shape).generateAll();
+  PipelineConfig Config = backendConfig(backend::SplitMode::GpuOnly, 1.0, 1);
+  Config.DedupEnabled = false;
+  Config.BatchChunks = 2048;
+  const RunResult One = runOnce(Config, Data);
+  Config.Backend.GpuDevices = 2;
+  const RunResult Two = runOnce(Config, Data);
+  expectSameResults(One, Two);
+  ASSERT_GT(Two.MakespanSec, 0.0);
+  EXPECT_GE(One.MakespanSec / Two.MakespanSec, 1.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Tuner: deterministic under replay, observes real rates
+//===----------------------------------------------------------------------===//
+
+TEST(BackendTuner, DeterministicUnderReplay) {
+  const ByteVector Data = makeStream(8ull << 20);
+  for (const unsigned Devices : {1u, 2u}) {
+    SCOPED_TRACE("devices " + std::to_string(Devices));
+    const RunResult First = runOnce(
+        backendConfig(backend::SplitMode::Auto, 1.0, Devices), Data);
+    const RunResult Second = runOnce(
+        backendConfig(backend::SplitMode::Auto, 1.0, Devices), Data);
+    expectBitIdentical(First, Second);
+    EXPECT_DOUBLE_EQ(First.Stats.Fraction, Second.Stats.Fraction);
+    EXPECT_DOUBLE_EQ(First.Stats.CpuRateBytesPerUs,
+                     Second.Stats.CpuRateBytesPerUs);
+    EXPECT_DOUBLE_EQ(First.Stats.GpuRateBytesPerUs,
+                     Second.Stats.GpuRateBytesPerUs);
+    EXPECT_EQ(First.Stats.Batches, Second.Stats.Batches);
+    EXPECT_EQ(First.Stats.CpuChunks, Second.Stats.CpuChunks);
+    EXPECT_EQ(First.Stats.GpuChunks, Second.Stats.GpuChunks);
+  }
+}
+
+TEST(BackendTuner, ObservesRatesAndRoutesWork) {
+  const ByteVector Data = makeStream(8ull << 20);
+  const RunResult Auto =
+      runOnce(backendConfig(backend::SplitMode::Auto, 1.0, 1), Data);
+  EXPECT_GT(Auto.Stats.CpuRateBytesPerUs, 0.0);
+  EXPECT_GT(Auto.Stats.GpuRateBytesPerUs, 0.0);
+  // On the paper platform the GPU compresses literals ~13x faster per
+  // byte than a CPU thread; the tuner must discover a device-heavy
+  // split, not sit on the seed.
+  EXPECT_GT(Auto.Stats.Fraction, 0.5);
+  EXPECT_GT(Auto.Stats.GpuChunks, Auto.Stats.CpuChunks);
+}
+
+TEST(BackendTuner, WindowClampAndConfigSurvive) {
+  const ByteVector Data = makeStream(2ull << 20);
+  PipelineConfig Config = backendConfig(backend::SplitMode::Auto);
+  Config.Backend.TunerWindow = 0; // clamps to 1 (pure last-batch rate)
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  ASSERT_TRUE(Pipeline.write(ByteSpan(Data.data(), Data.size())).ok());
+  ASSERT_TRUE(Pipeline.finish().ok());
+  ASSERT_NE(Pipeline.splitter(), nullptr);
+  EXPECT_EQ(Pipeline.splitter()->config().TunerWindow, 1u);
+  EXPECT_EQ(Pipeline.gpuDeviceCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault drain: device faults fall back bit-exactly, window empties
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void runBackendFaultDrain(const char *PlanSpec, unsigned Devices) {
+  SCOPED_TRACE(std::string(PlanSpec) + " devices " + std::to_string(Devices));
+  fault::FaultPlan Plan;
+  std::string Error;
+  ASSERT_TRUE(fault::parseFaultPlan(PlanSpec, Plan, Error)) << Error;
+  const ByteVector Data = makeStream(4ull << 20);
+  const RunResult Clean = runOnce(classicConfig(PipelineMode::CpuOnly), Data);
+  fault::FaultInjector Injector(Plan);
+  PipelineConfig Config =
+      backendConfig(backend::SplitMode::Auto, 1.0, Devices);
+  Config.Faults = &Injector;
+  ReductionPipeline Pipeline(Platform::paper(), Config);
+  const fault::Status WriteStatus =
+      Pipeline.write(ByteSpan(Data.data(), Data.size()));
+  const fault::Status FinishStatus = Pipeline.finish();
+  EXPECT_EQ(Pipeline.scheduler().inFlight(), 0u);
+  if (!WriteStatus.ok() || !FinishStatus.ok())
+    return;
+  // Device faults re-compress the slice on the CPU: outcomes, recipes
+  // and the decoded stream stay bit-exact to the fault-free oracle.
+  EXPECT_EQ(Pipeline.recipe().ChunkLocations, Clean.Recipe.ChunkLocations);
+  EXPECT_EQ(Pipeline.recipe().ChunkSizes, Clean.Recipe.ChunkSizes);
+  EXPECT_TRUE(Pipeline.verifyAgainst(ByteSpan(Data.data(), Data.size())));
+}
+
+} // namespace
+
+TEST(BackendFaultDrain, GpuKernelEcc) {
+  for (const unsigned Devices : {1u, 2u})
+    runBackendFaultDrain("seed=21;gpu-kernel:ecc:p=0.05", Devices);
+}
+
+TEST(BackendFaultDrain, GpuKernelHang) {
+  for (const unsigned Devices : {1u, 2u})
+    runBackendFaultDrain("seed=22;gpu-kernel:hang:every=9", Devices);
+}
+
+TEST(BackendFaultDrain, GpuDmaCorrupt) {
+  for (const unsigned Devices : {1u, 2u})
+    runBackendFaultDrain("seed=23;gpu-dma:dma-corrupt:p=0.05", Devices);
+}
+
+TEST(BackendFaultDrain, SsdWriteError) {
+  for (const unsigned Devices : {1u, 2u})
+    runBackendFaultDrain("seed=24;ssd-write:error:p=0.02", Devices);
+}

@@ -362,6 +362,58 @@ TEST_F(RestoreFixture, WarpAndCpuDecodeSameFramedBytes) {
   EXPECT_EQ(*CpuBytes, Data);
 }
 
+TEST_F(RestoreFixture, MixedFramedUnframedBatchArbitratesPerBatch) {
+  // A store that genuinely mixes framed and unframed GPU-decodable
+  // chunks: the backend splitter's Fixed 0.5 split compresses half of
+  // every batch on the device engine (BlockMethod::GpuLane) and half
+  // on the CPU engine, which frames at SubBlocks=4
+  // (BlockMethod::LzFramed). Under WarpGpu decode the framed chunks go
+  // to the warp kernel and the unframed remainder's route is arbitrated
+  // per batch from that batch's actual composition.
+  PipelineConfig Config;
+  Config.Mode = PipelineMode::CpuOnly;
+  Config.Metrics = &Metrics;
+  Config.Compress.SubBlocks = 4;
+  Config.Backend.Enabled = true;
+  Config.Backend.Split = backend::SplitMode::Fixed;
+  Config.Backend.Fraction = 0.5;
+  Data = makeStream(4 << 20);
+  Pipeline = std::make_unique<ReductionPipeline>(Platform::paper(), Config);
+  Pipeline->write(ByteSpan(Data.data(), Data.size()));
+  Pipeline->finish();
+
+  ReadConfig Read;
+  Read.Mode = DecodeMode::WarpGpu;
+  ReadPipeline Reader(*Pipeline, Read);
+  EXPECT_EQ(Reader.effectiveMode(), DecodeMode::WarpGpu);
+  const auto Restored = Reader.readStream(Pipeline->recipe());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(*Restored, Data);
+
+  const ReadReport Report = Reader.report();
+  EXPECT_GT(Report.FramedChunks, 0u);
+  EXPECT_GT(Report.WarpBatches, 0u);
+  EXPECT_GT(Report.MixedBatches, 0u);
+  EXPECT_LE(Report.MixedToLane, Report.MixedBatches);
+  const Counter *Lane =
+      Metrics.findCounter("padre_read_mixed_batches_total{route=\"lane\"}");
+  const Counter *Cpu =
+      Metrics.findCounter("padre_read_mixed_batches_total{route=\"cpu\"}");
+  ASSERT_NE(Lane, nullptr);
+  ASSERT_NE(Cpu, nullptr);
+  EXPECT_EQ(Lane->value() + Cpu->value(), Report.MixedBatches);
+  EXPECT_EQ(Lane->value(), Report.MixedToLane);
+
+  // Either arbitration outcome must stay bit-exact with a plain CPU
+  // decode of the same store.
+  ReadConfig CpuRead;
+  CpuRead.Mode = DecodeMode::Cpu;
+  const auto CpuBytes =
+      ReadPipeline(*Pipeline, CpuRead).readStream(Pipeline->recipe());
+  ASSERT_TRUE(CpuBytes.has_value());
+  EXPECT_EQ(*CpuBytes, *Restored);
+}
+
 TEST_F(RestoreFixture, CorruptFramedChunkFailsTypedInWarpMode) {
   writeFramed(1 << 20, /*CacheBytes=*/8 << 20);
   const auto &All = Pipeline->recipe().ChunkLocations;

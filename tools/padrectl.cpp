@@ -55,6 +55,12 @@
 ///   --read-mode cpu|gpu|warp|auto   restore decode mode (default auto)
 ///   --sub-blocks N   framed sub-blocks per chunk (1 = unframed v1;
 ///                    >1 stores decode-v2 frames the warp mode needs)
+///   --backends cpu,gpu,gpu2   enable the multi-backend splitter over
+///                    the listed backends (gpu2 = two modelled GPUs);
+///                    write batches are domain-decomposed across them
+///   --split auto|cpu|gpu   splitter policy (default auto: the
+///                    occupancy-balancing tuner picks the fraction)
+///   --tuner-window N EWMA window of the splitter's rate tuner
 ///   --readahead N    restore readahead chunks per run (default 8)
 ///   --journal PATH       (recover) metadata WAL path (padre.wal)
 ///   --checkpoint PATH    (recover) checkpoint path (padre.ckpt)
@@ -85,6 +91,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/AutoSplitter.h"
 #include "core/Calibrator.h"
 #include "core/TraceRunner.h"
 #include "core/Volume.h"
@@ -147,6 +154,11 @@ struct Options {
   std::uint64_t QuotaBytes = 0;
   ScenarioShape Scenario = ScenarioShape::SkewedHot;
   std::uint64_t GcEvery = 0;
+  bool BackendEnabled = false;
+  bool BackendHasGpu = false;
+  unsigned BackendGpuDevices = 1;
+  backend::SplitMode Split = backend::SplitMode::Auto;
+  unsigned TunerWindow = 0; // 0 = BackendConfig default
   bool RawWrites = false;
   bool FtlOn = false;
   std::uint32_t FtlBlocks = 128;
@@ -169,6 +181,8 @@ void usage() {
       "  --trace-out FILE.json  --metrics-out FILE.prom\n"
       "  --read-batch N  --read-mode cpu|gpu|warp|auto  --readahead N\n"
       "  --sub-blocks N       framed sub-blocks per chunk (warp decode)\n"
+      "  --backends cpu,gpu,gpu2   multi-backend splitter (gpu2 = two\n"
+      "      modelled GPUs)  --split auto|cpu|gpu  --tuner-window N\n"
       "  --pipeline-depth N   in-flight write batches (1 = serial)\n"
       "  --journal PATH  --checkpoint PATH   (recover) WAL/checkpoint\n"
       "  --group-commit N  --checkpoint-every N   (recover) policies\n"
@@ -283,6 +297,55 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (Arg == "--sub-blocks" && NextValue(Value)) {
       Opts.SubBlocks =
           static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (Arg == "--backends" && NextValue(Value)) {
+      Opts.BackendEnabled = true;
+      std::size_t Pos = 0;
+      while (Pos <= Value.size()) {
+        const std::size_t Comma = Value.find(',', Pos);
+        const std::string Token =
+            Value.substr(Pos, Comma == std::string::npos ? std::string::npos
+                                                         : Comma - Pos);
+        if (Token == "cpu") {
+          // Always present; listed for symmetry.
+        } else if (Token == "gpu") {
+          Opts.BackendHasGpu = true;
+        } else if (Token == "gpu2") {
+          Opts.BackendHasGpu = true;
+          Opts.BackendGpuDevices = 2;
+        } else {
+          std::fprintf(stderr, "error: unknown backend '%s'\n",
+                       Token.c_str());
+          return false;
+        }
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    } else if (Arg == "--split" && NextValue(Value)) {
+      if (Value == "auto")
+        Opts.Split = backend::SplitMode::Auto;
+      else if (Value == "cpu")
+        Opts.Split = backend::SplitMode::CpuOnly;
+      else if (Value == "gpu")
+        Opts.Split = backend::SplitMode::GpuOnly;
+      else {
+        std::fprintf(stderr, "error: unknown split policy '%s'\n",
+                     Value.c_str());
+        return false;
+      }
+      // --split implies the splitter over both backends unless
+      // --backends narrows it.
+      if (!Opts.BackendEnabled) {
+        Opts.BackendEnabled = true;
+        Opts.BackendHasGpu = true;
+      }
+    } else if (Arg == "--tuner-window" && NextValue(Value)) {
+      Opts.TunerWindow =
+          static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+      if (!Opts.BackendEnabled) {
+        Opts.BackendEnabled = true;
+        Opts.BackendHasGpu = true;
+      }
     } else if (Arg == "--read-mode" && NextValue(Value)) {
       if (Value == "cpu")
         Opts.ReadMode = restore::DecodeMode::Cpu;
@@ -403,6 +466,19 @@ PipelineConfig pipelineConfigFor(const Options &Opts, PipelineMode Mode) {
   Config.Chunking = Opts.Chunking;
   Config.PipelineDepth = Opts.PipelineDepth;
   Config.Compress.SubBlocks = Opts.SubBlocks;
+  if (Opts.BackendEnabled) {
+    Config.Backend.Enabled = true;
+    // Device-capable split modes need a modelled GPU; on a GPU-less
+    // platform (or a cpu-only backend list) the splitter degrades to
+    // the forced-CPU pass-through.
+    const bool DeviceCapable =
+        Opts.BackendHasGpu && Opts.Plat.Model.Gpu.Present;
+    Config.Backend.Split =
+        DeviceCapable ? Opts.Split : backend::SplitMode::CpuOnly;
+    Config.Backend.GpuDevices = DeviceCapable ? Opts.BackendGpuDevices : 1;
+    if (Opts.TunerWindow != 0)
+      Config.Backend.TunerWindow = Opts.TunerWindow;
+  }
   return Config;
 }
 
@@ -426,6 +502,28 @@ void printOverlapSummary(const PipelineReport &Report) {
                 100.0 * Busy / Report.WallSec,
                 Busy > 0.0 ? 100.0 * Hidden / Busy : 0.0);
   }
+}
+
+/// Footer after the overlap summary: the splitter's chosen split and
+/// the tuner's observed rates (the E12 story in one line).
+void printSplitterSummary(const ReductionPipeline &Pipeline) {
+  const backend::AutoSplitter *Splitter = Pipeline.splitter();
+  if (!Splitter)
+    return;
+  const backend::SplitterStats &Stats = Splitter->stats();
+  std::printf("\nbackend split (%s",
+              backend::splitModeName(Splitter->config().Split));
+  if (Splitter->deviceCount() > 1)
+    std::printf(", %u gpus", Splitter->deviceCount());
+  std::printf("): last fraction %.2f gpu / %.2f cpu over %llu batches "
+              "(%llu gpu chunks, %llu cpu chunks)\n",
+              Stats.Fraction, 1.0 - Stats.Fraction,
+              static_cast<unsigned long long>(Stats.Batches),
+              static_cast<unsigned long long>(Stats.GpuChunks),
+              static_cast<unsigned long long>(Stats.CpuChunks));
+  std::printf("  observed rates: cpu %.1f B/us, gpu %.1f B/us "
+              "(EWMA of marginal pool occupancy)\n",
+              Stats.CpuRateBytesPerUs, Stats.GpuRateBytesPerUs);
 }
 
 /// Caller-frame observability sinks for --trace-out / --metrics-out.
@@ -498,6 +596,16 @@ struct FaultSetup {
 PipelineMode resolveMode(const Options &Opts) {
   if (Opts.Mode)
     return *Opts.Mode;
+  // With the multi-backend splitter enabled the compress stage belongs
+  // to the splitter, not the classic mode — calibration across modes
+  // would be answering the wrong question. Dedup stays on the CPU pool
+  // (pass --mode gpu-dedup explicitly to offload it).
+  if (Opts.BackendEnabled) {
+    std::printf("note: --backends routes compression through the "
+                "splitter; using cpu-only writes for the other stages "
+                "(pass --mode to override)\n\n");
+    return PipelineMode::CpuOnly;
+  }
   // Sub-block framing lives in the CPU compress path (the GPU lane
   // kernel's streams share history across lane boundaries, so they
   // cannot be reframed). Calibration would otherwise pick an unframed
@@ -599,6 +707,7 @@ int commandRun(const Options &OptsIn) {
   const PipelineReport WriteReport = Pipeline.report();
   std::printf("%s\n", WriteReport.toString().c_str());
   printOverlapSummary(WriteReport);
+  printSplitterSummary(Pipeline);
   std::printf("\nread-back verified byte-exact\n");
 
   // Read-mix: restore the whole stream through the batched read
